@@ -1,0 +1,87 @@
+// Ablation: the fine-grained key-value cache (§5.2, temporal burst events).
+//
+// Question: how many TDStore reads does the per-key write-through cache
+// save when a temporal burst concentrates traffic on a few hot items (and
+// the users re-reading them)? Compares store read counts with the cache
+// enabled vs disabled, for a normal stream and a bursty one.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "engine/tencentrec.h"
+
+namespace {
+
+using namespace tencentrec;
+using namespace tencentrec::core;
+
+/// `burst = true` interleaves a hot-news burst: 60% of actions hit the
+/// same 5 items (everyone reads the breaking story).
+std::vector<UserAction> Stream(uint64_t seed, int n, bool burst) {
+  Rng rng(seed);
+  ZipfSampler zipf(600, 0.8);
+  std::vector<UserAction> actions;
+  actions.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    UserAction a;
+    a.user = static_cast<UserId>(1 + rng.Uniform(400));
+    if (burst && rng.Bernoulli(0.6)) {
+      a.item = static_cast<ItemId>(1 + rng.Uniform(5));
+    } else {
+      a.item = static_cast<ItemId>(1 + zipf.Sample(rng));
+    }
+    a.action = ActionType::kClick;
+    a.timestamp = Seconds(i);
+    actions.push_back(a);
+  }
+  return actions;
+}
+
+int64_t RunAndCountReads(const std::vector<UserAction>& stream, bool cache) {
+  engine::TencentRec::Options options;
+  options.app.app = cache ? "cache" : "nocache";
+  options.app.parallelism = 2;
+  options.app.linked_time = Minutes(30);
+  options.app.enable_cache = cache;
+  options.app.cache_capacity = 512;     // small enough that only hot keys stay
+  options.app.enable_combiner = false;  // isolate the cache's effect
+  options.store.num_data_servers = 2;
+  options.store.num_instances = 8;
+  auto engine = engine::TencentRec::Create(options);
+  if (!engine.ok()) return -1;
+  for (int s = 0; s < (*engine)->store()->num_data_servers(); ++s) {
+    (*engine)->store()->data_server(s)->ResetCounters();
+  }
+  if (!(*engine)->ProcessBatch(stream).ok()) return -1;
+  int64_t reads = 0;
+  for (int s = 0; s < (*engine)->store()->num_data_servers(); ++s) {
+    reads += (*engine)->store()->data_server(s)->reads();
+  }
+  return reads;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kActions = 30000;
+  std::printf(
+      "Fine-grained cache ablation: TDStore reads with cache on/off,\n"
+      "%d actions, normal vs temporal-burst traffic\n\n",
+      kActions);
+  std::printf("%10s %16s %16s %10s\n", "traffic", "reads (off)",
+              "reads (on)", "saved%");
+  for (bool burst : {false, true}) {
+    const auto stream = Stream(13, kActions, burst);
+    const int64_t off = RunAndCountReads(stream, false);
+    const int64_t on = RunAndCountReads(stream, true);
+    if (off < 0 || on < 0) return 1;
+    std::printf("%10s %16lld %16lld %9.1f%%\n", burst ? "burst" : "normal",
+                static_cast<long long>(off), static_cast<long long>(on),
+                100.0 * static_cast<double>(off - on) /
+                    static_cast<double>(off));
+  }
+  std::printf(
+      "\nexpected shape: the cache saves a larger share of reads under the "
+      "burst —\nuser activities in temporal bursts have locality (§5.2).\n");
+  return 0;
+}

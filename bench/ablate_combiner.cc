@@ -1,0 +1,101 @@
+// Ablation: the combiner (§5.3, hot item problem).
+//
+// Question: how many TDStore writes does partial merging of same-key tuples
+// save, as item popularity skew (Zipf s) grows? The paper's claim: the
+// combiner's efficacy *increases* under hot-item skew because more tuples
+// in an interval share a key.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "engine/tencentrec.h"
+
+namespace {
+
+using namespace tencentrec;
+using namespace tencentrec::core;
+
+std::vector<UserAction> SkewedStream(uint64_t seed, int n, int users,
+                                     int items, double zipf_s) {
+  Rng rng(seed);
+  ZipfSampler zipf(static_cast<size_t>(items), zipf_s);
+  std::vector<UserAction> actions;
+  actions.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    UserAction a;
+    a.user = static_cast<UserId>(1 + rng.Uniform(users));
+    a.item = static_cast<ItemId>(1 + zipf.Sample(rng));
+    a.action = ActionType::kClick;
+    a.timestamp = Seconds(i);
+    a.demographics.gender = (a.user % 2) == 0 ? Demographics::kMale
+                                              : Demographics::kFemale;
+    a.demographics.age_band = static_cast<uint8_t>(1 + a.user % 5);
+    actions.push_back(a);
+  }
+  return actions;
+}
+
+int64_t RunAndCountWrites(const std::vector<UserAction>& stream,
+                          bool combiner) {
+  engine::TencentRec::Options options;
+  options.app.app = combiner ? "comb" : "nocomb";
+  options.app.parallelism = 2;
+  options.app.linked_time = Minutes(30);
+  options.app.enable_combiner = combiner;
+  options.app.combiner_interval = 128;
+  // Isolate the statistics path the combiner protects: the demographic
+  // group counters (the hot-item/hot-group write amplification of §5.3–5.4).
+  // The CF pair path goes through read-modify-write similarity state that
+  // the combiner does not cover.
+  options.app.algorithms.item_cf = false;
+  options.app.algorithms.demographic = true;
+  options.store.num_data_servers = 2;
+  options.store.num_instances = 8;
+  auto engine = engine::TencentRec::Create(options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return -1;
+  }
+  for (int s = 0; s < (*engine)->store()->num_data_servers(); ++s) {
+    (*engine)->store()->data_server(s)->ResetCounters();
+  }
+  Status run = (*engine)->ProcessBatch(stream);
+  if (!run.ok()) {
+    std::fprintf(stderr, "run: %s\n", run.ToString().c_str());
+    return -1;
+  }
+  int64_t writes = 0;
+  for (int s = 0; s < (*engine)->store()->num_data_servers(); ++s) {
+    writes += (*engine)->store()->data_server(s)->writes();
+  }
+  return writes;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kActions = 40000;
+  constexpr int kUsers = 500;
+  constexpr int kItems = 800;
+  std::printf(
+      "Combiner ablation: TDStore writes with/without the combiner,\n"
+      "%d actions, sweeping item-popularity skew (hot item problem)\n\n",
+      kActions);
+  std::printf("%8s %18s %18s %10s\n", "zipf s", "writes (off)",
+              "writes (on)", "saved%");
+  for (double s : {0.0, 0.6, 0.9, 1.2, 1.5}) {
+    const auto stream = SkewedStream(11, kActions, kUsers, kItems, s);
+    const int64_t off = RunAndCountWrites(stream, false);
+    const int64_t on = RunAndCountWrites(stream, true);
+    if (off < 0 || on < 0) return 1;
+    std::printf("%8.1f %18lld %18lld %9.1f%%\n", s,
+                static_cast<long long>(off), static_cast<long long>(on),
+                100.0 * static_cast<double>(off - on) /
+                    static_cast<double>(off));
+  }
+  std::printf(
+      "\nexpected shape: savings grow with skew — the combiner merges more "
+      "same-key\ntuples per flush interval exactly when traffic "
+      "concentrates on hot items.\n");
+  return 0;
+}

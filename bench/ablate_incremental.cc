@@ -1,0 +1,99 @@
+// Ablation: incremental update (§4.1.3) vs periodic batch recompute.
+//
+// Question: what does each strategy cost, and how stale is the batch
+// model's similarity table between rebuilds? Streams N actions through
+// (a) the incremental model (update per action) and (b) a batch model
+// rebuilt every R actions, measuring wall time and the model's staleness
+// (actions since the last rebuild, averaged over the stream).
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/itemcf/basic_cf.h"
+#include "core/itemcf/item_cf.h"
+
+namespace {
+
+using namespace tencentrec;
+using namespace tencentrec::core;
+
+std::vector<UserAction> MakeStream(uint64_t seed, int n) {
+  Rng rng(seed);
+  ZipfSampler zipf(400, 0.9);
+  const ActionType kTypes[] = {ActionType::kBrowse, ActionType::kClick,
+                               ActionType::kRead, ActionType::kPurchase};
+  std::vector<UserAction> actions;
+  actions.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    UserAction a;
+    a.user = static_cast<UserId>(1 + rng.Uniform(300));
+    a.item = static_cast<ItemId>(1 + zipf.Sample(rng));
+    a.action = kTypes[rng.Uniform(4)];
+    a.timestamp = Seconds(i);
+    actions.push_back(a);
+  }
+  return actions;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kActions = 120000;
+  const auto stream = MakeStream(3, kActions);
+
+  std::printf(
+      "Incremental vs periodic batch recompute, %d actions, 300 users, "
+      "400 items\n\n",
+      kActions);
+
+  // Incremental: model is exact after every action (staleness 0).
+  {
+    PracticalItemCf::Options options;
+    options.linked_time = Hours(4);
+    options.window_sessions = 0;
+    PracticalItemCf cf(options);
+    auto t0 = std::chrono::steady_clock::now();
+    for (const auto& a : stream) cf.ProcessAction(a);
+    auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    std::printf("%-28s %10.0f ms  %12.0f actions/s  staleness: 0\n",
+                "incremental (per action)", ms,
+                kActions / (ms / 1000.0));
+  }
+
+  // Batch: rebuild every R actions; the serving model lags R/2 on average.
+  for (int rebuild_every : {20000, 60000, 120000}) {
+    BasicItemCf model(BasicItemCf::SimilarityMeasure::kMinCoRating);
+    ActionWeights weights;
+    auto t0 = std::chrono::steady_clock::now();
+    int since = 0;
+    for (const auto& a : stream) {
+      const double w = weights.Weight(a.action);
+      if (w > model.RatingOf(a.user, a.item)) {
+        model.SetRating(a.user, a.item, w);
+      }
+      if (++since >= rebuild_every) {
+        model.ComputeSimilarities();
+        since = 0;
+      }
+    }
+    model.ComputeSimilarities();
+    auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    std::printf(
+        "%-20s R=%6d %10.0f ms  %12.0f actions/s  staleness: ~%d actions\n",
+        "batch rebuild every", rebuild_every, ms, kActions / (ms / 1000.0),
+        rebuild_every / 2);
+  }
+
+  std::printf(
+      "\nexpected shape: incremental update costs O(pairs-per-action) and "
+      "is never\nstale; the batch strategy only wins on raw throughput when "
+      "rebuilds are so\nrare that the model is massively stale — the "
+      "real-time/accuracy trade the\npaper's incremental formulation "
+      "removes.\n");
+  return 0;
+}

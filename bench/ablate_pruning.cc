@@ -1,0 +1,127 @@
+// Ablation: real-time Hoeffding pruning (§4.1.4, Eq. 9, Algorithm 1).
+//
+// Question: how much pair-update computation does pruning save, and what
+// does it cost in similar-items list quality? Sweeps the confidence
+// parameter δ; reports updates saved and the recall of the pruned model's
+// top-K lists against the unpruned model's.
+
+#include <chrono>
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "core/itemcf/item_cf.h"
+
+namespace {
+
+using namespace tencentrec;
+using namespace tencentrec::core;
+
+std::vector<UserAction> MakeStream(uint64_t seed, int n, int users,
+                                   int items) {
+  Rng rng(seed);
+  ZipfSampler zipf(static_cast<size_t>(items), 0.9);
+  const ActionType kTypes[] = {ActionType::kBrowse, ActionType::kClick,
+                               ActionType::kRead, ActionType::kPurchase};
+  std::vector<UserAction> actions;
+  actions.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    UserAction a;
+    a.user = static_cast<UserId>(1 + rng.Uniform(users));
+    a.item = static_cast<ItemId>(1 + zipf.Sample(rng));
+    a.action = kTypes[rng.Uniform(4)];
+    a.timestamp = Seconds(i);
+    actions.push_back(a);
+  }
+  return actions;
+}
+
+PracticalItemCf::Options BaseOptions() {
+  PracticalItemCf::Options options;
+  options.linked_time = Hours(4);
+  options.top_k = 5;
+  options.window_sessions = 0;
+  return options;
+}
+
+/// Recall of `pruned`'s similar lists against `reference`'s, averaged over
+/// items (how much list quality pruning gave up).
+double ListRecall(const PracticalItemCf& pruned,
+                  const PracticalItemCf& reference, int items) {
+  double recall_sum = 0.0;
+  int counted = 0;
+  for (ItemId item = 1; item <= items; ++item) {
+    const auto* ref = reference.SimilarItems(item);
+    if (ref == nullptr || ref->empty()) continue;
+    const auto* got = pruned.SimilarItems(item);
+    std::unordered_set<ItemId> got_ids;
+    if (got != nullptr) {
+      for (const auto& e : got->entries()) got_ids.insert(e.id);
+    }
+    int hits = 0;
+    for (const auto& e : ref->entries()) {
+      if (got_ids.count(e.id) > 0) ++hits;
+    }
+    recall_sum += static_cast<double>(hits) /
+                  static_cast<double>(ref->entries().size());
+    ++counted;
+  }
+  return counted > 0 ? recall_sum / counted : 1.0;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kUsers = 400;
+  constexpr int kItems = 500;
+  constexpr int kActions = 300000;
+  const auto stream = MakeStream(7, kActions, kUsers, kItems);
+
+  // Reference: no pruning.
+  PracticalItemCf reference(BaseOptions());
+  auto t0 = std::chrono::steady_clock::now();
+  for (const auto& a : stream) reference.ProcessAction(a);
+  auto t1 = std::chrono::steady_clock::now();
+  const double ref_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  std::printf(
+      "Hoeffding pruning ablation: %d actions, %d users, %d items, "
+      "top_k=%d\n\n",
+      kActions, kUsers, kItems, BaseOptions().top_k);
+  std::printf("%10s %14s %14s %12s %10s %10s\n", "delta", "pair updates",
+              "skipped", "saved%", "recall", "time(ms)");
+  std::printf("%10s %14lld %14lld %12s %10s %10.0f   (no pruning)\n", "-",
+              static_cast<long long>(reference.stats().pair_updates),
+              static_cast<long long>(0), "-", "1.000", ref_ms);
+
+  for (double delta : {0.5, 0.2, 0.05, 0.01, 0.001}) {
+    PracticalItemCf::Options options = BaseOptions();
+    options.enable_pruning = true;
+    options.hoeffding_delta = delta;
+    PracticalItemCf pruned(options);
+    auto p0 = std::chrono::steady_clock::now();
+    for (const auto& a : stream) pruned.ProcessAction(a);
+    auto p1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(p1 - p0).count();
+
+    const auto& stats = pruned.stats();
+    const double saved =
+        100.0 * static_cast<double>(stats.pair_updates_pruned) /
+        static_cast<double>(stats.pair_updates + stats.pair_updates_pruned);
+    std::printf("%10.3f %14lld %14lld %11.1f%% %10.3f %10.0f\n", delta,
+                static_cast<long long>(stats.pair_updates),
+                static_cast<long long>(stats.pair_updates_pruned), saved,
+                ListRecall(pruned, reference, kItems), ms);
+  }
+  std::printf(
+      "\nexpected shape: larger delta (lower confidence bar) prunes more "
+      "pairs and skips\nmore updates at a small recall cost; smaller delta "
+      "is conservative. Note the\nsaved resource in production is TDStore/"
+      "network traffic per skipped update —\nwall time here is an in-memory "
+      "proxy. Pairs only prune once both items'\nsimilar-items lists fill "
+      "(Algorithm 1 takes the min threshold), so Zipf-tail\nitems are never "
+      "pruned away.\n");
+  return 0;
+}

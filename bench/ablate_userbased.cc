@@ -1,0 +1,126 @@
+// Ablation: item-based vs user-based CF (§4.1).
+//
+// The paper adopts item-based CF because "the empirical evidence has shown
+// that item-based CF method can provide better performance than the
+// user-based CF method". This bench tests that claim on a genre-structured
+// synthetic workload with a leave-last-out protocol: train both batch
+// models on every action except each user's last liked item, then check
+// whether the held-out item appears in the model's top-10, and compare
+// model build cost.
+
+#include <chrono>
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "core/itemcf/basic_cf.h"
+#include "core/itemcf/user_cf.h"
+
+namespace {
+
+using namespace tencentrec;
+using namespace tencentrec::core;
+
+struct Dataset {
+  /// (user, item, rating) training triples.
+  std::vector<std::tuple<UserId, ItemId, double>> train;
+  /// user -> held-out item.
+  std::unordered_map<UserId, ItemId> holdout;
+};
+
+/// Genre-structured ratings: each user prefers 2 genres and rates items
+/// mostly within them.
+Dataset MakeDataset(uint64_t seed, int users, int items, int genres,
+                    int ratings_per_user) {
+  Rng rng(seed);
+  Dataset data;
+  std::vector<std::vector<ItemId>> by_genre(static_cast<size_t>(genres));
+  for (ItemId item = 1; item <= items; ++item) {
+    by_genre[static_cast<size_t>(item) % genres].push_back(item);
+  }
+  for (UserId user = 1; user <= users; ++user) {
+    const int g1 = static_cast<int>(rng.Uniform(genres));
+    const int g2 = static_cast<int>(rng.Uniform(genres));
+    std::unordered_map<ItemId, double> rated;
+    for (int r = 0; r < ratings_per_user; ++r) {
+      const int genre = rng.Bernoulli(0.8)
+                            ? (rng.Bernoulli(0.5) ? g1 : g2)
+                            : static_cast<int>(rng.Uniform(genres));
+      const auto& pool = by_genre[static_cast<size_t>(genre)];
+      const ItemId item = pool[rng.Uniform(pool.size())];
+      rated[item] = 1.0 + rng.Uniform(3);
+    }
+    if (rated.size() < 3) continue;
+    // Hold out one of the user's preferred-genre items (predictable from
+    // the rest of their profile — the standard leave-one-out setup).
+    ItemId held = 0;
+    for (const auto& [item, r] : rated) {
+      const int genre = static_cast<int>(item) % genres;
+      if (genre == g1 || genre == g2) held = item;
+    }
+    if (held == 0) held = rated.begin()->first;
+    data.holdout[user] = held;
+    for (const auto& [item, r] : rated) {
+      if (item != held) data.train.emplace_back(user, item, r);
+    }
+  }
+  return data;
+}
+
+template <typename Model>
+double HitRate(const Model& model, const Dataset& data, size_t n) {
+  int hits = 0;
+  int total = 0;
+  for (const auto& [user, held] : data.holdout) {
+    ++total;
+    for (const auto& rec : model.RecommendForUser(user, n)) {
+      if (rec.item == held) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return total > 0 ? static_cast<double>(hits) / total : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Item-based vs user-based CF: leave-last-out hit@10 on a genre-"
+      "structured\nworkload (the §4.1 design decision), 3 seeds\n\n");
+  std::printf("%6s %10s %16s %16s %14s %14s\n", "seed", "users",
+              "item-based hit", "user-based hit", "item build ms",
+              "user build ms");
+
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Dataset data = MakeDataset(seed, 800, 500, 16, 30);
+
+    BasicItemCf item_cf(BasicItemCf::SimilarityMeasure::kMinCoRating,
+                        /*support_shrinkage=*/2.0);
+    UserBasedCf user_cf(/*support_shrinkage=*/2.0);
+    for (const auto& [user, item, rating] : data.train) {
+      item_cf.SetRating(user, item, rating);
+      user_cf.SetRating(user, item, rating);
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    item_cf.ComputeSimilarities();
+    auto t1 = std::chrono::steady_clock::now();
+    user_cf.ComputeSimilarities();
+    auto t2 = std::chrono::steady_clock::now();
+
+    std::printf("%6llu %10zu %15.1f%% %15.1f%% %14.0f %14.0f\n",
+                static_cast<unsigned long long>(seed), data.holdout.size(),
+                100.0 * HitRate(item_cf, data, 10),
+                100.0 * HitRate(user_cf, data, 10),
+                std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                std::chrono::duration<double, std::milli>(t2 - t1).count());
+  }
+  std::printf(
+      "\nexpected shape: item-based hit rate at or above user-based (the "
+      "paper's\nempirical claim), with comparable or lower build cost — and "
+      "only item-based\ndecomposes into the incrementally maintainable "
+      "counts of Eq. 5–8.\n");
+  return 0;
+}

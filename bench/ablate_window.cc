@@ -1,0 +1,73 @@
+// Ablation: the sliding window (§4.3, Eq. 10).
+//
+// Question: does forgetting old sessions actually help when interests
+// drift? Runs the videos A/B scenario with the streaming arm's window set
+// to cumulative (no forgetting), the default 2 days, and a very short
+// window; reports the streaming arm's average CTR.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/apps.h"
+
+namespace {
+
+using namespace tencentrec;
+using namespace tencentrec::sim;
+
+double RunWithWindow(int days, uint64_t seed, int window_sessions) {
+  Scenario s = MakeVideosScenario(days, seed);
+  // Rebuild the streaming arm with the requested window.
+  core::HybridRecommender::Options hybrid;
+  hybrid.cf.weights = core::ActionWeights();
+  hybrid.cf.linked_time = Hours(2);
+  hybrid.cf.top_k = 20;
+  hybrid.cf.recent_k = 6;
+  hybrid.cf.session_length = Hours(6);
+  hybrid.cf.window_sessions = window_sessions;
+  hybrid.cf.support_shrinkage = 3.0;
+  hybrid.cf.history_ttl = Days(3);
+  hybrid.db.weights = core::ActionWeights();
+  hybrid.db.session_length = Hours(6);
+  hybrid.db.window_sessions = window_sessions == 0 ? 0 : window_sessions;
+  s.tencentrec = std::make_unique<StreamingCfArm>(hybrid);
+
+  auto result = s.Run();
+  double ctr_sum = 0.0;
+  for (const auto& day : result.days) ctr_sum += day.tencentrec.Ctr();
+  return result.days.empty() ? 0.0
+                             : ctr_sum / static_cast<double>(result.days.size());
+}
+
+}  // namespace
+
+int main() {
+  const int days = tencentrec::bench::DaysFromEnv(5);
+  const uint64_t seed = tencentrec::bench::SeedFromEnv();
+  std::printf(
+      "Sliding-window ablation (videos scenario, %d days, drifting "
+      "interests):\n\n",
+      days);
+  std::printf("%22s %16s\n", "window", "streaming CTR");
+  struct Config {
+    const char* label;
+    int sessions;
+  } configs[] = {
+      {"cumulative (none)", 0},
+      {"8 sessions (2 days)", 8},
+      {"2 sessions (12h)", 2},
+  };
+  for (const auto& config : configs) {
+    std::printf("%22s %15.2f%%\n", config.label,
+                RunWithWindow(days, seed, config.sessions) * 100.0);
+  }
+  std::printf(
+      "\nexpected shape: an over-short window starves the model of "
+      "co-ratings and\nclearly loses. Cumulative vs. a moderate window is "
+      "nearly a tie here because\nthis world's genre structure is static — "
+      "item-to-item co-occurrence doesn't\nshift, so old counts stay "
+      "informative. Forgetting pays when the co-occurrence\nstructure "
+      "itself is non-stationary (item churn: see the news and ads\n"
+      "scenarios, where windowed state is also what bounds memory).\n");
+  return 0;
+}

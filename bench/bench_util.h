@@ -1,0 +1,29 @@
+#ifndef TENCENTREC_BENCH_BENCH_UTIL_H_
+#define TENCENTREC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tencentrec::bench {
+
+/// Days of simulated traffic for the figure/table harnesses. The paper
+/// measured one week (figures) and one month (Table 1); the defaults keep
+/// `for b in build/bench/*; do $b; done` affordable while matching the
+/// figures' one-week span. Override with TR_DAYS=n.
+inline int DaysFromEnv(int fallback) {
+  const char* env = std::getenv("TR_DAYS");
+  if (env == nullptr) return fallback;
+  int v = std::atoi(env);
+  return v > 0 ? v : fallback;
+}
+
+inline uint64_t SeedFromEnv(uint64_t fallback = 42) {
+  const char* env = std::getenv("TR_SEED");
+  if (env == nullptr) return fallback;
+  return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+}
+
+}  // namespace tencentrec::bench
+
+#endif  // TENCENTREC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,32 @@
+// Reproduces Figure 11 (average read count per user of Tencent News in one
+// week): for each day, the average number of recommended-news reads per
+// active user under each arm. The paper's figure shows TencentRec above
+// Original steadily (axis values redacted).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/apps.h"
+
+int main() {
+  const int days = tencentrec::bench::DaysFromEnv(7);
+  const uint64_t seed = tencentrec::bench::SeedFromEnv();
+  std::printf(
+      "Figure 11: average read count per user, Tencent News (%d days)\n\n",
+      days);
+  auto result = tencentrec::sim::MakeNewsScenario(days, seed).Run();
+
+  std::printf("%4s %16s %16s\n", "day", "Original", "TencentRec");
+  int days_won = 0;
+  for (const auto& day : result.days) {
+    std::printf("%4d %16.3f %16.3f\n", day.day, day.original.ReadsPerUser(),
+                day.tencentrec.ReadsPerUser());
+    if (day.tencentrec.ReadsPerUser() > day.original.ReadsPerUser()) {
+      ++days_won;
+    }
+  }
+  std::printf(
+      "\nTencentRec above Original on %d/%zu days (paper: every day)\n",
+      days_won, result.days.size());
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Microbenchmarks: the recommender-engine serving path (Fig. 9) — latency
+// of answering recommendation queries from TDStore state. The paper's
+// deployment answers 10 billion requests/day (~0.5M/s peak) from this
+// path; these numbers show what one core of the reproduction sustains.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "engine/tencentrec.h"
+
+namespace {
+
+using namespace tencentrec;
+using namespace tencentrec::core;
+
+std::unique_ptr<engine::TencentRec> MakeWarmEngine() {
+  engine::TencentRec::Options options;
+  options.app.app = "bench";
+  options.app.parallelism = 2;
+  options.app.linked_time = Hours(4);
+  options.app.algorithms.ctr = true;
+  options.store.num_data_servers = 2;
+  options.store.num_instances = 8;
+  auto engine = engine::TencentRec::Create(options);
+  if (!engine.ok()) return nullptr;
+
+  Rng rng(5);
+  ZipfSampler zipf(300, 0.9);
+  const ActionType kTypes[] = {ActionType::kBrowse, ActionType::kClick,
+                               ActionType::kRead, ActionType::kPurchase,
+                               ActionType::kImpression};
+  std::vector<UserAction> actions;
+  for (int i = 0; i < 30000; ++i) {
+    UserAction a;
+    a.user = static_cast<UserId>(1 + rng.Uniform(200));
+    a.item = static_cast<ItemId>(1 + zipf.Sample(rng));
+    a.action = kTypes[rng.Uniform(5)];
+    a.timestamp = Seconds(i);
+    a.demographics.gender = rng.Bernoulli(0.5) ? Demographics::kMale
+                                               : Demographics::kFemale;
+    a.demographics.age_band = static_cast<uint8_t>(1 + a.user % 4);
+    actions.push_back(a);
+  }
+  if (!(*engine)->ProcessBatch(actions).ok()) return nullptr;
+  return std::move(engine).value();
+}
+
+engine::TencentRec* WarmEngine() {
+  static engine::TencentRec* engine = MakeWarmEngine().release();
+  return engine;
+}
+
+void BM_RecommendCf(benchmark::State& state) {
+  auto* engine = WarmEngine();
+  if (engine == nullptr) {
+    state.SkipWithError("engine init failed");
+    return;
+  }
+  UserId user = 1;
+  const EventTime now = Seconds(31000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine->query().RecommendCf(1 + (user++ % 200), 10, now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecommendCf);
+
+void BM_HybridRecommend(benchmark::State& state) {
+  auto* engine = WarmEngine();
+  if (engine == nullptr) {
+    state.SkipWithError("engine init failed");
+    return;
+  }
+  Demographics d;
+  d.gender = Demographics::kMale;
+  d.age_band = 2;
+  UserId user = 1;
+  const EventTime now = Seconds(31000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine->query().Recommend(1 + (user++ % 400), d, 10, now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HybridRecommend);
+
+void BM_PredictCtr(benchmark::State& state) {
+  auto* engine = WarmEngine();
+  if (engine == nullptr) {
+    state.SkipWithError("engine init failed");
+    return;
+  }
+  Demographics d;
+  d.gender = Demographics::kFemale;
+  d.age_band = 3;
+  ItemId item = 1;
+  const EventTime now = Seconds(31000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine->query().PredictCtr(1 + (item++ % 300), d, now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictCtr);
+
+void BM_HotItems(benchmark::State& state) {
+  auto* engine = WarmEngine();
+  if (engine == nullptr) {
+    state.SkipWithError("engine init failed");
+    return;
+  }
+  const EventTime now = Seconds(31000);
+  core::GroupId group = core::DemographicGroup([] {
+    Demographics d;
+    d.gender = Demographics::kMale;
+    d.age_band = 2;
+    return d;
+  }());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->query().HotItems(group, 10, now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HotItems);
+
+}  // namespace

@@ -1,0 +1,66 @@
+// Microbenchmarks: TDAccess — produce and consume throughput, memory-only
+// vs disk-backed partition logs.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "tdaccess/consumer.h"
+#include "tdaccess/producer.h"
+
+namespace {
+
+using namespace tencentrec;
+using namespace tencentrec::tdaccess;
+
+std::string TempDirFor(const char* tag) {
+  auto path = std::filesystem::temp_directory_path() /
+              ("bench_tdaccess_" + std::to_string(::getpid()) + "_" + tag);
+  std::filesystem::create_directories(path);
+  return path.string();
+}
+
+void BM_Produce(benchmark::State& state) {
+  const bool durable = state.range(0) != 0;
+  std::string dir = durable ? TempDirFor("produce") : "";
+  Cluster cluster(Cluster::Options{.num_data_servers = 2, .data_dir = dir});
+  (void)cluster.master().CreateTopic("t", 4);
+  Producer producer(&cluster, "t");
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        producer.Send("user" + std::to_string(i % 128),
+                      "payload-of-about-thirty-bytes!!", i));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (durable) std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_Produce)->Arg(0)->Arg(1)->ArgName("durable");
+
+void BM_ConsumeBatch(benchmark::State& state) {
+  Cluster cluster(Cluster::Options{.num_data_servers = 2, .data_dir = ""});
+  (void)cluster.master().CreateTopic("t", 4);
+  Producer producer(&cluster, "t");
+  constexpr int kMessages = 20000;
+  for (int i = 0; i < kMessages; ++i) {
+    (void)producer.Send("k" + std::to_string(i % 128), "payload", i);
+  }
+  for (auto _ : state) {
+    Consumer consumer(&cluster, "t", "g" + std::to_string(state.iterations()),
+                      "m");
+    (void)consumer.Subscribe();
+    size_t total = 0;
+    while (true) {
+      auto batch = consumer.Poll(512);
+      if (!batch.ok() || batch->empty()) break;
+      total += batch->size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * kMessages);
+}
+BENCHMARK(BM_ConsumeBatch)->Unit(benchmark::kMillisecond);
+
+}  // namespace

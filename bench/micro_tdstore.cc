@@ -1,0 +1,100 @@
+// Microbenchmarks: TDStore — raw engine ops per engine type, and routed
+// client ops (hash routing + replication overhead).
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "tdstore/client.h"
+#include "tdstore/cluster.h"
+
+namespace {
+
+using namespace tencentrec;
+using namespace tencentrec::tdstore;
+
+std::string TempFdbPath() {
+  static int counter = 0;
+  return (std::filesystem::temp_directory_path() /
+          ("bench_fdb_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++) + ".fdb"))
+      .string();
+}
+
+void BM_EnginePut(benchmark::State& state) {
+  EngineOptions options;
+  options.type = static_cast<EngineType>(state.range(0));
+  std::string file_path;
+  if (options.type == EngineType::kFdb) {
+    file_path = TempFdbPath();
+    options.fdb_path = file_path;
+  } else if (options.type == EngineType::kRdb) {
+    file_path = TempFdbPath();
+    options.rdb_path = file_path;
+  }
+  auto engine = CreateEngine(options);
+  int64_t i = 0;
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(i++ % 4096);
+    benchmark::DoNotOptimize((*engine)->Put(key, "value-payload-64-bytes"));
+  }
+  state.SetItemsProcessed(state.iterations());
+  engine->reset();
+  if (!file_path.empty()) std::filesystem::remove(file_path);
+}
+BENCHMARK(BM_EnginePut)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->ArgName("engine(0=mdb,1=ldb,2=fdb,3=rdb)");
+
+void BM_EngineGet(benchmark::State& state) {
+  EngineOptions options;
+  options.type = static_cast<EngineType>(state.range(0));
+  std::string file_path;
+  if (options.type == EngineType::kFdb) {
+    file_path = TempFdbPath();
+    options.fdb_path = file_path;
+  } else if (options.type == EngineType::kRdb) {
+    file_path = TempFdbPath();
+    options.rdb_path = file_path;
+  }
+  auto engine = CreateEngine(options);
+  for (int i = 0; i < 4096; ++i) {
+    (void)(*engine)->Put("key" + std::to_string(i), "value");
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(i++ % 4096);
+    benchmark::DoNotOptimize((*engine)->Get(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+  engine->reset();
+  if (!file_path.empty()) std::filesystem::remove(file_path);
+}
+BENCHMARK(BM_EngineGet)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->ArgName("engine(0=mdb,1=ldb,2=fdb,3=rdb)");
+
+void BM_RoutedClientOps(benchmark::State& state) {
+  const bool replicated = state.range(0) != 0;
+  Cluster::Options options;
+  options.num_data_servers = replicated ? 3 : 1;
+  options.num_instances = 8;
+  auto cluster = Cluster::Create(options);
+  Client client(cluster->get());
+  int64_t i = 0;
+  for (auto _ : state) {
+    std::string key = "counter" + std::to_string(i++ % 1024);
+    benchmark::DoNotOptimize(client.IncrDouble(key, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoutedClientOps)->Arg(0)->Arg(1)->ArgName("replicated");
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Microbenchmarks: the tstorm stream engine — tuple throughput through a
+// spout -> bolt topology as bolt parallelism and grouping vary.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "tstorm/cluster.h"
+#include "tstorm/topology.h"
+
+namespace {
+
+using namespace tencentrec::tstorm;
+
+class CountSpout : public ISpout {
+ public:
+  explicit CountSpout(int64_t n) : n_(n) {}
+  std::vector<StreamDecl> DeclareOutputs() const override {
+    return {{"ints", {"key", "value"}}};
+  }
+  bool NextBatch(OutputCollector& out) override {
+    for (int i = 0; i < 256 && next_ < n_; ++i, ++next_) {
+      out.Emit(Tuple::Of({next_ % 64, next_}));
+    }
+    return next_ < n_;
+  }
+
+ private:
+  int64_t n_;
+  int64_t next_ = 0;
+};
+
+class SinkBolt : public IBolt {
+ public:
+  explicit SinkBolt(std::atomic<int64_t>* sink) : sink_(sink) {}
+  void Execute(const Tuple& input, const TupleSource& source,
+               OutputCollector& out) override {
+    (void)source;
+    (void)out;
+    sink_->fetch_add(input.GetInt(1), std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t>* sink_;
+};
+
+void BM_TopologyThroughput(benchmark::State& state) {
+  const int parallelism = static_cast<int>(state.range(0));
+  const bool fields = state.range(1) != 0;
+  const int64_t tuples = 20000;
+  for (auto _ : state) {
+    std::atomic<int64_t> sink{0};
+    TopologyBuilder builder("bench");
+    builder.SetSpout("spout",
+                     [tuples] { return std::make_unique<CountSpout>(tuples); });
+    auto cfg = builder.SetBolt(
+        "sink", [&sink] { return std::make_unique<SinkBolt>(&sink); },
+        parallelism);
+    if (fields) {
+      cfg.FieldsGrouping("spout", {"key"});
+    } else {
+      cfg.ShuffleGrouping("spout");
+    }
+    auto spec = std::move(builder).Build();
+    auto cluster = LocalCluster::Create(std::move(spec).value());
+    benchmark::DoNotOptimize((*cluster)->Run());
+    benchmark::DoNotOptimize(sink.load());
+  }
+  state.SetItemsProcessed(state.iterations() * tuples);
+}
+// UseRealTime: the work happens on the topology's own threads, so CPU time
+// of the driving thread would wildly overstate throughput.
+BENCHMARK(BM_TopologyThroughput)
+    ->ArgsProduct({{1, 2, 4}, {0, 1}})
+    ->ArgNames({"bolts", "fields"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TupleHashRouting(benchmark::State& state) {
+  // Cost of hashing one tuple's key fields (the fields-grouping hot path).
+  Tuple t = Tuple::Of({int64_t{123456}, std::string("user-42"), 3.14});
+  uint64_t acc = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < t.size(); ++i) acc ^= HashValue(t.at(i));
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_TupleHashRouting);
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Advertisement CTR (the QQ use case): situational CTR prediction — the
+// paper's opening query, "During last ten seconds, what is the CTR of an
+// advertisement among the male users in Beijing, whose age is from twenty
+// to thirty" (§1), plus situation-aware ad ranking.
+//
+//   ./ad_ctr
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/ctr.h"
+
+using namespace tencentrec;
+using namespace tencentrec::core;
+
+namespace {
+
+constexpr uint16_t kBeijing = 11;
+constexpr uint16_t kShanghai = 21;
+
+Demographics Situation(Demographics::Gender gender, uint8_t age_band,
+                       uint16_t region) {
+  Demographics d;
+  d.gender = gender;
+  d.age_band = age_band;
+  d.region = region;
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  SituationalCtr::Options options;
+  options.session_length = Seconds(10);  // the query's window granularity
+  options.window_sessions = 0;           // plus a cumulative view for ranking
+  SituationalCtr ranker(options);
+
+  // A second model with a 1-session (10 s) sliding window answers the
+  // "during last ten seconds" part verbatim.
+  SituationalCtr::Options live_options = options;
+  live_options.window_sessions = 1;
+  SituationalCtr live(live_options);
+
+  // Simulated ad traffic: ad 1 resonates with Beijing males in their 20s
+  // (age band 2); ad 2 performs uniformly; ad 3 is a dud.
+  Rng rng(42);
+  for (int i = 0; i < 6000; ++i) {
+    const EventTime ts = Seconds(i / 100);  // ~100 impressions per second
+    auto gender = rng.Bernoulli(0.5) ? Demographics::kMale
+                                     : Demographics::kFemale;
+    auto age = static_cast<uint8_t>(rng.UniformInt(1, 5));
+    auto region = rng.Bernoulli(0.5) ? kBeijing : kShanghai;
+    Demographics d = Situation(gender, age, region);
+    for (ItemId ad : {1, 2, 3}) {
+      ranker.RecordImpression(ad, d, ts);
+      live.RecordImpression(ad, d, ts);
+      double p = ad == 2 ? 0.05 : (ad == 3 ? 0.01 : 0.02);
+      if (ad == 1 && gender == Demographics::kMale && age == 2 &&
+          region == kBeijing) {
+        p = 0.30;  // the situational pocket
+      }
+      if (rng.Bernoulli(p)) {
+        ranker.RecordClick(ad, d, ts);
+        live.RecordClick(ad, d, ts);
+      }
+    }
+  }
+
+  const Demographics beijing_male_20s =
+      Situation(Demographics::kMale, 2, kBeijing);
+  const Demographics shanghai_female_30s =
+      Situation(Demographics::kFemale, 3, kShanghai);
+
+  // The SIGMOD query: raw windowed counts in the last ten seconds.
+  auto counts = live.SituationCounts(1, beijing_male_20s);
+  std::printf(
+      "\"During last ten seconds, what is the CTR of ad 1 among the male\n"
+      " users in Beijing, whose age is from twenty to thirty?\"\n");
+  std::printf("  impressions=%.0f clicks=%.0f  ->  CTR %.1f%%\n\n",
+              counts.impressions, counts.clicks,
+              counts.impressions > 0
+                  ? 100.0 * counts.clicks / counts.impressions
+                  : 0.0);
+
+  // Situational estimates: the same ad reads very differently by audience.
+  std::printf("smoothed CTR of ad 1: Beijing male 20s %.1f%%   "
+              "Shanghai female 30s %.1f%%\n",
+              100.0 * ranker.PredictCtr(1, beijing_male_20s),
+              100.0 * ranker.PredictCtr(1, shanghai_female_30s));
+
+  // Ranking: ad 1 wins its pocket, ad 2 wins everywhere else.
+  auto ranked = ranker.RankByCtr({1, 2, 3}, beijing_male_20s, 3);
+  std::printf("\nranking for Beijing male 20s:   ");
+  for (const auto& r : ranked) {
+    std::printf(" ad %lld (%.1f%%)", static_cast<long long>(r.item),
+                100.0 * r.score);
+  }
+  ranked = ranker.RankByCtr({1, 2, 3}, shanghai_female_30s, 3);
+  std::printf("\nranking for Shanghai female 30s:");
+  for (const auto& r : ranked) {
+    std::printf(" ad %lld (%.1f%%)", static_cast<long long>(r.item),
+                100.0 * r.score);
+  }
+  std::printf("\n\n(sparse situations shrink toward their parent estimates "
+              "instead of\n overfitting a handful of events — hierarchical "
+              "smoothing over the\n item -> +gender -> +age -> +region "
+              "chain)\n");
+  return 0;
+}

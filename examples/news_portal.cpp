@@ -1,0 +1,117 @@
+// News portal (the Tencent News use case, §6.3): content-based
+// recommendation over a churning catalog — new articles appear all day,
+// old ones expire, and the model must follow each reader's interests in
+// real time.
+//
+//   ./news_portal
+
+#include <cstdio>
+
+#include "core/content.h"
+#include "core/demographic.h"
+
+using namespace tencentrec;
+using namespace tencentrec::core;
+
+namespace {
+
+// Content topics.
+constexpr TagId kSports = 1;
+constexpr TagId kTech = 2;
+constexpr TagId kFinance = 3;
+
+const char* TopicName(TagId tag) {
+  switch (tag) {
+    case kSports:
+      return "sports";
+    case kTech:
+      return "tech";
+    case kFinance:
+      return "finance";
+    default:
+      return "?";
+  }
+}
+
+struct Article {
+  ItemId id;
+  TagId topic;
+  const char* headline;
+};
+
+UserAction Read(UserId user, ItemId item, EventTime ts) {
+  UserAction a;
+  a.user = user;
+  a.item = item;
+  a.action = ActionType::kRead;
+  a.timestamp = ts;
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  ContentBased::Options options;
+  options.profile_half_life = Hours(8);  // interests fade within a day
+  options.item_ttl = Days(2);            // news expires
+  ContentBased portal(options);
+
+  const Article morning[] = {
+      {1, kSports, "Cup final tonight"},
+      {2, kSports, "Transfer window roundup"},
+      {3, kTech, "New flagship phone launched"},
+      {4, kFinance, "Markets rally on earnings"},
+  };
+  std::printf("-- morning: publishing %zu articles --\n",
+              std::size(morning));
+  for (const auto& article : morning) {
+    portal.RegisterItem(article.id, {{article.topic, 1.0}}, Hours(6));
+  }
+
+  // Reader 7 reads the two sports stories over breakfast.
+  portal.ProcessAction(Read(7, 1, Hours(7)));
+  portal.ProcessAction(Read(7, 2, Hours(7) + Minutes(5)));
+
+  auto profile = portal.ProfileOf(7, Hours(8));
+  std::printf("reader 7 profile at 08:00:");
+  for (const auto& [tag, w] : profile) {
+    std::printf("  %s=%.2f", TopicName(tag), w);
+  }
+  std::printf("\n");
+
+  // Breaking sports news at 09:00 — recommendable the moment it's
+  // registered, with zero behavioural data (the CB advantage over CF for
+  // news, §5.1).
+  portal.RegisterItem(10, {{kSports, 1.0}}, Hours(9));
+  auto recs = portal.RecommendForUser(7, 3, Hours(9) + Minutes(1));
+  std::printf("reader 7 at 09:01 -> ");
+  for (const auto& r : recs) {
+    std::printf(" item %lld (%.3f)", static_cast<long long>(r.item), r.score);
+  }
+  std::printf("   (item 10 is the minute-old breaking story)\n");
+
+  // In the evening the reader binges tech coverage; by night their
+  // recommendations follow, the morning's sports interest decayed.
+  portal.RegisterItem(11, {{kTech, 1.0}}, Hours(18));
+  portal.RegisterItem(12, {{kTech, 1.0}}, Hours(18));
+  portal.ProcessAction(Read(7, 3, Hours(19)));
+  portal.ProcessAction(Read(7, 11, Hours(19) + Minutes(10)));
+  recs = portal.RecommendForUser(7, 3, Hours(20));
+  std::printf("reader 7 at 20:00 -> ");
+  for (const auto& r : recs) {
+    std::printf(" item %lld (%.3f)", static_cast<long long>(r.item), r.score);
+  }
+  std::printf("   (tech now outranks this morning's sports)\n");
+
+  // Two days later, the old catalog has expired; only fresh items serve.
+  portal.RegisterItem(20, {{kTech, 1.0}}, Days(2) + Hours(12));
+  recs = portal.RecommendForUser(7, 5, Days(2) + Hours(13));
+  std::printf("reader 7 two days later -> %zu candidates (stale news "
+              "expired; item 20 remains)\n",
+              recs.size());
+  for (const auto& r : recs) {
+    std::printf("   item %lld (%.3f)\n", static_cast<long long>(r.item),
+                r.score);
+  }
+  return 0;
+}

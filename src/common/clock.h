@@ -1,0 +1,46 @@
+#ifndef TENCENTREC_COMMON_CLOCK_H_
+#define TENCENTREC_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace tencentrec {
+
+/// Event time in microseconds since an arbitrary epoch. All recommendation
+/// state (sliding windows, sessions, linked time for item pairs) is keyed on
+/// event time carried by the data, never on wall-clock time, so simulations
+/// and tests are fully deterministic and can replay history at any speed.
+using EventTime = int64_t;
+
+constexpr EventTime kMicrosPerSecond = 1'000'000;
+constexpr EventTime kMicrosPerMinute = 60 * kMicrosPerSecond;
+constexpr EventTime kMicrosPerHour = 60 * kMicrosPerMinute;
+constexpr EventTime kMicrosPerDay = 24 * kMicrosPerHour;
+
+constexpr EventTime Seconds(int64_t n) { return n * kMicrosPerSecond; }
+constexpr EventTime Minutes(int64_t n) { return n * kMicrosPerMinute; }
+constexpr EventTime Hours(int64_t n) { return n * kMicrosPerHour; }
+constexpr EventTime Days(int64_t n) { return n * kMicrosPerDay; }
+
+/// Day index (0-based) of an event time; used for per-day CTR reporting.
+constexpr int64_t DayIndex(EventTime t) { return t / kMicrosPerDay; }
+
+/// A monotonically advancing logical clock owned by a simulation. The
+/// recommender never reads it directly; it exists so generators can hand
+/// out increasing timestamps.
+class LogicalClock {
+ public:
+  explicit LogicalClock(EventTime start = 0) : now_(start) {}
+
+  EventTime now() const { return now_; }
+  void AdvanceTo(EventTime t) {
+    if (t > now_) now_ = t;
+  }
+  void Advance(EventTime delta) { now_ += delta; }
+
+ private:
+  EventTime now_;
+};
+
+}  // namespace tencentrec
+
+#endif  // TENCENTREC_COMMON_CLOCK_H_

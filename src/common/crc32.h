@@ -1,0 +1,21 @@
+#ifndef TENCENTREC_COMMON_CRC32_H_
+#define TENCENTREC_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+
+namespace tencentrec {
+
+/// CRC-32 (IEEE polynomial, reflected, table-driven). Guards every record in
+/// the TDAccess segment logs and the TDStore file engine so torn or
+/// corrupted writes surface as Status::Corruption instead of silent bad data.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace tencentrec
+
+#endif  // TENCENTREC_COMMON_CRC32_H_

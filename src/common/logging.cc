@@ -1,0 +1,42 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace tencentrec {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+namespace internal {
+
+void LogPrefix(LogLevel level, const char* file, int line) {
+  const char* name = "?";
+  switch (level) {
+    case LogLevel::kDebug:
+      name = "D";
+      break;
+    case LogLevel::kInfo:
+      name = "I";
+      break;
+    case LogLevel::kWarning:
+      name = "W";
+      break;
+    case LogLevel::kError:
+      name = "E";
+      break;
+  }
+  // Strip directories for brevity.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[%s %s:%d] ", name, base, line);
+}
+
+}  // namespace internal
+}  // namespace tencentrec

@@ -1,0 +1,46 @@
+#ifndef TENCENTREC_COMMON_LOGGING_H_
+#define TENCENTREC_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tencentrec {
+
+/// Log severities. Logging defaults to warnings and above so test and
+/// benchmark output stays readable; simulations can raise verbosity.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level that actually prints.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+void LogPrefix(LogLevel level, const char* file, int line);
+}  // namespace internal
+
+}  // namespace tencentrec
+
+/// printf-style logging. Example: TR_LOG(kInfo, "loaded %zu items", n);
+#define TR_LOG(level, ...)                                                  \
+  do {                                                                      \
+    if (::tencentrec::LogLevel::level >= ::tencentrec::GetLogLevel()) {     \
+      ::tencentrec::internal::LogPrefix(::tencentrec::LogLevel::level,      \
+                                        __FILE__, __LINE__);                \
+      std::fprintf(stderr, __VA_ARGS__);                                    \
+      std::fprintf(stderr, "\n");                                           \
+    }                                                                       \
+  } while (false)
+
+/// Fatal invariant check; active in all build types (database-style: a
+/// broken invariant in state management must never be silently ignored).
+#define TR_CHECK(cond)                                                    \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::tencentrec::internal::LogPrefix(::tencentrec::LogLevel::kError,   \
+                                        __FILE__, __LINE__);              \
+      std::fprintf(stderr, "CHECK failed: %s\n", #cond);                  \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#endif  // TENCENTREC_COMMON_LOGGING_H_

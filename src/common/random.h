@@ -1,0 +1,101 @@
+#ifndef TENCENTREC_COMMON_RANDOM_H_
+#define TENCENTREC_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace tencentrec {
+
+/// xoshiro-style deterministic PRNG. Every randomized component in the
+/// repository takes an explicit seed so all tests and benchmarks replay
+/// bit-identically.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    s0_ = HashInt(seed + 1);
+    s1_ = HashInt(seed + 0x9e3779b97f4a7c15ULL);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(hi >= lo);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed with the given mean (> 0).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) u = 1e-12;
+    return -mean * std::log(u);
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Zipf(s) sampler over {0, ..., n-1} using a precomputed CDF with binary
+/// search. Item popularity in every workload generator is Zipfian, which is
+/// what creates the paper's "hot item problem".
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    assert(n > 0);
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+  }
+
+  size_t Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace tencentrec
+
+#endif  // TENCENTREC_COMMON_RANDOM_H_

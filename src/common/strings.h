@@ -1,0 +1,29 @@
+#ifndef TENCENTREC_COMMON_STRINGS_H_
+#define TENCENTREC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tencentrec {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Parses a signed integer; returns false on any malformed input.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Parses a double; returns false on any malformed input.
+bool ParseDouble(std::string_view s, double* out);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace tencentrec
+
+#endif  // TENCENTREC_COMMON_STRINGS_H_

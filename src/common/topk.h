@@ -1,0 +1,97 @@
+#ifndef TENCENTREC_COMMON_TOPK_H_
+#define TENCENTREC_COMMON_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace tencentrec {
+
+/// A bounded best-K table of (id, score) entries with upsert semantics.
+/// Backs the per-item similar-items lists: the CF pruner needs O(1) access
+/// to the current admission threshold (the K-th best score, Algorithm 1's
+/// `t`), and updates must replace an existing entry's score rather than
+/// duplicate it.
+///
+/// Sized for K in the tens (paper uses top-k similar items); operations are
+/// linear in K which beats heap bookkeeping at that scale.
+template <typename Id>
+class TopK {
+ public:
+  struct Entry {
+    Id id;
+    double score;
+  };
+
+  explicit TopK(size_t k) : k_(k) {}
+
+  /// Inserts or updates `id` with `score`. Returns true if the entry is in
+  /// the table after the call.
+  bool Update(const Id& id, double score) {
+    for (auto& e : entries_) {
+      if (e.id == id) {
+        e.score = score;
+        Reorder();
+        return true;
+      }
+    }
+    if (entries_.size() < k_) {
+      entries_.push_back({id, score});
+      Reorder();
+      return true;
+    }
+    if (score > entries_.back().score) {
+      entries_.back() = {id, score};
+      Reorder();
+      return true;
+    }
+    return false;
+  }
+
+  /// Removes `id` if present.
+  void Erase(const Id& id) {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].id == id) {
+        entries_.erase(entries_.begin() + i);
+        return;
+      }
+    }
+  }
+
+  bool Contains(const Id& id) const {
+    for (const auto& e : entries_) {
+      if (e.id == id) return true;
+    }
+    return false;
+  }
+
+  /// The minimum score among the current K best, i.e. the score an item pair
+  /// must beat to enter this similar-items list. Zero while the table is not
+  /// yet full (everything is admissible).
+  double Threshold() const {
+    if (entries_.size() < k_) return 0.0;
+    return entries_.back().score;
+  }
+
+  /// Entries in descending score order.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return k_; }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  void Reorder() {
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) { return a.score > b.score; });
+  }
+
+  size_t k_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace tencentrec
+
+#endif  // TENCENTREC_COMMON_TOPK_H_

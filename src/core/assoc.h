@@ -1,0 +1,70 @@
+#ifndef TENCENTREC_CORE_ASSOC_H_
+#define TENCENTREC_CORE_ASSOC_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/itemcf/window_counts.h"
+#include "core/rating.h"
+#include "core/scored.h"
+
+namespace tencentrec::core {
+
+/// Association-rule recommendation (AR, §4): mines item -> item rules from
+/// per-user co-occurrence within a linked time, scoring by confidence
+///
+///   confidence(i -> j) = support(i, j) / support(i)
+///
+/// where support counts distinct user occurrences in the sliding window.
+/// Unlike CF it is asymmetric (confidence(i->j) != confidence(j->i)) and
+/// count-based (one user contributes at most 1 per item/pair), which suits
+/// "users who bought X also bought Y" placements.
+class AssocRules {
+ public:
+  struct Options {
+    /// Actions with weight below this don't count as an occurrence.
+    double min_action_weight = 1.0;
+    ActionWeights weights;
+    EventTime linked_time = Days(3);
+    EventTime session_length = Hours(6);
+    int window_sessions = 0;  ///< 0 = cumulative
+    /// Rules need at least this much joint support to fire.
+    double min_support = 2.0;
+    /// ... and at least this confidence.
+    double min_confidence = 0.05;
+    /// Cap on items remembered per user for pair generation.
+    size_t user_items_cap = 64;
+  };
+
+  explicit AssocRules(Options options);
+
+  void ProcessAction(const UserAction& action);
+
+  /// confidence(from -> to); 0 if below the support floor.
+  double Confidence(ItemId from, ItemId to) const;
+
+  /// Rules out of `item`, best confidence first.
+  Recommendations RecommendForItem(ItemId item, size_t n) const;
+
+  /// Union of rules out of the user's windowed items, seen items excluded.
+  Recommendations RecommendForUser(UserId user, size_t n) const;
+
+  const WindowedCounts& counts() const { return counts_; }
+
+ private:
+  struct UserState {
+    /// item -> last occurrence time (for linked-time pairing and dedup).
+    std::unordered_map<ItemId, EventTime> items;
+  };
+
+  Options options_;
+  WindowedCounts counts_;
+  std::unordered_map<UserId, UserState> users_;
+  /// Adjacency for candidate enumeration (items ever paired with the key;
+  /// stale partners score 0 once their window support expires).
+  std::unordered_map<ItemId, std::unordered_set<ItemId>> partners_;
+};
+
+}  // namespace tencentrec::core
+
+#endif  // TENCENTREC_CORE_ASSOC_H_

@@ -1,0 +1,86 @@
+#ifndef TENCENTREC_CORE_CONTENT_H_
+#define TENCENTREC_CORE_CONTENT_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/rating.h"
+#include "core/scored.h"
+
+namespace tencentrec::core {
+
+/// Content/tag identifier (category, keyword, topic).
+using TagId = int32_t;
+
+/// An item's content vector: (tag, weight) pairs.
+using TagVector = std::vector<std::pair<TagId, double>>;
+
+/// Content-based recommendation (CB, §4): items carry tag vectors; each
+/// user accumulates an exponentially time-decayed profile of the tags of
+/// items they acted on, and unseen items are scored by cosine between
+/// profile and item vector.
+///
+/// CB is the algorithm of choice for news (§5.1): new items keep appearing
+/// and item lifetimes are too short for CF — a fresh item is recommendable
+/// the moment RegisterItem() runs, with zero behavioural data.
+class ContentBased {
+ public:
+  struct Options {
+    ActionWeights weights;
+    /// Profile half-life: a tag's contribution halves every this long.
+    EventTime profile_half_life = Hours(12);
+    /// Items older than this are dropped from the candidate index (news
+    /// expiry). 0 = never expire.
+    EventTime item_ttl = 0;
+    /// Per-user cap on remembered seen-items (excluded from results).
+    size_t seen_cap = 256;
+  };
+
+  explicit ContentBased(Options options);
+
+  /// Adds (or replaces) an item's content vector; `published` drives expiry.
+  void RegisterItem(ItemId item, TagVector tags, EventTime published);
+  void RemoveItem(ItemId item);
+  bool HasItem(ItemId item) const { return items_.count(item) > 0; }
+  size_t NumItems() const { return items_.size(); }
+
+  /// Folds one action into the user's tag profile.
+  void ProcessAction(const UserAction& action);
+
+  /// Top-n unseen, unexpired items by cosine(profile, item). Candidates
+  /// come from the inverted tag index, so cost scales with the user's
+  /// profile breadth, not the catalog.
+  Recommendations RecommendForUser(UserId user, size_t n,
+                                   EventTime now) const;
+
+  /// The user's current decayed tag profile (test hook).
+  std::vector<std::pair<TagId, double>> ProfileOf(UserId user,
+                                                  EventTime now) const;
+
+ private:
+  struct ItemEntry {
+    TagVector tags;
+    double norm = 0.0;
+    EventTime published = 0;
+  };
+
+  struct Profile {
+    std::unordered_map<TagId, double> weights;  ///< as of last_update
+    EventTime last_update = 0;
+    std::unordered_set<ItemId> seen;
+  };
+
+  /// Applies exponential decay bringing the profile to `now`.
+  void DecayProfile(Profile* profile, EventTime now) const;
+
+  Options options_;
+  double decay_lambda_ = 0.0;  ///< ln2 / half_life
+  std::unordered_map<ItemId, ItemEntry> items_;
+  std::unordered_map<TagId, std::vector<ItemId>> tag_index_;
+  std::unordered_map<UserId, Profile> profiles_;
+};
+
+}  // namespace tencentrec::core
+
+#endif  // TENCENTREC_CORE_CONTENT_H_

@@ -1,0 +1,98 @@
+#ifndef TENCENTREC_CORE_CTR_H_
+#define TENCENTREC_CORE_CTR_H_
+
+#include <deque>
+#include <unordered_map>
+
+#include "core/rating.h"
+#include "core/scored.h"
+
+namespace tencentrec::core {
+
+/// Deepest CTR-chain level the situation's known attributes support (0..3):
+/// item / +gender / +age band / +region.
+int CtrMaxLevel(const Demographics& d);
+
+/// Packed counter key for one (item, level, situation) cell. Item occupies
+/// the low 32 bits, so any item-keyed partitioning co-locates all of an
+/// item's situational counters (single writer per item).
+uint64_t CtrLevelKey(ItemId item, int level, const Demographics& d);
+
+/// Situational CTR prediction (the "CTR" algorithm of §4/§5.1, used for QQ
+/// advertisement recommendation, and the engine behind queries like
+/// "during the last ten seconds, what is the CTR of an advertisement among
+/// male users in Beijing aged 20-30" from §1).
+///
+/// Impressions and clicks are counted per situation at a chain of
+/// granularities:
+///
+///   level 0: item (global)
+///   level 1: item + gender
+///   level 2: item + gender + age band
+///   level 3: item + gender + age band + region
+///
+/// over a sliding window. Prediction walks the chain from coarse to fine
+/// with hierarchical Bayesian smoothing: each level's estimate is shrunk
+/// toward its parent by a pseudo-count prior, so sparse fine-grained cells
+/// fall back gracefully instead of over-fitting a handful of events.
+class SituationalCtr {
+ public:
+  struct Options {
+    /// Window sessions x session length (e.g. 10 seconds for the §1 query).
+    EventTime session_length = Minutes(10);
+    int window_sessions = 0;  ///< 0 = cumulative
+    /// Pseudo-impressions anchoring each level to its parent estimate.
+    double prior_strength = 20.0;
+    /// Global prior CTR for the root of the chain.
+    double base_ctr = 0.02;
+  };
+
+  explicit SituationalCtr(Options options);
+
+  /// Counts an impression (kImpression) or a click (kClick) of `item` in
+  /// the acting user's situation. Other action types are ignored.
+  void ProcessAction(const UserAction& action);
+
+  void RecordImpression(ItemId item, const Demographics& d, EventTime ts);
+  void RecordClick(ItemId item, const Demographics& d, EventTime ts);
+
+  /// Smoothed CTR estimate for the most specific level the situation
+  /// provides (unknown attributes stop the chain early).
+  double PredictCtr(ItemId item, const Demographics& d) const;
+
+  /// Raw windowed counts at the most specific level (the §1 query).
+  struct Counts {
+    double impressions = 0.0;
+    double clicks = 0.0;
+  };
+  Counts SituationCounts(ItemId item, const Demographics& d) const;
+
+  /// Ranks candidate ads by predicted CTR for the situation.
+  Recommendations RankByCtr(const std::vector<ItemId>& candidates,
+                            const Demographics& d, size_t n) const;
+
+ private:
+  using Key = uint64_t;
+
+  struct Session {
+    int64_t id = 0;
+    std::unordered_map<Key, Counts> counts;
+  };
+
+  int64_t SessionOf(EventTime ts) const { return ts / session_length_; }
+  bool InWindow(int64_t session_id) const {
+    return options_.window_sessions <= 0 ||
+           session_id > latest_session_ - options_.window_sessions;
+  }
+  void Add(ItemId item, const Demographics& d, EventTime ts, bool click);
+  Counts WindowCounts(Key key) const;
+
+  Options options_;
+  EventTime session_length_;
+  int64_t latest_session_ = -1;
+  std::deque<Session> sessions_;
+};
+
+}  // namespace tencentrec::core
+
+#endif  // TENCENTREC_CORE_CTR_H_

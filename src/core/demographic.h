@@ -1,0 +1,74 @@
+#ifndef TENCENTREC_CORE_DEMOGRAPHIC_H_
+#define TENCENTREC_CORE_DEMOGRAPHIC_H_
+
+#include <deque>
+#include <unordered_map>
+
+#include "core/rating.h"
+#include "core/scored.h"
+
+namespace tencentrec::core {
+
+/// Demographic-based recommendation (DB, §4.2): users are clustered into
+/// demographic groups (gender x age band), each group maintains
+/// sliding-window popularity counts, and recommendation = the group's hot
+/// items. Every group also feeds the global group 0, which serves users
+/// with unknown demographics (§6.4: "for the user who does not have the
+/// information like gender or age, we will use the global demographic
+/// group").
+///
+/// DB is the data-sparsity complement: when CF/CB cannot produce enough
+/// results (new or inactive user), the hybrid recommender falls back to
+/// these hot lists.
+class DemographicRecommender {
+ public:
+  struct Options {
+    ActionWeights weights;
+    EventTime session_length = Hours(1);
+    /// Sessions in the popularity window; 0 = cumulative.
+    int window_sessions = 24;
+  };
+
+  explicit DemographicRecommender(Options options);
+
+  void ProcessAction(const UserAction& action);
+
+  /// Top-n hot items of a group within the window. Falls back to the
+  /// global group when the group has no data.
+  Recommendations HotItems(GroupId group, size_t n) const;
+
+  Recommendations RecommendForUser(const Demographics& demographics,
+                                   size_t n) const {
+    return HotItems(DemographicGroup(demographics), n);
+  }
+
+  /// Live (windowed) popularity score of an item within a group.
+  double Popularity(GroupId group, ItemId item) const;
+
+  size_t NumGroups() const { return groups_.size(); }
+
+ private:
+  struct Session {
+    int64_t id = 0;
+    std::unordered_map<ItemId, double> counts;
+  };
+  struct GroupCounts {
+    std::deque<Session> sessions;  ///< oldest first
+  };
+
+  int64_t SessionOf(EventTime ts) const { return ts / session_length_; }
+  bool InWindow(int64_t session_id) const {
+    return options_.window_sessions <= 0 ||
+           session_id > latest_session_ - options_.window_sessions;
+  }
+  void Add(GroupId group, ItemId item, double delta, int64_t session_id);
+
+  Options options_;
+  EventTime session_length_;
+  int64_t latest_session_ = -1;
+  std::unordered_map<GroupId, GroupCounts> groups_;
+};
+
+}  // namespace tencentrec::core
+
+#endif  // TENCENTREC_CORE_DEMOGRAPHIC_H_

@@ -1,0 +1,124 @@
+#include "core/itemcf/basic_cf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tencentrec::core {
+
+void BasicItemCf::SetRating(UserId user, ItemId item, double rating) {
+  ratings_[user][item] = rating;
+}
+
+double BasicItemCf::RatingOf(UserId user, ItemId item) const {
+  auto uit = ratings_.find(user);
+  if (uit == ratings_.end()) return 0.0;
+  auto iit = uit->second.find(item);
+  return iit == uit->second.end() ? 0.0 : iit->second;
+}
+
+void BasicItemCf::ComputeSimilarities() {
+  similarities_.clear();
+  neighbors_.clear();
+
+  // Accumulate numerators over co-rating users and per-item norms.
+  std::unordered_map<PairKey, double, PairKeyHash> numerators;
+  std::unordered_map<ItemId, double> norms;  // Σr² (cosine) or Σr (Eq. 4)
+
+  for (const auto& [user, items] : ratings_) {
+    std::vector<std::pair<ItemId, double>> rated(items.begin(), items.end());
+    for (const auto& [item, r] : rated) {
+      norms[item] += measure_ == SimilarityMeasure::kCosine ? r * r : r;
+    }
+    for (size_t a = 0; a < rated.size(); ++a) {
+      for (size_t b = a + 1; b < rated.size(); ++b) {
+        const double contrib =
+            measure_ == SimilarityMeasure::kCosine
+                ? rated[a].second * rated[b].second
+                : std::min(rated[a].second, rated[b].second);
+        numerators[PairKey(rated[a].first, rated[b].first)] += contrib;
+      }
+    }
+  }
+
+  for (const auto& [pair, num] : numerators) {
+    const double na = norms[pair.lo];
+    const double nb = norms[pair.hi];
+    if (na <= 0.0 || nb <= 0.0) continue;
+    double sim = num / (std::sqrt(na) * std::sqrt(nb));
+    if (support_shrinkage_ > 0.0) sim *= num / (num + support_shrinkage_);
+    if (sim <= 0.0) continue;
+    similarities_[pair] = sim;
+    neighbors_[pair.lo].emplace_back(pair.hi, sim);
+    neighbors_[pair.hi].emplace_back(pair.lo, sim);
+  }
+  for (auto& [item, list] : neighbors_) {
+    std::sort(list.begin(), list.end(), [](const auto& x, const auto& y) {
+      if (x.second != y.second) return x.second > y.second;
+      return x.first < y.first;
+    });
+  }
+}
+
+double BasicItemCf::Similarity(ItemId a, ItemId b) const {
+  auto it = similarities_.find(PairKey(a, b));
+  return it == similarities_.end() ? 0.0 : it->second;
+}
+
+Recommendations BasicItemCf::NeighborsOf(ItemId item, size_t k) const {
+  Recommendations out;
+  auto nit = neighbors_.find(item);
+  if (nit == neighbors_.end()) return out;
+  for (const auto& [other, sim] : nit->second) {
+    if (out.size() >= k) break;
+    out.push_back({other, sim});
+  }
+  return out;
+}
+
+Recommendations BasicItemCf::RecommendForUser(UserId user, size_t n,
+                                              size_t k) const {
+  auto uit = ratings_.find(user);
+  if (uit == ratings_.end()) return {};
+  const auto& rated = uit->second;
+
+  // Candidates: neighbours of rated items.
+  std::unordered_map<ItemId, bool> candidates;
+  for (const auto& [item, r] : rated) {
+    auto nit = neighbors_.find(item);
+    if (nit == neighbors_.end()) continue;
+    size_t taken = 0;
+    for (const auto& [other, sim] : nit->second) {
+      if (taken++ >= k) break;
+      if (rated.count(other) > 0) continue;
+      candidates[other] = true;
+    }
+  }
+
+  Recommendations scored;
+  for (const auto& [p, unused] : candidates) {
+    // Eq. 2: weighted average over the k neighbours of p the user rated.
+    auto nit = neighbors_.find(p);
+    if (nit == neighbors_.end()) continue;
+    double num = 0.0;
+    double den = 0.0;
+    size_t taken = 0;
+    for (const auto& [q, sim] : nit->second) {
+      if (taken++ >= k) break;
+      auto rit = rated.find(q);
+      if (rit == rated.end()) continue;
+      num += sim * rit->second;
+      den += sim;
+    }
+    if (den <= 0.0) continue;
+    scored.push_back({p, (num / den) * (1.0 + std::log1p(den))});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredItem& a, const ScoredItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.item < b.item;
+            });
+  if (scored.size() > n) scored.resize(n);
+  return scored;
+}
+
+}  // namespace tencentrec::core

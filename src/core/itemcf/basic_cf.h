@@ -1,0 +1,64 @@
+#ifndef TENCENTREC_CORE_ITEMCF_BASIC_CF_H_
+#define TENCENTREC_CORE_ITEMCF_BASIC_CF_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/itemcf/pair_key.h"
+#include "core/scored.h"
+
+namespace tencentrec::core {
+
+/// The textbook batch item-based CF of §4.1.1 (Eq. 1–2), plus the paper's
+/// min-co-rating variant (Eq. 4) computed the batch way. It rebuilds the
+/// whole similarity table from a ratings snapshot — exactly what the
+/// incremental algorithm exists to avoid — and serves two roles:
+///  - correctness oracle: after any action sequence, the incremental
+///    model's similarities must equal a batch recompute over the same
+///    ratings (tested);
+///  - the "traditional recommender" baseline whose model refreshes only
+///    every T hours in the evaluation harness.
+class BasicItemCf {
+ public:
+  enum class SimilarityMeasure {
+    kCosine,       ///< Eq. 1: Σ r_up·r_uq / (‖i_p‖₂·‖i_q‖₂)
+    kMinCoRating,  ///< Eq. 4: Σ min(r_up, r_uq) / (√Σr_up·√Σr_uq)
+  };
+
+  /// `support_shrinkage` damps low-support similarities by
+  /// numerator/(numerator + shrinkage), matching PracticalItemCf's option
+  /// so baseline comparisons stay apples-to-apples.
+  explicit BasicItemCf(SimilarityMeasure measure = SimilarityMeasure::kCosine,
+                       double support_shrinkage = 0.0)
+      : measure_(measure), support_shrinkage_(support_shrinkage) {}
+
+  /// Sets user u's rating for an item (replaces any previous value).
+  void SetRating(UserId user, ItemId item, double rating);
+  double RatingOf(UserId user, ItemId item) const;
+
+  /// Recomputes the full similar-items table (O(users · items-per-user²)).
+  void ComputeSimilarities();
+
+  /// Similarity from the last ComputeSimilarities() (0 if never co-rated).
+  double Similarity(ItemId a, ItemId b) const;
+
+  /// Eq. 2 over the k most similar co-rated neighbours of each unseen item.
+  Recommendations RecommendForUser(UserId user, size_t n, size_t k = 20) const;
+
+  /// The item's most similar neighbours from the last batch recompute.
+  Recommendations NeighborsOf(ItemId item, size_t k) const;
+
+  size_t num_users() const { return ratings_.size(); }
+
+ private:
+  SimilarityMeasure measure_;
+  double support_shrinkage_ = 0.0;
+  std::unordered_map<UserId, std::unordered_map<ItemId, double>> ratings_;
+  std::unordered_map<PairKey, double, PairKeyHash> similarities_;
+  std::unordered_map<ItemId, std::vector<std::pair<ItemId, double>>>
+      neighbors_;  ///< per item, similarity-descending
+};
+
+}  // namespace tencentrec::core
+
+#endif  // TENCENTREC_CORE_ITEMCF_BASIC_CF_H_

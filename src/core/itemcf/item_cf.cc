@@ -1,0 +1,167 @@
+#include "core/itemcf/item_cf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tencentrec::core {
+
+PracticalItemCf::PracticalItemCf(Options options)
+    : options_(std::move(options)),
+      counts_(options_.session_length, options_.window_sessions) {
+  if (options_.hoeffding_delta <= 0.0 || options_.hoeffding_delta >= 1.0) {
+    options_.hoeffding_delta = 0.05;
+  }
+  hoeffding_ln_inv_delta_ = std::log(1.0 / options_.hoeffding_delta);
+}
+
+void PracticalItemCf::ProcessAction(const UserAction& action) {
+  ++stats_.actions;
+  UserHistory& history = histories_[action.user];
+  if (options_.history_ttl > 0) {
+    history.EvictOlderThan(action.timestamp - options_.history_ttl);
+  }
+  RatingUpdate update =
+      history.Apply(action, options_.weights, options_.linked_time);
+
+  if (update.rating_delta > 0.0) {
+    counts_.AddItem(update.item, update.rating_delta, action.timestamp);
+  } else {
+    counts_.AdvanceTo(action.timestamp);
+  }
+  for (const auto& pair : update.pairs) {
+    UpdatePair(update.item, pair.other, pair.co_rating_delta,
+               action.timestamp);
+  }
+}
+
+double PracticalItemCf::ThresholdOf(ItemId item) const {
+  auto it = similar_.find(item);
+  return it == similar_.end() ? 0.0 : it->second.Threshold();
+}
+
+void PracticalItemCf::UpdatePair(ItemId i, ItemId j, double co_delta,
+                                 EventTime ts) {
+  const PairKey key(i, j);
+  if (options_.enable_pruning && pruned_.count(key) > 0) {
+    // Algorithm 1 line 4: pruned pairs skip the whole update — this is the
+    // computation the pruning exists to save.
+    ++stats_.pair_updates_pruned;
+    return;
+  }
+
+  counts_.AddPair(i, j, co_delta, ts);
+  ++stats_.pair_updates;
+
+  const double sim = EffectiveSimilarity(i, j);
+
+  // Maintain both items' similar-items lists.
+  similar_.try_emplace(i, static_cast<size_t>(options_.top_k))
+      .first->second.Update(j, sim);
+  similar_.try_emplace(j, static_cast<size_t>(options_.top_k))
+      .first->second.Update(i, sim);
+
+  if (!options_.enable_pruning) return;
+
+  const uint32_t n = ++pair_observations_[key];
+  // Pruning is bidirectional: use the min threshold of the two lists
+  // (Algorithm 1 line 12). Either list not yet full -> threshold 0 ->
+  // nothing can be pruned (everything is still admissible).
+  const double t = std::min(ThresholdOf(i), ThresholdOf(j));
+  if (t <= 0.0) return;
+  // Eq. 9 with R = 1 (similarity scores live in [0, 1]).
+  const double epsilon =
+      std::sqrt(hoeffding_ln_inv_delta_ / (2.0 * static_cast<double>(n)));
+  if (epsilon < t - sim) {
+    pruned_.insert(key);
+    ++stats_.pairs_pruned;
+    // The pair can no longer enter either list; drop any stale entry.
+    auto it_i = similar_.find(i);
+    if (it_i != similar_.end()) it_i->second.Erase(j);
+    auto it_j = similar_.find(j);
+    if (it_j != similar_.end()) it_j->second.Erase(i);
+  }
+}
+
+double PracticalItemCf::EffectiveSimilarity(ItemId a, ItemId b) const {
+  double sim = counts_.Similarity(a, b);
+  if (sim > 0.0 && options_.support_shrinkage > 0.0) {
+    const double pc = counts_.PairCount(a, b);
+    sim *= pc / (pc + options_.support_shrinkage);
+  }
+  return sim;
+}
+
+const TopK<ItemId>* PracticalItemCf::SimilarItems(ItemId item) const {
+  auto it = similar_.find(item);
+  return it == similar_.end() ? nullptr : &it->second;
+}
+
+std::vector<ItemId> PracticalItemCf::RecentItemsOf(UserId user) const {
+  auto it = histories_.find(user);
+  if (it == histories_.end()) return {};
+  const size_t k = options_.recent_k > 0
+                       ? static_cast<size_t>(options_.recent_k)
+                       : it->second.size();
+  return it->second.RecentItems(k);
+}
+
+double PracticalItemCf::UserRating(UserId user, ItemId item) const {
+  auto it = histories_.find(user);
+  return it == histories_.end() ? 0.0 : it->second.RatingOf(item);
+}
+
+Recommendations PracticalItemCf::RecommendForUser(UserId user,
+                                                  size_t n) const {
+  auto hit = histories_.find(user);
+  if (hit == histories_.end()) return {};
+  const UserHistory& history = hit->second;
+
+  const std::vector<ItemId> recent = RecentItemsOf(user);
+  if (recent.empty()) return {};
+
+  // Candidates: similar items of the user's recent items, minus seen ones.
+  std::unordered_set<ItemId> candidates;
+  for (ItemId q : recent) {
+    const TopK<ItemId>* sims = SimilarItems(q);
+    if (sims == nullptr) continue;
+    for (const auto& entry : sims->entries()) {
+      if (entry.score <= 0.0) continue;
+      if (history.RatingOf(entry.id) > 0.0) continue;  // already rated
+      candidates.insert(entry.id);
+    }
+  }
+  if (candidates.empty()) return {};
+
+  // Eq. 2 restricted to the recent-k set: weighted average of the user's
+  // ratings on recent items, weighted by current similarity.
+  Recommendations scored;
+  scored.reserve(candidates.size());
+  for (ItemId p : candidates) {
+    double num = 0.0;
+    double den = 0.0;
+    for (ItemId q : recent) {
+      const double sim = EffectiveSimilarity(p, q);
+      if (sim <= 0.0) continue;
+      num += sim * history.RatingOf(q);
+      den += sim;
+    }
+    if (den <= 0.0) continue;
+    // Score = predicted rating, tilted by total similarity mass so that a
+    // candidate related to several recent items beats one related to a
+    // single item with the same predicted rating.
+    scored.push_back({p, (num / den) * (1.0 + std::log1p(den))});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredItem& a, const ScoredItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.item < b.item;  // deterministic ties
+            });
+  if (scored.size() > n) scored.resize(n);
+  return scored;
+}
+
+bool PracticalItemCf::IsPruned(ItemId a, ItemId b) const {
+  return pruned_.count(PairKey(a, b)) > 0;
+}
+
+}  // namespace tencentrec::core

@@ -1,0 +1,33 @@
+#ifndef TENCENTREC_CORE_ITEMCF_PAIR_KEY_H_
+#define TENCENTREC_CORE_ITEMCF_PAIR_KEY_H_
+
+#include <utility>
+
+#include "common/hash.h"
+#include "core/action.h"
+
+namespace tencentrec::core {
+
+/// Canonical (unordered) item-pair key: co-rating and similarity are
+/// symmetric, so (a, b) and (b, a) must address the same counter.
+struct PairKey {
+  ItemId lo = 0;
+  ItemId hi = 0;
+
+  PairKey() = default;
+  PairKey(ItemId a, ItemId b) : lo(a < b ? a : b), hi(a < b ? b : a) {}
+
+  bool operator==(const PairKey&) const = default;
+};
+
+struct PairKeyHash {
+  size_t operator()(const PairKey& k) const {
+    return static_cast<size_t>(
+        HashCombine(HashInt(static_cast<uint64_t>(k.lo)),
+                    HashInt(static_cast<uint64_t>(k.hi))));
+  }
+};
+
+}  // namespace tencentrec::core
+
+#endif  // TENCENTREC_CORE_ITEMCF_PAIR_KEY_H_

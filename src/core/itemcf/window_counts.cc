@@ -1,0 +1,99 @@
+#include "core/itemcf/window_counts.h"
+
+#include <cmath>
+
+namespace tencentrec::core {
+
+WindowedCounts::Session* WindowedCounts::SessionFor(EventTime ts) {
+  // Cumulative mode: one ever-growing pseudo-session.
+  if (window_sessions_ <= 0) {
+    if (sessions_.empty()) {
+      sessions_.push_back(Session{});
+      latest_session_ = 0;
+    }
+    return &sessions_.back();
+  }
+
+  AdvanceTo(ts);
+  const int64_t id = SessionOf(ts);
+  for (auto& s : sessions_) {
+    if (s.id == id) return &s;
+  }
+  // Late (out-of-window) data lands in the oldest live session rather than
+  // resurrecting an expired one; with in-order streams this branch only
+  // creates the brand-new current session.
+  if (!sessions_.empty() && id < sessions_.front().id) {
+    return &sessions_.front();
+  }
+  Session s;
+  s.id = id;
+  sessions_.push_back(std::move(s));
+  return &sessions_.back();
+}
+
+void WindowedCounts::AdvanceTo(EventTime ts) {
+  if (window_sessions_ <= 0) return;
+  const int64_t id = SessionOf(ts);
+  if (id > latest_session_) latest_session_ = id;
+  while (!sessions_.empty() && !InWindow(sessions_.front().id)) {
+    sessions_.pop_front();
+  }
+}
+
+void WindowedCounts::AddItem(ItemId item, double delta, EventTime ts) {
+  SessionFor(ts)->item_counts[item] += delta;
+}
+
+void WindowedCounts::AddPair(ItemId a, ItemId b, double delta, EventTime ts) {
+  SessionFor(ts)->pair_counts[PairKey(a, b)] += delta;
+}
+
+double WindowedCounts::ItemCount(ItemId item) const {
+  double sum = 0.0;
+  for (const auto& s : sessions_) {
+    if (!InWindow(s.id)) continue;
+    auto it = s.item_counts.find(item);
+    if (it != s.item_counts.end()) sum += it->second;
+  }
+  return sum;
+}
+
+double WindowedCounts::PairCount(ItemId a, ItemId b) const {
+  const PairKey key(a, b);
+  double sum = 0.0;
+  for (const auto& s : sessions_) {
+    if (!InWindow(s.id)) continue;
+    auto it = s.pair_counts.find(key);
+    if (it != s.pair_counts.end()) sum += it->second;
+  }
+  return sum;
+}
+
+double WindowedCounts::Similarity(ItemId a, ItemId b) const {
+  const double ca = ItemCount(a);
+  const double cb = ItemCount(b);
+  if (ca <= 0.0 || cb <= 0.0) return 0.0;
+  const double pc = PairCount(a, b);
+  if (pc <= 0.0) return 0.0;
+  return pc / (std::sqrt(ca) * std::sqrt(cb));
+}
+
+size_t WindowedCounts::TrackedItems() const {
+  std::unordered_map<ItemId, bool> seen;
+  for (const auto& s : sessions_) {
+    if (!InWindow(s.id)) continue;
+    for (const auto& [item, c] : s.item_counts) seen[item] = true;
+  }
+  return seen.size();
+}
+
+size_t WindowedCounts::TrackedPairs() const {
+  std::unordered_map<PairKey, bool, PairKeyHash> seen;
+  for (const auto& s : sessions_) {
+    if (!InWindow(s.id)) continue;
+    for (const auto& [pair, c] : s.pair_counts) seen[pair] = true;
+  }
+  return seen.size();
+}
+
+}  // namespace tencentrec::core

@@ -1,0 +1,76 @@
+#ifndef TENCENTREC_CORE_RATING_H_
+#define TENCENTREC_CORE_RATING_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/action.h"
+
+namespace tencentrec::core {
+
+/// Change produced by one user action: the user's rating delta for the
+/// acted-on item, and co-rating deltas for every related item pair. These
+/// are exactly the ∆r_up and ∆co-rating(ip, iq) that flow to the
+/// itemCount/pairCount layers of Fig. 4.
+struct RatingUpdate {
+  ItemId item = 0;
+  /// ∆r_u,item (0 when the action didn't raise the max-weight rating).
+  double rating_delta = 0.0;
+  /// New value of r_u,item after the action.
+  double new_rating = 0.0;
+
+  struct PairDelta {
+    ItemId other = 0;
+    /// ∆co-rating(item, other) = ∆min(r_u,item, r_u,other).
+    double co_rating_delta = 0.0;
+  };
+  /// One entry per item the user rated within the linked time (§4.1.4).
+  std::vector<PairDelta> pairs;
+};
+
+/// One user's behaviour history: current max-weight rating per item and the
+/// action recency needed for the linked-time rule and recent-k filtering.
+/// This is the state of Fig. 4's first layer (grouped by user id).
+class UserHistory {
+ public:
+  struct ItemState {
+    double rating = 0.0;
+    EventTime last_action = 0;
+  };
+
+  /// Applies an action: updates the stored rating (max rule, §4.1.2),
+  /// computes the rating delta and the co-rating deltas against every other
+  /// item this user rated within `linked_time` of the action.
+  ///
+  /// Items whose last action is older than `linked_time` generate no pair
+  /// (the real-time pruning section's linked-time rule); their stored
+  /// ratings remain for recent-k queries until EvictOlderThan.
+  RatingUpdate Apply(const UserAction& action, const ActionWeights& weights,
+                     EventTime linked_time);
+
+  /// Current rating for an item (0 when unrated).
+  double RatingOf(ItemId item) const;
+
+  /// The user's `k` most recently acted-on items, newest first (the
+  /// real-time personalized filtering set, §4.3).
+  std::vector<ItemId> RecentItems(size_t k) const;
+
+  /// Drops items last touched before `cutoff` (bounding history size).
+  void EvictOlderThan(EventTime cutoff);
+
+  /// Directly installs an item state (deserialization path; bypasses the
+  /// max rule).
+  void Restore(ItemId item, double rating, EventTime last_action) {
+    items_[item] = ItemState{rating, last_action};
+  }
+
+  size_t size() const { return items_.size(); }
+  const std::unordered_map<ItemId, ItemState>& items() const { return items_; }
+
+ private:
+  std::unordered_map<ItemId, ItemState> items_;
+};
+
+}  // namespace tencentrec::core
+
+#endif  // TENCENTREC_CORE_RATING_H_

@@ -1,0 +1,36 @@
+#include "core/recommender.h"
+
+#include <unordered_set>
+
+namespace tencentrec::core {
+
+Recommendations HybridRecommender::Recommend(UserId user,
+                                             const Demographics& demographics,
+                                             size_t n) const {
+  Recommendations out = cf_.RecommendForUser(user, n);
+  if (options_.min_cf_score > 0.0) {
+    std::erase_if(out, [&](const ScoredItem& s) {
+      return s.score < options_.min_cf_score;
+    });
+  }
+  if (out.size() >= n) return out;
+
+  // DB complement: group hot items, excluding CF picks and items the user
+  // recently interacted with. DB scores are popularity counts on a
+  // different scale than CF's predicted ratings; complements are appended
+  // after CF picks (they fill the tail, never outrank a CF hit).
+  std::unordered_set<ItemId> exclude;
+  for (const auto& s : out) exclude.insert(s.item);
+  for (ItemId i : cf_.RecentItemsOf(user)) exclude.insert(i);
+
+  const Recommendations hot =
+      db_.RecommendForUser(demographics, n + exclude.size());
+  for (const auto& h : hot) {
+    if (out.size() >= n) break;
+    if (exclude.count(h.item) > 0) continue;
+    out.push_back(h);
+  }
+  return out;
+}
+
+}  // namespace tencentrec::core

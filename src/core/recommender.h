@@ -1,0 +1,55 @@
+#ifndef TENCENTREC_CORE_RECOMMENDER_H_
+#define TENCENTREC_CORE_RECOMMENDER_H_
+
+#include <memory>
+
+#include "core/demographic.h"
+#include "core/itemcf/item_cf.h"
+#include "core/scored.h"
+
+namespace tencentrec::core {
+
+/// The composition TencentRec actually serves (§4.2–4.3, §6.4): the
+/// practical item-based CF produces personalized candidates from the user's
+/// real-time recent-k items, and whenever CF "cannot effectively generate
+/// good recommendations" — new user, inactive user, sparse position — the
+/// demographic-based algorithm complements the list with the user's group
+/// hot items (global group when demographics are unknown).
+class HybridRecommender {
+ public:
+  struct Options {
+    PracticalItemCf::Options cf;
+    DemographicRecommender::Options db;
+    /// CF scores below this are considered ineffective and yield to DB
+    /// complement ("the item pairs' similarity scores are too low", §4.3).
+    double min_cf_score = 0.0;
+  };
+
+  explicit HybridRecommender(Options options)
+      : options_(options), cf_(options.cf), db_(options.db) {}
+
+  /// Ingests one action into both models.
+  void ProcessAction(const UserAction& action) {
+    cf_.ProcessAction(action);
+    db_.ProcessAction(action);
+  }
+
+  /// CF first, DB complement to fill up to n. Items the user recently
+  /// touched are filtered from the complement too.
+  Recommendations Recommend(UserId user, const Demographics& demographics,
+                            size_t n) const;
+
+  PracticalItemCf& cf() { return cf_; }
+  const PracticalItemCf& cf() const { return cf_; }
+  DemographicRecommender& db() { return db_; }
+  const DemographicRecommender& db() const { return db_; }
+
+ private:
+  Options options_;
+  PracticalItemCf cf_;
+  DemographicRecommender db_;
+};
+
+}  // namespace tencentrec::core
+
+#endif  // TENCENTREC_CORE_RECOMMENDER_H_

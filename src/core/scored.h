@@ -1,0 +1,23 @@
+#ifndef TENCENTREC_CORE_SCORED_H_
+#define TENCENTREC_CORE_SCORED_H_
+
+#include <vector>
+
+#include "core/action.h"
+
+namespace tencentrec::core {
+
+/// A recommendation candidate with its predicted score. All algorithms
+/// return descending-score lists of these.
+struct ScoredItem {
+  ItemId item = 0;
+  double score = 0.0;
+
+  bool operator==(const ScoredItem&) const = default;
+};
+
+using Recommendations = std::vector<ScoredItem>;
+
+}  // namespace tencentrec::core
+
+#endif  // TENCENTREC_CORE_SCORED_H_

@@ -1,0 +1,74 @@
+#include "engine/monitor.h"
+
+#include <cstdio>
+
+namespace tencentrec::engine {
+
+Result<MonitorSnapshot> CollectMonitorSnapshot(TencentRec* engine) {
+  MonitorSnapshot snapshot;
+
+  for (const auto& m : engine->last_metrics()) {
+    snapshot.topology.push_back(
+        {m.component, m.tuples_executed, m.tuples_emitted, m.restarts});
+  }
+
+  tdstore::Cluster* store = engine->store();
+  for (int s = 0; s < store->num_data_servers(); ++s) {
+    const tdstore::DataServer* server = store->data_server(s);
+    MonitorSnapshot::StoreRow row;
+    row.server_id = s;
+    row.down = server->IsDown();
+    row.reads = server->reads();
+    row.writes = server->writes();
+    row.keys = server->IsDown() ? 0 : server->TotalKeys();
+    snapshot.store.push_back(row);
+  }
+
+  // Ingestion lag: end offsets minus the processing group's commits.
+  tdaccess::Cluster* access = engine->access();
+  const std::string& topic = engine->options().topic;
+  const std::string group = "tdprocess:" + engine->options().app.app;
+  auto route = access->master().GetRoute(topic);
+  if (!route.ok()) return route.status();
+  for (const auto& pa : route->partitions) {
+    tdaccess::DataServer* server = access->data_server(pa.server_id);
+    if (server == nullptr || server->IsDown()) continue;
+    auto end = server->EndOffset(topic, pa.partition);
+    if (!end.ok()) continue;
+    auto committed = access->master().FetchOffset(topic, group, pa.partition);
+    if (!committed.ok()) continue;
+    snapshot.ingestion_lag += *end - *committed;
+  }
+  return snapshot;
+}
+
+std::string FormatMonitorSnapshot(const MonitorSnapshot& snapshot) {
+  std::string out;
+  char line[160];
+
+  out += "== topology (last run) ==\n";
+  for (const auto& row : snapshot.topology) {
+    std::snprintf(line, sizeof(line),
+                  "  %-16s executed=%-10llu emitted=%-10llu restarts=%llu\n",
+                  row.component.c_str(),
+                  static_cast<unsigned long long>(row.executed),
+                  static_cast<unsigned long long>(row.emitted),
+                  static_cast<unsigned long long>(row.restarts));
+    out += line;
+  }
+  out += "== tdstore ==\n";
+  for (const auto& row : snapshot.store) {
+    std::snprintf(line, sizeof(line),
+                  "  server %-2d %-5s reads=%-10lld writes=%-10lld keys=%zu\n",
+                  row.server_id, row.down ? "DOWN" : "up",
+                  static_cast<long long>(row.reads),
+                  static_cast<long long>(row.writes), row.keys);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "== tdaccess ==\n  ingestion lag: %lld\n",
+                static_cast<long long>(snapshot.ingestion_lag));
+  out += line;
+  return out;
+}
+
+}  // namespace tencentrec::engine

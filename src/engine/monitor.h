@@ -1,0 +1,45 @@
+#ifndef TENCENTREC_ENGINE_MONITOR_H_
+#define TENCENTREC_ENGINE_MONITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/tencentrec.h"
+
+namespace tencentrec::engine {
+
+/// The "Monitor" component of Fig. 9: a point-in-time operational snapshot
+/// of a TencentRec deployment — topology throughput from the last run,
+/// TDStore load and key counts per data server, and ingestion backlog on
+/// the TDAccess topic.
+struct MonitorSnapshot {
+  struct ComponentRow {
+    std::string component;
+    uint64_t executed = 0;
+    uint64_t emitted = 0;
+    uint64_t restarts = 0;
+  };
+  struct StoreRow {
+    int server_id = 0;
+    bool down = false;
+    int64_t reads = 0;
+    int64_t writes = 0;
+    size_t keys = 0;
+  };
+
+  std::vector<ComponentRow> topology;
+  std::vector<StoreRow> store;
+  /// Messages published to the app topic that the processing group has not
+  /// yet consumed (real-time lag).
+  int64_t ingestion_lag = 0;
+};
+
+/// Collects a snapshot from a running engine.
+Result<MonitorSnapshot> CollectMonitorSnapshot(TencentRec* engine);
+
+/// Renders a snapshot as a human-readable report.
+std::string FormatMonitorSnapshot(const MonitorSnapshot& snapshot);
+
+}  // namespace tencentrec::engine
+
+#endif  // TENCENTREC_ENGINE_MONITOR_H_

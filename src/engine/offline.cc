@@ -1,0 +1,45 @@
+#include "engine/offline.h"
+
+#include <atomic>
+
+#include "tdaccess/consumer.h"
+#include "topo/action_codec.h"
+
+namespace tencentrec::engine {
+
+namespace {
+std::atomic<int64_t> g_last_actions{0};
+}  // namespace
+
+int64_t OfflineCfJob::last_actions_replayed() { return g_last_actions.load(); }
+
+Result<core::BasicItemCf> OfflineCfJob::Run(tdaccess::Cluster* access,
+                                            const Options& options) {
+  tdaccess::Consumer consumer(access, options.topic, options.consumer_group,
+                              "offline-job");
+  TR_RETURN_IF_ERROR(consumer.Subscribe());
+  TR_RETURN_IF_ERROR(consumer.SeekToBeginning());
+
+  core::BasicItemCf model(options.measure, options.support_shrinkage);
+  int64_t replayed = 0;
+  while (true) {
+    auto batch = consumer.Poll(options.poll_batch);
+    if (!batch.ok()) return batch.status();
+    if (batch->empty()) break;
+    for (const auto& cm : *batch) {
+      auto action = topo::DecodeActionPayload(cm.message.payload);
+      if (!action.ok()) continue;  // skip malformed records
+      const double w = options.weights.Weight(action->action);
+      if (w <= 0.0) continue;
+      if (w > model.RatingOf(action->user, action->item)) {
+        model.SetRating(action->user, action->item, w);
+      }
+      ++replayed;
+    }
+  }
+  model.ComputeSimilarities();
+  g_last_actions.store(replayed);
+  return model;
+}
+
+}  // namespace tencentrec::engine

@@ -1,0 +1,42 @@
+#ifndef TENCENTREC_ENGINE_OFFLINE_H_
+#define TENCENTREC_ENGINE_OFFLINE_H_
+
+#include <string>
+
+#include "core/itemcf/basic_cf.h"
+#include "tdaccess/cluster.h"
+
+namespace tencentrec::engine {
+
+/// The offline computation platform of Fig. 9: TDAccess caches every
+/// partition on disk precisely so that batch jobs can replay the full
+/// history later (§3.2 — "the offline computation requiring the historical
+/// data"). This job consumes a topic from offset 0 under its own consumer
+/// group and builds a batch item-based CF model from scratch — the kind of
+/// nightly model the paper's "original" recommenders served, and a handy
+/// offline cross-check of the streaming state.
+class OfflineCfJob {
+ public:
+  struct Options {
+    std::string topic = "user_actions";
+    std::string consumer_group = "offline-cf";
+    core::ActionWeights weights;
+    core::BasicItemCf::SimilarityMeasure measure =
+        core::BasicItemCf::SimilarityMeasure::kMinCoRating;
+    double support_shrinkage = 0.0;
+    size_t poll_batch = 512;
+  };
+
+  /// Replays the topic's full history and returns the trained model
+  /// (similarities already computed). The consumer group's offsets are NOT
+  /// committed, so repeated runs always see the whole history.
+  static Result<core::BasicItemCf> Run(tdaccess::Cluster* access,
+                                       const Options& options);
+
+  /// Actions consumed by the last Run() in this process (observability).
+  static int64_t last_actions_replayed();
+};
+
+}  // namespace tencentrec::engine
+
+#endif  // TENCENTREC_ENGINE_OFFLINE_H_

@@ -1,0 +1,158 @@
+#include "engine/tencentrec.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+#include "topo/action_codec.h"
+#include "topo/blob_codec.h"
+#include "topo/spouts.h"
+#include "topo/topology_factory.h"
+
+namespace tencentrec::engine {
+
+TencentRec::TencentRec(Options options) : options_(std::move(options)) {}
+
+Result<std::unique_ptr<TencentRec>> TencentRec::Create(Options options) {
+  std::unique_ptr<TencentRec> engine(new TencentRec(std::move(options)));
+  Status s = engine->Init();
+  if (!s.ok()) return s;
+  return engine;
+}
+
+Status TencentRec::Init() {
+  auto store = tdstore::Cluster::Create(options_.store);
+  if (!store.ok()) return store.status();
+  store_ = std::move(store).value();
+
+  access_ = std::make_unique<tdaccess::Cluster>(options_.access);
+  TR_RETURN_IF_ERROR(
+      access_->master().CreateTopic(options_.topic, options_.topic_partitions));
+  producer_ = std::make_unique<tdaccess::Producer>(access_.get(),
+                                                   options_.topic);
+
+  app_ = std::make_unique<topo::AppContext>(store_.get(), options_.app);
+  admin_client_ = std::make_unique<tdstore::Client>(store_.get());
+  query_ = std::make_unique<topo::StoreQuery>(app_.get());
+  return Status::OK();
+}
+
+Status TencentRec::RegisterItem(core::ItemId item,
+                                const core::TagVector& tags,
+                                EventTime published) {
+  TR_RETURN_IF_ERROR(admin_client_->Put(app_->keys.ItemTags(item),
+                                        topo::EncodeTagVector(tags)));
+  TR_RETURN_IF_ERROR(
+      admin_client_->PutInt64("im:" + options_.app.app + ":" +
+                                  std::to_string(item),
+                              published));
+  // Maintain the inverted index (single-threaded admin path; read-modify-
+  // write is safe here).
+  for (const auto& [tag, w] : tags) {
+    const std::string key = app_->keys.TagIndex(tag);
+    std::vector<core::ItemId> items;
+    auto blob = admin_client_->Get(key);
+    if (blob.ok()) {
+      auto decoded = topo::DecodeItemList(*blob);
+      if (!decoded.ok()) return decoded.status();
+      items = std::move(decoded).value();
+    } else if (!blob.status().IsNotFound()) {
+      return blob.status();
+    }
+    bool present = false;
+    for (core::ItemId existing : items) {
+      if (existing == item) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) {
+      items.push_back(item);
+      TR_RETURN_IF_ERROR(admin_client_->Put(key, topo::EncodeItemList(items)));
+    }
+  }
+  return Status::OK();
+}
+
+Status TencentRec::RunTopology(
+    tstorm::SpoutFactory spout,
+    const std::vector<std::string>& restart_components, int spout_parallelism) {
+  auto spec = topo::BuildAppTopology(app_.get(), std::move(spout),
+                                     options_.materialize_results,
+                                     spout_parallelism);
+  if (!spec.ok()) return spec.status();
+
+  tstorm::LocalCluster::Options copts;
+  copts.queue_capacity = options_.queue_capacity;
+  auto cluster =
+      tstorm::LocalCluster::Create(std::move(spec).value(), copts);
+  if (!cluster.ok()) return cluster.status();
+
+  std::thread restarter;
+  if (!restart_components.empty()) {
+    // Let some tuples flow, then crash the requested bolts mid-stream.
+    restarter = std::thread([&cluster, restart_components] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      for (const auto& component : restart_components) {
+        Status s = (*cluster)->RequestRestart(component);
+        if (!s.ok()) {
+          TR_LOG(kWarning, "restart request failed: %s",
+                 s.ToString().c_str());
+        }
+      }
+    });
+  }
+  Status run = (*cluster)->Run();
+  if (restarter.joinable()) restarter.join();
+  TR_RETURN_IF_ERROR(run);
+  last_metrics_ = (*cluster)->Metrics();
+  ++batches_run_;
+  return Status::OK();
+}
+
+Status TencentRec::ProcessBatch(
+    const std::vector<core::UserAction>& actions,
+    const std::vector<std::string>& restart_components) {
+  if (options_.app.parallelism == 0 && !actions.empty()) {
+    // Automatic parallelism (§7): size the keyed bolts from this batch's
+    // event rate over its event-time span.
+    const EventTime span = std::max<EventTime>(
+        kMicrosPerSecond,
+        actions.back().timestamp - actions.front().timestamp);
+    const double events_per_second =
+        static_cast<double>(actions.size()) /
+        (static_cast<double>(span) / static_cast<double>(kMicrosPerSecond));
+    app_->options.parallelism = topo::SuggestParallelism(
+        events_per_second, options_.auto_parallelism_event_cost_us);
+    TR_LOG(kInfo, "auto parallelism: %.0f events/s -> %d instances",
+           events_per_second, app_->options.parallelism);
+  }
+  const std::vector<core::UserAction>* batch = &actions;
+  return RunTopology(
+      [batch] { return std::make_unique<topo::VectorActionSpout>(batch); },
+      restart_components, /*spout_parallelism=*/1);
+}
+
+Status TencentRec::PublishActions(
+    const std::vector<core::UserAction>& actions) {
+  for (const auto& action : actions) {
+    TR_RETURN_IF_ERROR(producer_->Send(std::to_string(action.user),
+                                       topo::EncodeActionPayload(action),
+                                       action.timestamp));
+  }
+  return Status::OK();
+}
+
+Status TencentRec::ProcessFromAccess() {
+  tdaccess::Cluster* access = access_.get();
+  const std::string topic = options_.topic;
+  const std::string group = "tdprocess:" + options_.app.app;
+  return RunTopology(
+      [access, topic, group] {
+        return std::make_unique<topo::TdAccessActionSpout>(access, topic,
+                                                           group);
+      },
+      {}, options_.spout_parallelism);
+}
+
+}  // namespace tencentrec::engine

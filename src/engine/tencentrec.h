@@ -1,0 +1,106 @@
+#ifndef TENCENTREC_ENGINE_TENCENTREC_H_
+#define TENCENTREC_ENGINE_TENCENTREC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tdaccess/cluster.h"
+#include "tdaccess/producer.h"
+#include "tdstore/cluster.h"
+#include "topo/app.h"
+#include "topo/query.h"
+#include "tstorm/cluster.h"
+
+namespace tencentrec::engine {
+
+/// The full TencentRec deployment of Fig. 9, in one object: a TDAccess
+/// cluster collecting application action streams, the Storm-style
+/// processing tier (TDProcess) running the app's topology, a TDStore
+/// cluster holding all recommendation state, and the recommender-engine
+/// query path reading from it.
+///
+/// Ingestion is batch-at-a-time: each ProcessBatch()/ProcessFromAccess()
+/// call spins up a fresh topology, streams the batch through it to drain,
+/// and tears it down. Because every bolt is stateless (state in TDStore),
+/// consecutive batches compose exactly like one continuous stream — this is
+/// the same property that makes worker restarts safe, and tests verify
+/// both.
+class TencentRec {
+ public:
+  struct Options {
+    topo::AppOptions app;
+    tdstore::Cluster::Options store;
+    tdaccess::Cluster::Options access;
+    /// Topic carrying this app's action stream on TDAccess.
+    std::string topic = "user_actions";
+    int topic_partitions = 4;
+    /// Spout instances for ProcessFromAccess(): each joins the consumer
+    /// group as its own member, so the master balances the topic's
+    /// partitions across them ("in parallelism of partitions", §3.2).
+    int spout_parallelism = 1;
+    /// Materialize per-user results via ResultStorageBolt.
+    bool materialize_results = false;
+    /// app.parallelism == 0 enables automatic parallelism (§7 future work):
+    /// each ProcessBatch sizes the keyed bolts from the batch's event rate.
+    double auto_parallelism_event_cost_us = 50.0;
+    size_t queue_capacity = 4096;
+  };
+
+  static Result<std::unique_ptr<TencentRec>> Create(Options options);
+
+  /// --- CB catalog (Application Specific setup) ---
+
+  /// Registers an item's content tags (and publish time) in TDStore; the
+  /// tag inverted index is updated for candidate generation.
+  Status RegisterItem(core::ItemId item, const core::TagVector& tags,
+                      EventTime published);
+
+  /// --- ingestion ---
+
+  /// Runs one topology over `actions` (VectorActionSpout) to completion.
+  /// `restart_components` simulates worker crashes of those bolts while the
+  /// batch streams.
+  Status ProcessBatch(const std::vector<core::UserAction>& actions,
+                      const std::vector<std::string>& restart_components = {});
+
+  /// Publishes actions onto the TDAccess topic (the applications' side).
+  Status PublishActions(const std::vector<core::UserAction>& actions);
+
+  /// Runs one topology consuming the TDAccess topic until caught up.
+  Status ProcessFromAccess();
+
+  /// --- queries (recommender engine) ---
+  topo::StoreQuery& query() { return *query_; }
+
+  /// --- introspection / fault injection ---
+  tdstore::Cluster* store() { return store_.get(); }
+  tdaccess::Cluster* access() { return access_.get(); }
+  const topo::AppContext& app() const { return *app_; }
+  const Options& options() const { return options_; }
+  /// Metrics of the most recent topology run.
+  const std::vector<tstorm::ComponentMetrics>& last_metrics() const {
+    return last_metrics_;
+  }
+
+ private:
+  explicit TencentRec(Options options);
+  Status Init();
+  Status RunTopology(tstorm::SpoutFactory spout,
+                     const std::vector<std::string>& restart_components,
+                     int spout_parallelism);
+
+  Options options_;
+  std::unique_ptr<tdstore::Cluster> store_;
+  std::unique_ptr<tdaccess::Cluster> access_;
+  std::unique_ptr<topo::AppContext> app_;
+  std::unique_ptr<tdstore::Client> admin_client_;
+  std::unique_ptr<tdaccess::Producer> producer_;
+  std::unique_ptr<topo::StoreQuery> query_;
+  std::vector<tstorm::ComponentMetrics> last_metrics_;
+  int64_t batches_run_ = 0;
+};
+
+}  // namespace tencentrec::engine
+
+#endif  // TENCENTREC_ENGINE_TENCENTREC_H_

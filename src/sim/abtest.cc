@@ -1,0 +1,222 @@
+#include "sim/abtest.h"
+
+#include <cstdio>
+
+namespace tencentrec::sim {
+
+AbTest::AbTest(World* world, RecommenderArm* original,
+               RecommenderArm* tencentrec, AbTestOptions options)
+    : world_(world),
+      original_(original),
+      tencentrec_(tencentrec),
+      options_(std::move(options)),
+      click_model_(options_.click),
+      rng_(options_.seed) {}
+
+void AbTest::ServeImpression(SimUser& user, EventTime now, DayResult* day) {
+  RecommenderArm* arm = ArmOf(user.id);
+  DayMetrics* metrics = MetricsOf(user.id, day);
+
+  core::Recommendations list;
+  const SimItem* context = nullptr;
+  switch (options_.mode) {
+    case ServingMode::kHomeFeed:
+      list = arm->Recommend(user.id, user.demographics,
+                            options_.rec_list_size, now);
+      break;
+    case ServingMode::kContext: {
+      // The user is looking at a commodity; the position shows related
+      // items admitted by the position's filter.
+      context = world_->SampleBrowseItem(user, options_.organic_focus_ratio,
+                                         now, rng_);
+      if (context == nullptr) return;
+      auto filter = [this, context](core::ItemId id) {
+        const SimItem* cand = world_->item(id);
+        if (cand == nullptr || cand->expired || cand->id == context->id) {
+          return false;
+        }
+        return !options_.position_filter ||
+               options_.position_filter(*context, *cand);
+      };
+      list = arm->RecommendForContext(user.id, user.demographics, context->id,
+                                      filter, options_.rec_list_size, now);
+      break;
+    }
+    case ServingMode::kAdRanking: {
+      // Sample a candidate ad pool from the live catalog.
+      std::vector<core::ItemId> candidates;
+      for (int i = 0; i < options_.ad_candidates; ++i) {
+        const SimItem* ad = world_->SampleBrowseItem(
+            user, /*focus_ratio=*/0.0, now, rng_);
+        if (ad != nullptr) candidates.push_back(ad->id);
+      }
+      list = arm->RankCandidates(candidates, user.demographics,
+                                 options_.rec_list_size, now);
+      break;
+    }
+  }
+  if (list.empty()) return;
+
+  auto& user_consumed = consumed_[user.id];
+  metrics->active_users.insert(user.id);
+  for (size_t pos = 0; pos < list.size(); ++pos) {
+    const SimItem* item = world_->item(list[pos].item);
+    if (item == nullptr || item->expired) continue;
+    ++metrics->shown;
+
+    if (options_.emit_impressions) {
+      core::UserAction imp;
+      imp.user = user.id;
+      imp.item = item->id;
+      imp.action = core::ActionType::kImpression;
+      imp.timestamp = now;
+      imp.demographics = user.demographics;
+      Observe(imp);
+    }
+
+    const bool already = user_consumed.count(item->id) > 0;
+    if (!click_model_.Clicks(*world_, user, *item, pos, now, already, rng_)) {
+      continue;
+    }
+    ++metrics->clicks;
+    user_consumed.insert(item->id);
+
+    core::UserAction click;
+    click.user = user.id;
+    click.item = item->id;
+    click.action = core::ActionType::kClick;
+    click.timestamp = now;
+    click.demographics = user.demographics;
+    Observe(click);
+
+    if (options_.emit_reads) {
+      ++metrics->reads;
+      core::UserAction read = click;
+      read.action = core::ActionType::kRead;
+      read.timestamp = now + Seconds(30);
+      Observe(read);
+    }
+    if (options_.purchase_prob > 0.0 &&
+        rng_.Bernoulli(options_.purchase_prob)) {
+      core::UserAction purchase = click;
+      purchase.action = core::ActionType::kPurchase;
+      purchase.timestamp = now + Minutes(5);
+      Observe(purchase);
+    }
+  }
+}
+
+AbResult AbTest::Run() {
+  AbResult result;
+
+  // Register the initial catalog with both arms (CB needs content).
+  for (const auto& item : world_->items()) {
+    if (item.expired) continue;
+    original_->OnNewItem(item);
+    tencentrec_->OnNewItem(item);
+  }
+
+  const int total_days = options_.days + options_.warmup_days;
+  for (int day = 0; day < total_days; ++day) {
+    const bool recording = day >= options_.warmup_days;
+    const EventTime day_start = Days(day);
+
+    if (day > 0) {
+      for (const SimItem* fresh : world_->AdvanceDay(day_start)) {
+        original_->OnNewItem(*fresh);
+        tencentrec_->OnNewItem(*fresh);
+      }
+    }
+
+    DayResult day_result;
+    day_result.day = day - options_.warmup_days + 1;
+
+    for (int s = 0; s < options_.sessions_per_day; ++s) {
+      // Sessions spread through the day in order (streams are in-order).
+      const EventTime now =
+          day_start + (kMicrosPerDay * s) / options_.sessions_per_day +
+          static_cast<EventTime>(rng_.Uniform(
+              static_cast<uint64_t>(kMicrosPerDay /
+                                    options_.sessions_per_day)));
+      SimUser& user = world_->SampleUser(rng_);
+      world_->BeginSession(user, rng_);
+
+      // Organic browsing: both arms learn from every user's behaviour.
+      const int browses = static_cast<int>(
+          rng_.UniformInt(options_.min_browses, options_.max_browses));
+      auto& user_consumed = consumed_[user.id];
+      for (int b = 0; b < browses; ++b) {
+        const SimItem* item = world_->SampleBrowseItem(
+            user, options_.organic_focus_ratio, now, rng_);
+        if (item == nullptr) continue;
+        const EventTime ts = now + Seconds(20 * b);
+
+        core::UserAction browse;
+        browse.user = user.id;
+        browse.item = item->id;
+        browse.action = core::ActionType::kBrowse;
+        browse.timestamp = ts;
+        browse.demographics = user.demographics;
+        Observe(browse);
+
+        // Organic engagement (independent of either recommender).
+        const double p =
+            options_.organic_click_scale *
+            click_model_.ClickProbability(*world_, user, *item, 0, ts,
+                                          user_consumed.count(item->id) > 0);
+        if (rng_.Bernoulli(std::min(0.9, p * 3.0))) {
+          user_consumed.insert(item->id);
+          core::UserAction click = browse;
+          click.action = core::ActionType::kClick;
+          click.timestamp = ts + Seconds(5);
+          Observe(click);
+          if (options_.emit_reads) {
+            core::UserAction read = click;
+            read.action = core::ActionType::kRead;
+            read.timestamp = ts + Seconds(40);
+            Observe(read);
+          }
+          if (options_.purchase_prob > 0.0 &&
+              rng_.Bernoulli(options_.purchase_prob)) {
+            core::UserAction purchase = click;
+            purchase.action = core::ActionType::kPurchase;
+            purchase.timestamp = ts + Minutes(3);
+            Observe(purchase);
+          }
+        }
+      }
+
+      if (rng_.Bernoulli(options_.rec_event_prob)) {
+        ServeImpression(user, now + Minutes(2), &day_result);
+      }
+    }
+
+    if (recording) {
+      result.improvement.Add(day_result.ImprovementPct());
+      result.days.push_back(std::move(day_result));
+    }
+  }
+  return result;
+}
+
+void PrintAbResult(const AbResult& result, bool show_reads) {
+  std::printf("%-12s %10s %12s %12s %9s", "scenario", "day", "Original",
+              "TencentRec", "impr%%");
+  if (show_reads) std::printf(" %12s %12s", "reads/u O", "reads/u T");
+  std::printf("\n");
+  for (const auto& day : result.days) {
+    std::printf("%-12s %10d %11.2f%% %11.2f%% %8.2f%%",
+                result.scenario.c_str(), day.day, day.original.Ctr() * 100.0,
+                day.tencentrec.Ctr() * 100.0, day.ImprovementPct());
+    if (show_reads) {
+      std::printf(" %12.2f %12.2f", day.original.ReadsPerUser(),
+                  day.tencentrec.ReadsPerUser());
+    }
+    std::printf("\n");
+  }
+  std::printf("%-12s   summary improvement avg=%.2f%% min=%.2f%% max=%.2f%%\n",
+              result.scenario.c_str(), result.improvement.mean(),
+              result.improvement.min(), result.improvement.max());
+}
+
+}  // namespace tencentrec::sim

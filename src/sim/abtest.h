@@ -1,0 +1,138 @@
+#ifndef TENCENTREC_SIM_ABTEST_H_
+#define TENCENTREC_SIM_ABTEST_H_
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/arms.h"
+#include "sim/click_model.h"
+
+namespace tencentrec::sim {
+
+/// How recommendation impressions are produced (one per application style).
+enum class ServingMode {
+  kHomeFeed,   ///< Recommend(user) — news, videos
+  kContext,    ///< RecommendForContext(user, browsed item) — YiXun positions
+  kAdRanking,  ///< RankCandidates(sampled ads) — QQ advertisement
+};
+
+struct AbTestOptions {
+  int days = 7;
+  /// Days simulated before metrics recording starts. The paper's A/B tests
+  /// ran against mature deployments; without warmup, day one measures
+  /// cold-start noise of both arms rather than serving quality.
+  int warmup_days = 2;
+  int sessions_per_day = 1200;
+  int min_browses = 2;
+  int max_browses = 6;
+  /// Probability a session includes a recommendation impression.
+  double rec_event_prob = 0.8;
+  size_t rec_list_size = 6;
+  uint64_t seed = 7;
+
+  ServingMode mode = ServingMode::kHomeFeed;
+  double organic_focus_ratio = 0.6;
+  /// Organic engagement: probability scale of clicking a browsed item.
+  double organic_click_scale = 1.0;
+
+  /// kContext: which candidates the position admits, given the context item.
+  std::function<bool(const SimItem& context, const SimItem& candidate)>
+      position_filter;
+
+  /// kAdRanking: candidate pool size sampled per impression.
+  int ad_candidates = 25;
+
+  /// Action vocabulary knobs.
+  bool emit_reads = false;        ///< news: clicks are followed by reads
+  double purchase_prob = 0.0;     ///< e-commerce: P(purchase | click)
+  bool emit_impressions = false;  ///< CTR training needs impression events
+
+  ClickModelOptions click;
+};
+
+/// One day of one arm's serving metrics.
+struct DayMetrics {
+  int64_t shown = 0;
+  int64_t clicks = 0;
+  int64_t reads = 0;
+  std::unordered_set<core::UserId> active_users;
+
+  double Ctr() const {
+    return shown > 0 ? static_cast<double>(clicks) /
+                           static_cast<double>(shown)
+                     : 0.0;
+  }
+  double ReadsPerUser() const {
+    return active_users.empty()
+               ? 0.0
+               : static_cast<double>(reads) /
+                     static_cast<double>(active_users.size());
+  }
+};
+
+struct DayResult {
+  int day = 0;
+  DayMetrics original;
+  DayMetrics tencentrec;
+
+  double ImprovementPct() const {
+    const double a = original.Ctr();
+    const double b = tencentrec.Ctr();
+    return a > 0.0 ? (b - a) / a * 100.0 : 0.0;
+  }
+};
+
+struct AbResult {
+  std::string scenario;
+  std::vector<DayResult> days;
+  /// Per-day CTR improvement % of TencentRec over Original (Table 1 row).
+  RunningStat improvement;
+};
+
+/// Runs a production-style A/B test (§6.2): users are split into two
+/// cohorts by id parity; both arms observe the full behaviour stream; each
+/// cohort's impressions are served by its arm; the click model decides
+/// engagement. Deterministic given the seed.
+class AbTest {
+ public:
+  AbTest(World* world, RecommenderArm* original, RecommenderArm* tencentrec,
+         AbTestOptions options);
+
+  AbResult Run();
+
+ private:
+  RecommenderArm* ArmOf(core::UserId user) {
+    return user % 2 == 0 ? original_ : tencentrec_;
+  }
+  DayMetrics* MetricsOf(core::UserId user, DayResult* day) {
+    return user % 2 == 0 ? &day->original : &day->tencentrec;
+  }
+
+  void Observe(const core::UserAction& action) {
+    original_->ObserveAction(action);
+    tencentrec_->ObserveAction(action);
+  }
+
+  /// Serves one impression to `user` and simulates the response.
+  void ServeImpression(SimUser& user, EventTime now, DayResult* day);
+
+  World* world_;
+  RecommenderArm* original_;
+  RecommenderArm* tencentrec_;
+  AbTestOptions options_;
+  ClickModel click_model_;
+  Rng rng_;
+  /// Items each user has consumed (clicked/read/purchased) — repeat penalty.
+  std::unordered_map<core::UserId, std::unordered_set<core::ItemId>> consumed_;
+};
+
+/// Prints an AbResult as a per-day table plus the avg/min/max improvement
+/// summary (the shape of Fig. 10/13/14 and a Table 1 row).
+void PrintAbResult(const AbResult& result, bool show_reads);
+
+}  // namespace tencentrec::sim
+
+#endif  // TENCENTREC_SIM_ABTEST_H_

@@ -1,0 +1,206 @@
+#include "sim/apps.h"
+
+namespace tencentrec::sim {
+
+namespace {
+
+core::ActionWeights DefaultWeights() { return core::ActionWeights(); }
+
+}  // namespace
+
+Scenario MakeNewsScenario(int days, uint64_t seed) {
+  Scenario s;
+  s.name = "news";
+
+  WorldOptions world;
+  world.seed = seed;
+  world.num_users = 1200;
+  world.num_items = 600;
+  world.num_genres = 15;
+  world.focus_switch_prob = 0.4;
+  world.drift_rate = 0.06;
+  world.group_bias = 0.5;
+  world.daily_new_item_frac = 0.15;   // the news cycle
+  world.item_lifetime = Days(2);
+  s.world = std::make_unique<World>(world);
+
+  core::ContentBased::Options cb;
+  cb.weights = DefaultWeights();
+  cb.profile_half_life = Hours(8);
+  cb.item_ttl = world.item_lifetime;
+
+  core::DemographicRecommender::Options db;
+  db.weights = DefaultWeights();
+  db.session_length = Hours(1);
+  db.window_sessions = 12;
+
+  s.tencentrec = std::make_unique<StreamingCbArm>(cb, db);
+  // "the CB recommendation model is updated once an hour" (§6.3).
+  s.original = std::make_unique<PeriodicCbArm>(cb, db, Hours(1));
+
+  s.options.days = days;
+  s.options.seed = seed + 1;
+  s.options.sessions_per_day = 1200;
+  s.options.mode = ServingMode::kHomeFeed;
+  s.options.rec_list_size = 6;
+  s.options.emit_reads = true;
+  s.options.organic_focus_ratio = 0.55;
+  s.options.click.base_ctr = 0.06;
+  s.options.click.focus_boost = 1.6;
+  s.options.click.freshness_boost = 0.4;   // fresh news draws clicks
+  s.options.click.freshness_span = Hours(8);
+  return s;
+}
+
+Scenario MakeVideosScenario(int days, uint64_t seed) {
+  Scenario s;
+  s.name = "videos";
+
+  WorldOptions world;
+  world.seed = seed;
+  world.num_users = 1200;
+  world.num_items = 1500;
+  world.num_genres = 18;
+  world.focus_switch_prob = 0.45;  // binge focus changes between sessions
+  world.drift_rate = 0.05;
+  world.group_bias = 0.45;
+  s.world = std::make_unique<World>(world);
+
+  core::HybridRecommender::Options hybrid;
+  hybrid.cf.weights = DefaultWeights();
+  hybrid.cf.linked_time = Hours(2);  // binge sessions define relatedness
+  hybrid.cf.top_k = 20;
+  hybrid.cf.recent_k = 6;
+  hybrid.cf.session_length = Hours(6);
+  hybrid.cf.window_sessions = 8;  // 2-day sliding window
+  hybrid.cf.support_shrinkage = 3.0;
+  hybrid.cf.history_ttl = Days(3);
+  hybrid.db.weights = DefaultWeights();
+  hybrid.db.session_length = Hours(6);
+  hybrid.db.window_sessions = 8;
+
+  s.tencentrec = std::make_unique<StreamingCfArm>(hybrid);
+  s.original = std::make_unique<PeriodicCfArm>(DefaultWeights(), Days(1),
+                                               /*support_shrinkage=*/3.0);
+
+  s.options.days = days;
+  s.options.seed = seed + 1;
+  s.options.sessions_per_day = 1400;
+  s.options.mode = ServingMode::kHomeFeed;
+  s.options.rec_list_size = 6;
+  s.options.organic_focus_ratio = 0.7;  // binge sessions stay on genre
+  s.options.click.base_ctr = 0.07;
+  s.options.click.focus_boost = 2.6;    // current mood dominates video picks
+  s.options.click.freshness_span = 0;   // no freshness effect
+  return s;
+}
+
+Scenario MakeYixunScenario(YixunPosition position, int days, uint64_t seed) {
+  Scenario s;
+  s.name = position == YixunPosition::kSimilarPrice ? "yixun-price"
+                                                    : "yixun-purchase";
+
+  WorldOptions world;
+  world.seed = seed;
+  world.num_users = 1200;
+  world.num_items = 1500;
+  world.num_genres = 16;
+  world.focus_switch_prob = 0.5;  // shopping missions come and go fast
+  world.drift_rate = 0.04;
+  world.group_bias = 0.5;
+  world.num_price_bands = 6;
+  // New arrivals/promotions enter daily and matter immediately — the
+  // offline model cannot recommend them until its next nightly build.
+  world.daily_new_item_frac = 0.08;
+  s.world = std::make_unique<World>(world);
+
+  core::HybridRecommender::Options hybrid;
+  hybrid.cf.weights = DefaultWeights();
+  // Short linked time keeps pairs within a shopping mission, so the
+  // streaming similarity lists stay mission-coherent — the offline baseline
+  // pairs across the user's whole capped history instead.
+  hybrid.cf.linked_time = Hours(2);
+  hybrid.cf.top_k = 20;
+  hybrid.cf.recent_k = 6;
+  hybrid.cf.session_length = Hours(12);
+  hybrid.cf.window_sessions = 6;  // 3-day window
+  hybrid.cf.support_shrinkage = 3.0;
+  hybrid.cf.history_ttl = Days(4);
+  hybrid.db.weights = DefaultWeights();
+  hybrid.db.session_length = Hours(12);
+  hybrid.db.window_sessions = 6;
+
+  s.tencentrec = std::make_unique<StreamingCfArm>(hybrid);
+  // "generate the recommendations offline ... model is updated once a day"
+  // (§6.4).
+  s.original = std::make_unique<PeriodicCfArm>(DefaultWeights(), Days(1),
+                                               /*support_shrinkage=*/3.0);
+
+  s.options.days = days;
+  s.options.seed = seed + 1;
+  s.options.sessions_per_day = 2000;
+  s.options.mode = ServingMode::kContext;
+  s.options.rec_list_size = 5;
+  s.options.purchase_prob = 0.2;
+  s.options.organic_focus_ratio = 0.65;
+  s.options.click.base_ctr = 0.05;
+  s.options.click.focus_boost = 2.0;
+  s.options.click.freshness_boost = 0.5;  // new arrivals draw attention
+  s.options.click.freshness_span = Hours(36);
+  if (position == YixunPosition::kSimilarPrice) {
+    // Sparse position: candidates constrained to the context item's price
+    // band, cutting across genres — little co-rating signal, so the
+    // sparsity solution matters (§6.4).
+    s.options.position_filter = [](const SimItem& context,
+                                   const SimItem& candidate) {
+      return candidate.price_band == context.price_band;
+    };
+  } else {
+    // Dense position: relatively explicit purchase-driven preferences.
+    s.options.position_filter = nullptr;
+  }
+  return s;
+}
+
+Scenario MakeAdsScenario(int days, uint64_t seed) {
+  Scenario s;
+  s.name = "qq-ads";
+
+  WorldOptions world;
+  world.seed = seed;
+  world.num_users = 1200;
+  world.num_items = 400;  // ad inventory
+  world.num_genres = 12;
+  world.focus_switch_prob = 0.35;
+  world.drift_rate = 0.05;
+  world.group_bias = 0.6;             // ad response is strongly demographic
+  world.daily_new_item_frac = 0.15;   // short ad life cycles (§1)
+  world.item_lifetime = Days(3);
+  s.world = std::make_unique<World>(world);
+
+  core::SituationalCtr::Options ctr;
+  ctr.session_length = Hours(2);
+  ctr.window_sessions = 24;  // 2-day CTR window
+  ctr.prior_strength = 20.0;
+  ctr.base_ctr = 0.05;
+
+  s.tencentrec = std::make_unique<StreamingCtrArm>(ctr);
+  // The incumbent ad ranker refreshed its CTR snapshot twice a day.
+  s.original = std::make_unique<PeriodicCtrArm>(ctr, Hours(20));
+
+  s.options.days = days;
+  s.options.seed = seed + 1;
+  s.options.sessions_per_day = 1600;
+  s.options.mode = ServingMode::kAdRanking;
+  s.options.rec_list_size = 4;
+  s.options.ad_candidates = 25;
+  s.options.emit_impressions = true;
+  s.options.click.base_ctr = 0.05;
+  s.options.click.focus_boost = 1.8;
+  s.options.click.affinity_weight = 0.8;
+  s.options.click.freshness_boost = 0.35;  // fresh creatives perform
+  s.options.click.freshness_span = Hours(24);
+  return s;
+}
+
+}  // namespace tencentrec::sim

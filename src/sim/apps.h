@@ -1,0 +1,46 @@
+#ifndef TENCENTREC_SIM_APPS_H_
+#define TENCENTREC_SIM_APPS_H_
+
+#include <memory>
+#include <string>
+
+#include "sim/abtest.h"
+
+namespace tencentrec::sim {
+
+/// A fully wired evaluation scenario: world + the two arms + harness
+/// options. One per production application of §6.
+struct Scenario {
+  std::string name;
+  std::unique_ptr<World> world;
+  std::unique_ptr<RecommenderArm> original;
+  std::unique_ptr<RecommenderArm> tencentrec;
+  AbTestOptions options;
+
+  AbResult Run() {
+    AbTest test(world.get(), original.get(), tencentrec.get(), options);
+    AbResult result = test.Run();
+    result.scenario = name;
+    return result;
+  }
+};
+
+/// Tencent News (§6.3, Fig. 10–11): heavy item churn, short lifetimes,
+/// TencentRec-CB vs. hourly-refreshed Original-CB.
+Scenario MakeNewsScenario(int days, uint64_t seed);
+
+/// Tencent Videos (Table 1): stable catalog, strong binge focus,
+/// TencentRec-CF vs. daily-retrained Original-CF. The largest gains.
+Scenario MakeVideosScenario(int days, uint64_t seed);
+
+/// YiXun e-commerce positions (§6.4, Fig. 13–14).
+enum class YixunPosition { kSimilarPrice, kSimilarPurchase };
+Scenario MakeYixunScenario(YixunPosition position, int days, uint64_t seed);
+
+/// QQ advertisement (Table 1): short ad life cycles, situational CTR,
+/// TencentRec-CTR vs. daily-snapshot Original-CTR.
+Scenario MakeAdsScenario(int days, uint64_t seed);
+
+}  // namespace tencentrec::sim
+
+#endif  // TENCENTREC_SIM_APPS_H_

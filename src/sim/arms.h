@@ -1,0 +1,258 @@
+#ifndef TENCENTREC_SIM_ARMS_H_
+#define TENCENTREC_SIM_ARMS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/content.h"
+#include "core/ctr.h"
+#include "core/demographic.h"
+#include "core/itemcf/basic_cf.h"
+#include "core/recommender.h"
+#include "sim/world.h"
+
+namespace tencentrec::sim {
+
+/// One side of a production A/B test (§6.2): a recommender that observes
+/// the shared action stream and serves a cohort of users. TencentRec arms
+/// update on every event; "Original" arms snapshot their model on a period
+/// (offline / semi-real-time computation, as the paper describes the
+/// incumbents).
+class RecommenderArm {
+ public:
+  virtual ~RecommenderArm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Training input: every arm sees the full action stream (one pipeline,
+  /// two models — as in the paper's deployments).
+  virtual void ObserveAction(const core::UserAction& action) = 0;
+
+  /// New item published (news churn); CB arms register content here.
+  virtual void OnNewItem(const SimItem& item) { (void)item; }
+
+  /// Home-feed style recommendation.
+  virtual core::Recommendations Recommend(core::UserId user,
+                                          const core::Demographics& d,
+                                          size_t n, EventTime now) = 0;
+
+  /// Context-item position ("users who viewed this commodity...", Fig. 12):
+  /// recommend related to `context`, restricted by `filter`.
+  virtual core::Recommendations RecommendForContext(
+      core::UserId user, const core::Demographics& d, core::ItemId context,
+      const std::function<bool(core::ItemId)>& filter, size_t n,
+      EventTime now) {
+    (void)context;
+    (void)filter;
+    return Recommend(user, d, n, now);
+  }
+
+  /// Ad ranking: order `candidates` by predicted CTR for the situation.
+  virtual core::Recommendations RankCandidates(
+      const std::vector<core::ItemId>& candidates, const core::Demographics& d,
+      size_t n, EventTime now) {
+    (void)d;
+    (void)now;
+    core::Recommendations out;
+    for (size_t i = 0; i < candidates.size() && i < n; ++i) {
+      out.push_back({candidates[i], 0.0});
+    }
+    return out;
+  }
+};
+
+/// TencentRec's CF stack: practical incremental item-based CF (windowed
+/// counts, recent-k personalized filtering) + DB complement.
+class StreamingCfArm : public RecommenderArm {
+ public:
+  explicit StreamingCfArm(core::HybridRecommender::Options options)
+      : hybrid_(options) {}
+
+  std::string name() const override { return "TencentRec-CF"; }
+  void ObserveAction(const core::UserAction& action) override {
+    hybrid_.ProcessAction(action);
+  }
+  core::Recommendations Recommend(core::UserId user,
+                                  const core::Demographics& d, size_t n,
+                                  EventTime now) override;
+  core::Recommendations RecommendForContext(
+      core::UserId user, const core::Demographics& d, core::ItemId context,
+      const std::function<bool(core::ItemId)>& filter, size_t n,
+      EventTime now) override;
+
+  const core::HybridRecommender& hybrid() const { return hybrid_; }
+
+ private:
+  core::HybridRecommender hybrid_;
+};
+
+/// The "Original" CF incumbent: batch item-based CF whose similarity table
+/// (and popularity fallback) is recomputed only every `retrain_period` —
+/// offline computation with filter conditions, "model updated once a day"
+/// (§6.4).
+class PeriodicCfArm : public RecommenderArm {
+ public:
+  PeriodicCfArm(core::ActionWeights weights, EventTime retrain_period,
+                double support_shrinkage = 0.0,
+                core::BasicItemCf::SimilarityMeasure measure =
+                    core::BasicItemCf::SimilarityMeasure::kMinCoRating)
+      : weights_(weights),
+        retrain_period_(retrain_period),
+        model_(measure, support_shrinkage),
+        staging_popularity_() {}
+
+  std::string name() const override { return "Original-CF"; }
+  void ObserveAction(const core::UserAction& action) override;
+  core::Recommendations Recommend(core::UserId user,
+                                  const core::Demographics& d, size_t n,
+                                  EventTime now) override;
+  core::Recommendations RecommendForContext(
+      core::UserId user, const core::Demographics& d, core::ItemId context,
+      const std::function<bool(core::ItemId)>& filter, size_t n,
+      EventTime now) override;
+
+ private:
+  struct SeenItem {
+    double rating = 0.0;
+    EventTime last = 0;
+  };
+
+  void MaybeRetrain(EventTime now);
+
+  core::ActionWeights weights_;
+  EventTime retrain_period_;
+  EventTime last_retrain_ = -1;
+  core::BasicItemCf model_;
+  std::unordered_map<core::ItemId, double> staging_popularity_;
+  core::Recommendations popularity_snapshot_;  ///< as of last retrain
+  /// Live seen-sets (serving-side knowledge), LRU-capped so the nightly
+  /// batch recompute stays tractable — batch pipelines cap history too.
+  std::unordered_map<core::UserId, std::unordered_map<core::ItemId, SeenItem>>
+      seen_;
+  size_t per_user_cap_ = 60;
+};
+
+/// TencentRec's CB stack (news): real-time content profiles, instant new-
+/// item availability, DB complement.
+class StreamingCbArm : public RecommenderArm {
+ public:
+  StreamingCbArm(core::ContentBased::Options cb_options,
+                 core::DemographicRecommender::Options db_options)
+      : cb_(cb_options), db_(db_options) {}
+
+  std::string name() const override { return "TencentRec-CB"; }
+  void ObserveAction(const core::UserAction& action) override {
+    cb_.ProcessAction(action);
+    db_.ProcessAction(action);
+  }
+  void OnNewItem(const SimItem& item) override;
+  core::Recommendations Recommend(core::UserId user,
+                                  const core::Demographics& d, size_t n,
+                                  EventTime now) override;
+
+ private:
+  core::ContentBased cb_;
+  core::DemographicRecommender db_;
+};
+
+/// The "Original" CB incumbent (news): same algorithm, but the serving
+/// model is a snapshot refreshed once per `refresh_period` (the paper's
+/// "CB recommendation model is updated once an hour", §6.3) — so fresh
+/// items and fresh interests are invisible until the next refresh.
+class PeriodicCbArm : public RecommenderArm {
+ public:
+  PeriodicCbArm(core::ContentBased::Options cb_options,
+                core::DemographicRecommender::Options db_options,
+                EventTime refresh_period)
+      : staging_(cb_options),
+        serving_(cb_options),
+        staging_db_(db_options),
+        serving_db_(db_options),
+        refresh_period_(refresh_period) {}
+
+  std::string name() const override { return "Original-CB"; }
+  void ObserveAction(const core::UserAction& action) override;
+  void OnNewItem(const SimItem& item) override;
+  core::Recommendations Recommend(core::UserId user,
+                                  const core::Demographics& d, size_t n,
+                                  EventTime now) override;
+
+ private:
+  void MaybeRefresh(EventTime now);
+
+  core::ContentBased staging_;
+  core::ContentBased serving_;
+  core::DemographicRecommender staging_db_;
+  core::DemographicRecommender serving_db_;
+  EventTime refresh_period_;
+  EventTime last_refresh_ = -1;
+};
+
+/// TencentRec's situational CTR stack (QQ ads): sliding-window CTR counts
+/// updated per event.
+class StreamingCtrArm : public RecommenderArm {
+ public:
+  explicit StreamingCtrArm(core::SituationalCtr::Options options)
+      : ctr_(options) {}
+
+  std::string name() const override { return "TencentRec-CTR"; }
+  void ObserveAction(const core::UserAction& action) override {
+    ctr_.ProcessAction(action);
+  }
+  core::Recommendations Recommend(core::UserId user,
+                                  const core::Demographics& d, size_t n,
+                                  EventTime now) override {
+    (void)user;
+    (void)d;
+    (void)n;
+    (void)now;
+    return {};
+  }
+  core::Recommendations RankCandidates(
+      const std::vector<core::ItemId>& candidates, const core::Demographics& d,
+      size_t n, EventTime now) override {
+    (void)now;
+    return ctr_.RankByCtr(candidates, d, n);
+  }
+
+ private:
+  core::SituationalCtr ctr_;
+};
+
+/// The "Original" CTR incumbent: identical estimator, but serving from a
+/// snapshot refreshed every `refresh_period` — blind to intra-period CTR
+/// shifts (short ad life cycles, §1).
+class PeriodicCtrArm : public RecommenderArm {
+ public:
+  PeriodicCtrArm(core::SituationalCtr::Options options,
+                 EventTime refresh_period)
+      : staging_(options), serving_(options), refresh_period_(refresh_period) {}
+
+  std::string name() const override { return "Original-CTR"; }
+  void ObserveAction(const core::UserAction& action) override;
+  core::Recommendations Recommend(core::UserId user,
+                                  const core::Demographics& d, size_t n,
+                                  EventTime now) override {
+    (void)user;
+    (void)d;
+    (void)n;
+    (void)now;
+    return {};
+  }
+  core::Recommendations RankCandidates(
+      const std::vector<core::ItemId>& candidates, const core::Demographics& d,
+      size_t n, EventTime now) override;
+
+ private:
+  void MaybeRefresh(EventTime now);
+
+  core::SituationalCtr staging_;
+  core::SituationalCtr serving_;
+  EventTime refresh_period_;
+  EventTime last_refresh_ = -1;
+};
+
+}  // namespace tencentrec::sim
+
+#endif  // TENCENTREC_SIM_ARMS_H_

@@ -1,0 +1,65 @@
+#ifndef TENCENTREC_SIM_CLICK_MODEL_H_
+#define TENCENTREC_SIM_CLICK_MODEL_H_
+
+#include "common/random.h"
+#include "sim/world.h"
+
+namespace tencentrec::sim {
+
+/// Probabilistic user response to a shown recommendation. The click
+/// probability rewards exactly the things the paper argues real-time
+/// recommendation captures:
+///  - match with the user's *current session focus* (fast-changing
+///    interest) — the dominant term;
+///  - steady-state affinity (drifting daily);
+///  - freshness, for churning catalogs (news);
+/// and discounts position (users click the top slots more) and repetition
+/// (already-consumed items).
+struct ClickModelOptions {
+  double base_ctr = 0.06;       ///< for a neutral, unfocused item at slot 0
+  double focus_boost = 2.2;     ///< multiplier when item matches focus
+  double affinity_weight = 0.6; ///< scales the (affinity - 1) contribution
+  double freshness_boost = 0.6; ///< multiplier for recently published items
+  EventTime freshness_span = Hours(12);
+  double position_decay = 0.12; ///< slot i is discounted by 1/(1 + decay·i)
+  double repeat_penalty = 0.15; ///< multiplier for already-consumed items
+  double max_ctr = 0.85;
+};
+
+class ClickModel {
+ public:
+  explicit ClickModel(ClickModelOptions options) : options_(options) {}
+
+  /// Probability the user clicks `item` shown at `position` (0-based).
+  double ClickProbability(const World& world, const SimUser& user,
+                          const SimItem& item, size_t position, EventTime now,
+                          bool already_consumed) const {
+    double p = options_.base_ctr;
+    const double affinity = world.Affinity(user, item, now);
+    p *= 1.0 + options_.affinity_weight * (affinity - 1.0);
+    if (world.MatchesFocus(user, item)) p *= options_.focus_boost;
+    if (options_.freshness_span > 0 &&
+        now - item.published < options_.freshness_span) {
+      p *= 1.0 + options_.freshness_boost;
+    }
+    p /= 1.0 + options_.position_decay * static_cast<double>(position);
+    if (already_consumed) p *= options_.repeat_penalty;
+    return std::min(options_.max_ctr, std::max(0.0, p));
+  }
+
+  bool Clicks(const World& world, const SimUser& user, const SimItem& item,
+              size_t position, EventTime now, bool already_consumed,
+              Rng& rng) const {
+    return rng.Bernoulli(ClickProbability(world, user, item, position, now,
+                                          already_consumed));
+  }
+
+  const ClickModelOptions& options() const { return options_; }
+
+ private:
+  ClickModelOptions options_;
+};
+
+}  // namespace tencentrec::sim
+
+#endif  // TENCENTREC_SIM_CLICK_MODEL_H_

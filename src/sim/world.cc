@@ -1,0 +1,201 @@
+#include "sim/world.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tencentrec::sim {
+
+World::World(WorldOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  if (options_.num_genres < 1) options_.num_genres = 1;
+  genre_items_.resize(static_cast<size_t>(options_.num_genres));
+
+  // Demographic group -> genre taste prior: deterministic per (group,
+  // genre) hash so the same group clusters across runs.
+  auto group_weight = [&](core::GroupId group, int genre) {
+    return 0.5 + static_cast<double>(
+                     HashCombine(group * 2654435761u, HashInt(genre)) % 1000) /
+                     1000.0;
+  };
+
+  // Users.
+  users_.reserve(static_cast<size_t>(options_.num_users));
+  for (int u = 0; u < options_.num_users; ++u) {
+    SimUser user;
+    user.id = u + 1;
+    // ~15% of users carry no demographics (the §6.4 global-group case).
+    if (rng_.NextDouble() > 0.15) {
+      user.demographics.gender = rng_.Bernoulli(0.5)
+                                     ? core::Demographics::kMale
+                                     : core::Demographics::kFemale;
+      user.demographics.age_band = static_cast<uint8_t>(rng_.UniformInt(1, 6));
+      user.demographics.region = static_cast<uint16_t>(rng_.UniformInt(1, 8));
+    }
+    const core::GroupId group = core::DemographicGroup(user.demographics);
+    user.preferences.resize(static_cast<size_t>(options_.num_genres));
+    double sum = 0.0;
+    for (int g = 0; g < options_.num_genres; ++g) {
+      const double personal = rng_.Exponential(1.0);
+      const double grouped = group == 0 ? 1.0 : group_weight(group, g);
+      double w = (1.0 - options_.group_bias) * personal +
+                 options_.group_bias * grouped * rng_.Exponential(1.0);
+      user.preferences[static_cast<size_t>(g)] = w;
+      sum += w;
+    }
+    for (double& w : user.preferences) w /= sum;
+    user.activity = 1.0;  // rank-based activity comes from the Zipf sampler
+    user.focus_genre = SampleGenre(user, rng_);
+    users_.push_back(std::move(user));
+  }
+  user_sampler_ = std::make_unique<ZipfSampler>(
+      static_cast<size_t>(options_.num_users), options_.user_zipf);
+
+  // Items, spread across genres.
+  for (int i = 0; i < options_.num_items; ++i) {
+    AddItem(static_cast<int>(rng_.Uniform(
+                static_cast<uint64_t>(options_.num_genres))),
+            /*published=*/0);
+  }
+}
+
+void World::AddItem(int genre, EventTime published) {
+  SimItem item;
+  item.id = next_item_id_++;
+  item.genre = genre;
+  item.quality = 0.5 + rng_.NextDouble();
+  item.published = published;
+  auto& pool = genre_items_[static_cast<size_t>(genre)];
+  item.popularity_rank = static_cast<int>(pool.size());
+  if (options_.num_price_bands > 0) {
+    item.price_band = static_cast<int>(
+        rng_.Uniform(static_cast<uint64_t>(options_.num_price_bands)));
+  }
+  if (published > 0 && options_.item_lifetime == 0 && !pool.empty()) {
+    // Catalog churn without expiry (e-commerce new arrivals/promotions):
+    // the item launches with visibility — a slot in the popular half of its
+    // genre pool — rather than at the Zipf tail.
+    const size_t pos = rng_.Uniform(std::max<size_t>(1, pool.size() / 2));
+    pool.insert(pool.begin() + static_cast<long>(pos), item.id);
+  } else {
+    pool.push_back(item.id);
+  }
+  items_.push_back(item);
+}
+
+const SimItem* World::item(core::ItemId id) const {
+  if (id < 1 || id > static_cast<core::ItemId>(items_.size())) return nullptr;
+  return &items_[static_cast<size_t>(id - 1)];
+}
+
+double World::Affinity(const SimUser& user, const SimItem& item,
+                       EventTime now) const {
+  double a = user.preferences[static_cast<size_t>(item.genre)] *
+             static_cast<double>(options_.num_genres) * item.quality;
+  if (options_.item_lifetime > 0) {
+    // News: appeal decays over the item's lifetime.
+    const double age = static_cast<double>(now - item.published) /
+                       static_cast<double>(options_.item_lifetime);
+    a *= std::max(0.0, 1.0 - 0.7 * std::min(1.0, age));
+  }
+  return a;
+}
+
+SimUser& World::SampleUser(Rng& rng) {
+  return users_[user_sampler_->Sample(rng)];
+}
+
+void World::BeginSession(SimUser& user, Rng& rng) {
+  if (rng.Bernoulli(options_.focus_switch_prob)) {
+    user.focus_genre = SampleGenre(user, rng);
+  }
+}
+
+int World::SampleGenre(const SimUser& user, Rng& rng) const {
+  double u = rng.NextDouble();
+  double acc = 0.0;
+  for (int g = 0; g < options_.num_genres; ++g) {
+    acc += user.preferences[static_cast<size_t>(g)];
+    if (u <= acc) return g;
+  }
+  return options_.num_genres - 1;
+}
+
+const SimItem* World::SampleBrowseItem(const SimUser& user, double focus_ratio,
+                                       EventTime now, Rng& rng) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int genre = rng.Bernoulli(focus_ratio) ? user.focus_genre
+                                                 : SampleGenre(user, rng);
+    const auto& pool = genre_items_[static_cast<size_t>(genre)];
+    if (pool.empty()) continue;
+    // Zipf over the genre's live items, newest-biased when items churn.
+    size_t index;
+    if (options_.item_lifetime > 0) {
+      // Bias toward the most recently published half (fresh news draws).
+      const size_t half = pool.size() > 1 ? pool.size() / 2 : 0;
+      index = half + rng.Uniform(pool.size() - half);
+      if (rng.Bernoulli(0.3)) index = rng.Uniform(pool.size());
+    } else {
+      ZipfSampler zipf(pool.size(), options_.item_zipf);
+      index = zipf.Sample(rng);
+    }
+    const SimItem* candidate = item(pool[index]);
+    if (candidate != nullptr && !candidate->expired) {
+      (void)now;
+      return candidate;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const SimItem*> World::AdvanceDay(EventTime day_start) {
+  // Preference drift: move a fraction of mass between genres.
+  for (auto& user : users_) {
+    for (double& w : user.preferences) {
+      const double noise = (rng_.NextDouble() - 0.5) * 2.0 *
+                           options_.drift_rate;
+      w = std::max(1e-4, w * (1.0 + noise));
+    }
+    double sum = 0.0;
+    for (double w : user.preferences) sum += w;
+    for (double& w : user.preferences) w /= sum;
+  }
+
+  // Expire old items.
+  if (options_.item_lifetime > 0) {
+    for (auto& item : items_) {
+      if (!item.expired && day_start - item.published > options_.item_lifetime) {
+        item.expired = true;
+        auto& pool = genre_items_[static_cast<size_t>(item.genre)];
+        pool.erase(std::remove(pool.begin(), pool.end(), item.id), pool.end());
+      }
+    }
+  }
+
+  // Publish new items.
+  std::vector<const SimItem*> fresh;
+  if (options_.daily_new_item_frac > 0.0) {
+    const int count = std::max(
+        1, static_cast<int>(options_.daily_new_item_frac *
+                            static_cast<double>(options_.num_items)));
+    for (int i = 0; i < count; ++i) {
+      const int genre = static_cast<int>(
+          rng_.Uniform(static_cast<uint64_t>(options_.num_genres)));
+      // Stagger publication through the day.
+      const EventTime published =
+          day_start + static_cast<EventTime>(rng_.Uniform(kMicrosPerDay));
+      AddItem(genre, published);
+      fresh.push_back(&items_.back());
+    }
+  }
+  return fresh;
+}
+
+std::vector<core::ItemId> World::LiveItems() const {
+  std::vector<core::ItemId> out;
+  for (const auto& item : items_) {
+    if (!item.expired) out.push_back(item.id);
+  }
+  return out;
+}
+
+}  // namespace tencentrec::sim

@@ -1,0 +1,131 @@
+#ifndef TENCENTREC_SIM_WORLD_H_
+#define TENCENTREC_SIM_WORLD_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/action.h"
+
+namespace tencentrec::sim {
+
+/// Parameters of the synthetic user/item universe. The defaults model the
+/// behavioural structure the paper's evaluation depends on, not its raw
+/// scale: Zipf popularity (hot items), demographic taste clusters (DB
+/// signal), fast per-session interest focus (what real-time recommendation
+/// captures), slow daily drift (what periodic retraining chases), and item
+/// churn (news).
+struct WorldOptions {
+  int num_users = 2000;
+  int num_items = 1500;
+  int num_genres = 20;
+  uint64_t seed = 42;
+
+  double item_zipf = 0.9;  ///< popularity skew within a genre
+  double user_zipf = 0.6;  ///< user activity skew
+
+  /// Probability a user's session opens with a *new* focus genre (sampled
+  /// from their preferences) rather than keeping the previous one. High =
+  /// fast-changing real-time interests.
+  double focus_switch_prob = 0.35;
+
+  /// Daily preference drift: fraction of preference mass that random-walks
+  /// each day.
+  double drift_rate = 0.05;
+
+  /// How strongly the user's demographic group biases their genre taste
+  /// (0 = none, 1 = taste fully determined by group).
+  double group_bias = 0.5;
+
+  /// News churn: new items per day as a fraction of the catalog (0 = static
+  /// catalog), and item lifetime after which an item expires (0 = forever).
+  double daily_new_item_frac = 0.0;
+  EventTime item_lifetime = 0;
+
+  /// E-commerce: number of price bands (0 = items carry no price).
+  int num_price_bands = 0;
+};
+
+struct SimItem {
+  core::ItemId id = 0;
+  int genre = 0;
+  double quality = 1.0;     ///< intrinsic appeal in [0.5, 1.5]
+  int popularity_rank = 0;  ///< rank within its genre (Zipf sampling)
+  EventTime published = 0;
+  int price_band = 0;
+  bool expired = false;
+};
+
+struct SimUser {
+  core::UserId id = 0;
+  core::Demographics demographics;
+  std::vector<double> preferences;  ///< over genres, sums to 1
+  double activity = 1.0;
+  int focus_genre = 0;
+};
+
+/// The evolving universe: users with drifting preferences and per-session
+/// focus, items with genre/quality/churn. Deterministic given the seed.
+class World {
+ public:
+  explicit World(WorldOptions options);
+
+  const WorldOptions& options() const { return options_; }
+  const std::vector<SimUser>& users() const { return users_; }
+  const std::vector<SimItem>& items() const { return items_; }
+  const SimItem* item(core::ItemId id) const;
+  const SimUser& user(core::UserId id) const {
+    return users_[static_cast<size_t>(id - 1)];
+  }
+
+  /// Steady-state appeal of `item` to `user` at `now`: preference x quality
+  /// x freshness (freshness only when item_lifetime is set).
+  double Affinity(const SimUser& user, const SimItem& item,
+                  EventTime now) const;
+
+  /// Extra multiplier when the item matches the user's current focus.
+  bool MatchesFocus(const SimUser& user, const SimItem& item) const {
+    return item.genre == user.focus_genre;
+  }
+
+  /// Samples an active user (Zipf by activity).
+  SimUser& SampleUser(Rng& rng);
+
+  /// Begins a session for `user`: possibly switches their focus genre.
+  void BeginSession(SimUser& user, Rng& rng);
+
+  /// Samples an item for organic browsing: from the user's focus genre with
+  /// probability `focus_ratio`, else from the user's preference-weighted
+  /// genres; Zipf popularity within genre. Returns nullptr only if the
+  /// catalog is empty.
+  const SimItem* SampleBrowseItem(const SimUser& user, double focus_ratio,
+                                  EventTime now, Rng& rng);
+
+  /// Daily dynamics: drifts preferences, expires old items, publishes new
+  /// ones. Returns the freshly published items (for CB registration).
+  std::vector<const SimItem*> AdvanceDay(EventTime day_start);
+
+  /// Live (unexpired) items in a genre, popularity-ranked.
+  const std::vector<core::ItemId>& GenreItems(int genre) const {
+    return genre_items_[static_cast<size_t>(genre)];
+  }
+
+  /// All live item ids.
+  std::vector<core::ItemId> LiveItems() const;
+
+ private:
+  void AddItem(int genre, EventTime published);
+  int SampleGenre(const SimUser& user, Rng& rng) const;
+
+  WorldOptions options_;
+  Rng rng_;
+  std::vector<SimUser> users_;
+  std::vector<SimItem> items_;                       ///< by id - 1
+  std::vector<std::vector<core::ItemId>> genre_items_;  ///< live, by rank
+  std::unique_ptr<ZipfSampler> user_sampler_;
+  core::ItemId next_item_id_ = 1;
+};
+
+}  // namespace tencentrec::sim
+
+#endif  // TENCENTREC_SIM_WORLD_H_

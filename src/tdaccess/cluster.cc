@@ -1,0 +1,34 @@
+#include "tdaccess/cluster.h"
+
+namespace tencentrec::tdaccess {
+
+Cluster::Cluster(const Options& options) {
+  masters_[0] = std::make_unique<MasterServer>();
+  masters_[1] = std::make_unique<MasterServer>();
+  masters_[0]->SetStandby(masters_[1].get());
+  int n = options.num_data_servers < 1 ? 1 : options.num_data_servers;
+  for (int i = 0; i < n; ++i) {
+    servers_.push_back(std::make_unique<DataServer>(i, options.data_dir));
+    masters_[0]->AddDataServer(servers_.back().get());
+  }
+}
+
+DataServer* Cluster::data_server(int server_id) {
+  if (server_id < 0 || server_id >= static_cast<int>(servers_.size())) {
+    return nullptr;
+  }
+  return servers_[static_cast<size_t>(server_id)].get();
+}
+
+Status Cluster::FailActiveMaster() {
+  if (master_failed_once_) {
+    return Status::FailedPrecondition("no standby left");
+  }
+  master_failed_once_ = true;
+  // The standby stops mirroring (its peer is gone) and becomes active.
+  masters_[1]->SetStandby(nullptr);
+  active_master_ = 1;
+  return Status::OK();
+}
+
+}  // namespace tencentrec::tdaccess

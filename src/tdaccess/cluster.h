@@ -1,0 +1,49 @@
+#ifndef TENCENTREC_TDACCESS_CLUSTER_H_
+#define TENCENTREC_TDACCESS_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tdaccess/data_server.h"
+#include "tdaccess/master.h"
+
+namespace tencentrec::tdaccess {
+
+/// An in-process TDAccess deployment (Fig. 2): N share-nothing data servers
+/// plus an active/standby master pair. Producers and consumers take a
+/// Cluster* and, like the paper's clients, consult the master only for
+/// routes and group coordination — data traffic goes straight to the data
+/// servers.
+class Cluster {
+ public:
+  struct Options {
+    int num_data_servers = 2;
+    /// Directory for partition logs; empty = memory-only.
+    std::string data_dir;
+  };
+
+  explicit Cluster(const Options& options);
+
+  /// The currently active master (standby after a failover).
+  MasterServer& master() { return *masters_[active_master_]; }
+  const MasterServer& master() const { return *masters_[active_master_]; }
+
+  DataServer* data_server(int server_id);
+  int num_data_servers() const { return static_cast<int>(servers_.size()); }
+
+  /// Failure injection: kills the active master; the standby takes over with
+  /// identical state (fail-fast + replicated state, §3.1/§3.2).
+  Status FailActiveMaster();
+
+ private:
+  std::vector<std::unique_ptr<DataServer>> servers_;
+  std::unique_ptr<MasterServer> masters_[2];
+  int active_master_ = 0;
+  bool master_failed_once_ = false;
+};
+
+}  // namespace tencentrec::tdaccess
+
+#endif  // TENCENTREC_TDACCESS_CLUSTER_H_

@@ -1,0 +1,128 @@
+#include "tdaccess/consumer.h"
+
+#include <algorithm>
+
+namespace tencentrec::tdaccess {
+
+Consumer::Consumer(Cluster* cluster, std::string topic, std::string group,
+                   std::string member_id)
+    : cluster_(cluster),
+      topic_(std::move(topic)),
+      group_(std::move(group)),
+      member_id_(std::move(member_id)) {}
+
+Consumer::~Consumer() {
+  if (subscribed_) {
+    cluster_->master().LeaveGroup(topic_, group_, member_id_);
+  }
+}
+
+Status Consumer::Subscribe() {
+  if (subscribed_) return Status::FailedPrecondition("already subscribed");
+  auto route = cluster_->master().GetRoute(topic_);
+  if (!route.ok()) return route.status();
+  route_ = std::move(route).value();
+  auto assigned = cluster_->master().JoinGroup(topic_, group_, member_id_);
+  if (!assigned.ok()) return assigned.status();
+  subscribed_ = true;
+  assigned_ = std::move(assigned).value();
+  for (int p : assigned_) {
+    auto off = cluster_->master().FetchOffset(topic_, group_, p);
+    if (!off.ok()) return off.status();
+    positions_[p] = *off;
+  }
+  return Status::OK();
+}
+
+Status Consumer::SyncAssignment() {
+  auto assigned = cluster_->master().GetAssignment(topic_, group_, member_id_);
+  if (!assigned.ok()) return assigned.status();
+  if (*assigned == assigned_) return Status::OK();
+  assigned_ = std::move(assigned).value();
+  std::map<int, Offset> new_positions;
+  for (int p : assigned_) {
+    auto it = positions_.find(p);
+    if (it != positions_.end()) {
+      new_positions[p] = it->second;
+    } else {
+      auto off = cluster_->master().FetchOffset(topic_, group_, p);
+      if (!off.ok()) return off.status();
+      new_positions[p] = *off;
+    }
+  }
+  positions_ = std::move(new_positions);
+  return Status::OK();
+}
+
+Status Consumer::SeekToBeginning() {
+  if (!subscribed_) return Status::FailedPrecondition("not subscribed");
+  TR_RETURN_IF_ERROR(SyncAssignment());
+  for (auto& [partition, pos] : positions_) pos = 0;
+  return Status::OK();
+}
+
+Result<std::vector<ConsumedMessage>> Consumer::Poll(size_t max_messages) {
+  if (!subscribed_) return Status::FailedPrecondition("not subscribed");
+  TR_RETURN_IF_ERROR(SyncAssignment());
+  std::vector<ConsumedMessage> out;
+  for (int p : assigned_) {
+    if (out.size() >= max_messages) break;
+    const PartitionAssignment* pa = nullptr;
+    for (const auto& cand : route_.partitions) {
+      if (cand.partition == p) {
+        pa = &cand;
+        break;
+      }
+    }
+    if (pa == nullptr) return Status::Internal("assignment not in route");
+    DataServer* server = cluster_->data_server(pa->server_id);
+    if (server == nullptr) return Status::Internal("route names bad server");
+    Offset& pos = positions_[p];
+    auto batch = server->Fetch(topic_, p, pos, max_messages - out.size());
+    if (!batch.ok()) {
+      if (batch.status().IsUnavailable()) continue;  // skip downed server
+      return batch.status();
+    }
+    for (auto& msg : *batch) {
+      ConsumedMessage cm;
+      cm.message = std::move(msg);
+      cm.partition = p;
+      cm.offset = pos++;
+      out.push_back(std::move(cm));
+    }
+  }
+  return out;
+}
+
+Status Consumer::Commit() {
+  if (!subscribed_) return Status::FailedPrecondition("not subscribed");
+  for (const auto& [partition, pos] : positions_) {
+    TR_RETURN_IF_ERROR(
+        cluster_->master().CommitOffset(topic_, group_, partition, pos));
+  }
+  return Status::OK();
+}
+
+Result<int64_t> Consumer::Lag() const {
+  if (!subscribed_) return Status::FailedPrecondition("not subscribed");
+  int64_t lag = 0;
+  for (int p : assigned_) {
+    const PartitionAssignment* pa = nullptr;
+    for (const auto& cand : route_.partitions) {
+      if (cand.partition == p) {
+        pa = &cand;
+        break;
+      }
+    }
+    if (pa == nullptr) return Status::Internal("assignment not in route");
+    DataServer* server = cluster_->data_server(pa->server_id);
+    auto end = server->EndOffset(topic_, p);
+    if (!end.ok()) return end.status();
+    auto it = positions_.find(p);
+    Offset pos = it == positions_.end() ? 0 : it->second;
+    lag += *end - pos;
+  }
+  return lag;
+}
+
+}  // namespace tencentrec::tdaccess

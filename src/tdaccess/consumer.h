@@ -1,0 +1,63 @@
+#ifndef TENCENTREC_TDACCESS_CONSUMER_H_
+#define TENCENTREC_TDACCESS_CONSUMER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tdaccess/cluster.h"
+
+namespace tencentrec::tdaccess {
+
+/// A consumer-group member. On Subscribe() the master assigns it a share of
+/// the topic's partitions; Poll() then drains those partitions in order,
+/// starting from the group's last committed offsets (so a restarted
+/// consumer resumes, and a brand-new group can replay the full history the
+/// data servers cached on disk).
+class Consumer {
+ public:
+  Consumer(Cluster* cluster, std::string topic, std::string group,
+           std::string member_id);
+  ~Consumer();
+
+  Consumer(const Consumer&) = delete;
+  Consumer& operator=(const Consumer&) = delete;
+
+  /// Joins the group and positions at the committed offsets.
+  Status Subscribe();
+
+  /// Repositions all assigned partitions at offset 0 (historical replay).
+  Status SeekToBeginning();
+
+  /// Fetches up to `max_messages` across assigned partitions. Empty result
+  /// means caught up.
+  Result<std::vector<ConsumedMessage>> Poll(size_t max_messages);
+
+  /// Persists the current positions to the master for the group.
+  Status Commit();
+
+  /// Total messages this member has not yet consumed (end - position summed
+  /// over assigned partitions).
+  Result<int64_t> Lag() const;
+
+  const std::vector<int>& assigned_partitions() const { return assigned_; }
+
+ private:
+  /// Re-reads the assignment (after a rebalance) and seeds positions for
+  /// newly acquired partitions from committed offsets.
+  Status SyncAssignment();
+
+  Cluster* cluster_;
+  std::string topic_;
+  std::string group_;
+  std::string member_id_;
+  bool subscribed_ = false;
+  std::vector<int> assigned_;
+  std::map<int, Offset> positions_;
+  TopicRoute route_;
+};
+
+}  // namespace tencentrec::tdaccess
+
+#endif  // TENCENTREC_TDACCESS_CONSUMER_H_

@@ -1,0 +1,68 @@
+#include "tdaccess/data_server.h"
+
+namespace tencentrec::tdaccess {
+
+DataServer::DataServer(int server_id, std::string data_dir)
+    : server_id_(server_id), data_dir_(std::move(data_dir)) {}
+
+Status DataServer::CreatePartition(const std::string& topic, int partition) {
+  if (down_.load()) return Status::Unavailable("data server down");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::make_pair(topic, partition);
+  if (logs_.count(key) > 0) {
+    return Status::AlreadyExists("partition exists: " + topic + "/" +
+                                 std::to_string(partition));
+  }
+  auto log = std::make_unique<SegmentLog>();
+  std::string path;
+  if (!data_dir_.empty()) {
+    path = data_dir_ + "/" + topic + "." + std::to_string(partition) + ".s" +
+           std::to_string(server_id_) + ".log";
+  }
+  TR_RETURN_IF_ERROR(log->Open(path));
+  logs_[key] = std::move(log);
+  return Status::OK();
+}
+
+SegmentLog* DataServer::FindLog(const std::string& topic,
+                                int partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = logs_.find(std::make_pair(topic, partition));
+  return it == logs_.end() ? nullptr : it->second.get();
+}
+
+Result<Offset> DataServer::Append(const std::string& topic, int partition,
+                                  const Message& msg) {
+  if (down_.load()) return Status::Unavailable("data server down");
+  SegmentLog* log = FindLog(topic, partition);
+  if (log == nullptr) {
+    return Status::NotFound("no partition " + topic + "/" +
+                            std::to_string(partition));
+  }
+  return log->Append(msg);
+}
+
+Result<std::vector<Message>> DataServer::Fetch(const std::string& topic,
+                                               int partition, Offset from,
+                                               size_t max_records) const {
+  if (down_.load()) return Status::Unavailable("data server down");
+  SegmentLog* log = FindLog(topic, partition);
+  if (log == nullptr) {
+    return Status::NotFound("no partition " + topic + "/" +
+                            std::to_string(partition));
+  }
+  return log->Read(from, max_records);
+}
+
+Result<Offset> DataServer::EndOffset(const std::string& topic,
+                                     int partition) const {
+  if (down_.load()) return Status::Unavailable("data server down");
+  SegmentLog* log = FindLog(topic, partition);
+  if (log == nullptr) {
+    return Status::NotFound("no partition " + topic + "/" +
+                            std::to_string(partition));
+  }
+  return log->EndOffset();
+}
+
+}  // namespace tencentrec::tdaccess

@@ -1,0 +1,54 @@
+#ifndef TENCENTREC_TDACCESS_DATA_SERVER_H_
+#define TENCENTREC_TDACCESS_DATA_SERVER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tdaccess/message.h"
+#include "tdaccess/segment_log.h"
+
+namespace tencentrec::tdaccess {
+
+/// A TDAccess data server: caches partition data (on disk when a data
+/// directory is configured) and serves publish/subscribe traffic for the
+/// partitions the master assigned to it. Data servers share nothing with
+/// each other (§3.2), which is what makes the tier linearly scalable.
+class DataServer {
+ public:
+  /// `server_id` names the server; `data_dir` empty = memory-only logs.
+  DataServer(int server_id, std::string data_dir);
+
+  int server_id() const { return server_id_; }
+
+  Status CreatePartition(const std::string& topic, int partition);
+
+  Result<Offset> Append(const std::string& topic, int partition,
+                        const Message& msg);
+
+  Result<std::vector<Message>> Fetch(const std::string& topic, int partition,
+                                     Offset from, size_t max_records) const;
+
+  Result<Offset> EndOffset(const std::string& topic, int partition) const;
+
+  /// Failure injection: while down, every call returns Unavailable.
+  void SetDown(bool down) { down_.store(down); }
+  bool IsDown() const { return down_.load(); }
+
+ private:
+  SegmentLog* FindLog(const std::string& topic, int partition) const;
+
+  const int server_id_;
+  const std::string data_dir_;
+  std::atomic<bool> down_{false};
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, int>, std::unique_ptr<SegmentLog>> logs_;
+};
+
+}  // namespace tencentrec::tdaccess
+
+#endif  // TENCENTREC_TDACCESS_DATA_SERVER_H_

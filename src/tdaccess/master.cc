@@ -1,0 +1,152 @@
+#include "tdaccess/master.h"
+
+#include <algorithm>
+
+namespace tencentrec::tdaccess {
+
+void MasterServer::AddDataServer(DataServer* server) {
+  std::lock_guard<std::mutex> lock(mu_);
+  servers_.push_back(server);
+  if (standby_ != nullptr) standby_->AddDataServer(server);
+}
+
+Status MasterServer::CreateTopic(const std::string& topic,
+                                 int num_partitions) {
+  if (num_partitions < 1) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  std::vector<DataServer*> servers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (servers_.empty()) {
+      return Status::FailedPrecondition("no data servers registered");
+    }
+    if (topics_.count(topic) > 0) {
+      return Status::AlreadyExists("topic exists: " + topic);
+    }
+    servers = servers_;
+  }
+
+  TopicRoute route;
+  route.topic = topic;
+  for (int p = 0; p < num_partitions; ++p) {
+    DataServer* server = servers[static_cast<size_t>(p) % servers.size()];
+    TR_RETURN_IF_ERROR(server->CreatePartition(topic, p));
+    route.partitions.push_back({p, server->server_id()});
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  topics_[topic] = route;
+  if (standby_ != nullptr) {
+    std::lock_guard<std::mutex> slock(standby_->mu_);
+    standby_->topics_[topic] = route;
+  }
+  return Status::OK();
+}
+
+Result<TopicRoute> MasterServer::GetRoute(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::NotFound("no topic: " + topic);
+  return it->second;
+}
+
+void MasterServer::Rebalance(const std::string& topic,
+                             const std::string& group) {
+  // Called with mu_ held. Splits partitions contiguously across members in
+  // join order.
+  auto topic_it = topics_.find(topic);
+  if (topic_it == topics_.end()) return;
+  const size_t num_partitions = topic_it->second.partitions.size();
+  const auto& members = groups_[{topic, group}];
+  // Clear old assignments for this (topic, group).
+  for (auto it = assignments_.begin(); it != assignments_.end();) {
+    if (std::get<0>(it->first) == topic && std::get<1>(it->first) == group) {
+      it = assignments_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (members.empty()) return;
+  const size_t per = num_partitions / members.size();
+  const size_t extra = num_partitions % members.size();
+  size_t next = 0;
+  for (size_t m = 0; m < members.size(); ++m) {
+    size_t count = per + (m < extra ? 1 : 0);
+    std::vector<int> assigned;
+    for (size_t i = 0; i < count && next < num_partitions; ++i) {
+      assigned.push_back(static_cast<int>(next++));
+    }
+    assignments_[{topic, group, members[m]}] = std::move(assigned);
+  }
+}
+
+Result<std::vector<int>> MasterServer::JoinGroup(const std::string& topic,
+                                                 const std::string& group,
+                                                 const std::string& member) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (topics_.count(topic) == 0) return Status::NotFound("no topic: " + topic);
+  auto& members = groups_[{topic, group}];
+  if (std::find(members.begin(), members.end(), member) != members.end()) {
+    return Status::AlreadyExists("member already in group: " + member);
+  }
+  members.push_back(member);
+  Rebalance(topic, group);
+  if (standby_ != nullptr) {
+    std::lock_guard<std::mutex> slock(standby_->mu_);
+    standby_->groups_ = groups_;
+    standby_->assignments_ = assignments_;
+  }
+  return assignments_[{topic, group, member}];
+}
+
+Status MasterServer::LeaveGroup(const std::string& topic,
+                                const std::string& group,
+                                const std::string& member) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& members = groups_[{topic, group}];
+  auto it = std::find(members.begin(), members.end(), member);
+  if (it == members.end()) return Status::NotFound("not a member: " + member);
+  members.erase(it);
+  Rebalance(topic, group);
+  if (standby_ != nullptr) {
+    std::lock_guard<std::mutex> slock(standby_->mu_);
+    standby_->groups_ = groups_;
+    standby_->assignments_ = assignments_;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<int>> MasterServer::GetAssignment(
+    const std::string& topic, const std::string& group,
+    const std::string& member) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = assignments_.find({topic, group, member});
+  if (it == assignments_.end()) {
+    return Status::NotFound("no assignment for member: " + member);
+  }
+  return it->second;
+}
+
+Status MasterServer::CommitOffset(const std::string& topic,
+                                  const std::string& group, int partition,
+                                  Offset offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  offsets_[{topic, group, partition}] = offset;
+  if (standby_ != nullptr) {
+    std::lock_guard<std::mutex> slock(standby_->mu_);
+    standby_->offsets_[{topic, group, partition}] = offset;
+  }
+  return Status::OK();
+}
+
+Result<Offset> MasterServer::FetchOffset(const std::string& topic,
+                                         const std::string& group,
+                                         int partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = offsets_.find({topic, group, partition});
+  if (it == offsets_.end()) return static_cast<Offset>(0);
+  return it->second;
+}
+
+}  // namespace tencentrec::tdaccess

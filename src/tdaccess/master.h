@@ -1,0 +1,92 @@
+#ifndef TENCENTREC_TDACCESS_MASTER_H_
+#define TENCENTREC_TDACCESS_MASTER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tdaccess/data_server.h"
+
+namespace tencentrec::tdaccess {
+
+/// Where one partition of a topic lives.
+struct PartitionAssignment {
+  int partition = -1;
+  int server_id = -1;
+};
+
+/// Route for a whole topic, handed to producers/consumers by the master so
+/// they can then talk to data servers directly (§3.2: "the producer or
+/// consumer cluster can communicate with these data servers directly").
+struct TopicRoute {
+  std::string topic;
+  std::vector<PartitionAssignment> partitions;
+};
+
+/// The master server: tracks data servers, balances partitions across them
+/// at topic creation, stores consumer-group offsets, and assigns partitions
+/// to the members of a consumer group.
+///
+/// Deployed as an active/standby pair (see Cluster): every mutation on the
+/// active is synchronously mirrored to the standby, so promotion loses
+/// nothing.
+class MasterServer {
+ public:
+  MasterServer() = default;
+
+  /// Registers a data server the master may assign partitions to.
+  void AddDataServer(DataServer* server);
+
+  /// Creates `topic` with `num_partitions`, balancing partitions round-robin
+  /// across data servers (partition granularity, §3.2).
+  Status CreateTopic(const std::string& topic, int num_partitions);
+
+  Result<TopicRoute> GetRoute(const std::string& topic) const;
+
+  /// --- consumer-group coordination ---
+
+  /// Adds a member and rebalances the group's partition assignment. Returns
+  /// this member's assigned partitions.
+  Result<std::vector<int>> JoinGroup(const std::string& topic,
+                                     const std::string& group,
+                                     const std::string& member);
+  Status LeaveGroup(const std::string& topic, const std::string& group,
+                    const std::string& member);
+  /// Partitions currently assigned to `member` (rebalance may have changed
+  /// them since Join).
+  Result<std::vector<int>> GetAssignment(const std::string& topic,
+                                         const std::string& group,
+                                         const std::string& member) const;
+
+  Status CommitOffset(const std::string& topic, const std::string& group,
+                      int partition, Offset offset);
+  /// Returns 0 when the group has no committed offset for the partition.
+  Result<Offset> FetchOffset(const std::string& topic,
+                             const std::string& group, int partition) const;
+
+  /// Mirrors every mutation into `standby` (active/standby replication).
+  void SetStandby(MasterServer* standby) { standby_ = standby; }
+
+ private:
+  void Rebalance(const std::string& topic, const std::string& group);
+
+  mutable std::mutex mu_;
+  std::vector<DataServer*> servers_;
+  std::map<std::string, TopicRoute> topics_;
+  /// (topic, group) -> members in join order.
+  std::map<std::pair<std::string, std::string>, std::vector<std::string>>
+      groups_;
+  /// (topic, group, partition) -> committed offset.
+  std::map<std::tuple<std::string, std::string, int>, Offset> offsets_;
+  /// (topic, group, member) -> assigned partitions.
+  std::map<std::tuple<std::string, std::string, std::string>, std::vector<int>>
+      assignments_;
+  MasterServer* standby_ = nullptr;
+};
+
+}  // namespace tencentrec::tdaccess
+
+#endif  // TENCENTREC_TDACCESS_MASTER_H_

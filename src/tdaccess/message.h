@@ -1,0 +1,33 @@
+#ifndef TENCENTREC_TDACCESS_MESSAGE_H_
+#define TENCENTREC_TDACCESS_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace tencentrec::tdaccess {
+
+/// Position of a message within one partition's log. Offsets are dense and
+/// start at zero, so consumers can replay history ("the offline computation
+/// requiring the historical data", §3.2) by seeking to any offset.
+using Offset = int64_t;
+
+/// One record on the bus. `key` drives partitioning (same key -> same
+/// partition -> total order for that key); `payload` is opaque bytes.
+struct Message {
+  std::string key;
+  std::string payload;
+  EventTime timestamp = 0;
+};
+
+/// A message as returned to consumers, annotated with its provenance.
+struct ConsumedMessage {
+  Message message;
+  int partition = -1;
+  Offset offset = -1;
+};
+
+}  // namespace tencentrec::tdaccess
+
+#endif  // TENCENTREC_TDACCESS_MESSAGE_H_

@@ -1,0 +1,45 @@
+#include "tdaccess/producer.h"
+
+namespace tencentrec::tdaccess {
+
+Producer::Producer(Cluster* cluster, std::string topic)
+    : cluster_(cluster), topic_(std::move(topic)) {}
+
+Status Producer::RefreshRoute() {
+  auto route = cluster_->master().GetRoute(topic_);
+  if (!route.ok()) return route.status();
+  route_ = std::move(route).value();
+  have_route_ = true;
+  return Status::OK();
+}
+
+Status Producer::Send(const Message& msg) {
+  if (!have_route_) TR_RETURN_IF_ERROR(RefreshRoute());
+  if (route_.partitions.empty()) {
+    return Status::Internal("topic has no partitions: " + topic_);
+  }
+  size_t index;
+  if (msg.key.empty()) {
+    index = round_robin_++ % route_.partitions.size();
+  } else {
+    index = HashString(msg.key) % route_.partitions.size();
+  }
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const PartitionAssignment& pa = route_.partitions[index];
+    DataServer* server = cluster_->data_server(pa.server_id);
+    if (server == nullptr) return Status::Internal("route names bad server");
+    auto appended = server->Append(topic_, pa.partition, msg);
+    if (appended.ok()) {
+      ++sent_;
+      return Status::OK();
+    }
+    if (!appended.status().IsUnavailable() || attempt == 1) {
+      return appended.status();
+    }
+    TR_RETURN_IF_ERROR(RefreshRoute());
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace tencentrec::tdaccess

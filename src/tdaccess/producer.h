@@ -1,0 +1,47 @@
+#ifndef TENCENTREC_TDACCESS_PRODUCER_H_
+#define TENCENTREC_TDACCESS_PRODUCER_H_
+
+#include <string>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "tdaccess/cluster.h"
+
+namespace tencentrec::tdaccess {
+
+/// Publishes messages to one topic. Fetches the route from the master once,
+/// then talks to data servers directly; keyed messages go to
+/// hash(key) % partitions, un-keyed messages round-robin.
+class Producer {
+ public:
+  Producer(Cluster* cluster, std::string topic);
+
+  /// Sends one message. Refreshes the route and retries once on
+  /// Unavailable (e.g. after the cluster recovered a data server).
+  Status Send(const Message& msg);
+
+  Status Send(std::string key, std::string payload, EventTime ts) {
+    Message m;
+    m.key = std::move(key);
+    m.payload = std::move(payload);
+    m.timestamp = ts;
+    return Send(m);
+  }
+
+  /// Messages successfully appended so far.
+  int64_t sent() const { return sent_; }
+
+ private:
+  Status RefreshRoute();
+
+  Cluster* cluster_;
+  std::string topic_;
+  TopicRoute route_;
+  bool have_route_ = false;
+  uint64_t round_robin_ = 0;
+  int64_t sent_ = 0;
+};
+
+}  // namespace tencentrec::tdaccess
+
+#endif  // TENCENTREC_TDACCESS_PRODUCER_H_

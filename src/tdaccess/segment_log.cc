@@ -1,0 +1,146 @@
+#include "tdaccess/segment_log.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace tencentrec::tdaccess {
+
+namespace {
+
+// On-disk record: [u32 crc][u32 key_len][u32 payload_len][i64 ts][key][payload]
+// crc covers everything after the crc field.
+constexpr size_t kHeaderSize = 4 + 4 + 4 + 8;
+
+void PutU32(std::string* buf, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  buf->append(b, 4);
+}
+
+void PutI64(std::string* buf, int64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  buf->append(b, 8);
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+int64_t GetI64(const char* p) {
+  int64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+std::string EncodeRecord(const Message& msg) {
+  std::string body;
+  PutU32(&body, static_cast<uint32_t>(msg.key.size()));
+  PutU32(&body, static_cast<uint32_t>(msg.payload.size()));
+  PutI64(&body, msg.timestamp);
+  body += msg.key;
+  body += msg.payload;
+  std::string out;
+  PutU32(&out, Crc32(body));
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+SegmentLog::~SegmentLog() { Close(); }
+
+Status SegmentLog::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_) return Status::FailedPrecondition("log already open");
+  open_ = true;
+  path_ = path;
+  records_.clear();
+  if (path_.empty()) return Status::OK();  // memory-only
+
+  // Recover any existing records first.
+  std::FILE* existing = std::fopen(path_.c_str(), "rb");
+  long valid_bytes = 0;
+  if (existing != nullptr) {
+    std::string header(kHeaderSize, '\0');
+    while (true) {
+      size_t n = std::fread(header.data(), 1, kHeaderSize, existing);
+      if (n != kHeaderSize) break;  // clean end or torn header
+      uint32_t crc = GetU32(header.data());
+      uint32_t key_len = GetU32(header.data() + 4);
+      uint32_t payload_len = GetU32(header.data() + 8);
+      int64_t ts = GetI64(header.data() + 12);
+      if (key_len > (1u << 24) || payload_len > (1u << 28)) break;  // insane
+      std::string data(static_cast<size_t>(key_len) + payload_len, '\0');
+      if (std::fread(data.data(), 1, data.size(), existing) != data.size()) {
+        break;  // torn record body
+      }
+      std::string body = header.substr(4);
+      body += data;
+      if (Crc32(body) != crc) break;  // corrupted tail
+      Message msg;
+      msg.key = data.substr(0, key_len);
+      msg.payload = data.substr(key_len);
+      msg.timestamp = ts;
+      records_.push_back(std::move(msg));
+      valid_bytes += static_cast<long>(kHeaderSize + data.size());
+    }
+    std::fclose(existing);
+  }
+
+  // Reopen for appending, truncating any torn tail.
+  file_ = std::fopen(path_.c_str(), existing != nullptr ? "rb+" : "wb+");
+  if (file_ == nullptr) return Status::IOError("cannot open " + path_);
+  if (std::fseek(file_, valid_bytes, SEEK_SET) != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return Status::IOError("cannot seek " + path_);
+  }
+  return Status::OK();
+}
+
+Result<Offset> SegmentLog::Append(const Message& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!path_.empty()) {
+    if (file_ == nullptr) return Status::FailedPrecondition("log not open");
+    std::string record = EncodeRecord(msg);
+    if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+      return Status::IOError("append failed on " + path_);
+    }
+  }
+  records_.push_back(msg);
+  return static_cast<Offset>(records_.size()) - 1;
+}
+
+Result<std::vector<Message>> SegmentLog::Read(Offset from,
+                                              size_t max_records) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (from < 0) return Status::InvalidArgument("negative offset");
+  std::vector<Message> out;
+  for (size_t i = static_cast<size_t>(from);
+       i < records_.size() && out.size() < max_records; ++i) {
+    out.push_back(records_[i]);
+  }
+  return out;
+}
+
+Offset SegmentLog::EndOffset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<Offset>(records_.size());
+}
+
+Status SegmentLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_ = false;
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  return Status::OK();
+}
+
+}  // namespace tencentrec::tdaccess

@@ -1,0 +1,63 @@
+#ifndef TENCENTREC_TDACCESS_SEGMENT_LOG_H_
+#define TENCENTREC_TDACCESS_SEGMENT_LOG_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tdaccess/message.h"
+
+namespace tencentrec::tdaccess {
+
+/// Append-only record log backing one partition.
+///
+/// TDAccess differs from a classic message queue in that it *stores* the
+/// data (to serve late/offline consumers and survive consumer absence,
+/// §3.2), relying on sequential I/O for speed. This log appends
+/// length-prefixed CRC-checked records to a file and keeps an in-memory
+/// offset index for random reads; Open() on an existing file replays it and
+/// truncates a torn tail.
+///
+/// With an empty path the log is memory-only (used by unit tests and
+/// benchmarks that don't exercise durability).
+class SegmentLog {
+ public:
+  SegmentLog() = default;
+  ~SegmentLog();
+
+  SegmentLog(const SegmentLog&) = delete;
+  SegmentLog& operator=(const SegmentLog&) = delete;
+
+  /// Opens (creating or recovering) the log. `path` empty = memory-only.
+  Status Open(const std::string& path);
+
+  /// Appends and returns the record's offset.
+  Result<Offset> Append(const Message& msg);
+
+  /// Reads up to `max_records` starting at `from` (inclusive). Returns fewer
+  /// (possibly zero) records at end of log.
+  Result<std::vector<Message>> Read(Offset from, size_t max_records) const;
+
+  /// One past the last appended offset.
+  Offset EndOffset() const;
+
+  Status Close();
+
+ private:
+  Status Recover();
+
+  mutable std::mutex mu_;
+  bool open_ = false;
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  // In-memory copy of all records. The file is the durable story; this is
+  // the "cache in disk ... sequential operations" trade made readable: reads
+  // never touch the file after recovery.
+  std::vector<Message> records_;
+};
+
+}  // namespace tencentrec::tdaccess
+
+#endif  // TENCENTREC_TDACCESS_SEGMENT_LOG_H_

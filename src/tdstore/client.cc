@@ -1,0 +1,153 @@
+#include "tdstore/client.h"
+
+namespace tencentrec::tdstore {
+
+Status Client::RefreshRoute() {
+  auto table = cluster_->config().GetRouteTable();
+  if (!table.ok()) return table.status();
+  route_ = std::move(table).value();
+  have_route_ = true;
+  ++route_refreshes_;
+  return Status::OK();
+}
+
+Status Client::EnsureRoute() {
+  if (have_route_) return Status::OK();
+  return RefreshRoute();
+}
+
+template <typename Op>
+auto Client::WithHost(std::string_view key, Op op) -> decltype(op(nullptr, 0)) {
+  Status ensure = EnsureRoute();
+  if (!ensure.ok()) return ensure;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const size_t instance =
+        HashString(key) % route_.placements.size();
+    const InstancePlacement& p = route_.placements[instance];
+    DataServer* host = cluster_->data_server(p.host_server);
+    if (host == nullptr) return Status::Internal("route names bad server");
+    auto result = op(host, p.instance_id);
+    if (result.ok() || !result.status().IsUnavailable() || attempt == 1) {
+      return result;
+    }
+    Status refresh = RefreshRoute();
+    if (!refresh.ok()) return refresh;
+  }
+  return Status::Internal("unreachable");
+}
+
+namespace {
+/// Adapts Status-returning ops to the Result-shaped WithHost contract.
+struct StatusResult {
+  Status status_;
+  StatusResult(Status s) : status_(std::move(s)) {}  // NOLINT(implicit)
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+};
+}  // namespace
+
+Status Client::Put(std::string_view key, std::string_view value) {
+  auto r = WithHost(key, [&](DataServer* host, int instance) -> StatusResult {
+    return host->Put(instance, key, value);
+  });
+  return r.status();
+}
+
+Result<std::string> Client::Get(std::string_view key) {
+  return WithHost(key,
+                  [&](DataServer* host, int instance) -> Result<std::string> {
+                    return host->Get(instance, key);
+                  });
+}
+
+Status Client::Delete(std::string_view key) {
+  auto r = WithHost(key, [&](DataServer* host, int instance) -> StatusResult {
+    return host->Delete(instance, key);
+  });
+  return r.status();
+}
+
+Result<double> Client::IncrDouble(std::string_view key, double delta) {
+  return WithHost(key, [&](DataServer* host, int instance) -> Result<double> {
+    return host->IncrDouble(instance, key, delta);
+  });
+}
+
+Result<int64_t> Client::IncrInt64(std::string_view key, int64_t delta) {
+  return WithHost(key, [&](DataServer* host, int instance) -> Result<int64_t> {
+    return host->IncrInt64(instance, key, delta);
+  });
+}
+
+Result<double> Client::GetDouble(std::string_view key, double fallback) {
+  auto raw = Get(key);
+  if (!raw.ok()) {
+    if (raw.status().IsNotFound()) return fallback;
+    return raw.status();
+  }
+  return DecodeDouble(*raw);
+}
+
+Result<int64_t> Client::GetInt64(std::string_view key, int64_t fallback) {
+  auto raw = Get(key);
+  if (!raw.ok()) {
+    if (raw.status().IsNotFound()) return fallback;
+    return raw.status();
+  }
+  return DecodeInt64(*raw);
+}
+
+Result<std::vector<std::optional<std::string>>> Client::MultiGet(
+    const std::vector<std::string>& keys) {
+  std::vector<std::optional<std::string>> out;
+  out.reserve(keys.size());
+  for (const auto& key : keys) {
+    auto v = Get(key);
+    if (v.ok()) {
+      out.emplace_back(std::move(v).value());
+    } else if (v.status().IsNotFound()) {
+      out.emplace_back(std::nullopt);
+    } else {
+      return v.status();
+    }
+  }
+  return out;
+}
+
+Status Client::ScanPrefix(
+    std::string_view prefix,
+    const std::function<bool(std::string_view, std::string_view)>& visitor) {
+  TR_RETURN_IF_ERROR(EnsureRoute());
+  bool keep_going = true;
+  // Copy: RefreshRoute() inside the loop would invalidate iterators into
+  // route_.placements.
+  const std::vector<InstancePlacement> placements = route_.placements;
+  for (const auto& p : placements) {
+    if (!keep_going) break;
+    DataServer* host = cluster_->data_server(p.host_server);
+    if (host == nullptr) return Status::Internal("route names bad server");
+    Status s = host->ScanPrefix(p.instance_id, prefix,
+                                [&](std::string_view k, std::string_view v) {
+                                  keep_going = visitor(k, v);
+                                  return keep_going;
+                                });
+    if (s.IsUnavailable()) {
+      TR_RETURN_IF_ERROR(RefreshRoute());
+      DataServer* retry_host =
+          cluster_->data_server(route_.placements[static_cast<size_t>(
+                                  p.instance_id)].host_server);
+      if (retry_host == nullptr) {
+        return Status::Internal("route names bad server");
+      }
+      s = retry_host->ScanPrefix(p.instance_id, prefix,
+                                 [&](std::string_view k, std::string_view v) {
+                                   keep_going = visitor(k, v);
+                                   return keep_going;
+                                 });
+    }
+    TR_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+}  // namespace tencentrec::tdstore

@@ -1,0 +1,71 @@
+#ifndef TENCENTREC_TDSTORE_CLIENT_H_
+#define TENCENTREC_TDSTORE_CLIENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "tdstore/cluster.h"
+#include "tdstore/codec.h"
+
+namespace tencentrec::tdstore {
+
+/// Client-side access to a TDStore cluster: fetches the route table from
+/// the config server once, then talks to data servers directly (§3.3),
+/// refreshing the table and retrying when a server turns out to be down.
+///
+/// Keys hash onto instances; all operations on one key are served by that
+/// instance's current host.
+class Client {
+ public:
+  explicit Client(Cluster* cluster) : cluster_(cluster) {}
+
+  Status Put(std::string_view key, std::string_view value);
+  Result<std::string> Get(std::string_view key);
+  Status Delete(std::string_view key);
+
+  /// Atomic add on a double-encoded value; missing key counts as 0.
+  Result<double> IncrDouble(std::string_view key, double delta);
+  Result<int64_t> IncrInt64(std::string_view key, int64_t delta);
+
+  Status PutDouble(std::string_view key, double value) {
+    return Put(key, EncodeDouble(value));
+  }
+  /// Missing key decodes as `fallback` (counters default to zero).
+  Result<double> GetDouble(std::string_view key, double fallback = 0.0);
+  Status PutInt64(std::string_view key, int64_t value) {
+    return Put(key, EncodeInt64(value));
+  }
+  Result<int64_t> GetInt64(std::string_view key, int64_t fallback = 0);
+
+  /// Point-gets each key; nullopt for missing keys.
+  Result<std::vector<std::optional<std::string>>> MultiGet(
+      const std::vector<std::string>& keys);
+
+  /// Visits every live key with `prefix` across all instances.
+  Status ScanPrefix(std::string_view prefix,
+                    const std::function<bool(std::string_view,
+                                             std::string_view)>& visitor);
+
+  /// Route-table refreshes performed (observability for tests).
+  int64_t route_refreshes() const { return route_refreshes_; }
+
+ private:
+  Status EnsureRoute();
+  Status RefreshRoute();
+  /// Runs `op` against the host of `key`'s instance, refreshing the route
+  /// and retrying once if the host is unavailable.
+  template <typename Op>
+  auto WithHost(std::string_view key, Op op) -> decltype(op(nullptr, 0));
+
+  Cluster* cluster_;
+  RouteTable route_;
+  bool have_route_ = false;
+  int64_t route_refreshes_ = 0;
+};
+
+}  // namespace tencentrec::tdstore
+
+#endif  // TENCENTREC_TDSTORE_CLIENT_H_

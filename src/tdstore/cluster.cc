@@ -1,0 +1,170 @@
+#include "tdstore/cluster.h"
+
+namespace tencentrec::tdstore {
+
+Cluster::Cluster(const Options& options) : options_(options) {}
+
+Result<std::unique_ptr<Cluster>> Cluster::Create(const Options& options) {
+  if (options.num_data_servers < 1) {
+    return Status::InvalidArgument("need at least one data server");
+  }
+  if (options.num_instances < 1) {
+    return Status::InvalidArgument("need at least one instance");
+  }
+  std::unique_ptr<Cluster> cluster(new Cluster(options));
+  Status s = cluster->Init();
+  if (!s.ok()) return s;
+  return cluster;
+}
+
+Status Cluster::Init() {
+  num_instances_ = options_.num_instances;
+  configs_[0] = std::make_unique<ConfigServer>();
+  configs_[1] = std::make_unique<ConfigServer>();
+  configs_[0]->SetBackup(configs_[1].get());
+
+  for (int i = 0; i < options_.num_data_servers; ++i) {
+    servers_.push_back(
+        std::make_unique<DataServer>(i, options_.sync_replication));
+  }
+
+  const bool replicated = options_.num_data_servers >= 2;
+  RouteTable table;
+  for (int inst = 0; inst < num_instances_; ++inst) {
+    InstancePlacement p;
+    p.instance_id = inst;
+    p.host_server = inst % options_.num_data_servers;
+    p.slave_server =
+        replicated ? (inst + 1) % options_.num_data_servers : -1;
+
+    EngineOptions engine = options_.engine;
+    if (engine.type == EngineType::kFdb) {
+      engine.fdb_path = options_.engine.fdb_path + ".i" +
+                        std::to_string(inst) + ".host.fdb";
+    } else if (engine.type == EngineType::kRdb) {
+      engine.rdb_path = options_.engine.rdb_path + ".i" +
+                        std::to_string(inst) + ".host.rdb";
+    }
+    TR_RETURN_IF_ERROR(servers_[static_cast<size_t>(p.host_server)]
+                           ->CreateInstance(inst, engine));
+    TR_RETURN_IF_ERROR(
+        servers_[static_cast<size_t>(p.host_server)]->SetHostRole(inst, true));
+    if (replicated) {
+      EngineOptions slave_engine = options_.engine;
+      if (slave_engine.type == EngineType::kFdb) {
+        slave_engine.fdb_path = options_.engine.fdb_path + ".i" +
+                                std::to_string(inst) + ".slave.fdb";
+      } else if (slave_engine.type == EngineType::kRdb) {
+        slave_engine.rdb_path = options_.engine.rdb_path + ".i" +
+                                std::to_string(inst) + ".slave.rdb";
+      }
+      TR_RETURN_IF_ERROR(servers_[static_cast<size_t>(p.slave_server)]
+                             ->CreateInstance(inst, slave_engine));
+      TR_RETURN_IF_ERROR(
+          servers_[static_cast<size_t>(p.host_server)]->SetSlave(
+              inst, servers_[static_cast<size_t>(p.slave_server)].get()));
+    }
+    table.placements.push_back(p);
+  }
+  return configs_[0]->Install(std::move(table));
+}
+
+DataServer* Cluster::data_server(int server_id) {
+  if (server_id < 0 || server_id >= static_cast<int>(servers_.size())) {
+    return nullptr;
+  }
+  return servers_[static_cast<size_t>(server_id)].get();
+}
+
+Status Cluster::FailDataServer(int server_id) {
+  DataServer* server = data_server(server_id);
+  if (server == nullptr) return Status::NotFound("no such server");
+  if (server->IsDown()) return Status::FailedPrecondition("already down");
+
+  // Snapshot the table before mutating it so we can stop replication from
+  // hosts whose slave just died.
+  auto before = config().GetRouteTable();
+  if (!before.ok()) return before.status();
+
+  server->SetDown(true);
+  auto affected = config().OnServerDown(server_id);
+  if (!affected.ok()) return affected.status();
+
+  for (const auto& p : before->placements) {
+    if (p.slave_server == server_id && p.host_server >= 0) {
+      DataServer* host = data_server(p.host_server);
+      if (host != nullptr && !host->IsDown()) {
+        TR_RETURN_IF_ERROR(host->SetSlave(p.instance_id, nullptr));
+      }
+    }
+    if (p.host_server == server_id && p.slave_server >= 0) {
+      // Promote the slave: it now serves client traffic for the instance
+      // (no slave of its own until a recovery re-seeds one).
+      DataServer* promoted = data_server(p.slave_server);
+      if (promoted != nullptr && !promoted->IsDown()) {
+        TR_RETURN_IF_ERROR(promoted->SetHostRole(p.instance_id, true));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Cluster::RecoverDataServer(int server_id) {
+  DataServer* server = data_server(server_id);
+  if (server == nullptr) return Status::NotFound("no such server");
+  if (!server->IsDown()) return Status::FailedPrecondition("not down");
+
+  // The server lost its state; it comes back blank and, crucially, without
+  // its old host-role replication pointers (otherwise clearing its stale
+  // data would cascade deletes into the live hosts).
+  server->SetDown(false);
+  server->ClearAllSlaves();
+  auto reseeded = config().OnServerRecovered(server_id);
+  if (!reseeded.ok()) return reseeded.status();
+
+  auto table = config().GetRouteTable();
+  if (!table.ok()) return table.status();
+  for (int inst : *reseeded) {
+    const InstancePlacement& p = table->placements[static_cast<size_t>(inst)];
+    DataServer* host = data_server(p.host_server);
+    if (host == nullptr) return Status::Internal("route names bad server");
+    // Blow away any stale copy, then full-copy from the host and resume
+    // replication.
+    if (server->HasInstance(inst)) {
+      TR_RETURN_IF_ERROR(server->ClearInstance(inst));
+    } else {
+      EngineOptions engine = options_.engine;
+      if (engine.type == EngineType::kFdb) {
+        engine.fdb_path = options_.engine.fdb_path + ".i" +
+                          std::to_string(inst) + ".recovered" +
+                          std::to_string(table->version) + ".fdb";
+      } else if (engine.type == EngineType::kRdb) {
+        engine.rdb_path = options_.engine.rdb_path + ".i" +
+                          std::to_string(inst) + ".recovered" +
+                          std::to_string(table->version) + ".rdb";
+      }
+      TR_RETURN_IF_ERROR(server->CreateInstance(inst, engine));
+    }
+    TR_RETURN_IF_ERROR(host->CopyInstanceTo(inst, server));
+    TR_RETURN_IF_ERROR(host->SetSlave(inst, server));
+  }
+  return Status::OK();
+}
+
+Status Cluster::FailActiveConfigServer() {
+  if (config_failed_once_) return Status::FailedPrecondition("no backup left");
+  config_failed_once_ = true;
+  configs_[1]->SetBackup(nullptr);
+  active_config_ = 1;
+  return Status::OK();
+}
+
+Status Cluster::FlushReplication() {
+  for (auto& server : servers_) {
+    if (server->IsDown()) continue;
+    TR_RETURN_IF_ERROR(server->FlushReplication());
+  }
+  return Status::OK();
+}
+
+}  // namespace tencentrec::tdstore

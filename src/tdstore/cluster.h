@@ -1,0 +1,66 @@
+#ifndef TENCENTREC_TDSTORE_CLUSTER_H_
+#define TENCENTREC_TDSTORE_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tdstore/config_server.h"
+#include "tdstore/data_server.h"
+
+namespace tencentrec::tdstore {
+
+/// An in-process TDStore deployment (Fig. 3): a host+backup config-server
+/// pair and N data servers. Instances (shards) are placed round-robin so
+/// that every server hosts some instances and backs up others — the
+/// fine-grained backup that keeps all servers serving (§3.3).
+class Cluster {
+ public:
+  struct Options {
+    int num_data_servers = 3;
+    int num_instances = 8;  ///< shards; keys hash onto these
+    EngineOptions engine;   ///< engine per instance (fdb_path used as prefix)
+    /// Synchronous replication: slave applies each op inline (used by
+    /// failover tests). Asynchronous matches the paper's "slave updates when
+    /// idle"; drain with FlushReplication().
+    bool sync_replication = true;
+  };
+
+  static Result<std::unique_ptr<Cluster>> Create(const Options& options);
+
+  ConfigServer& config() { return *configs_[active_config_]; }
+  const ConfigServer& config() const { return *configs_[active_config_]; }
+
+  DataServer* data_server(int server_id);
+  int num_data_servers() const { return static_cast<int>(servers_.size()); }
+  int num_instances() const { return num_instances_; }
+
+  /// Failure injection: marks a data server down and triggers failover.
+  Status FailDataServer(int server_id);
+
+  /// Brings a failed server back empty; re-seeds it as slave of the
+  /// instances missing a backup (full copy from their current hosts).
+  Status RecoverDataServer(int server_id);
+
+  /// Kills the host config server; the backup takes over.
+  Status FailActiveConfigServer();
+
+  /// Drains async replication queues on all servers.
+  Status FlushReplication();
+
+ private:
+  explicit Cluster(const Options& options);
+  Status Init();
+
+  Options options_;
+  int num_instances_ = 0;
+  std::vector<std::unique_ptr<DataServer>> servers_;
+  std::unique_ptr<ConfigServer> configs_[2];
+  int active_config_ = 0;
+  bool config_failed_once_ = false;
+};
+
+}  // namespace tencentrec::tdstore
+
+#endif  // TENCENTREC_TDSTORE_CLUSTER_H_

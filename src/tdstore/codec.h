@@ -1,0 +1,50 @@
+#ifndef TENCENTREC_TDSTORE_CODEC_H_
+#define TENCENTREC_TDSTORE_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tencentrec::tdstore {
+
+/// Fixed-width binary encodings for counter values stored in TDStore. The
+/// recommendation algorithms keep itemCount/pairCount/CTR statistics as
+/// doubles; the 8-byte encoding makes server-side atomic increments cheap.
+inline std::string EncodeDouble(double v) {
+  std::string out(sizeof(double), '\0');
+  std::memcpy(out.data(), &v, sizeof(double));
+  return out;
+}
+
+inline Result<double> DecodeDouble(std::string_view s) {
+  if (s.size() != sizeof(double)) {
+    return Status::Corruption("bad double encoding (size " +
+                              std::to_string(s.size()) + ")");
+  }
+  double v;
+  std::memcpy(&v, s.data(), sizeof(double));
+  return v;
+}
+
+inline std::string EncodeInt64(int64_t v) {
+  std::string out(sizeof(int64_t), '\0');
+  std::memcpy(out.data(), &v, sizeof(int64_t));
+  return out;
+}
+
+inline Result<int64_t> DecodeInt64(std::string_view s) {
+  if (s.size() != sizeof(int64_t)) {
+    return Status::Corruption("bad int64 encoding (size " +
+                              std::to_string(s.size()) + ")");
+  }
+  int64_t v;
+  std::memcpy(&v, s.data(), sizeof(int64_t));
+  return v;
+}
+
+}  // namespace tencentrec::tdstore
+
+#endif  // TENCENTREC_TDSTORE_CODEC_H_

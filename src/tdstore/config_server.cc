@@ -1,0 +1,71 @@
+#include "tdstore/config_server.h"
+
+namespace tencentrec::tdstore {
+
+Status ConfigServer::Install(RouteTable table) {
+  std::lock_guard lock(mu_);
+  table_ = std::move(table);
+  table_.version = 1;
+  if (backup_ != nullptr) {
+    std::lock_guard block(backup_->mu_);
+    backup_->table_ = table_;
+  }
+  return Status::OK();
+}
+
+Result<RouteTable> ConfigServer::GetRouteTable() const {
+  std::lock_guard lock(mu_);
+  if (table_.placements.empty()) {
+    return Status::FailedPrecondition("route table not installed");
+  }
+  return table_;
+}
+
+uint64_t ConfigServer::Version() const {
+  std::lock_guard lock(mu_);
+  return table_.version;
+}
+
+Result<std::vector<int>> ConfigServer::OnServerDown(int server_id) {
+  std::lock_guard lock(mu_);
+  std::vector<int> affected;
+  for (auto& p : table_.placements) {
+    if (p.host_server == server_id) {
+      if (p.slave_server < 0) {
+        return Status::Internal("instance " + std::to_string(p.instance_id) +
+                                " lost its only replica");
+      }
+      p.host_server = p.slave_server;
+      p.slave_server = -1;
+      affected.push_back(p.instance_id);
+    } else if (p.slave_server == server_id) {
+      p.slave_server = -1;
+      affected.push_back(p.instance_id);
+    }
+  }
+  ++table_.version;
+  if (backup_ != nullptr) {
+    std::lock_guard block(backup_->mu_);
+    backup_->table_ = table_;
+  }
+  return affected;
+}
+
+Result<std::vector<int>> ConfigServer::OnServerRecovered(int server_id) {
+  std::lock_guard lock(mu_);
+  std::vector<int> reseeded;
+  for (auto& p : table_.placements) {
+    if (p.slave_server < 0 && p.host_server != server_id) {
+      p.slave_server = server_id;
+      reseeded.push_back(p.instance_id);
+    }
+  }
+  ++table_.version;
+  if (backup_ != nullptr) {
+    std::lock_guard block(backup_->mu_);
+    backup_->table_ = table_;
+  }
+  return reseeded;
+}
+
+}  // namespace tencentrec::tdstore

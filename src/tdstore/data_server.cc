@@ -1,0 +1,302 @@
+#include "tdstore/data_server.h"
+
+#include "tdstore/codec.h"
+
+namespace tencentrec::tdstore {
+
+Status DataServer::CreateInstance(int instance_id,
+                                  const EngineOptions& options) {
+  if (down_.load()) return Status::Unavailable("data server down");
+  std::lock_guard lock(map_mu_);
+  if (instances_.count(instance_id) > 0) {
+    return Status::AlreadyExists("instance exists: " +
+                                 std::to_string(instance_id));
+  }
+  auto engine = CreateEngine(options);
+  if (!engine.ok()) return engine.status();
+  auto inst = std::make_unique<Instance>();
+  inst->engine = std::move(engine).value();
+  instances_[instance_id] = std::move(inst);
+  return Status::OK();
+}
+
+bool DataServer::HasInstance(int instance_id) const {
+  std::lock_guard lock(map_mu_);
+  return instances_.count(instance_id) > 0;
+}
+
+DataServer::Instance* DataServer::FindInstance(int instance_id) const {
+  std::lock_guard lock(map_mu_);
+  auto it = instances_.find(instance_id);
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+Status DataServer::SetSlave(int instance_id, DataServer* slave) {
+  Instance* inst = FindInstance(instance_id);
+  if (inst == nullptr) {
+    return Status::NotFound("no instance " + std::to_string(instance_id));
+  }
+  std::lock_guard lock(inst->mu);
+  inst->slave = slave;
+  return Status::OK();
+}
+
+void DataServer::ClearAllSlaves() {
+  std::lock_guard lock(map_mu_);
+  for (auto& [id, inst] : instances_) {
+    std::lock_guard ilock(inst->mu);
+    inst->slave = nullptr;
+    inst->is_host = false;
+    inst->pending.clear();
+  }
+}
+
+Status DataServer::SetHostRole(int instance_id, bool is_host) {
+  Instance* inst = FindInstance(instance_id);
+  if (inst == nullptr) {
+    return Status::NotFound("no instance " + std::to_string(instance_id));
+  }
+  std::lock_guard lock(inst->mu);
+  inst->is_host = is_host;
+  return Status::OK();
+}
+
+Status DataServer::ClearInstance(int instance_id) {
+  Instance* inst = FindInstance(instance_id);
+  if (inst == nullptr) {
+    return Status::NotFound("no instance " + std::to_string(instance_id));
+  }
+  std::lock_guard lock(inst->mu);
+  std::vector<std::string> keys;
+  TR_RETURN_IF_ERROR(inst->engine->ScanPrefix(
+      "", [&](std::string_view key, std::string_view) {
+        keys.emplace_back(key);
+        return true;
+      }));
+  for (const auto& key : keys) {
+    TR_RETURN_IF_ERROR(inst->engine->Delete(key));
+  }
+  return Status::OK();
+}
+
+Status DataServer::Put(int instance_id, std::string_view key,
+                       std::string_view value) {
+  if (down_.load()) return Status::Unavailable("data server down");
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  Instance* inst = FindInstance(instance_id);
+  if (inst == nullptr) {
+    return Status::NotFound("no instance " + std::to_string(instance_id));
+  }
+  std::lock_guard lock(inst->mu);
+  if (!inst->is_host) return Status::Unavailable("not the host replica");
+  TR_RETURN_IF_ERROR(inst->engine->Put(key, value));
+  ReplicationOp op;
+  op.key = std::string(key);
+  op.value = std::string(value);
+  if (inst->slave != nullptr) {
+    if (sync_replication_) {
+      (void)inst->slave->ApplyReplicated(instance_id, op);
+    } else {
+      inst->pending.push_back(std::move(op));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> DataServer::Get(int instance_id,
+                                    std::string_view key) const {
+  if (down_.load()) return Status::Unavailable("data server down");
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  Instance* inst = FindInstance(instance_id);
+  if (inst == nullptr) {
+    return Status::NotFound("no instance " + std::to_string(instance_id));
+  }
+  {
+    std::lock_guard lock(inst->mu);
+    if (!inst->is_host) return Status::Unavailable("not the host replica");
+  }
+  return inst->engine->Get(key);
+}
+
+Status DataServer::Delete(int instance_id, std::string_view key) {
+  if (down_.load()) return Status::Unavailable("data server down");
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  Instance* inst = FindInstance(instance_id);
+  if (inst == nullptr) {
+    return Status::NotFound("no instance " + std::to_string(instance_id));
+  }
+  std::lock_guard lock(inst->mu);
+  if (!inst->is_host) return Status::Unavailable("not the host replica");
+  TR_RETURN_IF_ERROR(inst->engine->Delete(key));
+  ReplicationOp op;
+  op.key = std::string(key);
+  op.is_delete = true;
+  if (inst->slave != nullptr) {
+    if (sync_replication_) {
+      (void)inst->slave->ApplyReplicated(instance_id, op);
+    } else {
+      inst->pending.push_back(std::move(op));
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> DataServer::IncrDouble(int instance_id, std::string_view key,
+                                      double delta) {
+  if (down_.load()) return Status::Unavailable("data server down");
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  Instance* inst = FindInstance(instance_id);
+  if (inst == nullptr) {
+    return Status::NotFound("no instance " + std::to_string(instance_id));
+  }
+  std::lock_guard lock(inst->mu);
+  if (!inst->is_host) return Status::Unavailable("not the host replica");
+  double current = 0.0;
+  auto existing = inst->engine->Get(key);
+  if (existing.ok()) {
+    auto decoded = DecodeDouble(*existing);
+    if (!decoded.ok()) return decoded.status();
+    current = *decoded;
+  } else if (!existing.status().IsNotFound()) {
+    return existing.status();
+  }
+  double next = current + delta;
+  std::string encoded = EncodeDouble(next);
+  TR_RETURN_IF_ERROR(inst->engine->Put(key, encoded));
+  ReplicationOp op;
+  op.key = std::string(key);
+  op.value = std::move(encoded);
+  if (inst->slave != nullptr) {
+    if (sync_replication_) {
+      (void)inst->slave->ApplyReplicated(instance_id, op);
+    } else {
+      inst->pending.push_back(std::move(op));
+    }
+  }
+  return next;
+}
+
+Result<int64_t> DataServer::IncrInt64(int instance_id, std::string_view key,
+                                      int64_t delta) {
+  if (down_.load()) return Status::Unavailable("data server down");
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  Instance* inst = FindInstance(instance_id);
+  if (inst == nullptr) {
+    return Status::NotFound("no instance " + std::to_string(instance_id));
+  }
+  std::lock_guard lock(inst->mu);
+  if (!inst->is_host) return Status::Unavailable("not the host replica");
+  int64_t current = 0;
+  auto existing = inst->engine->Get(key);
+  if (existing.ok()) {
+    auto decoded = DecodeInt64(*existing);
+    if (!decoded.ok()) return decoded.status();
+    current = *decoded;
+  } else if (!existing.status().IsNotFound()) {
+    return existing.status();
+  }
+  int64_t next = current + delta;
+  std::string encoded = EncodeInt64(next);
+  TR_RETURN_IF_ERROR(inst->engine->Put(key, encoded));
+  ReplicationOp op;
+  op.key = std::string(key);
+  op.value = std::move(encoded);
+  if (inst->slave != nullptr) {
+    if (sync_replication_) {
+      (void)inst->slave->ApplyReplicated(instance_id, op);
+    } else {
+      inst->pending.push_back(std::move(op));
+    }
+  }
+  return next;
+}
+
+Status DataServer::ScanPrefix(
+    int instance_id, std::string_view prefix,
+    const std::function<bool(std::string_view, std::string_view)>& visitor)
+    const {
+  if (down_.load()) return Status::Unavailable("data server down");
+  Instance* inst = FindInstance(instance_id);
+  if (inst == nullptr) {
+    return Status::NotFound("no instance " + std::to_string(instance_id));
+  }
+  {
+    std::lock_guard lock(inst->mu);
+    if (!inst->is_host) return Status::Unavailable("not the host replica");
+  }
+  return inst->engine->ScanPrefix(prefix, visitor);
+}
+
+Status DataServer::FlushReplication() {
+  if (down_.load()) return Status::Unavailable("data server down");
+  std::vector<std::pair<int, Instance*>> snapshot;
+  {
+    std::lock_guard lock(map_mu_);
+    for (auto& [id, inst] : instances_) snapshot.emplace_back(id, inst.get());
+  }
+  for (auto& [id, inst] : snapshot) {
+    std::deque<ReplicationOp> pending;
+    DataServer* slave;
+    {
+      std::lock_guard lock(inst->mu);
+      pending.swap(inst->pending);
+      slave = inst->slave;
+    }
+    if (slave == nullptr) continue;
+    for (const auto& op : pending) {
+      Status s = slave->ApplyReplicated(id, op);
+      if (!s.ok() && !s.IsUnavailable()) return s;
+    }
+  }
+  return Status::OK();
+}
+
+size_t DataServer::PendingReplication() const {
+  std::lock_guard lock(map_mu_);
+  size_t n = 0;
+  for (const auto& [id, inst] : instances_) {
+    std::lock_guard ilock(inst->mu);
+    n += inst->pending.size();
+  }
+  return n;
+}
+
+Status DataServer::ApplyReplicated(int instance_id, const ReplicationOp& op) {
+  if (down_.load()) return Status::Unavailable("data server down");
+  Instance* inst = FindInstance(instance_id);
+  if (inst == nullptr) {
+    return Status::NotFound("no instance " + std::to_string(instance_id));
+  }
+  std::lock_guard lock(inst->mu);
+  // Slaves apply verbatim and never cascade.
+  if (op.is_delete) return inst->engine->Delete(op.key);
+  return inst->engine->Put(op.key, op.value);
+}
+
+Status DataServer::CopyInstanceTo(int instance_id, DataServer* target) const {
+  if (down_.load()) return Status::Unavailable("data server down");
+  Instance* inst = FindInstance(instance_id);
+  if (inst == nullptr) {
+    return Status::NotFound("no instance " + std::to_string(instance_id));
+  }
+  Status status = Status::OK();
+  Status scan = inst->engine->ScanPrefix(
+      "", [&](std::string_view key, std::string_view value) {
+        ReplicationOp op;
+        op.key = std::string(key);
+        op.value = std::string(value);
+        status = target->ApplyReplicated(instance_id, op);
+        return status.ok();
+      });
+  TR_RETURN_IF_ERROR(scan);
+  return status;
+}
+
+size_t DataServer::TotalKeys() const {
+  std::lock_guard lock(map_mu_);
+  size_t n = 0;
+  for (const auto& [id, inst] : instances_) n += inst->engine->Count();
+  return n;
+}
+
+}  // namespace tencentrec::tdstore

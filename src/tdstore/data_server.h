@@ -1,0 +1,135 @@
+#ifndef TENCENTREC_TDSTORE_DATA_SERVER_H_
+#define TENCENTREC_TDSTORE_DATA_SERVER_H_
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "tdstore/engine.h"
+
+namespace tencentrec::tdstore {
+
+class DataServer;
+
+/// One replication op queued from a host instance to its slave.
+struct ReplicationOp {
+  std::string key;
+  std::string value;
+  bool is_delete = false;
+};
+
+/// A TDStore data server hosting multiple data instances (shards). Backup is
+/// done "in the granularity of data instance" (§3.3): this server may be
+/// the host of instance 3 and the slave of instance 7 simultaneously, so
+/// all servers serve traffic at once.
+///
+/// Replication is host-driven: after an update the host notifies the slave,
+/// which applies it "when idle" — modeled as a per-instance pending queue
+/// drained by FlushReplication() (or synchronously when
+/// `sync_replication` is set, which the failover tests use).
+class DataServer {
+ public:
+  DataServer(int server_id, bool sync_replication)
+      : server_id_(server_id), sync_replication_(sync_replication) {}
+
+  int server_id() const { return server_id_; }
+
+  /// Creates a local engine for `instance_id` (created as non-host; the
+  /// cluster assigns roles).
+  Status CreateInstance(int instance_id, const EngineOptions& options);
+  bool HasInstance(int instance_id) const;
+
+  /// Marks this server as host (or not) for `instance_id`. Client-facing
+  /// operations are only served in the host role — "only the host data
+  /// server provides service for a certain data instance" (§3.3); a stale
+  /// client hitting a demoted replica gets Unavailable and refreshes its
+  /// route table. Replication traffic (ApplyReplicated) is exempt.
+  Status SetHostRole(int instance_id, bool is_host);
+
+  /// Wipes all data of a local instance (admin path used when re-seeding a
+  /// recovered replica).
+  Status ClearInstance(int instance_id);
+
+  /// Points the host-side replication of `instance_id` at `slave` (nullptr
+  /// to stop replicating).
+  Status SetSlave(int instance_id, DataServer* slave);
+
+  /// Drops every instance's slave pointer, pending replication, and host
+  /// role. Called when this server rejoins as a pure slave after recovery —
+  /// its stale host-role state must neither cascade operations into live
+  /// hosts nor serve client traffic.
+  void ClearAllSlaves();
+
+  Status Put(int instance_id, std::string_view key, std::string_view value);
+  Result<std::string> Get(int instance_id, std::string_view key) const;
+  Status Delete(int instance_id, std::string_view key);
+
+  /// Atomic add on an 8-byte double value (missing key = 0). Returns the new
+  /// value. Single-writer-per-key is the common case (field grouping), but
+  /// the per-instance lock makes this safe regardless.
+  Result<double> IncrDouble(int instance_id, std::string_view key,
+                            double delta);
+  /// Atomic add on an 8-byte int64 value (missing key = 0).
+  Result<int64_t> IncrInt64(int instance_id, std::string_view key,
+                            int64_t delta);
+
+  Status ScanPrefix(int instance_id, std::string_view prefix,
+                    const std::function<bool(std::string_view,
+                                             std::string_view)>& visitor) const;
+
+  /// Drains pending replication ops for all hosted instances.
+  Status FlushReplication();
+
+  /// Number of pending (not yet replicated) ops across instances.
+  size_t PendingReplication() const;
+
+  /// Applies a replicated op coming from a host server.
+  Status ApplyReplicated(int instance_id, const ReplicationOp& op);
+
+  /// Copies the full content of `instance_id` into `target` (used to
+  /// re-seed a replacement slave after failover/recovery).
+  Status CopyInstanceTo(int instance_id, DataServer* target) const;
+
+  /// Failure injection: while down, all calls return Unavailable.
+  void SetDown(bool down) { down_.store(down); }
+  bool IsDown() const { return down_.load(); }
+
+  /// Total keys across hosted instances.
+  size_t TotalKeys() const;
+
+  /// Operation counters (reads = Get, writes = Put/Delete/Incr/replicated).
+  /// The combiner and cache ablation benches measure load with these.
+  int64_t reads() const { return reads_.load(); }
+  int64_t writes() const { return writes_.load(); }
+  void ResetCounters() {
+    reads_.store(0);
+    writes_.store(0);
+  }
+
+ private:
+  struct Instance {
+    std::unique_ptr<Engine> engine;
+    bool is_host = false;
+    DataServer* slave = nullptr;
+    std::deque<ReplicationOp> pending;
+    mutable std::mutex mu;  ///< serializes read-modify-write (Incr) and queue
+  };
+
+  Instance* FindInstance(int instance_id) const;
+
+  const int server_id_;
+  const bool sync_replication_;
+  std::atomic<bool> down_{false};
+  mutable std::atomic<int64_t> reads_{0};
+  mutable std::atomic<int64_t> writes_{0};
+  mutable std::mutex map_mu_;
+  std::map<int, std::unique_ptr<Instance>> instances_;
+};
+
+}  // namespace tencentrec::tdstore
+
+#endif  // TENCENTREC_TDSTORE_DATA_SERVER_H_

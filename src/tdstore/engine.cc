@@ -1,0 +1,30 @@
+#include "tdstore/engine.h"
+
+#include "tdstore/fdb_engine.h"
+#include "tdstore/ldb_engine.h"
+#include "tdstore/mdb_engine.h"
+#include "tdstore/rdb_engine.h"
+
+namespace tencentrec::tdstore {
+
+Result<std::unique_ptr<Engine>> CreateEngine(const EngineOptions& options) {
+  switch (options.type) {
+    case EngineType::kMdb:
+      return std::unique_ptr<Engine>(std::make_unique<MdbEngine>());
+    case EngineType::kLdb:
+      return std::unique_ptr<Engine>(std::make_unique<LdbEngine>(options));
+    case EngineType::kFdb: {
+      auto engine = FdbEngine::Open(options);
+      if (!engine.ok()) return engine.status();
+      return std::unique_ptr<Engine>(std::move(engine).value());
+    }
+    case EngineType::kRdb: {
+      auto engine = RdbEngine::Open(options);
+      if (!engine.ok()) return engine.status();
+      return std::unique_ptr<Engine>(std::move(engine).value());
+    }
+  }
+  return Status::InvalidArgument("unknown engine type");
+}
+
+}  // namespace tencentrec::tdstore

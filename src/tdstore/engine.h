@@ -1,0 +1,76 @@
+#ifndef TENCENTREC_TDSTORE_ENGINE_H_
+#define TENCENTREC_TDSTORE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tencentrec::tdstore {
+
+/// Storage engine behind one data instance. TDStore supports multiple
+/// engines (§3.3: MDB, LDB, RDB, FDB); this repo implements all four with
+/// distinct trade-offs:
+///  - MDB: in-memory hash table (the default for recommendation state);
+///  - LDB: log-structured merge engine (memtable + sorted runs, tombstones,
+///    compaction) in the LevelDB mold;
+///  - FDB: append-only file engine with an in-memory index, durable across
+///    reopen;
+///  - RDB: Redis-style in-memory engine with point-in-time snapshot
+///    persistence (mutations after the last snapshot are lost on restart).
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual Status Put(std::string_view key, std::string_view value) = 0;
+
+  /// NotFound if the key is absent (or deleted).
+  virtual Result<std::string> Get(std::string_view key) const = 0;
+
+  virtual Status Delete(std::string_view key) = 0;
+
+  /// Visits all live keys with the given prefix, in unspecified order.
+  /// The visitor returns false to stop early.
+  virtual Status ScanPrefix(
+      std::string_view prefix,
+      const std::function<bool(std::string_view key, std::string_view value)>&
+          visitor) const = 0;
+
+  /// Number of live keys (may be approximate for engines with tombstones).
+  virtual size_t Count() const = 0;
+
+  /// Durability/compaction hook; no-op where meaningless.
+  virtual Status Flush() = 0;
+};
+
+enum class EngineType {
+  kMdb,  ///< memory database: hash table
+  kLdb,  ///< level database: LSM (memtable + runs)
+  kFdb,  ///< file database: append-only log + index
+  kRdb,  ///< redis database: in-memory + point-in-time snapshots
+};
+
+struct EngineOptions {
+  EngineType type = EngineType::kMdb;
+  /// LDB: entries held in the memtable before flushing to a run.
+  size_t ldb_memtable_limit = 4096;
+  /// LDB: runs that trigger a full merge.
+  size_t ldb_max_runs = 4;
+  /// FDB: file path (required for kFdb).
+  std::string fdb_path;
+  /// FDB: rewrite the file when dead bytes exceed this fraction.
+  double fdb_compact_garbage_ratio = 0.5;
+  /// RDB: snapshot file path (required for kRdb).
+  std::string rdb_path;
+  /// RDB: auto-snapshot every this many mutations (0 = only on Flush()).
+  int64_t rdb_snapshot_interval_ops = 0;
+};
+
+/// Instantiates the engine described by `options`.
+Result<std::unique_ptr<Engine>> CreateEngine(const EngineOptions& options);
+
+}  // namespace tencentrec::tdstore
+
+#endif  // TENCENTREC_TDSTORE_ENGINE_H_

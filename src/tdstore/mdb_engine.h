@@ -1,0 +1,36 @@
+#ifndef TENCENTREC_TDSTORE_MDB_ENGINE_H_
+#define TENCENTREC_TDSTORE_MDB_ENGINE_H_
+
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "tdstore/engine.h"
+
+namespace tencentrec::tdstore {
+
+/// Memory DataBase engine: a mutex-guarded hash table. The workhorse for
+/// recommendation status data, where everything must fit in memory and
+/// reads dominate.
+class MdbEngine : public Engine {
+ public:
+  MdbEngine() = default;
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Result<std::string> Get(std::string_view key) const override;
+  Status Delete(std::string_view key) override;
+  Status ScanPrefix(
+      std::string_view prefix,
+      const std::function<bool(std::string_view, std::string_view)>& visitor)
+      const override;
+  size_t Count() const override;
+  Status Flush() override { return Status::OK(); }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, std::string> map_;
+};
+
+}  // namespace tencentrec::tdstore
+
+#endif  // TENCENTREC_TDSTORE_MDB_ENGINE_H_

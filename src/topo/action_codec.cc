@@ -1,0 +1,122 @@
+#include "topo/action_codec.h"
+
+#include <cstring>
+
+namespace tencentrec::topo {
+
+const std::vector<std::string>& ActionFields() {
+  static const std::vector<std::string>* kFields = new std::vector<std::string>{
+      "user", "item", "action", "ts", "gender", "age", "region"};
+  return *kFields;
+}
+
+tstorm::StreamDecl ActionStreamDecl(const std::string& stream_name) {
+  return tstorm::StreamDecl{stream_name, ActionFields()};
+}
+
+tstorm::Tuple ActionToTuple(const core::UserAction& action) {
+  return tstorm::Tuple(std::vector<tstorm::Value>{
+      static_cast<int64_t>(action.user),
+      static_cast<int64_t>(action.item),
+      static_cast<int64_t>(action.action),
+      static_cast<int64_t>(action.timestamp),
+      static_cast<int64_t>(action.demographics.gender),
+      static_cast<int64_t>(action.demographics.age_band),
+      static_cast<int64_t>(action.demographics.region),
+  });
+}
+
+Result<core::UserAction> ActionFromTuple(const tstorm::Tuple& tuple) {
+  if (tuple.size() != ActionFields().size()) {
+    return Status::Corruption("action tuple: wrong arity");
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (!std::holds_alternative<int64_t>(tuple.at(i))) {
+      return Status::Corruption("action tuple: non-integer field");
+    }
+  }
+  core::UserAction action;
+  action.user = tuple.GetInt(0);
+  action.item = tuple.GetInt(1);
+  const int64_t action_code = tuple.GetInt(2);
+  if (action_code < 0 ||
+      action_code >= static_cast<int64_t>(core::kNumActionTypes)) {
+    return Status::Corruption("action tuple: bad action type");
+  }
+  action.action = static_cast<core::ActionType>(action_code);
+  action.timestamp = tuple.GetInt(3);
+  const int64_t gender = tuple.GetInt(4);
+  if (gender < 0 || gender > core::Demographics::kFemale) {
+    return Status::Corruption("action tuple: bad gender");
+  }
+  action.demographics.gender =
+      static_cast<core::Demographics::Gender>(gender);
+  action.demographics.age_band = static_cast<uint8_t>(tuple.GetInt(5));
+  action.demographics.region = static_cast<uint16_t>(tuple.GetInt(6));
+  return action;
+}
+
+namespace {
+constexpr size_t kPayloadSize = 8 + 8 + 1 + 8 + 1 + 1 + 2;
+}  // namespace
+
+std::string EncodeActionPayload(const core::UserAction& action) {
+  std::string out;
+  out.reserve(kPayloadSize);
+  auto put = [&out](const void* p, size_t n) {
+    out.append(static_cast<const char*>(p), n);
+  };
+  int64_t user = action.user;
+  int64_t item = action.item;
+  uint8_t type = static_cast<uint8_t>(action.action);
+  int64_t ts = action.timestamp;
+  uint8_t gender = static_cast<uint8_t>(action.demographics.gender);
+  uint8_t age = action.demographics.age_band;
+  uint16_t region = action.demographics.region;
+  put(&user, 8);
+  put(&item, 8);
+  put(&type, 1);
+  put(&ts, 8);
+  put(&gender, 1);
+  put(&age, 1);
+  put(&region, 2);
+  return out;
+}
+
+Result<core::UserAction> DecodeActionPayload(std::string_view payload) {
+  if (payload.size() != kPayloadSize) {
+    return Status::Corruption("action payload: bad size");
+  }
+  size_t pos = 0;
+  auto get = [&payload, &pos](void* p, size_t n) {
+    std::memcpy(p, payload.data() + pos, n);
+    pos += n;
+  };
+  core::UserAction action;
+  int64_t user, item, ts;
+  uint8_t type, gender, age;
+  uint16_t region;
+  get(&user, 8);
+  get(&item, 8);
+  get(&type, 1);
+  get(&ts, 8);
+  get(&gender, 1);
+  get(&age, 1);
+  get(&region, 2);
+  if (type >= core::kNumActionTypes) {
+    return Status::Corruption("action payload: bad action type");
+  }
+  if (gender > core::Demographics::kFemale) {
+    return Status::Corruption("action payload: bad gender");
+  }
+  action.user = user;
+  action.item = item;
+  action.action = static_cast<core::ActionType>(type);
+  action.timestamp = ts;
+  action.demographics.gender = static_cast<core::Demographics::Gender>(gender);
+  action.demographics.age_band = age;
+  action.demographics.region = region;
+  return action;
+}
+
+}  // namespace tencentrec::topo

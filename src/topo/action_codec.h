@@ -1,0 +1,32 @@
+#ifndef TENCENTREC_TOPO_ACTION_CODEC_H_
+#define TENCENTREC_TOPO_ACTION_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/action.h"
+#include "tstorm/component.h"
+#include "tstorm/value.h"
+
+namespace tencentrec::topo {
+
+/// Field names of an action tuple, in order: user, item, action, ts,
+/// gender, age, region. The canonical schema every action stream declares.
+const std::vector<std::string>& ActionFields();
+
+tstorm::StreamDecl ActionStreamDecl(const std::string& stream_name);
+
+/// UserAction -> stream tuple (all int64 fields).
+tstorm::Tuple ActionToTuple(const core::UserAction& action);
+
+/// Stream tuple -> UserAction. Corruption on arity/type mismatch.
+Result<core::UserAction> ActionFromTuple(const tstorm::Tuple& tuple);
+
+/// UserAction <-> TDAccess message payload (fixed 29-byte binary record).
+std::string EncodeActionPayload(const core::UserAction& action);
+Result<core::UserAction> DecodeActionPayload(std::string_view payload);
+
+}  // namespace tencentrec::topo
+
+#endif  // TENCENTREC_TOPO_ACTION_CODEC_H_

@@ -1,0 +1,537 @@
+#include "topo/bolts.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/ctr.h"
+#include "core/rating.h"
+#include "topo/blob_codec.h"
+#include "topo/query.h"
+
+namespace tencentrec::topo {
+
+namespace {
+
+/// Upserts (other, score) into a descending scored list capped at `cap`.
+/// Returns true if the list changed.
+bool UpsertScored(core::Recommendations* list, core::ItemId other,
+                  double score, size_t cap) {
+  for (auto& e : *list) {
+    if (e.item == other) {
+      if (e.score == score) return false;
+      e.score = score;
+      std::sort(list->begin(), list->end(),
+                [](const core::ScoredItem& a, const core::ScoredItem& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return a.item < b.item;
+                });
+      return true;
+    }
+  }
+  if (list->size() >= cap && score <= list->back().score) return false;
+  list->push_back({other, score});
+  std::sort(list->begin(), list->end(),
+            [](const core::ScoredItem& a, const core::ScoredItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.item < b.item;
+            });
+  if (list->size() > cap) list->resize(cap);
+  return true;
+}
+
+}  // namespace
+
+void StoreBolt::Prepare(const tstorm::TaskContext& ctx) {
+  ctx_ = ctx;
+  client_ = std::make_unique<tdstore::Client>(app_->store);
+  cache_ = std::make_unique<StoreCache>(client_.get(),
+                                        app_->options.cache_capacity,
+                                        app_->options.enable_cache);
+}
+
+Result<double> StoreBolt::WindowSum(
+    const std::function<std::string(int64_t session)>& key_of, EventTime now,
+    bool use_cache) {
+  const int64_t last = app_->SessionOf(now);
+  const int64_t first = app_->WindowStart(now);
+  double sum = 0.0;
+  for (int64_t s = first; s <= last; ++s) {
+    auto v = use_cache ? cache_->Get(key_of(s)) : client_->Get(key_of(s));
+    if (v.ok()) {
+      auto decoded = tdstore::DecodeDouble(*v);
+      if (!decoded.ok()) return decoded.status();
+      sum += *decoded;
+    } else if (!v.status().IsNotFound()) {
+      return v.status();
+    }
+  }
+  return sum;
+}
+
+// --- PretreatmentBolt -------------------------------------------------------
+
+void PretreatmentBolt::Execute(const tstorm::Tuple& input,
+                               const tstorm::TupleSource& source,
+                               tstorm::OutputCollector& out) {
+  (void)source;
+  auto action = ActionFromTuple(input);
+  if (!action.ok() || action->user <= 0 || action->item <= 0 ||
+      action->timestamp < 0) {
+    ++dropped_;
+    return;
+  }
+  out.Emit(ActionToTuple(*action));
+}
+
+// --- UserHistoryBolt --------------------------------------------------------
+
+void UserHistoryBolt::Execute(const tstorm::Tuple& input,
+                              const tstorm::TupleSource& source,
+                              tstorm::OutputCollector& out) {
+  (void)source;
+  auto action = ActionFromTuple(input);
+  if (!action.ok()) return;
+
+  // Demographic path (multi-hash stage 1 -> 2 handoff): popularity weight
+  // per action, routed by (group, item).
+  if (options().algorithms.demographic) {
+    const double w = options().weights.Weight(action->action);
+    if (w > 0.0) {
+      const auto group =
+          static_cast<int64_t>(core::DemographicGroup(action->demographics));
+      out.EmitTo(2, tstorm::Tuple::Of({group, action->item, w,
+                                       action->timestamp}));
+      if (group != 0) {
+        out.EmitTo(2, tstorm::Tuple::Of({static_cast<int64_t>(0),
+                                         action->item, w,
+                                         action->timestamp}));
+      }
+    }
+  }
+
+  if (!options().algorithms.item_cf) return;
+
+  // Load + update the user's history blob.
+  const std::string key = keys().UserHistory(action->user);
+  core::UserHistory history;
+  auto blob = cache_->Get(key);
+  if (blob.ok()) {
+    auto decoded = DecodeUserHistory(*blob);
+    if (decoded.ok()) {
+      history = std::move(decoded).value();
+    } else {
+      TR_LOG(kWarning, "corrupt user history for %lld; resetting",
+             static_cast<long long>(action->user));
+    }
+  } else if (!blob.status().IsNotFound()) {
+    TR_LOG(kError, "user history read failed: %s",
+           blob.status().ToString().c_str());
+    return;
+  }
+
+  core::RatingUpdate update =
+      history.Apply(*action, options().weights, options().linked_time);
+  Status put = cache_->Put(key, EncodeUserHistory(history));
+  if (!put.ok()) {
+    TR_LOG(kError, "user history write failed: %s", put.ToString().c_str());
+    return;
+  }
+
+  if (update.rating_delta > 0.0) {
+    out.EmitTo(0, tstorm::Tuple::Of({update.item, update.rating_delta,
+                                     action->timestamp}));
+  }
+  for (const auto& pair : update.pairs) {
+    const core::ItemId lo = std::min(update.item, pair.other);
+    const core::ItemId hi = std::max(update.item, pair.other);
+    out.EmitTo(1, tstorm::Tuple::Of({lo, hi, pair.co_rating_delta,
+                                     action->timestamp}));
+  }
+}
+
+// --- ItemCountBolt ----------------------------------------------------------
+
+void ItemCountBolt::Execute(const tstorm::Tuple& input,
+                            const tstorm::TupleSource& source,
+                            tstorm::OutputCollector& out) {
+  (void)source;
+  const core::ItemId item = input.GetInt(0);
+  const double delta = input.GetDouble(1);
+  const EventTime ts = input.GetInt(2);
+  const std::string key = keys().ItemCount(app_->SessionOf(ts), item);
+  if (options().enable_combiner) {
+    combiner_.Add(key, delta);
+  } else {
+    auto r = cache_->AddDouble(key, delta);
+    if (!r.ok()) {
+      TR_LOG(kError, "itemCount update failed: %s",
+             r.status().ToString().c_str());
+    }
+  }
+  (void)out;
+}
+
+void ItemCountBolt::Tick(tstorm::OutputCollector& out) {
+  (void)out;
+  Status s = combiner_.Flush([&](const std::string& key, double delta) {
+    return cache_->AddDouble(key, delta).status();
+  });
+  if (!s.ok()) {
+    TR_LOG(kError, "itemCount flush failed: %s", s.ToString().c_str());
+  }
+}
+
+// --- CfPairBolt -------------------------------------------------------------
+
+void CfPairBolt::Prepare(const tstorm::TaskContext& ctx) {
+  StoreBolt::Prepare(ctx);
+  double delta = options().hoeffding_delta;
+  if (delta <= 0.0 || delta >= 1.0) delta = 0.05;
+  hoeffding_ln_inv_delta_ = std::log(1.0 / delta);
+}
+
+void CfPairBolt::Execute(const tstorm::Tuple& input,
+                         const tstorm::TupleSource& source,
+                         tstorm::OutputCollector& out) {
+  (void)source;
+  const core::ItemId lo = input.GetInt(0);
+  const core::ItemId hi = input.GetInt(1);
+  const double co_delta = input.GetDouble(2);
+  const EventTime ts = input.GetInt(3);
+
+  // Algorithm 1, line 3–5: pruned pairs are skipped outright. The flag is
+  // monotone (never unset), so caching it is safe.
+  if (options().enable_pruning) {
+    auto flag = cache_->Get(keys().Pruned(lo, hi));
+    if (flag.ok()) {
+      ++pruned_skips_;
+      return;
+    }
+    if (!flag.status().IsNotFound()) {
+      TR_LOG(kError, "prune flag read failed: %s",
+             flag.status().ToString().c_str());
+      return;
+    }
+  }
+
+  // pairCount update (Eq. 8) in this event's session bucket.
+  const int64_t session = app_->SessionOf(ts);
+  auto pc = cache_->AddDouble(keys().PairCount(session, lo, hi), co_delta);
+  if (!pc.ok()) {
+    TR_LOG(kError, "pairCount update failed: %s",
+           pc.status().ToString().c_str());
+    return;
+  }
+  ++pair_updates_;
+
+  // Read the windowed sums and combine into the new similarity (Eq. 5/10).
+  // itemCounts are maintained by ItemCountBolt; the statistics/computation
+  // decoupling of §5.1 means we may read a slightly stale subtotal while
+  // its combiner holds a delta — the next touch of this pair refreshes it.
+  // pairCounts are this bolt's own keys (cacheable); itemCounts belong to
+  // ItemCountBolt and must be read fresh.
+  auto pc_sum = WindowSum(
+      [&](int64_t s) { return keys().PairCount(s, lo, hi); }, ts,
+      /*use_cache=*/true);
+  auto ic_lo = WindowSum(
+      [&](int64_t s) { return keys().ItemCount(s, lo); }, ts,
+      /*use_cache=*/false);
+  auto ic_hi = WindowSum(
+      [&](int64_t s) { return keys().ItemCount(s, hi); }, ts,
+      /*use_cache=*/false);
+  if (!pc_sum.ok() || !ic_lo.ok() || !ic_hi.ok()) {
+    TR_LOG(kError, "window sum read failed");
+    return;
+  }
+  double sim = 0.0;
+  if (*ic_lo > 0.0 && *ic_hi > 0.0 && *pc_sum > 0.0) {
+    sim = *pc_sum / (std::sqrt(*ic_lo) * std::sqrt(*ic_hi));
+  }
+
+  out.EmitTo(0, tstorm::Tuple::Of({lo, hi, sim}));
+  out.EmitTo(0, tstorm::Tuple::Of({hi, lo, sim}));
+
+  if (!options().enable_pruning) return;
+
+  // Algorithm 1 lines 9–17.
+  auto n = client_->IncrInt64(keys().PairObservations(lo, hi), 1);
+  if (!n.ok()) return;
+  auto t_lo = client_->GetDouble(keys().SimilarThreshold(lo), 0.0);
+  auto t_hi = client_->GetDouble(keys().SimilarThreshold(hi), 0.0);
+  if (!t_lo.ok() || !t_hi.ok()) return;
+  const double t = std::min(*t_lo, *t_hi);
+  if (t <= 0.0) return;
+  const double epsilon = std::sqrt(hoeffding_ln_inv_delta_ /
+                                   (2.0 * static_cast<double>(*n)));
+  if (epsilon < t - sim) {
+    Status s = cache_->Put(keys().Pruned(lo, hi), "1");
+    if (!s.ok()) return;
+    ++prune_decisions_;
+    out.EmitTo(1, tstorm::Tuple::Of({lo, hi}));
+    out.EmitTo(1, tstorm::Tuple::Of({hi, lo}));
+  }
+}
+
+// --- SimilarListBolt --------------------------------------------------------
+
+void SimilarListBolt::Execute(const tstorm::Tuple& input,
+                              const tstorm::TupleSource& source,
+                              tstorm::OutputCollector& out) {
+  (void)source;
+  (void)out;
+  const core::ItemId item = input.GetInt(0);
+  const core::ItemId other = input.GetInt(1);
+  const bool is_prune = input.size() == 2;  // "prune" stream has two fields
+
+  const std::string key = keys().SimilarItems(item);
+  core::Recommendations list;
+  auto blob = cache_->Get(key);
+  if (blob.ok()) {
+    auto decoded = DecodeScoredList(*blob);
+    if (decoded.ok()) list = std::move(decoded).value();
+  } else if (!blob.status().IsNotFound()) {
+    TR_LOG(kError, "similar list read failed: %s",
+           blob.status().ToString().c_str());
+    return;
+  }
+
+  bool changed;
+  if (is_prune) {
+    const size_t before = list.size();
+    std::erase_if(list, [&](const core::ScoredItem& s) {
+      return s.item == other;
+    });
+    changed = list.size() != before;
+  } else {
+    const double sim = input.GetDouble(2);
+    changed = UpsertScored(&list, other, sim,
+                           static_cast<size_t>(options().top_k));
+  }
+  if (!changed) return;
+
+  Status s = cache_->Put(key, EncodeScoredList(list));
+  if (!s.ok()) {
+    TR_LOG(kError, "similar list write failed: %s", s.ToString().c_str());
+    return;
+  }
+  // Publish the admission threshold for the pruning stage: the K-th best
+  // score once the list is full, else 0 (everything admissible).
+  const double threshold =
+      list.size() >= static_cast<size_t>(options().top_k) ? list.back().score
+                                                          : 0.0;
+  s = cache_->Put(keys().SimilarThreshold(item),
+                  tdstore::EncodeDouble(threshold));
+  if (!s.ok()) {
+    TR_LOG(kError, "threshold write failed: %s", s.ToString().c_str());
+  }
+}
+
+// --- GroupCountBolt ---------------------------------------------------------
+
+void GroupCountBolt::Execute(const tstorm::Tuple& input,
+                             const tstorm::TupleSource& source,
+                             tstorm::OutputCollector& out) {
+  (void)source;
+  const int64_t group = input.GetInt(0);
+  const core::ItemId item = input.GetInt(1);
+  const double delta = input.GetDouble(2);
+  const EventTime ts = input.GetInt(3);
+  latest_ts_ = std::max(latest_ts_, ts);
+
+  const std::string key = keys().GroupHot(static_cast<core::GroupId>(group),
+                                          app_->SessionOf(ts), item);
+  if (options().enable_combiner) {
+    combiner_.Add(key, delta);
+    touched_.insert({group, item});
+  } else {
+    auto r = cache_->AddDouble(key, delta);
+    if (!r.ok()) return;
+    out.Emit(tstorm::Tuple::Of({group, item, ts}));
+  }
+}
+
+void GroupCountBolt::Tick(tstorm::OutputCollector& out) {
+  Status s = combiner_.Flush([&](const std::string& key, double delta) {
+    return cache_->AddDouble(key, delta).status();
+  });
+  if (!s.ok()) {
+    TR_LOG(kError, "group count flush failed: %s", s.ToString().c_str());
+    return;
+  }
+  for (const auto& [group, item] : touched_) {
+    out.Emit(tstorm::Tuple::Of({group, item, latest_ts_}));
+  }
+  touched_.clear();
+}
+
+// --- HotListBolt ------------------------------------------------------------
+
+void HotListBolt::Execute(const tstorm::Tuple& input,
+                          const tstorm::TupleSource& source,
+                          tstorm::OutputCollector& out) {
+  (void)source;
+  (void)out;
+  const int64_t group = input.GetInt(0);
+  const core::ItemId item = input.GetInt(1);
+  latest_ts_ = std::max(latest_ts_, input.GetInt(2));
+
+  // Windowed popularity of the touched item (window end = the latest event
+  // time this bolt has seen), then upsert into the group's hot list blob.
+  // Group counters are written by GroupCountBolt — never cache them here.
+  auto pop = WindowSum(
+      [&](int64_t s) {
+        return keys().GroupHot(static_cast<core::GroupId>(group), s, item);
+      },
+      latest_ts_, /*use_cache=*/false);
+  if (!pop.ok()) return;
+
+  const std::string key = keys().HotList(static_cast<core::GroupId>(group));
+  core::Recommendations list;
+  auto blob = cache_->Get(key);
+  if (blob.ok()) {
+    auto decoded = DecodeScoredList(*blob);
+    if (decoded.ok()) list = std::move(decoded).value();
+  } else if (!blob.status().IsNotFound()) {
+    return;
+  }
+  if (!UpsertScored(&list, item, *pop,
+                    static_cast<size_t>(options().hot_list_size))) {
+    return;
+  }
+  Status s = cache_->Put(key, EncodeScoredList(list));
+  if (!s.ok()) {
+    TR_LOG(kError, "hot list write failed: %s", s.ToString().c_str());
+  }
+}
+
+// --- CtrStatsBolt -----------------------------------------------------------
+
+void CtrStatsBolt::Execute(const tstorm::Tuple& input,
+                           const tstorm::TupleSource& source,
+                           tstorm::OutputCollector& out) {
+  (void)source;
+  (void)out;
+  auto action = ActionFromTuple(input);
+  if (!action.ok()) return;
+  const bool click = action->action == core::ActionType::kClick;
+  if (!click && action->action != core::ActionType::kImpression) return;
+
+  const int64_t session = app_->SessionOf(action->timestamp);
+  const int max_level = core::CtrMaxLevel(action->demographics);
+  for (int level = 0; level <= max_level; ++level) {
+    const uint64_t level_key =
+        core::CtrLevelKey(action->item, level, action->demographics);
+    const std::string key =
+        keys().CtrCounts(level_key, session) + (click ? ":c" : ":i");
+    if (options().enable_combiner) {
+      combiner_.Add(key, 1.0);
+    } else {
+      auto r = cache_->AddDouble(key, 1.0);
+      if (!r.ok()) return;
+    }
+  }
+}
+
+void CtrStatsBolt::Tick(tstorm::OutputCollector& out) {
+  (void)out;
+  Status s = combiner_.Flush([&](const std::string& key, double delta) {
+    return cache_->AddDouble(key, delta).status();
+  });
+  if (!s.ok()) {
+    TR_LOG(kError, "ctr flush failed: %s", s.ToString().c_str());
+  }
+}
+
+// --- CbProfileBolt ----------------------------------------------------------
+
+void CbProfileBolt::Prepare(const tstorm::TaskContext& ctx) {
+  StoreBolt::Prepare(ctx);
+  const EventTime hl =
+      options().profile_half_life < 1 ? 1 : options().profile_half_life;
+  decay_lambda_ = std::log(2.0) / static_cast<double>(hl);
+}
+
+void CbProfileBolt::Execute(const tstorm::Tuple& input,
+                            const tstorm::TupleSource& source,
+                            tstorm::OutputCollector& out) {
+  (void)source;
+  (void)out;
+  auto action = ActionFromTuple(input);
+  if (!action.ok()) return;
+  const double w = options().weights.Weight(action->action);
+  if (w <= 0.0) return;
+
+  auto tags_blob = cache_->Get(keys().ItemTags(action->item));
+  if (!tags_blob.ok()) return;  // untagged item: nothing to learn
+  auto tags = DecodeTagVector(*tags_blob);
+  if (!tags.ok()) return;
+
+  const std::string key = keys().ContentProfile(action->user);
+  ContentProfileBlob profile;
+  auto blob = cache_->Get(key);
+  if (blob.ok()) {
+    auto decoded = DecodeContentProfile(*blob);
+    if (decoded.ok()) profile = std::move(decoded).value();
+  } else if (!blob.status().IsNotFound()) {
+    return;
+  }
+
+  // Decay to the action time, then fold the item's tags in.
+  if (action->timestamp > profile.last_update && !profile.weights.empty()) {
+    const double factor = std::exp(
+        -decay_lambda_ *
+        static_cast<double>(action->timestamp - profile.last_update));
+    for (auto& [tag, weight] : profile.weights) weight *= factor;
+    std::erase_if(profile.weights,
+                  [](const auto& p) { return p.second < 1e-9; });
+  }
+  profile.last_update = std::max(profile.last_update, action->timestamp);
+  for (const auto& [tag, tw] : *tags) {
+    bool found = false;
+    for (auto& [pt, pw] : profile.weights) {
+      if (pt == tag) {
+        pw += w * tw;
+        found = true;
+        break;
+      }
+    }
+    if (!found) profile.weights.emplace_back(tag, w * tw);
+  }
+
+  Status s = cache_->Put(key, EncodeContentProfile(profile));
+  if (!s.ok()) {
+    TR_LOG(kError, "profile write failed: %s", s.ToString().c_str());
+  }
+}
+
+// --- ResultStorageBolt ------------------------------------------------------
+
+void ResultStorageBolt::Execute(const tstorm::Tuple& input,
+                                const tstorm::TupleSource& source,
+                                tstorm::OutputCollector& out) {
+  (void)source;
+  (void)out;
+  auto action = ActionFromTuple(input);
+  if (!action.ok()) return;
+  TouchedUser& t = pending_[action->user];
+  t.demographics = action->demographics;
+  t.ts = std::max(t.ts, action->timestamp);
+}
+
+void ResultStorageBolt::Tick(tstorm::OutputCollector& out) {
+  (void)out;
+  if (pending_.empty()) return;
+  StoreQuery query(app_);
+  for (const auto& [user, touched] : pending_) {
+    auto recs = query.Recommend(user, touched.demographics,
+                                static_cast<size_t>(options().top_k),
+                                touched.ts);
+    if (!recs.ok()) continue;
+    Status s = client_->Put(keys().Results(user), EncodeScoredList(*recs));
+    if (s.ok()) ++results_written_;
+  }
+  pending_.clear();
+}
+
+}  // namespace tencentrec::topo

@@ -1,0 +1,58 @@
+#ifndef TENCENTREC_TOPO_COMBINER_H_
+#define TENCENTREC_TOPO_COMBINER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace tencentrec::topo {
+
+/// The combiner of §5.3 (hot item problem): a map buffering incoming tuples
+/// and partially merging those with the same key, so that one expensive
+/// TDStore write replaces many. Flush() is called from the bolt's Tick()
+/// (the "predefined intervals") and before end-of-stream.
+///
+/// Under a temporal burst the same hot key is hit over and over inside one
+/// interval, so the combine ratio — and the saving — *increases* exactly
+/// when the system is under the most load.
+class Combiner {
+ public:
+  struct Stats {
+    int64_t added = 0;    ///< tuples absorbed
+    int64_t flushed = 0;  ///< store writes issued
+  };
+
+  /// Merges `delta` into the buffered value for `key` (combine op = add).
+  void Add(const std::string& key, double delta) {
+    buffer_[key] += delta;
+    ++stats_.added;
+  }
+
+  /// Drains the buffer through `write` (one call per distinct key). Stops
+  /// at the first error, leaving undrained entries buffered.
+  Status Flush(
+      const std::function<Status(const std::string& key, double delta)>&
+          write) {
+    for (auto it = buffer_.begin(); it != buffer_.end();) {
+      Status s = write(it->first, it->second);
+      if (!s.ok()) return s;
+      ++stats_.flushed;
+      it = buffer_.erase(it);
+    }
+    return Status::OK();
+  }
+
+  size_t pending() const { return buffer_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<std::string, double> buffer_;
+  Stats stats_;
+};
+
+}  // namespace tencentrec::topo
+
+#endif  // TENCENTREC_TOPO_COMBINER_H_

@@ -1,0 +1,349 @@
+#include "topo/query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/ctr.h"
+
+namespace tencentrec::topo {
+
+StoreQuery::StoreQuery(const AppContext* app)
+    : app_(app), client_(std::make_unique<tdstore::Client>(app->store)) {}
+
+Result<double> StoreQuery::WindowSum(
+    const std::function<std::string(int64_t session)>& key_of, EventTime now) {
+  const int64_t last = app_->SessionOf(now);
+  const int64_t first = app_->WindowStart(now);
+  double sum = 0.0;
+  for (int64_t s = first; s <= last; ++s) {
+    auto v = client_->GetDouble(key_of(s), 0.0);
+    if (!v.ok()) return v.status();
+    sum += *v;
+  }
+  return sum;
+}
+
+Result<core::UserHistory> StoreQuery::LoadHistory(core::UserId user) {
+  auto blob = client_->Get(app_->keys.UserHistory(user));
+  if (!blob.ok()) {
+    if (blob.status().IsNotFound()) return core::UserHistory();
+    return blob.status();
+  }
+  return DecodeUserHistory(*blob);
+}
+
+Result<double> StoreQuery::WindowItemCount(core::ItemId item, EventTime now) {
+  return WindowSum(
+      [&](int64_t s) { return app_->keys.ItemCount(s, item); }, now);
+}
+
+Result<double> StoreQuery::WindowPairCount(core::ItemId a, core::ItemId b,
+                                           EventTime now) {
+  const core::ItemId lo = std::min(a, b);
+  const core::ItemId hi = std::max(a, b);
+  return WindowSum(
+      [&](int64_t s) { return app_->keys.PairCount(s, lo, hi); }, now);
+}
+
+Result<double> StoreQuery::SimilarityFromCounts(core::ItemId a, core::ItemId b,
+                                                EventTime now) {
+  auto ca = WindowItemCount(a, now);
+  if (!ca.ok()) return ca.status();
+  auto cb = WindowItemCount(b, now);
+  if (!cb.ok()) return cb.status();
+  if (*ca <= 0.0 || *cb <= 0.0) return 0.0;
+  auto pc = WindowPairCount(a, b, now);
+  if (!pc.ok()) return pc.status();
+  if (*pc <= 0.0) return 0.0;
+  return *pc / (std::sqrt(*ca) * std::sqrt(*cb));
+}
+
+Result<core::Recommendations> StoreQuery::RecommendCf(core::UserId user,
+                                                      size_t n,
+                                                      EventTime now) {
+  auto history = LoadHistory(user);
+  if (!history.ok()) return history.status();
+  const int recent_k = app_->options.recent_k;
+  const std::vector<core::ItemId> recent = history->RecentItems(
+      recent_k > 0 ? static_cast<size_t>(recent_k) : history->size());
+  if (recent.empty()) return core::Recommendations{};
+
+  // The sim:<item> lists are the candidate index; scores are recomputed
+  // from the *current* windowed counts (the "algorithm computation part
+  // reads statistical data from TDStore" split of §5.1). This also heals
+  // any staleness from the decoupled statistics paths — a pair whose
+  // similarity was computed before the itemCount combiner flushed scores
+  // correctly here.
+  std::unordered_map<core::ItemId, std::vector<core::ItemId>> cand_recents;
+  for (core::ItemId q : recent) {
+    auto blob = client_->Get(app_->keys.SimilarItems(q));
+    if (!blob.ok()) {
+      if (blob.status().IsNotFound()) continue;
+      return blob.status();
+    }
+    auto list = DecodeScoredList(*blob);
+    if (!list.ok()) return list.status();
+    for (const auto& entry : *list) {
+      if (history->RatingOf(entry.item) > 0.0) continue;  // already rated
+      cand_recents[entry.item].push_back(q);
+    }
+  }
+
+  // Memoize windowed item counts: candidates share the recent items.
+  std::unordered_map<core::ItemId, double> item_counts;
+  auto count_of = [&](core::ItemId item) -> Result<double> {
+    auto it = item_counts.find(item);
+    if (it != item_counts.end()) return it->second;
+    auto c = WindowItemCount(item, now);
+    if (!c.ok()) return c.status();
+    item_counts[item] = *c;
+    return *c;
+  };
+
+  core::Recommendations scored;
+  scored.reserve(cand_recents.size());
+  for (const auto& [p, qs] : cand_recents) {
+    auto cp = count_of(p);
+    if (!cp.ok()) return cp.status();
+    if (*cp <= 0.0) continue;
+    double num = 0.0;
+    double den = 0.0;
+    for (core::ItemId q : qs) {
+      auto cq = count_of(q);
+      if (!cq.ok()) return cq.status();
+      if (*cq <= 0.0) continue;
+      auto pc = WindowPairCount(p, q, now);
+      if (!pc.ok()) return pc.status();
+      if (*pc <= 0.0) continue;
+      const double sim = *pc / (std::sqrt(*cp) * std::sqrt(*cq));
+      num += sim * history->RatingOf(q);
+      den += sim;
+    }
+    if (den <= 0.0) continue;
+    scored.push_back({p, (num / den) * (1.0 + std::log1p(den))});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const core::ScoredItem& a, const core::ScoredItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.item < b.item;
+            });
+  if (scored.size() > n) scored.resize(n);
+  return scored;
+}
+
+Result<core::Recommendations> StoreQuery::HotItems(core::GroupId group,
+                                                   size_t n, EventTime now) {
+  (void)now;
+  auto blob = client_->Get(app_->keys.HotList(group));
+  if (!blob.ok()) {
+    if (blob.status().IsNotFound()) {
+      if (group == 0) return core::Recommendations{};
+      return HotItems(0, n, now);
+    }
+    return blob.status();
+  }
+  auto list = DecodeScoredList(*blob);
+  if (!list.ok()) return list.status();
+  if (list->empty() && group != 0) return HotItems(0, n, now);
+  if (list->size() > n) list->resize(n);
+  return list;
+}
+
+Result<core::Recommendations> StoreQuery::Recommend(
+    core::UserId user, const core::Demographics& d, size_t n, EventTime now) {
+  auto cf = RecommendCf(user, n, now);
+  if (!cf.ok()) return cf.status();
+  core::Recommendations out = std::move(cf).value();
+  if (app_->options.result_filter) {
+    std::erase_if(out, [&](const core::ScoredItem& s) {
+      return !app_->options.result_filter(s.item);
+    });
+  }
+  if (out.size() >= n) return out;
+
+  std::unordered_set<core::ItemId> exclude;
+  for (const auto& s : out) exclude.insert(s.item);
+  auto history = LoadHistory(user);
+  if (history.ok()) {
+    for (const auto& [item, st] : history->items()) {
+      if (st.rating > 0.0) exclude.insert(item);
+    }
+  }
+
+  auto hot = HotItems(core::DemographicGroup(d), n + exclude.size(), now);
+  if (!hot.ok()) return hot.status();
+  for (const auto& h : *hot) {
+    if (out.size() >= n) break;
+    if (exclude.count(h.item) > 0) continue;
+    if (app_->options.result_filter && !app_->options.result_filter(h.item)) {
+      continue;
+    }
+    out.push_back(h);
+  }
+  return out;
+}
+
+Result<core::Recommendations> StoreQuery::RecommendCb(core::UserId user,
+                                                      size_t n,
+                                                      EventTime now) {
+  auto blob = client_->Get(app_->keys.ContentProfile(user));
+  if (!blob.ok()) {
+    if (blob.status().IsNotFound()) return core::Recommendations{};
+    return blob.status();
+  }
+  auto profile = DecodeContentProfile(*blob);
+  if (!profile.ok()) return profile.status();
+
+  double factor = 1.0;
+  if (now > profile->last_update && app_->options.profile_half_life > 0) {
+    const double lambda =
+        std::log(2.0) / static_cast<double>(app_->options.profile_half_life);
+    factor =
+        std::exp(-lambda * static_cast<double>(now - profile->last_update));
+  }
+  double profile_norm2 = 0.0;
+  for (const auto& [tag, w] : profile->weights) {
+    profile_norm2 += (w * factor) * (w * factor);
+  }
+  if (profile_norm2 <= 0.0) return core::Recommendations{};
+  const double profile_norm = std::sqrt(profile_norm2);
+
+  auto history = LoadHistory(user);
+  if (!history.ok()) return history.status();
+
+  // Candidate items via the tag inverted index; dot products accumulated
+  // tag by tag.
+  std::unordered_map<core::ItemId, double> dots;
+  std::unordered_map<core::ItemId, double> norms;
+  for (const auto& [tag, w] : profile->weights) {
+    auto idx_blob = client_->Get(app_->keys.TagIndex(tag));
+    if (!idx_blob.ok()) {
+      if (idx_blob.status().IsNotFound()) continue;
+      return idx_blob.status();
+    }
+    auto items = DecodeItemList(*idx_blob);
+    if (!items.ok()) return items.status();
+    for (core::ItemId item : *items) {
+      if (history->RatingOf(item) > 0.0) continue;  // seen
+      if (norms.count(item) == 0) {
+        auto tags_blob = client_->Get(app_->keys.ItemTags(item));
+        if (!tags_blob.ok()) {
+          if (tags_blob.status().IsNotFound()) continue;  // deregistered
+          return tags_blob.status();
+        }
+        auto tags = DecodeTagVector(*tags_blob);
+        if (!tags.ok()) return tags.status();
+        double norm2 = 0.0;
+        double dot = 0.0;
+        for (const auto& [t2, w2] : *tags) {
+          norm2 += w2 * w2;
+          // Accumulate the full dot product here (once per item) instead of
+          // per tag-index hit.
+          for (const auto& [pt, pw] : profile->weights) {
+            if (pt == t2) dot += (pw * factor) * w2;
+          }
+        }
+        norms[item] = std::sqrt(norm2);
+        dots[item] = dot;
+      }
+    }
+  }
+
+  core::Recommendations scored;
+  for (const auto& [item, dot] : dots) {
+    const double norm = norms[item];
+    if (norm <= 0.0 || dot <= 0.0) continue;
+    scored.push_back({item, dot / (profile_norm * norm)});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const core::ScoredItem& a, const core::ScoredItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.item < b.item;
+            });
+  if (scored.size() > n) scored.resize(n);
+  return scored;
+}
+
+Result<core::Recommendations> StoreQuery::RecommendAr(core::ItemId from,
+                                                      size_t n, EventTime now,
+                                                      double min_support,
+                                                      double min_confidence) {
+  auto blob = client_->Get(app_->keys.SimilarItems(from));
+  if (!blob.ok()) {
+    if (blob.status().IsNotFound()) return core::Recommendations{};
+    return blob.status();
+  }
+  auto list = DecodeScoredList(*blob);
+  if (!list.ok()) return list.status();
+
+  auto base = WindowItemCount(from, now);
+  if (!base.ok()) return base.status();
+  if (*base <= 0.0) return core::Recommendations{};
+
+  core::Recommendations scored;
+  for (const auto& entry : *list) {
+    auto joint = WindowPairCount(from, entry.item, now);
+    if (!joint.ok()) return joint.status();
+    if (*joint < min_support) continue;
+    const double conf = *joint / *base;
+    if (conf < min_confidence) continue;
+    scored.push_back({entry.item, conf});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const core::ScoredItem& a, const core::ScoredItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.item < b.item;
+            });
+  if (scored.size() > n) scored.resize(n);
+  return scored;
+}
+
+Result<double> StoreQuery::PredictCtr(core::ItemId item,
+                                      const core::Demographics& d,
+                                      EventTime now) {
+  double estimate = app_->options.ctr_base;
+  const int max_level = core::CtrMaxLevel(d);
+  for (int level = 0; level <= max_level; ++level) {
+    const uint64_t level_key = core::CtrLevelKey(item, level, d);
+    auto imp = WindowSum(
+        [&](int64_t s) { return app_->keys.CtrCounts(level_key, s) + ":i"; },
+        now);
+    if (!imp.ok()) return imp.status();
+    auto clicks = WindowSum(
+        [&](int64_t s) { return app_->keys.CtrCounts(level_key, s) + ":c"; },
+        now);
+    if (!clicks.ok()) return clicks.status();
+    estimate = (*clicks + app_->options.ctr_prior_strength * estimate) /
+               (*imp + app_->options.ctr_prior_strength);
+  }
+  return estimate;
+}
+
+Result<std::pair<double, double>> StoreQuery::SituationCounts(
+    core::ItemId item, const core::Demographics& d, EventTime now) {
+  const uint64_t level_key =
+      core::CtrLevelKey(item, core::CtrMaxLevel(d), d);
+  auto imp = WindowSum(
+      [&](int64_t s) { return app_->keys.CtrCounts(level_key, s) + ":i"; },
+      now);
+  if (!imp.ok()) return imp.status();
+  auto clicks = WindowSum(
+      [&](int64_t s) { return app_->keys.CtrCounts(level_key, s) + ":c"; },
+      now);
+  if (!clicks.ok()) return clicks.status();
+  return std::make_pair(*imp, *clicks);
+}
+
+Result<core::Recommendations> StoreQuery::MaterializedResults(
+    core::UserId user) {
+  auto blob = client_->Get(app_->keys.Results(user));
+  if (!blob.ok()) {
+    if (blob.status().IsNotFound()) return core::Recommendations{};
+    return blob.status();
+  }
+  return DecodeScoredList(*blob);
+}
+
+}  // namespace tencentrec::topo

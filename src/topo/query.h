@@ -1,0 +1,84 @@
+#ifndef TENCENTREC_TOPO_QUERY_H_
+#define TENCENTREC_TOPO_QUERY_H_
+
+#include <memory>
+
+#include "core/scored.h"
+#include "tdstore/client.h"
+#include "topo/app.h"
+#include "topo/blob_codec.h"
+
+namespace tencentrec::topo {
+
+/// The recommender-engine read path (Fig. 9): answers recommendation
+/// queries purely from the state the topology maintains in TDStore. This is
+/// what the "Recommender Engine" box does — it never touches the stream
+/// pipeline, so queries scale independently of ingestion.
+///
+/// Not thread-safe; create one per serving thread (each owns a client).
+class StoreQuery {
+ public:
+  explicit StoreQuery(const AppContext* app);
+
+  /// Item-based CF prediction (Eq. 2 over the user's recent-k items, §4.3)
+  /// from the sim:<item> lists. Excludes items the user already rated.
+  Result<core::Recommendations> RecommendCf(core::UserId user, size_t n,
+                                            EventTime now);
+
+  /// Demographic hot items with global-group fallback.
+  Result<core::Recommendations> HotItems(core::GroupId group, size_t n,
+                                         EventTime now);
+
+  /// The production composition: CF, filtered by the app's result_filter,
+  /// complemented by DB hot items (§4.2/§6.4).
+  Result<core::Recommendations> Recommend(core::UserId user,
+                                          const core::Demographics& d,
+                                          size_t n, EventTime now);
+
+  /// Content-based recommendation from the cp:<user> profile blob and the
+  /// tag inverted index. Excludes seen (rated) and expired items.
+  Result<core::Recommendations> RecommendCb(core::UserId user, size_t n,
+                                            EventTime now);
+
+  /// Association-rule recommendation: confidence(from -> to) =
+  /// windowPairCount / windowItemCount(from), candidates drawn from the
+  /// similar-items list of `from`.
+  Result<core::Recommendations> RecommendAr(core::ItemId from, size_t n,
+                                            EventTime now,
+                                            double min_support = 2.0,
+                                            double min_confidence = 0.05);
+
+  /// Situational CTR estimate (hierarchical shrinkage over window counts).
+  Result<double> PredictCtr(core::ItemId item, const core::Demographics& d,
+                            EventTime now);
+
+  /// Raw windowed (impressions, clicks) at the situation's deepest level —
+  /// the §1 "CTR during the last ten seconds among male users..." query.
+  Result<std::pair<double, double>> SituationCounts(
+      core::ItemId item, const core::Demographics& d, EventTime now);
+
+  /// The list materialized by ResultStorageBolt (empty if none).
+  Result<core::Recommendations> MaterializedResults(core::UserId user);
+
+  /// Windowed similarity of a pair recomputed from counts (test hook).
+  Result<double> SimilarityFromCounts(core::ItemId a, core::ItemId b,
+                                      EventTime now);
+
+  /// Windowed itemCount (test hook / AR support).
+  Result<double> WindowItemCount(core::ItemId item, EventTime now);
+  Result<double> WindowPairCount(core::ItemId a, core::ItemId b,
+                                 EventTime now);
+
+ private:
+  Result<double> WindowSum(
+      const std::function<std::string(int64_t session)>& key_of,
+      EventTime now);
+  Result<core::UserHistory> LoadHistory(core::UserId user);
+
+  const AppContext* app_;
+  std::unique_ptr<tdstore::Client> client_;
+};
+
+}  // namespace tencentrec::topo
+
+#endif  // TENCENTREC_TOPO_QUERY_H_

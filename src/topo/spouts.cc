@@ -1,0 +1,47 @@
+#include "topo/spouts.h"
+
+#include "common/logging.h"
+
+namespace tencentrec::topo {
+
+void TdAccessActionSpout::Open(const tstorm::TaskContext& ctx) {
+  consumer_ = std::make_unique<tdaccess::Consumer>(
+      cluster_, topic_, group_,
+      ctx.component_name + "#" + std::to_string(ctx.instance));
+  Status s = consumer_->Subscribe();
+  if (!s.ok()) {
+    TR_LOG(kError, "spout subscribe failed: %s", s.ToString().c_str());
+    consumer_.reset();
+  }
+}
+
+bool TdAccessActionSpout::NextBatch(tstorm::OutputCollector& out) {
+  if (consumer_ == nullptr) return false;
+  auto batch = consumer_->Poll(poll_batch_);
+  if (!batch.ok()) {
+    TR_LOG(kError, "spout poll failed: %s",
+           batch.status().ToString().c_str());
+    return false;
+  }
+  if (batch->empty()) return false;  // caught up: drain and finish
+  for (const auto& cm : *batch) {
+    auto action = DecodeActionPayload(cm.message.payload);
+    if (!action.ok()) {
+      ++decode_errors_;
+      continue;
+    }
+    out.Emit(ActionToTuple(*action));
+  }
+  return true;
+}
+
+void TdAccessActionSpout::Close() {
+  if (consumer_ != nullptr) {
+    Status s = consumer_->Commit();
+    if (!s.ok()) {
+      TR_LOG(kWarning, "spout commit failed: %s", s.ToString().c_str());
+    }
+  }
+}
+
+}  // namespace tencentrec::topo

@@ -1,0 +1,81 @@
+#ifndef TENCENTREC_TOPO_SPOUTS_H_
+#define TENCENTREC_TOPO_SPOUTS_H_
+
+#include <memory>
+#include <vector>
+
+#include "tdaccess/consumer.h"
+#include "topo/action_codec.h"
+
+namespace tencentrec::topo {
+
+/// Emits a fixed batch of actions (Application Specific Unit). Multiple
+/// instances split the batch round-robin. Simulation and tests feed the
+/// topology through this.
+class VectorActionSpout : public tstorm::ISpout {
+ public:
+  /// `actions` must outlive the topology run.
+  VectorActionSpout(const std::vector<core::UserAction>* actions,
+                    size_t batch_size = 256)
+      : actions_(actions), batch_size_(batch_size == 0 ? 1 : batch_size) {}
+
+  std::vector<tstorm::StreamDecl> DeclareOutputs() const override {
+    return {ActionStreamDecl("user_action")};
+  }
+
+  void Open(const tstorm::TaskContext& ctx) override {
+    next_ = static_cast<size_t>(ctx.instance);
+    stride_ = static_cast<size_t>(ctx.parallelism);
+  }
+
+  bool NextBatch(tstorm::OutputCollector& out) override {
+    size_t emitted = 0;
+    while (next_ < actions_->size() && emitted < batch_size_) {
+      out.Emit(ActionToTuple((*actions_)[next_]));
+      next_ += stride_;
+      ++emitted;
+    }
+    return next_ < actions_->size();
+  }
+
+ private:
+  const std::vector<core::UserAction>* actions_;
+  const size_t batch_size_;
+  size_t next_ = 0;
+  size_t stride_ = 1;
+};
+
+/// Consumes action payloads from a TDAccess topic until caught up, then
+/// finishes — the production wiring of Fig. 6/9 (TDAccess -> spout), with
+/// drain-on-idle semantics suited to batch-style simulation runs.
+class TdAccessActionSpout : public tstorm::ISpout {
+ public:
+  TdAccessActionSpout(tdaccess::Cluster* cluster, std::string topic,
+                      std::string group, size_t poll_batch = 256)
+      : cluster_(cluster),
+        topic_(std::move(topic)),
+        group_(std::move(group)),
+        poll_batch_(poll_batch == 0 ? 1 : poll_batch) {}
+
+  std::vector<tstorm::StreamDecl> DeclareOutputs() const override {
+    return {ActionStreamDecl("user_action")};
+  }
+
+  void Open(const tstorm::TaskContext& ctx) override;
+  bool NextBatch(tstorm::OutputCollector& out) override;
+  void Close() override;
+
+  int64_t decode_errors() const { return decode_errors_; }
+
+ private:
+  tdaccess::Cluster* cluster_;
+  std::string topic_;
+  std::string group_;
+  const size_t poll_batch_;
+  std::unique_ptr<tdaccess::Consumer> consumer_;
+  int64_t decode_errors_ = 0;
+};
+
+}  // namespace tencentrec::topo
+
+#endif  // TENCENTREC_TOPO_SPOUTS_H_

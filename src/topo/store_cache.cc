@@ -1,0 +1,96 @@
+#include "topo/store_cache.h"
+
+#include "tdstore/codec.h"
+
+namespace tencentrec::topo {
+
+void StoreCache::Touch(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+}
+
+void StoreCache::InsertOrUpdate(const std::string& key, std::string value) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.value = std::move(value);
+    Touch(key);
+    return;
+  }
+  while (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(value), lru_.begin()};
+}
+
+Result<std::string> StoreCache::Get(const std::string& key) {
+  if (!enabled_) {
+    ++stats_.misses;
+    return client_->Get(key);
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    Touch(key);
+    return it->second.value;
+  }
+  ++stats_.misses;
+  auto value = client_->Get(key);
+  if (!value.ok()) return value.status();
+  InsertOrUpdate(key, *value);
+  return value;
+}
+
+Status StoreCache::Put(const std::string& key, std::string value) {
+  ++stats_.writes;
+  TR_RETURN_IF_ERROR(client_->Put(key, value));
+  if (enabled_) InsertOrUpdate(key, std::move(value));
+  return Status::OK();
+}
+
+Result<double> StoreCache::AddDouble(const std::string& key, double delta) {
+  if (!enabled_) {
+    ++stats_.misses;
+    ++stats_.writes;
+    return client_->IncrDouble(key, delta);
+  }
+  double current = 0.0;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    auto decoded = tdstore::DecodeDouble(it->second.value);
+    if (!decoded.ok()) return decoded.status();
+    current = *decoded;
+  } else {
+    ++stats_.misses;
+    auto value = client_->Get(key);
+    if (value.ok()) {
+      auto decoded = tdstore::DecodeDouble(*value);
+      if (!decoded.ok()) return decoded.status();
+      current = *decoded;
+    } else if (!value.status().IsNotFound()) {
+      return value.status();
+    }
+  }
+  const double next = current + delta;
+  TR_RETURN_IF_ERROR(Put(key, tdstore::EncodeDouble(next)));
+  return next;
+}
+
+void StoreCache::Invalidate(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void StoreCache::Clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace tencentrec::topo

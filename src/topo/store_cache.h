@@ -1,0 +1,74 @@
+#ifndef TENCENTREC_TOPO_STORE_CACHE_H_
+#define TENCENTREC_TOPO_STORE_CACHE_H_
+
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "tdstore/client.h"
+
+namespace tencentrec::topo {
+
+/// Fine-grained read-through/write-through cache in front of a TDStore
+/// client (§5.2, temporal burst events). Cached "in the granularity of data
+/// instance, i.e., a key-value pair"; consistency holds because stream
+/// grouping sends all tuples for a key to the same worker, making each
+/// cached key single-writer. Writes update cache and store together so
+/// other workers reading the key from TDStore see fresh data.
+///
+/// LRU-bounded; a bolt restart naturally drops the cache and re-reads from
+/// TDStore (the recovery story of §3.3).
+class StoreCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t writes = 0;
+  };
+
+  /// `enabled = false` turns the cache into a transparent pass-through
+  /// (every call hits TDStore) — the baseline for the cache ablation bench.
+  StoreCache(tdstore::Client* client, size_t capacity, bool enabled = true)
+      : client_(client),
+        capacity_(capacity == 0 ? 1 : capacity),
+        enabled_(enabled) {}
+
+  /// Cache hit, else TDStore read (NotFound is cached as absent? no —
+  /// absence is not cached, so a later writer's value is picked up).
+  Result<std::string> Get(const std::string& key);
+
+  /// Write-through: cache + TDStore.
+  Status Put(const std::string& key, std::string value);
+
+  /// Read-modify-write add on a double; uses the cached value when present
+  /// (saving the TDStore read, exactly the §5.2 optimization), writes
+  /// through. Safe because this worker is the key's only writer.
+  Result<double> AddDouble(const std::string& key, double delta);
+
+  void Invalidate(const std::string& key);
+  void Clear();
+
+  const Stats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  void Touch(const std::string& key);
+  void InsertOrUpdate(const std::string& key, std::string value);
+
+  tdstore::Client* client_;
+  const size_t capacity_;
+  const bool enabled_;
+  /// LRU list, most-recent first; map values point into it.
+  std::list<std::string> lru_;
+  struct Entry {
+    std::string value;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace tencentrec::topo
+
+#endif  // TENCENTREC_TOPO_STORE_CACHE_H_

@@ -1,0 +1,44 @@
+#ifndef TENCENTREC_TOPO_TOPOLOGY_FACTORY_H_
+#define TENCENTREC_TOPO_TOPOLOGY_FACTORY_H_
+
+#include "tstorm/config.h"
+#include "tstorm/topology.h"
+#include "topo/app.h"
+
+namespace tencentrec::topo {
+
+/// Assembles the TencentRec topology of Fig. 6 for one application: the
+/// preprocessing layer (Pretreatment), the algorithm layer (the bolts the
+/// app's AlgorithmSet enables, statistics and computation decoupled via
+/// TDStore), and the storage layer (ResultStorageBolt when
+/// `materialize_results`).
+///
+/// The returned spec is what a production deployment would generate from
+/// the application's XML file; RegisterComponents() + an XML config
+/// produces the same thing through the generic path.
+Result<tstorm::TopologySpec> BuildAppTopology(
+    const AppContext* app, tstorm::SpoutFactory spout,
+    bool materialize_results = false, int spout_parallelism = 1);
+
+/// Automatic parallelism (the paper's stated future work, §7: "It is
+/// desirable for TencentRec to set the parallelism automatically according
+/// to the data size"): suggests the number of instances for the keyed
+/// bolts from the expected event rate, a per-event processing cost, and a
+/// target utilization, clamped to [min_parallelism, max_parallelism].
+int SuggestParallelism(double events_per_second,
+                       double per_event_cost_us = 50.0,
+                       double target_utilization = 0.6,
+                       int min_parallelism = 1, int max_parallelism = 64);
+
+/// Registers every TencentRec component class ("Pretreatment",
+/// "UserHistory", "ItemCount", "CfPair", "SimilarList", "GroupCount",
+/// "HotList", "CtrStats", "CbProfile", "ResultStorage", plus the spout
+/// class name given) so XML topology configs can reference them.
+void RegisterComponents(tstorm::ComponentRegistry* registry,
+                        const AppContext* app,
+                        const std::string& spout_class,
+                        tstorm::SpoutFactory spout);
+
+}  // namespace tencentrec::topo
+
+#endif  // TENCENTREC_TOPO_TOPOLOGY_FACTORY_H_

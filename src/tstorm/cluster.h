@@ -1,0 +1,97 @@
+#ifndef TENCENTREC_TSTORM_CLUSTER_H_
+#define TENCENTREC_TSTORM_CLUSTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+#include "common/status.h"
+#include "tstorm/component.h"
+#include "tstorm/topology.h"
+
+namespace tencentrec::tstorm {
+
+/// Per-component execution counters, summed over instances.
+struct ComponentMetrics {
+  std::string component;
+  uint64_t tuples_executed = 0;  ///< tuples consumed (bolts only)
+  uint64_t tuples_emitted = 0;
+  uint64_t restarts = 0;
+};
+
+/// Runs a TopologySpec to completion on a pool of threads, one per task
+/// (component instance), with bounded queues between tasks providing
+/// backpressure.
+///
+/// Lifecycle: spouts pull until exhausted, then end-of-stream markers
+/// propagate topologically; every bolt gets a final Tick() (flushing
+/// combiners/caches) before Cleanup(). Run() returns when every task has
+/// drained — results persisted by storage bolts (e.g. in TDStore) are then
+/// complete and consistent.
+///
+/// Fault injection: RequestRestart() makes each instance of a bolt flush
+/// its transient buffers (a final Tick — standing in for the at-least-once
+/// replay a production Storm acker would provide), destroy its IBolt object
+/// mid-stream, and recreate it via the factory (Prepare() runs again).
+/// Because all durable state lives in TDStore, a correct bolt must produce
+/// the same final state regardless of restarts; tests assert this.
+class LocalCluster {
+ public:
+  struct Options {
+    size_t queue_capacity = 4096;
+  };
+
+  /// Validates the spec against the options and instantiates all tasks
+  /// (factories run here, Prepare/Open do not).
+  static Result<std::unique_ptr<LocalCluster>> Create(TopologySpec spec,
+                                                      Options options);
+  static Result<std::unique_ptr<LocalCluster>> Create(TopologySpec spec) {
+    return Create(std::move(spec), Options());
+  }
+
+  ~LocalCluster();
+
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  /// Runs the topology to completion. Single use.
+  Status Run();
+
+  /// Requests that all instances of `component` (a bolt) be torn down and
+  /// recreated. Safe to call before or during Run().
+  Status RequestRestart(const std::string& component);
+
+  std::vector<ComponentMetrics> Metrics() const;
+
+ private:
+  struct Task;
+  struct Route;
+  class Collector;
+
+  explicit LocalCluster(TopologySpec spec, Options options);
+
+  Status Init();
+  void RunTask(Task* task);
+  void RunSpoutTask(Task* task);
+  void RunBoltTask(Task* task);
+  void BroadcastEos(Task* task);
+
+  TopologySpec spec_;
+  Options options_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  /// tasks_by_component_[c] lists task indices of component id c.
+  std::vector<std::vector<int>> tasks_by_component_;
+  /// routes_[c][stream_index] lists resolved consumer edges.
+  std::vector<std::vector<std::vector<Route>>> routes_;
+  /// Output stream declarations per component id.
+  std::vector<std::vector<StreamDecl>> streams_;
+  bool started_ = false;
+};
+
+}  // namespace tencentrec::tstorm
+
+#endif  // TENCENTREC_TSTORM_CLUSTER_H_

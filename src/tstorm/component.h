@@ -1,0 +1,91 @@
+#ifndef TENCENTREC_TSTORM_COMPONENT_H_
+#define TENCENTREC_TSTORM_COMPONENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tstorm/value.h"
+
+namespace tencentrec::tstorm {
+
+/// Schema of one output stream: a name plus named fields.
+struct StreamDecl {
+  std::string name;
+  std::vector<std::string> fields;
+};
+
+/// Identifies which task emitted a tuple and on which of its streams; bolts
+/// with several input streams dispatch on this.
+struct TupleSource {
+  int component = -1;  ///< component id within the topology
+  int stream = 0;      ///< stream index within the emitting component
+  int instance = 0;    ///< emitting task instance
+};
+
+/// Per-task runtime information handed to components at Prepare/Open time.
+struct TaskContext {
+  std::string component_name;
+  int component_id = 0;
+  int instance = 0;          ///< this task's index within the component
+  int parallelism = 1;       ///< number of instances of this component
+};
+
+/// Emits tuples from inside a spout or bolt. Implemented by the executor;
+/// routing (grouping, queueing, backpressure) happens behind this interface.
+class OutputCollector {
+ public:
+  virtual ~OutputCollector() = default;
+
+  /// Emits on the component's default (first-declared) stream.
+  virtual void Emit(Tuple tuple) = 0;
+
+  /// Emits on the stream declared at `stream_index` (declaration order).
+  virtual void EmitTo(int stream_index, Tuple tuple) = 0;
+};
+
+/// A stream source. NextBatch is pull-based: the executor calls it until it
+/// returns false (source exhausted), after which end-of-stream propagates
+/// through the topology and Run() drains.
+class ISpout {
+ public:
+  virtual ~ISpout() = default;
+
+  virtual std::vector<StreamDecl> DeclareOutputs() const = 0;
+
+  virtual void Open(const TaskContext& ctx) { (void)ctx; }
+
+  /// Emits zero or more tuples; returns false when exhausted.
+  virtual bool NextBatch(OutputCollector& out) = 0;
+
+  virtual void Close() {}
+};
+
+/// A stream transformer. Bolts must be restartable: all durable state lives
+/// in TDStore, so Prepare() after a crash-restart must fully rebuild any
+/// working set (the topology runner exercises this in failure tests).
+class IBolt {
+ public:
+  virtual ~IBolt() = default;
+
+  virtual std::vector<StreamDecl> DeclareOutputs() const { return {}; }
+
+  virtual void Prepare(const TaskContext& ctx) { (void)ctx; }
+
+  virtual void Execute(const Tuple& input, const TupleSource& source,
+                       OutputCollector& out) = 0;
+
+  /// Periodic hook (every `tick_interval` executed tuples, and once before
+  /// end-of-stream). Combiners and cache-flushing bolts use it.
+  virtual void Tick(OutputCollector& out) { (void)out; }
+
+  virtual void Cleanup() {}
+};
+
+using SpoutFactory = std::function<std::unique_ptr<ISpout>()>;
+using BoltFactory = std::function<std::unique_ptr<IBolt>()>;
+
+}  // namespace tencentrec::tstorm
+
+#endif  // TENCENTREC_TSTORM_COMPONENT_H_

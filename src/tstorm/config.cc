@@ -1,0 +1,166 @@
+#include "tstorm/config.h"
+
+#include "common/strings.h"
+#include "tstorm/xml.h"
+
+namespace tencentrec::tstorm {
+
+void ComponentRegistry::RegisterSpout(const std::string& class_name,
+                                      SpoutFactory factory) {
+  spouts_[class_name] = std::move(factory);
+}
+
+void ComponentRegistry::RegisterBolt(const std::string& class_name,
+                                     BoltFactory factory) {
+  bolts_[class_name] = std::move(factory);
+}
+
+const SpoutFactory* ComponentRegistry::FindSpout(
+    const std::string& class_name) const {
+  auto it = spouts_.find(class_name);
+  return it == spouts_.end() ? nullptr : &it->second;
+}
+
+const BoltFactory* ComponentRegistry::FindBolt(
+    const std::string& class_name) const {
+  auto it = bolts_.find(class_name);
+  return it == bolts_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+int ParseParallelism(const XmlNode& node) {
+  int64_t v = 1;
+  if (node.HasAttr("parallelism")) {
+    if (!ParseInt64(node.Attr("parallelism"), &v) || v < 1) return -1;
+  }
+  return static_cast<int>(v);
+}
+
+Status AddGroupings(const XmlNode& bolt_node, const std::string& bolt_name,
+                    const std::string& previous_component,
+                    TopologyBuilder::BoltConfigurer* cfg) {
+  auto groupings = bolt_node.Children("grouping");
+  if (groupings.empty()) {
+    if (previous_component.empty()) {
+      return Status::InvalidArgument("bolt '" + bolt_name +
+                                     "' has no grouping and no predecessor");
+    }
+    cfg->ShuffleGrouping(previous_component);
+    return Status::OK();
+  }
+  for (const XmlNode* g : groupings) {
+    std::string source = g->ChildText("source");
+    if (source.empty()) source = g->Attr("source");
+    if (source.empty()) source = previous_component;
+    if (source.empty()) {
+      return Status::InvalidArgument("grouping on '" + bolt_name +
+                                     "' has no <source> and no predecessor");
+    }
+    std::string stream = g->ChildText("stream_id");
+    std::string type = g->Attr("type");
+    if (type.empty()) type = "shuffle";
+    if (type == "field" || type == "fields") {
+      std::string fields_text = g->ChildText("fields");
+      std::vector<std::string> fields;
+      for (const auto& f : Split(fields_text, ',')) {
+        std::string trimmed(Trim(f));
+        if (!trimmed.empty()) fields.push_back(std::move(trimmed));
+      }
+      if (fields.empty()) {
+        return Status::InvalidArgument("fields grouping on '" + bolt_name +
+                                       "' lists no fields");
+      }
+      cfg->FieldsGrouping(source, std::move(fields), stream);
+    } else if (type == "shuffle") {
+      cfg->ShuffleGrouping(source, stream);
+    } else if (type == "global") {
+      cfg->GlobalGrouping(source, stream);
+    } else if (type == "all") {
+      cfg->AllGrouping(source, stream);
+    } else {
+      return Status::InvalidArgument("unknown grouping type '" + type +
+                                     "' on '" + bolt_name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TopologySpec> BuildTopologyFromXml(std::string_view xml,
+                                          const ComponentRegistry& registry) {
+  auto doc = ParseXml(xml);
+  if (!doc.ok()) return doc.status();
+  const XmlNode& root = **doc;
+  if (root.name != "topology") {
+    return Status::InvalidArgument("root element must be <topology>, got <" +
+                                   root.name + ">");
+  }
+  std::string topo_name = root.Attr("name");
+  if (topo_name.empty()) topo_name = "topology";
+
+  TopologyBuilder builder(topo_name);
+  std::string previous;
+
+  // Spouts may appear directly under <topology> or inside <spouts>.
+  std::vector<const XmlNode*> spout_nodes = root.Children("spout");
+  if (const XmlNode* spouts = root.Child("spouts")) {
+    for (const XmlNode* n : spouts->Children("spout")) spout_nodes.push_back(n);
+  }
+  if (spout_nodes.empty()) {
+    return Status::InvalidArgument("topology declares no <spout>");
+  }
+  for (const XmlNode* node : spout_nodes) {
+    std::string name = node->Attr("name");
+    std::string class_name = node->Attr("class");
+    if (name.empty() || class_name.empty()) {
+      return Status::InvalidArgument("spout needs name and class attributes");
+    }
+    const SpoutFactory* factory = registry.FindSpout(class_name);
+    if (factory == nullptr) {
+      return Status::NotFound("spout class not registered: " + class_name);
+    }
+    int parallelism = ParseParallelism(*node);
+    if (parallelism < 1) {
+      return Status::InvalidArgument("bad parallelism on spout " + name);
+    }
+    builder.SetSpout(name, *factory, parallelism);
+    previous = name;
+  }
+
+  std::vector<const XmlNode*> bolt_nodes = root.Children("bolt");
+  if (const XmlNode* bolts = root.Child("bolts")) {
+    for (const XmlNode* n : bolts->Children("bolt")) bolt_nodes.push_back(n);
+  }
+  for (const XmlNode* node : bolt_nodes) {
+    std::string name = node->Attr("name");
+    std::string class_name = node->Attr("class");
+    if (name.empty() || class_name.empty()) {
+      return Status::InvalidArgument("bolt needs name and class attributes");
+    }
+    const BoltFactory* factory = registry.FindBolt(class_name);
+    if (factory == nullptr) {
+      return Status::NotFound("bolt class not registered: " + class_name);
+    }
+    int parallelism = ParseParallelism(*node);
+    if (parallelism < 1) {
+      return Status::InvalidArgument("bad parallelism on bolt " + name);
+    }
+    auto cfg = builder.SetBolt(name, *factory, parallelism);
+    std::string tick = node->ChildText("tick_interval");
+    if (!tick.empty()) {
+      int64_t v = 0;
+      if (!ParseInt64(tick, &v) || v < 0) {
+        return Status::InvalidArgument("bad tick_interval on bolt " + name);
+      }
+      cfg.TickInterval(static_cast<int>(v));
+    }
+    TR_RETURN_IF_ERROR(AddGroupings(*node, name, previous, &cfg));
+    previous = name;
+  }
+
+  return std::move(builder).Build();
+}
+
+}  // namespace tencentrec::tstorm

@@ -1,0 +1,57 @@
+#ifndef TENCENTREC_TSTORM_CONFIG_H_
+#define TENCENTREC_TSTORM_CONFIG_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "tstorm/topology.h"
+
+namespace tencentrec::tstorm {
+
+/// Maps XML `class` names to component factories. The paper generates Storm
+/// topologies from XML configuration files so new applications only need a
+/// new config, not new deployment code (Fig. 7); the registry provides the
+/// class-name -> code binding.
+class ComponentRegistry {
+ public:
+  void RegisterSpout(const std::string& class_name, SpoutFactory factory);
+  void RegisterBolt(const std::string& class_name, BoltFactory factory);
+
+  const SpoutFactory* FindSpout(const std::string& class_name) const;
+  const BoltFactory* FindBolt(const std::string& class_name) const;
+
+ private:
+  std::map<std::string, SpoutFactory> spouts_;
+  std::map<std::string, BoltFactory> bolts_;
+};
+
+/// Builds a TopologySpec from an XML document of the form used in the
+/// paper's Figure 7:
+///
+///   <topology name="cf-test">
+///     <spout name="spout" class="Spout"/>
+///     <bolts>
+///       <bolt name="pretreatment" class="Pretreatment" parallelism="2">
+///         <grouping type="field">
+///           <source>spout</source>          <!-- optional; defaults to the
+///                                                previously declared
+///                                                component (linear chains) -->
+///           <stream_id>user_action</stream_id>
+///           <fields>user</fields>
+///         </grouping>
+///         <tick_interval>100</tick_interval> <!-- optional -->
+///       </bolt>
+///       ...
+///     </bolts>
+///   </topology>
+///
+/// Grouping types: "field"/"fields", "shuffle", "global", "all". A bolt
+/// without any <grouping> is shuffle-grouped on the previous component.
+Result<TopologySpec> BuildTopologyFromXml(std::string_view xml,
+                                          const ComponentRegistry& registry);
+
+}  // namespace tencentrec::tstorm
+
+#endif  // TENCENTREC_TSTORM_CONFIG_H_

@@ -1,0 +1,37 @@
+#ifndef TENCENTREC_TSTORM_GROUPING_H_
+#define TENCENTREC_TSTORM_GROUPING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tencentrec::tstorm {
+
+/// How tuples of a stream are partitioned across the consuming bolt's
+/// parallel instances.
+enum class GroupingType {
+  kShuffle,  ///< round-robin across instances
+  kFields,   ///< hash of the named fields; same key -> same instance.
+             ///< This is the mechanism behind the paper's guarantee that
+             ///< "only a single worker node should operate over a specific
+             ///< item pair".
+  kGlobal,   ///< everything to instance 0
+  kAll,      ///< broadcast to every instance
+};
+
+struct Grouping {
+  GroupingType type = GroupingType::kShuffle;
+  /// Field names (resolved to indices at topology build time) for kFields.
+  std::vector<std::string> fields;
+
+  static Grouping Shuffle() { return {GroupingType::kShuffle, {}}; }
+  static Grouping Fields(std::vector<std::string> names) {
+    return {GroupingType::kFields, std::move(names)};
+  }
+  static Grouping Global() { return {GroupingType::kGlobal, {}}; }
+  static Grouping All() { return {GroupingType::kAll, {}}; }
+};
+
+}  // namespace tencentrec::tstorm
+
+#endif  // TENCENTREC_TSTORM_GROUPING_H_

@@ -1,0 +1,156 @@
+#include "tstorm/topology.h"
+
+#include <set>
+
+namespace tencentrec::tstorm {
+
+TopologyBuilder::BoltConfigurer& TopologyBuilder::BoltConfigurer::ShuffleGrouping(
+    const std::string& producer, const std::string& stream) {
+  builder_->spec_.edges.push_back(
+      {producer, stream, bolt_, Grouping::Shuffle()});
+  return *this;
+}
+
+TopologyBuilder::BoltConfigurer& TopologyBuilder::BoltConfigurer::FieldsGrouping(
+    const std::string& producer, std::vector<std::string> fields,
+    const std::string& stream) {
+  builder_->spec_.edges.push_back(
+      {producer, stream, bolt_, Grouping::Fields(std::move(fields))});
+  return *this;
+}
+
+TopologyBuilder::BoltConfigurer& TopologyBuilder::BoltConfigurer::GlobalGrouping(
+    const std::string& producer, const std::string& stream) {
+  builder_->spec_.edges.push_back({producer, stream, bolt_, Grouping::Global()});
+  return *this;
+}
+
+TopologyBuilder::BoltConfigurer& TopologyBuilder::BoltConfigurer::AllGrouping(
+    const std::string& producer, const std::string& stream) {
+  builder_->spec_.edges.push_back({producer, stream, bolt_, Grouping::All()});
+  return *this;
+}
+
+TopologyBuilder::BoltConfigurer& TopologyBuilder::BoltConfigurer::TickInterval(
+    int tuples) {
+  for (auto& c : builder_->spec_.components) {
+    if (c.name == bolt_) {
+      c.tick_interval = tuples;
+      break;
+    }
+  }
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::SetSpout(const std::string& name,
+                                           SpoutFactory factory,
+                                           int parallelism) {
+  TopologySpec::Component c;
+  c.name = name;
+  c.is_spout = true;
+  c.spout_factory = std::move(factory);
+  c.parallelism = parallelism;
+  spec_.components.push_back(std::move(c));
+  return *this;
+}
+
+TopologyBuilder::BoltConfigurer TopologyBuilder::SetBolt(
+    const std::string& name, BoltFactory factory, int parallelism) {
+  TopologySpec::Component c;
+  c.name = name;
+  c.is_spout = false;
+  c.bolt_factory = std::move(factory);
+  c.parallelism = parallelism;
+  spec_.components.push_back(std::move(c));
+  return BoltConfigurer(this, name);
+}
+
+Result<TopologySpec> TopologyBuilder::Build() && {
+  std::set<std::string> names;
+  bool has_spout = false;
+  for (const auto& c : spec_.components) {
+    if (c.name.empty()) {
+      return Status::InvalidArgument("component with empty name");
+    }
+    if (!names.insert(c.name).second) {
+      return Status::InvalidArgument("duplicate component name: " + c.name);
+    }
+    if (c.parallelism < 1) {
+      return Status::InvalidArgument("parallelism < 1 for " + c.name);
+    }
+    if (c.is_spout) {
+      has_spout = true;
+      if (!c.spout_factory) {
+        return Status::InvalidArgument("spout " + c.name + " has no factory");
+      }
+    } else if (!c.bolt_factory) {
+      return Status::InvalidArgument("bolt " + c.name + " has no factory");
+    }
+  }
+  if (!has_spout) return Status::InvalidArgument("topology has no spout");
+  for (const auto& e : spec_.edges) {
+    if (names.count(e.producer) == 0) {
+      return Status::InvalidArgument("edge references unknown producer: " +
+                                     e.producer);
+    }
+    if (names.count(e.consumer) == 0) {
+      return Status::InvalidArgument("edge references unknown consumer: " +
+                                     e.consumer);
+    }
+    const TopologySpec::Component* consumer = spec_.FindComponent(e.consumer);
+    if (consumer->is_spout) {
+      return Status::InvalidArgument("spout cannot consume a stream: " +
+                                     e.consumer);
+    }
+    if (e.grouping.type == GroupingType::kFields && e.grouping.fields.empty()) {
+      return Status::InvalidArgument("fields grouping with no fields into " +
+                                     e.consumer);
+    }
+  }
+  return std::move(spec_);
+}
+
+namespace {
+
+const char* GroupingName(GroupingType type) {
+  switch (type) {
+    case GroupingType::kShuffle:
+      return "shuffle";
+    case GroupingType::kFields:
+      return "fields";
+    case GroupingType::kGlobal:
+      return "global";
+    case GroupingType::kAll:
+      return "all";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ToDot(const TopologySpec& spec) {
+  std::string out = "digraph \"" + spec.name + "\" {\n  rankdir=LR;\n";
+  for (const auto& c : spec.components) {
+    out += "  \"" + c.name + "\" [label=\"" + c.name + "\\nx" +
+           std::to_string(c.parallelism) + "\", shape=" +
+           (c.is_spout ? "diamond" : "box") + "];\n";
+  }
+  for (const auto& e : spec.edges) {
+    std::string label = GroupingName(e.grouping.type);
+    if (!e.stream.empty()) label = e.stream + "\\n" + label;
+    if (e.grouping.type == GroupingType::kFields) {
+      label += "(";
+      for (size_t i = 0; i < e.grouping.fields.size(); ++i) {
+        if (i > 0) label += ",";
+        label += e.grouping.fields[i];
+      }
+      label += ")";
+    }
+    out += "  \"" + e.producer + "\" -> \"" + e.consumer + "\" [label=\"" +
+           label + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace tencentrec::tstorm

@@ -1,0 +1,104 @@
+#ifndef TENCENTREC_TSTORM_TOPOLOGY_H_
+#define TENCENTREC_TSTORM_TOPOLOGY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tstorm/component.h"
+#include "tstorm/grouping.h"
+
+namespace tencentrec::tstorm {
+
+/// One subscription edge: `consumer` receives `stream` of `producer` under
+/// `grouping`.
+struct EdgeSpec {
+  std::string producer;
+  std::string stream;  ///< empty = producer's default stream
+  std::string consumer;
+  Grouping grouping;
+};
+
+/// Declarative description of a topology, assembled by TopologyBuilder (or
+/// parsed from an XML config) and validated/instantiated by LocalCluster.
+struct TopologySpec {
+  struct Component {
+    std::string name;
+    bool is_spout = false;
+    SpoutFactory spout_factory;
+    BoltFactory bolt_factory;
+    int parallelism = 1;
+    /// Call IBolt::Tick every this many executed tuples (0 = never, except
+    /// the guaranteed pre-EOS tick).
+    int tick_interval = 0;
+  };
+
+  std::string name;
+  std::vector<Component> components;
+  std::vector<EdgeSpec> edges;
+
+  const Component* FindComponent(const std::string& name) const {
+    for (const auto& c : components) {
+      if (c.name == name) return &c;
+    }
+    return nullptr;
+  }
+};
+
+/// Fluent builder mirroring Storm's TopologyBuilder.
+///
+///   TopologyBuilder b("cf");
+///   b.SetSpout("spout", MakeActionSpout, 1);
+///   b.SetBolt("pretreat", MakePretreatment, 4)
+///       .FieldsGrouping("spout", {"user"});
+///   TopologySpec spec = std::move(b).Build();
+class TopologyBuilder {
+ public:
+  /// Declares groupings for the bolt added last.
+  class BoltConfigurer {
+   public:
+    BoltConfigurer(TopologyBuilder* builder, std::string bolt)
+        : builder_(builder), bolt_(std::move(bolt)) {}
+
+    BoltConfigurer& ShuffleGrouping(const std::string& producer,
+                                    const std::string& stream = "");
+    BoltConfigurer& FieldsGrouping(const std::string& producer,
+                                   std::vector<std::string> fields,
+                                   const std::string& stream = "");
+    BoltConfigurer& GlobalGrouping(const std::string& producer,
+                                   const std::string& stream = "");
+    BoltConfigurer& AllGrouping(const std::string& producer,
+                                const std::string& stream = "");
+    /// Sets the tick interval (in executed tuples) for this bolt.
+    BoltConfigurer& TickInterval(int tuples);
+
+   private:
+    TopologyBuilder* builder_;
+    std::string bolt_;
+  };
+
+  explicit TopologyBuilder(std::string name) { spec_.name = std::move(name); }
+
+  TopologyBuilder& SetSpout(const std::string& name, SpoutFactory factory,
+                            int parallelism = 1);
+
+  BoltConfigurer SetBolt(const std::string& name, BoltFactory factory,
+                         int parallelism = 1);
+
+  /// Validates naming/edges; consumes the builder.
+  Result<TopologySpec> Build() &&;
+
+ private:
+  friend class BoltConfigurer;
+  TopologySpec spec_;
+};
+
+/// Renders a topology as Graphviz DOT: components as nodes (spouts as
+/// diamonds) annotated with parallelism, edges labeled stream/grouping.
+/// Useful for documenting generated topologies (cf. the paper's Fig. 6/7).
+std::string ToDot(const TopologySpec& spec);
+
+}  // namespace tencentrec::tstorm
+
+#endif  // TENCENTREC_TSTORM_TOPOLOGY_H_

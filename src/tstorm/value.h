@@ -1,0 +1,75 @@
+#ifndef TENCENTREC_TSTORM_VALUE_H_
+#define TENCENTREC_TSTORM_VALUE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace tencentrec::tstorm {
+
+/// A single field of a stream tuple. Streams are schemaful (each stream
+/// declares named fields) but values are dynamically typed, mirroring
+/// Storm's Values/Fields model.
+using Value = std::variant<int64_t, double, std::string>;
+
+inline uint64_t HashValue(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return HashInt(static_cast<uint64_t>(std::get<int64_t>(v)));
+    case 1: {
+      double d = std::get<double>(v);
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return HashInt(bits);
+    }
+    default:
+      return HashString(std::get<std::string>(v));
+  }
+}
+
+/// An immutable-after-emit data record flowing through a topology.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  static Tuple Of(std::initializer_list<Value> values) {
+    return Tuple(std::vector<Value>(values));
+  }
+
+  size_t size() const { return values_.size(); }
+
+  const Value& at(size_t i) const {
+    assert(i < values_.size());
+    return values_[i];
+  }
+
+  int64_t GetInt(size_t i) const { return std::get<int64_t>(at(i)); }
+  double GetDouble(size_t i) const {
+    const Value& v = at(i);
+    // Accept ints where a double is expected; emitters routinely mix them.
+    if (std::holds_alternative<int64_t>(v)) {
+      return static_cast<double>(std::get<int64_t>(v));
+    }
+    return std::get<double>(v);
+  }
+  const std::string& GetString(size_t i) const {
+    return std::get<std::string>(at(i));
+  }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  const std::vector<Value>& values() const { return values_; }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace tencentrec::tstorm
+
+#endif  // TENCENTREC_TSTORM_VALUE_H_

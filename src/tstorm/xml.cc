@@ -1,0 +1,223 @@
+#include "tstorm/xml.h"
+
+#include "common/strings.h"
+
+namespace tencentrec::tstorm {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<std::unique_ptr<XmlNode>> ParseDocument() {
+    SkipMisc();
+    if (Eof()) return Status::InvalidArgument("xml: empty document");
+    auto root = ParseElement();
+    if (!root.ok()) return root.status();
+    SkipMisc();
+    if (!Eof()) {
+      return Status::InvalidArgument("xml: trailing content after root");
+    }
+    return std::move(root).value();
+  }
+
+ private:
+  bool Eof() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool Match(std::string_view s) {
+    if (input_.substr(pos_, s.size()) != s) return false;
+    pos_ += s.size();
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  /// Skips whitespace, comments, processing instructions and the XML
+  /// declaration between markup.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (Match("<!--")) {
+        size_t end = input_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 3;
+      } else if (Match("<?")) {
+        size_t end = input_.find("?>", pos_);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  std::string ParseName() {
+    size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) ++pos_;
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  static void AppendDecoded(std::string_view raw, std::string* out) {
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out->push_back(raw[i]);
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      std::string_view ent =
+          semi == std::string_view::npos ? "" : raw.substr(i + 1, semi - i - 1);
+      if (ent == "lt") {
+        out->push_back('<');
+      } else if (ent == "gt") {
+        out->push_back('>');
+      } else if (ent == "amp") {
+        out->push_back('&');
+      } else if (ent == "quot") {
+        out->push_back('"');
+      } else if (ent == "apos") {
+        out->push_back('\'');
+      } else {
+        out->push_back('&');  // unknown entity: keep literal
+        continue;
+      }
+      i = semi;
+    }
+  }
+
+  Result<std::unique_ptr<XmlNode>> ParseElement() {
+    if (!Match("<")) return Status::InvalidArgument("xml: expected '<'");
+    auto node = std::make_unique<XmlNode>();
+    node->name = ParseName();
+    if (node->name.empty()) {
+      return Status::InvalidArgument("xml: element with empty name");
+    }
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (Eof()) return Status::InvalidArgument("xml: unexpected end in tag");
+      if (Match("/>")) return node;
+      if (Match(">")) break;
+      std::string key = ParseName();
+      if (key.empty()) {
+        return Status::InvalidArgument("xml: bad attribute in <" + node->name +
+                                       ">");
+      }
+      SkipWhitespace();
+      if (!Match("=")) {
+        return Status::InvalidArgument("xml: attribute without '=' in <" +
+                                       node->name + ">");
+      }
+      SkipWhitespace();
+      if (Eof() || (Peek() != '"' && Peek() != '\'')) {
+        return Status::InvalidArgument("xml: unquoted attribute value in <" +
+                                       node->name + ">");
+      }
+      char quote = Peek();
+      ++pos_;
+      size_t end = input_.find(quote, pos_);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("xml: unterminated attribute value");
+      }
+      std::string value;
+      AppendDecoded(input_.substr(pos_, end - pos_), &value);
+      pos_ = end + 1;
+      node->attributes.emplace_back(std::move(key), std::move(value));
+    }
+
+    // Content: text, children, comments; until matching close tag.
+    while (true) {
+      if (Eof()) {
+        return Status::InvalidArgument("xml: unterminated element <" +
+                                       node->name + ">");
+      }
+      if (Match("<!--")) {
+        size_t end = input_.find("-->", pos_);
+        if (end == std::string_view::npos) {
+          return Status::InvalidArgument("xml: unterminated comment");
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      if (input_.substr(pos_, 2) == "</") {
+        pos_ += 2;
+        std::string close = ParseName();
+        SkipWhitespace();
+        if (!Match(">")) {
+          return Status::InvalidArgument("xml: malformed close tag");
+        }
+        if (close != node->name) {
+          return Status::InvalidArgument("xml: mismatched close tag </" +
+                                         close + "> for <" + node->name + ">");
+        }
+        return node;
+      }
+      if (Peek() == '<') {
+        auto child = ParseElement();
+        if (!child.ok()) return child.status();
+        node->children.push_back(std::move(child).value());
+        continue;
+      }
+      size_t next = input_.find('<', pos_);
+      if (next == std::string_view::npos) {
+        return Status::InvalidArgument("xml: unterminated element <" +
+                                       node->name + ">");
+      }
+      AppendDecoded(input_.substr(pos_, next - pos_), &node->text);
+      pos_ = next;
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string XmlNode::Attr(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+bool XmlNode::HasAttr(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const XmlNode* XmlNode::Child(std::string_view name) const {
+  for (const auto& c : children) {
+    if (c->name == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::Children(std::string_view name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children) {
+    if (c->name == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string XmlNode::ChildText(std::string_view name) const {
+  const XmlNode* c = Child(name);
+  if (c == nullptr) return "";
+  return std::string(Trim(c->text));
+}
+
+Result<std::unique_ptr<XmlNode>> ParseXml(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseDocument();
+}
+
+}  // namespace tencentrec::tstorm

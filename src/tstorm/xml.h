@@ -1,0 +1,41 @@
+#ifndef TENCENTREC_TSTORM_XML_H_
+#define TENCENTREC_TSTORM_XML_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tencentrec::tstorm {
+
+/// A parsed XML element. The subset implemented (elements, attributes,
+/// text, comments, XML declaration, standard entities) is exactly what the
+/// paper's topology configuration files (Fig. 7) need.
+struct XmlNode {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<std::unique_ptr<XmlNode>> children;
+  std::string text;  ///< concatenated character data directly inside this node
+
+  /// First attribute value by name, or "" if absent.
+  std::string Attr(std::string_view key) const;
+  bool HasAttr(std::string_view key) const;
+
+  /// First child element by name, or nullptr.
+  const XmlNode* Child(std::string_view name) const;
+
+  /// All child elements by name.
+  std::vector<const XmlNode*> Children(std::string_view name) const;
+
+  /// Text of child `name`, trimmed; "" if the child is absent.
+  std::string ChildText(std::string_view name) const;
+};
+
+/// Parses a document; returns its root element.
+Result<std::unique_ptr<XmlNode>> ParseXml(std::string_view input);
+
+}  // namespace tencentrec::tstorm
+
+#endif  // TENCENTREC_TSTORM_XML_H_

@@ -1,0 +1,478 @@
+#include <gtest/gtest.h>
+
+#include "core/assoc.h"
+#include "core/content.h"
+#include "core/ctr.h"
+#include "core/demographic.h"
+#include "core/recommender.h"
+
+namespace tencentrec::core {
+namespace {
+
+UserAction Act(UserId user, ItemId item, ActionType type, EventTime ts,
+               Demographics d = {}) {
+  UserAction a;
+  a.user = user;
+  a.item = item;
+  a.action = type;
+  a.timestamp = ts;
+  a.demographics = d;
+  return a;
+}
+
+Demographics Male(uint8_t age = 2, uint16_t region = 0) {
+  Demographics d;
+  d.gender = Demographics::kMale;
+  d.age_band = age;
+  d.region = region;
+  return d;
+}
+
+Demographics Female(uint8_t age = 2, uint16_t region = 0) {
+  Demographics d;
+  d.gender = Demographics::kFemale;
+  d.age_band = age;
+  d.region = region;
+  return d;
+}
+
+// --- content-based (CB) -------------------------------------------------------
+
+ContentBased::Options CbOptions() {
+  ContentBased::Options options;
+  options.profile_half_life = Hours(12);
+  return options;
+}
+
+TEST(ContentBasedTest, LearnsProfileAndRecommends) {
+  ContentBased cb(CbOptions());
+  cb.RegisterItem(1, {{100, 1.0}}, 0);
+  cb.RegisterItem(2, {{100, 1.0}}, 0);  // same topic as 1
+  cb.RegisterItem(3, {{200, 1.0}}, 0);  // different topic
+  cb.ProcessAction(Act(1, 1, ActionType::kRead, Seconds(10)));
+
+  auto recs = cb.RecommendForUser(1, 5, Seconds(20));
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs[0].item, 2);
+  // Seen item excluded; unrelated topic absent or scored lower.
+  for (const auto& r : recs) EXPECT_NE(r.item, 1);
+}
+
+TEST(ContentBasedTest, ProfileDecays) {
+  ContentBased cb(CbOptions());
+  cb.RegisterItem(1, {{100, 1.0}}, 0);
+  cb.ProcessAction(Act(1, 1, ActionType::kRead, 0));
+  auto fresh = cb.ProfileOf(1, 0);
+  auto stale = cb.ProfileOf(1, Hours(24));
+  ASSERT_FALSE(fresh.empty());
+  ASSERT_FALSE(stale.empty());
+  // After two half-lives the weight is a quarter.
+  EXPECT_NEAR(stale[0].second, fresh[0].second / 4.0, 1e-9);
+}
+
+TEST(ContentBasedTest, RecentInterestDominates) {
+  ContentBased cb(CbOptions());
+  cb.RegisterItem(1, {{100, 1.0}}, 0);
+  cb.RegisterItem(2, {{200, 1.0}}, 0);
+  cb.RegisterItem(3, {{100, 1.0}}, 0);
+  cb.RegisterItem(4, {{200, 1.0}}, 0);
+  // Old interest in topic 100; fresh interest in topic 200.
+  cb.ProcessAction(Act(1, 1, ActionType::kRead, 0));
+  cb.ProcessAction(Act(1, 2, ActionType::kRead, Hours(36)));
+  auto recs = cb.RecommendForUser(1, 2, Hours(36));
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs[0].item, 4);  // topic 200 item outranks topic 100 item
+}
+
+TEST(ContentBasedTest, NewItemImmediatelyRecommendable) {
+  ContentBased cb(CbOptions());
+  cb.RegisterItem(1, {{100, 1.0}}, 0);
+  cb.ProcessAction(Act(1, 1, ActionType::kRead, Seconds(1)));
+  // A brand-new item on the user's topic appears...
+  cb.RegisterItem(50, {{100, 1.0}}, Seconds(2));
+  auto recs = cb.RecommendForUser(1, 5, Seconds(3));
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs[0].item, 50);
+}
+
+TEST(ContentBasedTest, ExpiredItemsDropOut) {
+  ContentBased::Options options = CbOptions();
+  options.item_ttl = Days(1);
+  ContentBased cb(options);
+  cb.RegisterItem(1, {{100, 1.0}}, 0);
+  cb.RegisterItem(2, {{100, 1.0}}, 0);
+  cb.ProcessAction(Act(1, 1, ActionType::kRead, Seconds(1)));
+  EXPECT_FALSE(cb.RecommendForUser(1, 5, Hours(1)).empty());
+  EXPECT_TRUE(cb.RecommendForUser(1, 5, Days(3)).empty());  // all expired
+}
+
+TEST(ContentBasedTest, RemoveItemPurgesIndex) {
+  ContentBased cb(CbOptions());
+  cb.RegisterItem(1, {{100, 1.0}}, 0);
+  cb.RegisterItem(2, {{100, 1.0}}, 0);
+  cb.ProcessAction(Act(1, 1, ActionType::kRead, Seconds(1)));
+  cb.RemoveItem(2);
+  EXPECT_FALSE(cb.HasItem(2));
+  EXPECT_TRUE(cb.RecommendForUser(1, 5, Seconds(2)).empty());
+}
+
+TEST(ContentBasedTest, UntaggedActionIgnored) {
+  ContentBased cb(CbOptions());
+  cb.ProcessAction(Act(1, 999, ActionType::kRead, 0));
+  EXPECT_TRUE(cb.ProfileOf(1, 0).empty());
+}
+
+// --- demographic (DB) ----------------------------------------------------------
+
+DemographicRecommender::Options DbOptions(int window_sessions = 0) {
+  DemographicRecommender::Options options;
+  options.session_length = Hours(1);
+  options.window_sessions = window_sessions;
+  return options;
+}
+
+TEST(DemographicTest, GroupsSeeTheirOwnHotItems) {
+  DemographicRecommender db(DbOptions());
+  for (UserId u = 1; u <= 5; ++u) {
+    db.ProcessAction(Act(u, 10, ActionType::kClick, Seconds(u), Male()));
+    db.ProcessAction(Act(u + 10, 20, ActionType::kClick, Seconds(u),
+                         Female()));
+  }
+  auto male_hot = db.RecommendForUser(Male(), 1);
+  auto female_hot = db.RecommendForUser(Female(), 1);
+  ASSERT_FALSE(male_hot.empty());
+  ASSERT_FALSE(female_hot.empty());
+  EXPECT_EQ(male_hot[0].item, 10);
+  EXPECT_EQ(female_hot[0].item, 20);
+}
+
+TEST(DemographicTest, UnknownDemographicsUseGlobalGroup) {
+  DemographicRecommender db(DbOptions());
+  db.ProcessAction(Act(1, 10, ActionType::kClick, 0, Male()));
+  db.ProcessAction(Act(2, 10, ActionType::kClick, 0, Female()));
+  db.ProcessAction(Act(3, 30, ActionType::kClick, 0, Male()));
+  Demographics unknown;
+  auto recs = db.RecommendForUser(unknown, 2);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].item, 10);  // global counts: 10 has 2, 30 has 1
+}
+
+TEST(DemographicTest, EmptyGroupFallsBackToGlobal) {
+  DemographicRecommender db(DbOptions());
+  db.ProcessAction(Act(1, 10, ActionType::kClick, 0, Male(2)));
+  // A female user of an unseen group still gets the global list.
+  auto recs = db.RecommendForUser(Female(5), 5);
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs[0].item, 10);
+}
+
+TEST(DemographicTest, WindowForgetsOldHotness) {
+  DemographicRecommender db(DbOptions(/*window_sessions=*/2));
+  for (UserId u = 1; u <= 5; ++u) {
+    db.ProcessAction(Act(u, 10, ActionType::kClick, Minutes(u), Male()));
+  }
+  db.ProcessAction(Act(9, 20, ActionType::kClick, Hours(6), Male()));
+  auto recs = db.RecommendForUser(Male(), 5);
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs[0].item, 20);  // old hot item expired with its sessions
+  EXPECT_DOUBLE_EQ(db.Popularity(DemographicGroup(Male()), 10), 0.0);
+}
+
+TEST(DemographicTest, ImpressionDoesNotCount) {
+  DemographicRecommender db(DbOptions());
+  db.ProcessAction(Act(1, 10, ActionType::kImpression, 0, Male()));
+  EXPECT_TRUE(db.RecommendForUser(Male(), 5).empty());
+}
+
+// --- association rules (AR) -----------------------------------------------------
+
+AssocRules::Options ArOptions() {
+  AssocRules::Options options;
+  options.linked_time = Days(3);
+  options.min_support = 2.0;
+  options.min_confidence = 0.05;
+  return options;
+}
+
+TEST(AssocRulesTest, ConfidenceIsAsymmetric) {
+  AssocRules ar(ArOptions());
+  // 4 users buy A; 2 of them also buy B.
+  EventTime t = 0;
+  for (UserId u = 1; u <= 4; ++u) {
+    ar.ProcessAction(Act(u, 1, ActionType::kPurchase, t += Seconds(1)));
+  }
+  for (UserId u = 1; u <= 2; ++u) {
+    ar.ProcessAction(Act(u, 2, ActionType::kPurchase, t += Seconds(1)));
+  }
+  EXPECT_NEAR(ar.Confidence(1, 2), 0.5, 1e-9);  // 2/4
+  EXPECT_NEAR(ar.Confidence(2, 1), 1.0, 1e-9);  // 2/2
+}
+
+TEST(AssocRulesTest, SupportFloorSuppressesRareRules) {
+  AssocRules ar(ArOptions());
+  ar.ProcessAction(Act(1, 1, ActionType::kPurchase, 0));
+  ar.ProcessAction(Act(1, 2, ActionType::kPurchase, Seconds(1)));
+  // Joint support 1 < min_support 2.
+  EXPECT_DOUBLE_EQ(ar.Confidence(1, 2), 0.0);
+  EXPECT_TRUE(ar.RecommendForItem(1, 5).empty());
+}
+
+TEST(AssocRulesTest, DuplicateActionsCountOnce) {
+  AssocRules ar(ArOptions());
+  for (int i = 0; i < 5; ++i) {
+    ar.ProcessAction(Act(1, 1, ActionType::kPurchase, Seconds(i)));
+  }
+  EXPECT_DOUBLE_EQ(ar.counts().ItemCount(1), 1.0);
+}
+
+TEST(AssocRulesTest, WeakActionsIgnored) {
+  AssocRules::Options options = ArOptions();
+  options.min_action_weight = 2.0;  // only read and stronger
+  AssocRules ar(options);
+  ar.ProcessAction(Act(1, 1, ActionType::kBrowse, 0));
+  EXPECT_DOUBLE_EQ(ar.counts().ItemCount(1), 0.0);
+  ar.ProcessAction(Act(1, 1, ActionType::kPurchase, Seconds(1)));
+  EXPECT_DOUBLE_EQ(ar.counts().ItemCount(1), 1.0);
+}
+
+TEST(AssocRulesTest, RecommendForUserExcludesOwned) {
+  AssocRules ar(ArOptions());
+  EventTime t = 0;
+  for (UserId u = 1; u <= 4; ++u) {
+    ar.ProcessAction(Act(u, 1, ActionType::kPurchase, t += Seconds(1)));
+    ar.ProcessAction(Act(u, 2, ActionType::kPurchase, t += Seconds(1)));
+  }
+  ar.ProcessAction(Act(9, 1, ActionType::kPurchase, t += Seconds(1)));
+  auto recs = ar.RecommendForUser(9, 5);
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs[0].item, 2);
+  // User 1 already owns both: nothing new to recommend.
+  EXPECT_TRUE(ar.RecommendForUser(1, 5).empty());
+}
+
+// --- situational CTR -------------------------------------------------------------
+
+SituationalCtr::Options CtrOptions(int window_sessions = 0) {
+  SituationalCtr::Options options;
+  options.session_length = Minutes(10);
+  options.window_sessions = window_sessions;
+  options.prior_strength = 10.0;
+  options.base_ctr = 0.05;
+  return options;
+}
+
+TEST(CtrTest, LevelKeyHierarchy) {
+  Demographics full = Male(3, 7);
+  EXPECT_EQ(CtrMaxLevel(Demographics{}), 0);
+  EXPECT_EQ(CtrMaxLevel(Male(0)), 1);
+  EXPECT_EQ(CtrMaxLevel(Male(3)), 2);
+  EXPECT_EQ(CtrMaxLevel(full), 3);
+  // Distinct levels and situations yield distinct keys for the same item.
+  EXPECT_NE(CtrLevelKey(1, 0, full), CtrLevelKey(1, 1, full));
+  EXPECT_NE(CtrLevelKey(1, 3, Male(3, 7)), CtrLevelKey(1, 3, Male(3, 8)));
+  EXPECT_NE(CtrLevelKey(1, 1, Male()), CtrLevelKey(1, 1, Female()));
+  EXPECT_NE(CtrLevelKey(1, 0, full), CtrLevelKey(2, 0, full));
+}
+
+TEST(CtrTest, EstimatesConvergeToEmpiricalRate) {
+  SituationalCtr ctr(CtrOptions());
+  Demographics d = Male(2, 1);
+  for (int i = 0; i < 1000; ++i) {
+    ctr.RecordImpression(1, d, Seconds(i));
+    if (i % 5 == 0) ctr.RecordClick(1, d, Seconds(i));  // 20% CTR
+  }
+  EXPECT_NEAR(ctr.PredictCtr(1, d), 0.2, 0.02);
+}
+
+TEST(CtrTest, SituationalDifference) {
+  SituationalCtr ctr(CtrOptions());
+  // Males click ad 1 at 30%, females at 2%.
+  for (int i = 0; i < 400; ++i) {
+    ctr.RecordImpression(1, Male(), Seconds(i));
+    if (i % 10 < 3) ctr.RecordClick(1, Male(), Seconds(i));
+    ctr.RecordImpression(1, Female(), Seconds(i));
+    if (i % 50 == 0) ctr.RecordClick(1, Female(), Seconds(i));
+  }
+  EXPECT_GT(ctr.PredictCtr(1, Male()), 3.0 * ctr.PredictCtr(1, Female()));
+}
+
+TEST(CtrTest, SparseSituationFallsBackToParent) {
+  SituationalCtr ctr(CtrOptions());
+  // Dense male-level data at 25% CTR; only 2 impressions in region 9.
+  for (int i = 0; i < 400; ++i) {
+    ctr.RecordImpression(1, Male(2, 1), Seconds(i));
+    if (i % 4 == 0) ctr.RecordClick(1, Male(2, 1), Seconds(i));
+  }
+  ctr.RecordImpression(1, Male(2, 9), Seconds(1000));
+  ctr.RecordImpression(1, Male(2, 9), Seconds(1001));
+  // The region-9 estimate shrinks toward the male/age parent, not to zero.
+  EXPECT_GT(ctr.PredictCtr(1, Male(2, 9)), 0.15);
+}
+
+TEST(CtrTest, UnseenAdGetsBasePrior) {
+  SituationalCtr ctr(CtrOptions());
+  EXPECT_NEAR(ctr.PredictCtr(42, Male()), 0.05, 1e-9);
+}
+
+TEST(CtrTest, WindowedCountsAnswerTheSigmodQuery) {
+  // §1: "During last ten seconds, what is the CTR of an advertisement among
+  // the male users in Beijing, whose age is from twenty to thirty."
+  SituationalCtr::Options options = CtrOptions(/*window_sessions=*/1);
+  options.session_length = Seconds(10);
+  SituationalCtr ctr(options);
+  Demographics beijing_male_20s = Male(2, 11);
+  ctr.RecordImpression(7, beijing_male_20s, Seconds(1));
+  ctr.RecordClick(7, beijing_male_20s, Seconds(2));
+  auto counts = ctr.SituationCounts(7, beijing_male_20s);
+  EXPECT_DOUBLE_EQ(counts.impressions, 1.0);
+  EXPECT_DOUBLE_EQ(counts.clicks, 1.0);
+  // Twenty seconds later the window has rolled over.
+  ctr.RecordImpression(8, beijing_male_20s, Seconds(25));
+  counts = ctr.SituationCounts(7, beijing_male_20s);
+  EXPECT_DOUBLE_EQ(counts.impressions, 0.0);
+}
+
+TEST(CtrTest, RankByCtrOrdersCandidates) {
+  SituationalCtr ctr(CtrOptions());
+  Demographics d = Male();
+  for (int i = 0; i < 300; ++i) {
+    ctr.RecordImpression(1, d, Seconds(i));
+    ctr.RecordImpression(2, d, Seconds(i));
+    if (i % 4 == 0) ctr.RecordClick(1, d, Seconds(i));   // 25%
+    if (i % 20 == 0) ctr.RecordClick(2, d, Seconds(i));  // 5%
+  }
+  auto ranked = ctr.RankByCtr({2, 1}, d, 2);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].item, 1);
+}
+
+TEST(CtrTest, OtherActionTypesIgnored) {
+  SituationalCtr ctr(CtrOptions());
+  ctr.ProcessAction(Act(1, 1, ActionType::kPurchase, 0, Male()));
+  auto counts = ctr.SituationCounts(1, Male());
+  EXPECT_DOUBLE_EQ(counts.impressions, 0.0);
+  EXPECT_DOUBLE_EQ(counts.clicks, 0.0);
+}
+
+// --- hybrid recommender (§4.2/§4.3) ----------------------------------------------
+
+TEST(HybridRecommenderTest, DbComplementsColdStart) {
+  HybridRecommender::Options options;
+  options.cf.linked_time = Days(30);
+  HybridRecommender hybrid(options);
+  // Popular items among males.
+  EventTime t = 0;
+  for (UserId u = 1; u <= 5; ++u) {
+    hybrid.ProcessAction(Act(u, 10, ActionType::kClick, t += Seconds(1),
+                             Male()));
+  }
+  // A brand-new male user has no CF signal -> gets group hot items.
+  auto recs = hybrid.Recommend(999, Male(), 3);
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs[0].item, 10);
+}
+
+TEST(HybridRecommenderTest, CfResultsComeFirst) {
+  HybridRecommender::Options options;
+  options.cf.linked_time = Days(30);
+  HybridRecommender hybrid(options);
+  EventTime t = 0;
+  // (1, 2) co-clicked widely; item 50 merely popular.
+  for (UserId u = 1; u <= 6; ++u) {
+    hybrid.ProcessAction(Act(u, 1, ActionType::kClick, t += Seconds(1)));
+    hybrid.ProcessAction(Act(u, 2, ActionType::kClick, t += Seconds(1)));
+    hybrid.ProcessAction(Act(u + 50, 50, ActionType::kClick,
+                             t += Seconds(1)));
+  }
+  hybrid.ProcessAction(Act(99, 1, ActionType::kClick, t += Seconds(1)));
+  auto recs = hybrid.Recommend(99, Demographics{}, 3);
+  ASSERT_GE(recs.size(), 2u);
+  EXPECT_EQ(recs[0].item, 2);  // CF hit leads, hot item fills the tail
+}
+
+TEST(HybridRecommenderTest, ComplementExcludesRecentItems) {
+  HybridRecommender::Options options;
+  options.cf.linked_time = Days(30);
+  HybridRecommender hybrid(options);
+  EventTime t = 0;
+  for (UserId u = 1; u <= 5; ++u) {
+    hybrid.ProcessAction(Act(u, 10, ActionType::kClick, t += Seconds(1)));
+  }
+  // User 99 just interacted with the hot item itself.
+  hybrid.ProcessAction(Act(99, 10, ActionType::kClick, t += Seconds(1)));
+  auto recs = hybrid.Recommend(99, Demographics{}, 3);
+  for (const auto& r : recs) EXPECT_NE(r.item, 10);
+}
+
+// --- extra edge cases -----------------------------------------------------------
+
+TEST(ContentBasedTest, SeenCapResetsWithoutCrashing) {
+  ContentBased::Options options = CbOptions();
+  options.seen_cap = 4;
+  ContentBased cb(options);
+  for (ItemId i = 1; i <= 10; ++i) {
+    cb.RegisterItem(i, {{100, 1.0}}, 0);
+  }
+  for (ItemId i = 1; i <= 10; ++i) {
+    cb.ProcessAction(Act(1, i, ActionType::kRead, Seconds(i)));
+  }
+  // The cap wiped older seen-markers; recommendations still work and never
+  // include the most recent (still-tracked) item.
+  auto recs = cb.RecommendForUser(1, 10, Seconds(20));
+  for (const auto& r : recs) EXPECT_NE(r.item, 10);
+}
+
+TEST(AssocRulesTest, PerUserItemCapEvictsStalest) {
+  AssocRules::Options options = ArOptions();
+  options.user_items_cap = 3;
+  AssocRules ar(options);
+  for (ItemId i = 1; i <= 6; ++i) {
+    ar.ProcessAction(Act(1, i, ActionType::kPurchase, Seconds(i)));
+  }
+  // Only ~3 items of user 1 remain for pairing; older anchors evicted.
+  // Support counts persist (window counts are not per-user), but a fresh
+  // purchase pairs only with retained items.
+  auto before = ar.counts().TrackedPairs();
+  ar.ProcessAction(Act(1, 99, ActionType::kPurchase, Seconds(100)));
+  auto added = ar.counts().TrackedPairs() - before;
+  EXPECT_LE(added, 3u);
+}
+
+TEST(AssocRulesTest, LinkedTimeBoundsPairs) {
+  AssocRules::Options options = ArOptions();
+  options.linked_time = Hours(1);
+  AssocRules ar(options);
+  ar.ProcessAction(Act(1, 1, ActionType::kPurchase, Hours(0)));
+  ar.ProcessAction(Act(1, 2, ActionType::kPurchase, Hours(5)));  // too late
+  EXPECT_DOUBLE_EQ(ar.counts().PairCount(1, 2), 0.0);
+  ar.ProcessAction(Act(1, 3, ActionType::kPurchase, Hours(5) + Minutes(10)));
+  EXPECT_DOUBLE_EQ(ar.counts().PairCount(2, 3), 1.0);
+}
+
+TEST(CtrTest, RegionOnlyStopsChainAtGlobal) {
+  // Region without gender/age cannot refine the chain (level 0 only).
+  Demographics d;
+  d.region = 5;
+  EXPECT_EQ(CtrMaxLevel(d), 0);
+  SituationalCtr ctr(CtrOptions());
+  for (int i = 0; i < 100; ++i) {
+    ctr.RecordImpression(1, d, Seconds(i));
+    if (i % 2 == 0) ctr.RecordClick(1, d, Seconds(i));
+  }
+  // The region-less situation sees the same (global) estimate.
+  EXPECT_NEAR(ctr.PredictCtr(1, d), ctr.PredictCtr(1, Demographics{}), 1e-12);
+}
+
+TEST(DemographicTest, WeightsScalePopularity) {
+  DemographicRecommender db(DbOptions());
+  db.ProcessAction(Act(1, 10, ActionType::kBrowse, 0, Male()));    // 1.0
+  db.ProcessAction(Act(2, 20, ActionType::kPurchase, 0, Male()));  // 3.0
+  auto hot = db.RecommendForUser(Male(), 2);
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_EQ(hot[0].item, 20);  // one purchase outweighs one browse
+  EXPECT_DOUBLE_EQ(hot[0].score, 3.0);
+  EXPECT_DOUBLE_EQ(hot[1].score, 1.0);
+}
+
+}  // namespace
+}  // namespace tencentrec::core

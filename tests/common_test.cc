@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/crc32.h"
+#include "common/hash.h"
+#include "common/queue.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/topk.h"
+
+namespace tencentrec {
+namespace {
+
+// --- Status / Result --------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: key 42");
+}
+
+TEST(StatusTest, EveryCodeHasName) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kTimedOut), "TimedOut");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+// --- strings ----------------------------------------------------------------
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitSingle) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ':'), "x:y:z");
+  EXPECT_EQ(Split(Join(parts, ':'), ':'), parts);
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nhi"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("123", &v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(ParseInt64(" -45 ", &v));
+  EXPECT_EQ(v, -45);
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+}
+
+TEST(StringsTest, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("1.5", &v));
+  EXPECT_DOUBLE_EQ(v, 1.5);
+  EXPECT_FALSE(ParseDouble("1.5.2", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("ic:app:1", "ic:"));
+  EXPECT_FALSE(StartsWith("ic", "ic:"));
+}
+
+// --- hash -------------------------------------------------------------------
+
+TEST(HashTest, StableAcrossCalls) {
+  EXPECT_EQ(HashString("hello"), HashString("hello"));
+  EXPECT_NE(HashString("hello"), HashString("hellp"));
+  // Pinned value: field groupings must be reproducible across runs/builds.
+  EXPECT_EQ(Fnv1a64("", 0), 0xcbf29ce484222325ULL);
+}
+
+TEST(HashTest, IntMixesSequentialKeys) {
+  // Sequential ids must spread across partitions.
+  std::set<uint64_t> buckets;
+  for (uint64_t i = 0; i < 64; ++i) buckets.insert(HashInt(i) % 8);
+  EXPECT_EQ(buckets.size(), 8u);
+}
+
+TEST(HashTest, CombineOrderSensitive) {
+  EXPECT_NE(HashCombine(HashInt(1), HashInt(2)),
+            HashCombine(HashInt(2), HashInt(1)));
+}
+
+// --- crc32 ------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32Test, SeedChaining) {
+  const std::string data = "hello world";
+  uint32_t whole = Crc32(data);
+  uint32_t chained = Crc32(data.substr(5), Crc32(data.substr(0, 5)));
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Crc32Test, DetectsFlip) {
+  std::string data = "some record payload";
+  uint32_t before = Crc32(data);
+  data[3] ^= 1;
+  EXPECT_NE(before, Crc32(data));
+}
+
+// --- random -----------------------------------------------------------------
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(99), b(99), c(100);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  bool differs = false;
+  Rng a2(99);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, BernoulliRoughFrequency) {
+  Rng rng(2);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(ZipfTest, SkewsTowardHead) {
+  Rng rng(3);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20000 / 100);  // far above uniform share
+}
+
+TEST(ZipfTest, ZeroSkewIsRoughlyUniform) {
+  Rng rng(4);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+// --- clock ------------------------------------------------------------------
+
+TEST(ClockTest, Conversions) {
+  EXPECT_EQ(Seconds(2), 2'000'000);
+  EXPECT_EQ(Minutes(1), Seconds(60));
+  EXPECT_EQ(Hours(1), Minutes(60));
+  EXPECT_EQ(Days(1), Hours(24));
+  EXPECT_EQ(DayIndex(Days(3) + Hours(5)), 3);
+}
+
+TEST(ClockTest, LogicalClockMonotone) {
+  LogicalClock clock(100);
+  clock.AdvanceTo(50);  // no going back
+  EXPECT_EQ(clock.now(), 100);
+  clock.AdvanceTo(200);
+  EXPECT_EQ(clock.now(), 200);
+  clock.Advance(5);
+  EXPECT_EQ(clock.now(), 205);
+}
+
+// --- TopK -------------------------------------------------------------------
+
+TEST(TopKTest, KeepsBestK) {
+  TopK<int> topk(3);
+  for (int i = 1; i <= 10; ++i) topk.Update(i, i * 1.0);
+  ASSERT_EQ(topk.size(), 3u);
+  EXPECT_EQ(topk.entries()[0].id, 10);
+  EXPECT_EQ(topk.entries()[1].id, 9);
+  EXPECT_EQ(topk.entries()[2].id, 8);
+  EXPECT_DOUBLE_EQ(topk.Threshold(), 8.0);
+}
+
+TEST(TopKTest, ThresholdZeroUntilFull) {
+  TopK<int> topk(3);
+  topk.Update(1, 5.0);
+  topk.Update(2, 4.0);
+  EXPECT_DOUBLE_EQ(topk.Threshold(), 0.0);
+  topk.Update(3, 3.0);
+  EXPECT_DOUBLE_EQ(topk.Threshold(), 3.0);
+}
+
+TEST(TopKTest, UpdateExistingEntryReorders) {
+  TopK<int> topk(3);
+  topk.Update(1, 1.0);
+  topk.Update(2, 2.0);
+  topk.Update(3, 3.0);
+  topk.Update(1, 10.0);  // same id, new score
+  EXPECT_EQ(topk.size(), 3u);
+  EXPECT_EQ(topk.entries()[0].id, 1);
+  EXPECT_TRUE(topk.Contains(2));
+}
+
+TEST(TopKTest, RejectsBelowThresholdWhenFull) {
+  TopK<int> topk(2);
+  topk.Update(1, 5.0);
+  topk.Update(2, 4.0);
+  EXPECT_FALSE(topk.Update(3, 1.0));
+  EXPECT_FALSE(topk.Contains(3));
+}
+
+TEST(TopKTest, Erase) {
+  TopK<int> topk(2);
+  topk.Update(1, 5.0);
+  topk.Update(2, 4.0);
+  topk.Erase(1);
+  EXPECT_FALSE(topk.Contains(1));
+  EXPECT_EQ(topk.size(), 1u);
+  EXPECT_DOUBLE_EQ(topk.Threshold(), 0.0);  // no longer full
+}
+
+// --- stats ------------------------------------------------------------------
+
+TEST(StatsTest, RunningStatBasics) {
+  RunningStat stat;
+  for (double x : {2.0, 4.0, 6.0}) stat.Add(x);
+  EXPECT_EQ(stat.count(), 3);
+  EXPECT_DOUBLE_EQ(stat.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 6.0);
+  EXPECT_NEAR(stat.stddev(), 2.0, 1e-9);
+}
+
+TEST(StatsTest, EmptyStatIsZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.stddev(), 0.0);
+}
+
+TEST(StatsTest, Percentile) {
+  std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 5.5);
+}
+
+// --- BoundedQueue -----------------------------------------------------------
+
+TEST(QueueTest, FifoOrder) {
+  BoundedQueue<int> q(10);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(QueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+}
+
+TEST(QueueTest, CloseDrainsThenSignals) {
+  BoundedQueue<int> q(10);
+  q.Push(1);
+  q.Close();
+  EXPECT_FALSE(q.Push(2));
+  auto v = q.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(QueueTest, ProducerConsumerThreads) {
+  BoundedQueue<int> q(4);  // small capacity forces backpressure
+  constexpr int kItems = 2000;
+  int64_t sum = 0;
+  std::thread consumer([&] {
+    while (auto v = q.Pop()) sum += *v;
+  });
+  std::thread producer([&] {
+    for (int i = 1; i <= kItems; ++i) q.Push(i);
+    q.Close();
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(sum, static_cast<int64_t>(kItems) * (kItems + 1) / 2);
+}
+
+}  // namespace
+}  // namespace tencentrec

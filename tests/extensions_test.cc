@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/itemcf/user_cf.h"
+#include "engine/monitor.h"
+#include "engine/offline.h"
+#include "engine/tencentrec.h"
+#include "topo/topology_factory.h"
+
+namespace tencentrec {
+namespace {
+
+using core::ActionType;
+using core::Demographics;
+using core::ItemId;
+using core::UserAction;
+using core::UserId;
+
+UserAction Act(UserId user, ItemId item, ActionType type, EventTime ts) {
+  UserAction a;
+  a.user = user;
+  a.item = item;
+  a.action = type;
+  a.timestamp = ts;
+  return a;
+}
+
+// --- user-based CF ------------------------------------------------------------
+
+TEST(UserBasedCfTest, SimilarUsersShareItems) {
+  core::UserBasedCf cf;
+  // Users 1 and 2 rate identically; user 3 is disjoint.
+  cf.SetRating(1, 10, 2.0);
+  cf.SetRating(1, 20, 2.0);
+  cf.SetRating(2, 10, 2.0);
+  cf.SetRating(2, 20, 2.0);
+  cf.SetRating(3, 30, 2.0);
+  cf.ComputeSimilarities();
+  EXPECT_NEAR(cf.UserSimilarity(1, 2), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cf.UserSimilarity(1, 3), 0.0);
+  EXPECT_DOUBLE_EQ(cf.UserSimilarity(2, 1), cf.UserSimilarity(1, 2));
+}
+
+TEST(UserBasedCfTest, RecommendsNeighborItems) {
+  core::UserBasedCf cf;
+  // User 9 is like users 1..3, who all also rated item 99.
+  for (UserId u = 1; u <= 3; ++u) {
+    cf.SetRating(u, 10, 2.0);
+    cf.SetRating(u, 20, 2.0);
+    cf.SetRating(u, 99, 3.0);
+  }
+  cf.SetRating(9, 10, 2.0);
+  cf.SetRating(9, 20, 2.0);
+  cf.ComputeSimilarities();
+  auto recs = cf.RecommendForUser(9, 5);
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs[0].item, 99);
+  for (const auto& r : recs) {
+    EXPECT_NE(r.item, 10);  // already rated
+    EXPECT_NE(r.item, 20);
+  }
+}
+
+TEST(UserBasedCfTest, UnknownUserGetsNothing) {
+  core::UserBasedCf cf;
+  cf.SetRating(1, 10, 1.0);
+  cf.ComputeSimilarities();
+  EXPECT_TRUE(cf.RecommendForUser(777, 5).empty());
+}
+
+TEST(UserBasedCfTest, ShrinkageDampsSingleItemOverlap) {
+  core::UserBasedCf plain(0.0);
+  core::UserBasedCf shrunk(5.0);
+  for (auto* cf : {&plain, &shrunk}) {
+    cf->SetRating(1, 10, 1.0);
+    cf->SetRating(2, 10, 1.0);  // single shared item
+    cf->ComputeSimilarities();
+  }
+  EXPECT_GT(plain.UserSimilarity(1, 2), shrunk.UserSimilarity(1, 2));
+}
+
+// --- auto-parallelism (§7 future work) -----------------------------------------
+
+TEST(SuggestParallelismTest, ScalesWithRate) {
+  // 50 µs/event at 60% target utilization: 1200 events/s fits one worker.
+  EXPECT_EQ(topo::SuggestParallelism(1000), 1);
+  EXPECT_GT(topo::SuggestParallelism(100000), 1);
+  EXPECT_GE(topo::SuggestParallelism(1e9), 64);   // clamped to max
+  EXPECT_EQ(topo::SuggestParallelism(1e9), 64);
+  EXPECT_EQ(topo::SuggestParallelism(0), 1);      // degenerate input
+  EXPECT_EQ(topo::SuggestParallelism(-5), 1);
+}
+
+TEST(SuggestParallelismTest, MonotoneInRate) {
+  int last = 0;
+  for (double rate : {1e3, 1e4, 1e5, 1e6}) {
+    int p = topo::SuggestParallelism(rate);
+    EXPECT_GE(p, last);
+    last = p;
+  }
+}
+
+TEST(AutoParallelismTest, EngineSizesFromBatchRate) {
+  engine::TencentRec::Options options;
+  options.app.app = "auto";
+  options.app.parallelism = 0;  // enable auto mode
+  options.auto_parallelism_event_cost_us = 2000;  // pretend-heavy events
+  options.store.num_data_servers = 1;
+  options.store.num_instances = 4;
+  auto engine = engine::TencentRec::Create(options);
+  ASSERT_TRUE(engine.ok());
+
+  // A dense burst: 2000 actions over 2 seconds of event time.
+  std::vector<UserAction> actions;
+  for (int i = 0; i < 2000; ++i) {
+    actions.push_back(Act(1 + i % 50, 1 + i % 30, ActionType::kClick,
+                          i * Seconds(2) / 2000));
+  }
+  ASSERT_TRUE((*engine)->ProcessBatch(actions).ok());
+  EXPECT_GT((*engine)->app().options.parallelism, 1);
+}
+
+// --- offline computation platform (Fig. 9) --------------------------------------
+
+TEST(OfflineJobTest, ReplaysHistoryIntoBatchModel) {
+  engine::TencentRec::Options options;
+  options.app.app = "offline";
+  options.app.parallelism = 2;
+  options.app.linked_time = Days(30);
+  options.store.num_data_servers = 1;
+  options.store.num_instances = 4;
+  auto engine = engine::TencentRec::Create(options);
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<UserAction> actions;
+  EventTime t = 0;
+  for (UserId u = 1; u <= 5; ++u) {
+    actions.push_back(Act(u, 101, ActionType::kClick, t += Seconds(1)));
+    actions.push_back(Act(u, 102, ActionType::kClick, t += Seconds(1)));
+  }
+  ASSERT_TRUE((*engine)->PublishActions(actions).ok());
+  // The streaming pipeline consumes the topic...
+  ASSERT_TRUE((*engine)->ProcessFromAccess().ok());
+
+  // ...and the offline job can still replay the full history afterwards
+  // (TDAccess keeps the data; different consumer groups are independent).
+  engine::OfflineCfJob::Options job;
+  auto model = engine::OfflineCfJob::Run((*engine)->access(), job);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(engine::OfflineCfJob::last_actions_replayed(), 10);
+  EXPECT_GT(model->Similarity(101, 102), 0.9);
+
+  // The batch model agrees with the streaming counts on this clean stream.
+  auto streaming_sim =
+      (*engine)->query().SimilarityFromCounts(101, 102, t + Seconds(10));
+  ASSERT_TRUE(streaming_sim.ok());
+  EXPECT_NEAR(model->Similarity(101, 102), *streaming_sim, 1e-9);
+
+  // Re-running replays everything again (offsets are never committed).
+  auto again = engine::OfflineCfJob::Run((*engine)->access(), job);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(engine::OfflineCfJob::last_actions_replayed(), 10);
+}
+
+// --- monitor (Fig. 9) -------------------------------------------------------------
+
+TEST(MonitorTest, SnapshotReflectsRunAndLag) {
+  engine::TencentRec::Options options;
+  options.app.app = "monitored";
+  options.app.parallelism = 2;
+  options.store.num_data_servers = 2;
+  options.store.num_instances = 4;
+  auto engine = engine::TencentRec::Create(options);
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<UserAction> actions;
+  for (int i = 0; i < 20; ++i) {
+    actions.push_back(Act(1 + i % 4, 1 + i % 6, ActionType::kClick,
+                          Seconds(i)));
+  }
+  ASSERT_TRUE((*engine)->PublishActions(actions).ok());
+
+  // Before processing: the full topic is lag.
+  auto before = engine::CollectMonitorSnapshot(engine->get());
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->ingestion_lag, 20);
+
+  ASSERT_TRUE((*engine)->ProcessFromAccess().ok());
+  auto after = engine::CollectMonitorSnapshot(engine->get());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->ingestion_lag, 0);
+  ASSERT_FALSE(after->topology.empty());
+  uint64_t executed = 0;
+  for (const auto& row : after->topology) executed += row.executed;
+  EXPECT_GT(executed, 0u);
+  ASSERT_EQ(after->store.size(), 2u);
+  int64_t writes = 0;
+  for (const auto& row : after->store) writes += row.writes;
+  EXPECT_GT(writes, 0);
+
+  const std::string report = engine::FormatMonitorSnapshot(*after);
+  EXPECT_NE(report.find("topology"), std::string::npos);
+  EXPECT_NE(report.find("tdstore"), std::string::npos);
+  EXPECT_NE(report.find("ingestion lag: 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tencentrec

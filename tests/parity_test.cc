@@ -1,0 +1,166 @@
+// Cross-implementation parity: the distributed topology (bolts over
+// TDStore) must agree with the single-process core algorithms on the same
+// action stream — for every algorithm path, not just CF counts.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "core/ctr.h"
+#include "core/demographic.h"
+#include "core/itemcf/item_cf.h"
+#include "engine/tencentrec.h"
+
+namespace tencentrec {
+namespace {
+
+using core::ActionType;
+using core::Demographics;
+using core::ItemId;
+using core::UserAction;
+using core::UserId;
+
+std::vector<UserAction> DemographicStream(uint64_t seed, int n) {
+  Rng rng(seed);
+  const ActionType kTypes[] = {ActionType::kBrowse, ActionType::kClick,
+                               ActionType::kRead, ActionType::kPurchase,
+                               ActionType::kImpression};
+  std::vector<UserAction> actions;
+  for (int i = 0; i < n; ++i) {
+    UserAction a;
+    a.user = static_cast<UserId>(1 + rng.Uniform(20));
+    a.item = static_cast<ItemId>(1 + rng.Uniform(15));
+    a.action = kTypes[rng.Uniform(5)];
+    a.timestamp = Seconds(i * 3);
+    if (rng.Bernoulli(0.8)) {
+      a.demographics.gender = rng.Bernoulli(0.5) ? Demographics::kMale
+                                                 : Demographics::kFemale;
+      a.demographics.age_band = static_cast<uint8_t>(rng.UniformInt(1, 4));
+      if (rng.Bernoulli(0.5)) {
+        a.demographics.region = static_cast<uint16_t>(rng.UniformInt(1, 3));
+      }
+    }
+    actions.push_back(a);
+  }
+  return actions;
+}
+
+engine::TencentRec::Options EngineOptions(const std::string& app) {
+  engine::TencentRec::Options options;
+  options.app.app = app;
+  options.app.parallelism = 2;
+  options.app.linked_time = Days(30);
+  options.app.algorithms.ctr = true;
+  options.app.combiner_interval = 16;
+  options.store.num_data_servers = 2;
+  options.store.num_instances = 8;
+  return options;
+}
+
+class ParityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParityTest, DemographicHotnessMatchesCore) {
+  const auto actions = DemographicStream(GetParam(), 500);
+
+  auto engine = engine::TencentRec::Create(EngineOptions("dbparity"));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->ProcessBatch(actions).ok());
+
+  core::DemographicRecommender::Options db_options;
+  db_options.window_sessions = 0;
+  core::DemographicRecommender reference(db_options);
+  for (const auto& a : actions) reference.ProcessAction(a);
+
+  // For each demographic group seen in the stream, the topology's hot list
+  // ordering must match the core model's (same windowed popularity sums).
+  std::set<core::GroupId> groups = {0};
+  for (const auto& a : actions) {
+    groups.insert(core::DemographicGroup(a.demographics));
+  }
+  const EventTime now = Seconds(500 * 3 + 10);
+  for (core::GroupId group : groups) {
+    auto topo_hot = (*engine)->query().HotItems(group, 5, now);
+    ASSERT_TRUE(topo_hot.ok());
+    auto core_hot = reference.HotItems(group, 5);
+    ASSERT_EQ(topo_hot->size(), core_hot.size()) << "group " << group;
+    for (size_t i = 0; i < core_hot.size(); ++i) {
+      EXPECT_EQ((*topo_hot)[i].item, core_hot[i].item)
+          << "group " << group << " rank " << i;
+      EXPECT_NEAR((*topo_hot)[i].score, core_hot[i].score, 1e-9);
+    }
+  }
+}
+
+TEST_P(ParityTest, SituationalCtrMatchesCore) {
+  const auto actions = DemographicStream(GetParam() + 1000, 600);
+
+  auto engine = engine::TencentRec::Create(EngineOptions("ctrparity"));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->ProcessBatch(actions).ok());
+
+  core::SituationalCtr::Options ctr_options;
+  ctr_options.window_sessions = 0;
+  ctr_options.prior_strength = 20.0;
+  ctr_options.base_ctr = 0.02;
+  core::SituationalCtr reference(ctr_options);
+  for (const auto& a : actions) reference.ProcessAction(a);
+
+  const EventTime now = Seconds(600 * 3 + 10);
+  Rng rng(GetParam());
+  for (int probe = 0; probe < 30; ++probe) {
+    const auto item = static_cast<ItemId>(1 + rng.Uniform(15));
+    Demographics d;
+    d.gender = rng.Bernoulli(0.5) ? Demographics::kMale
+                                  : Demographics::kFemale;
+    d.age_band = static_cast<uint8_t>(rng.UniformInt(0, 4));
+    d.region = static_cast<uint16_t>(rng.UniformInt(0, 3));
+
+    auto topo_ctr = (*engine)->query().PredictCtr(item, d, now);
+    ASSERT_TRUE(topo_ctr.ok());
+    EXPECT_NEAR(*topo_ctr, reference.PredictCtr(item, d), 1e-9)
+        << "item " << item;
+
+    auto topo_counts = (*engine)->query().SituationCounts(item, d, now);
+    ASSERT_TRUE(topo_counts.ok());
+    auto core_counts = reference.SituationCounts(item, d);
+    EXPECT_DOUBLE_EQ(topo_counts->first, core_counts.impressions);
+    EXPECT_DOUBLE_EQ(topo_counts->second, core_counts.clicks);
+  }
+}
+
+TEST_P(ParityTest, UserHistoriesMatchCore) {
+  const auto actions = DemographicStream(GetParam() + 2000, 400);
+
+  auto engine = engine::TencentRec::Create(EngineOptions("uhparity"));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->ProcessBatch(actions).ok());
+
+  core::PracticalItemCf::Options cf_options;
+  cf_options.linked_time = Days(30);
+  core::PracticalItemCf reference(cf_options);
+  for (const auto& a : actions) reference.ProcessAction(a);
+
+  const EventTime now = Seconds(400 * 3 + 10);
+  for (UserId user = 1; user <= 20; ++user) {
+    auto topo_recs = (*engine)->query().RecommendCf(user, 5, now);
+    ASSERT_TRUE(topo_recs.ok());
+    auto core_recent = reference.RecentItemsOf(user);
+    // Both sides agree on whether the user exists and on their recent set
+    // being non-empty (full list equality is checked via counts parity in
+    // topo_test; here we sanity-check the serving path end to end).
+    if (core_recent.empty()) {
+      EXPECT_TRUE(topo_recs->empty());
+    }
+    for (const auto& rec : *topo_recs) {
+      // Never recommend something the user already rated.
+      EXPECT_DOUBLE_EQ(reference.UserRating(user, rec.item), 0.0)
+          << "user " << user << " item " << rec.item;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParityTest, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace tencentrec

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "core/rating.h"
+
+namespace tencentrec::core {
+namespace {
+
+UserAction Act(UserId user, ItemId item, ActionType type, EventTime ts) {
+  UserAction a;
+  a.user = user;
+  a.item = item;
+  a.action = type;
+  a.timestamp = ts;
+  return a;
+}
+
+TEST(ActionWeightsTest, DefaultsOrdered) {
+  ActionWeights w;
+  EXPECT_EQ(w.Weight(ActionType::kImpression), 0.0);
+  EXPECT_LT(w.Weight(ActionType::kBrowse), w.Weight(ActionType::kClick));
+  EXPECT_LT(w.Weight(ActionType::kClick), w.Weight(ActionType::kRead));
+  EXPECT_LT(w.Weight(ActionType::kRead), w.Weight(ActionType::kPurchase));
+  EXPECT_DOUBLE_EQ(w.MaxWeight(), w.Weight(ActionType::kPurchase));
+}
+
+TEST(ActionWeightsTest, Overridable) {
+  ActionWeights w;
+  w.SetWeight(ActionType::kBrowse, 0.5);
+  EXPECT_DOUBLE_EQ(w.Weight(ActionType::kBrowse), 0.5);
+}
+
+TEST(ActionTypeTest, Names) {
+  EXPECT_STREQ(ActionTypeName(ActionType::kBrowse), "browse");
+  EXPECT_STREQ(ActionTypeName(ActionType::kPurchase), "purchase");
+}
+
+TEST(DemographicsTest, GroupMapping) {
+  Demographics d;
+  EXPECT_EQ(DemographicGroup(d), 0u);  // unknown -> global group
+  d.gender = Demographics::kMale;
+  EXPECT_EQ(DemographicGroup(d), 0u);  // age still unknown
+  d.age_band = 3;
+  EXPECT_EQ(DemographicGroup(d), 103u);
+  d.gender = Demographics::kFemale;
+  EXPECT_EQ(DemographicGroup(d), 203u);
+  // Region does not change the group (used as a CTR dimension instead).
+  d.region = 7;
+  EXPECT_EQ(DemographicGroup(d), 203u);
+}
+
+// --- max-weight rating rule (§4.1.2) ----------------------------------------
+
+TEST(UserHistoryTest, RatingIsMaxActionWeight) {
+  UserHistory h;
+  ActionWeights w;
+  auto u1 = h.Apply(Act(1, 10, ActionType::kBrowse, Seconds(1)), w, Hours(6));
+  EXPECT_DOUBLE_EQ(u1.new_rating, w.Weight(ActionType::kBrowse));
+  EXPECT_DOUBLE_EQ(u1.rating_delta, w.Weight(ActionType::kBrowse));
+
+  // Purchase outranks browse: rating jumps to the purchase weight.
+  auto u2 =
+      h.Apply(Act(1, 10, ActionType::kPurchase, Seconds(2)), w, Hours(6));
+  EXPECT_DOUBLE_EQ(u2.new_rating, w.Weight(ActionType::kPurchase));
+  EXPECT_DOUBLE_EQ(u2.rating_delta, w.Weight(ActionType::kPurchase) -
+                                        w.Weight(ActionType::kBrowse));
+
+  // A later weaker action changes nothing (max rule bounds the noise of
+  // messy implicit feedback).
+  auto u3 = h.Apply(Act(1, 10, ActionType::kClick, Seconds(3)), w, Hours(6));
+  EXPECT_DOUBLE_EQ(u3.rating_delta, 0.0);
+  EXPECT_DOUBLE_EQ(h.RatingOf(10), w.Weight(ActionType::kPurchase));
+}
+
+TEST(UserHistoryTest, ImpressionCarriesNoRating) {
+  UserHistory h;
+  ActionWeights w;
+  auto u = h.Apply(Act(1, 10, ActionType::kImpression, 0), w, Hours(6));
+  EXPECT_DOUBLE_EQ(u.rating_delta, 0.0);
+  EXPECT_TRUE(u.pairs.empty());
+  EXPECT_TRUE(h.RecentItems(10).empty());  // zero-rated items not "recent"
+}
+
+// --- co-rating deltas (Eq. 3) -----------------------------------------------
+
+TEST(UserHistoryTest, CoRatingIsMinOfRatings) {
+  UserHistory h;
+  ActionWeights w;
+  h.Apply(Act(1, 10, ActionType::kPurchase, Seconds(1)), w, Hours(6));
+  auto u = h.Apply(Act(1, 20, ActionType::kBrowse, Seconds(2)), w, Hours(6));
+  ASSERT_EQ(u.pairs.size(), 1u);
+  EXPECT_EQ(u.pairs[0].other, 10);
+  // co-rating = min(browse, purchase) = browse weight; delta from 0.
+  EXPECT_DOUBLE_EQ(u.pairs[0].co_rating_delta, w.Weight(ActionType::kBrowse));
+}
+
+TEST(UserHistoryTest, CoRatingDeltaOnUpgrade) {
+  UserHistory h;
+  ActionWeights w;
+  h.Apply(Act(1, 10, ActionType::kRead, Seconds(1)), w, Hours(6));
+  h.Apply(Act(1, 20, ActionType::kBrowse, Seconds(2)), w, Hours(6));
+  // Upgrading item 20 to purchase raises co-rating from min(read, browse) =
+  // browse to min(read, purchase) = read.
+  auto u =
+      h.Apply(Act(1, 20, ActionType::kPurchase, Seconds(3)), w, Hours(6));
+  ASSERT_EQ(u.pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      u.pairs[0].co_rating_delta,
+      w.Weight(ActionType::kRead) - w.Weight(ActionType::kBrowse));
+}
+
+TEST(UserHistoryTest, NoCoRatingChangeWhenCappedByOther) {
+  UserHistory h;
+  ActionWeights w;
+  h.Apply(Act(1, 10, ActionType::kBrowse, Seconds(1)), w, Hours(6));
+  h.Apply(Act(1, 20, ActionType::kRead, Seconds(2)), w, Hours(6));
+  // Upgrading 20 further: co-rating already capped by item 10's browse.
+  auto u =
+      h.Apply(Act(1, 20, ActionType::kPurchase, Seconds(3)), w, Hours(6));
+  EXPECT_TRUE(u.pairs.empty());
+}
+
+TEST(UserHistoryTest, MultiplePairsFromOneAction) {
+  UserHistory h;
+  ActionWeights w;
+  h.Apply(Act(1, 10, ActionType::kClick, Seconds(1)), w, Hours(6));
+  h.Apply(Act(1, 20, ActionType::kClick, Seconds(2)), w, Hours(6));
+  h.Apply(Act(1, 30, ActionType::kClick, Seconds(3)), w, Hours(6));
+  auto u = h.Apply(Act(1, 40, ActionType::kClick, Seconds(4)), w, Hours(6));
+  EXPECT_EQ(u.pairs.size(), 3u);
+}
+
+// --- linked time (§4.1.4) ----------------------------------------------------
+
+TEST(UserHistoryTest, LinkedTimeLimitsPairs) {
+  UserHistory h;
+  ActionWeights w;
+  h.Apply(Act(1, 10, ActionType::kClick, Hours(0)), w, Hours(6));
+  h.Apply(Act(1, 20, ActionType::kClick, Hours(5)), w, Hours(6));
+  // Item 30 at hour 12: item 20 is 7h old (out), item 10 is 12h old (out).
+  auto far = h.Apply(Act(1, 30, ActionType::kClick, Hours(12)), w, Hours(6));
+  EXPECT_TRUE(far.pairs.empty());
+  // Item 40 at hour 13: item 30 is 1h old (in).
+  auto near = h.Apply(Act(1, 40, ActionType::kClick, Hours(13)), w, Hours(6));
+  ASSERT_EQ(near.pairs.size(), 1u);
+  EXPECT_EQ(near.pairs[0].other, 30);
+}
+
+TEST(UserHistoryTest, RetouchRefreshesLinkedAnchor) {
+  UserHistory h;
+  ActionWeights w;
+  h.Apply(Act(1, 10, ActionType::kClick, Hours(0)), w, Hours(6));
+  // Re-touch item 10 at hour 10 (no rating change, but recency updates).
+  h.Apply(Act(1, 10, ActionType::kClick, Hours(10)), w, Hours(6));
+  auto u = h.Apply(Act(1, 20, ActionType::kClick, Hours(12)), w, Hours(6));
+  ASSERT_EQ(u.pairs.size(), 1u);  // 10 is now only 2h old
+}
+
+// --- recent items (§4.3) ------------------------------------------------------
+
+TEST(UserHistoryTest, RecentItemsNewestFirst) {
+  UserHistory h;
+  ActionWeights w;
+  for (int i = 1; i <= 5; ++i) {
+    h.Apply(Act(1, i, ActionType::kClick, Minutes(i)), w, Hours(6));
+  }
+  auto recent = h.RecentItems(3);
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0], 5);
+  EXPECT_EQ(recent[1], 4);
+  EXPECT_EQ(recent[2], 3);
+}
+
+TEST(UserHistoryTest, EvictOlderThan) {
+  UserHistory h;
+  ActionWeights w;
+  h.Apply(Act(1, 1, ActionType::kClick, Hours(0)), w, Hours(6));
+  h.Apply(Act(1, 2, ActionType::kClick, Hours(10)), w, Hours(6));
+  h.EvictOlderThan(Hours(5));
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.RatingOf(1), 0.0);
+  EXPECT_GT(h.RatingOf(2), 0.0);
+}
+
+TEST(UserHistoryTest, RestoreRoundTrip) {
+  UserHistory h;
+  h.Restore(7, 2.5, Hours(3));
+  EXPECT_DOUBLE_EQ(h.RatingOf(7), 2.5);
+  auto recent = h.RecentItems(5);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0], 7);
+}
+
+}  // namespace
+}  // namespace tencentrec::core

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "sim/apps.h"
+#include "sim/click_model.h"
+#include "sim/world.h"
+
+namespace tencentrec::sim {
+namespace {
+
+WorldOptions SmallWorld() {
+  WorldOptions options;
+  options.num_users = 100;
+  options.num_items = 200;
+  options.num_genres = 8;
+  options.seed = 7;
+  return options;
+}
+
+// --- world ---------------------------------------------------------------------
+
+TEST(WorldTest, DeterministicConstruction) {
+  World a(SmallWorld());
+  World b(SmallWorld());
+  ASSERT_EQ(a.users().size(), b.users().size());
+  for (size_t i = 0; i < a.users().size(); ++i) {
+    EXPECT_EQ(a.users()[i].preferences, b.users()[i].preferences);
+    EXPECT_EQ(a.users()[i].demographics, b.users()[i].demographics);
+  }
+  ASSERT_EQ(a.items().size(), b.items().size());
+  for (size_t i = 0; i < a.items().size(); ++i) {
+    EXPECT_EQ(a.items()[i].genre, b.items()[i].genre);
+    EXPECT_DOUBLE_EQ(a.items()[i].quality, b.items()[i].quality);
+  }
+}
+
+TEST(WorldTest, PreferencesNormalized) {
+  World world(SmallWorld());
+  for (const auto& user : world.users()) {
+    double sum = 0.0;
+    for (double w : user.preferences) sum += w;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(WorldTest, SomeUsersHaveUnknownDemographics) {
+  World world(SmallWorld());
+  int unknown = 0;
+  for (const auto& user : world.users()) {
+    if (core::DemographicGroup(user.demographics) == 0) ++unknown;
+  }
+  EXPECT_GT(unknown, 0);                                  // the §6.4 case
+  EXPECT_LT(unknown, static_cast<int>(world.users().size()) / 2);
+}
+
+TEST(WorldTest, AffinityPrefersPreferredGenre) {
+  World world(SmallWorld());
+  const SimUser& user = world.users()[0];
+  int best_genre = 0;
+  for (size_t g = 1; g < user.preferences.size(); ++g) {
+    if (user.preferences[g] > user.preferences[static_cast<size_t>(best_genre)]) {
+      best_genre = static_cast<int>(g);
+    }
+  }
+  // Find items of best and of some other genre with similar quality.
+  double best_affinity = 0.0, other_affinity = 0.0;
+  for (const auto& item : world.items()) {
+    if (item.genre == best_genre) {
+      best_affinity = std::max(best_affinity, world.Affinity(user, item, 0));
+    } else {
+      other_affinity = std::max(other_affinity, world.Affinity(user, item, 0));
+    }
+  }
+  EXPECT_GT(best_affinity, 0.0);
+}
+
+TEST(WorldTest, ChurnPublishesAndExpires) {
+  WorldOptions options = SmallWorld();
+  options.daily_new_item_frac = 0.1;
+  options.item_lifetime = Days(1);
+  World world(options);
+  const size_t initial = world.items().size();
+
+  auto fresh = world.AdvanceDay(Days(1));
+  EXPECT_FALSE(fresh.empty());
+  EXPECT_GT(world.items().size(), initial);
+
+  // After three more days the initial items (published at t=0) expired.
+  world.AdvanceDay(Days(2));
+  world.AdvanceDay(Days(3));
+  size_t live_initial = 0;
+  for (size_t i = 0; i < initial; ++i) {
+    if (!world.items()[i].expired) ++live_initial;
+  }
+  EXPECT_EQ(live_initial, 0u);
+  // Live pool only contains unexpired items.
+  for (core::ItemId id : world.LiveItems()) {
+    EXPECT_FALSE(world.item(id)->expired);
+  }
+}
+
+TEST(WorldTest, DriftChangesPreferences) {
+  World world(SmallWorld());
+  auto before = world.users()[0].preferences;
+  world.AdvanceDay(Days(1));
+  EXPECT_NE(before, world.users()[0].preferences);
+}
+
+TEST(WorldTest, BrowseSamplesFocusGenre) {
+  World world(SmallWorld());
+  Rng rng(3);
+  SimUser user = world.users()[0];  // copy; we only need a focused user
+  user.focus_genre = 2;
+  int focus_hits = 0;
+  for (int i = 0; i < 200; ++i) {
+    const SimItem* item = world.SampleBrowseItem(user, 1.0, 0, rng);
+    ASSERT_NE(item, nullptr);
+    if (item->genre == 2) ++focus_hits;
+  }
+  EXPECT_EQ(focus_hits, 200);  // focus_ratio 1.0 -> always focus genre
+}
+
+// --- click model -----------------------------------------------------------------
+
+TEST(ClickModelTest, FocusAndPositionEffects) {
+  World world(SmallWorld());
+  ClickModelOptions options;
+  ClickModel model(options);
+  const SimUser& user = world.users()[0];
+
+  const SimItem* focus_item = nullptr;
+  const SimItem* other_item = nullptr;
+  for (const auto& item : world.items()) {
+    if (item.genre == user.focus_genre && focus_item == nullptr) {
+      focus_item = &item;
+    } else if (item.genre != user.focus_genre && other_item == nullptr) {
+      other_item = &item;
+    }
+  }
+  ASSERT_NE(focus_item, nullptr);
+  ASSERT_NE(other_item, nullptr);
+
+  const double p_focus =
+      model.ClickProbability(world, user, *focus_item, 0, 0, false);
+  // Focus match multiplies the probability.
+  SimUser shifted = user;
+  shifted.focus_genre = other_item->genre;
+  const double p_unfocused =
+      model.ClickProbability(world, shifted, *focus_item, 0, 0, false);
+  EXPECT_GT(p_focus, p_unfocused);
+
+  // Deeper positions are clicked less; repeats are penalized.
+  EXPECT_GT(model.ClickProbability(world, user, *focus_item, 0, 0, false),
+            model.ClickProbability(world, user, *focus_item, 5, 0, false));
+  EXPECT_GT(model.ClickProbability(world, user, *focus_item, 0, 0, false),
+            model.ClickProbability(world, user, *focus_item, 0, 0, true));
+}
+
+TEST(ClickModelTest, ProbabilitiesBounded) {
+  World world(SmallWorld());
+  ClickModelOptions options;
+  options.base_ctr = 0.5;
+  options.focus_boost = 10.0;
+  ClickModel model(options);
+  for (const auto& item : world.items()) {
+    const double p = model.ClickProbability(world, world.users()[0], item, 0,
+                                            0, false);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, options.max_ctr);
+  }
+}
+
+// --- A/B harness ------------------------------------------------------------------
+
+TEST(AbTestTest, DeterministicGivenSeed) {
+  auto s1 = MakeVideosScenario(1, 99);
+  auto s2 = MakeVideosScenario(1, 99);
+  // Shrink for speed.
+  s1.options.sessions_per_day = 150;
+  s1.options.warmup_days = 1;
+  s2.options.sessions_per_day = 150;
+  s2.options.warmup_days = 1;
+  auto r1 = s1.Run();
+  auto r2 = s2.Run();
+  ASSERT_EQ(r1.days.size(), r2.days.size());
+  for (size_t i = 0; i < r1.days.size(); ++i) {
+    EXPECT_EQ(r1.days[i].original.shown, r2.days[i].original.shown);
+    EXPECT_EQ(r1.days[i].original.clicks, r2.days[i].original.clicks);
+    EXPECT_EQ(r1.days[i].tencentrec.clicks, r2.days[i].tencentrec.clicks);
+  }
+}
+
+TEST(AbTestTest, BothArmsServeAndGetClicks) {
+  auto s = MakeNewsScenario(2, 5);
+  s.options.sessions_per_day = 300;
+  s.options.warmup_days = 1;
+  auto result = s.Run();
+  ASSERT_EQ(result.days.size(), 2u);
+  for (const auto& day : result.days) {
+    EXPECT_GT(day.original.shown, 0);
+    EXPECT_GT(day.tencentrec.shown, 0);
+    EXPECT_GT(day.original.clicks, 0);
+    EXPECT_GT(day.tencentrec.clicks, 0);
+    // CTRs in a plausible range.
+    EXPECT_LT(day.original.Ctr(), 0.6);
+    EXPECT_LT(day.tencentrec.Ctr(), 0.6);
+    // News scenario tracks reads.
+    EXPECT_GT(day.tencentrec.reads, 0);
+  }
+}
+
+TEST(AbTestTest, TencentRecWinsTheNewsScenario) {
+  // The headline result (Fig. 10): real-time CB beats the hourly-refreshed
+  // model under item churn. Deterministic seed; asserted on the average.
+  auto s = MakeNewsScenario(3, 42);
+  s.options.sessions_per_day = 600;
+  auto result = s.Run();
+  EXPECT_GT(result.improvement.mean(), 0.0);
+}
+
+TEST(AbTestTest, TencentRecWinsTheVideosScenario) {
+  auto s = MakeVideosScenario(3, 42);
+  s.options.sessions_per_day = 600;
+  auto result = s.Run();
+  EXPECT_GT(result.improvement.mean(), 0.0);
+}
+
+TEST(AbTestTest, ScenariosExposeExpectedModes) {
+  EXPECT_EQ(MakeNewsScenario(1, 1).options.mode, ServingMode::kHomeFeed);
+  EXPECT_EQ(MakeVideosScenario(1, 1).options.mode, ServingMode::kHomeFeed);
+  auto price = MakeYixunScenario(YixunPosition::kSimilarPrice, 1, 1);
+  EXPECT_EQ(price.options.mode, ServingMode::kContext);
+  EXPECT_TRUE(static_cast<bool>(price.options.position_filter));
+  auto purchase = MakeYixunScenario(YixunPosition::kSimilarPurchase, 1, 1);
+  EXPECT_FALSE(static_cast<bool>(purchase.options.position_filter));
+  auto ads = MakeAdsScenario(1, 1);
+  EXPECT_EQ(ads.options.mode, ServingMode::kAdRanking);
+  EXPECT_TRUE(ads.options.emit_impressions);
+}
+
+TEST(AbTestTest, PositionFilterRestrictsPriceBand) {
+  auto s = MakeYixunScenario(YixunPosition::kSimilarPrice, 1, 1);
+  const auto& items = s.world->items();
+  ASSERT_GE(items.size(), 2u);
+  const SimItem& a = items[0];
+  for (const auto& b : items) {
+    if (s.options.position_filter(a, b)) {
+      EXPECT_EQ(a.price_band, b.price_band);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tencentrec::sim

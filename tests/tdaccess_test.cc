@@ -1,0 +1,414 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <unistd.h>
+#include <filesystem>
+
+#include "tdaccess/cluster.h"
+#include "tdaccess/consumer.h"
+#include "tdaccess/producer.h"
+#include "tdaccess/segment_log.h"
+
+namespace tencentrec::tdaccess {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("tdaccess_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string path() const { return path_.string(); }
+
+ private:
+  static int counter_;
+  std::filesystem::path path_;
+};
+int TempDir::counter_ = 0;
+
+Message Msg(const std::string& key, const std::string& payload,
+            EventTime ts = 0) {
+  Message m;
+  m.key = key;
+  m.payload = payload;
+  m.timestamp = ts;
+  return m;
+}
+
+// --- SegmentLog -------------------------------------------------------------
+
+TEST(SegmentLogTest, AppendReadMemoryOnly) {
+  SegmentLog log;
+  ASSERT_TRUE(log.Open("").ok());
+  for (int i = 0; i < 10; ++i) {
+    auto off = log.Append(Msg("k" + std::to_string(i), "v", i));
+    ASSERT_TRUE(off.ok());
+    EXPECT_EQ(*off, i);
+  }
+  EXPECT_EQ(log.EndOffset(), 10);
+  auto batch = log.Read(3, 4);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 4u);
+  EXPECT_EQ((*batch)[0].key, "k3");
+  EXPECT_EQ((*batch)[0].timestamp, 3);
+}
+
+TEST(SegmentLogTest, ReadPastEndReturnsFewer) {
+  SegmentLog log;
+  ASSERT_TRUE(log.Open("").ok());
+  ASSERT_TRUE(log.Append(Msg("a", "1")).ok());
+  auto batch = log.Read(0, 100);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->size(), 1u);
+  auto empty = log.Read(5, 10);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_FALSE(log.Read(-1, 1).ok());
+}
+
+TEST(SegmentLogTest, RecoversFromDisk) {
+  TempDir dir;
+  const std::string path = dir.path() + "/p0.log";
+  {
+    SegmentLog log;
+    ASSERT_TRUE(log.Open(path).ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(log.Append(Msg("key" + std::to_string(i),
+                                 "payload" + std::to_string(i), i * 100))
+                      .ok());
+    }
+  }
+  SegmentLog recovered;
+  ASSERT_TRUE(recovered.Open(path).ok());
+  EXPECT_EQ(recovered.EndOffset(), 5);
+  auto batch = recovered.Read(0, 10);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 5u);
+  EXPECT_EQ((*batch)[4].payload, "payload4");
+  EXPECT_EQ((*batch)[4].timestamp, 400);
+  // And appending continues at the right offset.
+  auto off = recovered.Append(Msg("k5", "p5"));
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(*off, 5);
+}
+
+TEST(SegmentLogTest, TruncatesTornTail) {
+  TempDir dir;
+  const std::string path = dir.path() + "/torn.log";
+  {
+    SegmentLog log;
+    ASSERT_TRUE(log.Open(path).ok());
+    ASSERT_TRUE(log.Append(Msg("good", "record")).ok());
+    ASSERT_TRUE(log.Append(Msg("tail", "to-be-torn")).ok());
+  }
+  // Chop bytes off the end (simulated crash mid-write).
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 5);
+
+  SegmentLog recovered;
+  ASSERT_TRUE(recovered.Open(path).ok());
+  EXPECT_EQ(recovered.EndOffset(), 1);  // torn record dropped
+  auto batch = recovered.Read(0, 10);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 1u);
+  EXPECT_EQ((*batch)[0].key, "good");
+}
+
+TEST(SegmentLogTest, DetectsCorruptedTail) {
+  TempDir dir;
+  const std::string path = dir.path() + "/corrupt.log";
+  {
+    SegmentLog log;
+    ASSERT_TRUE(log.Open(path).ok());
+    ASSERT_TRUE(log.Append(Msg("first", "ok")).ok());
+    ASSERT_TRUE(log.Append(Msg("second", "will corrupt")).ok());
+  }
+  // Flip a byte inside the second record's payload.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -3, SEEK_END);
+    int c = std::fgetc(f);
+    std::fseek(f, -3, SEEK_END);
+    std::fputc(c ^ 0xff, f);
+    std::fclose(f);
+  }
+  SegmentLog recovered;
+  ASSERT_TRUE(recovered.Open(path).ok());
+  EXPECT_EQ(recovered.EndOffset(), 1);
+}
+
+// --- Master / topics --------------------------------------------------------
+
+TEST(MasterTest, CreateTopicBalancesPartitions) {
+  Cluster cluster(Cluster::Options{.num_data_servers = 3, .data_dir = ""});
+  ASSERT_TRUE(cluster.master().CreateTopic("t", 6).ok());
+  auto route = cluster.master().GetRoute("t");
+  ASSERT_TRUE(route.ok());
+  ASSERT_EQ(route->partitions.size(), 6u);
+  // Round-robin: two partitions per server.
+  std::map<int, int> per_server;
+  for (const auto& pa : route->partitions) ++per_server[pa.server_id];
+  for (const auto& [server, count] : per_server) EXPECT_EQ(count, 2);
+}
+
+TEST(MasterTest, DuplicateTopicRejected) {
+  Cluster cluster(Cluster::Options{.num_data_servers = 1, .data_dir = ""});
+  ASSERT_TRUE(cluster.master().CreateTopic("t", 2).ok());
+  EXPECT_TRUE(cluster.master().CreateTopic("t", 2).IsAlreadyExists());
+  EXPECT_FALSE(cluster.master().CreateTopic("u", 0).ok());
+  EXPECT_TRUE(cluster.master().GetRoute("missing").status().IsNotFound());
+}
+
+// --- Producer / Consumer ----------------------------------------------------
+
+TEST(ProduceConsumeTest, RoundTrip) {
+  Cluster cluster(Cluster::Options{.num_data_servers = 2, .data_dir = ""});
+  ASSERT_TRUE(cluster.master().CreateTopic("actions", 4).ok());
+
+  Producer producer(&cluster, "actions");
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        producer.Send("user" + std::to_string(i % 10), "payload", i).ok());
+  }
+  EXPECT_EQ(producer.sent(), 100);
+
+  Consumer consumer(&cluster, "actions", "g1", "m1");
+  ASSERT_TRUE(consumer.Subscribe().ok());
+  EXPECT_EQ(consumer.assigned_partitions().size(), 4u);
+
+  size_t total = 0;
+  while (true) {
+    auto batch = consumer.Poll(32);
+    ASSERT_TRUE(batch.ok());
+    if (batch->empty()) break;
+    total += batch->size();
+  }
+  EXPECT_EQ(total, 100u);
+  auto lag = consumer.Lag();
+  ASSERT_TRUE(lag.ok());
+  EXPECT_EQ(*lag, 0);
+}
+
+TEST(ProduceConsumeTest, SameKeySamePartitionInOrder) {
+  Cluster cluster(Cluster::Options{.num_data_servers = 2, .data_dir = ""});
+  ASSERT_TRUE(cluster.master().CreateTopic("t", 4).ok());
+  Producer producer(&cluster, "t");
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(producer.Send("samekey", std::to_string(i), i).ok());
+  }
+  Consumer consumer(&cluster, "t", "g", "m");
+  ASSERT_TRUE(consumer.Subscribe().ok());
+  std::vector<int> order;
+  int partition = -1;
+  while (true) {
+    auto batch = consumer.Poll(64);
+    ASSERT_TRUE(batch.ok());
+    if (batch->empty()) break;
+    for (const auto& cm : *batch) {
+      if (partition == -1) partition = cm.partition;
+      EXPECT_EQ(cm.partition, partition);  // all on one partition
+      order.push_back(std::stoi(cm.message.payload));
+    }
+  }
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ProduceConsumeTest, CommitAndResume) {
+  Cluster cluster(Cluster::Options{.num_data_servers = 1, .data_dir = ""});
+  ASSERT_TRUE(cluster.master().CreateTopic("t", 2).ok());
+  Producer producer(&cluster, "t");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(producer.Send("k" + std::to_string(i), "x", i).ok());
+  }
+  {
+    Consumer first(&cluster, "t", "g", "m1");
+    ASSERT_TRUE(first.Subscribe().ok());
+    auto batch = first.Poll(30);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_EQ(batch->size(), 30u);
+    ASSERT_TRUE(first.Commit().ok());
+  }  // leaves group
+  Consumer second(&cluster, "t", "g", "m2");
+  ASSERT_TRUE(second.Subscribe().ok());
+  size_t rest = 0;
+  while (true) {
+    auto batch = second.Poll(64);
+    ASSERT_TRUE(batch.ok());
+    if (batch->empty()) break;
+    rest += batch->size();
+  }
+  EXPECT_EQ(rest, 20u);  // resumes from committed offsets
+}
+
+TEST(ProduceConsumeTest, SeekToBeginningReplaysHistory) {
+  Cluster cluster(Cluster::Options{.num_data_servers = 1, .data_dir = ""});
+  ASSERT_TRUE(cluster.master().CreateTopic("t", 1).ok());
+  Producer producer(&cluster, "t");
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(producer.Send("k", "x", i).ok());
+
+  Consumer consumer(&cluster, "t", "g", "m");
+  ASSERT_TRUE(consumer.Subscribe().ok());
+  auto first = consumer.Poll(100);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->size(), 10u);
+  // The data servers cached everything on disk/log; replay is possible.
+  ASSERT_TRUE(consumer.SeekToBeginning().ok());
+  auto again = consumer.Poll(100);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->size(), 10u);
+}
+
+TEST(ProduceConsumeTest, GroupRebalanceSplitsPartitions) {
+  Cluster cluster(Cluster::Options{.num_data_servers = 2, .data_dir = ""});
+  ASSERT_TRUE(cluster.master().CreateTopic("t", 4).ok());
+  Consumer c1(&cluster, "t", "g", "m1");
+  ASSERT_TRUE(c1.Subscribe().ok());
+  EXPECT_EQ(c1.assigned_partitions().size(), 4u);
+
+  Consumer c2(&cluster, "t", "g", "m2");
+  ASSERT_TRUE(c2.Subscribe().ok());
+  // After rebalance both see 2 (c1 discovers on next poll).
+  Producer producer(&cluster, "t");
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(producer.Send(std::to_string(i), "x", i).ok());
+  }
+  size_t n1 = 0, n2 = 0;
+  while (true) {
+    auto b1 = c1.Poll(16);
+    auto b2 = c2.Poll(16);
+    ASSERT_TRUE(b1.ok() && b2.ok());
+    if (b1->empty() && b2->empty()) break;
+    n1 += b1->size();
+    n2 += b2->size();
+  }
+  EXPECT_EQ(n1 + n2, 8u);
+  EXPECT_EQ(c1.assigned_partitions().size(), 2u);
+  EXPECT_EQ(c2.assigned_partitions().size(), 2u);
+  EXPECT_GT(n1, 0u);
+  EXPECT_GT(n2, 0u);
+}
+
+TEST(ProduceConsumeTest, DifferentGroupsIndependent) {
+  Cluster cluster(Cluster::Options{.num_data_servers = 1, .data_dir = ""});
+  ASSERT_TRUE(cluster.master().CreateTopic("t", 2).ok());
+  Producer producer(&cluster, "t");
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(producer.Send("k", "x", i).ok());
+  Consumer a(&cluster, "t", "ga", "m");
+  Consumer b(&cluster, "t", "gb", "m");
+  ASSERT_TRUE(a.Subscribe().ok());
+  ASSERT_TRUE(b.Subscribe().ok());
+  auto ba = a.Poll(100);
+  auto bb = b.Poll(100);
+  ASSERT_TRUE(ba.ok() && bb.ok());
+  EXPECT_EQ(ba->size(), 10u);
+  EXPECT_EQ(bb->size(), 10u);  // both groups get the full stream
+}
+
+// --- failure handling -------------------------------------------------------
+
+TEST(FailureTest, MasterFailoverKeepsState) {
+  Cluster cluster(Cluster::Options{.num_data_servers = 2, .data_dir = ""});
+  ASSERT_TRUE(cluster.master().CreateTopic("t", 4).ok());
+  ASSERT_TRUE(cluster.FailActiveMaster().ok());
+  // The standby has the topic registry.
+  auto route = cluster.master().GetRoute("t");
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route->partitions.size(), 4u);
+  // New topics can still be created; second failover impossible.
+  ASSERT_TRUE(cluster.master().CreateTopic("t2", 2).ok());
+  EXPECT_FALSE(cluster.FailActiveMaster().ok());
+}
+
+TEST(FailureTest, DownDataServerReturnsUnavailable) {
+  Cluster cluster(Cluster::Options{.num_data_servers = 1, .data_dir = ""});
+  ASSERT_TRUE(cluster.master().CreateTopic("t", 1).ok());
+  Producer producer(&cluster, "t");
+  ASSERT_TRUE(producer.Send("k", "x", 0).ok());
+  cluster.data_server(0)->SetDown(true);
+  EXPECT_TRUE(producer.Send("k", "x", 1).IsUnavailable());
+  cluster.data_server(0)->SetDown(false);
+  EXPECT_TRUE(producer.Send("k", "x", 2).ok());
+}
+
+TEST(FailureTest, ConsumerSkipsDownedServer) {
+  Cluster cluster(Cluster::Options{.num_data_servers = 2, .data_dir = ""});
+  ASSERT_TRUE(cluster.master().CreateTopic("t", 2).ok());
+  Producer producer(&cluster, "t");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(producer.Send(std::to_string(i), "x", i).ok());
+  }
+  cluster.data_server(0)->SetDown(true);
+  Consumer consumer(&cluster, "t", "g", "m");
+  ASSERT_TRUE(consumer.Subscribe().ok());
+  auto batch = consumer.Poll(100);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_GT(batch->size(), 0u);   // partitions on the live server
+  EXPECT_LT(batch->size(), 10u);  // downed server's partition skipped
+}
+
+TEST(ProduceConsumeTest, EmptyKeyRoundRobinsAcrossPartitions) {
+  Cluster cluster(Cluster::Options{.num_data_servers = 2, .data_dir = ""});
+  ASSERT_TRUE(cluster.master().CreateTopic("t", 4).ok());
+  Producer producer(&cluster, "t");
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(producer.Send("", "payload", i).ok());
+  }
+  Consumer consumer(&cluster, "t", "g", "m");
+  ASSERT_TRUE(consumer.Subscribe().ok());
+  std::map<int, int> per_partition;
+  while (true) {
+    auto batch = consumer.Poll(64);
+    ASSERT_TRUE(batch.ok());
+    if (batch->empty()) break;
+    for (const auto& cm : *batch) ++per_partition[cm.partition];
+  }
+  ASSERT_EQ(per_partition.size(), 4u);
+  for (const auto& [partition, count] : per_partition) {
+    EXPECT_EQ(count, 10);  // perfect round-robin
+  }
+}
+
+TEST(FailureTest, ConsumptionContinuesAcrossMasterFailover) {
+  Cluster cluster(Cluster::Options{.num_data_servers = 2, .data_dir = ""});
+  ASSERT_TRUE(cluster.master().CreateTopic("t", 2).ok());
+  Producer producer(&cluster, "t");
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(producer.Send("k" + std::to_string(i), "x", i).ok());
+  }
+  Consumer consumer(&cluster, "t", "g", "m");
+  ASSERT_TRUE(consumer.Subscribe().ok());
+  auto first = consumer.Poll(10);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(consumer.Commit().ok());
+
+  // The active master dies mid-consumption; the standby holds the group
+  // state (membership, offsets) and consumption resumes seamlessly.
+  ASSERT_TRUE(cluster.FailActiveMaster().ok());
+  size_t rest = first->size();
+  while (true) {
+    auto batch = consumer.Poll(10);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    if (batch->empty()) break;
+    rest += batch->size();
+  }
+  EXPECT_EQ(rest, 20u);
+  ASSERT_TRUE(consumer.Commit().ok());
+  auto lag = consumer.Lag();
+  ASSERT_TRUE(lag.ok());
+  EXPECT_EQ(*lag, 0);
+}
+
+TEST(SegmentLogTest, DoubleOpenRejected) {
+  SegmentLog log;
+  ASSERT_TRUE(log.Open("").ok());
+  EXPECT_TRUE(log.Open("").IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace tencentrec::tdaccess

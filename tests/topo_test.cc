@@ -1,0 +1,455 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/itemcf/item_cf.h"
+#include "engine/tencentrec.h"
+#include "topo/action_codec.h"
+#include "topo/blob_codec.h"
+#include "topo/combiner.h"
+#include "topo/spouts.h"
+#include "topo/store_cache.h"
+#include "topo/topology_factory.h"
+
+namespace tencentrec::topo {
+namespace {
+
+using core::ActionType;
+using core::Demographics;
+using core::ItemId;
+using core::UserAction;
+using core::UserId;
+
+UserAction Act(UserId user, ItemId item, ActionType type, EventTime ts,
+               Demographics d = {}) {
+  UserAction a;
+  a.user = user;
+  a.item = item;
+  a.action = type;
+  a.timestamp = ts;
+  a.demographics = d;
+  return a;
+}
+
+// --- blob codecs --------------------------------------------------------------
+
+TEST(BlobCodecTest, UserHistoryRoundTrip) {
+  core::UserHistory history;
+  history.Restore(1, 2.0, Hours(1));
+  history.Restore(7, 3.0, Hours(2));
+  auto decoded = DecodeUserHistory(EncodeUserHistory(history));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), 2u);
+  EXPECT_DOUBLE_EQ(decoded->RatingOf(1), 2.0);
+  EXPECT_DOUBLE_EQ(decoded->RatingOf(7), 3.0);
+}
+
+TEST(BlobCodecTest, EmptyHistoryRoundTrip) {
+  core::UserHistory history;
+  auto decoded = DecodeUserHistory(EncodeUserHistory(history));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), 0u);
+}
+
+TEST(BlobCodecTest, CorruptHistoryRejected) {
+  EXPECT_TRUE(DecodeUserHistory("xyz").status().IsCorruption());
+  core::UserHistory history;
+  history.Restore(1, 2.0, 3);
+  std::string blob = EncodeUserHistory(history);
+  blob.pop_back();  // truncated record
+  EXPECT_TRUE(DecodeUserHistory(blob).status().IsCorruption());
+  blob = EncodeUserHistory(history) + "x";  // trailing bytes
+  EXPECT_TRUE(DecodeUserHistory(blob).status().IsCorruption());
+}
+
+TEST(BlobCodecTest, ScoredListRoundTrip) {
+  core::Recommendations list = {{5, 0.9}, {3, 0.7}, {8, 0.1}};
+  auto decoded = DecodeScoredList(EncodeScoredList(list));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, list);
+  EXPECT_TRUE(DecodeScoredList("??").status().IsCorruption());
+}
+
+TEST(BlobCodecTest, TagVectorAndItemListRoundTrip) {
+  core::TagVector tags = {{10, 1.0}, {20, 0.5}};
+  auto dtags = DecodeTagVector(EncodeTagVector(tags));
+  ASSERT_TRUE(dtags.ok());
+  EXPECT_EQ(*dtags, tags);
+
+  std::vector<ItemId> items = {1, 2, 99};
+  auto ditems = DecodeItemList(EncodeItemList(items));
+  ASSERT_TRUE(ditems.ok());
+  EXPECT_EQ(*ditems, items);
+}
+
+TEST(BlobCodecTest, ContentProfileRoundTrip) {
+  ContentProfileBlob profile;
+  profile.last_update = Hours(5);
+  profile.weights = {{1, 0.5}, {9, 2.0}};
+  auto decoded = DecodeContentProfile(EncodeContentProfile(profile));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->last_update, Hours(5));
+  EXPECT_EQ(decoded->weights, profile.weights);
+}
+
+TEST(BlobCodecTest, DoublePairRoundTrip) {
+  auto decoded = DecodeDoublePair(EncodeDoublePair(1.5, -2.5));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_DOUBLE_EQ(decoded->first, 1.5);
+  EXPECT_DOUBLE_EQ(decoded->second, -2.5);
+}
+
+// --- action codec ---------------------------------------------------------------
+
+TEST(ActionCodecTest, TupleRoundTrip) {
+  Demographics d;
+  d.gender = Demographics::kFemale;
+  d.age_band = 3;
+  d.region = 11;
+  UserAction a = Act(42, 7, ActionType::kShare, Hours(9), d);
+  auto decoded = ActionFromTuple(ActionToTuple(a));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->user, 42);
+  EXPECT_EQ(decoded->item, 7);
+  EXPECT_EQ(decoded->action, ActionType::kShare);
+  EXPECT_EQ(decoded->timestamp, Hours(9));
+  EXPECT_EQ(decoded->demographics, d);
+}
+
+TEST(ActionCodecTest, PayloadRoundTrip) {
+  UserAction a = Act(1e9, 2e9, ActionType::kPurchase, Days(100));
+  auto decoded = DecodeActionPayload(EncodeActionPayload(a));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->user, a.user);
+  EXPECT_EQ(decoded->item, a.item);
+  EXPECT_EQ(decoded->action, a.action);
+}
+
+TEST(ActionCodecTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodeActionPayload("short").ok());
+  EXPECT_FALSE(ActionFromTuple(tstorm::Tuple::Of({int64_t{1}})).ok());
+  // Bad action code.
+  tstorm::Tuple bad = tstorm::Tuple::Of(
+      {int64_t{1}, int64_t{2}, int64_t{99}, int64_t{0}, int64_t{0},
+       int64_t{0}, int64_t{0}});
+  EXPECT_FALSE(ActionFromTuple(bad).ok());
+}
+
+// --- cache & combiner -------------------------------------------------------------
+
+class CacheFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tdstore::Cluster::Options options;
+    options.num_data_servers = 2;
+    options.num_instances = 4;
+    auto cluster = tdstore::Cluster::Create(options);
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+    client_ = std::make_unique<tdstore::Client>(cluster_.get());
+  }
+
+  std::unique_ptr<tdstore::Cluster> cluster_;
+  std::unique_ptr<tdstore::Client> client_;
+};
+
+TEST_F(CacheFixture, ReadThroughCachesHits) {
+  StoreCache cache(client_.get(), 16);
+  ASSERT_TRUE(client_->Put("k", "v").ok());
+  auto first = cache.Get("k");
+  ASSERT_TRUE(first.ok());
+  auto second = cache.Get("k");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST_F(CacheFixture, WriteThroughVisibleToOtherReaders) {
+  StoreCache cache(client_.get(), 16);
+  ASSERT_TRUE(cache.Put("k", "v1").ok());
+  // Another worker reading TDStore directly sees the write immediately.
+  auto direct = client_->Get("k");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(*direct, "v1");
+}
+
+TEST_F(CacheFixture, AddDoubleUsesCachedValue) {
+  StoreCache cache(client_.get(), 16);
+  ASSERT_TRUE(cache.AddDouble("c", 1.0).ok());
+  ASSERT_TRUE(cache.AddDouble("c", 2.0).ok());
+  auto v = client_->GetDouble("c");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 3.0);
+  // Second add hit the cache (no second store read).
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST_F(CacheFixture, LruEvicts) {
+  StoreCache cache(client_.get(), 2);
+  ASSERT_TRUE(cache.Put("a", "1").ok());
+  ASSERT_TRUE(cache.Put("b", "2").ok());
+  ASSERT_TRUE(cache.Put("c", "3").ok());  // evicts "a"
+  EXPECT_EQ(cache.size(), 2u);
+  auto v = cache.Get("a");  // miss -> store
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST_F(CacheFixture, DisabledCachePassesThrough) {
+  StoreCache cache(client_.get(), 16, /*enabled=*/false);
+  ASSERT_TRUE(cache.Put("k", "v").ok());
+  (void)cache.Get("k");
+  (void)cache.Get("k");
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CombinerTest, MergesSameKey) {
+  Combiner combiner;
+  combiner.Add("k1", 1.0);
+  combiner.Add("k1", 2.0);
+  combiner.Add("k2", 5.0);
+  EXPECT_EQ(combiner.pending(), 2u);
+
+  std::map<std::string, double> flushed;
+  ASSERT_TRUE(combiner
+                  .Flush([&](const std::string& key, double delta) {
+                    flushed[key] = delta;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_DOUBLE_EQ(flushed["k1"], 3.0);
+  EXPECT_DOUBLE_EQ(flushed["k2"], 5.0);
+  EXPECT_EQ(combiner.pending(), 0u);
+  EXPECT_EQ(combiner.stats().added, 3);
+  EXPECT_EQ(combiner.stats().flushed, 2);
+}
+
+TEST(CombinerTest, FailedWriteKeepsEntry) {
+  Combiner combiner;
+  combiner.Add("k", 1.0);
+  EXPECT_FALSE(combiner
+                   .Flush([&](const std::string&, double) {
+                     return Status::Unavailable("down");
+                   })
+                   .ok());
+  EXPECT_EQ(combiner.pending(), 1u);
+}
+
+// --- end-to-end pipeline vs. in-memory oracle -------------------------------------
+
+engine::TencentRec::Options EngineOptions(const std::string& app) {
+  engine::TencentRec::Options options;
+  options.app.app = app;
+  options.app.parallelism = 2;
+  options.app.linked_time = Days(30);
+  options.app.window_sessions = 0;
+  options.app.combiner_interval = 16;
+  options.app.algorithms.ctr = true;
+  options.store.num_data_servers = 2;
+  options.store.num_instances = 8;
+  return options;
+}
+
+std::vector<UserAction> RandomActions(uint64_t seed, int n) {
+  Rng rng(seed);
+  const ActionType kTypes[] = {ActionType::kBrowse, ActionType::kClick,
+                               ActionType::kRead, ActionType::kPurchase};
+  std::vector<UserAction> actions;
+  for (int i = 0; i < n; ++i) {
+    Demographics d;
+    if (rng.Bernoulli(0.8)) {
+      d.gender = rng.Bernoulli(0.5) ? Demographics::kMale
+                                    : Demographics::kFemale;
+      d.age_band = static_cast<uint8_t>(rng.UniformInt(1, 5));
+    }
+    actions.push_back(Act(static_cast<UserId>(1 + rng.Uniform(15)),
+                          static_cast<ItemId>(1 + rng.Uniform(25)),
+                          kTypes[rng.Uniform(4)], Seconds(i), d));
+  }
+  return actions;
+}
+
+class PipelineOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelineOracleTest, CountsMatchReferenceModel) {
+  const auto actions = RandomActions(GetParam(), 600);
+
+  auto engine = engine::TencentRec::Create(EngineOptions("oracle"));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_TRUE((*engine)->ProcessBatch(actions).ok());
+
+  core::PracticalItemCf::Options ref_options;
+  ref_options.linked_time = Days(30);
+  ref_options.window_sessions = 0;
+  core::PracticalItemCf reference(ref_options);
+  for (const auto& action : actions) reference.ProcessAction(action);
+
+  // Windowed (here: cumulative) item and pair counts in TDStore must equal
+  // the reference model exactly — commutative increments, single writer per
+  // key, and final combiner flush guarantee it despite parallelism.
+  auto& query = (*engine)->query();
+  const EventTime now = Seconds(600);
+  for (ItemId item = 1; item <= 25; ++item) {
+    auto count = query.WindowItemCount(item, now);
+    ASSERT_TRUE(count.ok());
+    EXPECT_NEAR(*count, reference.counts().ItemCount(item), 1e-9)
+        << "item " << item;
+  }
+  for (ItemId a = 1; a <= 25; ++a) {
+    for (ItemId b = a + 1; b <= 25; ++b) {
+      auto count = query.WindowPairCount(a, b, now);
+      ASSERT_TRUE(count.ok());
+      EXPECT_NEAR(*count, reference.counts().PairCount(a, b), 1e-9)
+          << "pair (" << a << ", " << b << ")";
+    }
+  }
+  // Similarities recomputed from final counts match the reference too.
+  for (ItemId a = 1; a <= 25; ++a) {
+    for (ItemId b = a + 1; b <= 25; ++b) {
+      auto sim = query.SimilarityFromCounts(a, b, now);
+      ASSERT_TRUE(sim.ok());
+      EXPECT_NEAR(*sim, reference.Similarity(a, b), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineOracleTest,
+                         ::testing::Values(11u, 22u, 33u));
+
+TEST(PipelineTest, RestartDuringStreamLosesNothing) {
+  // The paper's fault-tolerance claim: bolts are stateless, so crash-
+  // restarting them mid-stream must leave the final TDStore state
+  // identical (§3.3/§5.1).
+  const auto actions = RandomActions(55, 800);
+
+  auto baseline = engine::TencentRec::Create(EngineOptions("base"));
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE((*baseline)->ProcessBatch(actions).ok());
+
+  auto crashed = engine::TencentRec::Create(EngineOptions("crash"));
+  ASSERT_TRUE(crashed.ok());
+  ASSERT_TRUE((*crashed)
+                  ->ProcessBatch(actions, {"item_count", "cf_pair",
+                                           "user_history"})
+                  .ok());
+  // Restarts actually happened.
+  uint64_t restarts = 0;
+  for (const auto& m : (*crashed)->last_metrics()) restarts += m.restarts;
+  EXPECT_GT(restarts, 0u);
+
+  const EventTime now = Seconds(800);
+  for (ItemId item = 1; item <= 25; ++item) {
+    auto a = (*baseline)->query().WindowItemCount(item, now);
+    auto b = (*crashed)->query().WindowItemCount(item, now);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_NEAR(*a, *b, 1e-9) << "item " << item;
+  }
+  for (ItemId x = 1; x <= 25; ++x) {
+    for (ItemId y = x + 1; y <= 25; ++y) {
+      auto a = (*baseline)->query().WindowPairCount(x, y, now);
+      auto b = (*crashed)->query().WindowPairCount(x, y, now);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_NEAR(*a, *b, 1e-9) << "pair (" << x << ", " << y << ")";
+    }
+  }
+}
+
+TEST(PipelineTest, MultiBatchEqualsSingleBatch) {
+  // Stateless bolts + durable state: splitting the stream into batches
+  // must not change the result.
+  const auto actions = RandomActions(66, 600);
+
+  auto whole = engine::TencentRec::Create(EngineOptions("whole"));
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE((*whole)->ProcessBatch(actions).ok());
+
+  auto split = engine::TencentRec::Create(EngineOptions("split"));
+  ASSERT_TRUE(split.ok());
+  std::vector<UserAction> first(actions.begin(), actions.begin() + 300);
+  std::vector<UserAction> second(actions.begin() + 300, actions.end());
+  ASSERT_TRUE((*split)->ProcessBatch(first).ok());
+  ASSERT_TRUE((*split)->ProcessBatch(second).ok());
+
+  const EventTime now = Seconds(600);
+  for (ItemId item = 1; item <= 25; ++item) {
+    auto a = (*whole)->query().WindowItemCount(item, now);
+    auto b = (*split)->query().WindowItemCount(item, now);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_NEAR(*a, *b, 1e-9);
+  }
+}
+
+TEST(PipelineTest, PretreatmentDropsInvalidActions) {
+  std::vector<UserAction> actions = {
+      Act(1, 1, ActionType::kClick, Seconds(1)),
+      Act(-5, 1, ActionType::kClick, Seconds(2)),  // bad user
+      Act(2, 0, ActionType::kClick, Seconds(3)),   // bad item
+      Act(3, 3, ActionType::kClick, Seconds(4)),
+  };
+  auto engine = engine::TencentRec::Create(EngineOptions("filter"));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->ProcessBatch(actions).ok());
+  for (const auto& m : (*engine)->last_metrics()) {
+    if (m.component == "user_history") {
+      EXPECT_EQ(m.tuples_executed, 2u);  // only the valid two got through
+    }
+  }
+}
+
+TEST(MultiAppTest, AppsShareOneTdStoreClusterWithoutCollisions) {
+  // §6.1: "some applications share one common cluster". Two apps run their
+  // topologies against the SAME TDStore cluster; the per-app key namespace
+  // keeps their state disjoint.
+  tdstore::Cluster::Options store_options;
+  store_options.num_data_servers = 2;
+  store_options.num_instances = 8;
+  auto store = tdstore::Cluster::Create(store_options);
+  ASSERT_TRUE(store.ok());
+
+  AppOptions news_options;
+  news_options.app = "news";
+  news_options.linked_time = Days(30);
+  AppContext news(store->get(), news_options);
+
+  AppOptions shop_options;
+  shop_options.app = "shop";
+  shop_options.linked_time = Days(30);
+  AppContext shop(store->get(), shop_options);
+
+  // Same user/item ids in both apps, different behaviour.
+  std::vector<UserAction> news_actions, shop_actions;
+  EventTime t = 0;
+  for (UserId u = 1; u <= 4; ++u) {
+    news_actions.push_back(Act(u, 1, ActionType::kRead, t += Seconds(1)));
+    news_actions.push_back(Act(u, 2, ActionType::kRead, t += Seconds(1)));
+    shop_actions.push_back(Act(u, 1, ActionType::kPurchase, t += Seconds(1)));
+    shop_actions.push_back(Act(u, 3, ActionType::kPurchase, t += Seconds(1)));
+  }
+
+  for (auto& [app, actions] :
+       std::vector<std::pair<AppContext*, std::vector<UserAction>*>>{
+           {&news, &news_actions}, {&shop, &shop_actions}}) {
+    auto spec = BuildAppTopology(app, [actions] {
+      return std::make_unique<VectorActionSpout>(actions);
+    });
+    ASSERT_TRUE(spec.ok());
+    auto cluster = tstorm::LocalCluster::Create(std::move(spec).value());
+    ASSERT_TRUE(cluster.ok());
+    ASSERT_TRUE((*cluster)->Run().ok());
+  }
+
+  const EventTime now = t + Seconds(10);
+  StoreQuery news_query(&news);
+  StoreQuery shop_query(&shop);
+  // News saw (1,2) together; shop saw (1,3). No cross-contamination.
+  EXPECT_GT(news_query.SimilarityFromCounts(1, 2, now).value(), 0.9);
+  EXPECT_DOUBLE_EQ(news_query.SimilarityFromCounts(1, 3, now).value(), 0.0);
+  EXPECT_GT(shop_query.SimilarityFromCounts(1, 3, now).value(), 0.9);
+  EXPECT_DOUBLE_EQ(shop_query.SimilarityFromCounts(1, 2, now).value(), 0.0);
+  // Item counts differ per app (read weight 2.0 vs purchase weight 3.0).
+  EXPECT_NEAR(news_query.WindowItemCount(1, now).value(), 4 * 2.0, 1e-9);
+  EXPECT_NEAR(shop_query.WindowItemCount(1, now).value(), 4 * 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tencentrec::topo

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "tstorm/config.h"
+#include "tstorm/xml.h"
+
+namespace tencentrec::tstorm {
+namespace {
+
+// --- parser -----------------------------------------------------------------
+
+TEST(XmlTest, ParsesSimpleElement) {
+  auto doc = ParseXml("<root/>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ((*doc)->name, "root");
+}
+
+TEST(XmlTest, ParsesAttributes) {
+  auto doc = ParseXml(R"(<topology name="cf-test" version='2'/>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->Attr("name"), "cf-test");
+  EXPECT_EQ((*doc)->Attr("version"), "2");
+  EXPECT_FALSE((*doc)->HasAttr("missing"));
+  EXPECT_EQ((*doc)->Attr("missing"), "");
+}
+
+TEST(XmlTest, ParsesNestedChildrenAndText) {
+  auto doc = ParseXml(R"(<a><b>hello</b><b>world</b><c>  spaced  </c></a>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->Children("b").size(), 2u);
+  EXPECT_EQ((*doc)->ChildText("b"), "hello");
+  EXPECT_EQ((*doc)->ChildText("c"), "spaced");
+  EXPECT_EQ((*doc)->ChildText("missing"), "");
+}
+
+TEST(XmlTest, DecodesEntities) {
+  auto doc = ParseXml(R"(<x v="a&lt;b&amp;c">1 &gt; 0</x>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->Attr("v"), "a<b&c");
+  EXPECT_NE((*doc)->text.find("1 > 0"), std::string::npos);
+}
+
+TEST(XmlTest, SkipsCommentsAndDeclaration) {
+  auto doc = ParseXml(
+      "<?xml version=\"1.0\"?><!-- header --><root><!-- inner --><a/></root>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->children.size(), 1u);
+}
+
+TEST(XmlTest, RejectsMismatchedTags) {
+  EXPECT_FALSE(ParseXml("<a><b></a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a></a><b></b>").ok());  // two roots
+  EXPECT_FALSE(ParseXml(R"(<a v=foo></a>)").ok());  // unquoted attribute
+}
+
+// --- topology config --------------------------------------------------------
+
+class NullSpout : public ISpout {
+ public:
+  std::vector<StreamDecl> DeclareOutputs() const override {
+    return {{"user_action", {"user", "item", "action"}}};
+  }
+  bool NextBatch(OutputCollector& out) override {
+    (void)out;
+    return false;
+  }
+};
+
+class NullBolt : public IBolt {
+ public:
+  void Execute(const Tuple& input, const TupleSource& source,
+               OutputCollector& out) override {
+    (void)input;
+    (void)source;
+    (void)out;
+  }
+};
+
+ComponentRegistry MakeRegistry() {
+  ComponentRegistry registry;
+  registry.RegisterSpout("Spout", [] { return std::make_unique<NullSpout>(); });
+  for (const char* name : {"Pretreatment", "CtrStore", "CtrBolt",
+                           "ResultStorage"}) {
+    registry.RegisterBolt(name, [] { return std::make_unique<NullBolt>(); });
+  }
+  return registry;
+}
+
+/// The example configuration of the paper's Figure 7 (ctr-test topology).
+constexpr const char* kFigure7Xml = R"(
+<topology name="cf-test">
+  <spout name="spout" class="Spout">
+    <output_fields>
+      <stream_id>user_action</stream_id>
+      <fields>user, item, action</fields>
+    </output_fields>
+  </spout>
+  <bolts>
+    <bolt name="pretreatment" class="Pretreatment">
+      <grouping type="field">
+        <fields>user</fields>
+        <stream_id>user_action</stream_id>
+      </grouping>
+    </bolt>
+    <bolt name="ctrStore" class="CtrStore"/>
+    <bolt name="ctrBolt" class="CtrBolt"/>
+    <bolt name="resultStorage" class="ResultStorage"/>
+  </bolts>
+</topology>
+)";
+
+TEST(TopologyConfigTest, BuildsFigure7Topology) {
+  ComponentRegistry registry = MakeRegistry();
+  auto spec = BuildTopologyFromXml(kFigure7Xml, registry);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, "cf-test");
+  ASSERT_EQ(spec->components.size(), 5u);
+  EXPECT_TRUE(spec->components[0].is_spout);
+  // Linear chain: each bolt without explicit grouping shuffles from the
+  // previous component.
+  ASSERT_EQ(spec->edges.size(), 4u);
+  EXPECT_EQ(spec->edges[0].producer, "spout");
+  EXPECT_EQ(spec->edges[0].consumer, "pretreatment");
+  EXPECT_EQ(spec->edges[0].grouping.type, GroupingType::kFields);
+  ASSERT_EQ(spec->edges[0].grouping.fields.size(), 1u);
+  EXPECT_EQ(spec->edges[0].grouping.fields[0], "user");
+  EXPECT_EQ(spec->edges[1].producer, "pretreatment");
+  EXPECT_EQ(spec->edges[1].consumer, "ctrStore");
+  EXPECT_EQ(spec->edges[1].grouping.type, GroupingType::kShuffle);
+  EXPECT_EQ(spec->edges[3].consumer, "resultStorage");
+}
+
+TEST(TopologyConfigTest, ParallelismAndTickInterval) {
+  ComponentRegistry registry = MakeRegistry();
+  auto spec = BuildTopologyFromXml(R"(
+    <topology name="t">
+      <spout name="s" class="Spout" parallelism="2"/>
+      <bolt name="b" class="Pretreatment" parallelism="3">
+        <tick_interval>50</tick_interval>
+        <grouping type="shuffle"><source>s</source></grouping>
+      </bolt>
+    </topology>)",
+                                   registry);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->components[0].parallelism, 2);
+  EXPECT_EQ(spec->components[1].parallelism, 3);
+  EXPECT_EQ(spec->components[1].tick_interval, 50);
+}
+
+TEST(TopologyConfigTest, UnregisteredClassFails) {
+  ComponentRegistry registry = MakeRegistry();
+  auto spec = BuildTopologyFromXml(
+      R"(<topology><spout name="s" class="Ghost"/></topology>)", registry);
+  EXPECT_FALSE(spec.ok());
+  EXPECT_TRUE(spec.status().IsNotFound());
+}
+
+TEST(TopologyConfigTest, MissingSpoutFails) {
+  ComponentRegistry registry = MakeRegistry();
+  auto spec = BuildTopologyFromXml(
+      R"(<topology><bolt name="b" class="Pretreatment"/></topology>)",
+      registry);
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(TopologyConfigTest, BadParallelismFails) {
+  ComponentRegistry registry = MakeRegistry();
+  auto spec = BuildTopologyFromXml(
+      R"(<topology><spout name="s" class="Spout" parallelism="0"/></topology>)",
+      registry);
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(TopologyConfigTest, GroupingTypesParse) {
+  ComponentRegistry registry = MakeRegistry();
+  auto spec = BuildTopologyFromXml(R"(
+    <topology name="g">
+      <spout name="s" class="Spout"/>
+      <bolt name="b1" class="Pretreatment">
+        <grouping type="global"><source>s</source></grouping>
+      </bolt>
+      <bolt name="b2" class="Pretreatment">
+        <grouping type="all"><source>s</source></grouping>
+      </bolt>
+    </topology>)",
+                                   registry);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->edges[0].grouping.type, GroupingType::kGlobal);
+  EXPECT_EQ(spec->edges[1].grouping.type, GroupingType::kAll);
+}
+
+TEST(TopologyConfigTest, UnknownGroupingTypeFails) {
+  ComponentRegistry registry = MakeRegistry();
+  auto spec = BuildTopologyFromXml(R"(
+    <topology name="g">
+      <spout name="s" class="Spout"/>
+      <bolt name="b" class="Pretreatment">
+        <grouping type="mystery"><source>s</source></grouping>
+      </bolt>
+    </topology>)",
+                                   registry);
+  EXPECT_FALSE(spec.ok());
+}
+
+}  // namespace
+}  // namespace tencentrec::tstorm
