@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_cache.dir/ablate_cache.cc.o"
+  "CMakeFiles/ablate_cache.dir/ablate_cache.cc.o.d"
+  "ablate_cache"
+  "ablate_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_combiner.dir/ablate_combiner.cc.o"
+  "CMakeFiles/ablate_combiner.dir/ablate_combiner.cc.o.d"
+  "ablate_combiner"
+  "ablate_combiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_combiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

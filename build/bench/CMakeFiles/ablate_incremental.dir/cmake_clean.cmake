@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_incremental.dir/ablate_incremental.cc.o"
+  "CMakeFiles/ablate_incremental.dir/ablate_incremental.cc.o.d"
+  "ablate_incremental"
+  "ablate_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_userbased.dir/ablate_userbased.cc.o"
+  "CMakeFiles/ablate_userbased.dir/ablate_userbased.cc.o.d"
+  "ablate_userbased"
+  "ablate_userbased.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_userbased.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_news_ctr.dir/fig10_news_ctr.cc.o"
+  "CMakeFiles/fig10_news_ctr.dir/fig10_news_ctr.cc.o.d"
+  "fig10_news_ctr"
+  "fig10_news_ctr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_news_ctr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_news_readcount.dir/fig11_news_readcount.cc.o"
+  "CMakeFiles/fig11_news_readcount.dir/fig11_news_readcount.cc.o.d"
+  "fig11_news_readcount"
+  "fig11_news_readcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_news_readcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_yixun_price.dir/fig13_yixun_price.cc.o"
+  "CMakeFiles/fig13_yixun_price.dir/fig13_yixun_price.cc.o.d"
+  "fig13_yixun_price"
+  "fig13_yixun_price.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_yixun_price.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_yixun_price.
+# This may be replaced when dependencies are built.

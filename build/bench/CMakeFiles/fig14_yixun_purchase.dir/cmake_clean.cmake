@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_yixun_purchase.dir/fig14_yixun_purchase.cc.o"
+  "CMakeFiles/fig14_yixun_purchase.dir/fig14_yixun_purchase.cc.o.d"
+  "fig14_yixun_purchase"
+  "fig14_yixun_purchase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_yixun_purchase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

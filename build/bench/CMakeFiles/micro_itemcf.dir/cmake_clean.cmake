@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_itemcf.dir/micro_itemcf.cc.o"
+  "CMakeFiles/micro_itemcf.dir/micro_itemcf.cc.o.d"
+  "micro_itemcf"
+  "micro_itemcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_itemcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tdaccess.dir/micro_tdaccess.cc.o"
+  "CMakeFiles/micro_tdaccess.dir/micro_tdaccess.cc.o.d"
+  "micro_tdaccess"
+  "micro_tdaccess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tdaccess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tdstore.dir/micro_tdstore.cc.o"
+  "CMakeFiles/micro_tdstore.dir/micro_tdstore.cc.o.d"
+  "micro_tdstore"
+  "micro_tdstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tdstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

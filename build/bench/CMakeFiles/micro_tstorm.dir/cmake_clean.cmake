@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tstorm.dir/micro_tstorm.cc.o"
+  "CMakeFiles/micro_tstorm.dir/micro_tstorm.cc.o.d"
+  "micro_tstorm"
+  "micro_tstorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tstorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_ctr.dir/ad_ctr.cpp.o"
+  "CMakeFiles/ad_ctr.dir/ad_ctr.cpp.o.d"
+  "ad_ctr"
+  "ad_ctr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_ctr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ecommerce_store.cpp" "examples/CMakeFiles/ecommerce_store.dir/ecommerce_store.cpp.o" "gcc" "examples/CMakeFiles/ecommerce_store.dir/ecommerce_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/tr_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/tr_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tstorm/CMakeFiles/tr_tstorm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdaccess/CMakeFiles/tr_tdaccess.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdstore/CMakeFiles/tr_tdstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_store.dir/ecommerce_store.cpp.o"
+  "CMakeFiles/ecommerce_store.dir/ecommerce_store.cpp.o.d"
+  "ecommerce_store"
+  "ecommerce_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_site.dir/video_site.cpp.o"
+  "CMakeFiles/video_site.dir/video_site.cpp.o.d"
+  "video_site"
+  "video_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_common.dir/crc32.cc.o"
+  "CMakeFiles/tr_common.dir/crc32.cc.o.d"
+  "CMakeFiles/tr_common.dir/logging.cc.o"
+  "CMakeFiles/tr_common.dir/logging.cc.o.d"
+  "CMakeFiles/tr_common.dir/status.cc.o"
+  "CMakeFiles/tr_common.dir/status.cc.o.d"
+  "CMakeFiles/tr_common.dir/strings.cc.o"
+  "CMakeFiles/tr_common.dir/strings.cc.o.d"
+  "libtr_common.a"
+  "libtr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assoc.cc" "src/core/CMakeFiles/tr_core.dir/assoc.cc.o" "gcc" "src/core/CMakeFiles/tr_core.dir/assoc.cc.o.d"
+  "/root/repo/src/core/content.cc" "src/core/CMakeFiles/tr_core.dir/content.cc.o" "gcc" "src/core/CMakeFiles/tr_core.dir/content.cc.o.d"
+  "/root/repo/src/core/ctr.cc" "src/core/CMakeFiles/tr_core.dir/ctr.cc.o" "gcc" "src/core/CMakeFiles/tr_core.dir/ctr.cc.o.d"
+  "/root/repo/src/core/demographic.cc" "src/core/CMakeFiles/tr_core.dir/demographic.cc.o" "gcc" "src/core/CMakeFiles/tr_core.dir/demographic.cc.o.d"
+  "/root/repo/src/core/itemcf/basic_cf.cc" "src/core/CMakeFiles/tr_core.dir/itemcf/basic_cf.cc.o" "gcc" "src/core/CMakeFiles/tr_core.dir/itemcf/basic_cf.cc.o.d"
+  "/root/repo/src/core/itemcf/item_cf.cc" "src/core/CMakeFiles/tr_core.dir/itemcf/item_cf.cc.o" "gcc" "src/core/CMakeFiles/tr_core.dir/itemcf/item_cf.cc.o.d"
+  "/root/repo/src/core/itemcf/user_cf.cc" "src/core/CMakeFiles/tr_core.dir/itemcf/user_cf.cc.o" "gcc" "src/core/CMakeFiles/tr_core.dir/itemcf/user_cf.cc.o.d"
+  "/root/repo/src/core/itemcf/window_counts.cc" "src/core/CMakeFiles/tr_core.dir/itemcf/window_counts.cc.o" "gcc" "src/core/CMakeFiles/tr_core.dir/itemcf/window_counts.cc.o.d"
+  "/root/repo/src/core/rating.cc" "src/core/CMakeFiles/tr_core.dir/rating.cc.o" "gcc" "src/core/CMakeFiles/tr_core.dir/rating.cc.o.d"
+  "/root/repo/src/core/recommender.cc" "src/core/CMakeFiles/tr_core.dir/recommender.cc.o" "gcc" "src/core/CMakeFiles/tr_core.dir/recommender.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_core.dir/assoc.cc.o"
+  "CMakeFiles/tr_core.dir/assoc.cc.o.d"
+  "CMakeFiles/tr_core.dir/content.cc.o"
+  "CMakeFiles/tr_core.dir/content.cc.o.d"
+  "CMakeFiles/tr_core.dir/ctr.cc.o"
+  "CMakeFiles/tr_core.dir/ctr.cc.o.d"
+  "CMakeFiles/tr_core.dir/demographic.cc.o"
+  "CMakeFiles/tr_core.dir/demographic.cc.o.d"
+  "CMakeFiles/tr_core.dir/itemcf/basic_cf.cc.o"
+  "CMakeFiles/tr_core.dir/itemcf/basic_cf.cc.o.d"
+  "CMakeFiles/tr_core.dir/itemcf/item_cf.cc.o"
+  "CMakeFiles/tr_core.dir/itemcf/item_cf.cc.o.d"
+  "CMakeFiles/tr_core.dir/itemcf/user_cf.cc.o"
+  "CMakeFiles/tr_core.dir/itemcf/user_cf.cc.o.d"
+  "CMakeFiles/tr_core.dir/itemcf/window_counts.cc.o"
+  "CMakeFiles/tr_core.dir/itemcf/window_counts.cc.o.d"
+  "CMakeFiles/tr_core.dir/rating.cc.o"
+  "CMakeFiles/tr_core.dir/rating.cc.o.d"
+  "CMakeFiles/tr_core.dir/recommender.cc.o"
+  "CMakeFiles/tr_core.dir/recommender.cc.o.d"
+  "libtr_core.a"
+  "libtr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/monitor.cc" "src/engine/CMakeFiles/tr_engine.dir/monitor.cc.o" "gcc" "src/engine/CMakeFiles/tr_engine.dir/monitor.cc.o.d"
+  "/root/repo/src/engine/offline.cc" "src/engine/CMakeFiles/tr_engine.dir/offline.cc.o" "gcc" "src/engine/CMakeFiles/tr_engine.dir/offline.cc.o.d"
+  "/root/repo/src/engine/tencentrec.cc" "src/engine/CMakeFiles/tr_engine.dir/tencentrec.cc.o" "gcc" "src/engine/CMakeFiles/tr_engine.dir/tencentrec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/tr_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tstorm/CMakeFiles/tr_tstorm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdaccess/CMakeFiles/tr_tdaccess.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdstore/CMakeFiles/tr_tdstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

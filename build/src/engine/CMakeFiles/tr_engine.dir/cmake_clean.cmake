@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_engine.dir/monitor.cc.o"
+  "CMakeFiles/tr_engine.dir/monitor.cc.o.d"
+  "CMakeFiles/tr_engine.dir/offline.cc.o"
+  "CMakeFiles/tr_engine.dir/offline.cc.o.d"
+  "CMakeFiles/tr_engine.dir/tencentrec.cc.o"
+  "CMakeFiles/tr_engine.dir/tencentrec.cc.o.d"
+  "libtr_engine.a"
+  "libtr_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

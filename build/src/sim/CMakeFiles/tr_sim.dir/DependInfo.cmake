@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/abtest.cc" "src/sim/CMakeFiles/tr_sim.dir/abtest.cc.o" "gcc" "src/sim/CMakeFiles/tr_sim.dir/abtest.cc.o.d"
+  "/root/repo/src/sim/apps.cc" "src/sim/CMakeFiles/tr_sim.dir/apps.cc.o" "gcc" "src/sim/CMakeFiles/tr_sim.dir/apps.cc.o.d"
+  "/root/repo/src/sim/arms.cc" "src/sim/CMakeFiles/tr_sim.dir/arms.cc.o" "gcc" "src/sim/CMakeFiles/tr_sim.dir/arms.cc.o.d"
+  "/root/repo/src/sim/world.cc" "src/sim/CMakeFiles/tr_sim.dir/world.cc.o" "gcc" "src/sim/CMakeFiles/tr_sim.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_sim.dir/abtest.cc.o"
+  "CMakeFiles/tr_sim.dir/abtest.cc.o.d"
+  "CMakeFiles/tr_sim.dir/apps.cc.o"
+  "CMakeFiles/tr_sim.dir/apps.cc.o.d"
+  "CMakeFiles/tr_sim.dir/arms.cc.o"
+  "CMakeFiles/tr_sim.dir/arms.cc.o.d"
+  "CMakeFiles/tr_sim.dir/world.cc.o"
+  "CMakeFiles/tr_sim.dir/world.cc.o.d"
+  "libtr_sim.a"
+  "libtr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tdaccess/cluster.cc" "src/tdaccess/CMakeFiles/tr_tdaccess.dir/cluster.cc.o" "gcc" "src/tdaccess/CMakeFiles/tr_tdaccess.dir/cluster.cc.o.d"
+  "/root/repo/src/tdaccess/consumer.cc" "src/tdaccess/CMakeFiles/tr_tdaccess.dir/consumer.cc.o" "gcc" "src/tdaccess/CMakeFiles/tr_tdaccess.dir/consumer.cc.o.d"
+  "/root/repo/src/tdaccess/data_server.cc" "src/tdaccess/CMakeFiles/tr_tdaccess.dir/data_server.cc.o" "gcc" "src/tdaccess/CMakeFiles/tr_tdaccess.dir/data_server.cc.o.d"
+  "/root/repo/src/tdaccess/master.cc" "src/tdaccess/CMakeFiles/tr_tdaccess.dir/master.cc.o" "gcc" "src/tdaccess/CMakeFiles/tr_tdaccess.dir/master.cc.o.d"
+  "/root/repo/src/tdaccess/producer.cc" "src/tdaccess/CMakeFiles/tr_tdaccess.dir/producer.cc.o" "gcc" "src/tdaccess/CMakeFiles/tr_tdaccess.dir/producer.cc.o.d"
+  "/root/repo/src/tdaccess/segment_log.cc" "src/tdaccess/CMakeFiles/tr_tdaccess.dir/segment_log.cc.o" "gcc" "src/tdaccess/CMakeFiles/tr_tdaccess.dir/segment_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_tdaccess.dir/cluster.cc.o"
+  "CMakeFiles/tr_tdaccess.dir/cluster.cc.o.d"
+  "CMakeFiles/tr_tdaccess.dir/consumer.cc.o"
+  "CMakeFiles/tr_tdaccess.dir/consumer.cc.o.d"
+  "CMakeFiles/tr_tdaccess.dir/data_server.cc.o"
+  "CMakeFiles/tr_tdaccess.dir/data_server.cc.o.d"
+  "CMakeFiles/tr_tdaccess.dir/master.cc.o"
+  "CMakeFiles/tr_tdaccess.dir/master.cc.o.d"
+  "CMakeFiles/tr_tdaccess.dir/producer.cc.o"
+  "CMakeFiles/tr_tdaccess.dir/producer.cc.o.d"
+  "CMakeFiles/tr_tdaccess.dir/segment_log.cc.o"
+  "CMakeFiles/tr_tdaccess.dir/segment_log.cc.o.d"
+  "libtr_tdaccess.a"
+  "libtr_tdaccess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_tdaccess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

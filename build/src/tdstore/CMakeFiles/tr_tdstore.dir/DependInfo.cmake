@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tdstore/client.cc" "src/tdstore/CMakeFiles/tr_tdstore.dir/client.cc.o" "gcc" "src/tdstore/CMakeFiles/tr_tdstore.dir/client.cc.o.d"
+  "/root/repo/src/tdstore/cluster.cc" "src/tdstore/CMakeFiles/tr_tdstore.dir/cluster.cc.o" "gcc" "src/tdstore/CMakeFiles/tr_tdstore.dir/cluster.cc.o.d"
+  "/root/repo/src/tdstore/config_server.cc" "src/tdstore/CMakeFiles/tr_tdstore.dir/config_server.cc.o" "gcc" "src/tdstore/CMakeFiles/tr_tdstore.dir/config_server.cc.o.d"
+  "/root/repo/src/tdstore/data_server.cc" "src/tdstore/CMakeFiles/tr_tdstore.dir/data_server.cc.o" "gcc" "src/tdstore/CMakeFiles/tr_tdstore.dir/data_server.cc.o.d"
+  "/root/repo/src/tdstore/engine.cc" "src/tdstore/CMakeFiles/tr_tdstore.dir/engine.cc.o" "gcc" "src/tdstore/CMakeFiles/tr_tdstore.dir/engine.cc.o.d"
+  "/root/repo/src/tdstore/fdb_engine.cc" "src/tdstore/CMakeFiles/tr_tdstore.dir/fdb_engine.cc.o" "gcc" "src/tdstore/CMakeFiles/tr_tdstore.dir/fdb_engine.cc.o.d"
+  "/root/repo/src/tdstore/ldb_engine.cc" "src/tdstore/CMakeFiles/tr_tdstore.dir/ldb_engine.cc.o" "gcc" "src/tdstore/CMakeFiles/tr_tdstore.dir/ldb_engine.cc.o.d"
+  "/root/repo/src/tdstore/mdb_engine.cc" "src/tdstore/CMakeFiles/tr_tdstore.dir/mdb_engine.cc.o" "gcc" "src/tdstore/CMakeFiles/tr_tdstore.dir/mdb_engine.cc.o.d"
+  "/root/repo/src/tdstore/rdb_engine.cc" "src/tdstore/CMakeFiles/tr_tdstore.dir/rdb_engine.cc.o" "gcc" "src/tdstore/CMakeFiles/tr_tdstore.dir/rdb_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

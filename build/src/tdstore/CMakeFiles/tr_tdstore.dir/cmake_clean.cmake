@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_tdstore.dir/client.cc.o"
+  "CMakeFiles/tr_tdstore.dir/client.cc.o.d"
+  "CMakeFiles/tr_tdstore.dir/cluster.cc.o"
+  "CMakeFiles/tr_tdstore.dir/cluster.cc.o.d"
+  "CMakeFiles/tr_tdstore.dir/config_server.cc.o"
+  "CMakeFiles/tr_tdstore.dir/config_server.cc.o.d"
+  "CMakeFiles/tr_tdstore.dir/data_server.cc.o"
+  "CMakeFiles/tr_tdstore.dir/data_server.cc.o.d"
+  "CMakeFiles/tr_tdstore.dir/engine.cc.o"
+  "CMakeFiles/tr_tdstore.dir/engine.cc.o.d"
+  "CMakeFiles/tr_tdstore.dir/fdb_engine.cc.o"
+  "CMakeFiles/tr_tdstore.dir/fdb_engine.cc.o.d"
+  "CMakeFiles/tr_tdstore.dir/ldb_engine.cc.o"
+  "CMakeFiles/tr_tdstore.dir/ldb_engine.cc.o.d"
+  "CMakeFiles/tr_tdstore.dir/mdb_engine.cc.o"
+  "CMakeFiles/tr_tdstore.dir/mdb_engine.cc.o.d"
+  "CMakeFiles/tr_tdstore.dir/rdb_engine.cc.o"
+  "CMakeFiles/tr_tdstore.dir/rdb_engine.cc.o.d"
+  "libtr_tdstore.a"
+  "libtr_tdstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_tdstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

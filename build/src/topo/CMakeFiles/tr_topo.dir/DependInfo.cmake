@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/action_codec.cc" "src/topo/CMakeFiles/tr_topo.dir/action_codec.cc.o" "gcc" "src/topo/CMakeFiles/tr_topo.dir/action_codec.cc.o.d"
+  "/root/repo/src/topo/blob_codec.cc" "src/topo/CMakeFiles/tr_topo.dir/blob_codec.cc.o" "gcc" "src/topo/CMakeFiles/tr_topo.dir/blob_codec.cc.o.d"
+  "/root/repo/src/topo/bolts.cc" "src/topo/CMakeFiles/tr_topo.dir/bolts.cc.o" "gcc" "src/topo/CMakeFiles/tr_topo.dir/bolts.cc.o.d"
+  "/root/repo/src/topo/query.cc" "src/topo/CMakeFiles/tr_topo.dir/query.cc.o" "gcc" "src/topo/CMakeFiles/tr_topo.dir/query.cc.o.d"
+  "/root/repo/src/topo/spouts.cc" "src/topo/CMakeFiles/tr_topo.dir/spouts.cc.o" "gcc" "src/topo/CMakeFiles/tr_topo.dir/spouts.cc.o.d"
+  "/root/repo/src/topo/store_cache.cc" "src/topo/CMakeFiles/tr_topo.dir/store_cache.cc.o" "gcc" "src/topo/CMakeFiles/tr_topo.dir/store_cache.cc.o.d"
+  "/root/repo/src/topo/topology_factory.cc" "src/topo/CMakeFiles/tr_topo.dir/topology_factory.cc.o" "gcc" "src/topo/CMakeFiles/tr_topo.dir/topology_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tstorm/CMakeFiles/tr_tstorm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdaccess/CMakeFiles/tr_tdaccess.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdstore/CMakeFiles/tr_tdstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_topo.dir/action_codec.cc.o"
+  "CMakeFiles/tr_topo.dir/action_codec.cc.o.d"
+  "CMakeFiles/tr_topo.dir/blob_codec.cc.o"
+  "CMakeFiles/tr_topo.dir/blob_codec.cc.o.d"
+  "CMakeFiles/tr_topo.dir/bolts.cc.o"
+  "CMakeFiles/tr_topo.dir/bolts.cc.o.d"
+  "CMakeFiles/tr_topo.dir/query.cc.o"
+  "CMakeFiles/tr_topo.dir/query.cc.o.d"
+  "CMakeFiles/tr_topo.dir/spouts.cc.o"
+  "CMakeFiles/tr_topo.dir/spouts.cc.o.d"
+  "CMakeFiles/tr_topo.dir/store_cache.cc.o"
+  "CMakeFiles/tr_topo.dir/store_cache.cc.o.d"
+  "CMakeFiles/tr_topo.dir/topology_factory.cc.o"
+  "CMakeFiles/tr_topo.dir/topology_factory.cc.o.d"
+  "libtr_topo.a"
+  "libtr_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

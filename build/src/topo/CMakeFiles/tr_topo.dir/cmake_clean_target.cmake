@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtr_topo.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tstorm/cluster.cc" "src/tstorm/CMakeFiles/tr_tstorm.dir/cluster.cc.o" "gcc" "src/tstorm/CMakeFiles/tr_tstorm.dir/cluster.cc.o.d"
+  "/root/repo/src/tstorm/config.cc" "src/tstorm/CMakeFiles/tr_tstorm.dir/config.cc.o" "gcc" "src/tstorm/CMakeFiles/tr_tstorm.dir/config.cc.o.d"
+  "/root/repo/src/tstorm/topology.cc" "src/tstorm/CMakeFiles/tr_tstorm.dir/topology.cc.o" "gcc" "src/tstorm/CMakeFiles/tr_tstorm.dir/topology.cc.o.d"
+  "/root/repo/src/tstorm/xml.cc" "src/tstorm/CMakeFiles/tr_tstorm.dir/xml.cc.o" "gcc" "src/tstorm/CMakeFiles/tr_tstorm.dir/xml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

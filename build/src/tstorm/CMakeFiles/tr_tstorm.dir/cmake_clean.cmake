@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_tstorm.dir/cluster.cc.o"
+  "CMakeFiles/tr_tstorm.dir/cluster.cc.o.d"
+  "CMakeFiles/tr_tstorm.dir/config.cc.o"
+  "CMakeFiles/tr_tstorm.dir/config.cc.o.d"
+  "CMakeFiles/tr_tstorm.dir/topology.cc.o"
+  "CMakeFiles/tr_tstorm.dir/topology.cc.o.d"
+  "CMakeFiles/tr_tstorm.dir/xml.cc.o"
+  "CMakeFiles/tr_tstorm.dir/xml.cc.o.d"
+  "libtr_tstorm.a"
+  "libtr_tstorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_tstorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

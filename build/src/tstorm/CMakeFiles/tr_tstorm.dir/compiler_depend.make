@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tr_tstorm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itemcf_test.dir/itemcf_test.cc.o"
+  "CMakeFiles/itemcf_test.dir/itemcf_test.cc.o.d"
+  "itemcf_test"
+  "itemcf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itemcf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdaccess_test.dir/tdaccess_test.cc.o"
+  "CMakeFiles/tdaccess_test.dir/tdaccess_test.cc.o.d"
+  "tdaccess_test"
+  "tdaccess_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdaccess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

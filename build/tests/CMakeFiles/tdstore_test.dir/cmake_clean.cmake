@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdstore_test.dir/tdstore_test.cc.o"
+  "CMakeFiles/tdstore_test.dir/tdstore_test.cc.o.d"
+  "tdstore_test"
+  "tdstore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tstorm_test.dir/tstorm_test.cc.o"
+  "CMakeFiles/tstorm_test.dir/tstorm_test.cc.o.d"
+  "tstorm_test"
+  "tstorm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tstorm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

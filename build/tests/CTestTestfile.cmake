@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;tr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tstorm_test "/root/repo/build/tests/tstorm_test")
+set_tests_properties(tstorm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;tr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(xml_test "/root/repo/build/tests/xml_test")
+set_tests_properties(xml_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;tr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tdaccess_test "/root/repo/build/tests/tdaccess_test")
+set_tests_properties(tdaccess_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;tr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tdstore_test "/root/repo/build/tests/tdstore_test")
+set_tests_properties(tdstore_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;tr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rating_test "/root/repo/build/tests/rating_test")
+set_tests_properties(rating_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;tr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(itemcf_test "/root/repo/build/tests/itemcf_test")
+set_tests_properties(itemcf_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;tr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(algorithms_test "/root/repo/build/tests/algorithms_test")
+set_tests_properties(algorithms_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;tr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(topo_test "/root/repo/build/tests/topo_test")
+set_tests_properties(topo_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;tr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(engine_test "/root/repo/build/tests/engine_test")
+set_tests_properties(engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;tr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;tr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(extensions_test "/root/repo/build/tests/extensions_test")
+set_tests_properties(extensions_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;tr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;19;tr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(parity_test "/root/repo/build/tests/parity_test")
+set_tests_properties(parity_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;20;tr_add_test;/root/repo/tests/CMakeLists.txt;0;")
