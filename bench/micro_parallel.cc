@@ -1,0 +1,92 @@
+// Microbenchmark: the sharded multi-threaded CF executor vs the serial
+// reference on the same action stream. Each iteration streams the whole
+// batch through and drains, so items/s is end-to-end pipeline throughput.
+//
+// Shard scaling only materializes with real cores: on an N-core machine
+// expect ~min(shards, N-1)x once per-event work dominates queue hops (the
+// executor batches events to keep the queue overhead small). The harness
+// prints hardware_concurrency so runs are comparable across machines.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "common/random.h"
+#include "core/itemcf/item_cf.h"
+#include "core/itemcf/parallel_cf.h"
+
+namespace {
+
+using namespace tencentrec;
+using namespace tencentrec::core;
+
+std::vector<UserAction> MakeStream(int n) {
+  Rng rng(17);
+  ZipfSampler zipf(500, 0.9);
+  const ActionType kTypes[] = {ActionType::kBrowse, ActionType::kClick,
+                               ActionType::kRead, ActionType::kPurchase};
+  std::vector<UserAction> actions;
+  actions.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    UserAction a;
+    a.user = static_cast<UserId>(1 + rng.Uniform(300));
+    a.item = static_cast<ItemId>(1 + zipf.Sample(rng));
+    a.action = kTypes[rng.Uniform(4)];
+    a.timestamp = Seconds(i);
+    actions.push_back(a);
+  }
+  return actions;
+}
+
+PracticalItemCf::Options AlgoOptions() {
+  PracticalItemCf::Options options;
+  options.linked_time = Hours(4);
+  options.window_sessions = 8;
+  options.session_length = Hours(6);
+  options.enable_pruning = false;
+  return options;
+}
+
+void BM_ReferenceStream(benchmark::State& state) {
+  const auto stream = MakeStream(50000);
+  for (auto _ : state) {
+    PracticalItemCf cf(AlgoOptions());
+    for (const auto& a : stream) cf.ProcessAction(a);
+    benchmark::DoNotOptimize(cf.stats().pair_updates);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  state.counters["cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_ReferenceStream)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelStream(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const auto stream = MakeStream(50000);
+  for (auto _ : state) {
+    ParallelItemCf::Options options;
+    options.cf = AlgoOptions();
+    options.user_shards = shards;
+    options.pair_shards = shards;
+    ParallelItemCf cf(options);
+    cf.ProcessActions(stream);
+    cf.Drain();
+    benchmark::DoNotOptimize(cf.stats().pair_updates);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  state.counters["cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_ParallelStream)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgName("shards")
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace

@@ -70,5 +70,30 @@ int main() {
   auto live = (*engine)->query().SimilarityFromCounts(1, 2, now);
   std::printf("sim(1,2): offline=%.4f streaming=%.4f\n",
               model->Similarity(1, 2), live.value_or(-1.0));
+
+  // The same deployment with the sharded in-memory mirror enabled: every
+  // ProcessBatch also streams through the multi-threaded Fig. 4 pipeline,
+  // whose per-stage counters join the monitor report and whose queries
+  // skip the TDStore round-trip.
+  engine::TencentRec::Options mopts = options;
+  mopts.app.app = "ops-mirrored";
+  mopts.app.parallelism = 2;
+  mopts.mirror_parallel_cf = true;
+  mopts.mirror_user_shards = 4;
+  mopts.mirror_pair_shards = 4;
+  auto mirrored = engine::TencentRec::Create(mopts);
+  if (!mirrored.ok()) return 1;
+  if (!(*mirrored)->ProcessBatch(actions).ok()) return 1;
+
+  std::printf("\n-- monitor with parallel cf mirror --\n");
+  auto msnap = engine::CollectMonitorSnapshot(mirrored->get());
+  std::printf("%s\n", engine::FormatMonitorSnapshot(*msnap).c_str());
+  core::ParallelItemCf* mirror = (*mirrored)->parallel_cf();
+  std::printf("mirror sim(1,2)=%.4f\n", mirror->Similarity(1, 2));
+  auto recs = mirror->RecommendForUser(1, 3);
+  for (const auto& r : recs) {
+    std::printf("mirror rec for user 1: item %lld score %.4f\n",
+                static_cast<long long>(r.item), r.score);
+  }
   return 0;
 }

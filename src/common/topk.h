@@ -50,14 +50,15 @@ class TopK {
     return false;
   }
 
-  /// Removes `id` if present.
-  void Erase(const Id& id) {
+  /// Removes `id` if present; returns true when an entry was removed.
+  bool Erase(const Id& id) {
     for (size_t i = 0; i < entries_.size(); ++i) {
       if (entries_[i].id == id) {
         entries_.erase(entries_.begin() + i);
-        return;
+        return true;
       }
     }
+    return false;
   }
 
   bool Contains(const Id& id) const {
@@ -70,6 +71,14 @@ class TopK {
   /// The minimum score among the current K best, i.e. the score an item pair
   /// must beat to enter this similar-items list. Zero while the table is not
   /// yet full (everything is admissible).
+  ///
+  /// Conservative reopen: when an Erase (e.g. a prune decision dropping a
+  /// stale entry) shrinks a previously full table below K, the threshold
+  /// deliberately collapses back to 0 until the table refills. Any entry
+  /// with a positive score is admissible into an under-full table, so a
+  /// nonzero threshold here would wrongly prune admissible pairs; the cost
+  /// is only that pruning for this item pauses until K entries are known
+  /// again. Regression-tested in tests/itemcf_test.cc.
   double Threshold() const {
     if (entries_.size() < k_) return 0.0;
     return entries_.back().score;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/itemcf/predict.h"
+
 namespace tencentrec::core {
 
 PracticalItemCf::PracticalItemCf(Options options)
@@ -74,7 +76,14 @@ void PracticalItemCf::UpdatePair(ItemId i, ItemId j, double co_delta,
   if (epsilon < t - sim) {
     pruned_.insert(key);
     ++stats_.pairs_pruned;
-    // The pair can no longer enter either list; drop any stale entry.
+    // The pair can no longer enter either list; drop any stale entry. If
+    // the erase shrinks a full list below K, TopK::Threshold() falls back
+    // to 0 and pruning against that list pauses until the list refills —
+    // the conservative reopen (an under-full list admits any positive
+    // score, so keeping the old threshold would over-prune). In this
+    // single-threaded pipeline the entry is usually absent already (its
+    // own update just refreshed the score, making it the threshold), but
+    // the sharded executor's racy similarity reads make the erase real.
     auto it_i = similar_.find(i);
     if (it_i != similar_.end()) it_i->second.Erase(j);
     auto it_j = similar_.find(j);
@@ -114,50 +123,10 @@ Recommendations PracticalItemCf::RecommendForUser(UserId user,
                                                   size_t n) const {
   auto hit = histories_.find(user);
   if (hit == histories_.end()) return {};
-  const UserHistory& history = hit->second;
-
-  const std::vector<ItemId> recent = RecentItemsOf(user);
-  if (recent.empty()) return {};
-
-  // Candidates: similar items of the user's recent items, minus seen ones.
-  std::unordered_set<ItemId> candidates;
-  for (ItemId q : recent) {
-    const TopK<ItemId>* sims = SimilarItems(q);
-    if (sims == nullptr) continue;
-    for (const auto& entry : sims->entries()) {
-      if (entry.score <= 0.0) continue;
-      if (history.RatingOf(entry.id) > 0.0) continue;  // already rated
-      candidates.insert(entry.id);
-    }
-  }
-  if (candidates.empty()) return {};
-
-  // Eq. 2 restricted to the recent-k set: weighted average of the user's
-  // ratings on recent items, weighted by current similarity.
-  Recommendations scored;
-  scored.reserve(candidates.size());
-  for (ItemId p : candidates) {
-    double num = 0.0;
-    double den = 0.0;
-    for (ItemId q : recent) {
-      const double sim = EffectiveSimilarity(p, q);
-      if (sim <= 0.0) continue;
-      num += sim * history.RatingOf(q);
-      den += sim;
-    }
-    if (den <= 0.0) continue;
-    // Score = predicted rating, tilted by total similarity mass so that a
-    // candidate related to several recent items beats one related to a
-    // single item with the same predicted rating.
-    scored.push_back({p, (num / den) * (1.0 + std::log1p(den))});
-  }
-  std::sort(scored.begin(), scored.end(),
-            [](const ScoredItem& a, const ScoredItem& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.item < b.item;  // deterministic ties
-            });
-  if (scored.size() > n) scored.resize(n);
-  return scored;
+  return PredictFromRecent(
+      hit->second, RecentItemsOf(user),
+      [this](ItemId q) { return SimilarItems(q); },
+      [this](ItemId p, ItemId q) { return EffectiveSimilarity(p, q); }, n);
 }
 
 bool PracticalItemCf::IsPruned(ItemId a, ItemId b) const {

@@ -1,0 +1,437 @@
+#include "core/itemcf/parallel_cf.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "core/itemcf/predict.h"
+
+namespace tencentrec::core {
+
+namespace {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ParallelItemCf::ParallelItemCf(Options options) : options_(std::move(options)) {
+  options_.user_shards = std::max(1, options_.user_shards);
+  options_.pair_shards = std::max(1, options_.pair_shards);
+  options_.count_stripes = std::max(1, options_.count_stripes);
+  options_.list_stripes = std::max(1, options_.list_stripes);
+  options_.batch_size = std::max<size_t>(1, options_.batch_size);
+  options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  if (options_.cf.hoeffding_delta <= 0.0 ||
+      options_.cf.hoeffding_delta >= 1.0) {
+    options_.cf.hoeffding_delta = 0.05;
+  }
+  hoeffding_ln_inv_delta_ = std::log(1.0 / options_.cf.hoeffding_delta);
+
+  // All windowed state defers eviction to the drain barrier: shards run at
+  // slightly different points in the stream, and eager eviction would
+  // misread a lagging shard's in-order events as late data whenever the
+  // stream jumps across sessions (see WindowedCounts::SetDeferredEviction).
+  for (int s = 0; s < options_.count_stripes; ++s) {
+    auto stripe = std::make_unique<CountStripe>(options_.cf.session_length,
+                                                options_.cf.window_sessions);
+    stripe->counts.SetDeferredEviction(true);
+    item_stripes_.push_back(std::move(stripe));
+  }
+  for (int s = 0; s < options_.list_stripes; ++s) {
+    list_stripes_.push_back(std::make_unique<ListStripe>());
+  }
+
+  pending_.resize(static_cast<size_t>(options_.user_shards));
+  for (int s = 0; s < options_.pair_shards; ++s) {
+    auto shard = std::make_unique<PairShard>(options_.queue_capacity,
+                                             options_.cf.session_length,
+                                             options_.cf.window_sessions);
+    shard->counts.SetDeferredEviction(true);
+    pair_shards_.push_back(std::move(shard));
+  }
+  for (int s = 0; s < options_.user_shards; ++s) {
+    user_shards_.push_back(
+        std::make_unique<UserShard>(options_.queue_capacity));
+  }
+  // Start the downstream layer first so upstream emissions always find
+  // live consumers (same discipline as tstorm::LocalCluster).
+  for (auto& shard : pair_shards_) {
+    shard->thread =
+        std::thread([this, s = shard.get()] { PairWorker(s); });
+  }
+  for (auto& shard : user_shards_) {
+    shard->thread =
+        std::thread([this, s = shard.get()] { UserWorker(s); });
+  }
+}
+
+ParallelItemCf::~ParallelItemCf() { Shutdown(); }
+
+size_t ParallelItemCf::UserShardOf(UserId user) const {
+  return HashInt(static_cast<uint64_t>(user)) % user_shards_.size();
+}
+
+size_t ParallelItemCf::PairShardOf(const PairKey& key) const {
+  return PairKeyHash()(key) % pair_shards_.size();
+}
+
+ParallelItemCf::CountStripe& ParallelItemCf::ItemStripe(ItemId item) const {
+  return *item_stripes_[HashInt(static_cast<uint64_t>(item)) %
+                        item_stripes_.size()];
+}
+
+ParallelItemCf::ListStripe& ParallelItemCf::ListStripeOf(ItemId item) const {
+  return *list_stripes_[HashInt(static_cast<uint64_t>(item)) %
+                        list_stripes_.size()];
+}
+
+// --- ingestion (driver thread) ----------------------------------------------
+
+void ParallelItemCf::ProcessAction(const UserAction& action) {
+  TR_CHECK(!shutdown_);
+  if (action.timestamp > max_ts_) max_ts_ = action.timestamp;
+  const size_t shard = UserShardOf(action.user);
+  pending_[shard].push_back(action);
+  if (pending_[shard].size() >= options_.batch_size) PushUserBatch(shard);
+}
+
+void ParallelItemCf::ProcessActions(const std::vector<UserAction>& actions) {
+  for (const auto& action : actions) ProcessAction(action);
+}
+
+void ParallelItemCf::PushUserBatch(size_t shard_index) {
+  if (pending_[shard_index].empty()) return;
+  UserMsg msg;
+  msg.actions = std::move(pending_[shard_index]);
+  pending_[shard_index].clear();
+  user_shards_[shard_index]->queue.Push(std::move(msg));
+}
+
+// --- barrier / lifecycle ------------------------------------------------------
+
+void ParallelItemCf::BeginBarrier(int acks) {
+  std::lock_guard<std::mutex> lock(barrier_mu_);
+  barrier_pending_ = acks;
+}
+
+void ParallelItemCf::AwaitBarrier() {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  barrier_cv_.wait(lock, [&] { return barrier_pending_ == 0; });
+}
+
+void ParallelItemCf::AckBarrier() {
+  std::lock_guard<std::mutex> lock(barrier_mu_);
+  if (--barrier_pending_ == 0) barrier_cv_.notify_all();
+}
+
+void ParallelItemCf::Drain() {
+  if (shutdown_) return;
+  for (size_t s = 0; s < pending_.size(); ++s) PushUserBatch(s);
+
+  // Phase 1: every user worker flushes its pair-delta buffers downstream.
+  // FIFO queues guarantee those batches precede the phase-2 flush tokens.
+  BeginBarrier(static_cast<int>(user_shards_.size()));
+  for (auto& shard : user_shards_) {
+    UserMsg msg;
+    msg.flush = true;
+    shard->queue.Push(std::move(msg));
+  }
+  AwaitBarrier();
+
+  // Phase 2: every pair worker applies what layer 1 emitted, then advances
+  // its sliding window to the stream's high-water mark so expiry does not
+  // depend on which shard saw the newest event.
+  BeginBarrier(static_cast<int>(pair_shards_.size()));
+  for (auto& shard : pair_shards_) {
+    PairMsg msg;
+    msg.flush = true;
+    msg.watermark = max_ts_;
+    shard->queue.Push(std::move(msg));
+  }
+  AwaitBarrier();
+
+  // Shared itemCounts advance the same way.
+  for (auto& stripe : item_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->counts.AdvanceTo(max_ts_);
+  }
+}
+
+void ParallelItemCf::Shutdown() {
+  if (shutdown_) return;
+  Drain();
+  shutdown_ = true;
+  for (auto& shard : user_shards_) shard->queue.Close();
+  for (auto& shard : user_shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  for (auto& shard : pair_shards_) shard->queue.Close();
+  for (auto& shard : pair_shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+}
+
+// --- layer 1: user-history workers -------------------------------------------
+
+void ParallelItemCf::UserWorker(UserShard* shard) {
+  // Per-destination-shard output buffers, flushed when full and on drain.
+  std::vector<std::vector<PairDelta>> out(pair_shards_.size());
+  auto flush_all = [&] {
+    for (size_t p = 0; p < out.size(); ++p) {
+      if (out[p].empty()) continue;
+      PairMsg msg;
+      msg.deltas = std::move(out[p]);
+      out[p].clear();
+      pair_shards_[p]->queue.Push(std::move(msg));
+    }
+  };
+
+  while (auto msg = shard->queue.Pop()) {
+    const uint64_t t0 = NowMicros();
+    if (msg->flush) {
+      flush_all();
+      shard->busy_micros += NowMicros() - t0;
+      AckBarrier();
+      continue;
+    }
+    for (const UserAction& action : msg->actions) {
+      HandleAction(shard, action, &out);
+    }
+    shard->events += msg->actions.size();
+    ++shard->batches;
+    shard->busy_micros += NowMicros() - t0;
+  }
+  // Queue closed mid-stream (shutdown without drain): discard buffers.
+}
+
+void ParallelItemCf::HandleAction(UserShard* shard, const UserAction& action,
+                                  std::vector<std::vector<PairDelta>>* out) {
+  ++shard->actions;
+  UserHistory& history = shard->histories[action.user];
+  if (options_.cf.history_ttl > 0) {
+    history.EvictOlderThan(action.timestamp - options_.cf.history_ttl);
+  }
+  RatingUpdate update = history.Apply(action, options_.cf.weights,
+                                      options_.cf.linked_time);
+
+  if (update.rating_delta > 0.0) {
+    CountStripe& stripe = ItemStripe(update.item);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.counts.AddItem(update.item, update.rating_delta, action.timestamp);
+  }
+  // (Zero-delta actions advance windows lazily — the Drain watermark
+  // settles all windows, unlike the reference's eager AdvanceTo.)
+
+  for (const auto& pair : update.pairs) {
+    const size_t p = PairShardOf(PairKey(update.item, pair.other));
+    auto& buf = (*out)[p];
+    buf.push_back(
+        {update.item, pair.other, pair.co_rating_delta, action.timestamp});
+    if (buf.size() >= options_.batch_size) {
+      PairMsg msg;
+      msg.deltas = std::move(buf);
+      buf.clear();
+      pair_shards_[p]->queue.Push(std::move(msg));
+    }
+  }
+}
+
+// --- layers 2+3: count + similarity workers ----------------------------------
+
+void ParallelItemCf::PairWorker(PairShard* shard) {
+  while (auto msg = shard->queue.Pop()) {
+    const uint64_t t0 = NowMicros();
+    if (msg->flush) {
+      shard->counts.AdvanceTo(msg->watermark);
+      shard->busy_micros += NowMicros() - t0;
+      AckBarrier();
+      continue;
+    }
+    for (const PairDelta& delta : msg->deltas) HandlePairDelta(shard, delta);
+    shard->events += msg->deltas.size();
+    ++shard->batches;
+    shard->busy_micros += NowMicros() - t0;
+  }
+}
+
+void ParallelItemCf::HandlePairDelta(PairShard* shard,
+                                     const PairDelta& delta) {
+  const PairKey key(delta.i, delta.j);
+  if (options_.cf.enable_pruning && shard->pruned.count(key) > 0) {
+    ++shard->pair_updates_pruned;
+    return;
+  }
+
+  shard->counts.AddPair(delta.i, delta.j, delta.co_delta, delta.ts);
+  ++shard->pair_updates;
+
+  const double pc = shard->counts.PairCount(delta.i, delta.j);
+  const double sim = EffectiveFromCounts(delta.i, delta.j, pc);
+
+  // Maintain both items' similar-items lists (striped shared state; one
+  // stripe lock at a time, so no ordering discipline is needed).
+  const size_t k = static_cast<size_t>(options_.cf.top_k);
+  {
+    ListStripe& stripe = ListStripeOf(delta.i);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.lists.try_emplace(delta.i, k).first->second.Update(delta.j, sim);
+  }
+  {
+    ListStripe& stripe = ListStripeOf(delta.j);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.lists.try_emplace(delta.j, k).first->second.Update(delta.i, sim);
+  }
+
+  if (!options_.cf.enable_pruning) return;
+
+  const uint32_t n = ++shard->observations[key];
+  const double t =
+      std::min(ListThresholdOf(delta.i), ListThresholdOf(delta.j));
+  if (t <= 0.0) return;
+  const double epsilon =
+      std::sqrt(hoeffding_ln_inv_delta_ / (2.0 * static_cast<double>(n)));
+  if (epsilon < t - sim) {
+    shard->pruned.insert(key);
+    ++shard->pairs_pruned;
+    // Under concurrency the stale-entry erase is live (a racing update may
+    // have admitted the pair with a higher snapshot score); the shrunk
+    // list's threshold conservatively reopens to 0 — see TopK::Threshold.
+    {
+      ListStripe& stripe = ListStripeOf(delta.i);
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      auto it = stripe.lists.find(delta.i);
+      if (it != stripe.lists.end()) it->second.Erase(delta.j);
+    }
+    {
+      ListStripe& stripe = ListStripeOf(delta.j);
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      auto it = stripe.lists.find(delta.j);
+      if (it != stripe.lists.end()) it->second.Erase(delta.i);
+    }
+  }
+}
+
+double ParallelItemCf::ItemCountOf(ItemId item) const {
+  CountStripe& stripe = ItemStripe(item);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  return stripe.counts.ItemCount(item);
+}
+
+double ParallelItemCf::SimilarityFromCounts(ItemId a, ItemId b,
+                                            double pair_count) const {
+  // Eq. 5/10, mirroring WindowedCounts::Similarity.
+  const double ca = ItemCountOf(a);
+  const double cb = ItemCountOf(b);
+  if (ca <= 0.0 || cb <= 0.0) return 0.0;
+  if (pair_count <= 0.0) return 0.0;
+  return pair_count / (std::sqrt(ca) * std::sqrt(cb));
+}
+
+double ParallelItemCf::EffectiveFromCounts(ItemId a, ItemId b,
+                                           double pair_count) const {
+  double sim = SimilarityFromCounts(a, b, pair_count);
+  if (sim > 0.0 && options_.cf.support_shrinkage > 0.0) {
+    sim *= pair_count / (pair_count + options_.cf.support_shrinkage);
+  }
+  return sim;
+}
+
+double ParallelItemCf::ListThresholdOf(ItemId item) const {
+  ListStripe& stripe = ListStripeOf(item);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.lists.find(item);
+  return it == stripe.lists.end() ? 0.0 : it->second.Threshold();
+}
+
+// --- queries (quiescent pipeline) --------------------------------------------
+
+double ParallelItemCf::Similarity(ItemId a, ItemId b) const {
+  const PairKey key(a, b);
+  const double pc = pair_shards_[PairShardOf(key)]->counts.PairCount(a, b);
+  return SimilarityFromCounts(a, b, pc);
+}
+
+double ParallelItemCf::EffectiveSimilarity(ItemId a, ItemId b) const {
+  const PairKey key(a, b);
+  const double pc = pair_shards_[PairShardOf(key)]->counts.PairCount(a, b);
+  return EffectiveFromCounts(a, b, pc);
+}
+
+const TopK<ItemId>* ParallelItemCf::SimilarItems(ItemId item) const {
+  ListStripe& stripe = ListStripeOf(item);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.lists.find(item);
+  return it == stripe.lists.end() ? nullptr : &it->second;
+}
+
+std::vector<ItemId> ParallelItemCf::RecentItemsOf(UserId user) const {
+  const auto& histories = user_shards_[UserShardOf(user)]->histories;
+  auto it = histories.find(user);
+  if (it == histories.end()) return {};
+  const size_t k = options_.cf.recent_k > 0
+                       ? static_cast<size_t>(options_.cf.recent_k)
+                       : it->second.size();
+  return it->second.RecentItems(k);
+}
+
+double ParallelItemCf::UserRating(UserId user, ItemId item) const {
+  const auto& histories = user_shards_[UserShardOf(user)]->histories;
+  auto it = histories.find(user);
+  return it == histories.end() ? 0.0 : it->second.RatingOf(item);
+}
+
+Recommendations ParallelItemCf::RecommendForUser(UserId user,
+                                                 size_t n) const {
+  const auto& histories = user_shards_[UserShardOf(user)]->histories;
+  auto hit = histories.find(user);
+  if (hit == histories.end()) return {};
+  return PredictFromRecent(
+      hit->second, RecentItemsOf(user),
+      [this](ItemId q) { return SimilarItems(q); },
+      [this](ItemId p, ItemId q) { return EffectiveSimilarity(p, q); }, n);
+}
+
+bool ParallelItemCf::IsPruned(ItemId a, ItemId b) const {
+  const PairKey key(a, b);
+  return pair_shards_[PairShardOf(key)]->pruned.count(key) > 0;
+}
+
+PracticalItemCf::Stats ParallelItemCf::stats() const {
+  PracticalItemCf::Stats stats;
+  for (const auto& shard : user_shards_) stats.actions += shard->actions;
+  for (const auto& shard : pair_shards_) {
+    stats.pair_updates += shard->pair_updates;
+    stats.pair_updates_pruned += shard->pair_updates_pruned;
+    stats.pairs_pruned += shard->pairs_pruned;
+  }
+  return stats;
+}
+
+std::vector<ParallelItemCf::StageStats> ParallelItemCf::stage_stats() const {
+  StageStats user;
+  user.stage = "user-history";
+  user.workers = static_cast<int>(user_shards_.size());
+  for (const auto& shard : user_shards_) {
+    user.events += shard->events;
+    user.batches += shard->batches;
+    user.busy_micros += shard->busy_micros;
+  }
+  StageStats pair;
+  pair.stage = "count+sim";
+  pair.workers = static_cast<int>(pair_shards_.size());
+  for (const auto& shard : pair_shards_) {
+    pair.events += shard->events;
+    pair.batches += shard->batches;
+    pair.busy_micros += shard->busy_micros;
+  }
+  return {user, pair};
+}
+
+}  // namespace tencentrec::core

@@ -1,0 +1,219 @@
+#ifndef TENCENTREC_CORE_ITEMCF_PARALLEL_CF_H_
+#define TENCENTREC_CORE_ITEMCF_PARALLEL_CF_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/queue.h"
+#include "common/topk.h"
+#include "core/itemcf/item_cf.h"
+#include "core/itemcf/window_counts.h"
+
+namespace tencentrec::core {
+
+/// The paper's three-layer parallel CF pipeline (Fig. 4) as a real
+/// multi-threaded sharded executor — the in-process analogue of the Storm
+/// topology, sized for heavy traffic:
+///
+///   driver ──field-group by user──▶ N user-shard workers   (layer 1)
+///          ──field-group by pair──▶ M pair-shard workers   (layers 2+3)
+///
+/// Layer 1 (user history): each worker exclusively owns the histories of
+/// the users hashing to it, applies the max-weight rating rule and the
+/// linked-time co-rating deltas (Eq. 3–4), and forwards pair deltas.
+/// Layers 2+3 (count + similarity): each worker exclusively owns the
+/// windowed pairCount state of the pairs hashing to it (Eq. 6–8, 10),
+/// computes similarities, maintains top-K lists, and runs Hoeffding
+/// pruning (Eq. 9, Algorithm 1). itemCounts and per-item top-K lists are
+/// cross-shard by nature (a pair touches two items) and live in striped
+/// shared state guarded by per-stripe mutexes.
+///
+/// Transport is the BoundedQueue from common/ (blocking push =
+/// backpressure); events travel in batches to amortize queue wakeups.
+///
+/// Consistency model: all counter state is commutative deltas, so the
+/// drained state is independent of cross-shard interleaving and matches
+/// PracticalItemCf exactly (asserted by tests/parallel_cf_test.cc).
+/// Mid-stream similarity reads are racy-but-monotone snapshots, which only
+/// affects transient top-K scores and pruning timing — the same tolerance
+/// the paper accepts for its distributed pipeline. Queries are valid
+/// whenever the pipeline is quiescent, i.e. after Drain().
+class ParallelItemCf {
+ public:
+  struct Options {
+    /// Algorithm knobs, shared verbatim with the reference implementation.
+    PracticalItemCf::Options cf;
+
+    /// Layer-1 workers (field-grouped by user id).
+    int user_shards = 4;
+    /// Layer-2+3 workers (field-grouped by PairKey).
+    int pair_shards = 4;
+    /// Batches (not events) per worker input queue before backpressure.
+    size_t queue_capacity = 256;
+    /// Events per batch; larger batches amortize queue synchronization.
+    size_t batch_size = 128;
+    /// Stripes for the shared itemCount table / per-item top-K tables.
+    int count_stripes = 64;
+    int list_stripes = 64;
+  };
+
+  /// Per-stage execution counters for engine/monitor.
+  struct StageStats {
+    std::string stage;
+    int workers = 0;
+    uint64_t events = 0;        ///< tuples consumed by the stage
+    uint64_t batches = 0;       ///< queue messages consumed
+    uint64_t busy_micros = 0;   ///< wall time spent executing tuples
+  };
+
+  explicit ParallelItemCf(Options options);
+  ~ParallelItemCf();
+
+  ParallelItemCf(const ParallelItemCf&) = delete;
+  ParallelItemCf& operator=(const ParallelItemCf&) = delete;
+
+  /// Enqueues one action (driver thread only). Blocks when the target user
+  /// shard's queue is full (backpressure).
+  void ProcessAction(const UserAction& action);
+  void ProcessActions(const std::vector<UserAction>& actions);
+
+  /// Barrier: flushes every in-flight batch through both layers, advances
+  /// all sliding windows to the stream's high-water timestamp, and returns
+  /// with the pipeline quiescent. Queries below are only meaningful (and
+  /// data-race-free) after a Drain.
+  void Drain();
+
+  /// Drains, closes all queues and joins the workers. Idempotent; the
+  /// destructor calls it.
+  void Shutdown();
+
+  /// --- queries (require quiescence, i.e. after Drain()) ---
+
+  double Similarity(ItemId a, ItemId b) const;
+  double EffectiveSimilarity(ItemId a, ItemId b) const;
+  const TopK<ItemId>* SimilarItems(ItemId item) const;
+  Recommendations RecommendForUser(UserId user, size_t n) const;
+  std::vector<ItemId> RecentItemsOf(UserId user) const;
+  double UserRating(UserId user, ItemId item) const;
+  bool IsPruned(ItemId a, ItemId b) const;
+
+  /// Aggregated algorithm counters (summed over shards).
+  PracticalItemCf::Stats stats() const;
+  /// Per-stage executor counters ("user-history", "count+sim").
+  std::vector<StageStats> stage_stats() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  /// One co-rating delta travelling from layer 1 to layers 2+3.
+  struct PairDelta {
+    ItemId i = 0;
+    ItemId j = 0;
+    double co_delta = 0.0;
+    EventTime ts = 0;
+  };
+  struct UserMsg {
+    std::vector<UserAction> actions;
+    bool flush = false;
+  };
+  struct PairMsg {
+    std::vector<PairDelta> deltas;
+    bool flush = false;
+    EventTime watermark = 0;
+  };
+
+  struct UserShard {
+    explicit UserShard(size_t queue_capacity) : queue(queue_capacity) {}
+    BoundedQueue<UserMsg> queue;
+    std::thread thread;
+    /// Owned exclusively by this shard's worker thread.
+    std::unordered_map<UserId, UserHistory> histories;
+    int64_t actions = 0;
+    uint64_t events = 0;
+    uint64_t batches = 0;
+    uint64_t busy_micros = 0;
+  };
+
+  struct PairShard {
+    PairShard(size_t queue_capacity, EventTime session_length,
+              int window_sessions)
+        : queue(queue_capacity), counts(session_length, window_sessions) {}
+    BoundedQueue<PairMsg> queue;
+    std::thread thread;
+    /// Owned exclusively by this shard's worker thread (pairCount side
+    /// only; itemCounts live in the shared stripes).
+    WindowedCounts counts;
+    std::unordered_map<PairKey, uint32_t, PairKeyHash> observations;
+    std::unordered_set<PairKey, PairKeyHash> pruned;
+    int64_t pair_updates = 0;
+    int64_t pair_updates_pruned = 0;
+    int64_t pairs_pruned = 0;
+    uint64_t events = 0;
+    uint64_t batches = 0;
+    uint64_t busy_micros = 0;
+  };
+
+  /// Shared itemCount stripe: written by layer 1, read by layers 2+3.
+  struct alignas(64) CountStripe {
+    CountStripe(EventTime session_length, int window_sessions)
+        : counts(session_length, window_sessions) {}
+    mutable std::mutex mu;
+    WindowedCounts counts;
+  };
+
+  /// Shared per-item top-K list stripe: a pair update touches the lists of
+  /// both its items, which generally live on different pair shards.
+  struct alignas(64) ListStripe {
+    mutable std::mutex mu;
+    std::unordered_map<ItemId, TopK<ItemId>> lists;
+  };
+
+  size_t UserShardOf(UserId user) const;
+  size_t PairShardOf(const PairKey& key) const;
+  CountStripe& ItemStripe(ItemId item) const;
+  ListStripe& ListStripeOf(ItemId item) const;
+
+  void UserWorker(UserShard* shard);
+  void PairWorker(PairShard* shard);
+  void HandleAction(UserShard* shard, const UserAction& action,
+                    std::vector<std::vector<PairDelta>>* out);
+  void HandlePairDelta(PairShard* shard, const PairDelta& delta);
+  double ItemCountOf(ItemId item) const;
+  double SimilarityFromCounts(ItemId a, ItemId b, double pair_count) const;
+  double EffectiveFromCounts(ItemId a, ItemId b, double pair_count) const;
+  double ListThresholdOf(ItemId item) const;
+
+  void PushUserBatch(size_t shard_index);
+  void BeginBarrier(int acks);
+  void AwaitBarrier();
+  void AckBarrier();
+
+  Options options_;
+  double hoeffding_ln_inv_delta_ = 0.0;
+
+  std::vector<std::unique_ptr<UserShard>> user_shards_;
+  std::vector<std::unique_ptr<PairShard>> pair_shards_;
+  std::vector<std::unique_ptr<CountStripe>> item_stripes_;
+  std::vector<std::unique_ptr<ListStripe>> list_stripes_;
+
+  /// Driver-side per-user-shard input batches (driver thread only).
+  std::vector<std::vector<UserAction>> pending_;
+  /// High-water event time of the stream (driver thread only).
+  EventTime max_ts_ = 0;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_pending_ = 0;
+
+  bool shutdown_ = false;
+};
+
+}  // namespace tencentrec::core
+
+#endif  // TENCENTREC_CORE_ITEMCF_PARALLEL_CF_H_

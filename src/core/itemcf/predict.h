@@ -1,0 +1,74 @@
+#ifndef TENCENTREC_CORE_ITEMCF_PREDICT_H_
+#define TENCENTREC_CORE_ITEMCF_PREDICT_H_
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/topk.h"
+#include "core/rating.h"
+#include "core/scored.h"
+
+namespace tencentrec::core {
+
+/// Real-time personalized prediction (Eq. 2 restricted to the user's
+/// recent-k items, §4.3), shared by the single-process reference
+/// (PracticalItemCf) and the sharded executor (ParallelItemCf) so the two
+/// implementations are prediction-identical by construction.
+///
+/// `similar_items(ItemId) -> const TopK<ItemId>*` supplies candidate
+/// generation (nullptr when the item has no list yet);
+/// `effective_sim(ItemId, ItemId) -> double` supplies the current
+/// (shrinkage-adjusted) similarity used for scoring.
+template <typename SimilarItemsFn, typename EffectiveSimFn>
+Recommendations PredictFromRecent(const UserHistory& history,
+                                  const std::vector<ItemId>& recent,
+                                  SimilarItemsFn&& similar_items,
+                                  EffectiveSimFn&& effective_sim, size_t n) {
+  if (recent.empty()) return {};
+
+  // Candidates: similar items of the user's recent items, minus seen ones.
+  std::unordered_set<ItemId> candidates;
+  for (ItemId q : recent) {
+    const TopK<ItemId>* sims = similar_items(q);
+    if (sims == nullptr) continue;
+    for (const auto& entry : sims->entries()) {
+      if (entry.score <= 0.0) continue;
+      if (history.RatingOf(entry.id) > 0.0) continue;  // already rated
+      candidates.insert(entry.id);
+    }
+  }
+  if (candidates.empty()) return {};
+
+  // Eq. 2 restricted to the recent-k set: weighted average of the user's
+  // ratings on recent items, weighted by current similarity.
+  Recommendations scored;
+  scored.reserve(candidates.size());
+  for (ItemId p : candidates) {
+    double num = 0.0;
+    double den = 0.0;
+    for (ItemId q : recent) {
+      const double sim = effective_sim(p, q);
+      if (sim <= 0.0) continue;
+      num += sim * history.RatingOf(q);
+      den += sim;
+    }
+    if (den <= 0.0) continue;
+    // Score = predicted rating, tilted by total similarity mass so that a
+    // candidate related to several recent items beats one related to a
+    // single item with the same predicted rating.
+    scored.push_back({p, (num / den) * (1.0 + std::log1p(den))});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredItem& a, const ScoredItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.item < b.item;  // deterministic ties
+            });
+  if (scored.size() > n) scored.resize(n);
+  return scored;
+}
+
+}  // namespace tencentrec::core
+
+#endif  // TENCENTREC_CORE_ITEMCF_PREDICT_H_

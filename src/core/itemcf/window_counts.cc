@@ -1,6 +1,8 @@
 #include "core/itemcf/window_counts.h"
 
+#include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 namespace tencentrec::core {
 
@@ -14,44 +16,67 @@ WindowedCounts::Session* WindowedCounts::SessionFor(EventTime ts) {
     return &sessions_.back();
   }
 
-  AdvanceTo(ts);
   const int64_t id = SessionOf(ts);
-  for (auto& s : sessions_) {
-    if (s.id == id) return &s;
+  if (defer_eviction_) {
+    // Deferred mode (sharded executor): only track the high-water mark;
+    // eviction waits for the explicit AdvanceTo at the drain barrier. An
+    // event is "late" only if its session was already evicted by a prior
+    // barrier — being behind the high-water mark just means a sibling
+    // shard ran ahead.
+    if (id > latest_session_) latest_session_ = id;
+    if (id < evicted_floor_) {
+      return sessions_.empty() ? nullptr : &sessions_.front();
+    }
+  } else {
+    AdvanceTo(ts);
+    if (!InWindow(id)) {
+      // Out-of-window late data folds into the oldest live session rather
+      // than resurrecting an expired one; with nothing live it is already
+      // fully expired and is dropped.
+      return sessions_.empty() ? nullptr : &sessions_.front();
+    }
   }
-  // Late (out-of-window) data lands in the oldest live session rather than
-  // resurrecting an expired one; with in-order streams this branch only
-  // creates the brand-new current session.
-  if (!sessions_.empty() && id < sessions_.front().id) {
-    return &sessions_.front();
+  // The deque is ordered by session id, so eviction stays front-only and
+  // reads need no in-window filtering. Hot path first: in-order streams
+  // always land in the newest session.
+  if (!sessions_.empty() && sessions_.back().id == id) {
+    return &sessions_.back();
   }
-  Session s;
-  s.id = id;
-  sessions_.push_back(std::move(s));
-  return &sessions_.back();
+  auto it = std::lower_bound(
+      sessions_.begin(), sessions_.end(), id,
+      [](const Session& s, int64_t want) { return s.id < want; });
+  if (it != sessions_.end() && it->id == id) return &*it;
+  it = sessions_.insert(it, Session{});
+  it->id = id;
+  return &*it;
 }
 
 void WindowedCounts::AdvanceTo(EventTime ts) {
   if (window_sessions_ <= 0) return;
   const int64_t id = SessionOf(ts);
   if (id > latest_session_) latest_session_ = id;
+  // Ordered deque: every expired session sits at the front, so front-only
+  // pops reclaim all of them even after out-of-order inserts.
   while (!sessions_.empty() && !InWindow(sessions_.front().id)) {
     sessions_.pop_front();
   }
+  const int64_t floor = latest_session_ - window_sessions_ + 1;
+  if (floor > evicted_floor_) evicted_floor_ = floor;
 }
 
 void WindowedCounts::AddItem(ItemId item, double delta, EventTime ts) {
-  SessionFor(ts)->item_counts[item] += delta;
+  if (Session* s = SessionFor(ts)) s->item_counts[item] += delta;
 }
 
 void WindowedCounts::AddPair(ItemId a, ItemId b, double delta, EventTime ts) {
-  SessionFor(ts)->pair_counts[PairKey(a, b)] += delta;
+  if (Session* s = SessionFor(ts)) s->pair_counts[PairKey(a, b)] += delta;
 }
 
 double WindowedCounts::ItemCount(ItemId item) const {
+  // Invariant: the deque only ever holds in-window sessions (AdvanceTo runs
+  // on every mutation), so reads sum without filtering.
   double sum = 0.0;
   for (const auto& s : sessions_) {
-    if (!InWindow(s.id)) continue;
     auto it = s.item_counts.find(item);
     if (it != s.item_counts.end()) sum += it->second;
   }
@@ -62,7 +87,6 @@ double WindowedCounts::PairCount(ItemId a, ItemId b) const {
   const PairKey key(a, b);
   double sum = 0.0;
   for (const auto& s : sessions_) {
-    if (!InWindow(s.id)) continue;
     auto it = s.pair_counts.find(key);
     if (it != s.pair_counts.end()) sum += it->second;
   }
@@ -79,19 +103,17 @@ double WindowedCounts::Similarity(ItemId a, ItemId b) const {
 }
 
 size_t WindowedCounts::TrackedItems() const {
-  std::unordered_map<ItemId, bool> seen;
+  std::unordered_set<ItemId> seen;
   for (const auto& s : sessions_) {
-    if (!InWindow(s.id)) continue;
-    for (const auto& [item, c] : s.item_counts) seen[item] = true;
+    for (const auto& [item, c] : s.item_counts) seen.insert(item);
   }
   return seen.size();
 }
 
 size_t WindowedCounts::TrackedPairs() const {
-  std::unordered_map<PairKey, bool, PairKeyHash> seen;
+  std::unordered_set<PairKey, PairKeyHash> seen;
   for (const auto& s : sessions_) {
-    if (!InWindow(s.id)) continue;
-    for (const auto& [pair, c] : s.pair_counts) seen[pair] = true;
+    for (const auto& [pair, c] : s.pair_counts) seen.insert(pair);
   }
   return seen.size();
 }

@@ -1,6 +1,7 @@
 #ifndef TENCENTREC_CORE_ITEMCF_WINDOW_COUNTS_H_
 #define TENCENTREC_CORE_ITEMCF_WINDOW_COUNTS_H_
 
+#include <cstdint>
 #include <deque>
 #include <unordered_map>
 
@@ -23,6 +24,19 @@ class WindowedCounts {
   WindowedCounts(EventTime session_length, int window_sessions)
       : session_length_(session_length < 1 ? 1 : session_length),
         window_sessions_(window_sessions) {}
+
+  /// Deferred-eviction mode, for the sharded executor: events always land
+  /// in their true session — even when the high-water mark has already
+  /// advanced past their window — and expired sessions are dropped only by
+  /// explicit AdvanceTo() calls (the drain barrier). With eager eviction a
+  /// shard that runs slightly behind its siblings would see its in-order
+  /// events misclassified as late (folded forward) whenever the stream
+  /// jumps across sessions; deferring eviction to the barrier makes the
+  /// drained state identical to a serial run of the same stream. The cost
+  /// is that between drains the deque can briefly hold more than
+  /// window_sessions_ sessions (bounded by the event-time span since the
+  /// last drain).
+  void SetDeferredEviction(bool defer) { defer_eviction_ = defer; }
 
   /// Adds ∆r to itemCount(item) in the session containing `ts`.
   void AddItem(ItemId item, double delta, EventTime ts);
@@ -60,6 +74,10 @@ class WindowedCounts {
   };
 
   int64_t SessionOf(EventTime ts) const { return ts / session_length_; }
+  /// The live session that should absorb counts timestamped `ts`, creating
+  /// it in id-sorted position when needed. Late but in-window data lands in
+  /// its own (correct) session; out-of-window late data folds into the
+  /// oldest live session, or returns nullptr (drop) when nothing is live.
   Session* SessionFor(EventTime ts);
   bool InWindow(int64_t session_id) const {
     return window_sessions_ <= 0 ||
@@ -68,9 +86,16 @@ class WindowedCounts {
 
   const EventTime session_length_;
   const int window_sessions_;
+  bool defer_eviction_ = false;
   int64_t latest_session_ = -1;
-  /// Live sessions, oldest first; at most window_sessions_ of them (or one
-  /// cumulative pseudo-session when windowing is off).
+  /// Sessions below this id have been evicted (deferred mode only): a
+  /// straggler event for one of them is genuinely late, not just behind a
+  /// sibling shard, and takes the fold-or-drop path.
+  int64_t evicted_floor_ = INT64_MIN;
+  /// Live sessions, ordered by ascending session id; at most
+  /// window_sessions_ of them (or one cumulative pseudo-session when
+  /// windowing is off). The ordering invariant makes eviction front-only
+  /// and lets reads sum the whole deque without in-window checks.
   std::deque<Session> sessions_;
 };
 

@@ -8,8 +8,16 @@ Result<MonitorSnapshot> CollectMonitorSnapshot(TencentRec* engine) {
   MonitorSnapshot snapshot;
 
   for (const auto& m : engine->last_metrics()) {
-    snapshot.topology.push_back(
-        {m.component, m.tuples_executed, m.tuples_emitted, m.restarts});
+    snapshot.topology.push_back({m.component, m.tuples_executed,
+                                 m.tuples_emitted, m.restarts,
+                                 m.busy_micros});
+  }
+
+  if (const core::ParallelItemCf* cf = engine->parallel_cf()) {
+    for (const auto& s : cf->stage_stats()) {
+      snapshot.pipeline.push_back(
+          {s.stage, s.workers, s.events, s.batches, s.busy_micros});
+    }
   }
 
   tdstore::Cluster* store = engine->store();
@@ -48,13 +56,38 @@ std::string FormatMonitorSnapshot(const MonitorSnapshot& snapshot) {
 
   out += "== topology (last run) ==\n";
   for (const auto& row : snapshot.topology) {
+    const double mean_us =
+        row.executed > 0 ? static_cast<double>(row.busy_micros) /
+                               static_cast<double>(row.executed)
+                         : 0.0;
     std::snprintf(line, sizeof(line),
-                  "  %-16s executed=%-10llu emitted=%-10llu restarts=%llu\n",
+                  "  %-16s executed=%-10llu emitted=%-10llu restarts=%-4llu "
+                  "busy=%llums mean=%.1fus\n",
                   row.component.c_str(),
                   static_cast<unsigned long long>(row.executed),
                   static_cast<unsigned long long>(row.emitted),
-                  static_cast<unsigned long long>(row.restarts));
+                  static_cast<unsigned long long>(row.restarts),
+                  static_cast<unsigned long long>(row.busy_micros / 1000),
+                  mean_us);
     out += line;
+  }
+  if (!snapshot.pipeline.empty()) {
+    out += "== parallel cf pipeline ==\n";
+    for (const auto& row : snapshot.pipeline) {
+      const double mean_us =
+          row.events > 0 ? static_cast<double>(row.busy_micros) /
+                               static_cast<double>(row.events)
+                         : 0.0;
+      std::snprintf(line, sizeof(line),
+                    "  %-16s workers=%-3d events=%-10llu batches=%-8llu "
+                    "busy=%llums mean=%.1fus\n",
+                    row.stage.c_str(), row.workers,
+                    static_cast<unsigned long long>(row.events),
+                    static_cast<unsigned long long>(row.batches),
+                    static_cast<unsigned long long>(row.busy_micros / 1000),
+                    mean_us);
+      out += line;
+    }
   }
   out += "== tdstore ==\n";
   for (const auto& row : snapshot.store) {

@@ -18,6 +18,7 @@ struct MonitorSnapshot {
     uint64_t executed = 0;
     uint64_t emitted = 0;
     uint64_t restarts = 0;
+    uint64_t busy_micros = 0;
   };
   struct StoreRow {
     int server_id = 0;
@@ -26,9 +27,19 @@ struct MonitorSnapshot {
     int64_t writes = 0;
     size_t keys = 0;
   };
+  /// One stage of the in-memory sharded CF pipeline (ParallelItemCf),
+  /// present when the engine runs with mirror_parallel_cf.
+  struct PipelineRow {
+    std::string stage;
+    int workers = 0;
+    uint64_t events = 0;
+    uint64_t batches = 0;
+    uint64_t busy_micros = 0;
+  };
 
   std::vector<ComponentRow> topology;
   std::vector<StoreRow> store;
+  std::vector<PipelineRow> pipeline;
   /// Messages published to the app topic that the processing group has not
   /// yet consumed (real-time lag).
   int64_t ingestion_lag = 0;

@@ -34,6 +34,21 @@ Status TencentRec::Init() {
   app_ = std::make_unique<topo::AppContext>(store_.get(), options_.app);
   admin_client_ = std::make_unique<tdstore::Client>(store_.get());
   query_ = std::make_unique<topo::StoreQuery>(app_.get());
+
+  if (options_.mirror_parallel_cf) {
+    core::ParallelItemCf::Options popts;
+    popts.cf.weights = options_.app.weights;
+    popts.cf.linked_time = options_.app.linked_time;
+    popts.cf.top_k = options_.app.top_k;
+    popts.cf.recent_k = options_.app.recent_k;
+    popts.cf.session_length = options_.app.session_length;
+    popts.cf.window_sessions = options_.app.window_sessions;
+    popts.cf.enable_pruning = options_.app.enable_pruning;
+    popts.cf.hoeffding_delta = options_.app.hoeffding_delta;
+    popts.user_shards = options_.mirror_user_shards;
+    popts.pair_shards = options_.mirror_pair_shards;
+    parallel_cf_ = std::make_unique<core::ParallelItemCf>(popts);
+  }
   return Status::OK();
 }
 
@@ -128,9 +143,16 @@ Status TencentRec::ProcessBatch(
            events_per_second, app_->options.parallelism);
   }
   const std::vector<core::UserAction>* batch = &actions;
-  return RunTopology(
+  Status run = RunTopology(
       [batch] { return std::make_unique<topo::VectorActionSpout>(batch); },
       restart_components, /*spout_parallelism=*/1);
+  if (run.ok() && parallel_cf_ != nullptr) {
+    // Mirror the batch through the in-memory sharded pipeline and drain so
+    // its query surface is immediately consistent with this batch.
+    parallel_cf_->ProcessActions(actions);
+    parallel_cf_->Drain();
+  }
+  return run;
 }
 
 Status TencentRec::PublishActions(

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/itemcf/parallel_cf.h"
 #include "tdaccess/cluster.h"
 #include "tdaccess/producer.h"
 #include "tdstore/cluster.h"
@@ -45,6 +46,14 @@ class TencentRec {
     /// each ProcessBatch sizes the keyed bolts from the batch's event rate.
     double auto_parallelism_event_cost_us = 50.0;
     size_t queue_capacity = 4096;
+    /// Also stream every ProcessBatch through an in-memory sharded
+    /// ParallelItemCf (the Fig. 4 pipeline as real threads). Durable state
+    /// stays in TDStore; the mirror serves low-latency similarity /
+    /// recommendation queries without a store round-trip, and its
+    /// per-stage counters appear in the monitor snapshot.
+    bool mirror_parallel_cf = false;
+    int mirror_user_shards = 2;
+    int mirror_pair_shards = 2;
   };
 
   static Result<std::unique_ptr<TencentRec>> Create(Options options);
@@ -76,6 +85,12 @@ class TencentRec {
   /// --- introspection / fault injection ---
   tdstore::Cluster* store() { return store_.get(); }
   tdaccess::Cluster* access() { return access_.get(); }
+  /// The in-memory sharded CF mirror (nullptr unless mirror_parallel_cf).
+  /// Drained after every ProcessBatch, so queries on it are always valid.
+  core::ParallelItemCf* parallel_cf() { return parallel_cf_.get(); }
+  const core::ParallelItemCf* parallel_cf() const {
+    return parallel_cf_.get();
+  }
   const topo::AppContext& app() const { return *app_; }
   const Options& options() const { return options_; }
   /// Metrics of the most recent topology run.
@@ -97,6 +112,7 @@ class TencentRec {
   std::unique_ptr<tdstore::Client> admin_client_;
   std::unique_ptr<tdaccess::Producer> producer_;
   std::unique_ptr<topo::StoreQuery> query_;
+  std::unique_ptr<core::ParallelItemCf> parallel_cf_;
   std::vector<tstorm::ComponentMetrics> last_metrics_;
   int64_t batches_run_ = 0;
 };

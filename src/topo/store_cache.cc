@@ -4,19 +4,16 @@
 
 namespace tencentrec::topo {
 
-void StoreCache::Touch(const std::string& key) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return;
-  lru_.erase(it->second.lru_it);
-  lru_.push_front(key);
-  it->second.lru_it = lru_.begin();
+void StoreCache::Touch(Entry& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lru_it);
 }
 
 void StoreCache::InsertOrUpdate(const std::string& key, std::string value) {
+  if (capacity_ == 0) return;  // cache disabled: nothing can be held
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     it->second.value = std::move(value);
-    Touch(key);
+    Touch(it->second);
     return;
   }
   while (entries_.size() >= capacity_) {
@@ -28,14 +25,14 @@ void StoreCache::InsertOrUpdate(const std::string& key, std::string value) {
 }
 
 Result<std::string> StoreCache::Get(const std::string& key) {
-  if (!enabled_) {
+  if (!Active()) {
     ++stats_.misses;
     return client_->Get(key);
   }
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++stats_.hits;
-    Touch(key);
+    Touch(it->second);
     return it->second.value;
   }
   ++stats_.misses;
@@ -48,12 +45,12 @@ Result<std::string> StoreCache::Get(const std::string& key) {
 Status StoreCache::Put(const std::string& key, std::string value) {
   ++stats_.writes;
   TR_RETURN_IF_ERROR(client_->Put(key, value));
-  if (enabled_) InsertOrUpdate(key, std::move(value));
+  if (Active()) InsertOrUpdate(key, std::move(value));
   return Status::OK();
 }
 
 Result<double> StoreCache::AddDouble(const std::string& key, double delta) {
-  if (!enabled_) {
+  if (!Active()) {
     ++stats_.misses;
     ++stats_.writes;
     return client_->IncrDouble(key, delta);

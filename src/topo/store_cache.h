@@ -29,10 +29,10 @@ class StoreCache {
 
   /// `enabled = false` turns the cache into a transparent pass-through
   /// (every call hits TDStore) — the baseline for the cache ablation bench.
+  /// `capacity = 0` is equivalent: nothing can be held, so the cache is
+  /// disabled rather than evicting on every insert.
   StoreCache(tdstore::Client* client, size_t capacity, bool enabled = true)
-      : client_(client),
-        capacity_(capacity == 0 ? 1 : capacity),
-        enabled_(enabled) {}
+      : client_(client), capacity_(capacity), enabled_(enabled) {}
 
   /// Cache hit, else TDStore read (NotFound is cached as absent? no —
   /// absence is not cached, so a later writer's value is picked up).
@@ -53,7 +53,17 @@ class StoreCache {
   size_t size() const { return entries_.size(); }
 
  private:
-  void Touch(const std::string& key);
+  struct Entry {
+    std::string value;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  /// True when the cache actually holds entries (explicitly enabled and
+  /// able to store at least one).
+  bool Active() const { return enabled_ && capacity_ > 0; }
+  /// Moves an already-found entry to the LRU front (no extra hash lookup;
+  /// splice keeps `lru_it` valid).
+  void Touch(Entry& entry);
   void InsertOrUpdate(const std::string& key, std::string value);
 
   tdstore::Client* client_;
@@ -61,10 +71,6 @@ class StoreCache {
   const bool enabled_;
   /// LRU list, most-recent first; map values point into it.
   std::list<std::string> lru_;
-  struct Entry {
-    std::string value;
-    std::list<std::string>::iterator lru_it;
-  };
   std::unordered_map<std::string, Entry> entries_;
   Stats stats_;
 };

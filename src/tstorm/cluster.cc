@@ -1,5 +1,6 @@
 #include "tstorm/cluster.h"
 
+#include <chrono>
 #include <set>
 
 #include "common/hash.h"
@@ -16,6 +17,13 @@ struct Envelope {
   TupleSource source;
   bool eos = false;
 };
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace
 
@@ -45,6 +53,7 @@ struct LocalCluster::Task {
   uint64_t executed = 0;
   uint64_t emitted = 0;
   uint64_t restarts = 0;
+  uint64_t busy_micros = 0;
 
   // Per-route round-robin cursors for shuffle grouping (indexed in the same
   // order the collector walks routes: stable per stream).
@@ -278,7 +287,11 @@ void LocalCluster::RunSpoutTask(Task* task) {
 
   Collector collector(this, task);
   task->spout->Open(ctx);
-  while (task->spout->NextBatch(collector)) {
+  for (;;) {
+    const uint64_t t0 = NowMicros();
+    const bool more = task->spout->NextBatch(collector);
+    task->busy_micros += NowMicros() - t0;
+    if (!more) break;
   }
   task->spout->Close();
   BroadcastEos(task);
@@ -317,12 +330,14 @@ void LocalCluster::RunBoltTask(Task* task) {
       continue;
     }
     ++task->executed;
+    const uint64_t t0 = NowMicros();
     task->bolt->Execute(env->tuple, env->source, collector);
     if (task->tick_interval > 0 &&
         ++since_tick >= static_cast<uint64_t>(task->tick_interval)) {
       since_tick = 0;
       task->bolt->Tick(collector);
     }
+    task->busy_micros += NowMicros() - t0;
   }
   // Final flush before declaring this task's output finished.
   task->bolt->Tick(collector);
@@ -383,6 +398,7 @@ std::vector<ComponentMetrics> LocalCluster::Metrics() const {
       m.tuples_executed += task.executed;
       m.tuples_emitted += task.emitted;
       m.restarts += task.restarts;
+      m.busy_micros += task.busy_micros;
     }
     out.push_back(std::move(m));
   }

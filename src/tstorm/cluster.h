@@ -21,6 +21,9 @@ struct ComponentMetrics {
   uint64_t tuples_executed = 0;  ///< tuples consumed (bolts only)
   uint64_t tuples_emitted = 0;
   uint64_t restarts = 0;
+  /// Wall time spent inside Execute/NextBatch/Tick, summed over instances;
+  /// busy_micros / tuples_executed is the stage's mean per-tuple latency.
+  uint64_t busy_micros = 0;
 };
 
 /// Runs a TopologySpec to completion on a pool of threads, one per task

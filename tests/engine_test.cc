@@ -3,6 +3,8 @@
 #include <filesystem>
 #include <unistd.h>
 
+#include "core/itemcf/item_cf.h"
+#include "engine/monitor.h"
 #include "engine/tencentrec.h"
 
 namespace tencentrec::engine {
@@ -387,6 +389,50 @@ TEST(EngineTest, ParallelSpoutsSplitTopicPartitions) {
   ASSERT_TRUE(recs.ok());
   ASSERT_FALSE(recs->empty());
   EXPECT_EQ((*recs)[0].item, 102);
+}
+
+TEST(EngineTest, ParallelCfMirrorMatchesReference) {
+  TencentRec::Options options = BaseOptions("mirrored");
+  options.mirror_parallel_cf = true;
+  auto engine = TencentRec::Create(options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->ProcessBatch(CliqueTraffic()).ok());
+
+  core::ParallelItemCf* mirror = (*engine)->parallel_cf();
+  ASSERT_NE(mirror, nullptr);
+
+  // The mirror ran the identical algorithm configuration over the identical
+  // batch, so its drained state matches a serial reference exactly.
+  core::PracticalItemCf::Options ref_opts;
+  ref_opts.weights = options.app.weights;
+  ref_opts.linked_time = options.app.linked_time;
+  ref_opts.top_k = options.app.top_k;
+  ref_opts.recent_k = options.app.recent_k;
+  ref_opts.session_length = options.app.session_length;
+  ref_opts.window_sessions = options.app.window_sessions;
+  ref_opts.enable_pruning = options.app.enable_pruning;
+  ref_opts.hoeffding_delta = options.app.hoeffding_delta;
+  core::PracticalItemCf reference(ref_opts);
+  for (const auto& a : CliqueTraffic()) reference.ProcessAction(a);
+
+  EXPECT_NEAR(mirror->Similarity(101, 102), reference.Similarity(101, 102),
+              1e-12);
+  EXPECT_GT(mirror->Similarity(101, 102), 0.0);
+  auto recs = mirror->RecommendForUser(50, 3);
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs[0].item, 102);  // same answer as the store path
+
+  // The mirror's stage counters surface through the monitor snapshot.
+  auto snapshot = CollectMonitorSnapshot(engine->get());
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_EQ(snapshot->pipeline.size(), 2u);
+  EXPECT_EQ(snapshot->pipeline[0].stage, "user-history");
+  EXPECT_EQ(snapshot->pipeline[0].events, CliqueTraffic().size());
+  EXPECT_GT(snapshot->pipeline[0].workers, 0);
+  EXPECT_EQ(snapshot->pipeline[1].stage, "count+sim");
+  const std::string report = FormatMonitorSnapshot(*snapshot);
+  EXPECT_NE(report.find("parallel cf pipeline"), std::string::npos);
+  EXPECT_NE(report.find("user-history"), std::string::npos);
 }
 
 }  // namespace

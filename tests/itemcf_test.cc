@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "common/topk.h"
 #include "core/itemcf/basic_cf.h"
 #include "core/itemcf/item_cf.h"
 
@@ -62,6 +63,50 @@ TEST(WindowedCountsTest, PairCountsExpireTogether) {
   EXPECT_DOUBLE_EQ(counts.Similarity(1, 2), 0.0);
 }
 
+TEST(WindowedCountsTest, LateInWindowDataLandsInItsOwnSession) {
+  // Late-but-in-window events must credit their own session, so they expire
+  // with it — not with whatever session happened to be newest at arrival.
+  WindowedCounts counts(Hours(1), /*window_sessions=*/3);
+  counts.AddItem(1, 1.0, Hours(2));  // session 2
+  counts.AddItem(1, 4.0, Hours(0));  // late: session 0, still in window
+  EXPECT_DOUBLE_EQ(counts.ItemCount(1), 5.0);
+  EXPECT_EQ(counts.NumSessions(), 2u);
+  counts.AdvanceTo(Hours(3));  // window = {1,2,3}: session 0 expires alone
+  EXPECT_DOUBLE_EQ(counts.ItemCount(1), 1.0);
+}
+
+TEST(WindowedCountsTest, OutOfOrderStreamBoundsSessions) {
+  // Regression: the session deque used to grow per out-of-order event (a
+  // new back entry for every backwards timestamp), leaking memory on
+  // shuffled streams. Sessions are now kept ordered by id with front-only
+  // eviction, so the deque never exceeds the window size.
+  WindowedCounts counts(Hours(1), /*window_sessions=*/4);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    counts.AddItem(1 + rng.Uniform(5), 1.0, Hours(20) + Minutes(rng.Uniform(10 * 60)));
+    EXPECT_LE(counts.NumSessions(), 4u) << "event " << i;
+  }
+}
+
+TEST(WindowedCountsTest, FullyExpiredLateDataFoldsOrDrops) {
+  WindowedCounts counts(Hours(1), /*window_sessions=*/2);
+  counts.AddItem(1, 1.0, Hours(10));  // session 10
+  counts.AddItem(1, 2.0, Hours(11));  // session 11; window = {10, 11}
+  // Below-window late event: folds into the oldest live session (so totals
+  // stay conservative) instead of resurrecting an expired one.
+  counts.AddItem(1, 8.0, Hours(3));
+  EXPECT_EQ(counts.NumSessions(), 2u);
+  EXPECT_DOUBLE_EQ(counts.ItemCount(1), 11.0);
+  counts.AdvanceTo(Hours(12));  // session 10 (with the folded count) expires
+  EXPECT_DOUBLE_EQ(counts.ItemCount(1), 2.0);
+  // With no live session at all, a fully expired event is dropped.
+  counts.AdvanceTo(Hours(30));
+  EXPECT_EQ(counts.NumSessions(), 0u);
+  counts.AddItem(1, 5.0, Hours(3));
+  EXPECT_DOUBLE_EQ(counts.ItemCount(1), 0.0);
+  EXPECT_EQ(counts.NumSessions(), 0u);
+}
+
 TEST(WindowedCountsTest, TrackedCounts) {
   WindowedCounts counts(Hours(1), 0);
   counts.AddItem(1, 1.0, 0);
@@ -70,6 +115,28 @@ TEST(WindowedCountsTest, TrackedCounts) {
   counts.AddPair(1, 2, 1.0, 0);
   EXPECT_EQ(counts.TrackedItems(), 2u);
   EXPECT_EQ(counts.TrackedPairs(), 1u);
+}
+
+// --- TopK threshold semantics (Algorithm 1's `t`) ----------------------------
+
+TEST(TopKTest, EraseReopensThresholdConservatively) {
+  // Regression for the prune-erase path: when an Erase shrinks a full list
+  // below K, the admission threshold must collapse to 0 (under-full lists
+  // admit any positive score). A stale nonzero threshold here would make
+  // Hoeffding pruning drop pairs that belong in the list.
+  TopK<ItemId> list(/*k=*/3);
+  EXPECT_TRUE(list.Update(1, 0.9));
+  EXPECT_TRUE(list.Update(2, 0.8));
+  EXPECT_TRUE(list.Update(3, 0.7));
+  EXPECT_DOUBLE_EQ(list.Threshold(), 0.7);  // full: K-th best
+  EXPECT_FALSE(list.Update(4, 0.5));        // below threshold, rejected
+
+  EXPECT_TRUE(list.Erase(2));
+  EXPECT_FALSE(list.Erase(2));              // second erase reports absence
+  EXPECT_DOUBLE_EQ(list.Threshold(), 0.0);  // reopened
+  EXPECT_TRUE(list.Update(4, 0.05));        // low score now admissible
+  EXPECT_DOUBLE_EQ(list.Threshold(), 0.05); // full again: threshold recovers
+  EXPECT_FALSE(list.Update(5, 0.01));
 }
 
 // --- incremental == batch oracle (Eq. 8 telescopes to Eq. 5) -----------------

@@ -203,6 +203,46 @@ TEST_F(CacheFixture, DisabledCachePassesThrough) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST_F(CacheFixture, CapacityZeroActsAsDisabled) {
+  // Regression: capacity 0 used to reach lru_.back() on an empty list
+  // inside the eviction loop (undefined behavior). It now means "cache
+  // disabled": all operations pass through to the store and hold nothing.
+  StoreCache cache(client_.get(), /*capacity=*/0);
+  ASSERT_TRUE(cache.Put("k", "v1").ok());
+  auto v = cache.Get("k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v1");
+  (void)cache.Get("k");
+  EXPECT_EQ(cache.stats().hits, 0);  // nothing is ever cached
+  EXPECT_EQ(cache.size(), 0u);
+  ASSERT_TRUE(cache.AddDouble("c", 1.5).ok());
+  auto sum = cache.AddDouble("c", 1.0);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(*sum, 2.5);  // read-modify-write still correct via store
+  auto direct = client_->GetDouble("c");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_DOUBLE_EQ(*direct, 2.5);
+}
+
+TEST_F(CacheFixture, CapacityOneHoldsExactlyOneEntry) {
+  StoreCache cache(client_.get(), /*capacity=*/1);
+  ASSERT_TRUE(cache.Put("a", "1").ok());
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.Put("b", "2").ok());  // evicts "a"
+  EXPECT_EQ(cache.size(), 1u);
+  auto b = cache.Get("b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(cache.stats().hits, 1);
+  auto a = cache.Get("a");  // miss -> store, re-admitted, evicts "b"
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, "1");
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.size(), 1u);
+  auto b2 = cache.Get("b");
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ(cache.stats().misses, 2);
+}
+
 TEST(CombinerTest, MergesSameKey) {
   Combiner combiner;
   combiner.Add("k1", 1.0);
