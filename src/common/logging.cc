@@ -1,11 +1,28 @@
 #include "common/logging.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdarg>
+#include <cstring>
 
 namespace tencentrec {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
 }  // namespace
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
@@ -14,28 +31,37 @@ void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 namespace internal {
 
-void LogPrefix(LogLevel level, const char* file, int line) {
-  const char* name = "?";
-  switch (level) {
-    case LogLevel::kDebug:
-      name = "D";
-      break;
-    case LogLevel::kInfo:
-      name = "I";
-      break;
-    case LogLevel::kWarning:
-      name = "W";
-      break;
-    case LogLevel::kError:
-      name = "E";
-      break;
-  }
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) {
   // Strip directories for brevity.
   const char* base = file;
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::fprintf(stderr, "[%s %s:%d] ", name, base, line);
+
+  // One buffer, one write: prefix + message emitted as separate stdio calls
+  // would tear under concurrent workers. Long messages truncate (with a
+  // marker) rather than overflow or split.
+  char buffer[1024];
+  int n = std::snprintf(buffer, sizeof(buffer), "[%s %s:%d] ",
+                        LevelName(level), base, line);
+  if (n < 0) return;
+  size_t pos = std::min(static_cast<size_t>(n), sizeof(buffer) - 1);
+
+  std::va_list args;
+  va_start(args, fmt);
+  int m = std::vsnprintf(buffer + pos, sizeof(buffer) - pos, fmt, args);
+  va_end(args);
+  if (m > 0) pos = std::min(pos + static_cast<size_t>(m), sizeof(buffer) - 1);
+
+  if (pos >= sizeof(buffer) - 1) {
+    static constexpr char kEllipsis[] = "...";
+    std::memcpy(buffer + sizeof(buffer) - sizeof(kEllipsis) - 1, kEllipsis,
+                sizeof(kEllipsis) - 1);
+    pos = sizeof(buffer) - 2;
+  }
+  buffer[pos] = '\n';
+  std::fwrite(buffer, 1, pos + 1, stderr);
 }
 
 }  // namespace internal

@@ -15,7 +15,14 @@ LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
 namespace internal {
-void LogPrefix(LogLevel level, const char* file, int line);
+/// Formats "[L file:line] message\n" into one buffer and emits it with a
+/// single stdio write, so concurrent workers (ParallelItemCf shards, tstorm
+/// tasks) never interleave fragments of each other's lines.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 4, 5)))
+#endif
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...);
 }  // namespace internal
 
 }  // namespace tencentrec
@@ -24,10 +31,8 @@ void LogPrefix(LogLevel level, const char* file, int line);
 #define TR_LOG(level, ...)                                                  \
   do {                                                                      \
     if (::tencentrec::LogLevel::level >= ::tencentrec::GetLogLevel()) {     \
-      ::tencentrec::internal::LogPrefix(::tencentrec::LogLevel::level,      \
-                                        __FILE__, __LINE__);                \
-      std::fprintf(stderr, __VA_ARGS__);                                    \
-      std::fprintf(stderr, "\n");                                           \
+      ::tencentrec::internal::LogMessage(::tencentrec::LogLevel::level,     \
+                                         __FILE__, __LINE__, __VA_ARGS__);  \
     }                                                                       \
   } while (false)
 
@@ -36,9 +41,9 @@ void LogPrefix(LogLevel level, const char* file, int line);
 #define TR_CHECK(cond)                                                    \
   do {                                                                    \
     if (!(cond)) {                                                        \
-      ::tencentrec::internal::LogPrefix(::tencentrec::LogLevel::kError,   \
-                                        __FILE__, __LINE__);              \
-      std::fprintf(stderr, "CHECK failed: %s\n", #cond);                  \
+      ::tencentrec::internal::LogMessage(::tencentrec::LogLevel::kError,  \
+                                         __FILE__, __LINE__,              \
+                                         "CHECK failed: %s", #cond);      \
       std::abort();                                                       \
     }                                                                     \
   } while (false)

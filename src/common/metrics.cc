@@ -1,0 +1,179 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace tencentrec {
+
+namespace {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace metrics_internal {
+
+size_t ThreadStripe() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return slot;
+}
+
+}  // namespace metrics_internal
+
+// --- LatencyHistogram --------------------------------------------------------
+
+int LatencyHistogram::BucketOf(uint64_t micros) {
+  if (micros < kSubBuckets) return static_cast<int>(micros);
+  // Octave = position of the leading bit; sub-bucket = the kSubBits bits
+  // right below it (the value's 2-bit significand).
+  const int octave = std::bit_width(micros) - 1;  // >= kSubBits
+  if (octave >= kOctaves) return kNumBuckets - 1;
+  const int sub =
+      static_cast<int>((micros >> (octave - kSubBits)) & (kSubBuckets - 1));
+  return (octave - kSubBits + 1) * kSubBuckets + sub;
+}
+
+uint64_t LatencyHistogram::BucketLowerBound(int b) {
+  if (b < kSubBuckets) return static_cast<uint64_t>(b);
+  const int octave = kSubBits + (b - kSubBuckets) / kSubBuckets;
+  const int sub = b % kSubBuckets;
+  return (uint64_t{1} << octave) +
+         static_cast<uint64_t>(sub) * (uint64_t{1} << (octave - kSubBits));
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(int b) {
+  if (b < kSubBuckets) return static_cast<uint64_t>(b);
+  const int octave = kSubBits + (b - kSubBuckets) / kSubBuckets;
+  return BucketLowerBound(b) + (uint64_t{1} << (octave - kSubBits)) - 1;
+}
+
+double LatencyHistogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const uint64_t in_bucket = buckets[static_cast<size_t>(b)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      const double lo = static_cast<double>(BucketLowerBound(b));
+      const double hi = static_cast<double>(BucketUpperBound(b)) + 1.0;
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      const double v = lo + (hi - lo) * frac;
+      // The exact extremes beat bucket resolution at the tails.
+      return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(max);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  Snapshot snap;
+  uint64_t merged_min = UINT64_MAX;
+  for (const Stripe& s : stripes_) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      const uint64_t n =
+          s.buckets[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+      snap.buckets[static_cast<size_t>(b)] += n;
+      snap.count += n;
+    }
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    merged_min = std::min(merged_min, s.min.load(std::memory_order_relaxed));
+    snap.max = std::max(snap.max, s.max.load(std::memory_order_relaxed));
+  }
+  snap.min = snap.count > 0 ? merged_min : 0;
+  return snap;
+}
+
+void LatencyHistogram::Reset() {
+  for (Stripe& s : stripes_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.min.store(UINT64_MAX, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- MetricRegistry ----------------------------------------------------------
+
+MetricRegistry& MetricRegistry::Default() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TR_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TR_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TR_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->Value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->Value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, LatencyHistogram::Snapshot>>
+MetricRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, LatencyHistogram::Snapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram->Snap());
+  }
+  return out;
+}
+
+void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace tencentrec

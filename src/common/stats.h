@@ -22,6 +22,27 @@ class RunningStat {
     max_ = n_ == 1 ? x : std::max(max_, x);
   }
 
+  /// Folds another accumulator in (Chan et al.'s parallel Welford combine),
+  /// so per-shard stats merge into a global one without replaying samples —
+  /// the aggregation path for sharded workers and snapshot deltas.
+  void Merge(const RunningStat& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const int64_t combined = n_ + other.n_;
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) /
+                           static_cast<double>(combined);
+    mean_ += delta * static_cast<double>(other.n_) /
+             static_cast<double>(combined);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ = combined;
+  }
+
   int64_t count() const { return n_; }
   double mean() const { return n_ > 0 ? mean_ : 0.0; }
   double min() const { return n_ > 0 ? min_ : 0.0; }
@@ -40,8 +61,12 @@ class RunningStat {
 };
 
 /// Exact percentile over a sample (copies and sorts; evaluation-path only).
+/// `p` is clamped to [0, 1]; a single-element sample returns that element
+/// directly, so the interpolation below never reads past the data.
 inline double Percentile(std::vector<double> xs, double p) {
   if (xs.empty()) return 0.0;
+  if (xs.size() == 1) return xs[0];
+  p = std::clamp(p, 0.0, 1.0);
   std::sort(xs.begin(), xs.end());
   double rank = p * static_cast<double>(xs.size() - 1);
   size_t lo = static_cast<size_t>(rank);

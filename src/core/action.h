@@ -68,6 +68,13 @@ struct UserAction {
   ActionType action = ActionType::kClick;
   EventTime timestamp = 0;
   Demographics demographics;
+  /// Wall-clock (MonoMicros) instant the action entered the system — stamped
+  /// at publish/spout time, carried through the topology untouched, and
+  /// subtracted at each store write to measure true event-to-store latency
+  /// (the paper's ~2s freshness claim). 0 = unstamped. Instrumentation only:
+  /// never an input to any algorithm, so determinism of the event-time axis
+  /// is unaffected.
+  uint64_t ingest_micros = 0;
 };
 
 /// Per-action-type rating weights (§4.1.2: "a browse behavior may

@@ -1,7 +1,6 @@
 #include "core/itemcf/parallel_cf.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
 #include "common/hash.h"
@@ -10,14 +9,10 @@
 
 namespace tencentrec::core {
 
+// Stage timing uses the shared monotonic clock from common/metrics.h.
 namespace {
 
-uint64_t NowMicros() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+uint64_t NowMicros() { return MonoMicros(); }
 
 }  // namespace
 
@@ -33,6 +28,15 @@ ParallelItemCf::ParallelItemCf(Options options) : options_(std::move(options)) {
     options_.cf.hoeffding_delta = 0.05;
   }
   hoeffding_ln_inv_delta_ = std::log(1.0 / options_.cf.hoeffding_delta);
+
+  if (MetricsEnabled() && !options_.metrics_scope.empty()) {
+    auto& reg = MetricRegistry::Default();
+    const std::string& scope = options_.metrics_scope;
+    user_queue_wait_ = reg.GetHistogram(scope + ".user-history.queue_wait_us");
+    user_service_ = reg.GetHistogram(scope + ".user-history.service_us");
+    pair_queue_wait_ = reg.GetHistogram(scope + ".count+sim.queue_wait_us");
+    pair_service_ = reg.GetHistogram(scope + ".count+sim.service_us");
+  }
 
   // All windowed state defers eviction to the drain barrier: shards run at
   // slightly different points in the stream, and eager eviction would
@@ -111,6 +115,7 @@ void ParallelItemCf::PushUserBatch(size_t shard_index) {
   UserMsg msg;
   msg.actions = std::move(pending_[shard_index]);
   pending_[shard_index].clear();
+  if (user_queue_wait_ != nullptr) msg.enqueue_micros = NowMicros();
   user_shards_[shard_index]->queue.Push(std::move(msg));
 }
 
@@ -189,6 +194,7 @@ void ParallelItemCf::UserWorker(UserShard* shard) {
       PairMsg msg;
       msg.deltas = std::move(out[p]);
       out[p].clear();
+      if (pair_queue_wait_ != nullptr) msg.enqueue_micros = NowMicros();
       pair_shards_[p]->queue.Push(std::move(msg));
     }
   };
@@ -201,12 +207,19 @@ void ParallelItemCf::UserWorker(UserShard* shard) {
       AckBarrier();
       continue;
     }
+    if (user_queue_wait_ != nullptr && msg->enqueue_micros != 0) {
+      user_queue_wait_->Record(t0 > msg->enqueue_micros
+                                   ? t0 - msg->enqueue_micros
+                                   : 0);
+    }
     for (const UserAction& action : msg->actions) {
       HandleAction(shard, action, &out);
     }
     shard->events += msg->actions.size();
     ++shard->batches;
-    shard->busy_micros += NowMicros() - t0;
+    const uint64_t elapsed = NowMicros() - t0;
+    shard->busy_micros += elapsed;
+    if (user_service_ != nullptr) user_service_->Record(elapsed);
   }
   // Queue closed mid-stream (shutdown without drain): discard buffers.
 }
@@ -238,6 +251,7 @@ void ParallelItemCf::HandleAction(UserShard* shard, const UserAction& action,
       PairMsg msg;
       msg.deltas = std::move(buf);
       buf.clear();
+      if (pair_queue_wait_ != nullptr) msg.enqueue_micros = NowMicros();
       pair_shards_[p]->queue.Push(std::move(msg));
     }
   }
@@ -254,10 +268,17 @@ void ParallelItemCf::PairWorker(PairShard* shard) {
       AckBarrier();
       continue;
     }
+    if (pair_queue_wait_ != nullptr && msg->enqueue_micros != 0) {
+      pair_queue_wait_->Record(t0 > msg->enqueue_micros
+                                   ? t0 - msg->enqueue_micros
+                                   : 0);
+    }
     for (const PairDelta& delta : msg->deltas) HandlePairDelta(shard, delta);
     shard->events += msg->deltas.size();
     ++shard->batches;
-    shard->busy_micros += NowMicros() - t0;
+    const uint64_t elapsed = NowMicros() - t0;
+    shard->busy_micros += elapsed;
+    if (pair_service_ != nullptr) pair_service_->Record(elapsed);
   }
 }
 

@@ -10,6 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/queue.h"
 #include "common/topk.h"
 #include "core/itemcf/item_cf.h"
@@ -61,6 +62,11 @@ class ParallelItemCf {
     /// Stripes for the shared itemCount table / per-item top-K tables.
     int count_stripes = 64;
     int list_stripes = 64;
+    /// Prefix for the executor's registry histograms
+    /// ("<scope>.<stage>.queue_wait_us" / ".service_us"). Empty disables
+    /// per-batch instrumentation for this instance even when the global
+    /// metrics switch is on.
+    std::string metrics_scope = "parallel_cf";
   };
 
   /// Per-stage execution counters for engine/monitor.
@@ -121,11 +127,15 @@ class ParallelItemCf {
   struct UserMsg {
     std::vector<UserAction> actions;
     bool flush = false;
+    /// MonoMicros at Push time (0 when instrumentation is off); the worker
+    /// subtracts it from its dequeue time to get queue-wait.
+    uint64_t enqueue_micros = 0;
   };
   struct PairMsg {
     std::vector<PairDelta> deltas;
     bool flush = false;
     EventTime watermark = 0;
+    uint64_t enqueue_micros = 0;
   };
 
   struct UserShard {
@@ -196,6 +206,14 @@ class ParallelItemCf {
 
   Options options_;
   double hoeffding_ln_inv_delta_ = 0.0;
+
+  /// Registry histograms, resolved once in the constructor; all null when
+  /// metrics are globally disabled or metrics_scope is empty, which reduces
+  /// the per-batch overhead to a null check.
+  LatencyHistogram* user_queue_wait_ = nullptr;
+  LatencyHistogram* user_service_ = nullptr;
+  LatencyHistogram* pair_queue_wait_ = nullptr;
+  LatencyHistogram* pair_service_ = nullptr;
 
   std::vector<std::unique_ptr<UserShard>> user_shards_;
   std::vector<std::unique_ptr<PairShard>> pair_shards_;

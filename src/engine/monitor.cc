@@ -1,11 +1,64 @@
 #include "engine/monitor.h"
 
+#include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 
 namespace tencentrec::engine {
 
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char line[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(line, sizeof(line), fmt, args);
+  va_end(args);
+  *out += line;
+}
+
+/// Escapes a string for use as a Prometheus label value or JSON string
+/// (the intersection of both rules covers our metric names).
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const MonitorSnapshot::LatencyRow* MonitorSnapshot::FindLatency(
+    const std::string& name) const {
+  for (const auto& row : latencies) {
+    if (row.name == name) return &row;
+  }
+  return nullptr;
+}
+
+const LatencyHistogram::Snapshot* MonitorSnapshot::ComponentLatency(
+    const std::string& component) const {
+  const LatencyRow* row =
+      FindLatency("topo." + app + "." + component + ".event_to_store_us");
+  return row == nullptr ? nullptr : &row->hist;
+}
+
 Result<MonitorSnapshot> CollectMonitorSnapshot(TencentRec* engine) {
   MonitorSnapshot snapshot;
+  snapshot.app = engine->options().app.app;
+  snapshot.wall_micros = MonoMicros();
 
   for (const auto& m : engine->last_metrics()) {
     snapshot.topology.push_back({m.component, m.tuples_executed,
@@ -47,12 +100,24 @@ Result<MonitorSnapshot> CollectMonitorSnapshot(TencentRec* engine) {
     if (!committed.ok()) continue;
     snapshot.ingestion_lag += *end - *committed;
   }
+
+  // Pull every registered instrument; the registry listings are sorted, so
+  // reports and exports are stable across collections.
+  MetricRegistry& reg = MetricRegistry::Default();
+  for (auto& [name, value] : reg.Counters()) {
+    snapshot.counters.push_back({name, value});
+  }
+  for (auto& [name, value] : reg.Gauges()) {
+    snapshot.gauges.push_back({name, value});
+  }
+  for (auto& [name, hist] : reg.Histograms()) {
+    snapshot.latencies.push_back({name, hist});
+  }
   return snapshot;
 }
 
 std::string FormatMonitorSnapshot(const MonitorSnapshot& snapshot) {
   std::string out;
-  char line[160];
 
   out += "== topology (last run) ==\n";
   for (const auto& row : snapshot.topology) {
@@ -60,16 +125,22 @@ std::string FormatMonitorSnapshot(const MonitorSnapshot& snapshot) {
         row.executed > 0 ? static_cast<double>(row.busy_micros) /
                                static_cast<double>(row.executed)
                          : 0.0;
-    std::snprintf(line, sizeof(line),
-                  "  %-16s executed=%-10llu emitted=%-10llu restarts=%-4llu "
-                  "busy=%llums mean=%.1fus\n",
-                  row.component.c_str(),
-                  static_cast<unsigned long long>(row.executed),
-                  static_cast<unsigned long long>(row.emitted),
-                  static_cast<unsigned long long>(row.restarts),
-                  static_cast<unsigned long long>(row.busy_micros / 1000),
-                  mean_us);
-    out += line;
+    Appendf(&out,
+            "  %-16s executed=%-10llu emitted=%-10llu restarts=%-4llu "
+            "busy=%llums mean=%.1fus",
+            row.component.c_str(),
+            static_cast<unsigned long long>(row.executed),
+            static_cast<unsigned long long>(row.emitted),
+            static_cast<unsigned long long>(row.restarts),
+            static_cast<unsigned long long>(row.busy_micros / 1000), mean_us);
+    if (const auto* e2s = snapshot.ComponentLatency(row.component);
+        e2s != nullptr && e2s->count > 0) {
+      Appendf(&out, " e2s[p50=%.0fus p95=%.0fus p99=%.0fus max=%lluus]",
+              e2s->Percentile(0.50), e2s->Percentile(0.95),
+              e2s->Percentile(0.99),
+              static_cast<unsigned long long>(e2s->max));
+    }
+    out += "\n";
   }
   if (!snapshot.pipeline.empty()) {
     out += "== parallel cf pipeline ==\n";
@@ -78,30 +149,245 @@ std::string FormatMonitorSnapshot(const MonitorSnapshot& snapshot) {
           row.events > 0 ? static_cast<double>(row.busy_micros) /
                                static_cast<double>(row.events)
                          : 0.0;
-      std::snprintf(line, sizeof(line),
-                    "  %-16s workers=%-3d events=%-10llu batches=%-8llu "
-                    "busy=%llums mean=%.1fus\n",
-                    row.stage.c_str(), row.workers,
-                    static_cast<unsigned long long>(row.events),
-                    static_cast<unsigned long long>(row.batches),
-                    static_cast<unsigned long long>(row.busy_micros / 1000),
-                    mean_us);
-      out += line;
+      Appendf(&out,
+              "  %-16s workers=%-3d events=%-10llu batches=%-8llu "
+              "busy=%llums mean=%.1fus",
+              row.stage.c_str(), row.workers,
+              static_cast<unsigned long long>(row.events),
+              static_cast<unsigned long long>(row.batches),
+              static_cast<unsigned long long>(row.busy_micros / 1000),
+              mean_us);
+      const auto* service = snapshot.FindLatency(
+          "parallel_cf." + snapshot.app + "." + row.stage + ".service_us");
+      if (service != nullptr && service->hist.count > 0) {
+        Appendf(&out, " service[p50=%.0fus p95=%.0fus p99=%.0fus]",
+                service->hist.Percentile(0.50),
+                service->hist.Percentile(0.95),
+                service->hist.Percentile(0.99));
+      }
+      out += "\n";
     }
   }
   out += "== tdstore ==\n";
   for (const auto& row : snapshot.store) {
-    std::snprintf(line, sizeof(line),
-                  "  server %-2d %-5s reads=%-10lld writes=%-10lld keys=%zu\n",
-                  row.server_id, row.down ? "DOWN" : "up",
-                  static_cast<long long>(row.reads),
-                  static_cast<long long>(row.writes), row.keys);
-    out += line;
+    Appendf(&out,
+            "  server %-2d %-5s reads=%-10lld writes=%-10lld keys=%zu\n",
+            row.server_id, row.down ? "DOWN" : "up",
+            static_cast<long long>(row.reads),
+            static_cast<long long>(row.writes), row.keys);
   }
-  std::snprintf(line, sizeof(line), "== tdaccess ==\n  ingestion lag: %lld\n",
-                static_cast<long long>(snapshot.ingestion_lag));
-  out += line;
+  Appendf(&out, "== tdaccess ==\n  ingestion lag: %lld\n",
+          static_cast<long long>(snapshot.ingestion_lag));
+  if (!snapshot.latencies.empty()) {
+    out += "== latency (us) ==\n";
+    for (const auto& row : snapshot.latencies) {
+      if (row.hist.count == 0) continue;
+      Appendf(&out,
+              "  %-44s count=%-8llu p50=%-8.0f p95=%-8.0f p99=%-8.0f "
+              "max=%llu\n",
+              row.name.c_str(),
+              static_cast<unsigned long long>(row.hist.count),
+              row.hist.Percentile(0.50), row.hist.Percentile(0.95),
+              row.hist.Percentile(0.99),
+              static_cast<unsigned long long>(row.hist.max));
+    }
+  }
   return out;
+}
+
+std::string ExportPrometheusText(const MonitorSnapshot& snapshot) {
+  std::string out;
+
+  out += "# HELP tencentrec_counter Cumulative event counts by instrument.\n";
+  out += "# TYPE tencentrec_counter counter\n";
+  for (const auto& row : snapshot.counters) {
+    Appendf(&out, "tencentrec_counter{name=\"%s\"} %llu\n",
+            Escape(row.name).c_str(),
+            static_cast<unsigned long long>(row.value));
+  }
+
+  out += "# HELP tencentrec_gauge Instantaneous values by instrument.\n";
+  out += "# TYPE tencentrec_gauge gauge\n";
+  for (const auto& row : snapshot.gauges) {
+    Appendf(&out, "tencentrec_gauge{name=\"%s\"} %lld\n",
+            Escape(row.name).c_str(), static_cast<long long>(row.value));
+  }
+  Appendf(&out, "tencentrec_gauge{name=\"engine.ingestion_lag\"} %lld\n",
+          static_cast<long long>(snapshot.ingestion_lag));
+
+  out += "# HELP tencentrec_store_ops_total TDStore ops by server.\n";
+  out += "# TYPE tencentrec_store_ops_total counter\n";
+  for (const auto& row : snapshot.store) {
+    Appendf(&out,
+            "tencentrec_store_ops_total{server=\"%d\",op=\"read\"} %lld\n",
+            row.server_id, static_cast<long long>(row.reads));
+    Appendf(&out,
+            "tencentrec_store_ops_total{server=\"%d\",op=\"write\"} %lld\n",
+            row.server_id, static_cast<long long>(row.writes));
+  }
+
+  out += "# HELP tencentrec_component_executed_total Tuples executed in the "
+         "last topology run.\n";
+  out += "# TYPE tencentrec_component_executed_total counter\n";
+  for (const auto& row : snapshot.topology) {
+    Appendf(&out,
+            "tencentrec_component_executed_total{component=\"%s\"} %llu\n",
+            Escape(row.component).c_str(),
+            static_cast<unsigned long long>(row.executed));
+  }
+
+  out += "# HELP tencentrec_latency_us Latency distributions in "
+         "microseconds.\n";
+  out += "# TYPE tencentrec_latency_us histogram\n";
+  for (const auto& row : snapshot.latencies) {
+    const std::string label = Escape(row.name);
+    uint64_t cumulative = 0;
+    for (int b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+      const uint64_t n = row.hist.buckets[static_cast<size_t>(b)];
+      if (n == 0) continue;  // sparse: only emit buckets that move the CDF
+      cumulative += n;
+      Appendf(&out,
+              "tencentrec_latency_us_bucket{name=\"%s\",le=\"%llu\"} %llu\n",
+              label.c_str(),
+              static_cast<unsigned long long>(
+                  LatencyHistogram::BucketUpperBound(b)),
+              static_cast<unsigned long long>(cumulative));
+    }
+    Appendf(&out,
+            "tencentrec_latency_us_bucket{name=\"%s\",le=\"+Inf\"} %llu\n",
+            label.c_str(), static_cast<unsigned long long>(row.hist.count));
+    Appendf(&out, "tencentrec_latency_us_sum{name=\"%s\"} %llu\n",
+            label.c_str(), static_cast<unsigned long long>(row.hist.sum));
+    Appendf(&out, "tencentrec_latency_us_count{name=\"%s\"} %llu\n",
+            label.c_str(), static_cast<unsigned long long>(row.hist.count));
+  }
+  return out;
+}
+
+std::string ExportJson(const MonitorSnapshot& snapshot) {
+  std::string out = "{";
+  Appendf(&out, "\"app\":\"%s\",", Escape(snapshot.app).c_str());
+  Appendf(&out, "\"wall_micros\":%llu,",
+          static_cast<unsigned long long>(snapshot.wall_micros));
+  Appendf(&out, "\"ingestion_lag\":%lld,",
+          static_cast<long long>(snapshot.ingestion_lag));
+
+  out += "\"topology\":[";
+  for (size_t i = 0; i < snapshot.topology.size(); ++i) {
+    const auto& row = snapshot.topology[i];
+    Appendf(&out,
+            "%s{\"component\":\"%s\",\"executed\":%llu,\"emitted\":%llu,"
+            "\"restarts\":%llu,\"busy_micros\":%llu}",
+            i == 0 ? "" : ",", Escape(row.component).c_str(),
+            static_cast<unsigned long long>(row.executed),
+            static_cast<unsigned long long>(row.emitted),
+            static_cast<unsigned long long>(row.restarts),
+            static_cast<unsigned long long>(row.busy_micros));
+  }
+  out += "],\"pipeline\":[";
+  for (size_t i = 0; i < snapshot.pipeline.size(); ++i) {
+    const auto& row = snapshot.pipeline[i];
+    Appendf(&out,
+            "%s{\"stage\":\"%s\",\"workers\":%d,\"events\":%llu,"
+            "\"batches\":%llu,\"busy_micros\":%llu}",
+            i == 0 ? "" : ",", Escape(row.stage).c_str(), row.workers,
+            static_cast<unsigned long long>(row.events),
+            static_cast<unsigned long long>(row.batches),
+            static_cast<unsigned long long>(row.busy_micros));
+  }
+  out += "],\"store\":[";
+  for (size_t i = 0; i < snapshot.store.size(); ++i) {
+    const auto& row = snapshot.store[i];
+    Appendf(&out,
+            "%s{\"server\":%d,\"down\":%s,\"reads\":%lld,\"writes\":%lld,"
+            "\"keys\":%zu}",
+            i == 0 ? "" : ",", row.server_id, row.down ? "true" : "false",
+            static_cast<long long>(row.reads),
+            static_cast<long long>(row.writes), row.keys);
+  }
+  out += "],\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    Appendf(&out, "%s\"%s\":%llu", i == 0 ? "" : ",",
+            Escape(snapshot.counters[i].name).c_str(),
+            static_cast<unsigned long long>(snapshot.counters[i].value));
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    Appendf(&out, "%s\"%s\":%lld", i == 0 ? "" : ",",
+            Escape(snapshot.gauges[i].name).c_str(),
+            static_cast<long long>(snapshot.gauges[i].value));
+  }
+  out += "},\"latencies\":{";
+  bool first = true;
+  for (const auto& row : snapshot.latencies) {
+    Appendf(&out,
+            "%s\"%s\":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,"
+            "\"max\":%llu,\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f}",
+            first ? "" : ",", Escape(row.name).c_str(),
+            static_cast<unsigned long long>(row.hist.count),
+            static_cast<unsigned long long>(row.hist.sum),
+            static_cast<unsigned long long>(
+                row.hist.count > 0 ? row.hist.min : 0),
+            static_cast<unsigned long long>(row.hist.max),
+            row.hist.Percentile(0.50), row.hist.Percentile(0.95),
+            row.hist.Percentile(0.99));
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+SnapshotDelta ComputeSnapshotDelta(const MonitorSnapshot& before,
+                                   const MonitorSnapshot& after) {
+  SnapshotDelta delta;
+  const uint64_t wall = after.wall_micros > before.wall_micros
+                            ? after.wall_micros - before.wall_micros
+                            : 0;
+  delta.wall_seconds = static_cast<double>(wall) / 1e6;
+  delta.lag_delta = after.ingestion_lag - before.ingestion_lag;
+  if (wall == 0) return delta;  // same instant: no meaningful rates
+
+  auto clamped = [](uint64_t later, uint64_t earlier) -> double {
+    return later > earlier ? static_cast<double>(later - earlier) : 0.0;
+  };
+
+  double executed = 0.0;
+  for (const auto& row : after.topology) {
+    uint64_t prior_executed = 0;
+    uint64_t prior_busy = 0;
+    for (const auto& b : before.topology) {
+      if (b.component == row.component) {
+        prior_executed = b.executed;
+        prior_busy = b.busy_micros;
+        break;
+      }
+    }
+    executed += clamped(row.executed, prior_executed);
+    delta.utilization.push_back(
+        {row.component,
+         clamped(row.busy_micros, prior_busy) / static_cast<double>(wall)});
+  }
+  delta.events_per_second = executed / delta.wall_seconds;
+
+  double reads = 0.0;
+  double writes = 0.0;
+  for (const auto& row : after.store) {
+    int64_t prior_reads = 0;
+    int64_t prior_writes = 0;
+    for (const auto& b : before.store) {
+      if (b.server_id == row.server_id) {
+        prior_reads = b.reads;
+        prior_writes = b.writes;
+        break;
+      }
+    }
+    reads += static_cast<double>(std::max<int64_t>(0, row.reads - prior_reads));
+    writes +=
+        static_cast<double>(std::max<int64_t>(0, row.writes - prior_writes));
+  }
+  delta.store_reads_per_second = reads / delta.wall_seconds;
+  delta.store_writes_per_second = writes / delta.wall_seconds;
+  return delta;
 }
 
 }  // namespace tencentrec::engine

@@ -4,14 +4,17 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "engine/tencentrec.h"
 
 namespace tencentrec::engine {
 
 /// The "Monitor" component of Fig. 9: a point-in-time operational snapshot
 /// of a TencentRec deployment — topology throughput from the last run,
-/// TDStore load and key counts per data server, and ingestion backlog on
-/// the TDAccess topic.
+/// TDStore load and key counts per data server, ingestion backlog on the
+/// TDAccess topic, and every instrument registered in the process-wide
+/// MetricRegistry (event-to-store latency per component, pipeline stage
+/// timings, store op latency, consumer staleness).
 struct MonitorSnapshot {
   struct ComponentRow {
     std::string component;
@@ -36,20 +39,82 @@ struct MonitorSnapshot {
     uint64_t batches = 0;
     uint64_t busy_micros = 0;
   };
+  /// One registry latency histogram, frozen at collection time. Percentiles
+  /// are computed from this snapshot so a single report is self-consistent.
+  struct LatencyRow {
+    std::string name;
+    LatencyHistogram::Snapshot hist;
+  };
+  struct CounterRow {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeRow {
+    std::string name;
+    int64_t value = 0;
+  };
 
+  /// App name the engine runs (keys the "topo.<app>.<component>.*"
+  /// histogram names back to topology rows).
+  std::string app;
   std::vector<ComponentRow> topology;
   std::vector<StoreRow> store;
   std::vector<PipelineRow> pipeline;
+  std::vector<LatencyRow> latencies;
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
   /// Messages published to the app topic that the processing group has not
   /// yet consumed (real-time lag).
   int64_t ingestion_lag = 0;
+  /// MonoMicros at collection time; lets two snapshots turn cumulative
+  /// totals into rates and busy time into utilization.
+  uint64_t wall_micros = 0;
+
+  /// The event-to-store latency histogram of `component`, or nullptr if it
+  /// never recorded (e.g. metrics disabled).
+  const LatencyHistogram::Snapshot* ComponentLatency(
+      const std::string& component) const;
+  const LatencyRow* FindLatency(const std::string& name) const;
 };
 
 /// Collects a snapshot from a running engine.
 Result<MonitorSnapshot> CollectMonitorSnapshot(TencentRec* engine);
 
-/// Renders a snapshot as a human-readable report.
+/// Renders a snapshot as a human-readable report (topology rows annotated
+/// with p50/p95/p99 event-to-store latency where available, plus a full
+/// "== latency (us) ==" section over every registry histogram).
 std::string FormatMonitorSnapshot(const MonitorSnapshot& snapshot);
+
+/// Prometheus text exposition (v0.0.4): counters, gauges, and cumulative
+/// `le`-bucketed histograms, all keyed by a `name` label so the dotted
+/// registry names survive unmangled.
+std::string ExportPrometheusText(const MonitorSnapshot& snapshot);
+
+/// Machine-readable JSON document of the full snapshot.
+std::string ExportJson(const MonitorSnapshot& snapshot);
+
+/// Rates derived from two snapshots of the same engine taken `wall_seconds`
+/// apart. Cumulative counters that went backwards (a topology rerun resets
+/// its per-run rows) clamp to zero rather than reporting negative rates.
+struct SnapshotDelta {
+  double wall_seconds = 0.0;
+  /// Tuples executed across all topology components per second.
+  double events_per_second = 0.0;
+  double store_reads_per_second = 0.0;
+  double store_writes_per_second = 0.0;
+  int64_t lag_delta = 0;
+
+  struct Utilization {
+    std::string component;
+    /// Busy time accrued between the snapshots divided by wall time; can
+    /// exceed 1.0 for components running multiple instances.
+    double busy_over_wall = 0.0;
+  };
+  std::vector<Utilization> utilization;
+};
+
+SnapshotDelta ComputeSnapshotDelta(const MonitorSnapshot& before,
+                                   const MonitorSnapshot& after);
 
 }  // namespace tencentrec::engine
 

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "topo/action_codec.h"
 #include "topo/blob_codec.h"
 #include "topo/spouts.h"
@@ -47,6 +48,7 @@ Status TencentRec::Init() {
     popts.cf.hoeffding_delta = options_.app.hoeffding_delta;
     popts.user_shards = options_.mirror_user_shards;
     popts.pair_shards = options_.mirror_pair_shards;
+    popts.metrics_scope = "parallel_cf." + options_.app.app;
     parallel_cf_ = std::make_unique<core::ParallelItemCf>(popts);
   }
   return Status::OK();
@@ -158,9 +160,15 @@ Status TencentRec::ProcessBatch(
 Status TencentRec::PublishActions(
     const std::vector<core::UserAction>& actions) {
   for (const auto& action : actions) {
-    TR_RETURN_IF_ERROR(producer_->Send(std::to_string(action.user),
-                                       topo::EncodeActionPayload(action),
-                                       action.timestamp));
+    // Stamp at the application boundary so the trace spans the full bus +
+    // topology path, not just the spout onward.
+    core::UserAction stamped = action;
+    if (stamped.ingest_micros == 0 && MetricsEnabled()) {
+      stamped.ingest_micros = MonoMicros();
+    }
+    TR_RETURN_IF_ERROR(producer_->Send(std::to_string(stamped.user),
+                                       topo::EncodeActionPayload(stamped),
+                                       stamped.timestamp));
   }
   return Status::OK();
 }

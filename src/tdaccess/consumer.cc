@@ -9,7 +9,15 @@ Consumer::Consumer(Cluster* cluster, std::string topic, std::string group,
     : cluster_(cluster),
       topic_(std::move(topic)),
       group_(std::move(group)),
-      member_id_(std::move(member_id)) {}
+      member_id_(std::move(member_id)) {
+  if (MetricsEnabled()) {
+    auto& reg = MetricRegistry::Default();
+    const std::string scope = "tdaccess." + topic_ + "." + group_;
+    lag_gauge_ = reg.GetGauge(scope + ".lag");
+    consumed_ = reg.GetCounter(scope + ".consumed");
+    poll_us_ = reg.GetHistogram(scope + ".poll_us");
+  }
+}
 
 Consumer::~Consumer() {
   if (subscribed_) {
@@ -63,6 +71,7 @@ Status Consumer::SeekToBeginning() {
 
 Result<std::vector<ConsumedMessage>> Consumer::Poll(size_t max_messages) {
   if (!subscribed_) return Status::FailedPrecondition("not subscribed");
+  ScopedLatencyTimer timer(poll_us_);
   TR_RETURN_IF_ERROR(SyncAssignment());
   std::vector<ConsumedMessage> out;
   for (int p : assigned_) {
@@ -90,6 +99,12 @@ Result<std::vector<ConsumedMessage>> Consumer::Poll(size_t max_messages) {
       cm.offset = pos++;
       out.push_back(std::move(cm));
     }
+  }
+  if (consumed_ != nullptr) consumed_->Add(out.size());
+  // Lag after this poll = how stale the pipeline is if it stopped now.
+  if (lag_gauge_ != nullptr) {
+    auto lag = Lag();
+    if (lag.ok()) lag_gauge_->Set(*lag);
   }
   return out;
 }

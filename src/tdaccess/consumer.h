@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "tdaccess/cluster.h"
 
@@ -56,6 +57,12 @@ class Consumer {
   std::vector<int> assigned_;
   std::map<int, Offset> positions_;
   TopicRoute route_;
+
+  /// Staleness instruments, scoped per (topic, group) so multiple pipelines
+  /// reading the same bus stay distinguishable. Null when metrics are off.
+  Gauge* lag_gauge_ = nullptr;
+  Counter* consumed_ = nullptr;
+  LatencyHistogram* poll_us_ = nullptr;
 };
 
 }  // namespace tencentrec::tdaccess

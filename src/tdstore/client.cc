@@ -47,6 +47,7 @@ struct StatusResult {
 }  // namespace
 
 Status Client::Put(std::string_view key, std::string_view value) {
+  ScopedLatencyTimer timer(write_us_);
   auto r = WithHost(key, [&](DataServer* host, int instance) -> StatusResult {
     return host->Put(instance, key, value);
   });
@@ -54,6 +55,7 @@ Status Client::Put(std::string_view key, std::string_view value) {
 }
 
 Result<std::string> Client::Get(std::string_view key) {
+  ScopedLatencyTimer timer(read_us_);
   return WithHost(key,
                   [&](DataServer* host, int instance) -> Result<std::string> {
                     return host->Get(instance, key);
@@ -61,6 +63,7 @@ Result<std::string> Client::Get(std::string_view key) {
 }
 
 Status Client::Delete(std::string_view key) {
+  ScopedLatencyTimer timer(write_us_);
   auto r = WithHost(key, [&](DataServer* host, int instance) -> StatusResult {
     return host->Delete(instance, key);
   });
@@ -68,12 +71,14 @@ Status Client::Delete(std::string_view key) {
 }
 
 Result<double> Client::IncrDouble(std::string_view key, double delta) {
+  ScopedLatencyTimer timer(write_us_);
   return WithHost(key, [&](DataServer* host, int instance) -> Result<double> {
     return host->IncrDouble(instance, key, delta);
   });
 }
 
 Result<int64_t> Client::IncrInt64(std::string_view key, int64_t delta) {
+  ScopedLatencyTimer timer(write_us_);
   return WithHost(key, [&](DataServer* host, int instance) -> Result<int64_t> {
     return host->IncrInt64(instance, key, delta);
   });

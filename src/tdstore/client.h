@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "tdstore/cluster.h"
 #include "tdstore/codec.h"
@@ -20,7 +21,16 @@ namespace tencentrec::tdstore {
 /// instance's current host.
 class Client {
  public:
-  explicit Client(Cluster* cluster) : cluster_(cluster) {}
+  explicit Client(Cluster* cluster) : cluster_(cluster) {
+    // All clients share the two process-wide op histograms — the paper's
+    // storage tier is a shared service, so per-op latency is a service
+    // property, not a per-caller one. Null when metrics are disabled.
+    if (MetricsEnabled()) {
+      auto& reg = MetricRegistry::Default();
+      read_us_ = reg.GetHistogram("tdstore.client.read_us");
+      write_us_ = reg.GetHistogram("tdstore.client.write_us");
+    }
+  }
 
   Status Put(std::string_view key, std::string_view value);
   Result<std::string> Get(std::string_view key);
@@ -64,6 +74,8 @@ class Client {
   RouteTable route_;
   bool have_route_ = false;
   int64_t route_refreshes_ = 0;
+  LatencyHistogram* read_us_ = nullptr;
+  LatencyHistogram* write_us_ = nullptr;
 };
 
 }  // namespace tencentrec::tdstore

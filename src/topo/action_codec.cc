@@ -6,7 +6,7 @@ namespace tencentrec::topo {
 
 const std::vector<std::string>& ActionFields() {
   static const std::vector<std::string>* kFields = new std::vector<std::string>{
-      "user", "item", "action", "ts", "gender", "age", "region"};
+      "user", "item", "action", "ts", "gender", "age", "region", "ingest"};
   return *kFields;
 }
 
@@ -23,6 +23,7 @@ tstorm::Tuple ActionToTuple(const core::UserAction& action) {
       static_cast<int64_t>(action.demographics.gender),
       static_cast<int64_t>(action.demographics.age_band),
       static_cast<int64_t>(action.demographics.region),
+      static_cast<int64_t>(action.ingest_micros),
   });
 }
 
@@ -53,11 +54,13 @@ Result<core::UserAction> ActionFromTuple(const tstorm::Tuple& tuple) {
       static_cast<core::Demographics::Gender>(gender);
   action.demographics.age_band = static_cast<uint8_t>(tuple.GetInt(5));
   action.demographics.region = static_cast<uint16_t>(tuple.GetInt(6));
+  action.ingest_micros = static_cast<uint64_t>(tuple.GetInt(7));
   return action;
 }
 
 namespace {
-constexpr size_t kPayloadSize = 8 + 8 + 1 + 8 + 1 + 1 + 2;
+constexpr size_t kLegacyPayloadSize = 8 + 8 + 1 + 8 + 1 + 1 + 2;
+constexpr size_t kPayloadSize = kLegacyPayloadSize + 8;  // + ingest stamp
 }  // namespace
 
 std::string EncodeActionPayload(const core::UserAction& action) {
@@ -73,6 +76,7 @@ std::string EncodeActionPayload(const core::UserAction& action) {
   uint8_t gender = static_cast<uint8_t>(action.demographics.gender);
   uint8_t age = action.demographics.age_band;
   uint16_t region = action.demographics.region;
+  uint64_t ingest = action.ingest_micros;
   put(&user, 8);
   put(&item, 8);
   put(&type, 1);
@@ -80,11 +84,13 @@ std::string EncodeActionPayload(const core::UserAction& action) {
   put(&gender, 1);
   put(&age, 1);
   put(&region, 2);
+  put(&ingest, 8);
   return out;
 }
 
 Result<core::UserAction> DecodeActionPayload(std::string_view payload) {
-  if (payload.size() != kPayloadSize) {
+  if (payload.size() != kPayloadSize &&
+      payload.size() != kLegacyPayloadSize) {
     return Status::Corruption("action payload: bad size");
   }
   size_t pos = 0;
@@ -96,6 +102,7 @@ Result<core::UserAction> DecodeActionPayload(std::string_view payload) {
   int64_t user, item, ts;
   uint8_t type, gender, age;
   uint16_t region;
+  uint64_t ingest = 0;
   get(&user, 8);
   get(&item, 8);
   get(&type, 1);
@@ -103,6 +110,7 @@ Result<core::UserAction> DecodeActionPayload(std::string_view payload) {
   get(&gender, 1);
   get(&age, 1);
   get(&region, 2);
+  if (payload.size() == kPayloadSize) get(&ingest, 8);
   if (type >= core::kNumActionTypes) {
     return Status::Corruption("action payload: bad action type");
   }
@@ -116,6 +124,7 @@ Result<core::UserAction> DecodeActionPayload(std::string_view payload) {
   action.demographics.gender = static_cast<core::Demographics::Gender>(gender);
   action.demographics.age_band = age;
   action.demographics.region = region;
+  action.ingest_micros = ingest;
   return action;
 }
 

@@ -12,7 +12,9 @@
 namespace tencentrec::topo {
 
 /// Field names of an action tuple, in order: user, item, action, ts,
-/// gender, age, region. The canonical schema every action stream declares.
+/// gender, age, region, ingest. The canonical schema every action stream
+/// declares. `ingest` is the wall-clock ingest stamp (UserAction::
+/// ingest_micros) riding along for end-to-end latency tracing.
 const std::vector<std::string>& ActionFields();
 
 tstorm::StreamDecl ActionStreamDecl(const std::string& stream_name);
@@ -23,7 +25,10 @@ tstorm::Tuple ActionToTuple(const core::UserAction& action);
 /// Stream tuple -> UserAction. Corruption on arity/type mismatch.
 Result<core::UserAction> ActionFromTuple(const tstorm::Tuple& tuple);
 
-/// UserAction <-> TDAccess message payload (fixed 29-byte binary record).
+/// UserAction <-> TDAccess message payload (fixed 37-byte binary record:
+/// the original 29 bytes plus the 8-byte ingest stamp). Decode also accepts
+/// the legacy 29-byte record (ingest = 0) so disk-cached history written by
+/// older builds stays replayable.
 std::string EncodeActionPayload(const core::UserAction& action);
 Result<core::UserAction> DecodeActionPayload(std::string_view payload);
 

@@ -48,6 +48,13 @@ void StoreBolt::Prepare(const tstorm::TaskContext& ctx) {
   cache_ = std::make_unique<StoreCache>(client_.get(),
                                         app_->options.cache_capacity,
                                         app_->options.enable_cache);
+  // Resolve the event-to-store histogram once; a null pointer makes every
+  // RecordEventToStore a branch-and-return with no clock read.
+  e2s_ = MetricsEnabled()
+             ? MetricRegistry::Default().GetHistogram(
+                   "topo." + app_->options.app + "." + ctx.component_name +
+                   ".event_to_store_us")
+             : nullptr;
 }
 
 Result<double> StoreBolt::WindowSum(
@@ -92,6 +99,7 @@ void UserHistoryBolt::Execute(const tstorm::Tuple& input,
   (void)source;
   auto action = ActionFromTuple(input);
   if (!action.ok()) return;
+  const auto ingest = static_cast<int64_t>(action->ingest_micros);
 
   // Demographic path (multi-hash stage 1 -> 2 handoff): popularity weight
   // per action, routed by (group, item).
@@ -101,11 +109,11 @@ void UserHistoryBolt::Execute(const tstorm::Tuple& input,
       const auto group =
           static_cast<int64_t>(core::DemographicGroup(action->demographics));
       out.EmitTo(2, tstorm::Tuple::Of({group, action->item, w,
-                                       action->timestamp}));
+                                       action->timestamp, ingest}));
       if (group != 0) {
         out.EmitTo(2, tstorm::Tuple::Of({static_cast<int64_t>(0),
                                          action->item, w,
-                                         action->timestamp}));
+                                         action->timestamp, ingest}));
       }
     }
   }
@@ -137,16 +145,17 @@ void UserHistoryBolt::Execute(const tstorm::Tuple& input,
     TR_LOG(kError, "user history write failed: %s", put.ToString().c_str());
     return;
   }
+  RecordEventToStore(action->ingest_micros);
 
   if (update.rating_delta > 0.0) {
     out.EmitTo(0, tstorm::Tuple::Of({update.item, update.rating_delta,
-                                     action->timestamp}));
+                                     action->timestamp, ingest}));
   }
   for (const auto& pair : update.pairs) {
     const core::ItemId lo = std::min(update.item, pair.other);
     const core::ItemId hi = std::max(update.item, pair.other);
     out.EmitTo(1, tstorm::Tuple::Of({lo, hi, pair.co_rating_delta,
-                                     action->timestamp}));
+                                     action->timestamp, ingest}));
   }
 }
 
@@ -159,15 +168,24 @@ void ItemCountBolt::Execute(const tstorm::Tuple& input,
   const core::ItemId item = input.GetInt(0);
   const double delta = input.GetDouble(1);
   const EventTime ts = input.GetInt(2);
+  const auto ingest = static_cast<uint64_t>(input.GetInt(3));
   const std::string key = keys().ItemCount(app_->SessionOf(ts), item);
   if (options().enable_combiner) {
     combiner_.Add(key, delta);
+    // The delta reaches the store only at the next flush; remember the
+    // oldest buffered stamp so the flush records an honest latency.
+    if (ingest != 0 &&
+        (oldest_pending_ingest_ == 0 || ingest < oldest_pending_ingest_)) {
+      oldest_pending_ingest_ = ingest;
+    }
   } else {
     auto r = cache_->AddDouble(key, delta);
     if (!r.ok()) {
       TR_LOG(kError, "itemCount update failed: %s",
              r.status().ToString().c_str());
+      return;
     }
+    RecordEventToStore(ingest);
   }
   (void)out;
 }
@@ -179,7 +197,10 @@ void ItemCountBolt::Tick(tstorm::OutputCollector& out) {
   });
   if (!s.ok()) {
     TR_LOG(kError, "itemCount flush failed: %s", s.ToString().c_str());
+    return;
   }
+  RecordEventToStore(oldest_pending_ingest_);
+  oldest_pending_ingest_ = 0;
 }
 
 // --- CfPairBolt -------------------------------------------------------------
@@ -199,6 +220,7 @@ void CfPairBolt::Execute(const tstorm::Tuple& input,
   const core::ItemId hi = input.GetInt(1);
   const double co_delta = input.GetDouble(2);
   const EventTime ts = input.GetInt(3);
+  const int64_t ingest = input.GetInt(4);
 
   // Algorithm 1, line 3–5: pruned pairs are skipped outright. The flag is
   // monotone (never unset), so caching it is safe.
@@ -224,6 +246,7 @@ void CfPairBolt::Execute(const tstorm::Tuple& input,
     return;
   }
   ++pair_updates_;
+  RecordEventToStore(static_cast<uint64_t>(ingest));
 
   // Read the windowed sums and combine into the new similarity (Eq. 5/10).
   // itemCounts are maintained by ItemCountBolt; the statistics/computation
@@ -249,8 +272,8 @@ void CfPairBolt::Execute(const tstorm::Tuple& input,
     sim = *pc_sum / (std::sqrt(*ic_lo) * std::sqrt(*ic_hi));
   }
 
-  out.EmitTo(0, tstorm::Tuple::Of({lo, hi, sim}));
-  out.EmitTo(0, tstorm::Tuple::Of({hi, lo, sim}));
+  out.EmitTo(0, tstorm::Tuple::Of({lo, hi, sim, ingest}));
+  out.EmitTo(0, tstorm::Tuple::Of({hi, lo, sim, ingest}));
 
   if (!options().enable_pruning) return;
 
@@ -315,6 +338,7 @@ void SimilarListBolt::Execute(const tstorm::Tuple& input,
     TR_LOG(kError, "similar list write failed: %s", s.ToString().c_str());
     return;
   }
+  if (!is_prune) RecordEventToStore(static_cast<uint64_t>(input.GetInt(3)));
   // Publish the admission threshold for the pruning stage: the K-th best
   // score once the list is full, else 0 (everything admissible).
   const double threshold =
@@ -337,6 +361,7 @@ void GroupCountBolt::Execute(const tstorm::Tuple& input,
   const core::ItemId item = input.GetInt(1);
   const double delta = input.GetDouble(2);
   const EventTime ts = input.GetInt(3);
+  const int64_t ingest = input.GetInt(4);
   latest_ts_ = std::max(latest_ts_, ts);
 
   const std::string key = keys().GroupHot(static_cast<core::GroupId>(group),
@@ -344,10 +369,16 @@ void GroupCountBolt::Execute(const tstorm::Tuple& input,
   if (options().enable_combiner) {
     combiner_.Add(key, delta);
     touched_.insert({group, item});
+    const auto stamp = static_cast<uint64_t>(ingest);
+    if (stamp != 0 &&
+        (oldest_pending_ingest_ == 0 || stamp < oldest_pending_ingest_)) {
+      oldest_pending_ingest_ = stamp;
+    }
   } else {
     auto r = cache_->AddDouble(key, delta);
     if (!r.ok()) return;
-    out.Emit(tstorm::Tuple::Of({group, item, ts}));
+    RecordEventToStore(static_cast<uint64_t>(ingest));
+    out.Emit(tstorm::Tuple::Of({group, item, ts, ingest}));
   }
 }
 
@@ -359,8 +390,11 @@ void GroupCountBolt::Tick(tstorm::OutputCollector& out) {
     TR_LOG(kError, "group count flush failed: %s", s.ToString().c_str());
     return;
   }
+  RecordEventToStore(oldest_pending_ingest_);
+  oldest_pending_ingest_ = 0;
   for (const auto& [group, item] : touched_) {
-    out.Emit(tstorm::Tuple::Of({group, item, latest_ts_}));
+    out.Emit(tstorm::Tuple::Of({group, item, latest_ts_,
+                                static_cast<int64_t>(0)}));
   }
   touched_.clear();
 }
@@ -402,7 +436,9 @@ void HotListBolt::Execute(const tstorm::Tuple& input,
   Status s = cache_->Put(key, EncodeScoredList(list));
   if (!s.ok()) {
     TR_LOG(kError, "hot list write failed: %s", s.ToString().c_str());
+    return;
   }
+  RecordEventToStore(static_cast<uint64_t>(input.GetInt(3)));
 }
 
 // --- CtrStatsBolt -----------------------------------------------------------
@@ -431,6 +467,15 @@ void CtrStatsBolt::Execute(const tstorm::Tuple& input,
       if (!r.ok()) return;
     }
   }
+  if (options().enable_combiner) {
+    const uint64_t stamp = action->ingest_micros;
+    if (stamp != 0 &&
+        (oldest_pending_ingest_ == 0 || stamp < oldest_pending_ingest_)) {
+      oldest_pending_ingest_ = stamp;
+    }
+  } else {
+    RecordEventToStore(action->ingest_micros);
+  }
 }
 
 void CtrStatsBolt::Tick(tstorm::OutputCollector& out) {
@@ -440,7 +485,10 @@ void CtrStatsBolt::Tick(tstorm::OutputCollector& out) {
   });
   if (!s.ok()) {
     TR_LOG(kError, "ctr flush failed: %s", s.ToString().c_str());
+    return;
   }
+  RecordEventToStore(oldest_pending_ingest_);
+  oldest_pending_ingest_ = 0;
 }
 
 // --- CbProfileBolt ----------------------------------------------------------
@@ -502,7 +550,9 @@ void CbProfileBolt::Execute(const tstorm::Tuple& input,
   Status s = cache_->Put(key, EncodeContentProfile(profile));
   if (!s.ok()) {
     TR_LOG(kError, "profile write failed: %s", s.ToString().c_str());
+    return;
   }
+  RecordEventToStore(action->ingest_micros);
 }
 
 // --- ResultStorageBolt ------------------------------------------------------
@@ -517,6 +567,10 @@ void ResultStorageBolt::Execute(const tstorm::Tuple& input,
   TouchedUser& t = pending_[action->user];
   t.demographics = action->demographics;
   t.ts = std::max(t.ts, action->timestamp);
+  if (t.ingest_micros == 0 ||
+      (action->ingest_micros != 0 && action->ingest_micros < t.ingest_micros)) {
+    t.ingest_micros = action->ingest_micros;
+  }
 }
 
 void ResultStorageBolt::Tick(tstorm::OutputCollector& out) {
@@ -529,7 +583,11 @@ void ResultStorageBolt::Tick(tstorm::OutputCollector& out) {
                                 touched.ts);
     if (!recs.ok()) continue;
     Status s = client_->Put(keys().Results(user), EncodeScoredList(*recs));
-    if (s.ok()) ++results_written_;
+    if (!s.ok()) continue;
+    ++results_written_;
+    // Event -> final recommendation blob: the paper's headline freshness
+    // number, measured from the oldest action folded into this refresh.
+    RecordEventToStore(touched.ingest_micros);
   }
   pending_.clear();
 }

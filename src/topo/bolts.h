@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "tdstore/client.h"
 #include "topo/action_codec.h"
 #include "topo/app.h"
@@ -42,10 +43,22 @@ class StoreBolt : public tstorm::IBolt {
       const std::function<std::string(int64_t session)>& key_of,
       EventTime now, bool use_cache);
 
+  /// Records `now - ingest_micros` against this component's event-to-store
+  /// histogram ("topo.<app>.<component>.event_to_store_us"). Call right
+  /// after the derived state lands in TDStore. No-op for unstamped tuples
+  /// (ingest == 0) or when metrics were disabled at Prepare time, so the
+  /// hot path pays nothing but this branch.
+  void RecordEventToStore(uint64_t ingest_micros) {
+    if (e2s_ == nullptr || ingest_micros == 0) return;
+    const uint64_t now = MonoMicros();
+    e2s_->Record(now > ingest_micros ? now - ingest_micros : 0);
+  }
+
   const AppContext* app_;
   tstorm::TaskContext ctx_;
   std::unique_ptr<tdstore::Client> client_;
   std::unique_ptr<StoreCache> cache_;
+  LatencyHistogram* e2s_ = nullptr;
 };
 
 /// Preprocessing layer (Fig. 6): parses and validates raw action tuples,
@@ -69,10 +82,11 @@ class PretreatmentBolt : public StoreBolt {
 
 /// Layer 1 of the multi-layer CF (Fig. 4): grouped by user id, owns the
 /// user's behaviour history in TDStore, turns each action into ∆rating and
-/// ∆co-rating tuples (§4.1.3), and fans them out:
-///   "item_delta"  (item, ∆r, ts)          -> ItemCountBolt  [by item]
-///   "pair_delta"  (lo, hi, ∆co, ts)       -> CfPairBolt     [by pair]
-///   "group_delta" (group, item, w, ts)    -> GroupCountBolt [by group,item]
+/// ∆co-rating tuples (§4.1.3), and fans them out (every derived stream
+/// carries the source action's ingest stamp for latency tracing):
+///   "item_delta"  (item, ∆r, ts, ingest)       -> ItemCountBolt  [by item]
+///   "pair_delta"  (lo, hi, ∆co, ts, ingest)    -> CfPairBolt     [by pair]
+///   "group_delta" (group, item, w, ts, ingest) -> GroupCountBolt [by g,item]
 /// The group_delta hop is the multi-hash technique of §5.4: demographic
 /// counters are keyed by group, not user, so they take a second hash stage
 /// instead of conflicting writes from user-grouped workers.
@@ -82,9 +96,9 @@ class UserHistoryBolt : public StoreBolt {
 
   std::vector<tstorm::StreamDecl> DeclareOutputs() const override {
     return {
-        {"item_delta", {"item", "delta", "ts"}},
-        {"pair_delta", {"lo", "hi", "delta", "ts"}},
-        {"group_delta", {"group", "item", "delta", "ts"}},
+        {"item_delta", {"item", "delta", "ts", "ingest"}},
+        {"pair_delta", {"lo", "hi", "delta", "ts", "ingest"}},
+        {"group_delta", {"group", "item", "delta", "ts", "ingest"}},
     };
   }
 
@@ -106,6 +120,9 @@ class ItemCountBolt : public StoreBolt {
 
  private:
   Combiner combiner_;
+  /// Oldest ingest stamp buffered in the combiner; its delta is recorded
+  /// once per flush, when those counts actually reach the store.
+  uint64_t oldest_pending_ingest_ = 0;
 };
 
 /// Layer 2b + 3 (Fig. 4, Algorithm 1): grouped by item pair — the key
@@ -114,15 +131,15 @@ class ItemCountBolt : public StoreBolt {
 /// scaled". Updates pairCount_w, computes the new similarity from windowed
 /// counts (Eq. 5/10), maintains the pair's Hoeffding state (n_ij, pruned
 /// flag; Eq. 9) and emits:
-///   "sim_update" (item, other, sim)  x2   -> SimilarListBolt [by item]
-///   "prune"      (item, other)      x2    -> SimilarListBolt [by item]
+///   "sim_update" (item, other, sim, ingest) x2 -> SimilarListBolt [by item]
+///   "prune"      (item, other)              x2 -> SimilarListBolt [by item]
 class CfPairBolt : public StoreBolt {
  public:
   explicit CfPairBolt(const AppContext* app) : StoreBolt(app) {}
 
   std::vector<tstorm::StreamDecl> DeclareOutputs() const override {
     return {
-        {"sim_update", {"item", "other", "sim"}},
+        {"sim_update", {"item", "other", "sim", "ingest"}},
         {"prune", {"item", "other"}},
     };
   }
@@ -165,13 +182,15 @@ class SimilarListBolt : public StoreBolt {
 /// DB statistics: grouped by (group, item), accumulates windowed group
 /// popularity counts through the combiner, then notifies the hot-list
 /// stage:
-///   "hot_touch" (group, item, ts) -> HotListBolt [by group]
+///   "hot_touch" (group, item, ts, ingest) -> HotListBolt [by group]
+/// Combiner-path touches flush at Tick, after the source stamps have been
+/// batched away, so those emit ingest = 0 (untraced).
 class GroupCountBolt : public StoreBolt {
  public:
   explicit GroupCountBolt(const AppContext* app) : StoreBolt(app) {}
 
   std::vector<tstorm::StreamDecl> DeclareOutputs() const override {
-    return {{"hot_touch", {"group", "item", "ts"}}};
+    return {{"hot_touch", {"group", "item", "ts", "ingest"}}};
   }
 
   void Execute(const tstorm::Tuple& input, const tstorm::TupleSource& source,
@@ -184,6 +203,7 @@ class GroupCountBolt : public StoreBolt {
   Combiner combiner_;
   std::set<std::pair<int64_t, int64_t>> touched_;  ///< (group, item)
   EventTime latest_ts_ = 0;
+  uint64_t oldest_pending_ingest_ = 0;
 };
 
 /// Maintains each demographic group's hot-items top-K blob (grouped by
@@ -213,6 +233,7 @@ class CtrStatsBolt : public StoreBolt {
 
  private:
   Combiner combiner_;
+  uint64_t oldest_pending_ingest_ = 0;
 };
 
 /// CB statistics (grouped by user): folds actions into the user's decayed
@@ -249,6 +270,9 @@ class ResultStorageBolt : public StoreBolt {
   struct TouchedUser {
     core::Demographics demographics;
     EventTime ts = 0;
+    /// Oldest unserved ingest stamp — the pessimistic bound on how long
+    /// this user's freshest recommendation has been pending.
+    uint64_t ingest_micros = 0;
   };
   std::unordered_map<int64_t, TouchedUser> pending_;
   int64_t results_written_ = 0;

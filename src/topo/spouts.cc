@@ -30,6 +30,11 @@ bool TdAccessActionSpout::NextBatch(tstorm::OutputCollector& out) {
       ++decode_errors_;
       continue;
     }
+    // Legacy payloads (and producers that predate stamping) arrive with
+    // ingest 0; stamp at the spout so the topology leg is still traced.
+    if (action->ingest_micros == 0 && MetricsEnabled()) {
+      action->ingest_micros = MonoMicros();
+    }
     out.Emit(ActionToTuple(*action));
   }
   return true;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.h"
 #include "tdaccess/consumer.h"
 #include "topo/action_codec.h"
 
@@ -31,7 +32,13 @@ class VectorActionSpout : public tstorm::ISpout {
   bool NextBatch(tstorm::OutputCollector& out) override {
     size_t emitted = 0;
     while (next_ < actions_->size() && emitted < batch_size_) {
-      out.Emit(ActionToTuple((*actions_)[next_]));
+      core::UserAction action = (*actions_)[next_];
+      // Simulation feeds enter the system here; stamp them unless the
+      // driver already did (e.g. replaying pre-stamped publish traffic).
+      if (action.ingest_micros == 0 && MetricsEnabled()) {
+        action.ingest_micros = MonoMicros();
+      }
+      out.Emit(ActionToTuple(action));
       next_ += stride_;
       ++emitted;
     }

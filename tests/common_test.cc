@@ -6,6 +6,7 @@
 #include "common/clock.h"
 #include "common/crc32.h"
 #include "common/hash.h"
+#include "common/metrics.h"
 #include "common/queue.h"
 #include "common/random.h"
 #include "common/stats.h"
@@ -303,6 +304,120 @@ TEST(StatsTest, Percentile) {
   EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(Percentile(xs, 1.0), 10.0);
   EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 5.5);
+}
+
+TEST(StatsTest, PercentileSingleElementAndClamping) {
+  EXPECT_DOUBLE_EQ(Percentile({42.0}, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile({42.0}, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile({42.0}, 1.0), 42.0);
+  // Out-of-range p clamps instead of reading past the data.
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0}, 1.5), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0}, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+}
+
+TEST(StatsTest, MergeMatchesBulkAdd) {
+  // Chan et al.'s parallel combine must agree with streaming all samples
+  // through one accumulator.
+  std::vector<double> xs;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.NextDouble() * 100.0 - 50.0);
+
+  RunningStat bulk;
+  for (double x : xs) bulk.Add(x);
+
+  RunningStat a, b, c;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).Add(xs[i]);
+  }
+  RunningStat merged;
+  merged.Merge(a);
+  merged.Merge(b);
+  merged.Merge(c);
+
+  EXPECT_EQ(merged.count(), bulk.count());
+  EXPECT_NEAR(merged.mean(), bulk.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), bulk.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(merged.min(), bulk.min());
+  EXPECT_DOUBLE_EQ(merged.max(), bulk.max());
+}
+
+TEST(StatsTest, MergeEmptySides) {
+  RunningStat empty, filled;
+  filled.Add(3.0);
+  filled.Add(5.0);
+
+  RunningStat lhs = filled;
+  lhs.Merge(empty);  // no-op
+  EXPECT_EQ(lhs.count(), 2);
+  EXPECT_DOUBLE_EQ(lhs.mean(), 4.0);
+
+  RunningStat rhs;
+  rhs.Merge(filled);  // adopts the other side wholesale
+  EXPECT_EQ(rhs.count(), 2);
+  EXPECT_DOUBLE_EQ(rhs.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(rhs.min(), 3.0);
+  EXPECT_DOUBLE_EQ(rhs.max(), 5.0);
+}
+
+// --- LatencyHistogram -------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundariesAreConsistent) {
+  using H = LatencyHistogram;
+  // Values 0..3 get exact buckets.
+  for (uint64_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(H::BucketOf(v), static_cast<int>(v));
+    EXPECT_EQ(H::BucketLowerBound(static_cast<int>(v)), v);
+    EXPECT_EQ(H::BucketUpperBound(static_cast<int>(v)), v);
+  }
+  // Every bucket's bounds map back to that bucket, and buckets tile the
+  // value axis without gaps.
+  for (int b = 0; b < H::kNumBuckets - 1; ++b) {
+    EXPECT_EQ(H::BucketOf(H::BucketLowerBound(b)), b) << "bucket " << b;
+    EXPECT_EQ(H::BucketOf(H::BucketUpperBound(b)), b) << "bucket " << b;
+    EXPECT_EQ(H::BucketUpperBound(b) + 1, H::BucketLowerBound(b + 1))
+        << "gap after bucket " << b;
+  }
+  // Out-of-range observations clamp into the top bucket.
+  EXPECT_EQ(H::BucketOf(UINT64_MAX), H::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, PercentileAccuracyWithinBucketError) {
+  SetMetricsEnabled(true);
+  LatencyHistogram h;
+  // Uniform 1..10000us: any quantile q maps to ~q*10000, and the log-linear
+  // layout guarantees <=12.5% relative error plus interpolation.
+  for (uint64_t v = 1; v <= 10000; ++v) h.Record(v);
+  auto snap = h.Snap();
+  EXPECT_EQ(snap.count, 10000u);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, 10000u);
+  for (double q : {0.10, 0.50, 0.90, 0.95, 0.99}) {
+    const double expected = q * 10000.0;
+    EXPECT_NEAR(snap.Percentile(q), expected, expected * 0.130 + 1.0)
+        << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), 10000.0);
+}
+
+TEST(HistogramTest, SingleObservationPercentiles) {
+  SetMetricsEnabled(true);
+  LatencyHistogram h;
+  h.Record(777);
+  auto snap = h.Snap();
+  EXPECT_EQ(snap.count, 1u);
+  // Min/max clamping makes every quantile the exact observation.
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.5), 777.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.99), 777.0);
+}
+
+TEST(HistogramTest, DisabledRecordsNothing) {
+  SetMetricsEnabled(false);
+  LatencyHistogram h;
+  h.Record(100);
+  EXPECT_EQ(h.Snap().count, 0u);
+  SetMetricsEnabled(true);
 }
 
 // --- BoundedQueue -----------------------------------------------------------

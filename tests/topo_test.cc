@@ -117,11 +117,36 @@ TEST(ActionCodecTest, TupleRoundTrip) {
 
 TEST(ActionCodecTest, PayloadRoundTrip) {
   UserAction a = Act(1e9, 2e9, ActionType::kPurchase, Days(100));
+  a.ingest_micros = 123456789;
   auto decoded = DecodeActionPayload(EncodeActionPayload(a));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->user, a.user);
   EXPECT_EQ(decoded->item, a.item);
   EXPECT_EQ(decoded->action, a.action);
+  EXPECT_EQ(decoded->ingest_micros, 123456789u);
+}
+
+TEST(ActionCodecTest, DecodesLegacyPayloadWithoutIngest) {
+  // Records written before the ingest stamp are 29 bytes; they must still
+  // decode (disk-cached TDAccess history stays replayable), with ingest 0.
+  UserAction a = Act(77, 88, ActionType::kClick, Hours(3));
+  a.ingest_micros = 42;
+  std::string payload = EncodeActionPayload(a);
+  ASSERT_EQ(payload.size(), 37u);
+  auto decoded = DecodeActionPayload(std::string_view(payload).substr(0, 29));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->user, 77);
+  EXPECT_EQ(decoded->item, 88);
+  EXPECT_EQ(decoded->action, ActionType::kClick);
+  EXPECT_EQ(decoded->ingest_micros, 0u);
+}
+
+TEST(ActionCodecTest, TupleCarriesIngestStamp) {
+  UserAction a = Act(5, 6, ActionType::kBrowse, Hours(1));
+  a.ingest_micros = 987654321;
+  auto decoded = ActionFromTuple(ActionToTuple(a));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->ingest_micros, 987654321u);
 }
 
 TEST(ActionCodecTest, RejectsGarbage) {
@@ -130,8 +155,10 @@ TEST(ActionCodecTest, RejectsGarbage) {
   // Bad action code.
   tstorm::Tuple bad = tstorm::Tuple::Of(
       {int64_t{1}, int64_t{2}, int64_t{99}, int64_t{0}, int64_t{0},
-       int64_t{0}, int64_t{0}});
+       int64_t{0}, int64_t{0}, int64_t{0}});
   EXPECT_FALSE(ActionFromTuple(bad).ok());
+  // Payload sizes between legacy (29) and current (37) are corrupt.
+  EXPECT_FALSE(DecodeActionPayload(std::string(33, '\0')).ok());
 }
 
 // --- cache & combiner -------------------------------------------------------------
