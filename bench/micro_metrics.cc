@@ -1,11 +1,13 @@
-// Overhead harness for the metrics layer (ISSUE 2 acceptance: <2% on the
-// instrumented 4-shard pipeline). Two parts:
+// Overhead harness for the observability layers. Three parts:
 //
 //  1. Raw per-op cost of Counter::Add and LatencyHistogram::Record, both
-//     enabled and kill-switched, in ns/op.
+//     enabled and kill-switched, in ns/op (ISSUE 2 acceptance: <2% on the
+//     instrumented 4-shard pipeline).
 //  2. The micro_parallel 4-shard workload run with metrics off (kill switch
 //     down, so every Record is a single relaxed load + branch) vs on, and
 //     the relative wall-clock overhead.
+//  3. The same workload with per-tuple tracing off vs sampling 1 in 64
+//     (acceptance: <3% throughput overhead).
 //
 // Plain harness (prints a small table); run it directly:
 //   ./bench/micro_metrics
@@ -16,8 +18,10 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/trace.h"
 #include "core/itemcf/parallel_cf.h"
 
 namespace {
@@ -148,10 +152,81 @@ void BenchPipelineOverhead() {
               static_cast<unsigned long long>(service->Snap().count));
 }
 
+// --- part 3: tracing overhead ------------------------------------------------
+
+uint64_t RunTracedPipelineOnce(const std::vector<UserAction>& stream) {
+  ParallelItemCf::Options options;
+  options.cf.linked_time = Hours(4);
+  options.cf.window_sessions = 8;
+  options.cf.session_length = Hours(6);
+  options.cf.enable_pruning = false;
+  options.user_shards = 4;
+  options.pair_shards = 4;
+  const uint64_t t0 = WallNanos();
+  ParallelItemCf cf(options);
+  cf.ProcessActions(stream);
+  cf.Drain();
+  return WallNanos() - t0;
+}
+
+void BenchTracingOverhead() {
+  const auto plain = MakeStream(50000);
+  SetMetricsEnabled(true);
+
+  // Traced variant: the same stream with the edge sampling decision already
+  // applied, as the spout/publish path would — 1 in 64 actions carries a
+  // nonzero trace id, the rest pay the id==0 branch in every ScopedSpan.
+  SetTraceSampleEvery(64);
+  auto traced = plain;
+  for (auto& a : traced) a.trace_id = MaybeStartTrace();
+
+  constexpr int kReps = 7;
+  uint64_t best_off = UINT64_MAX;
+  uint64_t best_on = UINT64_MAX;
+  std::vector<double> on_ms_reps;
+  SetTraceSampleEvery(0);
+  (void)RunTracedPipelineOnce(plain);  // warmup
+  for (int r = 0; r < kReps; ++r) {
+    SetTraceSampleEvery(0);
+    best_off = std::min(best_off, RunTracedPipelineOnce(plain));
+    SetTraceSampleEvery(64);
+    const uint64_t on = RunTracedPipelineOnce(traced);
+    best_on = std::min(best_on, on);
+    on_ms_reps.push_back(static_cast<double>(on) / 1e6);
+  }
+  SetTraceSampleEvery(0);
+
+  const double off_ms = static_cast<double>(best_off) / 1e6;
+  const double on_ms = static_cast<double>(best_on) / 1e6;
+  const double overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
+  std::printf("\n== tracing overhead, 4-shard pipeline, %zu actions, "
+              "best of %d ==\n",
+              plain.size(), kReps);
+  std::printf("  tracing off          %8.2f ms  (%.0f actions/s)\n", off_ms,
+              static_cast<double>(plain.size()) / (off_ms / 1e3));
+  std::printf("  tracing 1/64 sampled %8.2f ms  (%.0f actions/s)\n", on_ms,
+              static_cast<double>(plain.size()) / (on_ms / 1e3));
+  std::printf("  overhead             %+7.2f %%  (target < 3%%)\n",
+              overhead_pct);
+  std::printf("  spans recorded       %llu\n",
+              static_cast<unsigned long long>(
+                  Tracer::Default().total_recorded()));
+
+  const auto summary =
+      bench::Summarize(on_ms_reps, static_cast<double>(plain.size()));
+  char extra[160];
+  std::snprintf(extra, sizeof(extra),
+                "\"trace_overhead_pct\": %.2f, \"sample_every\": 64, "
+                "\"baseline_ms\": %.3f, \"cores\": %u",
+                overhead_pct, off_ms, std::thread::hardware_concurrency());
+  bench::WriteBenchJson("micro_metrics", summary, extra);
+}
+
 }  // namespace
 
 int main() {
   BenchInstrumentOps();
   BenchPipelineOverhead();
+  BenchTracingOverhead();
   return 0;
 }

@@ -9,9 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <thread>
 
+#include "bench/bench_util.h"
 #include "common/random.h"
 #include "core/itemcf/item_cf.h"
 #include "core/itemcf/parallel_cf.h"
@@ -89,4 +91,46 @@ BENCHMARK(BM_ParallelStream)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+/// The tracked configuration (4 shards, 50k actions) timed by hand and
+/// written to BENCH_micro_parallel.json — the regression baseline
+/// scripts/run_bench.sh collects, independent of google-benchmark's own
+/// rep policy so the JSON is stable run to run.
+void EmitJsonBaseline() {
+  const auto stream = MakeStream(50000);
+  constexpr int kReps = 9;
+  std::vector<double> rep_ms;
+  for (int r = 0; r <= kReps; ++r) {  // rep 0 is warmup
+    const auto t0 = std::chrono::steady_clock::now();
+    ParallelItemCf::Options options;
+    options.cf = AlgoOptions();
+    options.user_shards = 4;
+    options.pair_shards = 4;
+    ParallelItemCf cf(options);
+    cf.ProcessActions(stream);
+    cf.Drain();
+    benchmark::DoNotOptimize(cf.stats().pair_updates);
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (r > 0) rep_ms.push_back(ms);
+  }
+  const auto summary =
+      bench::Summarize(rep_ms, static_cast<double>(stream.size()));
+  char extra[128];
+  std::snprintf(extra, sizeof(extra),
+                "\"shards\": 4, \"actions\": %zu, \"reps\": %d, "
+                "\"cores\": %u",
+                stream.size(), kReps, std::thread::hardware_concurrency());
+  bench::WriteBenchJson("micro_parallel", summary, extra);
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  EmitJsonBaseline();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

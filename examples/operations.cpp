@@ -8,12 +8,21 @@
 //
 //   ./operations
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/trace.h"
 #include "engine/monitor.h"
 #include "engine/offline.h"
 #include "engine/tencentrec.h"
@@ -33,6 +42,30 @@ void PrintHead(const std::string& text, int n) {
     ++printed;
   }
   if (in.peek() != EOF) std::printf("...\n");
+}
+
+/// What `curl http://127.0.0.1:<port><path>` would do, inline: one GET
+/// against the embedded admin server, returning the raw response.
+std::string HttpGet(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)!::write(fd, req.data(), req.size());
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) out.append(buf, n);
+  ::close(fd);
+  return out;
 }
 
 }  // namespace
@@ -132,6 +165,11 @@ int main() {
   mopts.mirror_parallel_cf = true;
   mopts.mirror_user_shards = 4;
   mopts.mirror_pair_shards = 4;
+  // The ops plane: sample 1 in 64 tuples end to end, serve the snapshot /
+  // health / traces over loopback HTTP, and watch for wedged stages.
+  mopts.trace_sample_every = 64;
+  mopts.enable_admin_server = true;  // port 0 = ephemeral
+  mopts.enable_watchdog = true;
   auto mirrored = engine::TencentRec::Create(mopts);
   if (!mirrored.ok()) return 1;
   if (!(*mirrored)->ProcessBatch(actions).ok()) return 1;
@@ -146,5 +184,40 @@ int main() {
     std::printf("mirror rec for user 1: item %lld score %.4f\n",
                 static_cast<long long>(r.item), r.score);
   }
+
+  // The embedded ops plane, exactly as an operator would curl it.
+  const int port = (*mirrored)->admin_server()->port();
+  std::printf("\n-- admin server on 127.0.0.1:%d --\n", port);
+  std::printf("$ curl :%d/healthz\n", port);
+  PrintHead(HttpGet(port, "/healthz"), 8);
+  std::printf("$ curl :%d/metrics   (head)\n", port);
+  PrintHead(HttpGet(port, "/metrics"), 12);
+  std::printf("$ curl ':%d/traces'  (head)\n", port);
+  // The grouped-trace body is one long JSON line; cap by characters.
+  const std::string traces = HttpGet(port, "/traces");
+  std::printf("%s%s\n", traces.substr(0, 600).c_str(),
+              traces.size() > 600 ? "..." : "");
+  // ?format=chrome returns the same spans as a Chrome trace_event array —
+  // save it and load in about:tracing or https://ui.perfetto.dev.
+  const std::string chrome = HttpGet(port, "/traces?format=chrome");
+  std::printf("$ curl ':%d/traces?format=chrome' | wc -c  ->  %zu\n", port,
+              chrome.size());
+  // TR_TRACE_OUT=/path/trace.json saves the body for about:tracing /
+  // Perfetto (what an operator would do with curl -o).
+  if (const char* trace_out = std::getenv("TR_TRACE_OUT")) {
+    const size_t body_at = chrome.find("\r\n\r\n");
+    if (body_at != std::string::npos) {
+      if (std::FILE* f = std::fopen(trace_out, "w")) {
+        const std::string_view body =
+            std::string_view(chrome).substr(body_at + 4);
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+        std::printf("chrome trace saved to %s\n", trace_out);
+      }
+    }
+  }
+  std::printf("sampled spans recorded: %llu\n",
+              static_cast<unsigned long long>(
+                  Tracer::Default().total_recorded()));
   return 0;
 }

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the JSON-emitting microbenches and collects their BENCH_<name>.json
+# results into one directory (default: bench/ in the repo, so baselines can
+# be committed and diffed across changes).
+#
+#   scripts/run_bench.sh [build-dir] [out-dir]
+#
+# Env:
+#   TR_BENCH_OUT   overrides out-dir
+#   TR_BENCH_ONLY  space-separated subset of bench names to run
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_dir="${TR_BENCH_OUT:-${2:-$repo_root/bench}}"
+
+if [[ ! -d "$build_dir/bench" ]]; then
+  echo "error: $build_dir/bench not found — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+mkdir -p "$out_dir"
+
+# Benches that emit BENCH_<name>.json (see bench/bench_util.h).
+json_benches=(micro_parallel micro_metrics)
+if [[ -n "${TR_BENCH_ONLY:-}" ]]; then
+  read -r -a json_benches <<<"$TR_BENCH_ONLY"
+fi
+
+for name in "${json_benches[@]}"; do
+  bin="$build_dir/bench/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "skip: $bin missing" >&2
+    continue
+  fi
+  echo "== $name =="
+  # google-benchmark-based binaries get a trimmed repetition count; the
+  # JSON emitter inside each binary uses its own fixed rep policy.
+  TR_BENCH_OUT="$out_dir" "$bin" --benchmark_min_time=0.1s || exit 1
+  echo
+done
+
+echo "results:"
+ls -l "$out_dir"/BENCH_*.json

@@ -2,13 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdarg>
 #include <cstring>
+#include <string>
 
 namespace tencentrec {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+int InitialLevel() {
+  return static_cast<int>(
+      ParseLogLevel(std::getenv("TR_LOG_LEVEL"), LogLevel::kWarning));
+}
+
+std::atomic<int> g_level{InitialLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,6 +31,21 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 }  // namespace
+
+LogLevel ParseLogLevel(const char* value, LogLevel fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  std::string lower;
+  for (const char* p = value; *p; ++p) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return fallback;
+}
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 

@@ -10,9 +10,17 @@ namespace tencentrec {
 /// benchmark output stays readable; simulations can raise verbosity.
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Process-wide minimum level that actually prints.
+/// Process-wide minimum level that actually prints. The initial level is
+/// read from the TR_LOG_LEVEL environment variable at startup (values:
+/// debug|info|warning|warn|error, case-insensitive, or a numeric 0-3),
+/// defaulting to kWarning — so deployments can verbose the admin plane and
+/// watchdog dumps, or silence them, without a rebuild.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Parses a TR_LOG_LEVEL-style string; null/unrecognized returns
+/// `fallback`. Exposed for tests.
+LogLevel ParseLogLevel(const char* value, LogLevel fallback);
 
 namespace internal {
 /// Formats "[L file:line] message\n" into one buffer and emits it with a

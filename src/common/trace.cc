@@ -1,0 +1,247 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+
+namespace tencentrec {
+
+namespace {
+
+std::atomic<uint32_t> g_sample_every{0};
+std::atomic<uint64_t> g_tuple_counter{0};
+std::atomic<uint64_t> g_id_counter{0};
+
+thread_local uint64_t t_current_trace_id = 0;
+
+/// Small stable per-thread index for span attribution (same scheme as the
+/// metrics stripe assignment, but unbounded — it names threads, it does
+/// not shard state).
+uint32_t TraceThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// SplitMix64 finalizer: turns the sequential id counter into
+/// well-scattered 64-bit trace ids (distinct runs of the same process
+/// still produce distinct-looking ids in merged trace views).
+uint64_t MixId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char line[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(line, sizeof(line), fmt, args);
+  va_end(args);
+  *out += line;
+}
+
+}  // namespace
+
+void SetTraceSampleEvery(uint32_t n) {
+  g_sample_every.store(n, std::memory_order_relaxed);
+}
+
+uint32_t TraceSampleEvery() {
+  return g_sample_every.load(std::memory_order_relaxed);
+}
+
+uint64_t MaybeStartTrace() {
+  const uint32_t every = TraceSampleEvery();
+  if (every == 0) return 0;
+  const uint64_t n = g_tuple_counter.fetch_add(1, std::memory_order_relaxed);
+  if (n % every != 0) return 0;
+  // MixId never maps the strictly positive counter to 0 in practice; guard
+  // anyway — id 0 means "untraced" everywhere.
+  const uint64_t id =
+      MixId(g_id_counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  return id == 0 ? 1 : id;
+}
+
+uint64_t CurrentTraceId() { return t_current_trace_id; }
+
+// --- Tracer -----------------------------------------------------------------
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::Tracer(Options options)
+    : capacity_(options.capacity < kStripes ? kStripes : options.capacity) {
+  const size_t per_stripe = capacity_ / kStripes;
+  for (auto& stripe : stripes_) {
+    stripe.ring.resize(per_stripe);
+  }
+  capacity_ = per_stripe * kStripes;
+}
+
+void Tracer::Record(uint64_t trace_id, std::string_view name,
+                    uint64_t start_micros, uint64_t duration_micros) {
+  if (trace_id == 0) return;
+  Stripe& stripe = stripes_[TraceThreadId() % kStripes];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  TraceSpan& span = stripe.ring[stripe.next];
+  span.trace_id = trace_id;
+  span.start_micros = start_micros;
+  span.duration_micros = duration_micros;
+  span.tid = TraceThreadId();
+  span.SetName(name);
+  stripe.next = (stripe.next + 1) % stripe.ring.size();
+  if (stripe.used < stripe.ring.size()) ++stripe.used;
+  ++stripe.recorded;
+}
+
+std::vector<TraceSpan> Tracer::Spans() const {
+  std::vector<TraceSpan> out;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (size_t i = 0; i < stripe.used; ++i) out.push_back(stripe.ring[i]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              if (a.start_micros != b.start_micros) {
+                return a.start_micros < b.start_micros;
+              }
+              return a.trace_id < b.trace_id;
+            });
+  return out;
+}
+
+bool Tracer::LastSpanNamed(std::string_view name, TraceSpan* out) const {
+  bool found = false;
+  uint64_t best_start = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (size_t i = 0; i < stripe.used; ++i) {
+      const TraceSpan& span = stripe.ring[i];
+      if (name != span.name) continue;
+      if (!found || span.start_micros >= best_start) {
+        best_start = span.start_micros;
+        *out = span;
+        found = true;
+      }
+    }
+  }
+  return found;
+}
+
+void Tracer::Clear() {
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.next = 0;
+    stripe.used = 0;
+  }
+}
+
+uint64_t Tracer::total_recorded() const {
+  uint64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.recorded;
+  }
+  return total;
+}
+
+// --- scopes -----------------------------------------------------------------
+
+ScopedSpan::ScopedSpan(uint64_t trace_id, std::string_view name)
+    : trace_id_(TracingEnabled() ? trace_id : 0),
+      name_(name),
+      start_(trace_id_ != 0 ? MonoMicros() : 0) {
+  if (trace_id_ != 0) {
+    saved_context_ = t_current_trace_id;
+    t_current_trace_id = trace_id_;
+  }
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (trace_id_ == 0) return;
+  Tracer::Default().Record(trace_id_, name_, start_, MonoMicros() - start_);
+  t_current_trace_id = saved_context_;
+}
+
+TraceContextScope::TraceContextScope(uint64_t trace_id) {
+  if (trace_id == 0) return;
+  active_ = true;
+  saved_ = t_current_trace_id;
+  t_current_trace_id = trace_id;
+}
+
+TraceContextScope::~TraceContextScope() {
+  if (active_) t_current_trace_id = saved_;
+}
+
+// --- exports ----------------------------------------------------------------
+
+std::string ExportChromeTrace(const std::vector<TraceSpan>& spans) {
+  std::string out = "[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    Appendf(&out,
+            "%s{\"name\":\"%s\",\"cat\":\"tuple\",\"ph\":\"X\","
+            "\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
+            ",\"pid\":1,\"tid\":%u,"
+            "\"args\":{\"trace_id\":\"%016" PRIx64 "\"}}",
+            i == 0 ? "" : ",", s.name, s.start_micros, s.duration_micros,
+            s.tid, s.trace_id);
+  }
+  out += "]";
+  return out;
+}
+
+std::string ExportTracesJson(const std::vector<TraceSpan>& spans,
+                             size_t max_traces) {
+  // Group by trace id, preserving the (already start-ordered) span order.
+  std::unordered_map<uint64_t, std::vector<const TraceSpan*>> by_trace;
+  std::vector<uint64_t> order;  // by first-span start time
+  for (const auto& span : spans) {
+    auto [it, inserted] = by_trace.try_emplace(span.trace_id);
+    if (inserted) order.push_back(span.trace_id);
+    it->second.push_back(&span);
+  }
+  // Most recent trace first.
+  std::reverse(order.begin(), order.end());
+  if (order.size() > max_traces) order.resize(max_traces);
+
+  std::string out = "{\"traces\":[";
+  for (size_t t = 0; t < order.size(); ++t) {
+    const auto& trace = by_trace[order[t]];
+    uint64_t begin = trace.front()->start_micros;
+    uint64_t end = begin;
+    for (const TraceSpan* s : trace) {
+      begin = std::min(begin, s->start_micros);
+      end = std::max(end, s->start_micros + s->duration_micros);
+    }
+    Appendf(&out,
+            "%s{\"trace_id\":\"%016" PRIx64 "\",\"begin_us\":%" PRIu64
+            ",\"total_us\":%" PRIu64 ",\"spans\":[",
+            t == 0 ? "" : ",", order[t], begin, end - begin);
+    for (size_t i = 0; i < trace.size(); ++i) {
+      const TraceSpan* s = trace[i];
+      Appendf(&out,
+              "%s{\"name\":\"%s\",\"start_us\":%" PRIu64 ",\"dur_us\":%" PRIu64
+              ",\"tid\":%u}",
+              i == 0 ? "" : ",", s->name, s->start_micros, s->duration_micros,
+              s->tid);
+    }
+    out += "]}";
+  }
+  Appendf(&out, "],\"trace_count\":%zu,\"span_count\":%zu}", order.size(),
+          spans.size());
+  return out;
+}
+
+}  // namespace tencentrec

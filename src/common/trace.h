@@ -1,0 +1,171 @@
+#ifndef TENCENTREC_COMMON_TRACE_H_
+#define TENCENTREC_COMMON_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace tencentrec {
+
+/// Sampled per-tuple span tracing — the per-request half of the Fig. 9
+/// Monitor, complementing the aggregate histograms in common/metrics.h.
+/// Operators of the production system need to answer "where did THIS tuple
+/// stall?" across spout → rating → pair → sim → store hops; percentiles
+/// cannot, so a small fraction of tuples is sampled at the ingest edge and
+/// carries a 64-bit trace id through the topology. Every component hop
+/// records one span (name + wall-clock interval) into a process-wide
+/// lock-striped ring buffer, exportable as Chrome trace_event JSON
+/// (about:tracing / Perfetto) or grouped per-trace JSON (the admin plane's
+/// /traces endpoint).
+///
+/// Cost model: untraced tuples (id 0 — the overwhelming majority) pay one
+/// branch per would-be span. Sampling is decided once, at the spout or
+/// publish edge, by MaybeStartTrace(); the id then rides the action through
+/// the wire codec, so a distributed deployment would sample consistently
+/// end to end. Trace ids are instrumentation only: never an input to any
+/// algorithm, so event-time determinism is unaffected.
+
+/// 1-in-N sampling rate. 0 disables tracing entirely (MaybeStartTrace
+/// returns 0, ScopedSpan is inert). Process-wide, relaxed-atomic.
+void SetTraceSampleEvery(uint32_t n);
+uint32_t TraceSampleEvery();
+inline bool TracingEnabled() { return TraceSampleEvery() != 0; }
+
+/// Edge sampling decision: returns a fresh nonzero trace id for 1 in every
+/// `TraceSampleEvery()` calls, 0 otherwise. Thread-safe; ids are unique
+/// process-wide for any realistic run length.
+uint64_t MaybeStartTrace();
+
+/// The trace id the current thread is working under (0 = untraced).
+/// Layers whose APIs cannot thread an id through (e.g. tdstore::Client
+/// under a bolt's Execute) read it to attribute their spans.
+uint64_t CurrentTraceId();
+
+/// One recorded component hop. Fixed-size (name truncates) so the ring
+/// buffer never allocates on the record path.
+struct TraceSpan {
+  static constexpr size_t kNameCapacity = 48;
+
+  uint64_t trace_id = 0;
+  uint64_t start_micros = 0;  ///< MonoMicros at span open
+  uint64_t duration_micros = 0;
+  uint32_t tid = 0;  ///< small per-thread index, stable for a thread's life
+
+  char name[kNameCapacity] = {};
+
+  void SetName(std::string_view n) {
+    const size_t len = n.size() < kNameCapacity - 1 ? n.size()
+                                                    : kNameCapacity - 1;
+    std::memcpy(name, n.data(), len);
+    name[len] = '\0';
+  }
+};
+
+/// Lock-striped fixed-capacity span ring buffer. Writers take one stripe
+/// mutex (stripes are per-thread, so sampled hops on different workers
+/// never contend); when a stripe wraps, its oldest spans are overwritten —
+/// the buffer always holds the most recent activity.
+class Tracer {
+ public:
+  static constexpr size_t kStripes = 8;
+
+  struct Options {
+    /// Total span capacity, split evenly across stripes.
+    size_t capacity = 8192;
+  };
+
+  /// The process-wide tracer every ScopedSpan records into.
+  static Tracer& Default();
+
+  Tracer() : Tracer(Options()) {}
+  explicit Tracer(Options options);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void Record(uint64_t trace_id, std::string_view name, uint64_t start_micros,
+              uint64_t duration_micros);
+
+  /// Merged point-in-time copy of every live span, ordered by start time.
+  std::vector<TraceSpan> Spans() const;
+
+  /// The most recently recorded span whose name equals `name`, if any —
+  /// the watchdog's "where was this component last seen alive".
+  bool LastSpanNamed(std::string_view name, TraceSpan* out) const;
+
+  /// Drops all recorded spans (counters keep accumulating).
+  void Clear();
+
+  /// Total spans ever recorded (including overwritten ones).
+  uint64_t total_recorded() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::vector<TraceSpan> ring;
+    size_t next = 0;
+    size_t used = 0;
+    uint64_t recorded = 0;
+  };
+
+  size_t capacity_;
+  std::array<Stripe, kStripes> stripes_;
+};
+
+/// RAII span: opens at construction, records into Tracer::Default() at
+/// scope exit, and publishes `trace_id` as the thread's current trace id
+/// for the duration (restoring the previous one on exit) so nested layers
+/// attribute their spans to the same trace. Inert when trace_id == 0 or
+/// tracing is disabled: one branch, no clock read.
+///
+/// `name` must outlive the scope (string literals / member strings).
+class ScopedSpan {
+ public:
+  ScopedSpan(uint64_t trace_id, std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  uint64_t trace_id_;
+  std::string_view name_;
+  uint64_t start_;
+  uint64_t saved_context_ = 0;
+};
+
+/// Publishes `trace_id` as the thread's current trace id without recording
+/// a span of its own — for call sites that only need downstream layers
+/// (e.g. store clients) to attribute their spans.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(uint64_t trace_id);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  uint64_t saved_ = 0;
+  bool active_ = false;
+};
+
+/// Chrome trace_event JSON (array format): one "ph":"X" complete event per
+/// span, ts/dur in microseconds — loadable in about:tracing / Perfetto.
+std::string ExportChromeTrace(const std::vector<TraceSpan>& spans);
+
+/// Spans grouped per trace id, most recent trace first, capped at
+/// `max_traces`: {"traces":[{"trace_id":...,"spans":[...]}, ...]}.
+std::string ExportTracesJson(const std::vector<TraceSpan>& spans,
+                             size_t max_traces = 64);
+
+}  // namespace tencentrec
+
+#endif  // TENCENTREC_COMMON_TRACE_H_

@@ -75,6 +75,11 @@ struct UserAction {
   /// never an input to any algorithm, so determinism of the event-time axis
   /// is unaffected.
   uint64_t ingest_micros = 0;
+  /// Sampled-tracing id (common/trace.h): nonzero for the 1-in-N actions
+  /// picked at the publish/spout edge; every component hop the action (or a
+  /// tuple derived from it) crosses records a span under this id. 0 = not
+  /// sampled. Instrumentation only, like ingest_micros.
+  uint64_t trace_id = 0;
 };
 
 /// Per-action-type rating weights (§4.1.2: "a browse behavior may

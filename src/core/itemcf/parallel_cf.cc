@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/trace.h"
 #include "core/itemcf/predict.h"
 
 namespace tencentrec::core {
@@ -200,6 +201,7 @@ void ParallelItemCf::UserWorker(UserShard* shard) {
   };
 
   while (auto msg = shard->queue.Pop()) {
+    shard->heartbeat.fetch_add(1, std::memory_order_relaxed);
     const uint64_t t0 = NowMicros();
     if (msg->flush) {
       flush_all();
@@ -227,6 +229,7 @@ void ParallelItemCf::UserWorker(UserShard* shard) {
 void ParallelItemCf::HandleAction(UserShard* shard, const UserAction& action,
                                   std::vector<std::vector<PairDelta>>* out) {
   ++shard->actions;
+  ScopedSpan span(action.trace_id, "parallel_cf.user-history");
   UserHistory& history = shard->histories[action.user];
   if (options_.cf.history_ttl > 0) {
     history.EvictOlderThan(action.timestamp - options_.cf.history_ttl);
@@ -245,8 +248,8 @@ void ParallelItemCf::HandleAction(UserShard* shard, const UserAction& action,
   for (const auto& pair : update.pairs) {
     const size_t p = PairShardOf(PairKey(update.item, pair.other));
     auto& buf = (*out)[p];
-    buf.push_back(
-        {update.item, pair.other, pair.co_rating_delta, action.timestamp});
+    buf.push_back({update.item, pair.other, pair.co_rating_delta,
+                   action.timestamp, action.trace_id});
     if (buf.size() >= options_.batch_size) {
       PairMsg msg;
       msg.deltas = std::move(buf);
@@ -261,6 +264,7 @@ void ParallelItemCf::HandleAction(UserShard* shard, const UserAction& action,
 
 void ParallelItemCf::PairWorker(PairShard* shard) {
   while (auto msg = shard->queue.Pop()) {
+    shard->heartbeat.fetch_add(1, std::memory_order_relaxed);
     const uint64_t t0 = NowMicros();
     if (msg->flush) {
       shard->counts.AdvanceTo(msg->watermark);
@@ -284,6 +288,7 @@ void ParallelItemCf::PairWorker(PairShard* shard) {
 
 void ParallelItemCf::HandlePairDelta(PairShard* shard,
                                      const PairDelta& delta) {
+  ScopedSpan span(delta.trace_id, "parallel_cf.count+sim");
   const PairKey key(delta.i, delta.j);
   if (options_.cf.enable_pruning && shard->pruned.count(key) > 0) {
     ++shard->pair_updates_pruned;
@@ -453,6 +458,30 @@ std::vector<ParallelItemCf::StageStats> ParallelItemCf::stage_stats() const {
     pair.busy_micros += shard->busy_micros;
   }
   return {user, pair};
+}
+
+uint64_t ParallelItemCf::StageHeartbeat(bool pair_stage) const {
+  uint64_t sum = 0;
+  if (pair_stage) {
+    for (const auto& shard : pair_shards_) {
+      sum += shard->heartbeat.load(std::memory_order_relaxed);
+    }
+  } else {
+    for (const auto& shard : user_shards_) {
+      sum += shard->heartbeat.load(std::memory_order_relaxed);
+    }
+  }
+  return sum;
+}
+
+uint64_t ParallelItemCf::StageBacklog(bool pair_stage) const {
+  uint64_t sum = 0;
+  if (pair_stage) {
+    for (const auto& shard : pair_shards_) sum += shard->queue.size();
+  } else {
+    for (const auto& shard : user_shards_) sum += shard->queue.size();
+  }
+  return sum;
 }
 
 }  // namespace tencentrec::core

@@ -1,6 +1,7 @@
 #ifndef TENCENTREC_CORE_ITEMCF_PARALLEL_CF_H_
 #define TENCENTREC_CORE_ITEMCF_PARALLEL_CF_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -114,6 +115,12 @@ class ParallelItemCf {
   /// Per-stage executor counters ("user-history", "count+sim").
   std::vector<StageStats> stage_stats() const;
 
+  /// Live stage liveness for the stall watchdog, safe while workers run:
+  /// heartbeat sums the shards' per-message atomic counters, backlog sums
+  /// queue depths. pair_stage=false addresses the user-history layer.
+  uint64_t StageHeartbeat(bool pair_stage) const;
+  uint64_t StageBacklog(bool pair_stage) const;
+
   const Options& options() const { return options_; }
 
  private:
@@ -123,6 +130,8 @@ class ParallelItemCf {
     ItemId j = 0;
     double co_delta = 0.0;
     EventTime ts = 0;
+    /// Sampled-tracing id of the source action (0 = untraced).
+    uint64_t trace_id = 0;
   };
   struct UserMsg {
     std::vector<UserAction> actions;
@@ -148,6 +157,9 @@ class ParallelItemCf {
     uint64_t events = 0;
     uint64_t batches = 0;
     uint64_t busy_micros = 0;
+    /// Liveness heartbeat, bumped (relaxed) per popped message; unlike the
+    /// counters above it may be read while the worker runs.
+    std::atomic<uint64_t> heartbeat{0};
   };
 
   struct PairShard {
@@ -167,6 +179,7 @@ class ParallelItemCf {
     uint64_t events = 0;
     uint64_t batches = 0;
     uint64_t busy_micros = 0;
+    std::atomic<uint64_t> heartbeat{0};
   };
 
   /// Shared itemCount stripe: written by layer 1, read by layers 2+3.

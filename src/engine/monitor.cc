@@ -1,8 +1,12 @@
 #include "engine/monitor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
+
+#include "common/logging.h"
+#include "common/trace.h"
 
 namespace tencentrec::engine {
 
@@ -345,7 +349,16 @@ SnapshotDelta ComputeSnapshotDelta(const MonitorSnapshot& before,
                             : 0;
   delta.wall_seconds = static_cast<double>(wall) / 1e6;
   delta.lag_delta = after.ingestion_lag - before.ingestion_lag;
-  if (wall == 0) return delta;  // same instant: no meaningful rates
+  if (wall == 0) {
+    // Same instant (coarse clocks make this reachable): rates and
+    // utilization are undefined, so report zeros instead of dividing —
+    // but still emit one utilization row per component so consumers can
+    // iterate the delta without special-casing.
+    for (const auto& row : after.topology) {
+      delta.utilization.push_back({row.component, 0.0});
+    }
+    return delta;
+  }
 
   auto clamped = [](uint64_t later, uint64_t earlier) -> double {
     return later > earlier ? static_cast<double>(later - earlier) : 0.0;
@@ -388,6 +401,153 @@ SnapshotDelta ComputeSnapshotDelta(const MonitorSnapshot& before,
   delta.store_reads_per_second = reads / delta.wall_seconds;
   delta.store_writes_per_second = writes / delta.wall_seconds;
   return delta;
+}
+
+// --- StallWatchdog ----------------------------------------------------------
+
+StallWatchdog::~StallWatchdog() { Stop(); }
+
+int64_t StallWatchdog::Register(Source source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Watch w;
+  w.id = next_id_++;
+  w.source = std::move(source);
+  watches_.push_back(std::move(w));
+  return watches_.back().id;
+}
+
+void StallWatchdog::Unregister(int64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = watches_.begin(); it != watches_.end(); ++it) {
+    if (it->id != id) continue;
+    if (it->stalled && options_.health != nullptr) {
+      options_.health->Clear(it->source.name);
+    }
+    watches_.erase(it);
+    return;
+  }
+}
+
+void StallWatchdog::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void StallWatchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void StallWatchdog::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.period_ms),
+                 [&] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    Sweep();
+    lock.lock();
+  }
+}
+
+void StallWatchdog::CheckNow() { Sweep(); }
+
+void StallWatchdog::Sweep() {
+  struct Sample {
+    uint64_t progress = 0;
+    uint64_t backlog = 0;
+  };
+  // Holding mu_ while the closures run is safe — they only touch their
+  // component's atomics and queue locks, never this watchdog — and keeps a
+  // sweep atomic with respect to Register/Unregister.
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sweeps_;
+  for (auto& watch : watches_) {
+    Watch* w = &watch;
+    const Sample sample{w->source.progress(), w->source.backlog()};
+
+    if (!w->seeded) {
+      w->seeded = true;
+      w->last_progress = sample.progress;
+      continue;
+    }
+    const bool advanced = sample.progress != w->last_progress;
+    w->last_progress = sample.progress;
+
+    if (advanced) {
+      if (w->stalled) {
+        w->stalled = false;
+        if (options_.health != nullptr) {
+          options_.health->Set(w->source.name, true);
+        }
+        TR_LOG(kInfo, "watchdog: %s recovered (progress=%llu)",
+               w->source.name.c_str(),
+               static_cast<unsigned long long>(sample.progress));
+      }
+      continue;
+    }
+    // No forward motion. Stalled only if work is visibly waiting;
+    // no-progress-no-backlog is idle. Already-stalled components stay
+    // stalled until progress resumes (a drained-but-dead worker is still
+    // dead).
+    if (!w->stalled && sample.backlog > 0) {
+      w->stalled = true;
+      char reason[128];
+      std::snprintf(reason, sizeof(reason),
+                    "no progress for one watchdog period with backlog=%llu",
+                    static_cast<unsigned long long>(sample.backlog));
+      if (options_.health != nullptr) {
+        options_.health->Set(w->source.name, false, reason);
+      }
+      // One-shot diagnostic dump on the detection edge.
+      TraceSpan last_span;
+      const bool have_span =
+          Tracer::Default().LastSpanNamed(w->source.name, &last_span);
+      if (have_span) {
+        TR_LOG(kWarning,
+               "watchdog: %s STALLED backlog=%llu progress=%llu "
+               "last_span=[start=%llu dur=%lluus tid=%u]",
+               w->source.name.c_str(),
+               static_cast<unsigned long long>(sample.backlog),
+               static_cast<unsigned long long>(sample.progress),
+               static_cast<unsigned long long>(last_span.start_micros),
+               static_cast<unsigned long long>(last_span.duration_micros),
+               last_span.tid);
+      } else {
+        TR_LOG(kWarning,
+               "watchdog: %s STALLED backlog=%llu progress=%llu "
+               "(no recorded span)",
+               w->source.name.c_str(),
+               static_cast<unsigned long long>(sample.backlog),
+               static_cast<unsigned long long>(sample.progress));
+      }
+    }
+  }
+}
+
+std::vector<std::string> StallWatchdog::StalledComponents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& w : watches_) {
+    if (w.stalled) out.push_back(w.source.name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t StallWatchdog::sweeps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sweeps_;
 }
 
 }  // namespace tencentrec::engine

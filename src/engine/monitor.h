@@ -1,11 +1,17 @@
 #ifndef TENCENTREC_ENGINE_MONITOR_H_
 #define TENCENTREC_ENGINE_MONITOR_H_
 
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/metrics.h"
 #include "engine/tencentrec.h"
+#include "obs/health.h"
 
 namespace tencentrec::engine {
 
@@ -115,6 +121,88 @@ struct SnapshotDelta {
 
 SnapshotDelta ComputeSnapshotDelta(const MonitorSnapshot& before,
                                    const MonitorSnapshot& after);
+
+/// Detects wedged pipeline components: a source is *stalled* when its
+/// progress counter stops advancing while work is visibly queued for it —
+/// progress without backlog is idle (fine), backlog without progress is
+/// stuck (a deadlocked shard, a worker blocked on a dead store). Each sweep
+/// compares against the previous one, so detection latency is one to two
+/// periods.
+///
+/// On the healthy->stalled edge the watchdog files the component as
+/// unhealthy in the HealthRegistry (flipping /healthz to degraded) and logs
+/// a one-shot diagnostic dump: backlog depth, last progress value, and the
+/// most recent trace span the component recorded, if any. Recovery —
+/// progress advancing again — clears the health entry. Backlog draining to
+/// zero *without* progress is NOT recovery (the queue may have been closed
+/// out from under a dead worker); only forward motion clears the flag.
+///
+/// Sources are engine-provided closures (a tstorm component's heartbeat +
+/// queue depth, a ParallelItemCf stage, a TDAccess consumer), so this class
+/// depends on nothing but obs/. Registration is allowed while the thread
+/// runs; a new source is seeded on its first sweep and judged from its
+/// second.
+class StallWatchdog {
+ public:
+  struct Options {
+    uint64_t period_ms = 250;
+    /// Where stalled components are filed; may be null (log-only mode).
+    obs::HealthRegistry* health = nullptr;
+  };
+
+  struct Source {
+    std::string name;
+    /// Monotone progress counter; must be safe to call from the watchdog
+    /// thread while the component runs.
+    std::function<uint64_t()> progress;
+    /// Work currently queued for the component (0 = none, never stalls).
+    std::function<uint64_t()> backlog;
+  };
+
+  explicit StallWatchdog(Options options) : options_(options) {}
+  ~StallWatchdog();
+
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  /// Registers a source; returns an id for Unregister. Safe while running.
+  int64_t Register(Source source);
+  void Unregister(int64_t id);
+
+  void Start();
+  void Stop();
+
+  /// Runs one sweep synchronously (deterministic tests; also valid without
+  /// Start()). The first sweep over a source only seeds its baseline.
+  void CheckNow();
+
+  /// Names of currently-stalled components, sorted.
+  std::vector<std::string> StalledComponents() const;
+
+  uint64_t sweeps() const;
+
+ private:
+  struct Watch {
+    int64_t id = 0;
+    Source source;
+    uint64_t last_progress = 0;
+    bool seeded = false;
+    bool stalled = false;
+  };
+
+  void Sweep();
+  void Loop();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Watch> watches_;
+  int64_t next_id_ = 1;
+  uint64_t sweeps_ = 0;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
 
 }  // namespace tencentrec::engine
 

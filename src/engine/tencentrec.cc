@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/trace.h"
+#include "engine/monitor.h"
 #include "topo/action_codec.h"
 #include "topo/blob_codec.h"
 #include "topo/spouts.h"
@@ -13,6 +15,13 @@
 namespace tencentrec::engine {
 
 TencentRec::TencentRec(Options options) : options_(std::move(options)) {}
+
+// Out of line: ~StallWatchdog needs the complete type from engine/monitor.h,
+// which this header cannot include (monitor.h includes tencentrec.h).
+TencentRec::~TencentRec() {
+  if (watchdog_ != nullptr) watchdog_->Stop();
+  if (admin_ != nullptr) admin_->Stop();
+}
 
 Result<std::unique_ptr<TencentRec>> TencentRec::Create(Options options) {
   std::unique_ptr<TencentRec> engine(new TencentRec(std::move(options)));
@@ -51,6 +60,90 @@ Status TencentRec::Init() {
     popts.metrics_scope = "parallel_cf." + options_.app.app;
     parallel_cf_ = std::make_unique<core::ParallelItemCf>(popts);
   }
+
+  if (options_.trace_sample_every > 0) {
+    SetTraceSampleEvery(options_.trace_sample_every);
+  }
+
+  if (options_.enable_watchdog) {
+    StallWatchdog::Options wopts;
+    wopts.period_ms = options_.watchdog_period_ms;
+    wopts.health = &health_;
+    watchdog_ = std::make_unique<StallWatchdog>(wopts);
+    if (parallel_cf_ != nullptr) {
+      core::ParallelItemCf* cf = parallel_cf_.get();
+      watchdog_->Register({"parallel_cf.user-history",
+                           [cf] { return cf->StageHeartbeat(false); },
+                           [cf] { return cf->StageBacklog(false); }});
+      watchdog_->Register({"parallel_cf.count+sim",
+                           [cf] { return cf->StageHeartbeat(true); },
+                           [cf] { return cf->StageBacklog(true); }});
+    }
+    watchdog_->Start();
+  }
+
+  if (options_.enable_admin_server) {
+    obs::AdminServer::Options aopts;
+    aopts.bind_address = options_.admin_bind_address;
+    aopts.port = options_.admin_port;
+    admin_ = std::make_unique<obs::AdminServer>(aopts);
+    // Handlers run on the accept thread; everything they touch is either
+    // internally synchronized (registry, tracer, health) or a full
+    // snapshot collection. Hitting /metrics mid-batch observes the
+    // previous run's topology rows, which is the intended semantics.
+    admin_->Route("/metrics", [this](const obs::AdminServer::Request&) {
+      obs::AdminServer::Response resp;
+      auto snap = CollectMonitorSnapshot(this);
+      if (!snap.ok()) {
+        resp.status = 503;
+        resp.body = snap.status().ToString() + "\n";
+        return resp;
+      }
+      resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      resp.body = ExportPrometheusText(*snap);
+      return resp;
+    });
+    admin_->Route("/vars", [this](const obs::AdminServer::Request&) {
+      obs::AdminServer::Response resp;
+      auto snap = CollectMonitorSnapshot(this);
+      if (!snap.ok()) {
+        resp.status = 503;
+        resp.body = snap.status().ToString() + "\n";
+        return resp;
+      }
+      resp.content_type = "application/json";
+      resp.body = ExportJson(*snap);
+      return resp;
+    });
+    admin_->Route("/healthz", [this](const obs::AdminServer::Request&) {
+      obs::AdminServer::Response resp;
+      resp.status = health_.Healthy() ? 200 : 503;
+      resp.content_type = "application/json";
+      resp.body = health_.Json();
+      return resp;
+    });
+    admin_->Route("/readyz", [this](const obs::AdminServer::Request&) {
+      obs::AdminServer::Response resp;
+      const bool ready = health_.Ready();
+      resp.status = ready ? 200 : 503;
+      resp.content_type = "application/json";
+      resp.body = ready ? "{\"ready\":true}" : "{\"ready\":false}";
+      return resp;
+    });
+    admin_->Route("/traces", [](const obs::AdminServer::Request& req) {
+      obs::AdminServer::Response resp;
+      resp.content_type = "application/json";
+      const auto spans = Tracer::Default().Spans();
+      // ?format=chrome emits the about:tracing / Perfetto event array.
+      resp.body = req.query.find("format=chrome") != std::string::npos
+                      ? ExportChromeTrace(spans)
+                      : ExportTracesJson(spans);
+      return resp;
+    });
+    TR_RETURN_IF_ERROR(admin_->Start());
+  }
+
+  health_.SetReady(true);
   return Status::OK();
 }
 
@@ -105,6 +198,31 @@ Status TencentRec::RunTopology(
       tstorm::LocalCluster::Create(std::move(spec).value(), copts);
   if (!cluster.ok()) return cluster.status();
 
+  // While this topology runs, expose each component to the watchdog: the
+  // heartbeat advances per spout batch / bolt pop, the backlog is the input
+  // queue depth. Sources are unregistered before the cluster is destroyed.
+  std::vector<int64_t> watch_ids;
+  if (watchdog_ != nullptr) {
+    tstorm::LocalCluster* raw = cluster->get();
+    for (const auto& row : raw->WatchRows()) {
+      const std::string component = row.component;
+      watch_ids.push_back(watchdog_->Register(
+          {"topo." + component,
+           [raw, component] {
+             for (const auto& w : raw->WatchRows()) {
+               if (w.component == component) return w.progress;
+             }
+             return uint64_t{0};
+           },
+           [raw, component] {
+             for (const auto& w : raw->WatchRows()) {
+               if (w.component == component) return w.backlog;
+             }
+             return uint64_t{0};
+           }}));
+    }
+  }
+
   std::thread restarter;
   if (!restart_components.empty()) {
     // Let some tuples flow, then crash the requested bolts mid-stream.
@@ -121,6 +239,7 @@ Status TencentRec::RunTopology(
   }
   Status run = (*cluster)->Run();
   if (restarter.joinable()) restarter.join();
+  for (int64_t id : watch_ids) watchdog_->Unregister(id);
   TR_RETURN_IF_ERROR(run);
   last_metrics_ = (*cluster)->Metrics();
   ++batches_run_;
@@ -151,7 +270,17 @@ Status TencentRec::ProcessBatch(
   if (run.ok() && parallel_cf_ != nullptr) {
     // Mirror the batch through the in-memory sharded pipeline and drain so
     // its query surface is immediately consistent with this batch.
-    parallel_cf_->ProcessActions(actions);
+    if (TracingEnabled()) {
+      // The spout samples its own copies, so the mirror must make its own
+      // edge decision for the shard-stage spans to fire.
+      std::vector<core::UserAction> stamped = actions;
+      for (auto& a : stamped) {
+        if (a.trace_id == 0) a.trace_id = MaybeStartTrace();
+      }
+      parallel_cf_->ProcessActions(stamped);
+    } else {
+      parallel_cf_->ProcessActions(actions);
+    }
     parallel_cf_->Drain();
   }
   return run;
@@ -166,6 +295,10 @@ Status TencentRec::PublishActions(
     if (stamped.ingest_micros == 0 && MetricsEnabled()) {
       stamped.ingest_micros = MonoMicros();
     }
+    // Sampling at publish (rather than at the spout) makes the trace span
+    // the TDAccess hop too; the spout keeps any id already on the wire.
+    if (stamped.trace_id == 0) stamped.trace_id = MaybeStartTrace();
+    ScopedSpan span(stamped.trace_id, "publish");
     TR_RETURN_IF_ERROR(producer_->Send(std::to_string(stamped.user),
                                        topo::EncodeActionPayload(stamped),
                                        stamped.timestamp));

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "core/itemcf/parallel_cf.h"
+#include "obs/admin_server.h"
+#include "obs/health.h"
 #include "tdaccess/cluster.h"
 #include "tdaccess/producer.h"
 #include "tdstore/cluster.h"
@@ -14,6 +16,8 @@
 #include "tstorm/cluster.h"
 
 namespace tencentrec::engine {
+
+class StallWatchdog;  // engine/monitor.h (which includes this header)
 
 /// The full TencentRec deployment of Fig. 9, in one object: a TDAccess
 /// cluster collecting application action streams, the Storm-style
@@ -54,9 +58,24 @@ class TencentRec {
     bool mirror_parallel_cf = false;
     int mirror_user_shards = 2;
     int mirror_pair_shards = 2;
+    /// Sampled per-tuple tracing: trace 1 in N actions end to end
+    /// (spout -> bolts -> store). 0 leaves the process-wide sampling rate
+    /// untouched (tracing stays off unless something else enabled it).
+    uint32_t trace_sample_every = 0;
+    /// Embedded ops HTTP plane (/metrics, /vars, /healthz, /readyz,
+    /// /traces). Loopback-only by default; port 0 picks an ephemeral port
+    /// (read it back via admin_server()->port()).
+    bool enable_admin_server = false;
+    std::string admin_bind_address = "127.0.0.1";
+    int admin_port = 0;
+    /// Background stall watchdog over the ParallelItemCf mirror stages (and
+    /// any topology run) — flips /healthz to degraded on a wedged stage.
+    bool enable_watchdog = false;
+    uint64_t watchdog_period_ms = 250;
   };
 
   static Result<std::unique_ptr<TencentRec>> Create(Options options);
+  ~TencentRec();
 
   /// --- CB catalog (Application Specific setup) ---
 
@@ -97,6 +116,12 @@ class TencentRec {
   const std::vector<tstorm::ComponentMetrics>& last_metrics() const {
     return last_metrics_;
   }
+  /// Ops plane (nullptr unless enable_admin_server).
+  obs::AdminServer* admin_server() { return admin_.get(); }
+  /// Liveness/readiness registry backing /healthz and /readyz.
+  obs::HealthRegistry& health() { return health_; }
+  /// The stall watchdog (nullptr unless enable_watchdog).
+  StallWatchdog* watchdog() { return watchdog_.get(); }
 
  private:
   explicit TencentRec(Options options);
@@ -115,6 +140,13 @@ class TencentRec {
   std::unique_ptr<core::ParallelItemCf> parallel_cf_;
   std::vector<tstorm::ComponentMetrics> last_metrics_;
   int64_t batches_run_ = 0;
+
+  obs::HealthRegistry health_;
+  std::unique_ptr<obs::AdminServer> admin_;
+  /// Declared after the things its sources sample (parallel_cf_); destroyed
+  /// first by the explicit destructor, which stops it before anything it
+  /// watches goes away.
+  std::unique_ptr<StallWatchdog> watchdog_;
 };
 
 }  // namespace tencentrec::engine

@@ -1,0 +1,197 @@
+#include "obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace tencentrec::obs {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "OK";
+  }
+}
+
+/// Writes the whole buffer, retrying on short writes/EINTR.
+bool WriteAll(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::Route(const std::string& path, Handler handler) {
+  for (auto& [p, h] : routes_) {
+    if (p == path) {
+      h = std::move(handler);
+      return;
+    }
+  }
+  routes_.emplace_back(path, std::move(handler));
+}
+
+Status AdminServer::Start() {
+  if (listen_fd_ >= 0) return Status::FailedPrecondition("already started");
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, options_.backlog) != 0) {
+    Status s =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    Status s = Status::Internal(std::string("getsockname: ") +
+                                std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false);
+  thread_ = std::thread([this] { Serve(); });
+  TR_LOG(kInfo, "admin server listening on %s:%d",
+         options_.bind_address.c_str(), port_);
+  return Status::OK();
+}
+
+void AdminServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true);
+  // shutdown() unblocks the accept(); close() alone can leave it parked.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void AdminServer::Serve() {
+  while (!stopping_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void AdminServer::HandleConnection(int fd) {
+  // Read until the end of the request head; bodies are ignored (the ops
+  // plane is GET-only) and oversized heads are rejected.
+  std::string head;
+  char buf[2048];
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer went away mid-request
+    }
+    head.append(buf, static_cast<size_t>(n));
+    if (head.size() > 16 * 1024) break;
+  }
+
+  Request req;
+  Response resp;
+  const size_t line_end = head.find_first_of("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    resp.status = 400;
+    resp.body = "malformed request line\n";
+  } else {
+    req.method = request_line.substr(0, sp1);
+    std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const size_t q = target.find('?');
+    if (q != std::string::npos) {
+      req.query = target.substr(q + 1);
+      target.resize(q);
+    }
+    req.path = std::move(target);
+
+    const Handler* handler = nullptr;
+    for (const auto& [path, h] : routes_) {
+      if (path == req.path) {
+        handler = &h;
+        break;
+      }
+    }
+    if (handler == nullptr) {
+      resp.status = 404;
+      resp.body = "no such endpoint: " + req.path + "\n";
+    } else {
+      resp = (*handler)(req);
+    }
+  }
+
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  char header[256];
+  int hn = std::snprintf(header, sizeof(header),
+                         "HTTP/1.1 %d %s\r\n"
+                         "Content-Type: %s\r\n"
+                         "Content-Length: %zu\r\n"
+                         "Connection: close\r\n"
+                         "\r\n",
+                         resp.status, StatusText(resp.status),
+                         resp.content_type.c_str(), resp.body.size());
+  if (hn <= 0) return;
+  if (!WriteAll(fd, header, static_cast<size_t>(hn))) return;
+  WriteAll(fd, resp.body.data(), resp.body.size());
+}
+
+}  // namespace tencentrec::obs

@@ -1,0 +1,89 @@
+#ifndef TENCENTREC_OBS_ADMIN_SERVER_H_
+#define TENCENTREC_OBS_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tencentrec::obs {
+
+/// Minimal embedded HTTP/1.1 ops endpoint — no dependencies, one blocking
+/// accept thread, one request per connection (Connection: close). It is an
+/// operator plane, not a serving tier: /metrics, /healthz and friends are
+/// hit by humans with curl and by scrapers at seconds-scale intervals, so
+/// a single-threaded accept loop is the right amount of machinery.
+///
+/// Handlers are registered by path before Start(); the server owns no
+/// routes of its own, keeping this layer ignorant of the engine above it.
+/// Handlers run on the accept thread and must be thread-safe with respect
+/// to the state they read.
+class AdminServer {
+ public:
+  struct Options {
+    /// Loopback by default: the ops plane is unauthenticated, so exposing
+    /// it beyond the host must be an explicit decision.
+    std::string bind_address = "127.0.0.1";
+    /// 0 = ephemeral; read the chosen port back via port().
+    int port = 0;
+    int backlog = 16;
+  };
+
+  struct Request {
+    std::string method;
+    std::string path;   ///< without the query string
+    std::string query;  ///< raw text after '?', "" if none
+  };
+
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+
+  using Handler = std::function<Response(const Request&)>;
+
+  explicit AdminServer(Options options) : options_(std::move(options)) {}
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Exact-path route; must be called before Start(). Later registrations
+  /// of the same path win.
+  void Route(const std::string& path, Handler handler);
+
+  /// Binds, listens and starts the accept thread.
+  Status Start();
+
+  /// Unblocks the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves port 0); valid after a successful Start().
+  int port() const { return port_; }
+
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  Options options_;
+  std::vector<std::pair<std::string, Handler>> routes_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+};
+
+}  // namespace tencentrec::obs
+
+#endif  // TENCENTREC_OBS_ADMIN_SERVER_H_

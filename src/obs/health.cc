@@ -1,0 +1,107 @@
+#include "obs/health.h"
+
+#include <cstdio>
+
+namespace tencentrec::obs {
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void HealthRegistry::Set(const std::string& component, bool healthy,
+                         const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_) {
+    if (e.component == component) {
+      e.healthy = healthy;
+      e.reason = healthy ? "" : reason;
+      return;
+    }
+  }
+  entries_.push_back({component, healthy, healthy ? "" : reason});
+}
+
+void HealthRegistry::Clear(const std::string& component) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(entries_,
+                [&](const Entry& e) { return e.component == component; });
+}
+
+bool HealthRegistry::Healthy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (!e.healthy) return false;
+  }
+  return true;
+}
+
+void HealthRegistry::SetReady(bool ready) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ready_ = ready;
+}
+
+bool HealthRegistry::Ready() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ready_;
+}
+
+std::vector<HealthRegistry::Entry> HealthRegistry::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+std::string HealthRegistry::Json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool healthy = true;
+  for (const auto& e : entries_) healthy = healthy && e.healthy;
+  std::string out = "{\"status\":";
+  out += healthy ? "\"ok\"" : "\"degraded\"";
+  out += ",\"ready\":";
+  out += ready_ ? "true" : "false";
+  out += ",\"components\":[";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"component\":";
+    AppendJsonString(&out, entries_[i].component);
+    out += ",\"healthy\":";
+    out += entries_[i].healthy ? "true" : "false";
+    if (!entries_[i].reason.empty()) {
+      out += ",\"reason\":";
+      AppendJsonString(&out, entries_[i].reason);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace tencentrec::obs

@@ -1,0 +1,53 @@
+#ifndef TENCENTREC_OBS_HEALTH_H_
+#define TENCENTREC_OBS_HEALTH_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tencentrec::obs {
+
+/// Thread-safe component health registry behind /healthz and /readyz.
+///
+/// Liveness (`Healthy()`) is the AND over per-component verdicts: anything
+/// that can detect its own distress — the stall watchdog, a consumer that
+/// lost its subscription — files Set(component, false, reason), and clears
+/// it when the condition recovers. Readiness (`Ready()`) is a single switch
+/// the engine flips once wiring is complete, so load balancers can
+/// distinguish "still booting" from "booted but degraded".
+class HealthRegistry {
+ public:
+  struct Entry {
+    std::string component;
+    bool healthy = true;
+    std::string reason;  ///< non-empty only when unhealthy
+  };
+
+  /// Files or updates a component's verdict. Unknown components are added.
+  void Set(const std::string& component, bool healthy,
+           const std::string& reason = "");
+
+  /// Removes a component's entry entirely (component shut down cleanly).
+  void Clear(const std::string& component);
+
+  /// True iff every registered component is healthy (an empty registry is
+  /// healthy — no news is good news).
+  bool Healthy() const;
+
+  void SetReady(bool ready);
+  bool Ready() const;
+
+  std::vector<Entry> Entries() const;
+
+  /// {"status":"ok"|"degraded","ready":bool,"components":[...]}
+  std::string Json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  bool ready_ = false;
+};
+
+}  // namespace tencentrec::obs
+
+#endif  // TENCENTREC_OBS_HEALTH_H_

@@ -100,6 +100,8 @@ Result<std::vector<ConsumedMessage>> Consumer::Poll(size_t max_messages) {
       out.push_back(std::move(cm));
     }
   }
+  polls_.fetch_add(1, std::memory_order_relaxed);
+  messages_consumed_.fetch_add(out.size(), std::memory_order_relaxed);
   if (consumed_ != nullptr) consumed_->Add(out.size());
   // Lag after this poll = how stale the pipeline is if it stopped now.
   if (lag_gauge_ != nullptr) {

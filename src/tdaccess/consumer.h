@@ -1,6 +1,7 @@
 #ifndef TENCENTREC_TDACCESS_CONSUMER_H_
 #define TENCENTREC_TDACCESS_CONSUMER_H_
 
+#include <atomic>
 #include <map>
 #include <string>
 #include <vector>
@@ -44,6 +45,14 @@ class Consumer {
 
   const std::vector<int>& assigned_partitions() const { return assigned_; }
 
+  /// Monotone progress counters, readable from any thread (the stall
+  /// watchdog samples them while the owning spout keeps polling): polls()
+  /// advances even on empty fetches, messages_consumed() only on delivery.
+  uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+  uint64_t messages_consumed() const {
+    return messages_consumed_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Re-reads the assignment (after a rebalance) and seeds positions for
   /// newly acquired partitions from committed offsets.
@@ -63,6 +72,9 @@ class Consumer {
   Gauge* lag_gauge_ = nullptr;
   Counter* consumed_ = nullptr;
   LatencyHistogram* poll_us_ = nullptr;
+
+  std::atomic<uint64_t> polls_{0};
+  std::atomic<uint64_t> messages_consumed_{0};
 };
 
 }  // namespace tencentrec::tdaccess

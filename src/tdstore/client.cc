@@ -1,5 +1,7 @@
 #include "tdstore/client.h"
 
+#include "common/trace.h"
+
 namespace tencentrec::tdstore {
 
 Status Client::RefreshRoute() {
@@ -46,8 +48,12 @@ struct StatusResult {
 };
 }  // namespace
 
+// Store ops run under the caller's tuple context (published by the bolt's
+// ScopedSpan), so sampled tuples get a nested store-side span with no
+// signature change here.
 Status Client::Put(std::string_view key, std::string_view value) {
   ScopedLatencyTimer timer(write_us_);
+  ScopedSpan span(CurrentTraceId(), "tdstore.write");
   auto r = WithHost(key, [&](DataServer* host, int instance) -> StatusResult {
     return host->Put(instance, key, value);
   });
@@ -56,6 +62,7 @@ Status Client::Put(std::string_view key, std::string_view value) {
 
 Result<std::string> Client::Get(std::string_view key) {
   ScopedLatencyTimer timer(read_us_);
+  ScopedSpan span(CurrentTraceId(), "tdstore.read");
   return WithHost(key,
                   [&](DataServer* host, int instance) -> Result<std::string> {
                     return host->Get(instance, key);
@@ -64,6 +71,7 @@ Result<std::string> Client::Get(std::string_view key) {
 
 Status Client::Delete(std::string_view key) {
   ScopedLatencyTimer timer(write_us_);
+  ScopedSpan span(CurrentTraceId(), "tdstore.write");
   auto r = WithHost(key, [&](DataServer* host, int instance) -> StatusResult {
     return host->Delete(instance, key);
   });
@@ -72,6 +80,7 @@ Status Client::Delete(std::string_view key) {
 
 Result<double> Client::IncrDouble(std::string_view key, double delta) {
   ScopedLatencyTimer timer(write_us_);
+  ScopedSpan span(CurrentTraceId(), "tdstore.write");
   return WithHost(key, [&](DataServer* host, int instance) -> Result<double> {
     return host->IncrDouble(instance, key, delta);
   });
@@ -79,6 +88,7 @@ Result<double> Client::IncrDouble(std::string_view key, double delta) {
 
 Result<int64_t> Client::IncrInt64(std::string_view key, int64_t delta) {
   ScopedLatencyTimer timer(write_us_);
+  ScopedSpan span(CurrentTraceId(), "tdstore.write");
   return WithHost(key, [&](DataServer* host, int instance) -> Result<int64_t> {
     return host->IncrInt64(instance, key, delta);
   });

@@ -6,7 +6,8 @@ namespace tencentrec::topo {
 
 const std::vector<std::string>& ActionFields() {
   static const std::vector<std::string>* kFields = new std::vector<std::string>{
-      "user", "item", "action", "ts", "gender", "age", "region", "ingest"};
+      "user", "item",   "action", "ts",    "gender",
+      "age",  "region", "ingest", "trace"};
   return *kFields;
 }
 
@@ -24,6 +25,7 @@ tstorm::Tuple ActionToTuple(const core::UserAction& action) {
       static_cast<int64_t>(action.demographics.age_band),
       static_cast<int64_t>(action.demographics.region),
       static_cast<int64_t>(action.ingest_micros),
+      static_cast<int64_t>(action.trace_id),
   });
 }
 
@@ -55,12 +57,14 @@ Result<core::UserAction> ActionFromTuple(const tstorm::Tuple& tuple) {
   action.demographics.age_band = static_cast<uint8_t>(tuple.GetInt(5));
   action.demographics.region = static_cast<uint16_t>(tuple.GetInt(6));
   action.ingest_micros = static_cast<uint64_t>(tuple.GetInt(7));
+  action.trace_id = static_cast<uint64_t>(tuple.GetInt(8));
   return action;
 }
 
 namespace {
 constexpr size_t kLegacyPayloadSize = 8 + 8 + 1 + 8 + 1 + 1 + 2;
-constexpr size_t kPayloadSize = kLegacyPayloadSize + 8;  // + ingest stamp
+constexpr size_t kIngestPayloadSize = kLegacyPayloadSize + 8;  // + ingest stamp
+constexpr size_t kPayloadSize = kIngestPayloadSize + 8;        // + trace id
 }  // namespace
 
 std::string EncodeActionPayload(const core::UserAction& action) {
@@ -77,6 +81,7 @@ std::string EncodeActionPayload(const core::UserAction& action) {
   uint8_t age = action.demographics.age_band;
   uint16_t region = action.demographics.region;
   uint64_t ingest = action.ingest_micros;
+  uint64_t trace = action.trace_id;
   put(&user, 8);
   put(&item, 8);
   put(&type, 1);
@@ -85,11 +90,13 @@ std::string EncodeActionPayload(const core::UserAction& action) {
   put(&age, 1);
   put(&region, 2);
   put(&ingest, 8);
+  put(&trace, 8);
   return out;
 }
 
 Result<core::UserAction> DecodeActionPayload(std::string_view payload) {
   if (payload.size() != kPayloadSize &&
+      payload.size() != kIngestPayloadSize &&
       payload.size() != kLegacyPayloadSize) {
     return Status::Corruption("action payload: bad size");
   }
@@ -103,6 +110,7 @@ Result<core::UserAction> DecodeActionPayload(std::string_view payload) {
   uint8_t type, gender, age;
   uint16_t region;
   uint64_t ingest = 0;
+  uint64_t trace = 0;
   get(&user, 8);
   get(&item, 8);
   get(&type, 1);
@@ -110,7 +118,8 @@ Result<core::UserAction> DecodeActionPayload(std::string_view payload) {
   get(&gender, 1);
   get(&age, 1);
   get(&region, 2);
-  if (payload.size() == kPayloadSize) get(&ingest, 8);
+  if (payload.size() >= kIngestPayloadSize) get(&ingest, 8);
+  if (payload.size() == kPayloadSize) get(&trace, 8);
   if (type >= core::kNumActionTypes) {
     return Status::Corruption("action payload: bad action type");
   }
@@ -125,6 +134,7 @@ Result<core::UserAction> DecodeActionPayload(std::string_view payload) {
   action.demographics.age_band = age;
   action.demographics.region = region;
   action.ingest_micros = ingest;
+  action.trace_id = trace;
   return action;
 }
 

@@ -12,9 +12,10 @@
 namespace tencentrec::topo {
 
 /// Field names of an action tuple, in order: user, item, action, ts,
-/// gender, age, region, ingest. The canonical schema every action stream
-/// declares. `ingest` is the wall-clock ingest stamp (UserAction::
-/// ingest_micros) riding along for end-to-end latency tracing.
+/// gender, age, region, ingest, trace. The canonical schema every action
+/// stream declares. `ingest` is the wall-clock ingest stamp (UserAction::
+/// ingest_micros) riding along for end-to-end latency tracing; `trace` is
+/// the sampled-tracing id (UserAction::trace_id, common/trace.h).
 const std::vector<std::string>& ActionFields();
 
 tstorm::StreamDecl ActionStreamDecl(const std::string& stream_name);
@@ -25,10 +26,11 @@ tstorm::Tuple ActionToTuple(const core::UserAction& action);
 /// Stream tuple -> UserAction. Corruption on arity/type mismatch.
 Result<core::UserAction> ActionFromTuple(const tstorm::Tuple& tuple);
 
-/// UserAction <-> TDAccess message payload (fixed 37-byte binary record:
-/// the original 29 bytes plus the 8-byte ingest stamp). Decode also accepts
-/// the legacy 29-byte record (ingest = 0) so disk-cached history written by
-/// older builds stays replayable.
+/// UserAction <-> TDAccess message payload (fixed 45-byte binary record:
+/// the original 29 bytes plus the 8-byte ingest stamp plus the 8-byte
+/// trace id). Decode also accepts the two legacy record sizes — 29 bytes
+/// (ingest = 0, trace = 0) and 37 bytes (trace = 0) — so disk-cached
+/// history written by older builds stays replayable.
 std::string EncodeActionPayload(const core::UserAction& action);
 Result<core::UserAction> DecodeActionPayload(std::string_view payload);
 

@@ -21,6 +21,16 @@ bool GetRaw(std::string_view blob, size_t* pos, T* out) {
   return true;
 }
 
+/// Caps a decoded count header before vector::reserve: an adversarial or
+/// corrupt header must not demand a huge allocation when the blob cannot
+/// possibly hold that many `record_size`-byte records.
+size_t PlausibleCount(uint32_t count, std::string_view blob, size_t pos,
+                      size_t record_size) {
+  const size_t fit = (blob.size() - pos) / record_size;
+  return count < fit ? count : fit;
+}
+
+
 }  // namespace
 
 std::string EncodeUserHistory(const core::UserHistory& history) {
@@ -74,7 +84,7 @@ Result<core::Recommendations> DecodeScoredList(std::string_view blob) {
   if (!GetRaw(blob, &pos, &count)) {
     return Status::Corruption("scored list: bad header");
   }
-  list.reserve(count);
+  list.reserve(PlausibleCount(count, blob, pos, 16));
   for (uint32_t i = 0; i < count; ++i) {
     core::ScoredItem s;
     if (!GetRaw(blob, &pos, &s.item) || !GetRaw(blob, &pos, &s.score)) {
@@ -103,7 +113,7 @@ Result<core::TagVector> DecodeTagVector(std::string_view blob) {
   if (!GetRaw(blob, &pos, &count)) {
     return Status::Corruption("tag vector: bad header");
   }
-  tags.reserve(count);
+  tags.reserve(PlausibleCount(count, blob, pos, 12));
   for (uint32_t i = 0; i < count; ++i) {
     int32_t tag;
     double w;
@@ -130,7 +140,7 @@ Result<std::vector<core::ItemId>> DecodeItemList(std::string_view blob) {
   if (!GetRaw(blob, &pos, &count)) {
     return Status::Corruption("item list: bad header");
   }
-  items.reserve(count);
+  items.reserve(PlausibleCount(count, blob, pos, 8));
   for (uint32_t i = 0; i < count; ++i) {
     int64_t item;
     if (!GetRaw(blob, &pos, &item)) {
@@ -161,7 +171,7 @@ Result<ContentProfileBlob> DecodeContentProfile(std::string_view blob) {
       !GetRaw(blob, &pos, &count)) {
     return Status::Corruption("content profile: bad header");
   }
-  profile.weights.reserve(count);
+  profile.weights.reserve(PlausibleCount(count, blob, pos, 12));
   for (uint32_t i = 0; i < count; ++i) {
     int32_t tag;
     double w;

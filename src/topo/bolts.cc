@@ -55,6 +55,8 @@ void StoreBolt::Prepare(const tstorm::TaskContext& ctx) {
                    "topo." + app_->options.app + "." + ctx.component_name +
                    ".event_to_store_us")
              : nullptr;
+  span_name_ = ctx.component_name;
+  flush_span_name_ = ctx.component_name + ".flush";
 }
 
 Result<double> StoreBolt::WindowSum(
@@ -88,6 +90,7 @@ void PretreatmentBolt::Execute(const tstorm::Tuple& input,
     ++dropped_;
     return;
   }
+  ScopedSpan span(action->trace_id, span_name_);
   out.Emit(ActionToTuple(*action));
 }
 
@@ -100,6 +103,8 @@ void UserHistoryBolt::Execute(const tstorm::Tuple& input,
   auto action = ActionFromTuple(input);
   if (!action.ok()) return;
   const auto ingest = static_cast<int64_t>(action->ingest_micros);
+  const auto trace = static_cast<int64_t>(action->trace_id);
+  ScopedSpan span(action->trace_id, span_name_);
 
   // Demographic path (multi-hash stage 1 -> 2 handoff): popularity weight
   // per action, routed by (group, item).
@@ -109,11 +114,11 @@ void UserHistoryBolt::Execute(const tstorm::Tuple& input,
       const auto group =
           static_cast<int64_t>(core::DemographicGroup(action->demographics));
       out.EmitTo(2, tstorm::Tuple::Of({group, action->item, w,
-                                       action->timestamp, ingest}));
+                                       action->timestamp, ingest, trace}));
       if (group != 0) {
         out.EmitTo(2, tstorm::Tuple::Of({static_cast<int64_t>(0),
                                          action->item, w,
-                                         action->timestamp, ingest}));
+                                         action->timestamp, ingest, trace}));
       }
     }
   }
@@ -149,13 +154,13 @@ void UserHistoryBolt::Execute(const tstorm::Tuple& input,
 
   if (update.rating_delta > 0.0) {
     out.EmitTo(0, tstorm::Tuple::Of({update.item, update.rating_delta,
-                                     action->timestamp, ingest}));
+                                     action->timestamp, ingest, trace}));
   }
   for (const auto& pair : update.pairs) {
     const core::ItemId lo = std::min(update.item, pair.other);
     const core::ItemId hi = std::max(update.item, pair.other);
     out.EmitTo(1, tstorm::Tuple::Of({lo, hi, pair.co_rating_delta,
-                                     action->timestamp, ingest}));
+                                     action->timestamp, ingest, trace}));
   }
 }
 
@@ -169,6 +174,8 @@ void ItemCountBolt::Execute(const tstorm::Tuple& input,
   const double delta = input.GetDouble(1);
   const EventTime ts = input.GetInt(2);
   const auto ingest = static_cast<uint64_t>(input.GetInt(3));
+  const auto trace = static_cast<uint64_t>(input.GetInt(4));
+  ScopedSpan span(trace, span_name_);
   const std::string key = keys().ItemCount(app_->SessionOf(ts), item);
   if (options().enable_combiner) {
     combiner_.Add(key, delta);
@@ -178,6 +185,7 @@ void ItemCountBolt::Execute(const tstorm::Tuple& input,
         (oldest_pending_ingest_ == 0 || ingest < oldest_pending_ingest_)) {
       oldest_pending_ingest_ = ingest;
     }
+    if (oldest_pending_trace_ == 0) oldest_pending_trace_ = trace;
   } else {
     auto r = cache_->AddDouble(key, delta);
     if (!r.ok()) {
@@ -192,6 +200,8 @@ void ItemCountBolt::Execute(const tstorm::Tuple& input,
 
 void ItemCountBolt::Tick(tstorm::OutputCollector& out) {
   (void)out;
+  ScopedSpan span(oldest_pending_trace_, flush_span_name_);
+  oldest_pending_trace_ = 0;
   Status s = combiner_.Flush([&](const std::string& key, double delta) {
     return cache_->AddDouble(key, delta).status();
   });
@@ -221,6 +231,8 @@ void CfPairBolt::Execute(const tstorm::Tuple& input,
   const double co_delta = input.GetDouble(2);
   const EventTime ts = input.GetInt(3);
   const int64_t ingest = input.GetInt(4);
+  const int64_t trace = input.GetInt(5);
+  ScopedSpan span(static_cast<uint64_t>(trace), span_name_);
 
   // Algorithm 1, line 3–5: pruned pairs are skipped outright. The flag is
   // monotone (never unset), so caching it is safe.
@@ -272,8 +284,8 @@ void CfPairBolt::Execute(const tstorm::Tuple& input,
     sim = *pc_sum / (std::sqrt(*ic_lo) * std::sqrt(*ic_hi));
   }
 
-  out.EmitTo(0, tstorm::Tuple::Of({lo, hi, sim, ingest}));
-  out.EmitTo(0, tstorm::Tuple::Of({hi, lo, sim, ingest}));
+  out.EmitTo(0, tstorm::Tuple::Of({lo, hi, sim, ingest, trace}));
+  out.EmitTo(0, tstorm::Tuple::Of({hi, lo, sim, ingest, trace}));
 
   if (!options().enable_pruning) return;
 
@@ -306,6 +318,8 @@ void SimilarListBolt::Execute(const tstorm::Tuple& input,
   const core::ItemId item = input.GetInt(0);
   const core::ItemId other = input.GetInt(1);
   const bool is_prune = input.size() == 2;  // "prune" stream has two fields
+  ScopedSpan span(is_prune ? 0 : static_cast<uint64_t>(input.GetInt(4)),
+                  span_name_);
 
   const std::string key = keys().SimilarItems(item);
   core::Recommendations list;
@@ -362,6 +376,8 @@ void GroupCountBolt::Execute(const tstorm::Tuple& input,
   const double delta = input.GetDouble(2);
   const EventTime ts = input.GetInt(3);
   const int64_t ingest = input.GetInt(4);
+  const int64_t trace = input.GetInt(5);
+  ScopedSpan span(static_cast<uint64_t>(trace), span_name_);
   latest_ts_ = std::max(latest_ts_, ts);
 
   const std::string key = keys().GroupHot(static_cast<core::GroupId>(group),
@@ -374,15 +390,20 @@ void GroupCountBolt::Execute(const tstorm::Tuple& input,
         (oldest_pending_ingest_ == 0 || stamp < oldest_pending_ingest_)) {
       oldest_pending_ingest_ = stamp;
     }
+    if (oldest_pending_trace_ == 0) {
+      oldest_pending_trace_ = static_cast<uint64_t>(trace);
+    }
   } else {
     auto r = cache_->AddDouble(key, delta);
     if (!r.ok()) return;
     RecordEventToStore(static_cast<uint64_t>(ingest));
-    out.Emit(tstorm::Tuple::Of({group, item, ts, ingest}));
+    out.Emit(tstorm::Tuple::Of({group, item, ts, ingest, trace}));
   }
 }
 
 void GroupCountBolt::Tick(tstorm::OutputCollector& out) {
+  ScopedSpan span(oldest_pending_trace_, flush_span_name_);
+  oldest_pending_trace_ = 0;
   Status s = combiner_.Flush([&](const std::string& key, double delta) {
     return cache_->AddDouble(key, delta).status();
   });
@@ -394,6 +415,7 @@ void GroupCountBolt::Tick(tstorm::OutputCollector& out) {
   oldest_pending_ingest_ = 0;
   for (const auto& [group, item] : touched_) {
     out.Emit(tstorm::Tuple::Of({group, item, latest_ts_,
+                                static_cast<int64_t>(0),
                                 static_cast<int64_t>(0)}));
   }
   touched_.clear();
@@ -408,6 +430,7 @@ void HotListBolt::Execute(const tstorm::Tuple& input,
   (void)out;
   const int64_t group = input.GetInt(0);
   const core::ItemId item = input.GetInt(1);
+  ScopedSpan span(static_cast<uint64_t>(input.GetInt(4)), span_name_);
   latest_ts_ = std::max(latest_ts_, input.GetInt(2));
 
   // Windowed popularity of the touched item (window end = the latest event
@@ -452,6 +475,7 @@ void CtrStatsBolt::Execute(const tstorm::Tuple& input,
   if (!action.ok()) return;
   const bool click = action->action == core::ActionType::kClick;
   if (!click && action->action != core::ActionType::kImpression) return;
+  ScopedSpan span(action->trace_id, span_name_);
 
   const int64_t session = app_->SessionOf(action->timestamp);
   const int max_level = core::CtrMaxLevel(action->demographics);
@@ -473,6 +497,7 @@ void CtrStatsBolt::Execute(const tstorm::Tuple& input,
         (oldest_pending_ingest_ == 0 || stamp < oldest_pending_ingest_)) {
       oldest_pending_ingest_ = stamp;
     }
+    if (oldest_pending_trace_ == 0) oldest_pending_trace_ = action->trace_id;
   } else {
     RecordEventToStore(action->ingest_micros);
   }
@@ -480,6 +505,8 @@ void CtrStatsBolt::Execute(const tstorm::Tuple& input,
 
 void CtrStatsBolt::Tick(tstorm::OutputCollector& out) {
   (void)out;
+  ScopedSpan span(oldest_pending_trace_, flush_span_name_);
+  oldest_pending_trace_ = 0;
   Status s = combiner_.Flush([&](const std::string& key, double delta) {
     return cache_->AddDouble(key, delta).status();
   });
@@ -509,6 +536,7 @@ void CbProfileBolt::Execute(const tstorm::Tuple& input,
   if (!action.ok()) return;
   const double w = options().weights.Weight(action->action);
   if (w <= 0.0) return;
+  ScopedSpan span(action->trace_id, span_name_);
 
   auto tags_blob = cache_->Get(keys().ItemTags(action->item));
   if (!tags_blob.ok()) return;  // untagged item: nothing to learn
@@ -564,6 +592,7 @@ void ResultStorageBolt::Execute(const tstorm::Tuple& input,
   (void)out;
   auto action = ActionFromTuple(input);
   if (!action.ok()) return;
+  ScopedSpan span(action->trace_id, span_name_);
   TouchedUser& t = pending_[action->user];
   t.demographics = action->demographics;
   t.ts = std::max(t.ts, action->timestamp);
@@ -571,6 +600,7 @@ void ResultStorageBolt::Execute(const tstorm::Tuple& input,
       (action->ingest_micros != 0 && action->ingest_micros < t.ingest_micros)) {
     t.ingest_micros = action->ingest_micros;
   }
+  if (t.trace_id == 0) t.trace_id = action->trace_id;
 }
 
 void ResultStorageBolt::Tick(tstorm::OutputCollector& out) {
@@ -578,6 +608,7 @@ void ResultStorageBolt::Tick(tstorm::OutputCollector& out) {
   if (pending_.empty()) return;
   StoreQuery query(app_);
   for (const auto& [user, touched] : pending_) {
+    ScopedSpan span(touched.trace_id, flush_span_name_);
     auto recs = query.Recommend(user, touched.demographics,
                                 static_cast<size_t>(options().top_k),
                                 touched.ts);

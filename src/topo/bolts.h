@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "tdstore/client.h"
 #include "topo/action_codec.h"
 #include "topo/app.h"
@@ -59,6 +60,11 @@ class StoreBolt : public tstorm::IBolt {
   std::unique_ptr<tdstore::Client> client_;
   std::unique_ptr<StoreCache> cache_;
   LatencyHistogram* e2s_ = nullptr;
+  /// Span names for this component's hops, resolved once in Prepare so the
+  /// per-tuple ScopedSpan constructors never allocate. Stable for the task's
+  /// lifetime, as ScopedSpan requires.
+  std::string span_name_;
+  std::string flush_span_name_;
 };
 
 /// Preprocessing layer (Fig. 6): parses and validates raw action tuples,
@@ -84,9 +90,9 @@ class PretreatmentBolt : public StoreBolt {
 /// user's behaviour history in TDStore, turns each action into ∆rating and
 /// ∆co-rating tuples (§4.1.3), and fans them out (every derived stream
 /// carries the source action's ingest stamp for latency tracing):
-///   "item_delta"  (item, ∆r, ts, ingest)       -> ItemCountBolt  [by item]
-///   "pair_delta"  (lo, hi, ∆co, ts, ingest)    -> CfPairBolt     [by pair]
-///   "group_delta" (group, item, w, ts, ingest) -> GroupCountBolt [by g,item]
+///   "item_delta"  (item, ∆r, ts, ingest, trace)       -> ItemCountBolt
+///   "pair_delta"  (lo, hi, ∆co, ts, ingest, trace)    -> CfPairBolt
+///   "group_delta" (group, item, w, ts, ingest, trace) -> GroupCountBolt
 /// The group_delta hop is the multi-hash technique of §5.4: demographic
 /// counters are keyed by group, not user, so they take a second hash stage
 /// instead of conflicting writes from user-grouped workers.
@@ -96,9 +102,9 @@ class UserHistoryBolt : public StoreBolt {
 
   std::vector<tstorm::StreamDecl> DeclareOutputs() const override {
     return {
-        {"item_delta", {"item", "delta", "ts", "ingest"}},
-        {"pair_delta", {"lo", "hi", "delta", "ts", "ingest"}},
-        {"group_delta", {"group", "item", "delta", "ts", "ingest"}},
+        {"item_delta", {"item", "delta", "ts", "ingest", "trace"}},
+        {"pair_delta", {"lo", "hi", "delta", "ts", "ingest", "trace"}},
+        {"group_delta", {"group", "item", "delta", "ts", "ingest", "trace"}},
     };
   }
 
@@ -123,6 +129,9 @@ class ItemCountBolt : public StoreBolt {
   /// Oldest ingest stamp buffered in the combiner; its delta is recorded
   /// once per flush, when those counts actually reach the store.
   uint64_t oldest_pending_ingest_ = 0;
+  /// First sampled trace id buffered since the last flush (arrival order =
+  /// oldest); the flush span is attributed to it.
+  uint64_t oldest_pending_trace_ = 0;
 };
 
 /// Layer 2b + 3 (Fig. 4, Algorithm 1): grouped by item pair — the key
@@ -131,15 +140,15 @@ class ItemCountBolt : public StoreBolt {
 /// scaled". Updates pairCount_w, computes the new similarity from windowed
 /// counts (Eq. 5/10), maintains the pair's Hoeffding state (n_ij, pruned
 /// flag; Eq. 9) and emits:
-///   "sim_update" (item, other, sim, ingest) x2 -> SimilarListBolt [by item]
-///   "prune"      (item, other)              x2 -> SimilarListBolt [by item]
+///   "sim_update" (item, other, sim, ingest, trace) x2 -> SimilarListBolt
+///   "prune"      (item, other)                     x2 -> SimilarListBolt
 class CfPairBolt : public StoreBolt {
  public:
   explicit CfPairBolt(const AppContext* app) : StoreBolt(app) {}
 
   std::vector<tstorm::StreamDecl> DeclareOutputs() const override {
     return {
-        {"sim_update", {"item", "other", "sim", "ingest"}},
+        {"sim_update", {"item", "other", "sim", "ingest", "trace"}},
         {"prune", {"item", "other"}},
     };
   }
@@ -182,15 +191,15 @@ class SimilarListBolt : public StoreBolt {
 /// DB statistics: grouped by (group, item), accumulates windowed group
 /// popularity counts through the combiner, then notifies the hot-list
 /// stage:
-///   "hot_touch" (group, item, ts, ingest) -> HotListBolt [by group]
+///   "hot_touch" (group, item, ts, ingest, trace) -> HotListBolt [by group]
 /// Combiner-path touches flush at Tick, after the source stamps have been
-/// batched away, so those emit ingest = 0 (untraced).
+/// batched away, so those emit ingest = 0 and trace = 0 (untraced).
 class GroupCountBolt : public StoreBolt {
  public:
   explicit GroupCountBolt(const AppContext* app) : StoreBolt(app) {}
 
   std::vector<tstorm::StreamDecl> DeclareOutputs() const override {
-    return {{"hot_touch", {"group", "item", "ts", "ingest"}}};
+    return {{"hot_touch", {"group", "item", "ts", "ingest", "trace"}}};
   }
 
   void Execute(const tstorm::Tuple& input, const tstorm::TupleSource& source,
@@ -204,6 +213,7 @@ class GroupCountBolt : public StoreBolt {
   std::set<std::pair<int64_t, int64_t>> touched_;  ///< (group, item)
   EventTime latest_ts_ = 0;
   uint64_t oldest_pending_ingest_ = 0;
+  uint64_t oldest_pending_trace_ = 0;
 };
 
 /// Maintains each demographic group's hot-items top-K blob (grouped by
@@ -234,6 +244,7 @@ class CtrStatsBolt : public StoreBolt {
  private:
   Combiner combiner_;
   uint64_t oldest_pending_ingest_ = 0;
+  uint64_t oldest_pending_trace_ = 0;
 };
 
 /// CB statistics (grouped by user): folds actions into the user's decayed
@@ -273,6 +284,9 @@ class ResultStorageBolt : public StoreBolt {
     /// Oldest unserved ingest stamp — the pessimistic bound on how long
     /// this user's freshest recommendation has been pending.
     uint64_t ingest_micros = 0;
+    /// First sampled trace among the pending actions; the Tick-time
+    /// recommend+write span is attributed to it.
+    uint64_t trace_id = 0;
   };
   std::unordered_map<int64_t, TouchedUser> pending_;
   int64_t results_written_ = 0;

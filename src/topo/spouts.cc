@@ -35,6 +35,10 @@ bool TdAccessActionSpout::NextBatch(tstorm::OutputCollector& out) {
     if (action->ingest_micros == 0 && MetricsEnabled()) {
       action->ingest_micros = MonoMicros();
     }
+    // Payloads published before tracing existed (or with sampling off at
+    // the producer) get their sampling decision here instead.
+    if (action->trace_id == 0) action->trace_id = MaybeStartTrace();
+    ScopedSpan span(action->trace_id, "spout");
     out.Emit(ActionToTuple(*action));
   }
   return true;

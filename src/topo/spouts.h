@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "tdaccess/consumer.h"
 #include "topo/action_codec.h"
 
@@ -38,6 +39,9 @@ class VectorActionSpout : public tstorm::ISpout {
       if (action.ingest_micros == 0 && MetricsEnabled()) {
         action.ingest_micros = MonoMicros();
       }
+      // Sampling decision for per-tuple tracing is made here, at the edge.
+      if (action.trace_id == 0) action.trace_id = MaybeStartTrace();
+      ScopedSpan span(action.trace_id, "spout");
       out.Emit(ActionToTuple(action));
       next_ += stride_;
       ++emitted;

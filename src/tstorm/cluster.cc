@@ -49,6 +49,11 @@ struct LocalCluster::Task {
   std::thread thread;
   std::atomic<bool> restart_requested{false};
 
+  /// Liveness heartbeat for the stall watchdog: bumped (relaxed) once per
+  /// popped envelope / spout batch, readable mid-run. Kept separate from
+  /// the plain counters below so those stay single-writer non-atomics.
+  std::atomic<uint64_t> heartbeat{0};
+
   // Counters are written only by this task's thread; read after Run().
   uint64_t executed = 0;
   uint64_t emitted = 0;
@@ -291,6 +296,7 @@ void LocalCluster::RunSpoutTask(Task* task) {
     const uint64_t t0 = NowMicros();
     const bool more = task->spout->NextBatch(collector);
     task->busy_micros += NowMicros() - t0;
+    task->heartbeat.fetch_add(1, std::memory_order_relaxed);
     if (!more) break;
   }
   task->spout->Close();
@@ -325,6 +331,7 @@ void LocalCluster::RunBoltTask(Task* task) {
     }
     std::optional<Envelope> env = task->input->Pop();
     if (!env.has_value()) break;  // queue closed (cluster teardown)
+    task->heartbeat.fetch_add(1, std::memory_order_relaxed);
     if (env->eos) {
       ++eos_seen;
       continue;
@@ -401,6 +408,22 @@ std::vector<ComponentMetrics> LocalCluster::Metrics() const {
       m.busy_micros += task.busy_micros;
     }
     out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::vector<ComponentWatch> LocalCluster::WatchRows() const {
+  std::vector<ComponentWatch> out;
+  for (size_t c = 0; c < spec_.components.size(); ++c) {
+    ComponentWatch w;
+    w.component = spec_.components[c].name;
+    w.is_spout = spec_.components[c].is_spout;
+    for (int t : tasks_by_component_[c]) {
+      const Task& task = *tasks_[static_cast<size_t>(t)];
+      w.progress += task.heartbeat.load(std::memory_order_relaxed);
+      if (task.input != nullptr) w.backlog += task.input->size();
+    }
+    out.push_back(std::move(w));
   }
   return out;
 }

@@ -15,6 +15,19 @@
 
 namespace tencentrec::tstorm {
 
+/// Live liveness view of one component, summed over instances: `progress`
+/// is a monotone heartbeat that advances whenever any instance pops an
+/// envelope (bolts) or runs a NextBatch (spouts); `backlog` is the current
+/// depth of the instances' input queues. A watchdog samples rows while
+/// Run() is in flight: unchanged progress with nonzero backlog means the
+/// component is stuck, not idle.
+struct ComponentWatch {
+  std::string component;
+  bool is_spout = false;
+  uint64_t progress = 0;
+  uint64_t backlog = 0;
+};
+
 /// Per-component execution counters, summed over instances.
 struct ComponentMetrics {
   std::string component;
@@ -69,6 +82,10 @@ class LocalCluster {
   Status RequestRestart(const std::string& component);
 
   std::vector<ComponentMetrics> Metrics() const;
+
+  /// Safe to call concurrently with Run() (heartbeats are atomics, queue
+  /// depths take the queue locks); rows are in component declaration order.
+  std::vector<ComponentWatch> WatchRows() const;
 
  private:
   struct Task;

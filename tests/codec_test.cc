@@ -1,0 +1,248 @@
+// Wire-format hardening for topo/blob_codec and topo/action_codec:
+// round-trip property tests over randomized values, legacy payload decode,
+// truncated-buffer rejection, and random-bytes no-crash fuzzing.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "topo/action_codec.h"
+#include "topo/blob_codec.h"
+
+namespace tencentrec::topo {
+namespace {
+
+using core::ActionType;
+using core::Demographics;
+using core::UserAction;
+
+// --- round-trip properties --------------------------------------------------
+
+TEST(BlobCodecProperty, UserHistoryRoundTrip) {
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    core::UserHistory history;
+    const int items = static_cast<int>(rng.Uniform(20));
+    for (int i = 0; i < items; ++i) {
+      history.Restore(static_cast<core::ItemId>(1 + rng.Uniform(1000)),
+                      static_cast<double>(rng.Uniform(30)) / 10.0,
+                      Seconds(static_cast<int64_t>(rng.Uniform(100000))));
+    }
+    const std::string blob = EncodeUserHistory(history);
+    auto decoded = DecodeUserHistory(blob);
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded->size(), history.size());
+    for (const auto& [item, state] : history.items()) {
+      EXPECT_EQ(decoded->RatingOf(item), state.rating);
+    }
+  }
+}
+
+TEST(BlobCodecProperty, ScoredListRoundTrip) {
+  Rng rng(102);
+  for (int trial = 0; trial < 50; ++trial) {
+    core::Recommendations list;
+    const int n = static_cast<int>(rng.Uniform(32));
+    for (int i = 0; i < n; ++i) {
+      list.push_back({static_cast<core::ItemId>(rng.Uniform(1u << 20)),
+                      rng.NextDouble() * 100.0});
+    }
+    auto decoded = DecodeScoredList(EncodeScoredList(list));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, list);
+  }
+}
+
+TEST(BlobCodecProperty, TagVectorAndItemListRoundTrip) {
+  Rng rng(103);
+  for (int trial = 0; trial < 50; ++trial) {
+    core::TagVector tags;
+    std::vector<core::ItemId> items;
+    const int n = static_cast<int>(rng.Uniform(16));
+    for (int i = 0; i < n; ++i) {
+      tags.emplace_back(static_cast<core::TagId>(rng.Uniform(500)),
+                        rng.NextDouble());
+      items.push_back(static_cast<core::ItemId>(rng.Uniform(1u << 30)));
+    }
+    auto dtags = DecodeTagVector(EncodeTagVector(tags));
+    ASSERT_TRUE(dtags.ok());
+    EXPECT_EQ(*dtags, tags);
+    auto ditems = DecodeItemList(EncodeItemList(items));
+    ASSERT_TRUE(ditems.ok());
+    EXPECT_EQ(*ditems, items);
+  }
+}
+
+TEST(BlobCodecProperty, ContentProfileAndDoublePairRoundTrip) {
+  Rng rng(104);
+  for (int trial = 0; trial < 50; ++trial) {
+    ContentProfileBlob profile;
+    const int n = static_cast<int>(rng.Uniform(12));
+    for (int i = 0; i < n; ++i) {
+      profile.weights.emplace_back(static_cast<core::TagId>(rng.Uniform(99)),
+                                   rng.NextDouble());
+    }
+    profile.last_update = Seconds(static_cast<int64_t>(rng.Uniform(1u << 20)));
+    auto decoded = DecodeContentProfile(EncodeContentProfile(profile));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->weights, profile.weights);
+    EXPECT_EQ(decoded->last_update, profile.last_update);
+
+    const double a = rng.NextDouble() * 1e6;
+    const double b = rng.NextDouble() * 1e6;
+    auto pair = DecodeDoublePair(EncodeDoublePair(a, b));
+    ASSERT_TRUE(pair.ok());
+    EXPECT_EQ(pair->first, a);
+    EXPECT_EQ(pair->second, b);
+  }
+}
+
+UserAction RandomAction(Rng& rng) {
+  UserAction a;
+  a.user = static_cast<core::UserId>(rng.Uniform(1u << 30));
+  a.item = static_cast<core::ItemId>(rng.Uniform(1u << 30));
+  a.action = static_cast<ActionType>(rng.Uniform(core::kNumActionTypes));
+  a.timestamp = static_cast<EventTime>(rng.Uniform(1ull << 40));
+  a.demographics.gender =
+      static_cast<Demographics::Gender>(rng.Uniform(3));
+  a.demographics.age_band = static_cast<uint8_t>(rng.Uniform(8));
+  a.demographics.region = static_cast<uint16_t>(rng.Uniform(1000));
+  a.ingest_micros = rng.Uniform(1ull << 50);
+  a.trace_id = rng.Uniform(1ull << 62);
+  return a;
+}
+
+TEST(ActionCodecProperty, PayloadRoundTripPreservesEveryField) {
+  Rng rng(105);
+  for (int trial = 0; trial < 200; ++trial) {
+    const UserAction a = RandomAction(rng);
+    auto decoded = DecodeActionPayload(EncodeActionPayload(a));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->user, a.user);
+    EXPECT_EQ(decoded->item, a.item);
+    EXPECT_EQ(decoded->action, a.action);
+    EXPECT_EQ(decoded->timestamp, a.timestamp);
+    EXPECT_EQ(decoded->demographics, a.demographics);
+    EXPECT_EQ(decoded->ingest_micros, a.ingest_micros);
+    EXPECT_EQ(decoded->trace_id, a.trace_id);
+  }
+}
+
+TEST(ActionCodecProperty, TupleRoundTripPreservesEveryField) {
+  Rng rng(106);
+  for (int trial = 0; trial < 200; ++trial) {
+    const UserAction a = RandomAction(rng);
+    auto decoded = ActionFromTuple(ActionToTuple(a));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->user, a.user);
+    EXPECT_EQ(decoded->demographics, a.demographics);
+    EXPECT_EQ(decoded->ingest_micros, a.ingest_micros);
+    EXPECT_EQ(decoded->trace_id, a.trace_id);
+  }
+}
+
+// --- legacy decode ----------------------------------------------------------
+
+TEST(ActionCodecLegacy, AllThreePayloadGenerationsDecode) {
+  Rng rng(107);
+  const UserAction a = RandomAction(rng);
+  const std::string payload = EncodeActionPayload(a);
+  ASSERT_EQ(payload.size(), 45u);
+  const std::string_view view(payload);
+
+  auto v0 = DecodeActionPayload(view.substr(0, 29));  // pre-ingest build
+  ASSERT_TRUE(v0.ok());
+  EXPECT_EQ(v0->user, a.user);
+  EXPECT_EQ(v0->ingest_micros, 0u);
+  EXPECT_EQ(v0->trace_id, 0u);
+
+  auto v1 = DecodeActionPayload(view.substr(0, 37));  // pre-trace build
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->ingest_micros, a.ingest_micros);
+  EXPECT_EQ(v1->trace_id, 0u);
+
+  auto v2 = DecodeActionPayload(view);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->trace_id, a.trace_id);
+}
+
+// --- truncation rejection ---------------------------------------------------
+
+TEST(ActionCodecTruncation, EveryOtherLengthRejected) {
+  Rng rng(108);
+  const std::string payload = EncodeActionPayload(RandomAction(rng));
+  const std::string padded = payload + "xx";
+  for (size_t len = 0; len <= padded.size(); ++len) {
+    auto decoded =
+        DecodeActionPayload(std::string_view(padded).substr(0, len));
+    if (len == 29 || len == 37 || len == 45) {
+      EXPECT_TRUE(decoded.ok()) << "len=" << len;
+    } else {
+      EXPECT_FALSE(decoded.ok()) << "len=" << len;
+    }
+  }
+}
+
+TEST(BlobCodecTruncation, TruncatedBlobsRejectedNotMisread) {
+  core::UserHistory history;
+  history.Restore(7, 1.5, Seconds(10));
+  history.Restore(9, 3.0, Seconds(20));
+  const std::string hist_blob = EncodeUserHistory(history);
+  for (size_t len = 0; len < hist_blob.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeUserHistory(std::string_view(hist_blob).substr(0, len)).ok())
+        << "len=" << len;
+  }
+
+  const std::string list_blob =
+      EncodeScoredList({{1, 0.5}, {2, 0.25}, {3, 0.125}});
+  for (size_t len = 0; len < list_blob.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeScoredList(std::string_view(list_blob).substr(0, len)).ok())
+        << "len=" << len;
+  }
+
+  const std::string pair_blob = EncodeDoublePair(1.0, 2.0);
+  for (size_t len = 0; len < pair_blob.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeDoublePair(std::string_view(pair_blob).substr(0, len)).ok());
+  }
+}
+
+// --- random-bytes fuzzing ---------------------------------------------------
+
+std::string RandomBytes(Rng& rng, size_t max_len) {
+  std::string bytes(rng.Uniform(max_len + 1), '\0');
+  for (auto& c : bytes) c = static_cast<char>(rng.Uniform(256));
+  return bytes;
+}
+
+TEST(CodecFuzz, RandomBytesNeverCrashAnyDecoder) {
+  // Decoders must treat arbitrary input as data, never as trusted
+  // structure: any outcome is fine, crashing or over-reading is not.
+  Rng rng(109);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string bytes = RandomBytes(rng, 96);
+    (void)DecodeActionPayload(bytes);
+    (void)DecodeUserHistory(bytes);
+    (void)DecodeScoredList(bytes);
+    (void)DecodeTagVector(bytes);
+    (void)DecodeItemList(bytes);
+    (void)DecodeContentProfile(bytes);
+    (void)DecodeDoublePair(bytes);
+  }
+  // A size-coherent random payload decodes without crashing even though
+  // its field values are garbage.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string bytes = RandomBytes(rng, 0);
+    bytes.resize(45);
+    for (auto& c : bytes) c = static_cast<char>(rng.Uniform(256));
+    (void)DecodeActionPayload(bytes);
+  }
+}
+
+}  // namespace
+}  // namespace tencentrec::topo

@@ -6,6 +6,7 @@
 #include "common/clock.h"
 #include "common/crc32.h"
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/metrics.h"
 #include "common/queue.h"
 #include "common/random.h"
@@ -123,6 +124,33 @@ TEST(StringsTest, StartsWith) {
 }
 
 // --- hash -------------------------------------------------------------------
+
+// --- logging ----------------------------------------------------------------
+
+TEST(LoggingTest, ParseLogLevelAcceptsNamesNumbersAndCase) {
+  EXPECT_EQ(ParseLogLevel("debug", LogLevel::kError), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO", LogLevel::kError), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warning", LogLevel::kError), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn", LogLevel::kError), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error", LogLevel::kDebug), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("0", LogLevel::kError), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("3", LogLevel::kDebug), LogLevel::kError);
+}
+
+TEST(LoggingTest, ParseLogLevelFallsBackOnJunk) {
+  EXPECT_EQ(ParseLogLevel(nullptr, LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("loud", LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("7", LogLevel::kDebug), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("-1", LogLevel::kError), LogLevel::kError);
+}
+
+TEST(LoggingTest, SetLogLevelRoundTrips) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(saved);
+}
 
 TEST(HashTest, StableAcrossCalls) {
   EXPECT_EQ(HashString("hello"), HashString("hello"));

@@ -217,10 +217,27 @@ TEST(MonitorFormatTest, SnapshotDeltaRatesAndUtilization) {
   EXPECT_DOUBLE_EQ(delta.utilization[1].busy_over_wall, 0.5);
   EXPECT_DOUBLE_EQ(delta.utilization[0].busy_over_wall, 0.0);
 
-  // Identical snapshots (zero wall delta) yield no rates, not NaN.
+  // Identical snapshots (zero wall delta) yield no rates, not NaN — and
+  // the utilization rows still come back, all zero, rather than dividing
+  // busy time by a zero wall.
   SnapshotDelta zero = ComputeSnapshotDelta(before, before);
   EXPECT_DOUBLE_EQ(zero.wall_seconds, 0.0);
   EXPECT_DOUBLE_EQ(zero.events_per_second, 0.0);
+  EXPECT_DOUBLE_EQ(zero.store_reads_per_second, 0.0);
+  EXPECT_DOUBLE_EQ(zero.store_writes_per_second, 0.0);
+  ASSERT_EQ(zero.utilization.size(), before.topology.size());
+  for (const auto& u : zero.utilization) {
+    EXPECT_DOUBLE_EQ(u.busy_over_wall, 0.0);
+  }
+
+  // Busy time accrued in the same instant must not divide by zero either.
+  MonitorSnapshot same_instant = after;
+  same_instant.wall_micros = before.wall_micros;
+  SnapshotDelta burst = ComputeSnapshotDelta(before, same_instant);
+  EXPECT_DOUBLE_EQ(burst.wall_seconds, 0.0);
+  for (const auto& u : burst.utilization) {
+    EXPECT_DOUBLE_EQ(u.busy_over_wall, 0.0);
+  }
 }
 
 // --- end-to-end: seeded engine run ------------------------------------------

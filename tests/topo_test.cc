@@ -127,18 +127,25 @@ TEST(ActionCodecTest, PayloadRoundTrip) {
 }
 
 TEST(ActionCodecTest, DecodesLegacyPayloadWithoutIngest) {
-  // Records written before the ingest stamp are 29 bytes; they must still
-  // decode (disk-cached TDAccess history stays replayable), with ingest 0.
+  // Records written before the ingest stamp are 29 bytes (37 before the
+  // trace id); both must still decode (disk-cached TDAccess history stays
+  // replayable), with the missing trailing fields zero.
   UserAction a = Act(77, 88, ActionType::kClick, Hours(3));
   a.ingest_micros = 42;
+  a.trace_id = 7;
   std::string payload = EncodeActionPayload(a);
-  ASSERT_EQ(payload.size(), 37u);
+  ASSERT_EQ(payload.size(), 45u);
   auto decoded = DecodeActionPayload(std::string_view(payload).substr(0, 29));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->user, 77);
   EXPECT_EQ(decoded->item, 88);
   EXPECT_EQ(decoded->action, ActionType::kClick);
   EXPECT_EQ(decoded->ingest_micros, 0u);
+  EXPECT_EQ(decoded->trace_id, 0u);
+  auto mid = DecodeActionPayload(std::string_view(payload).substr(0, 37));
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid->ingest_micros, 42u);
+  EXPECT_EQ(mid->trace_id, 0u);
 }
 
 TEST(ActionCodecTest, TupleCarriesIngestStamp) {

@@ -1,0 +1,223 @@
+// Sampled per-tuple tracing (common/trace.h): edge sampling, the striped
+// span ring, scoped spans and trace context, and the two JSON exports.
+
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace tencentrec {
+namespace {
+
+/// Every test leaves the process-wide sampling rate off and the default
+/// tracer empty, so suites sharing the binary stay independent.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetMetricsEnabled(true);
+    SetTraceSampleEvery(0);
+    Tracer::Default().Clear();
+  }
+  void TearDown() override {
+    SetTraceSampleEvery(0);
+    Tracer::Default().Clear();
+  }
+};
+
+TEST_F(TraceTest, SamplingDisabledReturnsZero) {
+  EXPECT_FALSE(TracingEnabled());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(MaybeStartTrace(), 0u);
+}
+
+TEST_F(TraceTest, SamplesExactlyOneInN) {
+  SetTraceSampleEvery(4);
+  // The window length is a multiple of the period, so the hit count is
+  // exact regardless of the global counter's phase.
+  int sampled = 0;
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 400; ++i) {
+    const uint64_t id = MaybeStartTrace();
+    if (id != 0) {
+      ++sampled;
+      ids.insert(id);
+    }
+  }
+  EXPECT_EQ(sampled, 100);
+  EXPECT_EQ(ids.size(), 100u);  // ids are unique
+}
+
+TEST_F(TraceTest, SampleEveryOneTracesEverything) {
+  SetTraceSampleEvery(1);
+  for (int i = 0; i < 16; ++i) EXPECT_NE(MaybeStartTrace(), 0u);
+}
+
+TEST_F(TraceTest, ScopedSpanRecordsAndPublishesContext) {
+  SetTraceSampleEvery(1);
+  EXPECT_EQ(CurrentTraceId(), 0u);
+  {
+    ScopedSpan span(42, "stage-a");
+    EXPECT_EQ(CurrentTraceId(), 42u);
+    {
+      ScopedSpan nested(43, "stage-b");
+      EXPECT_EQ(CurrentTraceId(), 43u);
+    }
+    EXPECT_EQ(CurrentTraceId(), 42u);
+  }
+  EXPECT_EQ(CurrentTraceId(), 0u);
+
+  const auto spans = Tracer::Default().Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Ordered by start time: outer opened first.
+  EXPECT_STREQ(spans[0].name, "stage-a");
+  EXPECT_EQ(spans[0].trace_id, 42u);
+  EXPECT_STREQ(spans[1].name, "stage-b");
+}
+
+TEST_F(TraceTest, ScopedSpanInertWhenUntracedOrDisabled) {
+  SetTraceSampleEvery(1);
+  { ScopedSpan span(0, "untraced"); }
+  SetTraceSampleEvery(0);
+  { ScopedSpan span(7, "disabled"); }  // nonzero id but tracing off
+  EXPECT_TRUE(Tracer::Default().Spans().empty());
+}
+
+TEST_F(TraceTest, TraceContextScopePublishesWithoutRecording) {
+  SetTraceSampleEvery(1);
+  {
+    TraceContextScope ctx(99);
+    EXPECT_EQ(CurrentTraceId(), 99u);
+  }
+  EXPECT_EQ(CurrentTraceId(), 0u);
+  EXPECT_TRUE(Tracer::Default().Spans().empty());
+}
+
+TEST_F(TraceTest, LongNamesTruncateSafely) {
+  SetTraceSampleEvery(1);
+  const std::string longname(200, 'x');
+  { ScopedSpan span(5, longname); }
+  const auto spans = Tracer::Default().Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(std::string(spans[0].name).size(),
+            TraceSpan::kNameCapacity - 1);
+}
+
+TEST(TracerTest, RingOverwritesOldestBoundedByCapacity) {
+  Tracer tracer(Tracer::Options{.capacity = 16});
+  EXPECT_EQ(tracer.capacity(), 16u);
+  for (uint64_t i = 1; i <= 100; ++i) tracer.Record(i, "hop", i, 1);
+  EXPECT_EQ(tracer.total_recorded(), 100u);
+  // One writer thread = one stripe, so the live window is capacity/stripes.
+  const auto spans = tracer.Spans();
+  EXPECT_LE(spans.size(), tracer.capacity());
+  EXPECT_GT(spans.size(), 0u);
+  // Everything still live is recent.
+  for (const auto& s : spans) EXPECT_GT(s.trace_id, 90u);
+}
+
+TEST(TracerTest, RecordIgnoresUntracedAndClearDropsSpans) {
+  Tracer tracer;
+  tracer.Record(0, "never", 1, 1);
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+  tracer.Record(1, "kept", 1, 1);
+  EXPECT_EQ(tracer.Spans().size(), 1u);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Spans().empty());
+  EXPECT_EQ(tracer.total_recorded(), 1u);  // counter keeps accumulating
+}
+
+TEST(TracerTest, LastSpanNamedFindsMostRecent) {
+  Tracer tracer;
+  tracer.Record(1, "bolt-a", 100, 5);
+  tracer.Record(2, "bolt-b", 200, 5);
+  tracer.Record(3, "bolt-a", 300, 5);
+  TraceSpan out;
+  ASSERT_TRUE(tracer.LastSpanNamed("bolt-a", &out));
+  EXPECT_EQ(out.start_micros, 300u);
+  EXPECT_EQ(out.trace_id, 3u);
+  EXPECT_FALSE(tracer.LastSpanNamed("bolt-c", &out));
+}
+
+TEST(TracerTest, ConcurrentRecordIsSafe) {
+  // TSan workload (label: concurrent): writers on every stripe plus a
+  // reader snapshotting mid-flight.
+  Tracer tracer(Tracer::Options{.capacity = 1024});
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (uint64_t i = 1; i <= kPerThread; ++i) {
+        tracer.Record(static_cast<uint64_t>(t) * kPerThread + i, "worker",
+                      i, 1);
+      }
+    });
+  }
+  threads.emplace_back([&tracer] {
+    for (int i = 0; i < 50; ++i) {
+      (void)tracer.Spans();
+      TraceSpan out;
+      (void)tracer.LastSpanNamed("worker", &out);
+    }
+  });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tracer.total_recorded(), kThreads * kPerThread);
+  EXPECT_LE(tracer.Spans().size(), tracer.capacity());
+}
+
+TEST(TraceExportTest, ChromeTraceShape) {
+  std::vector<TraceSpan> spans(2);
+  spans[0].trace_id = 0xabcd;
+  spans[0].start_micros = 10;
+  spans[0].duration_micros = 5;
+  spans[0].SetName("spout");
+  spans[1].trace_id = 0xabcd;
+  spans[1].start_micros = 16;
+  spans[1].duration_micros = 3;
+  spans[1].SetName("tdstore.write");
+
+  const std::string json = ExportChromeTrace(spans);
+  // trace_event array format: a JSON array of "ph":"X" complete events
+  // with microsecond ts/dur.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"spout\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5"), std::string::npos);
+  EXPECT_NE(json.find("000000000000abcd"), std::string::npos);
+  EXPECT_EQ(ExportChromeTrace({}), "[]");
+}
+
+TEST(TraceExportTest, TracesJsonGroupsByTraceId) {
+  std::vector<TraceSpan> spans(3);
+  spans[0].trace_id = 1;
+  spans[0].start_micros = 10;
+  spans[0].duration_micros = 2;
+  spans[0].SetName("spout");
+  spans[1].trace_id = 2;
+  spans[1].start_micros = 20;
+  spans[1].duration_micros = 2;
+  spans[1].SetName("spout");
+  spans[2].trace_id = 1;
+  spans[2].start_micros = 12;
+  spans[2].duration_micros = 4;
+  spans[2].SetName("store");
+
+  const std::string json = ExportTracesJson(spans);
+  EXPECT_NE(json.find("\"trace_count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"span_count\":3"), std::string::npos);
+  // Trace 1 spans 10..16 -> total 6.
+  EXPECT_NE(json.find("\"total_us\":6"), std::string::npos);
+  // max_traces caps the output, most recent kept.
+  const std::string capped = ExportTracesJson(spans, 1);
+  EXPECT_NE(capped.find("\"trace_count\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tencentrec
