@@ -429,6 +429,22 @@ bool ParallelItemCf::IsPruned(ItemId a, ItemId b) const {
   return pair_shards_[PairShardOf(key)]->pruned.count(key) > 0;
 }
 
+void ParallelItemCf::VisitItemCounts(
+    const std::function<void(ItemId, double)>& visitor) const {
+  for (const auto& stripe : item_stripes_) {
+    std::lock_guard lock(stripe->mu);
+    stripe->counts.VisitItemCounts(visitor);
+  }
+}
+
+void ParallelItemCf::VisitSimilarLists(
+    const std::function<void(ItemId, const TopK<ItemId>&)>& visitor) const {
+  for (const auto& stripe : list_stripes_) {
+    std::lock_guard lock(stripe->mu);
+    for (const auto& [item, list] : stripe->lists) visitor(item, list);
+  }
+}
+
 PracticalItemCf::Stats ParallelItemCf::stats() const {
   PracticalItemCf::Stats stats;
   for (const auto& shard : user_shards_) stats.actions += shard->actions;

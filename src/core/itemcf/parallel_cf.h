@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -109,6 +110,15 @@ class ParallelItemCf {
   std::vector<ItemId> RecentItemsOf(UserId user) const;
   double UserRating(UserId user, ItemId item) const;
   bool IsPruned(ItemId a, ItemId b) const;
+
+  /// Walks every tracked item's windowed count total / similar-items top-K
+  /// list, e.g. to checkpoint mirror state into TDStore through a
+  /// BatchWriter. Requires quiescence (a preceding Drain()); stripe locks
+  /// are still taken, so a concurrent reader can't corrupt the walk.
+  void VisitItemCounts(
+      const std::function<void(ItemId, double)>& visitor) const;
+  void VisitSimilarLists(
+      const std::function<void(ItemId, const TopK<ItemId>&)>& visitor) const;
 
   /// Aggregated algorithm counters (summed over shards).
   PracticalItemCf::Stats stats() const;

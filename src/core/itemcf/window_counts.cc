@@ -110,6 +110,15 @@ size_t WindowedCounts::TrackedItems() const {
   return seen.size();
 }
 
+void WindowedCounts::VisitItemCounts(
+    const std::function<void(ItemId, double)>& visitor) const {
+  std::unordered_map<ItemId, double> totals;
+  for (const auto& s : sessions_) {
+    for (const auto& [item, c] : s.item_counts) totals[item] += c;
+  }
+  for (const auto& [item, total] : totals) visitor(item, total);
+}
+
 size_t WindowedCounts::TrackedPairs() const {
   std::unordered_set<PairKey, PairKeyHash> seen;
   for (const auto& s : sessions_) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <unordered_map>
 
 #include "common/clock.h"
@@ -65,6 +66,12 @@ class WindowedCounts {
   /// Distinct items/pairs currently tracked (across live sessions).
   size_t TrackedItems() const;
   size_t TrackedPairs() const;
+
+  /// Visits every tracked item with its windowed total (Σ over live
+  /// sessions) — the read side of checkpoint/mirror exports. Order is
+  /// unspecified.
+  void VisitItemCounts(
+      const std::function<void(ItemId, double)>& visitor) const;
 
  private:
   struct Session {

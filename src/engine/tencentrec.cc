@@ -7,6 +7,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "engine/monitor.h"
+#include "tdstore/batch_writer.h"
 #include "topo/action_codec.h"
 #include "topo/blob_codec.h"
 #include "topo/spouts.h"
@@ -282,8 +283,30 @@ Status TencentRec::ProcessBatch(
       parallel_cf_->ProcessActions(actions);
     }
     parallel_cf_->Drain();
+    if (options_.mirror_checkpoint) {
+      Status ckpt = CheckpointMirror();
+      if (!ckpt.ok()) return ckpt;
+    }
   }
   return run;
+}
+
+Status TencentRec::CheckpointMirror() {
+  tdstore::BatchWriter::Options wopts;
+  wopts.max_ops = options_.app.store_batch_max_ops;
+  tdstore::BatchWriter writer(admin_client_.get(), wopts);
+  parallel_cf_->VisitItemCounts([&](core::ItemId item, double total) {
+    writer.PutDouble(app_->keys.MirrorItemCount(item), total);
+  });
+  parallel_cf_->VisitSimilarLists(
+      [&](core::ItemId item, const TopK<core::ItemId>& list) {
+        core::Recommendations recs;
+        recs.reserve(list.entries().size());
+        for (const auto& e : list.entries()) recs.push_back({e.id, e.score});
+        writer.Put(app_->keys.MirrorSimilar(item),
+                   topo::EncodeScoredList(recs));
+      });
+  return writer.Flush();
 }
 
 Status TencentRec::PublishActions(

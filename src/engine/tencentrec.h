@@ -58,6 +58,13 @@ class TencentRec {
     bool mirror_parallel_cf = false;
     int mirror_user_shards = 2;
     int mirror_pair_shards = 2;
+    /// After each mirrored batch drains, export the mirror's windowed
+    /// itemCount totals and similar-items lists into TDStore
+    /// (Keys::MirrorItemCount / MirrorSimilar) through the write-behind
+    /// BatchWriter — a store-backed checkpoint of the in-memory state that
+    /// costs a handful of grouped per-host calls instead of one put per
+    /// item. Requires mirror_parallel_cf.
+    bool mirror_checkpoint = false;
     /// Sampled per-tuple tracing: trace 1 in N actions end to end
     /// (spout -> bolts -> store). 0 leaves the process-wide sampling rate
     /// untouched (tracing stays off unless something else enabled it).
@@ -129,6 +136,9 @@ class TencentRec {
   Status RunTopology(tstorm::SpoutFactory spout,
                      const std::vector<std::string>& restart_components,
                      int spout_parallelism);
+  /// Exports the drained mirror's state into TDStore through a BatchWriter
+  /// (mirror_checkpoint).
+  Status CheckpointMirror();
 
   Options options_;
   std::unique_ptr<tdstore::Cluster> store_;

@@ -1,5 +1,9 @@
 #include "tdstore/client.h"
 
+#include <algorithm>
+#include <map>
+#include <numeric>
+
 #include "common/trace.h"
 
 namespace tencentrec::tdstore {
@@ -54,6 +58,7 @@ struct StatusResult {
 Status Client::Put(std::string_view key, std::string_view value) {
   ScopedLatencyTimer timer(write_us_);
   ScopedSpan span(CurrentTraceId(), "tdstore.write");
+  if (point_ops_ != nullptr) point_ops_->Add();
   auto r = WithHost(key, [&](DataServer* host, int instance) -> StatusResult {
     return host->Put(instance, key, value);
   });
@@ -63,6 +68,7 @@ Status Client::Put(std::string_view key, std::string_view value) {
 Result<std::string> Client::Get(std::string_view key) {
   ScopedLatencyTimer timer(read_us_);
   ScopedSpan span(CurrentTraceId(), "tdstore.read");
+  if (point_ops_ != nullptr) point_ops_->Add();
   return WithHost(key,
                   [&](DataServer* host, int instance) -> Result<std::string> {
                     return host->Get(instance, key);
@@ -72,6 +78,7 @@ Result<std::string> Client::Get(std::string_view key) {
 Status Client::Delete(std::string_view key) {
   ScopedLatencyTimer timer(write_us_);
   ScopedSpan span(CurrentTraceId(), "tdstore.write");
+  if (point_ops_ != nullptr) point_ops_->Add();
   auto r = WithHost(key, [&](DataServer* host, int instance) -> StatusResult {
     return host->Delete(instance, key);
   });
@@ -81,6 +88,7 @@ Status Client::Delete(std::string_view key) {
 Result<double> Client::IncrDouble(std::string_view key, double delta) {
   ScopedLatencyTimer timer(write_us_);
   ScopedSpan span(CurrentTraceId(), "tdstore.write");
+  if (point_ops_ != nullptr) point_ops_->Add();
   return WithHost(key, [&](DataServer* host, int instance) -> Result<double> {
     return host->IncrDouble(instance, key, delta);
   });
@@ -89,6 +97,7 @@ Result<double> Client::IncrDouble(std::string_view key, double delta) {
 Result<int64_t> Client::IncrInt64(std::string_view key, int64_t delta) {
   ScopedLatencyTimer timer(write_us_);
   ScopedSpan span(CurrentTraceId(), "tdstore.write");
+  if (point_ops_ != nullptr) point_ops_->Add();
   return WithHost(key, [&](DataServer* host, int instance) -> Result<int64_t> {
     return host->IncrInt64(instance, key, delta);
   });
@@ -112,18 +121,186 @@ Result<int64_t> Client::GetInt64(std::string_view key, int64_t fallback) {
   return DecodeInt64(*raw);
 }
 
+namespace {
+// GroupedDispatch stitches per-item outcomes of heterogeneous shape (Status
+// for puts, Result<T> otherwise); these give it a uniform status view.
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+const Status& StatusOf(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace
+
+template <typename KeyOf, typename MakeItem, typename Dispatch, typename OutT>
+Status Client::GroupedDispatch(size_t n, KeyOf key_of, MakeItem make_item,
+                               Dispatch dispatch, std::vector<OutT>* out) {
+  TR_RETURN_IF_ERROR(EnsureRoute());
+  if (batch_ops_ != nullptr) batch_ops_->Add();
+  if (batch_keys_ != nullptr) batch_keys_->Add(n);
+  std::vector<size_t> pending(n);
+  std::iota(pending.begin(), pending.end(), 0);
+  for (int attempt = 0; attempt < 2 && !pending.empty(); ++attempt) {
+    if (attempt > 0) TR_RETURN_IF_ERROR(RefreshRoute());
+    // Group the still-pending inputs by current host. Within a host, items
+    // are ordered by (instance_id, input index): same-instance runs stay
+    // contiguous for the server's one-lock-per-run processing, and the
+    // stable sort keeps same-key ops in input order (the bit-identical
+    // increment guarantee rides on this).
+    std::map<int, std::vector<std::pair<int, size_t>>> by_host;
+    for (size_t idx : pending) {
+      const size_t slot = HashString(key_of(idx)) % route_.placements.size();
+      const InstancePlacement& p = route_.placements[slot];
+      by_host[p.host_server].emplace_back(p.instance_id, idx);
+    }
+    std::vector<size_t> failed;
+    for (auto& [host_id, entries] : by_host) {
+      std::stable_sort(
+          entries.begin(), entries.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      DataServer* host = cluster_->data_server(host_id);
+      if (host == nullptr) return Status::Internal("route names bad server");
+      using Item = decltype(make_item(size_t{0}, 0));
+      std::vector<Item> items;
+      items.reserve(entries.size());
+      for (const auto& [instance_id, idx] : entries) {
+        items.push_back(make_item(idx, instance_id));
+      }
+      if (host_batches_ != nullptr) host_batches_->Add();
+      std::vector<OutT> batch_out;
+      Status s = dispatch(host, items, &batch_out);
+      if (!s.ok()) {
+        // Whole-server failure (down): every item of this sub-batch gets the
+        // verdict, and — if retryable — a spot in the next attempt.
+        for (const auto& [instance_id, idx] : entries) {
+          (*out)[idx] = OutT(s);
+          if (s.IsUnavailable() && attempt == 0) failed.push_back(idx);
+        }
+        continue;
+      }
+      for (size_t i = 0; i < entries.size(); ++i) {
+        const size_t idx = entries[i].second;
+        (*out)[idx] = std::move(batch_out[i]);
+        if (StatusOf((*out)[idx]).IsUnavailable() && attempt == 0) {
+          failed.push_back(idx);
+        }
+      }
+    }
+    std::sort(failed.begin(), failed.end());
+    pending = std::move(failed);
+  }
+  return Status::OK();
+}
+
+Status Client::MultiGetBatch(const std::vector<std::string>& keys,
+                             std::vector<Result<std::string>>* out) {
+  ScopedLatencyTimer timer(batch_read_us_);
+  ScopedSpan span(CurrentTraceId(), "tdstore.batch_read");
+  out->assign(keys.size(), Result<std::string>(Status::Internal("unset")));
+  return GroupedDispatch(
+      keys.size(),
+      [&](size_t i) -> std::string_view { return keys[i]; },
+      [&](size_t i, int instance_id) {
+        return BatchGet{instance_id, keys[i]};
+      },
+      [](DataServer* host, const std::vector<BatchGet>& items,
+         std::vector<Result<std::string>>* batch_out) {
+        return host->MultiGet(items, batch_out);
+      },
+      out);
+}
+
+Status Client::MultiPut(
+    const std::vector<std::pair<std::string, std::string>>& kvs,
+    std::vector<Status>* out) {
+  ScopedLatencyTimer timer(batch_write_us_);
+  ScopedSpan span(CurrentTraceId(), "tdstore.batch_write");
+  out->assign(kvs.size(), Status::Internal("unset"));
+  return GroupedDispatch(
+      kvs.size(),
+      [&](size_t i) -> std::string_view { return kvs[i].first; },
+      [&](size_t i, int instance_id) {
+        return BatchPut{instance_id, kvs[i].first, kvs[i].second};
+      },
+      [](DataServer* host, const std::vector<BatchPut>& items,
+         std::vector<Status>* batch_out) {
+        return host->MultiPut(items, batch_out);
+      },
+      out);
+}
+
+Status Client::MultiIncrDouble(
+    const std::vector<std::pair<std::string, double>>& adds,
+    std::vector<Result<double>>* out) {
+  ScopedLatencyTimer timer(batch_write_us_);
+  ScopedSpan span(CurrentTraceId(), "tdstore.batch_write");
+  out->assign(adds.size(), Result<double>(Status::Internal("unset")));
+  return GroupedDispatch(
+      adds.size(),
+      [&](size_t i) -> std::string_view { return adds[i].first; },
+      [&](size_t i, int instance_id) {
+        return BatchIncrDouble{instance_id, adds[i].first, adds[i].second};
+      },
+      [](DataServer* host, const std::vector<BatchIncrDouble>& items,
+         std::vector<Result<double>>* batch_out) {
+        return host->MultiIncrDouble(items, batch_out);
+      },
+      out);
+}
+
+Status Client::MultiIncrInt64(
+    const std::vector<std::pair<std::string, int64_t>>& adds,
+    std::vector<Result<int64_t>>* out) {
+  ScopedLatencyTimer timer(batch_write_us_);
+  ScopedSpan span(CurrentTraceId(), "tdstore.batch_write");
+  out->assign(adds.size(), Result<int64_t>(Status::Internal("unset")));
+  return GroupedDispatch(
+      adds.size(),
+      [&](size_t i) -> std::string_view { return adds[i].first; },
+      [&](size_t i, int instance_id) {
+        return BatchIncrInt64{instance_id, adds[i].first, adds[i].second};
+      },
+      [](DataServer* host, const std::vector<BatchIncrInt64>& items,
+         std::vector<Result<int64_t>>* batch_out) {
+        return host->MultiIncrInt64(items, batch_out);
+      },
+      out);
+}
+
+Status Client::MultiGetDouble(const std::vector<std::string>& keys,
+                              double fallback,
+                              std::vector<Result<double>>* out) {
+  std::vector<Result<std::string>> raw;
+  TR_RETURN_IF_ERROR(MultiGetBatch(keys, &raw));
+  out->clear();
+  out->reserve(raw.size());
+  for (auto& r : raw) {
+    if (r.ok()) {
+      out->push_back(DecodeDouble(*r));
+    } else if (r.status().IsNotFound()) {
+      out->push_back(fallback);
+    } else {
+      out->push_back(r.status());
+    }
+  }
+  return Status::OK();
+}
+
 Result<std::vector<std::optional<std::string>>> Client::MultiGet(
     const std::vector<std::string>& keys) {
+  std::vector<Result<std::string>> raw;
+  Status s = MultiGetBatch(keys, &raw);
+  if (!s.ok()) return s;
   std::vector<std::optional<std::string>> out;
-  out.reserve(keys.size());
-  for (const auto& key : keys) {
-    auto v = Get(key);
-    if (v.ok()) {
-      out.emplace_back(std::move(v).value());
-    } else if (v.status().IsNotFound()) {
+  out.reserve(raw.size());
+  for (auto& r : raw) {
+    if (r.ok()) {
+      out.emplace_back(std::move(r).value());
+    } else if (r.status().IsNotFound()) {
       out.emplace_back(std::nullopt);
     } else {
-      return v.status();
+      // Legacy shape can't carry per-key statuses; use MultiGetBatch when
+      // partial results matter.
+      return r.status();
     }
   }
   return out;
@@ -148,9 +325,21 @@ Status Client::ScanPrefix(
                                 });
     if (s.IsUnavailable()) {
       TR_RETURN_IF_ERROR(RefreshRoute());
-      DataServer* retry_host =
-          cluster_->data_server(route_.placements[static_cast<size_t>(
-                                  p.instance_id)].host_server);
+      // Re-find this instance's placement by instance_id — a route table is
+      // not necessarily ordered so that placements[i].instance_id == i
+      // (indexing by instance_id here used to retry against the wrong
+      // server's engine under permuted tables).
+      const InstancePlacement* refreshed = nullptr;
+      for (const auto& q : route_.placements) {
+        if (q.instance_id == p.instance_id) {
+          refreshed = &q;
+          break;
+        }
+      }
+      if (refreshed == nullptr) {
+        return Status::Internal("instance missing from refreshed route");
+      }
+      DataServer* retry_host = cluster_->data_server(refreshed->host_server);
       if (retry_host == nullptr) {
         return Status::Internal("route names bad server");
       }

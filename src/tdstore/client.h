@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/hash.h"
@@ -22,13 +23,19 @@ namespace tencentrec::tdstore {
 class Client {
  public:
   explicit Client(Cluster* cluster) : cluster_(cluster) {
-    // All clients share the two process-wide op histograms — the paper's
+    // All clients share the process-wide op histograms — the paper's
     // storage tier is a shared service, so per-op latency is a service
     // property, not a per-caller one. Null when metrics are disabled.
     if (MetricsEnabled()) {
       auto& reg = MetricRegistry::Default();
       read_us_ = reg.GetHistogram("tdstore.client.read_us");
       write_us_ = reg.GetHistogram("tdstore.client.write_us");
+      batch_read_us_ = reg.GetHistogram("tdstore.client.batch_read_us");
+      batch_write_us_ = reg.GetHistogram("tdstore.client.batch_write_us");
+      point_ops_ = reg.GetCounter("tdstore.client.point_ops");
+      batch_ops_ = reg.GetCounter("tdstore.client.batch_ops");
+      batch_keys_ = reg.GetCounter("tdstore.client.batch_keys");
+      host_batches_ = reg.GetCounter("tdstore.client.host_batches");
     }
   }
 
@@ -50,9 +57,35 @@ class Client {
   }
   Result<int64_t> GetInt64(std::string_view key, int64_t fallback = 0);
 
-  /// Point-gets each key; nullopt for missing keys.
+  /// Legacy multi-get shape: nullopt for missing keys, first hard error
+  /// wins. Now backed by the grouped batch path, so one route-table pass and
+  /// one server call per host instead of a point-get per key.
   Result<std::vector<std::optional<std::string>>> MultiGet(
       const std::vector<std::string>& keys);
+
+  /// Batched ops. Keys are grouped by instance, instances by current host,
+  /// and each host gets ONE call for its whole share; results are stitched
+  /// back into input order. On an Unavailable host the affected sub-batch
+  /// (and only it) is retried once after a route refresh, re-grouped against
+  /// the new placement. `out` gets exactly one entry per input (per-key
+  /// statuses — one failed key never discards its siblings' results). The
+  /// returned Status is non-OK only when no route table can be obtained.
+  ///
+  /// Same-key ops in one batch apply in input order on the server, so
+  /// batched increments are bit-identical to the equivalent point-op
+  /// sequence.
+  Status MultiGetBatch(const std::vector<std::string>& keys,
+                       std::vector<Result<std::string>>* out);
+  Status MultiPut(const std::vector<std::pair<std::string, std::string>>& kvs,
+                  std::vector<Status>* out);
+  Status MultiIncrDouble(const std::vector<std::pair<std::string, double>>& adds,
+                         std::vector<Result<double>>* out);
+  Status MultiIncrInt64(
+      const std::vector<std::pair<std::string, int64_t>>& adds,
+      std::vector<Result<int64_t>>* out);
+  /// Batched GetDouble: missing keys decode as `fallback`.
+  Status MultiGetDouble(const std::vector<std::string>& keys, double fallback,
+                        std::vector<Result<double>>* out);
 
   /// Visits every live key with `prefix` across all instances.
   Status ScanPrefix(std::string_view prefix,
@@ -69,6 +102,14 @@ class Client {
   /// and retrying once if the host is unavailable.
   template <typename Op>
   auto WithHost(std::string_view key, Op op) -> decltype(op(nullptr, 0));
+  /// Shared grouped-dispatch skeleton behind the Multi* ops; see their
+  /// contract above. `key_of(i)` names input i for routing, `make_item(i,
+  /// instance_id)` builds the server-side batch item, `dispatch(host, items,
+  /// batch_out)` performs one host call.
+  template <typename KeyOf, typename MakeItem, typename Dispatch,
+            typename OutT>
+  Status GroupedDispatch(size_t n, KeyOf key_of, MakeItem make_item,
+                         Dispatch dispatch, std::vector<OutT>* out);
 
   Cluster* cluster_;
   RouteTable route_;
@@ -76,6 +117,12 @@ class Client {
   int64_t route_refreshes_ = 0;
   LatencyHistogram* read_us_ = nullptr;
   LatencyHistogram* write_us_ = nullptr;
+  LatencyHistogram* batch_read_us_ = nullptr;
+  LatencyHistogram* batch_write_us_ = nullptr;
+  Counter* point_ops_ = nullptr;
+  Counter* batch_ops_ = nullptr;    ///< logical Multi* calls
+  Counter* batch_keys_ = nullptr;   ///< items carried by those calls
+  Counter* host_batches_ = nullptr; ///< per-host server calls dispatched
 };
 
 }  // namespace tencentrec::tdstore

@@ -29,10 +29,22 @@ inline Result<double> DecodeDouble(std::string_view s) {
   return v;
 }
 
+/// Allocation-free variant for batch paths: overwrites `out` in place, so a
+/// loop encoding many counters can reuse one scratch string.
+inline void EncodeDoubleTo(std::string* out, double v) {
+  out->resize(sizeof(double));
+  std::memcpy(out->data(), &v, sizeof(double));
+}
+
 inline std::string EncodeInt64(int64_t v) {
   std::string out(sizeof(int64_t), '\0');
   std::memcpy(out.data(), &v, sizeof(int64_t));
   return out;
+}
+
+inline void EncodeInt64To(std::string* out, int64_t v) {
+  out->resize(sizeof(int64_t));
+  std::memcpy(out->data(), &v, sizeof(int64_t));
 }
 
 inline Result<int64_t> DecodeInt64(std::string_view s) {

@@ -79,9 +79,20 @@ Status DataServer::ClearInstance(int instance_id) {
   return Status::OK();
 }
 
+void DataServer::ReplicateLocked(Instance* inst, int instance_id,
+                                 ReplicationRecord&& rec) {
+  if (inst->slave == nullptr || rec.ops.empty()) return;
+  if (sync_replication_) {
+    (void)inst->slave->ApplyReplicatedRecord(instance_id, rec);
+  } else {
+    inst->pending.push_back(std::move(rec));
+  }
+}
+
 Status DataServer::Put(int instance_id, std::string_view key,
                        std::string_view value) {
   if (down_.load()) return Status::Unavailable("data server down");
+  invocations_.fetch_add(1, std::memory_order_relaxed);
   writes_.fetch_add(1, std::memory_order_relaxed);
   Instance* inst = FindInstance(instance_id);
   if (inst == nullptr) {
@@ -90,22 +101,16 @@ Status DataServer::Put(int instance_id, std::string_view key,
   std::lock_guard lock(inst->mu);
   if (!inst->is_host) return Status::Unavailable("not the host replica");
   TR_RETURN_IF_ERROR(inst->engine->Put(key, value));
-  ReplicationOp op;
-  op.key = std::string(key);
-  op.value = std::string(value);
-  if (inst->slave != nullptr) {
-    if (sync_replication_) {
-      (void)inst->slave->ApplyReplicated(instance_id, op);
-    } else {
-      inst->pending.push_back(std::move(op));
-    }
-  }
+  ReplicationRecord rec;
+  rec.ops.push_back({std::string(key), std::string(value), false});
+  ReplicateLocked(inst, instance_id, std::move(rec));
   return Status::OK();
 }
 
 Result<std::string> DataServer::Get(int instance_id,
                                     std::string_view key) const {
   if (down_.load()) return Status::Unavailable("data server down");
+  invocations_.fetch_add(1, std::memory_order_relaxed);
   reads_.fetch_add(1, std::memory_order_relaxed);
   Instance* inst = FindInstance(instance_id);
   if (inst == nullptr) {
@@ -120,6 +125,7 @@ Result<std::string> DataServer::Get(int instance_id,
 
 Status DataServer::Delete(int instance_id, std::string_view key) {
   if (down_.load()) return Status::Unavailable("data server down");
+  invocations_.fetch_add(1, std::memory_order_relaxed);
   writes_.fetch_add(1, std::memory_order_relaxed);
   Instance* inst = FindInstance(instance_id);
   if (inst == nullptr) {
@@ -128,31 +134,20 @@ Status DataServer::Delete(int instance_id, std::string_view key) {
   std::lock_guard lock(inst->mu);
   if (!inst->is_host) return Status::Unavailable("not the host replica");
   TR_RETURN_IF_ERROR(inst->engine->Delete(key));
-  ReplicationOp op;
-  op.key = std::string(key);
-  op.is_delete = true;
-  if (inst->slave != nullptr) {
-    if (sync_replication_) {
-      (void)inst->slave->ApplyReplicated(instance_id, op);
-    } else {
-      inst->pending.push_back(std::move(op));
-    }
-  }
+  ReplicationRecord rec;
+  rec.ops.push_back({std::string(key), std::string(), true});
+  ReplicateLocked(inst, instance_id, std::move(rec));
   return Status::OK();
 }
 
-Result<double> DataServer::IncrDouble(int instance_id, std::string_view key,
-                                      double delta) {
-  if (down_.load()) return Status::Unavailable("data server down");
-  writes_.fetch_add(1, std::memory_order_relaxed);
-  Instance* inst = FindInstance(instance_id);
-  if (inst == nullptr) {
-    return Status::NotFound("no instance " + std::to_string(instance_id));
-  }
-  std::lock_guard lock(inst->mu);
-  if (!inst->is_host) return Status::Unavailable("not the host replica");
+namespace {
+
+/// Read-modify-write of one 8-byte double counter. Caller holds the
+/// instance lock. On success writes the encoded new value into `*encoded`.
+Result<double> IncrDoubleLocked(Engine* engine, std::string_view key,
+                                double delta, std::string* encoded) {
   double current = 0.0;
-  auto existing = inst->engine->Get(key);
+  auto existing = engine->Get(key);
   if (existing.ok()) {
     auto decoded = DecodeDouble(*existing);
     if (!decoded.ok()) return decoded.status();
@@ -161,33 +156,15 @@ Result<double> DataServer::IncrDouble(int instance_id, std::string_view key,
     return existing.status();
   }
   double next = current + delta;
-  std::string encoded = EncodeDouble(next);
-  TR_RETURN_IF_ERROR(inst->engine->Put(key, encoded));
-  ReplicationOp op;
-  op.key = std::string(key);
-  op.value = std::move(encoded);
-  if (inst->slave != nullptr) {
-    if (sync_replication_) {
-      (void)inst->slave->ApplyReplicated(instance_id, op);
-    } else {
-      inst->pending.push_back(std::move(op));
-    }
-  }
+  EncodeDoubleTo(encoded, next);
+  TR_RETURN_IF_ERROR(engine->Put(key, *encoded));
   return next;
 }
 
-Result<int64_t> DataServer::IncrInt64(int instance_id, std::string_view key,
-                                      int64_t delta) {
-  if (down_.load()) return Status::Unavailable("data server down");
-  writes_.fetch_add(1, std::memory_order_relaxed);
-  Instance* inst = FindInstance(instance_id);
-  if (inst == nullptr) {
-    return Status::NotFound("no instance " + std::to_string(instance_id));
-  }
-  std::lock_guard lock(inst->mu);
-  if (!inst->is_host) return Status::Unavailable("not the host replica");
+Result<int64_t> IncrInt64Locked(Engine* engine, std::string_view key,
+                                int64_t delta, std::string* encoded) {
   int64_t current = 0;
-  auto existing = inst->engine->Get(key);
+  auto existing = engine->Get(key);
   if (existing.ok()) {
     auto decoded = DecodeInt64(*existing);
     if (!decoded.ok()) return decoded.status();
@@ -196,19 +173,215 @@ Result<int64_t> DataServer::IncrInt64(int instance_id, std::string_view key,
     return existing.status();
   }
   int64_t next = current + delta;
-  std::string encoded = EncodeInt64(next);
-  TR_RETURN_IF_ERROR(inst->engine->Put(key, encoded));
-  ReplicationOp op;
-  op.key = std::string(key);
-  op.value = std::move(encoded);
-  if (inst->slave != nullptr) {
-    if (sync_replication_) {
-      (void)inst->slave->ApplyReplicated(instance_id, op);
-    } else {
-      inst->pending.push_back(std::move(op));
-    }
-  }
+  EncodeInt64To(encoded, next);
+  TR_RETURN_IF_ERROR(engine->Put(key, *encoded));
   return next;
+}
+
+}  // namespace
+
+Result<double> DataServer::IncrDouble(int instance_id, std::string_view key,
+                                      double delta) {
+  if (down_.load()) return Status::Unavailable("data server down");
+  invocations_.fetch_add(1, std::memory_order_relaxed);
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  Instance* inst = FindInstance(instance_id);
+  if (inst == nullptr) {
+    return Status::NotFound("no instance " + std::to_string(instance_id));
+  }
+  std::lock_guard lock(inst->mu);
+  if (!inst->is_host) return Status::Unavailable("not the host replica");
+  std::string encoded;
+  Result<double> next = IncrDoubleLocked(inst->engine.get(), key, delta,
+                                         &encoded);
+  if (!next.ok()) return next;
+  ReplicationRecord rec;
+  rec.ops.push_back({std::string(key), std::move(encoded), false});
+  ReplicateLocked(inst, instance_id, std::move(rec));
+  return next;
+}
+
+Result<int64_t> DataServer::IncrInt64(int instance_id, std::string_view key,
+                                      int64_t delta) {
+  if (down_.load()) return Status::Unavailable("data server down");
+  invocations_.fetch_add(1, std::memory_order_relaxed);
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  Instance* inst = FindInstance(instance_id);
+  if (inst == nullptr) {
+    return Status::NotFound("no instance " + std::to_string(instance_id));
+  }
+  std::lock_guard lock(inst->mu);
+  if (!inst->is_host) return Status::Unavailable("not the host replica");
+  std::string encoded;
+  Result<int64_t> next = IncrInt64Locked(inst->engine.get(), key, delta,
+                                         &encoded);
+  if (!next.ok()) return next;
+  ReplicationRecord rec;
+  rec.ops.push_back({std::string(key), std::move(encoded), false});
+  ReplicateLocked(inst, instance_id, std::move(rec));
+  return next;
+}
+
+Status DataServer::MultiGet(const std::vector<BatchGet>& items,
+                            std::vector<Result<std::string>>* out) const {
+  if (down_.load()) return Status::Unavailable("data server down");
+  invocations_.fetch_add(1, std::memory_order_relaxed);
+  out->assign(items.size(), Result<std::string>(Status::Internal("unset")));
+  size_t i = 0;
+  while (i < items.size()) {
+    size_t j = i;
+    while (j < items.size() && items[j].instance_id == items[i].instance_id) {
+      ++j;
+    }
+    Instance* inst = FindInstance(items[i].instance_id);
+    if (inst == nullptr) {
+      Status s = Status::NotFound("no instance " +
+                                  std::to_string(items[i].instance_id));
+      for (size_t k = i; k < j; ++k) (*out)[k] = s;
+      i = j;
+      continue;
+    }
+    std::lock_guard lock(inst->mu);
+    if (!inst->is_host) {
+      Status s = Status::Unavailable("not the host replica");
+      for (size_t k = i; k < j; ++k) (*out)[k] = s;
+      i = j;
+      continue;
+    }
+    for (size_t k = i; k < j; ++k) {
+      reads_.fetch_add(1, std::memory_order_relaxed);
+      (*out)[k] = inst->engine->Get(items[k].key);
+    }
+    i = j;
+  }
+  return Status::OK();
+}
+
+Status DataServer::MultiPut(const std::vector<BatchPut>& items,
+                            std::vector<Status>* out) {
+  if (down_.load()) return Status::Unavailable("data server down");
+  invocations_.fetch_add(1, std::memory_order_relaxed);
+  out->assign(items.size(), Status::Internal("unset"));
+  size_t i = 0;
+  while (i < items.size()) {
+    size_t j = i;
+    while (j < items.size() && items[j].instance_id == items[i].instance_id) {
+      ++j;
+    }
+    Instance* inst = FindInstance(items[i].instance_id);
+    if (inst == nullptr) {
+      Status s = Status::NotFound("no instance " +
+                                  std::to_string(items[i].instance_id));
+      for (size_t k = i; k < j; ++k) (*out)[k] = s;
+      i = j;
+      continue;
+    }
+    std::lock_guard lock(inst->mu);
+    if (!inst->is_host) {
+      Status s = Status::Unavailable("not the host replica");
+      for (size_t k = i; k < j; ++k) (*out)[k] = s;
+      i = j;
+      continue;
+    }
+    ReplicationRecord rec;
+    for (size_t k = i; k < j; ++k) {
+      writes_.fetch_add(1, std::memory_order_relaxed);
+      Status s = inst->engine->Put(items[k].key, items[k].value);
+      (*out)[k] = s;
+      if (s.ok() && inst->slave != nullptr) {
+        rec.ops.push_back({items[k].key, items[k].value, false});
+      }
+    }
+    ReplicateLocked(inst, items[i].instance_id, std::move(rec));
+    i = j;
+  }
+  return Status::OK();
+}
+
+Status DataServer::MultiIncrDouble(const std::vector<BatchIncrDouble>& items,
+                                   std::vector<Result<double>>* out) {
+  if (down_.load()) return Status::Unavailable("data server down");
+  invocations_.fetch_add(1, std::memory_order_relaxed);
+  out->assign(items.size(), Result<double>(Status::Internal("unset")));
+  size_t i = 0;
+  while (i < items.size()) {
+    size_t j = i;
+    while (j < items.size() && items[j].instance_id == items[i].instance_id) {
+      ++j;
+    }
+    Instance* inst = FindInstance(items[i].instance_id);
+    if (inst == nullptr) {
+      Status s = Status::NotFound("no instance " +
+                                  std::to_string(items[i].instance_id));
+      for (size_t k = i; k < j; ++k) (*out)[k] = s;
+      i = j;
+      continue;
+    }
+    std::lock_guard lock(inst->mu);
+    if (!inst->is_host) {
+      Status s = Status::Unavailable("not the host replica");
+      for (size_t k = i; k < j; ++k) (*out)[k] = s;
+      i = j;
+      continue;
+    }
+    ReplicationRecord rec;
+    std::string encoded;
+    for (size_t k = i; k < j; ++k) {
+      writes_.fetch_add(1, std::memory_order_relaxed);
+      Result<double> r = IncrDoubleLocked(inst->engine.get(), items[k].key,
+                                          items[k].delta, &encoded);
+      if (r.ok() && inst->slave != nullptr) {
+        rec.ops.push_back({items[k].key, encoded, false});
+      }
+      (*out)[k] = std::move(r);
+    }
+    ReplicateLocked(inst, items[i].instance_id, std::move(rec));
+    i = j;
+  }
+  return Status::OK();
+}
+
+Status DataServer::MultiIncrInt64(const std::vector<BatchIncrInt64>& items,
+                                  std::vector<Result<int64_t>>* out) {
+  if (down_.load()) return Status::Unavailable("data server down");
+  invocations_.fetch_add(1, std::memory_order_relaxed);
+  out->assign(items.size(), Result<int64_t>(Status::Internal("unset")));
+  size_t i = 0;
+  while (i < items.size()) {
+    size_t j = i;
+    while (j < items.size() && items[j].instance_id == items[i].instance_id) {
+      ++j;
+    }
+    Instance* inst = FindInstance(items[i].instance_id);
+    if (inst == nullptr) {
+      Status s = Status::NotFound("no instance " +
+                                  std::to_string(items[i].instance_id));
+      for (size_t k = i; k < j; ++k) (*out)[k] = s;
+      i = j;
+      continue;
+    }
+    std::lock_guard lock(inst->mu);
+    if (!inst->is_host) {
+      Status s = Status::Unavailable("not the host replica");
+      for (size_t k = i; k < j; ++k) (*out)[k] = s;
+      i = j;
+      continue;
+    }
+    ReplicationRecord rec;
+    std::string encoded;
+    for (size_t k = i; k < j; ++k) {
+      writes_.fetch_add(1, std::memory_order_relaxed);
+      Result<int64_t> r = IncrInt64Locked(inst->engine.get(), items[k].key,
+                                          items[k].delta, &encoded);
+      if (r.ok() && inst->slave != nullptr) {
+        rec.ops.push_back({items[k].key, encoded, false});
+      }
+      (*out)[k] = std::move(r);
+    }
+    ReplicateLocked(inst, items[i].instance_id, std::move(rec));
+    i = j;
+  }
+  return Status::OK();
 }
 
 Status DataServer::ScanPrefix(
@@ -216,6 +389,7 @@ Status DataServer::ScanPrefix(
     const std::function<bool(std::string_view, std::string_view)>& visitor)
     const {
   if (down_.load()) return Status::Unavailable("data server down");
+  invocations_.fetch_add(1, std::memory_order_relaxed);
   Instance* inst = FindInstance(instance_id);
   if (inst == nullptr) {
     return Status::NotFound("no instance " + std::to_string(instance_id));
@@ -235,7 +409,7 @@ Status DataServer::FlushReplication() {
     for (auto& [id, inst] : instances_) snapshot.emplace_back(id, inst.get());
   }
   for (auto& [id, inst] : snapshot) {
-    std::deque<ReplicationOp> pending;
+    std::deque<ReplicationRecord> pending;
     DataServer* slave;
     {
       std::lock_guard lock(inst->mu);
@@ -243,8 +417,8 @@ Status DataServer::FlushReplication() {
       slave = inst->slave;
     }
     if (slave == nullptr) continue;
-    for (const auto& op : pending) {
-      Status s = slave->ApplyReplicated(id, op);
+    for (const auto& rec : pending) {
+      Status s = slave->ApplyReplicatedRecord(id, rec);
       if (!s.ok() && !s.IsUnavailable()) return s;
     }
   }
@@ -256,7 +430,7 @@ size_t DataServer::PendingReplication() const {
   size_t n = 0;
   for (const auto& [id, inst] : instances_) {
     std::lock_guard ilock(inst->mu);
-    n += inst->pending.size();
+    for (const auto& rec : inst->pending) n += rec.ops.size();
   }
   return n;
 }
@@ -271,6 +445,37 @@ Status DataServer::ApplyReplicated(int instance_id, const ReplicationOp& op) {
   // Slaves apply verbatim and never cascade.
   if (op.is_delete) return inst->engine->Delete(op.key);
   return inst->engine->Put(op.key, op.value);
+}
+
+Status DataServer::ApplyReplicatedRecord(int instance_id,
+                                         const ReplicationRecord& rec) {
+  if (down_.load()) return Status::Unavailable("data server down");
+  Instance* inst = FindInstance(instance_id);
+  if (inst == nullptr) {
+    return Status::NotFound("no instance " + std::to_string(instance_id));
+  }
+  std::lock_guard lock(inst->mu);
+  bool all_puts = true;
+  for (const auto& op : rec.ops) {
+    if (op.is_delete) {
+      all_puts = false;
+      break;
+    }
+  }
+  if (all_puts && rec.ops.size() > 1) {
+    std::vector<std::pair<std::string, std::string>> kvs;
+    kvs.reserve(rec.ops.size());
+    for (const auto& op : rec.ops) kvs.emplace_back(op.key, op.value);
+    return inst->engine->MultiPut(kvs);
+  }
+  for (const auto& op : rec.ops) {
+    if (op.is_delete) {
+      TR_RETURN_IF_ERROR(inst->engine->Delete(op.key));
+    } else {
+      TR_RETURN_IF_ERROR(inst->engine->Put(op.key, op.value));
+    }
+  }
+  return Status::OK();
 }
 
 Status DataServer::CopyInstanceTo(int instance_id, DataServer* target) const {

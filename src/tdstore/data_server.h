@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "tdstore/engine.h"
@@ -20,6 +21,37 @@ struct ReplicationOp {
   std::string key;
   std::string value;
   bool is_delete = false;
+};
+
+/// A group of ops shipped host→slave as one unit. Point ops produce one-op
+/// records; batch entry points ship the whole per-instance run as a single
+/// record, so replication cost scales with batches, not keys.
+struct ReplicationRecord {
+  std::vector<ReplicationOp> ops;
+};
+
+/// Per-item inputs for the batch entry points. `instance_id` is carried per
+/// item so one server call can span every instance this server hosts; the
+/// caller is expected to sort items so same-instance ops are contiguous
+/// (each contiguous run is applied under one lock acquisition).
+struct BatchGet {
+  int instance_id = 0;
+  std::string key;
+};
+struct BatchPut {
+  int instance_id = 0;
+  std::string key;
+  std::string value;
+};
+struct BatchIncrDouble {
+  int instance_id = 0;
+  std::string key;
+  double delta = 0.0;
+};
+struct BatchIncrInt64 {
+  int instance_id = 0;
+  std::string key;
+  int64_t delta = 0;
 };
 
 /// A TDStore data server hosting multiple data instances (shards). Backup is
@@ -81,6 +113,24 @@ class DataServer {
                     const std::function<bool(std::string_view,
                                              std::string_view)>& visitor) const;
 
+  /// Batch entry points. Each call counts as ONE server invocation no matter
+  /// how many items it carries; contiguous same-instance item runs are
+  /// applied under a single lock acquisition and replicated as one record.
+  /// Items are processed strictly in input order, so same-key increments in
+  /// one batch produce bit-identical values to the equivalent point-op
+  /// sequence. `out` gets one entry per item (aligned by index). The overall
+  /// Status is non-OK only when the whole server is down — per-item failures
+  /// (wrong host, missing instance, engine errors) land in `out` without
+  /// aborting the rest of the batch.
+  Status MultiGet(const std::vector<BatchGet>& items,
+                  std::vector<Result<std::string>>* out) const;
+  Status MultiPut(const std::vector<BatchPut>& items,
+                  std::vector<Status>* out);
+  Status MultiIncrDouble(const std::vector<BatchIncrDouble>& items,
+                         std::vector<Result<double>>* out);
+  Status MultiIncrInt64(const std::vector<BatchIncrInt64>& items,
+                        std::vector<Result<int64_t>>* out);
+
   /// Drains pending replication ops for all hosted instances.
   Status FlushReplication();
 
@@ -89,6 +139,10 @@ class DataServer {
 
   /// Applies a replicated op coming from a host server.
   Status ApplyReplicated(int instance_id, const ReplicationOp& op);
+
+  /// Applies a batched replication record coming from a host server. An
+  /// all-put record goes through the engine's MultiPut fast path.
+  Status ApplyReplicatedRecord(int instance_id, const ReplicationRecord& rec);
 
   /// Copies the full content of `instance_id` into `target` (used to
   /// re-seed a replacement slave after failover/recovery).
@@ -105,9 +159,14 @@ class DataServer {
   /// The combiner and cache ablation benches measure load with these.
   int64_t reads() const { return reads_.load(); }
   int64_t writes() const { return writes_.load(); }
+  /// Client-facing entry calls: each point op and each Multi* batch counts
+  /// once, regardless of how many items the batch carries. The micro_store
+  /// bench asserts its ops-per-action reduction against this.
+  int64_t invocations() const { return invocations_.load(); }
   void ResetCounters() {
     reads_.store(0);
     writes_.store(0);
+    invocations_.store(0);
   }
 
  private:
@@ -115,17 +174,21 @@ class DataServer {
     std::unique_ptr<Engine> engine;
     bool is_host = false;
     DataServer* slave = nullptr;
-    std::deque<ReplicationOp> pending;
+    std::deque<ReplicationRecord> pending;
     mutable std::mutex mu;  ///< serializes read-modify-write (Incr) and queue
   };
 
   Instance* FindInstance(int instance_id) const;
+  /// Ships or queues one record for `inst`'s slave. Caller holds inst->mu.
+  void ReplicateLocked(Instance* inst, int instance_id,
+                       ReplicationRecord&& rec);
 
   const int server_id_;
   const bool sync_replication_;
   std::atomic<bool> down_{false};
   mutable std::atomic<int64_t> reads_{0};
   mutable std::atomic<int64_t> writes_{0};
+  mutable std::atomic<int64_t> invocations_{0};
   mutable std::mutex map_mu_;
   std::map<int, std::unique_ptr<Instance>> instances_;
 };

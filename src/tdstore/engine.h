@@ -5,6 +5,8 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 
@@ -25,6 +27,18 @@ class Engine {
   virtual ~Engine() = default;
 
   virtual Status Put(std::string_view key, std::string_view value) = 0;
+
+  /// Applies a batch of puts in order. Engines override this when one pass
+  /// beats repeated Put() calls (amortized locking, one memtable-seal check
+  /// per batch); the default loops Put() and stops at the first error.
+  virtual Status MultiPut(
+      const std::vector<std::pair<std::string, std::string>>& kvs) {
+    for (const auto& [key, value] : kvs) {
+      Status s = Put(key, value);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
 
   /// NotFound if the key is absent (or deleted).
   virtual Result<std::string> Get(std::string_view key) const = 0;

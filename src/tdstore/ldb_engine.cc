@@ -16,6 +16,17 @@ Status LdbEngine::Put(std::string_view key, std::string_view value) {
   return Status::OK();
 }
 
+Status LdbEngine::MultiPut(
+    const std::vector<std::pair<std::string, std::string>>& kvs) {
+  std::lock_guard lock(mu_);
+  for (const auto& [key, value] : kvs) memtable_[key] = value;
+  if (memtable_.size() >= memtable_limit_) {
+    SealMemtableLocked();
+    MaybeCompactLocked();
+  }
+  return Status::OK();
+}
+
 Status LdbEngine::Delete(std::string_view key) {
   std::lock_guard lock(mu_);
   memtable_[std::string(key)] = std::nullopt;  // tombstone

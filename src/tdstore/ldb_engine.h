@@ -26,6 +26,10 @@ class LdbEngine : public Engine {
         max_runs_(options.ldb_max_runs == 0 ? 1 : options.ldb_max_runs) {}
 
   Status Put(std::string_view key, std::string_view value) override;
+  /// One lock acquisition and one seal/compaction check for the whole batch
+  /// (the memtable may transiently overshoot its limit by the batch size).
+  Status MultiPut(
+      const std::vector<std::pair<std::string, std::string>>& kvs) override;
   Result<std::string> Get(std::string_view key) const override;
   Status Delete(std::string_view key) override;
   Status ScanPrefix(

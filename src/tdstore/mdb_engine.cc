@@ -11,6 +11,14 @@ Status MdbEngine::Put(std::string_view key, std::string_view value) {
   return Status::OK();
 }
 
+Status MdbEngine::MultiPut(
+    const std::vector<std::pair<std::string, std::string>>& kvs) {
+  std::unique_lock lock(mu_);
+  map_.reserve(map_.size() + kvs.size());
+  for (const auto& [key, value] : kvs) map_[key] = value;
+  return Status::OK();
+}
+
 Result<std::string> MdbEngine::Get(std::string_view key) const {
   std::shared_lock lock(mu_);
   auto it = map_.find(std::string(key));

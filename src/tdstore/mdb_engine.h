@@ -17,6 +17,10 @@ class MdbEngine : public Engine {
   MdbEngine() = default;
 
   Status Put(std::string_view key, std::string_view value) override;
+  /// One writer-lock acquisition (and one rehash reservation) for the whole
+  /// batch instead of per key.
+  Status MultiPut(
+      const std::vector<std::pair<std::string, std::string>>& kvs) override;
   Result<std::string> Get(std::string_view key) const override;
   Status Delete(std::string_view key) override;
   Status ScanPrefix(

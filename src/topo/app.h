@@ -60,6 +60,18 @@ struct AppOptions {
   /// Tick interval (executed tuples) at which combiners flush.
   int combiner_interval = 64;
 
+  // --- host-aware batched store I/O ---
+  /// Route combiner flushes (and other write-behind paths) through a
+  /// BatchWriter: grouped per-host Multi* calls instead of one store op per
+  /// key. Point semantics are preserved bit-for-bit; this only changes how
+  /// many server invocations carry the same ops.
+  bool enable_store_batching = true;
+  /// BatchWriter auto-flush threshold (staged ops).
+  size_t store_batch_max_ops = 256;
+  /// BatchWriter max staging age before auto-flush; 0 = flush only on
+  /// size/explicit Flush (bolt ticks already bound staleness).
+  int64_t store_batch_max_age_micros = 0;
+
   // --- topology shape ---
   int parallelism = 2;  ///< instances for the keyed bolts
 

@@ -48,6 +48,14 @@ void StoreBolt::Prepare(const tstorm::TaskContext& ctx) {
   cache_ = std::make_unique<StoreCache>(client_.get(),
                                         app_->options.cache_capacity,
                                         app_->options.enable_cache);
+  if (app_->options.enable_store_batching) {
+    tdstore::BatchWriter::Options wopts;
+    wopts.max_ops = app_->options.store_batch_max_ops;
+    wopts.max_age_micros = app_->options.store_batch_max_age_micros;
+    writer_ = std::make_unique<tdstore::BatchWriter>(client_.get(), wopts);
+  } else {
+    writer_.reset();
+  }
   // Resolve the event-to-store histogram once; a null pointer makes every
   // RecordEventToStore a branch-and-return with no clock read.
   e2s_ = MetricsEnabled()
@@ -57,6 +65,29 @@ void StoreBolt::Prepare(const tstorm::TaskContext& ctx) {
              : nullptr;
   span_name_ = ctx.component_name;
   flush_span_name_ = ctx.component_name + ".flush";
+}
+
+Status StoreBolt::FlushCombinerBatched(Combiner* combiner) {
+  std::vector<std::pair<std::string, double>> drained;
+  combiner->Drain(&drained);
+  if (drained.empty()) return Status::OK();
+  // Keep the deltas addressable by key so a failed write can be re-buffered
+  // (the combiner re-merges it with anything that arrived meanwhile).
+  std::unordered_map<std::string, double> deltas;
+  deltas.reserve(drained.size());
+  for (const auto& [key, delta] : drained) deltas.emplace(key, delta);
+  Status first_error;
+  cache_->AddDoubleBatch(drained, writer_.get(),
+                         [&](const std::string& key, const Status& s) {
+                           if (first_error.ok()) first_error = s;
+                           auto it = deltas.find(key);
+                           if (it != deltas.end()) {
+                             combiner->Add(key, it->second);
+                           }
+                         });
+  Status flush = writer_->Flush();
+  if (!first_error.ok()) return first_error;
+  return flush;
 }
 
 Result<double> StoreBolt::WindowSum(
@@ -202,9 +233,11 @@ void ItemCountBolt::Tick(tstorm::OutputCollector& out) {
   (void)out;
   ScopedSpan span(oldest_pending_trace_, flush_span_name_);
   oldest_pending_trace_ = 0;
-  Status s = combiner_.Flush([&](const std::string& key, double delta) {
-    return cache_->AddDouble(key, delta).status();
-  });
+  Status s = writer_ != nullptr
+                 ? FlushCombinerBatched(&combiner_)
+                 : combiner_.Flush([&](const std::string& key, double delta) {
+                     return cache_->AddDouble(key, delta).status();
+                   });
   if (!s.ok()) {
     TR_LOG(kError, "itemCount flush failed: %s", s.ToString().c_str());
     return;
@@ -292,10 +325,15 @@ void CfPairBolt::Execute(const tstorm::Tuple& input,
   // Algorithm 1 lines 9–17.
   auto n = client_->IncrInt64(keys().PairObservations(lo, hi), 1);
   if (!n.ok()) return;
-  auto t_lo = client_->GetDouble(keys().SimilarThreshold(lo), 0.0);
-  auto t_hi = client_->GetDouble(keys().SimilarThreshold(hi), 0.0);
-  if (!t_lo.ok() || !t_hi.ok()) return;
-  const double t = std::min(*t_lo, *t_hi);
+  // Both admission thresholds in one grouped read (they hash to arbitrary
+  // instances, so this is one store call per distinct host instead of two
+  // unconditional calls).
+  std::vector<Result<double>> thresholds;
+  Status t_status = client_->MultiGetDouble(
+      {keys().SimilarThreshold(lo), keys().SimilarThreshold(hi)}, 0.0,
+      &thresholds);
+  if (!t_status.ok() || !thresholds[0].ok() || !thresholds[1].ok()) return;
+  const double t = std::min(*thresholds[0], *thresholds[1]);
   if (t <= 0.0) return;
   const double epsilon = std::sqrt(hoeffding_ln_inv_delta_ /
                                    (2.0 * static_cast<double>(*n)));
@@ -404,9 +442,11 @@ void GroupCountBolt::Execute(const tstorm::Tuple& input,
 void GroupCountBolt::Tick(tstorm::OutputCollector& out) {
   ScopedSpan span(oldest_pending_trace_, flush_span_name_);
   oldest_pending_trace_ = 0;
-  Status s = combiner_.Flush([&](const std::string& key, double delta) {
-    return cache_->AddDouble(key, delta).status();
-  });
+  Status s = writer_ != nullptr
+                 ? FlushCombinerBatched(&combiner_)
+                 : combiner_.Flush([&](const std::string& key, double delta) {
+                     return cache_->AddDouble(key, delta).status();
+                   });
   if (!s.ok()) {
     TR_LOG(kError, "group count flush failed: %s", s.ToString().c_str());
     return;
@@ -507,9 +547,11 @@ void CtrStatsBolt::Tick(tstorm::OutputCollector& out) {
   (void)out;
   ScopedSpan span(oldest_pending_trace_, flush_span_name_);
   oldest_pending_trace_ = 0;
-  Status s = combiner_.Flush([&](const std::string& key, double delta) {
-    return cache_->AddDouble(key, delta).status();
-  });
+  Status s = writer_ != nullptr
+                 ? FlushCombinerBatched(&combiner_)
+                 : combiner_.Flush([&](const std::string& key, double delta) {
+                     return cache_->AddDouble(key, delta).status();
+                   });
   if (!s.ok()) {
     TR_LOG(kError, "ctr flush failed: %s", s.ToString().c_str());
     return;

@@ -8,6 +8,7 @@
 
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "tdstore/batch_writer.h"
 #include "tdstore/client.h"
 #include "topo/action_codec.h"
 #include "topo/app.h"
@@ -28,9 +29,18 @@ class StoreBolt : public tstorm::IBolt {
 
   const StoreCache::Stats& cache_stats() const { return cache_->stats(); }
 
+  /// Write-behind batch writer, or nullptr when store batching is off.
+  tdstore::BatchWriter* batch_writer() const { return writer_.get(); }
+
  protected:
   const AppOptions& options() const { return app_->options; }
   const Keys& keys() const { return app_->keys; }
+
+  /// Ships `combiner`'s whole buffer through the batch writer: one grouped
+  /// per-host store call per op kind instead of an AddDouble round trip per
+  /// key. Keys whose write fails are re-buffered into the combiner, keeping
+  /// the point path's at-least-once behavior. Requires batching enabled.
+  Status FlushCombinerBatched(Combiner* combiner);
 
   /// Sliding-window sum of a per-session double counter (Eq. 10 read side):
   /// sums `key_of(session)` over the window ending at the session of `now`.
@@ -59,6 +69,7 @@ class StoreBolt : public tstorm::IBolt {
   tstorm::TaskContext ctx_;
   std::unique_ptr<tdstore::Client> client_;
   std::unique_ptr<StoreCache> cache_;
+  std::unique_ptr<tdstore::BatchWriter> writer_;
   LatencyHistogram* e2s_ = nullptr;
   /// Span names for this component's hops, resolved once in Prepare so the
   /// per-tuple ScopedSpan constructors never allocate. Stable for the task's

@@ -5,6 +5,8 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 
@@ -43,6 +45,18 @@ class Combiner {
       it = buffer_.erase(it);
     }
     return Status::OK();
+  }
+
+  /// Moves the whole buffer out at once (the batched-flush path: the caller
+  /// ships entries through a BatchWriter and re-Adds any that fail, keeping
+  /// the at-least-once story of Flush). Every drained entry counts as
+  /// flushed.
+  void Drain(std::vector<std::pair<std::string, double>>* out) {
+    out->clear();
+    out->reserve(buffer_.size());
+    for (auto& [key, delta] : buffer_) out->emplace_back(key, delta);
+    stats_.flushed += static_cast<int64_t>(buffer_.size());
+    buffer_.clear();
   }
 
   size_t pending() const { return buffer_.size(); }

@@ -78,6 +78,56 @@ Result<double> StoreCache::AddDouble(const std::string& key, double delta) {
   return next;
 }
 
+void StoreCache::AddDoubleBatch(
+    const std::vector<std::pair<std::string, double>>& adds,
+    tdstore::BatchWriter* writer,
+    const std::function<void(const std::string&, const Status&)>& on_error) {
+  for (const auto& [key, delta] : adds) {
+    if (!Active()) {
+      ++stats_.misses;
+      ++stats_.writes;
+      writer->IncrDouble(key, delta,
+                         [key, on_error](const Result<double>& r) {
+                           if (!r.ok() && on_error) on_error(key, r.status());
+                         });
+      continue;
+    }
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      ++stats_.writes;
+      auto decoded = tdstore::DecodeDouble(it->second.value);
+      if (!decoded.ok()) {
+        if (on_error) on_error(key, decoded.status());
+        continue;
+      }
+      const double next = *decoded + delta;
+      // Single-writer-per-key: updating the cache before the put ships is
+      // safe, and lets later adds in this same batch hit the fresh value.
+      InsertOrUpdate(key, tdstore::EncodeDouble(next));
+      writer->PutDouble(key, next,
+                        [this, key, on_error](const Status& s) {
+                          if (s.ok()) return;
+                          Invalidate(key);  // cache is ahead of the store
+                          if (on_error) on_error(key, s);
+                        });
+      continue;
+    }
+    ++stats_.misses;
+    ++stats_.writes;
+    // Unknown current value: let the server do the read-modify-write and
+    // adopt its result into the cache when the batch lands.
+    writer->IncrDouble(key, delta,
+                       [this, key, on_error](const Result<double>& r) {
+                         if (!r.ok()) {
+                           if (on_error) on_error(key, r.status());
+                           return;
+                         }
+                         InsertOrUpdate(key, tdstore::EncodeDouble(*r));
+                       });
+  }
+}
+
 void StoreCache::Invalidate(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return;

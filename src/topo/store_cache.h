@@ -1,11 +1,15 @@
 #ifndef TENCENTREC_TOPO_STORE_CACHE_H_
 #define TENCENTREC_TOPO_STORE_CACHE_H_
 
+#include <functional>
 #include <list>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
+#include "tdstore/batch_writer.h"
 #include "tdstore/client.h"
 
 namespace tencentrec::topo {
@@ -45,6 +49,18 @@ class StoreCache {
   /// (saving the TDStore read, exactly the §5.2 optimization), writes
   /// through. Safe because this worker is the key's only writer.
   Result<double> AddDouble(const std::string& key, double delta);
+
+  /// Batched AddDouble: stages every write on `writer` instead of issuing a
+  /// store op per key. Cache hits compute the new value locally, update the
+  /// cache immediately, and stage a Put (invalidated again if the put later
+  /// fails); misses stage an IncrDouble whose callback inserts the
+  /// server-computed value. `on_error(key, status)` fires during the
+  /// writer's flush for each key whose write ultimately fails. This cache
+  /// must outlive the flush that ships the staged ops.
+  void AddDoubleBatch(
+      const std::vector<std::pair<std::string, double>>& adds,
+      tdstore::BatchWriter* writer,
+      const std::function<void(const std::string&, const Status&)>& on_error);
 
   void Invalidate(const std::string& key);
   void Clear();

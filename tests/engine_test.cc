@@ -6,6 +6,8 @@
 #include "core/itemcf/item_cf.h"
 #include "engine/monitor.h"
 #include "engine/tencentrec.h"
+#include "tdstore/client.h"
+#include "topo/blob_codec.h"
 
 namespace tencentrec::engine {
 namespace {
@@ -433,6 +435,42 @@ TEST(EngineTest, ParallelCfMirrorMatchesReference) {
   const std::string report = FormatMonitorSnapshot(*snapshot);
   EXPECT_NE(report.find("parallel cf pipeline"), std::string::npos);
   EXPECT_NE(report.find("user-history"), std::string::npos);
+}
+
+TEST(EngineTest, MirrorCheckpointExportsStateThroughBatchWriter) {
+  TencentRec::Options options = BaseOptions("ckpt");
+  options.mirror_parallel_cf = true;
+  options.mirror_checkpoint = true;
+  auto engine = TencentRec::Create(options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_TRUE((*engine)->ProcessBatch(CliqueTraffic()).ok());
+
+  core::ParallelItemCf* mirror = (*engine)->parallel_cf();
+  ASSERT_NE(mirror, nullptr);
+  tdstore::Client client((*engine)->store());
+  const topo::Keys& keys = (*engine)->app().keys;
+
+  // Every tracked item's windowed total landed in the store under the
+  // mirror key schema, value-identical to the live mirror state.
+  int visited = 0;
+  mirror->VisitItemCounts([&](core::ItemId item, double total) {
+    ++visited;
+    auto stored = client.GetDouble(keys.MirrorItemCount(item), -1.0);
+    ASSERT_TRUE(stored.ok()) << item;
+    EXPECT_DOUBLE_EQ(*stored, total) << item;
+  });
+  EXPECT_GT(visited, 0);
+
+  // So did the similar-items lists — decodable and matching the live top-K.
+  auto blob = client.Get(keys.MirrorSimilar(101));
+  ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+  auto list = topo::DecodeScoredList(*blob);
+  ASSERT_TRUE(list.ok());
+  const TopK<core::ItemId>* live = mirror->SimilarItems(101);
+  ASSERT_NE(live, nullptr);
+  ASSERT_EQ(list->size(), live->entries().size());
+  EXPECT_EQ((*list)[0].item, 102);
+  EXPECT_DOUBLE_EQ((*list)[0].score, live->entries()[0].score);
 }
 
 }  // namespace

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "core/itemcf/item_cf.h"
 #include "engine/tencentrec.h"
 #include "topo/action_codec.h"
 #include "topo/blob_codec.h"
+#include "topo/bolts.h"
 #include "topo/combiner.h"
 #include "topo/spouts.h"
 #include "topo/store_cache.h"
@@ -307,6 +309,65 @@ TEST(CombinerTest, FailedWriteKeepsEntry) {
                    })
                    .ok());
   EXPECT_EQ(combiner.pending(), 1u);
+}
+
+TEST(CombinerTest, DrainHandsOverWholeBufferForBatchedFlush) {
+  Combiner combiner;
+  combiner.Add("k1", 1.0);
+  combiner.Add("k1", 2.0);
+  combiner.Add("k2", 5.0);
+  std::vector<std::pair<std::string, double>> drained;
+  combiner.Drain(&drained);
+  EXPECT_EQ(combiner.pending(), 0u);
+  std::map<std::string, double> by_key(drained.begin(), drained.end());
+  EXPECT_DOUBLE_EQ(by_key["k1"], 3.0);
+  EXPECT_DOUBLE_EQ(by_key["k2"], 5.0);
+  EXPECT_EQ(combiner.stats().flushed, 2);
+  // Failed keys can be re-buffered, restoring at-least-once.
+  combiner.Add("k1", by_key["k1"]);
+  EXPECT_EQ(combiner.pending(), 1u);
+}
+
+// --- event-to-store stamp guard ---------------------------------------------
+
+// StoreBolt with the protected record hook exposed; Execute is never called.
+class E2sProbeBolt : public StoreBolt {
+ public:
+  explicit E2sProbeBolt(const AppContext* app) : StoreBolt(app) {}
+  void Execute(const tstorm::Tuple&, const tstorm::TupleSource&,
+               tstorm::OutputCollector&) override {}
+  using StoreBolt::RecordEventToStore;
+};
+
+TEST(EventToStoreGuardTest, UnstampedTuplesAreNeverRecorded) {
+  SetMetricsEnabled(true);
+  tdstore::Cluster::Options store_options;
+  store_options.num_data_servers = 2;
+  store_options.num_instances = 4;
+  auto cluster = tdstore::Cluster::Create(store_options);
+  ASSERT_TRUE(cluster.ok());
+  AppOptions options;
+  options.app = "e2sguard";
+  AppContext app(cluster->get(), options);
+  E2sProbeBolt bolt(&app);
+  tstorm::TaskContext ctx;
+  ctx.component_name = "probe";
+  bolt.Prepare(ctx);
+
+  auto* hist = MetricRegistry::Default().GetHistogram(
+      "topo.e2sguard.probe.event_to_store_us");
+  const uint64_t before = hist->Snap().count;
+  // Combiner-flush tuples and legacy payloads carry ingest == 0; recording
+  // them would put a full MonoMicros() epoch into the latency histogram.
+  bolt.RecordEventToStore(0);
+  EXPECT_EQ(hist->Snap().count, before);
+  bolt.RecordEventToStore(MonoMicros());
+  EXPECT_EQ(hist->Snap().count, before + 1);
+  // A stamp slightly in the future (cross-thread clock skew) clamps to 0
+  // instead of wrapping to a huge unsigned delta.
+  bolt.RecordEventToStore(MonoMicros() + 1'000'000);
+  EXPECT_EQ(hist->Snap().count, before + 2);
+  EXPECT_LT(hist->Snap().max, 1'000'000u);
 }
 
 // --- end-to-end pipeline vs. in-memory oracle -------------------------------------
