@@ -2,11 +2,23 @@
 // of answering recommendation queries from TDStore state. The paper's
 // deployment answers 10 billion requests/day (~0.5M/s peak) from this
 // path; these numbers show what one core of the reproduction sustains.
+//
+// main() first runs the batched-query-tier harness: 8 concurrent querents
+// replay the same hot-user sequence through the unbatched point-read path
+// and through the batched tier (deduped grouped MultiGets + shared
+// QueryCache with single-flight coalescing) against the SAME store state,
+// asserting the >= 5x store-invocation reduction per recommendation and
+// emitting BENCH_micro_query.json. The google-benchmark suite follows.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <thread>
+
+#include "bench_util.h"
 #include "common/random.h"
 #include "engine/tencentrec.h"
+#include "topo/query.h"
 
 namespace {
 
@@ -19,6 +31,9 @@ std::unique_ptr<engine::TencentRec> MakeWarmEngine() {
   options.app.parallelism = 2;
   options.app.linked_time = Hours(4);
   options.app.algorithms.ctr = true;
+  // Windowed counters (6 live sessions) so every candidate/pair count is a
+  // multi-key window read — the regime the batched tier is built for.
+  options.app.window_sessions = 6;
   options.store.num_data_servers = 2;
   options.store.num_instances = 8;
   auto engine = engine::TencentRec::Create(options);
@@ -48,6 +63,146 @@ std::unique_ptr<engine::TencentRec> MakeWarmEngine() {
 engine::TencentRec* WarmEngine() {
   static engine::TencentRec* engine = MakeWarmEngine().release();
   return engine;
+}
+
+int64_t TotalInvocations(tdstore::Cluster* cluster) {
+  int64_t total = 0;
+  for (int s = 0; s < cluster->num_data_servers(); ++s) {
+    total += cluster->data_server(s)->invocations();
+  }
+  return total;
+}
+
+void ResetInvocations(tdstore::Cluster* cluster) {
+  for (int s = 0; s < cluster->num_data_servers(); ++s) {
+    cluster->data_server(s)->ResetCounters();
+  }
+}
+
+struct PhaseResult {
+  int64_t invocations = 0;
+  double wall_ms = 0.0;
+  std::vector<double> query_ms;  // per-recommendation latencies, all threads
+};
+
+/// `threads` concurrent querents replay the same hot-user sequence (the
+/// burst pattern of §5.2); each builds its StoreQuery from `make_query`.
+PhaseResult RunPhase(
+    engine::TencentRec* engine, int threads, int recs_per_thread,
+    const std::function<std::unique_ptr<topo::StoreQuery>()>& make_query) {
+  const EventTime now = Seconds(31000);
+  ResetInvocations(engine->store());
+  std::vector<std::vector<double>> lat(threads);
+  std::atomic<int> ready{0};
+  std::atomic<int> failed{0};
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      auto query = make_query();
+      lat[t].reserve(recs_per_thread);
+      ready.fetch_add(1);
+      while (ready.load() < threads) std::this_thread::yield();
+      for (int k = 0; k < recs_per_thread; ++k) {
+        const UserId user = static_cast<UserId>(1 + (k * 13) % 200);
+        const auto q_start = std::chrono::steady_clock::now();
+        auto recs = query->RecommendCf(user, 10, now);
+        const auto q_end = std::chrono::steady_clock::now();
+        if (!recs.ok()) {
+          failed.fetch_add(1);
+          continue;
+        }
+        lat[t].push_back(
+            std::chrono::duration<double, std::milli>(q_end - q_start)
+                .count());
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  PhaseResult r;
+  r.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - wall_start)
+                  .count();
+  r.invocations = TotalInvocations(engine->store());
+  for (auto& v : lat) {
+    r.query_ms.insert(r.query_ms.end(), v.begin(), v.end());
+  }
+  if (failed.load() > 0) {
+    std::fprintf(stderr, "FAIL: %d recommendations errored\n", failed.load());
+    std::exit(1);
+  }
+  return r;
+}
+
+int RunQueryTierHarness() {
+  auto* engine = WarmEngine();
+  if (engine == nullptr) {
+    std::fprintf(stderr, "FAIL: engine init failed\n");
+    return 1;
+  }
+  constexpr int kThreads = 8;
+  constexpr int kRecsPerThread = 25;
+  const int total_recs = kThreads * kRecsPerThread;
+
+  // Unbatched: the original one-point-Get-per-key path, same store state.
+  topo::AppOptions unbatched_options = engine->options().app;
+  unbatched_options.enable_query_batching = false;
+  topo::AppContext unbatched_ctx(engine->store(), unbatched_options);
+  PhaseResult unbatched =
+      RunPhase(engine, kThreads, kRecsPerThread, [&unbatched_ctx] {
+        return std::make_unique<topo::StoreQuery>(&unbatched_ctx);
+      });
+
+  // Batched: per-thread StoreQuery sharing the engine's QueryCache — the
+  // deployment shape (one cache per serving process).
+  PhaseResult batched =
+      RunPhase(engine, kThreads, kRecsPerThread, [engine] {
+        return std::make_unique<topo::StoreQuery>(&engine->app(),
+                                                  engine->query_cache());
+      });
+
+  const double unbatched_per_rec =
+      static_cast<double>(unbatched.invocations) / total_recs;
+  const double batched_per_rec =
+      static_cast<double>(batched.invocations) / total_recs;
+  const double reduction =
+      batched_per_rec > 0 ? unbatched_per_rec / batched_per_rec : 0.0;
+
+  std::printf("query tier: %d threads x %d recs\n", kThreads,
+              kRecsPerThread);
+  std::printf("  unbatched: %.1f store invocations/rec, p99 %.3f ms\n",
+              unbatched_per_rec,
+              bench::SamplePercentile(unbatched.query_ms, 99));
+  std::printf("  batched:   %.1f store invocations/rec, p99 %.3f ms\n",
+              batched_per_rec, bench::SamplePercentile(batched.query_ms, 99));
+  std::printf("  reduction: %.1fx\n", reduction);
+
+  bench::BenchSummary summary;
+  summary.ops_per_sec =
+      batched.wall_ms > 0 ? total_recs / (batched.wall_ms / 1e3) : 0.0;
+  summary.p50_ms = bench::SamplePercentile(batched.query_ms, 50);
+  summary.p95_ms = bench::SamplePercentile(batched.query_ms, 95);
+  summary.p99_ms = bench::SamplePercentile(batched.query_ms, 99);
+  char extra[340];
+  std::snprintf(extra, sizeof(extra),
+                "\"threads\": %d,\n  \"recs\": %d,\n"
+                "  \"store_invocations_per_rec_unbatched\": %.2f,\n"
+                "  \"store_invocations_per_rec_batched\": %.2f,\n"
+                "  \"invocation_reduction\": %.2f,\n"
+                "  \"unbatched_p99_ms\": %.3f",
+                kThreads, total_recs, unbatched_per_rec, batched_per_rec,
+                reduction,
+                bench::SamplePercentile(unbatched.query_ms, 99));
+  bench::WriteBenchJson("micro_query", summary, extra);
+
+  if (reduction < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: batched query tier reduced store invocations only "
+                 "%.1fx (< 5x)\n",
+                 reduction);
+    return 1;
+  }
+  return 0;
 }
 
 void BM_RecommendCf(benchmark::State& state) {
@@ -125,3 +280,12 @@ void BM_HotItems(benchmark::State& state) {
 BENCHMARK(BM_HotItems);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  const int harness = RunQueryTierHarness();
+  if (harness != 0) return harness;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -42,16 +42,21 @@ Recommendations PredictFromRecent(const UserHistory& history,
   if (candidates.empty()) return {};
 
   // Eq. 2 restricted to the recent-k set: weighted average of the user's
-  // ratings on recent items, weighted by current similarity.
+  // ratings on recent items, weighted by current similarity. The recent
+  // ratings are invariant across candidates — look each up once, not once
+  // per (candidate, recent) pair.
+  std::vector<double> recent_ratings;
+  recent_ratings.reserve(recent.size());
+  for (ItemId q : recent) recent_ratings.push_back(history.RatingOf(q));
   Recommendations scored;
   scored.reserve(candidates.size());
   for (ItemId p : candidates) {
     double num = 0.0;
     double den = 0.0;
-    for (ItemId q : recent) {
-      const double sim = effective_sim(p, q);
+    for (size_t qi = 0; qi < recent.size(); ++qi) {
+      const double sim = effective_sim(p, recent[qi]);
       if (sim <= 0.0) continue;
-      num += sim * history.RatingOf(q);
+      num += sim * recent_ratings[qi];
       den += sim;
     }
     if (den <= 0.0) continue;

@@ -108,6 +108,11 @@ class TencentRec {
   /// --- queries (recommender engine) ---
   topo::StoreQuery& query() { return *query_; }
 
+  /// The shared batched-query-tier cache (nullptr when query batching is
+  /// off). Hand this to extra per-thread StoreQuery instances so concurrent
+  /// querents coalesce identical in-flight reads into one store round-trip.
+  std::shared_ptr<topo::QueryCache> query_cache() { return query_cache_; }
+
   /// --- introspection / fault injection ---
   tdstore::Cluster* store() { return store_.get(); }
   tdaccess::Cluster* access() { return access_.get(); }
@@ -146,6 +151,7 @@ class TencentRec {
   std::unique_ptr<topo::AppContext> app_;
   std::unique_ptr<tdstore::Client> admin_client_;
   std::unique_ptr<tdaccess::Producer> producer_;
+  std::shared_ptr<topo::QueryCache> query_cache_;
   std::unique_ptr<topo::StoreQuery> query_;
   std::unique_ptr<core::ParallelItemCf> parallel_cf_;
   std::vector<tstorm::ComponentMetrics> last_metrics_;

@@ -72,6 +72,22 @@ struct AppOptions {
   /// size/explicit Flush (bolt ticks already bound staleness).
   int64_t store_batch_max_age_micros = 0;
 
+  // --- batched query tier (read-side mirror of the write batching) ---
+  /// Route StoreQuery reads through the batched query tier: each query
+  /// plans its full key set, dedupes repeated keys, and issues grouped
+  /// MultiGets through a QueryCache (short-TTL positive + negative entries,
+  /// single-flight coalescing of concurrent identical reads). Off = the
+  /// original one-point-Get-per-key path; results are bit-identical either
+  /// way on a healthy store.
+  bool enable_query_batching = true;
+  /// QueryCache entry bound (key-value read results). 0 disables caching
+  /// while keeping per-query dedupe and cross-thread coalescing.
+  size_t query_cache_capacity = 1 << 14;
+  /// Positive/negative entry lifetime. Short by design: the cache only has
+  /// to absorb read bursts (§5.2), the store stays authoritative. 0
+  /// disables result caching (dedupe + coalescing remain).
+  int64_t query_cache_ttl_micros = 250'000;
+
   // --- topology shape ---
   int parallelism = 2;  ///< instances for the keyed bolts
 

@@ -2,18 +2,142 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "core/ctr.h"
 
 namespace tencentrec::topo {
 
-StoreQuery::StoreQuery(const AppContext* app)
-    : app_(app), client_(std::make_unique<tdstore::Client>(app->store)) {}
+namespace {
+
+/// Flat, range-addressed key plan of one batched query: callers append the
+/// session keys of each windowed counter they will need, fetch the whole
+/// plan with ONE deduped grouped read, then reduce each counter's range to
+/// its window sum. Summation runs in session order (first..last), exactly
+/// like the unbatched point loop, so sums are bit-identical.
+struct WindowPlan {
+  struct Range {
+    size_t begin = 0;
+    size_t end = 0;  // half-open
+  };
+
+  WindowPlan(const AppContext* app, EventTime now)
+      : first(app->WindowStart(now)), last(app->SessionOf(now)) {}
+
+  Range Add(const std::function<std::string(int64_t session)>& key_of) {
+    Range r;
+    r.begin = keys.size();
+    for (int64_t s = first; s <= last; ++s) keys.push_back(key_of(s));
+    r.end = keys.size();
+    return r;
+  }
+
+  /// Window sum over a fetched range; NotFound decodes as 0 (GetDouble's
+  /// fallback), the first hard error wins.
+  static Result<double> SumOf(const std::vector<Result<std::string>>& vals,
+                              const Range& r) {
+    double sum = 0.0;
+    for (size_t i = r.begin; i < r.end; ++i) {
+      const Result<std::string>& v = vals[i];
+      if (!v.ok()) {
+        if (v.status().IsNotFound()) continue;
+        return v.status();
+      }
+      auto d = tdstore::DecodeDouble(*v);
+      if (!d.ok()) return d.status();
+      sum += *d;
+    }
+    return sum;
+  }
+
+  const int64_t first;
+  const int64_t last;
+  std::vector<std::string> keys;
+};
+
+}  // namespace
+
+StoreQuery::StoreQuery(const AppContext* app) : StoreQuery(app, nullptr) {}
+
+StoreQuery::StoreQuery(const AppContext* app,
+                       std::shared_ptr<QueryCache> cache)
+    : app_(app),
+      client_(std::make_unique<tdstore::Client>(app->store)),
+      batched_(app->options.enable_query_batching) {
+  if (batched_) {
+    if (cache != nullptr) {
+      cache_ = std::move(cache);
+    } else {
+      QueryCache::Options copts;
+      copts.capacity = app_->options.query_cache_capacity;
+      copts.ttl_micros = app_->options.query_cache_ttl_micros;
+      cache_ = std::make_shared<QueryCache>(std::move(copts));
+    }
+  }
+  if (MetricsEnabled()) {
+    auto& reg = MetricRegistry::Default();
+    fetch_keys_ = reg.GetHistogram("topo.query.fetch_keys");
+    fetch_us_ = reg.GetHistogram("topo.query.fetch_us");
+    degraded_ = reg.GetCounter("topo.query.degraded_candidates");
+  }
+}
+
+void StoreQuery::Degraded() {
+  if (degraded_ != nullptr) degraded_->Add();
+}
+
+Status StoreQuery::FetchMany(const std::vector<std::string>& keys,
+                             std::vector<Result<std::string>>* out) {
+  if (fetch_keys_ != nullptr) fetch_keys_->Record(keys.size());
+  ScopedLatencyTimer timer(fetch_us_);
+  if (cache_ != nullptr) {
+    return cache_->GetBatch(
+        keys,
+        [this](const std::vector<std::string>& k,
+               std::vector<Result<std::string>>* o) {
+          return client_->MultiGetBatch(k, o);
+        },
+        out);
+  }
+  // No cache layer: still honor the plan's dedupe contract before the
+  // grouped read.
+  std::vector<std::string> uniq;
+  std::unordered_map<std::string, size_t> index;
+  uniq.reserve(keys.size());
+  for (const std::string& k : keys) {
+    if (index.emplace(k, uniq.size()).second) uniq.push_back(k);
+  }
+  std::vector<Result<std::string>> fetched;
+  TR_RETURN_IF_ERROR(client_->MultiGetBatch(uniq, &fetched));
+  out->clear();
+  out->reserve(keys.size());
+  for (const std::string& k : keys) out->push_back(fetched[index.at(k)]);
+  return Status::OK();
+}
+
+Result<std::string> StoreQuery::FetchOne(const std::string& key) {
+  std::vector<Result<std::string>> out;
+  Status s = FetchMany({key}, &out);
+  if (!s.ok()) return s;
+  return std::move(out[0]);
+}
+
+Result<std::string> StoreQuery::ReadBlob(const std::string& key) {
+  return batched_ ? FetchOne(key) : client_->Get(key);
+}
 
 Result<double> StoreQuery::WindowSum(
     const std::function<std::string(int64_t session)>& key_of, EventTime now) {
+  if (batched_) {
+    WindowPlan plan(app_, now);
+    const WindowPlan::Range range = plan.Add(key_of);
+    std::vector<Result<std::string>> vals;
+    TR_RETURN_IF_ERROR(FetchMany(plan.keys, &vals));
+    return WindowPlan::SumOf(vals, range);
+  }
   const int64_t last = app_->SessionOf(now);
   const int64_t first = app_->WindowStart(now);
   double sum = 0.0;
@@ -26,7 +150,7 @@ Result<double> StoreQuery::WindowSum(
 }
 
 Result<core::UserHistory> StoreQuery::LoadHistory(core::UserId user) {
-  auto blob = client_->Get(app_->keys.UserHistory(user));
+  auto blob = ReadBlob(app_->keys.UserHistory(user));
   if (!blob.ok()) {
     if (blob.status().IsNotFound()) return core::UserHistory();
     return blob.status();
@@ -49,6 +173,29 @@ Result<double> StoreQuery::WindowPairCount(core::ItemId a, core::ItemId b,
 
 Result<double> StoreQuery::SimilarityFromCounts(core::ItemId a, core::ItemId b,
                                                 EventTime now) {
+  if (batched_) {
+    // Both item counts and the pair count planned as one deduped fetch.
+    WindowPlan plan(app_, now);
+    const auto ra =
+        plan.Add([&](int64_t s) { return app_->keys.ItemCount(s, a); });
+    const auto rb =
+        plan.Add([&](int64_t s) { return app_->keys.ItemCount(s, b); });
+    const core::ItemId lo = std::min(a, b);
+    const core::ItemId hi = std::max(a, b);
+    const auto rp =
+        plan.Add([&](int64_t s) { return app_->keys.PairCount(s, lo, hi); });
+    std::vector<Result<std::string>> vals;
+    TR_RETURN_IF_ERROR(FetchMany(plan.keys, &vals));
+    auto ca = WindowPlan::SumOf(vals, ra);
+    if (!ca.ok()) return ca.status();
+    auto cb = WindowPlan::SumOf(vals, rb);
+    if (!cb.ok()) return cb.status();
+    if (*ca <= 0.0 || *cb <= 0.0) return 0.0;
+    auto pc = WindowPlan::SumOf(vals, rp);
+    if (!pc.ok()) return pc.status();
+    if (*pc <= 0.0) return 0.0;
+    return *pc / (std::sqrt(*ca) * std::sqrt(*cb));
+  }
   auto ca = WindowItemCount(a, now);
   if (!ca.ok()) return ca.status();
   auto cb = WindowItemCount(b, now);
@@ -60,9 +207,125 @@ Result<double> StoreQuery::SimilarityFromCounts(core::ItemId a, core::ItemId b,
   return *pc / (std::sqrt(*ca) * std::sqrt(*cb));
 }
 
+Result<core::Recommendations> StoreQuery::RecommendCfBatched(core::UserId user,
+                                                             size_t n,
+                                                             EventTime now) {
+  auto history = LoadHistory(user);
+  if (!history.ok()) return history.status();
+  const int recent_k = app_->options.recent_k;
+  const std::vector<core::ItemId> recent = history->RecentItems(
+      recent_k > 0 ? static_cast<size_t>(recent_k) : history->size());
+  if (recent.empty()) return core::Recommendations{};
+
+  // Stage 1: every sim:<q> candidate list in one deduped grouped read.
+  std::vector<std::string> sim_keys;
+  sim_keys.reserve(recent.size());
+  for (core::ItemId q : recent) sim_keys.push_back(app_->keys.SimilarItems(q));
+  std::vector<Result<std::string>> sim_blobs;
+  TR_RETURN_IF_ERROR(FetchMany(sim_keys, &sim_blobs));
+
+  std::unordered_map<core::ItemId, std::vector<core::ItemId>> cand_recents;
+  for (size_t i = 0; i < recent.size(); ++i) {
+    const Result<std::string>& blob = sim_blobs[i];
+    if (!blob.ok()) {
+      if (blob.status().IsNotFound()) continue;
+      return blob.status();
+    }
+    auto list = DecodeScoredList(*blob);
+    if (!list.ok()) return list.status();
+    for (const auto& entry : *list) {
+      if (history->RatingOf(entry.item) > 0.0) continue;  // already rated
+      cand_recents[entry.item].push_back(recent[i]);
+    }
+  }
+
+  // Stage 2: plan EVERY windowed count the scoring loop will touch — the
+  // itemCount windows of all candidates and recent items, plus the
+  // pairCount window of every (p, q) edge — and fetch the whole plan with
+  // one deduped grouped read (candidates share the recent items; dedupe is
+  // the memoization).
+  WindowPlan plan(app_, now);
+  std::unordered_map<core::ItemId, WindowPlan::Range> item_range;
+  auto plan_item = [&](core::ItemId item) {
+    if (item_range.count(item) != 0) return;
+    item_range[item] = plan.Add(
+        [&](int64_t s) { return app_->keys.ItemCount(s, item); });
+  };
+  std::map<std::pair<core::ItemId, core::ItemId>, WindowPlan::Range>
+      pair_range;
+  for (const auto& [p, qs] : cand_recents) {
+    plan_item(p);
+    for (core::ItemId q : qs) {
+      plan_item(q);
+      const core::ItemId lo = std::min(p, q);
+      const core::ItemId hi = std::max(p, q);
+      if (pair_range.count({lo, hi}) != 0) continue;
+      pair_range[{lo, hi}] = plan.Add(
+          [&](int64_t s) { return app_->keys.PairCount(s, lo, hi); });
+    }
+  }
+  std::vector<Result<std::string>> vals;
+  TR_RETURN_IF_ERROR(FetchMany(plan.keys, &vals));
+
+  std::unordered_map<core::ItemId, Result<double>> item_count;
+  for (const auto& [item, range] : item_range) {
+    item_count.emplace(item, WindowPlan::SumOf(vals, range));
+  }
+
+  // Scoring is the unbatched loop verbatim, except that a transient per-key
+  // store error drops only the affected candidate (PR 4's per-key-status
+  // semantics) instead of failing the whole recommendation.
+  core::Recommendations scored;
+  scored.reserve(cand_recents.size());
+  for (const auto& [p, qs] : cand_recents) {
+    const Result<double>& cp = item_count.at(p);
+    if (!cp.ok()) {
+      Degraded();
+      continue;
+    }
+    if (*cp <= 0.0) continue;
+    double num = 0.0;
+    double den = 0.0;
+    bool degraded = false;
+    for (core::ItemId q : qs) {
+      const Result<double>& cq = item_count.at(q);
+      if (!cq.ok()) {
+        degraded = true;
+        break;
+      }
+      if (*cq <= 0.0) continue;
+      const core::ItemId lo = std::min(p, q);
+      const core::ItemId hi = std::max(p, q);
+      auto pc = WindowPlan::SumOf(vals, pair_range.at({lo, hi}));
+      if (!pc.ok()) {
+        degraded = true;
+        break;
+      }
+      if (*pc <= 0.0) continue;
+      const double sim = *pc / (std::sqrt(*cp) * std::sqrt(*cq));
+      num += sim * history->RatingOf(q);
+      den += sim;
+    }
+    if (degraded) {
+      Degraded();
+      continue;
+    }
+    if (den <= 0.0) continue;
+    scored.push_back({p, (num / den) * (1.0 + std::log1p(den))});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const core::ScoredItem& a, const core::ScoredItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.item < b.item;
+            });
+  if (scored.size() > n) scored.resize(n);
+  return scored;
+}
+
 Result<core::Recommendations> StoreQuery::RecommendCf(core::UserId user,
                                                       size_t n,
                                                       EventTime now) {
+  if (batched_) return RecommendCfBatched(user, n, now);
   auto history = LoadHistory(user);
   if (!history.ok()) return history.status();
   const int recent_k = app_->options.recent_k;
@@ -136,7 +399,7 @@ Result<core::Recommendations> StoreQuery::RecommendCf(core::UserId user,
 Result<core::Recommendations> StoreQuery::HotItems(core::GroupId group,
                                                    size_t n, EventTime now) {
   (void)now;
-  auto blob = client_->Get(app_->keys.HotList(group));
+  auto blob = ReadBlob(app_->keys.HotList(group));
   if (!blob.ok()) {
     if (blob.status().IsNotFound()) {
       if (group == 0) return core::Recommendations{};
@@ -185,9 +448,115 @@ Result<core::Recommendations> StoreQuery::Recommend(
   return out;
 }
 
+Result<core::Recommendations> StoreQuery::RecommendCbBatched(core::UserId user,
+                                                             size_t n,
+                                                             EventTime now) {
+  auto blob = FetchOne(app_->keys.ContentProfile(user));
+  if (!blob.ok()) {
+    if (blob.status().IsNotFound()) return core::Recommendations{};
+    return blob.status();
+  }
+  auto profile = DecodeContentProfile(*blob);
+  if (!profile.ok()) return profile.status();
+
+  double factor = 1.0;
+  if (now > profile->last_update && app_->options.profile_half_life > 0) {
+    const double lambda =
+        std::log(2.0) / static_cast<double>(app_->options.profile_half_life);
+    factor =
+        std::exp(-lambda * static_cast<double>(now - profile->last_update));
+  }
+  double profile_norm2 = 0.0;
+  for (const auto& [tag, w] : profile->weights) {
+    profile_norm2 += (w * factor) * (w * factor);
+  }
+  if (profile_norm2 <= 0.0) return core::Recommendations{};
+  const double profile_norm = std::sqrt(profile_norm2);
+
+  auto history = LoadHistory(user);
+  if (!history.ok()) return history.status();
+
+  // Stage 1: every tag inverted index in one deduped grouped read.
+  std::vector<std::string> idx_keys;
+  idx_keys.reserve(profile->weights.size());
+  for (const auto& [tag, w] : profile->weights) {
+    idx_keys.push_back(app_->keys.TagIndex(tag));
+  }
+  std::vector<Result<std::string>> idx_blobs;
+  TR_RETURN_IF_ERROR(FetchMany(idx_keys, &idx_blobs));
+
+  // Unseen candidate items, first-seen order; an item appearing in K tag
+  // indexes is planned (and fetched) once — the plan's dedupe IS the miss
+  // memo the unbatched path needs for deregistered items.
+  std::vector<core::ItemId> candidates;
+  std::unordered_set<core::ItemId> planned;
+  for (size_t t = 0; t < idx_blobs.size(); ++t) {
+    const Result<std::string>& idx_blob = idx_blobs[t];
+    if (!idx_blob.ok()) {
+      if (idx_blob.status().IsNotFound()) continue;
+      return idx_blob.status();
+    }
+    auto items = DecodeItemList(*idx_blob);
+    if (!items.ok()) return items.status();
+    for (core::ItemId item : *items) {
+      if (history->RatingOf(item) > 0.0) continue;  // seen
+      if (planned.insert(item).second) candidates.push_back(item);
+    }
+  }
+  if (candidates.empty()) return core::Recommendations{};
+
+  // Stage 2: every candidate's tag vector in one grouped read.
+  std::vector<std::string> tag_keys;
+  tag_keys.reserve(candidates.size());
+  for (core::ItemId item : candidates) {
+    tag_keys.push_back(app_->keys.ItemTags(item));
+  }
+  std::vector<Result<std::string>> tag_blobs;
+  TR_RETURN_IF_ERROR(FetchMany(tag_keys, &tag_blobs));
+
+  std::unordered_map<core::ItemId, double> dots;
+  std::unordered_map<core::ItemId, double> norms;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const core::ItemId item = candidates[i];
+    const Result<std::string>& tags_blob = tag_blobs[i];
+    if (!tags_blob.ok()) {
+      if (tags_blob.status().IsNotFound()) continue;  // deregistered
+      Degraded();
+      continue;
+    }
+    auto tags = DecodeTagVector(*tags_blob);
+    if (!tags.ok()) return tags.status();
+    double norm2 = 0.0;
+    double dot = 0.0;
+    for (const auto& [t2, w2] : *tags) {
+      norm2 += w2 * w2;
+      for (const auto& [pt, pw] : profile->weights) {
+        if (pt == t2) dot += (pw * factor) * w2;
+      }
+    }
+    norms[item] = std::sqrt(norm2);
+    dots[item] = dot;
+  }
+
+  core::Recommendations scored;
+  for (const auto& [item, dot] : dots) {
+    const double norm = norms[item];
+    if (norm <= 0.0 || dot <= 0.0) continue;
+    scored.push_back({item, dot / (profile_norm * norm)});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const core::ScoredItem& a, const core::ScoredItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.item < b.item;
+            });
+  if (scored.size() > n) scored.resize(n);
+  return scored;
+}
+
 Result<core::Recommendations> StoreQuery::RecommendCb(core::UserId user,
                                                       size_t n,
                                                       EventTime now) {
+  if (batched_) return RecommendCbBatched(user, n, now);
   auto blob = client_->Get(app_->keys.ContentProfile(user));
   if (!blob.ok()) {
     if (blob.status().IsNotFound()) return core::Recommendations{};
@@ -217,6 +586,9 @@ Result<core::Recommendations> StoreQuery::RecommendCb(core::UserId user,
   // tag by tag.
   std::unordered_map<core::ItemId, double> dots;
   std::unordered_map<core::ItemId, double> norms;
+  // Items whose tag vector came back NotFound (deregistered). Memoized so a
+  // dead item appearing in K tag indexes costs ONE store read, not K.
+  std::unordered_set<core::ItemId> deregistered;
   for (const auto& [tag, w] : profile->weights) {
     auto idx_blob = client_->Get(app_->keys.TagIndex(tag));
     if (!idx_blob.ok()) {
@@ -227,10 +599,13 @@ Result<core::Recommendations> StoreQuery::RecommendCb(core::UserId user,
     if (!items.ok()) return items.status();
     for (core::ItemId item : *items) {
       if (history->RatingOf(item) > 0.0) continue;  // seen
-      if (norms.count(item) == 0) {
+      if (norms.count(item) == 0 && deregistered.count(item) == 0) {
         auto tags_blob = client_->Get(app_->keys.ItemTags(item));
         if (!tags_blob.ok()) {
-          if (tags_blob.status().IsNotFound()) continue;  // deregistered
+          if (tags_blob.status().IsNotFound()) {
+            deregistered.insert(item);
+            continue;
+          }
           return tags_blob.status();
         }
         auto tags = DecodeTagVector(*tags_blob);
@@ -266,10 +641,64 @@ Result<core::Recommendations> StoreQuery::RecommendCb(core::UserId user,
   return scored;
 }
 
+Result<core::Recommendations> StoreQuery::RecommendArBatched(
+    core::ItemId from, size_t n, EventTime now, double min_support,
+    double min_confidence) {
+  auto blob = FetchOne(app_->keys.SimilarItems(from));
+  if (!blob.ok()) {
+    if (blob.status().IsNotFound()) return core::Recommendations{};
+    return blob.status();
+  }
+  auto list = DecodeScoredList(*blob);
+  if (!list.ok()) return list.status();
+
+  // Base count and every joint count in one deduped grouped read.
+  WindowPlan plan(app_, now);
+  const auto base_range =
+      plan.Add([&](int64_t s) { return app_->keys.ItemCount(s, from); });
+  std::vector<WindowPlan::Range> joint_ranges;
+  joint_ranges.reserve(list->size());
+  for (const auto& entry : *list) {
+    const core::ItemId lo = std::min(from, entry.item);
+    const core::ItemId hi = std::max(from, entry.item);
+    joint_ranges.push_back(plan.Add(
+        [&](int64_t s) { return app_->keys.PairCount(s, lo, hi); }));
+  }
+  std::vector<Result<std::string>> vals;
+  TR_RETURN_IF_ERROR(FetchMany(plan.keys, &vals));
+
+  auto base = WindowPlan::SumOf(vals, base_range);
+  if (!base.ok()) return base.status();
+  if (*base <= 0.0) return core::Recommendations{};
+
+  core::Recommendations scored;
+  for (size_t i = 0; i < list->size(); ++i) {
+    auto joint = WindowPlan::SumOf(vals, joint_ranges[i]);
+    if (!joint.ok()) {
+      Degraded();
+      continue;
+    }
+    if (*joint < min_support) continue;
+    const double conf = *joint / *base;
+    if (conf < min_confidence) continue;
+    scored.push_back({(*list)[i].item, conf});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const core::ScoredItem& a, const core::ScoredItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.item < b.item;
+            });
+  if (scored.size() > n) scored.resize(n);
+  return scored;
+}
+
 Result<core::Recommendations> StoreQuery::RecommendAr(core::ItemId from,
                                                       size_t n, EventTime now,
                                                       double min_support,
                                                       double min_confidence) {
+  if (batched_) {
+    return RecommendArBatched(from, n, now, min_support, min_confidence);
+  }
   auto blob = client_->Get(app_->keys.SimilarItems(from));
   if (!blob.ok()) {
     if (blob.status().IsNotFound()) return core::Recommendations{};
@@ -303,8 +732,36 @@ Result<core::Recommendations> StoreQuery::RecommendAr(core::ItemId from,
 Result<double> StoreQuery::PredictCtr(core::ItemId item,
                                       const core::Demographics& d,
                                       EventTime now) {
-  double estimate = app_->options.ctr_base;
   const int max_level = core::CtrMaxLevel(d);
+  if (batched_) {
+    // All levels' impression/click windows in one deduped grouped read; the
+    // shrinkage recursion then runs store-free.
+    WindowPlan plan(app_, now);
+    std::vector<WindowPlan::Range> imp_ranges;
+    std::vector<WindowPlan::Range> click_ranges;
+    for (int level = 0; level <= max_level; ++level) {
+      const uint64_t level_key = core::CtrLevelKey(item, level, d);
+      imp_ranges.push_back(plan.Add([&](int64_t s) {
+        return app_->keys.CtrCounts(level_key, s) + ":i";
+      }));
+      click_ranges.push_back(plan.Add([&](int64_t s) {
+        return app_->keys.CtrCounts(level_key, s) + ":c";
+      }));
+    }
+    std::vector<Result<std::string>> vals;
+    TR_RETURN_IF_ERROR(FetchMany(plan.keys, &vals));
+    double estimate = app_->options.ctr_base;
+    for (int level = 0; level <= max_level; ++level) {
+      auto imp = WindowPlan::SumOf(vals, imp_ranges[level]);
+      if (!imp.ok()) return imp.status();
+      auto clicks = WindowPlan::SumOf(vals, click_ranges[level]);
+      if (!clicks.ok()) return clicks.status();
+      estimate = (*clicks + app_->options.ctr_prior_strength * estimate) /
+                 (*imp + app_->options.ctr_prior_strength);
+    }
+    return estimate;
+  }
+  double estimate = app_->options.ctr_base;
   for (int level = 0; level <= max_level; ++level) {
     const uint64_t level_key = core::CtrLevelKey(item, level, d);
     auto imp = WindowSum(
@@ -325,6 +782,22 @@ Result<std::pair<double, double>> StoreQuery::SituationCounts(
     core::ItemId item, const core::Demographics& d, EventTime now) {
   const uint64_t level_key =
       core::CtrLevelKey(item, core::CtrMaxLevel(d), d);
+  if (batched_) {
+    WindowPlan plan(app_, now);
+    const auto ri = plan.Add([&](int64_t s) {
+      return app_->keys.CtrCounts(level_key, s) + ":i";
+    });
+    const auto rc = plan.Add([&](int64_t s) {
+      return app_->keys.CtrCounts(level_key, s) + ":c";
+    });
+    std::vector<Result<std::string>> vals;
+    TR_RETURN_IF_ERROR(FetchMany(plan.keys, &vals));
+    auto imp = WindowPlan::SumOf(vals, ri);
+    if (!imp.ok()) return imp.status();
+    auto clicks = WindowPlan::SumOf(vals, rc);
+    if (!clicks.ok()) return clicks.status();
+    return std::make_pair(*imp, *clicks);
+  }
   auto imp = WindowSum(
       [&](int64_t s) { return app_->keys.CtrCounts(level_key, s) + ":i"; },
       now);
@@ -338,7 +811,7 @@ Result<std::pair<double, double>> StoreQuery::SituationCounts(
 
 Result<core::Recommendations> StoreQuery::MaterializedResults(
     core::UserId user) {
-  auto blob = client_->Get(app_->keys.Results(user));
+  auto blob = ReadBlob(app_->keys.Results(user));
   if (!blob.ok()) {
     if (blob.status().IsNotFound()) return core::Recommendations{};
     return blob.status();

@@ -1,0 +1,203 @@
+#include "topo/query_cache.h"
+
+#include <utility>
+
+namespace tencentrec::topo {
+
+QueryCache::QueryCache(Options options) : options_(std::move(options)) {
+  if (MetricsEnabled()) {
+    auto& reg = MetricRegistry::Default();
+    const std::string& scope = options_.metrics_scope;
+    hits_ = reg.GetCounter(scope + ".hits");
+    negative_hits_ = reg.GetCounter(scope + ".negative_hits");
+    misses_ = reg.GetCounter(scope + ".misses");
+    coalesced_ = reg.GetCounter(scope + ".coalesced");
+    evictions_ = reg.GetCounter(scope + ".evictions");
+    invalidations_ = reg.GetCounter(scope + ".invalidations");
+  }
+}
+
+void QueryCache::EraseLocked(
+    const std::unordered_map<std::string, Entry>::iterator& it) {
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void QueryCache::InsertLocked(const std::string& key,
+                              const Result<std::string>& r, uint64_t now) {
+  Entry entry;
+  entry.status = r.ok() ? Status::OK() : r.status();
+  if (r.ok()) entry.value = *r;
+  entry.expires_at = now + static_cast<uint64_t>(options_.ttl_micros);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    entry.lru_it = it->second.lru_it;
+    it->second = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  while (entries_.size() >= options_.capacity) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+    if (evictions_ != nullptr) evictions_->Add();
+  }
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+  entries_[key] = std::move(entry);
+}
+
+Status QueryCache::GetBatch(const std::vector<std::string>& keys,
+                            const FetchFn& fetch,
+                            std::vector<Result<std::string>>* out) {
+  out->assign(keys.size(),
+              Result<std::string>(Status::Internal("query cache: unresolved")));
+  if (keys.empty()) return Status::OK();
+
+  // One record per unique key that could not be served from cache; `idxs`
+  // are the output slots (duplicates included) this key resolves.
+  struct Wait {
+    std::string key;
+    std::shared_ptr<Flight> flight;
+    std::vector<size_t> idxs;
+    bool owner = false;
+  };
+  std::vector<Wait> waits;
+  // Unique-key directory for this batch: resolved-from-cache keys map to
+  // the first output slot holding their result, unresolved keys to their
+  // Wait record.
+  std::unordered_map<std::string, size_t> cached_at;
+  std::unordered_map<std::string, size_t> wait_at;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t now = Now();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const std::string& key = keys[i];
+      auto dup = cached_at.find(key);
+      if (dup != cached_at.end()) {
+        (*out)[i] = (*out)[dup->second];
+        continue;
+      }
+      auto w = wait_at.find(key);
+      if (w != wait_at.end()) {
+        waits[w->second].idxs.push_back(i);
+        continue;
+      }
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        if (now < it->second.expires_at) {
+          if (it->second.status.ok()) {
+            ++stats_.hits;
+            if (hits_ != nullptr) hits_->Add();
+            (*out)[i] = it->second.value;
+          } else {
+            ++stats_.negative_hits;
+            if (negative_hits_ != nullptr) negative_hits_->Add();
+            (*out)[i] = it->second.status;
+          }
+          lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+          cached_at.emplace(key, i);
+          continue;
+        }
+        EraseLocked(it);  // expired: drop eagerly, fetch below
+      }
+      auto f = inflight_.find(key);
+      if (f != inflight_.end()) {
+        ++stats_.coalesced;
+        if (coalesced_ != nullptr) coalesced_->Add();
+        wait_at.emplace(key, waits.size());
+        waits.push_back(Wait{key, f->second, {i}, /*owner=*/false});
+        continue;
+      }
+      ++stats_.misses;
+      if (misses_ != nullptr) misses_->Add();
+      auto flight = std::make_shared<Flight>();
+      inflight_.emplace(key, flight);
+      wait_at.emplace(key, waits.size());
+      waits.push_back(Wait{key, std::move(flight), {i}, /*owner=*/true});
+    }
+  }
+
+  // Fetch every key this call owns in ONE grouped store read, then publish.
+  // Owners never wait on anyone before publishing, so coalescing cannot
+  // deadlock across threads resolving overlapping key sets.
+  std::vector<size_t> owned;
+  std::vector<std::string> owned_keys;
+  for (size_t w = 0; w < waits.size(); ++w) {
+    if (waits[w].owner) {
+      owned.push_back(w);
+      owned_keys.push_back(waits[w].key);
+    }
+  }
+  Status fetch_status = Status::OK();
+  if (!owned_keys.empty()) {
+    std::vector<Result<std::string>> fetched;
+    fetch_status = fetch(owned_keys, &fetched);
+    const bool have =
+        fetch_status.ok() && fetched.size() == owned_keys.size();
+    if (fetch_status.ok() && !have) {
+      fetch_status = Status::Internal("query cache: short fetch result");
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const uint64_t now = Now();
+      for (size_t j = 0; j < owned.size(); ++j) {
+        const Wait& w = waits[owned[j]];
+        const Result<std::string>& r =
+            have ? fetched[j] : Result<std::string>(fetch_status);
+        if (CachingEnabled() && (r.ok() || r.status().IsNotFound())) {
+          InsertLocked(w.key, r, now);
+        }
+        inflight_.erase(w.key);
+      }
+    }
+    // Publish outside mu_ so waiters wake without contending on the cache.
+    for (size_t j = 0; j < owned.size(); ++j) {
+      waits[owned[j]].flight->Publish(
+          have ? fetched[j] : Result<std::string>(fetch_status));
+    }
+  }
+
+  for (const Wait& w : waits) {
+    const Result<std::string>& r =
+        w.owner ? w.flight->result : w.flight->Await();
+    for (size_t i : w.idxs) (*out)[i] = r;
+  }
+  return fetch_status;
+}
+
+Result<std::string> QueryCache::Get(const std::string& key,
+                                    const FetchFn& fetch) {
+  std::vector<Result<std::string>> out;
+  Status s = GetBatch({key}, fetch, &out);
+  if (!s.ok()) return s;
+  return std::move(out[0]);
+}
+
+void QueryCache::Invalidate(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  EraseLocked(it);
+  ++stats_.invalidations;
+  if (invalidations_ != nullptr) invalidations_->Add();
+}
+
+void QueryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  entries_.clear();
+}
+
+QueryCache::Stats QueryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t QueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace tencentrec::topo

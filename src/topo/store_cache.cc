@@ -8,11 +8,13 @@ void StoreCache::Touch(Entry& entry) {
   lru_.splice(lru_.begin(), lru_, entry.lru_it);
 }
 
-void StoreCache::InsertOrUpdate(const std::string& key, std::string value) {
+void StoreCache::InsertOrUpdate(const std::string& key, std::string value,
+                                bool negative) {
   if (capacity_ == 0) return;  // cache disabled: nothing can be held
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     it->second.value = std::move(value);
+    it->second.negative = negative;
     Touch(it->second);
     return;
   }
@@ -21,7 +23,7 @@ void StoreCache::InsertOrUpdate(const std::string& key, std::string value) {
     lru_.pop_back();
   }
   lru_.push_front(key);
-  entries_[key] = Entry{std::move(value), lru_.begin()};
+  entries_[key] = Entry{std::move(value), negative, lru_.begin()};
 }
 
 Result<std::string> StoreCache::Get(const std::string& key) {
@@ -31,13 +33,23 @@ Result<std::string> StoreCache::Get(const std::string& key) {
   }
   auto it = entries_.find(key);
   if (it != entries_.end()) {
+    if (it->second.negative) {
+      ++stats_.negative_hits;
+      Touch(it->second);
+      return Status::NotFound(key);
+    }
     ++stats_.hits;
     Touch(it->second);
     return it->second.value;
   }
   ++stats_.misses;
   auto value = client_->Get(key);
-  if (!value.ok()) return value.status();
+  if (!value.ok()) {
+    if (value.status().IsNotFound()) {
+      InsertOrUpdate(key, "", /*negative=*/true);
+    }
+    return value.status();
+  }
   InsertOrUpdate(key, *value);
   return value;
 }
@@ -58,10 +70,16 @@ Result<double> StoreCache::AddDouble(const std::string& key, double delta) {
   double current = 0.0;
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    ++stats_.hits;
-    auto decoded = tdstore::DecodeDouble(it->second.value);
-    if (!decoded.ok()) return decoded.status();
-    current = *decoded;
+    if (it->second.negative) {
+      // Known-absent: the add starts from 0 with no store read; the Put
+      // below replaces the negative entry.
+      ++stats_.negative_hits;
+    } else {
+      ++stats_.hits;
+      auto decoded = tdstore::DecodeDouble(it->second.value);
+      if (!decoded.ok()) return decoded.status();
+      current = *decoded;
+    }
   } else {
     ++stats_.misses;
     auto value = client_->Get(key);
@@ -94,14 +112,20 @@ void StoreCache::AddDoubleBatch(
     }
     auto it = entries_.find(key);
     if (it != entries_.end()) {
-      ++stats_.hits;
       ++stats_.writes;
-      auto decoded = tdstore::DecodeDouble(it->second.value);
-      if (!decoded.ok()) {
-        if (on_error) on_error(key, decoded.status());
-        continue;
+      double current = 0.0;
+      if (it->second.negative) {
+        ++stats_.negative_hits;  // known-absent: add starts from 0
+      } else {
+        ++stats_.hits;
+        auto decoded = tdstore::DecodeDouble(it->second.value);
+        if (!decoded.ok()) {
+          if (on_error) on_error(key, decoded.status());
+          continue;
+        }
+        current = *decoded;
       }
-      const double next = *decoded + delta;
+      const double next = current + delta;
       // Single-writer-per-key: updating the cache before the put ships is
       // safe, and lets later adds in this same batch hit the fresh value.
       InsertOrUpdate(key, tdstore::EncodeDouble(next));

@@ -23,10 +23,19 @@ namespace tencentrec::topo {
 ///
 /// LRU-bounded; a bolt restart naturally drops the cache and re-reads from
 /// TDStore (the recovery story of §3.3).
+///
+/// Absence is cached too: a Get that comes back NotFound leaves a negative
+/// entry, so repeated probes of a dead key (deregistered item, fresh user)
+/// stop hitting the store. The single-writer-per-key grouping keeps this
+/// sound — the only writer that could create the key is this worker, and
+/// every write path (Put / AddDouble / AddDoubleBatch) overwrites the
+/// negative entry in the same call, so a write after a cached NotFound is
+/// visible on the very next read.
 class StoreCache {
  public:
   struct Stats {
     int64_t hits = 0;
+    int64_t negative_hits = 0;  ///< cached NotFound served without a store read
     int64_t misses = 0;
     int64_t writes = 0;
   };
@@ -38,11 +47,13 @@ class StoreCache {
   StoreCache(tdstore::Client* client, size_t capacity, bool enabled = true)
       : client_(client), capacity_(capacity), enabled_(enabled) {}
 
-  /// Cache hit, else TDStore read (NotFound is cached as absent? no —
-  /// absence is not cached, so a later writer's value is picked up).
+  /// Cache hit, else TDStore read. A NotFound result is cached as a
+  /// negative entry; this worker's own writes overwrite it immediately, so
+  /// serving cached absence never hides a value this key could have.
   Result<std::string> Get(const std::string& key);
 
-  /// Write-through: cache + TDStore.
+  /// Write-through: cache + TDStore. Replaces a negative entry, making the
+  /// write visible to the next Get without a store read.
   Status Put(const std::string& key, std::string value);
 
   /// Read-modify-write add on a double; uses the cached value when present
@@ -71,6 +82,7 @@ class StoreCache {
  private:
   struct Entry {
     std::string value;
+    bool negative = false;  ///< cached NotFound; `value` is empty
     std::list<std::string>::iterator lru_it;
   };
 
@@ -80,7 +92,8 @@ class StoreCache {
   /// Moves an already-found entry to the LRU front (no extra hash lookup;
   /// splice keeps `lru_it` valid).
   void Touch(Entry& entry);
-  void InsertOrUpdate(const std::string& key, std::string value);
+  void InsertOrUpdate(const std::string& key, std::string value,
+                      bool negative = false);
 
   tdstore::Client* client_;
   const size_t capacity_;

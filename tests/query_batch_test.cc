@@ -1,0 +1,639 @@
+// The batched query tier: QueryCache semantics (dedupe, TTL positive +
+// negative caching, single-flight coalescing, eviction, invalidation),
+// StoreCache negative caching with write-through invalidation, batched vs
+// unbatched StoreQuery parity on seeded streams, the deregistered-item N+1
+// regression on RecommendCb, and per-candidate degradation under per-key
+// store errors.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "engine/tencentrec.h"
+#include "tdstore/batch_writer.h"
+#include "tdstore/client.h"
+#include "tdstore/cluster.h"
+#include "tdstore/codec.h"
+#include "topo/blob_codec.h"
+#include "topo/query.h"
+#include "topo/query_cache.h"
+#include "topo/store_cache.h"
+
+namespace tencentrec {
+namespace {
+
+using core::ActionType;
+using core::Demographics;
+using core::ItemId;
+using core::UserAction;
+using core::UserId;
+using topo::AppContext;
+using topo::AppOptions;
+using topo::QueryCache;
+using topo::StoreCache;
+using topo::StoreQuery;
+
+int64_t TotalInvocations(tdstore::Cluster* cluster) {
+  int64_t total = 0;
+  for (int s = 0; s < cluster->num_data_servers(); ++s) {
+    total += cluster->data_server(s)->invocations();
+  }
+  return total;
+}
+
+void ResetInvocations(tdstore::Cluster* cluster) {
+  for (int s = 0; s < cluster->num_data_servers(); ++s) {
+    cluster->data_server(s)->ResetCounters();
+  }
+}
+
+/// The server currently hosting `key` (same hash + route table the client
+/// uses).
+int ServerOf(tdstore::Cluster* cluster, const std::string& key) {
+  auto table = cluster->config().GetRouteTable();
+  EXPECT_TRUE(table.ok());
+  const size_t slot = HashString(key) % table->placements.size();
+  return table->placements[slot].host_server;
+}
+
+// --- QueryCache unit tests (injected clock + counting fetch) ---
+
+struct CountingFetch {
+  int calls = 0;
+  std::vector<std::string> last_keys;
+
+  QueryCache::FetchFn Fn() {
+    return [this](const std::vector<std::string>& keys,
+                  std::vector<Result<std::string>>* out) {
+      ++calls;
+      last_keys = keys;
+      out->clear();
+      for (const auto& k : keys) {
+        if (k.rfind("missing", 0) == 0) {
+          out->push_back(Result<std::string>(Status::NotFound(k)));
+        } else if (k.rfind("flaky", 0) == 0) {
+          out->push_back(Result<std::string>(Status::Unavailable(k)));
+        } else {
+          out->push_back(std::string("v:" + k));
+        }
+      }
+      return Status::OK();
+    };
+  }
+};
+
+QueryCache::Options FakeClockOptions(uint64_t* now, int64_t ttl = 1000) {
+  QueryCache::Options o;
+  o.ttl_micros = ttl;
+  o.now_fn = [now] { return *now; };
+  return o;
+}
+
+TEST(QueryCacheTest, BatchDedupesAndServesPositiveAndNegativeHits) {
+  uint64_t now = 1000;
+  QueryCache cache(FakeClockOptions(&now));
+  CountingFetch fetch;
+
+  std::vector<Result<std::string>> out;
+  ASSERT_TRUE(
+      cache.GetBatch({"a", "b", "a", "missing"}, fetch.Fn(), &out).ok());
+  EXPECT_EQ(fetch.calls, 1);  // one grouped fetch for the whole plan
+  EXPECT_EQ(fetch.last_keys.size(), 3u);  // "a" deduped within the batch
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(*out[0], "v:a");
+  EXPECT_EQ(*out[1], "v:b");
+  EXPECT_EQ(*out[2], "v:a");
+  EXPECT_TRUE(out[3].status().IsNotFound());
+
+  // Within the TTL both the value and the NotFound are served from cache.
+  ASSERT_TRUE(cache.GetBatch({"a", "missing"}, fetch.Fn(), &out).ok());
+  EXPECT_EQ(fetch.calls, 1);
+  EXPECT_EQ(*out[0], "v:a");
+  EXPECT_TRUE(out[1].status().IsNotFound());
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.negative_hits, 1);
+  EXPECT_EQ(stats.misses, 3);
+
+  // Past the TTL the entries expire and the store is consulted again.
+  now += 2000;
+  ASSERT_TRUE(cache.GetBatch({"a", "missing"}, fetch.Fn(), &out).ok());
+  EXPECT_EQ(fetch.calls, 2);
+  EXPECT_EQ(fetch.last_keys.size(), 2u);
+}
+
+TEST(QueryCacheTest, TransientErrorsAreNeverCached) {
+  uint64_t now = 1000;
+  QueryCache cache(FakeClockOptions(&now));
+  CountingFetch fetch;
+
+  std::vector<Result<std::string>> out;
+  ASSERT_TRUE(cache.GetBatch({"flaky"}, fetch.Fn(), &out).ok());
+  EXPECT_TRUE(out[0].status().IsUnavailable());
+  ASSERT_TRUE(cache.GetBatch({"flaky"}, fetch.Fn(), &out).ok());
+  EXPECT_TRUE(out[0].status().IsUnavailable());
+  EXPECT_EQ(fetch.calls, 2);  // the Unavailable was not remembered
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(QueryCacheTest, InvalidateAndClearDropEntries) {
+  uint64_t now = 1000;
+  QueryCache cache(FakeClockOptions(&now));
+  CountingFetch fetch;
+
+  std::vector<Result<std::string>> out;
+  ASSERT_TRUE(cache.GetBatch({"a", "missing"}, fetch.Fn(), &out).ok());
+  EXPECT_EQ(fetch.calls, 1);
+
+  cache.Invalidate("missing");  // the write-through hook for dead keys
+  ASSERT_TRUE(cache.GetBatch({"a", "missing"}, fetch.Fn(), &out).ok());
+  EXPECT_EQ(fetch.calls, 2);
+  EXPECT_EQ(fetch.last_keys, std::vector<std::string>{"missing"});
+
+  cache.Clear();
+  ASSERT_TRUE(cache.GetBatch({"a", "missing"}, fetch.Fn(), &out).ok());
+  EXPECT_EQ(fetch.calls, 3);
+  EXPECT_EQ(fetch.last_keys.size(), 2u);
+  EXPECT_GE(cache.stats().invalidations, 1);
+}
+
+TEST(QueryCacheTest, LruEvictionBoundsTheCache) {
+  uint64_t now = 1000;
+  auto options = FakeClockOptions(&now);
+  options.capacity = 2;
+  QueryCache cache(options);
+  CountingFetch fetch;
+
+  std::vector<Result<std::string>> out;
+  ASSERT_TRUE(cache.GetBatch({"a", "b"}, fetch.Fn(), &out).ok());
+  ASSERT_TRUE(cache.GetBatch({"c"}, fetch.Fn(), &out).ok());  // evicts "a"
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_GE(cache.stats().evictions, 1);
+
+  ASSERT_TRUE(cache.GetBatch({"a"}, fetch.Fn(), &out).ok());  // refetched
+  EXPECT_EQ(fetch.calls, 3);
+}
+
+TEST(QueryCacheTest, ZeroTtlKeepsDedupeWithoutCaching) {
+  uint64_t now = 1000;
+  auto options = FakeClockOptions(&now, /*ttl=*/0);
+  QueryCache cache(options);
+  CountingFetch fetch;
+
+  std::vector<Result<std::string>> out;
+  ASSERT_TRUE(cache.GetBatch({"a", "a"}, fetch.Fn(), &out).ok());
+  EXPECT_EQ(fetch.last_keys.size(), 1u);  // dedupe still applies
+  ASSERT_TRUE(cache.GetBatch({"a"}, fetch.Fn(), &out).ok());
+  EXPECT_EQ(fetch.calls, 2);  // but nothing was cached
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- single-flight coalescing: N concurrent querents, one store read ---
+
+TEST(QueryCacheTest, ConcurrentIdenticalReadsCoalesceToOneStoreRoundTrip) {
+  tdstore::Cluster::Options store_options;
+  store_options.num_data_servers = 2;
+  store_options.num_instances = 8;
+  auto store = tdstore::Cluster::Create(store_options);
+  ASSERT_TRUE(store.ok());
+
+  AppOptions options;
+  options.app = "flight";
+  options.window_sessions = 0;  // cumulative: WindowItemCount reads 1 key
+  AppContext app(store->get(), options);
+
+  tdstore::Client seed(store->get());
+  ASSERT_TRUE(seed.PutDouble(app.keys.ItemCount(0, 42), 7.0).ok());
+
+  auto cache = std::make_shared<QueryCache>(QueryCache::Options{});
+  constexpr int kThreads = 8;
+  std::vector<std::unique_ptr<StoreQuery>> queries;
+  for (int t = 0; t < kThreads; ++t) {
+    queries.push_back(std::make_unique<StoreQuery>(&app, cache));
+  }
+
+  ResetInvocations(store->get());
+  std::atomic<int> ready{0};
+  std::vector<double> results(kThreads, -1.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      auto r = queries[t]->WindowItemCount(42, Seconds(100));
+      ASSERT_TRUE(r.ok());
+      results[t] = *r;
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (double r : results) EXPECT_DOUBLE_EQ(r, 7.0);
+  // Whether a thread coalesced onto the owner's flight or arrived after the
+  // entry landed, exactly one server invocation carries all eight reads.
+  EXPECT_EQ(TotalInvocations(store->get()), 1);
+  const auto stats = cache->stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits + stats.coalesced, kThreads - 1);
+}
+
+// --- StoreCache negative caching (write path stays visible) ---
+
+TEST(StoreCacheTest, NegativeEntryServesRepeatedMisses) {
+  tdstore::Cluster::Options store_options;
+  store_options.num_data_servers = 2;
+  auto store = tdstore::Cluster::Create(store_options);
+  ASSERT_TRUE(store.ok());
+  tdstore::Client client(store->get());
+  StoreCache cache(&client, /*capacity=*/16);
+
+  EXPECT_TRUE(cache.Get("nope").status().IsNotFound());
+  ResetInvocations(store->get());
+  EXPECT_TRUE(cache.Get("nope").status().IsNotFound());
+  EXPECT_EQ(TotalInvocations(store->get()), 0);  // served from the cache
+  EXPECT_EQ(cache.stats().negative_hits, 1);
+}
+
+TEST(StoreCacheTest, PutAfterCachedNotFoundIsVisibleOnNextRead) {
+  tdstore::Cluster::Options store_options;
+  store_options.num_data_servers = 2;
+  auto store = tdstore::Cluster::Create(store_options);
+  ASSERT_TRUE(store.ok());
+  tdstore::Client client(store->get());
+  StoreCache cache(&client, /*capacity=*/16);
+
+  EXPECT_TRUE(cache.Get("k").status().IsNotFound());  // negative entry
+  ASSERT_TRUE(cache.Put("k", "fresh").ok());          // write-through
+  auto v = cache.Get("k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "fresh");
+  // And the store really has it (write-through, not cache-only).
+  auto stored = client.Get("k");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(*stored, "fresh");
+}
+
+TEST(StoreCacheTest, AddDoubleAfterCachedNotFoundSkipsTheReadAndWrites) {
+  tdstore::Cluster::Options store_options;
+  store_options.num_data_servers = 2;
+  auto store = tdstore::Cluster::Create(store_options);
+  ASSERT_TRUE(store.ok());
+  tdstore::Client client(store->get());
+  StoreCache cache(&client, /*capacity=*/16);
+
+  EXPECT_TRUE(cache.Get("ctr").status().IsNotFound());
+  ResetInvocations(store->get());
+  auto sum = cache.AddDouble("ctr", 2.5);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(*sum, 2.5);
+  EXPECT_EQ(TotalInvocations(store->get()), 1);  // the Put only, no read
+  EXPECT_GE(cache.stats().negative_hits, 1);
+  auto stored = client.GetDouble("ctr", -1.0);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_DOUBLE_EQ(*stored, 2.5);
+  // The next read is a positive hit now.
+  auto v = cache.Get("ctr");
+  ASSERT_TRUE(v.ok());
+}
+
+TEST(StoreCacheTest, AddDoubleBatchAfterCachedNotFoundStartsFromZero) {
+  tdstore::Cluster::Options store_options;
+  store_options.num_data_servers = 2;
+  auto store = tdstore::Cluster::Create(store_options);
+  ASSERT_TRUE(store.ok());
+  tdstore::Client client(store->get());
+  StoreCache cache(&client, /*capacity=*/16);
+  tdstore::BatchWriter writer(&client, {});
+
+  EXPECT_TRUE(cache.Get("w").status().IsNotFound());
+  std::vector<std::pair<std::string, Status>> errors;
+  cache.AddDoubleBatch({{"w", 4.0}}, &writer,
+                       [&](const std::string& key, const Status& s) {
+                         errors.emplace_back(key, s);
+                       });
+  ASSERT_TRUE(writer.Flush().ok());
+  EXPECT_TRUE(errors.empty());
+  auto stored = client.GetDouble("w", -1.0);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_DOUBLE_EQ(*stored, 4.0);
+  auto cached = cache.Get("w");  // negative entry was replaced
+  ASSERT_TRUE(cached.ok());
+}
+
+// --- satellite 1: the deregistered-item N+1 on RecommendCb ---
+
+TEST(StoreQueryTest, DeadItemInManyTagIndexesCostsOneReadUnbatched) {
+  tdstore::Cluster::Options store_options;
+  store_options.num_data_servers = 2;
+  store_options.num_instances = 8;
+  auto store = tdstore::Cluster::Create(store_options);
+  ASSERT_TRUE(store.ok());
+  tdstore::Client seed(store->get());
+
+  AppOptions unbatched_options;
+  unbatched_options.app = "cb";
+  unbatched_options.enable_query_batching = false;
+  AppContext unbatched(store->get(), unbatched_options);
+
+  // User 7's profile spans K tags; every tag's inverted index holds only
+  // item 99, whose it:99 tag vector was never written (deregistered).
+  constexpr int kTags = 5;
+  constexpr UserId kUser = 7;
+  constexpr ItemId kDead = 99;
+  const EventTime now = Seconds(500);
+  topo::ContentProfileBlob profile;
+  for (int t = 1; t <= kTags; ++t) profile.weights.emplace_back(t, 1.0);
+  profile.last_update = now;
+  ASSERT_TRUE(seed.Put(unbatched.keys.ContentProfile(kUser),
+                       topo::EncodeContentProfile(profile))
+                  .ok());
+  for (int t = 1; t <= kTags; ++t) {
+    ASSERT_TRUE(seed.Put(unbatched.keys.TagIndex(t),
+                         topo::EncodeItemList({kDead}))
+                    .ok());
+  }
+
+  StoreQuery query(&unbatched);
+  ResetInvocations(store->get());
+  auto recs = query.RecommendCb(kUser, 10, now);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_TRUE(recs->empty());
+  // 1 profile + 1 history (NotFound) + kTags tag indexes + exactly ONE
+  // it:99 probe. Before the miss memo this was 2 + kTags + kTags.
+  EXPECT_EQ(TotalInvocations(store->get()), kTags + 3);
+
+  // The batched tier collapses the whole query to a handful of grouped
+  // reads regardless of how many indexes the dead item haunts.
+  AppOptions batched_options = unbatched_options;
+  batched_options.enable_query_batching = true;
+  AppContext batched(store->get(), batched_options);
+  StoreQuery batched_query(&batched);
+  ResetInvocations(store->get());
+  auto batched_recs = batched_query.RecommendCb(kUser, 10, now);
+  ASSERT_TRUE(batched_recs.ok());
+  EXPECT_TRUE(batched_recs->empty());
+  // Four grouped stages (profile, history, tag indexes, item tags); only
+  // the tag-index stage can span both hosts. Independent of kTags.
+  EXPECT_LE(TotalInvocations(store->get()), 5);
+}
+
+// --- satellite 2: per-candidate degradation under per-key store errors ---
+
+TEST(StoreQueryTest, BatchedRecommendCfDegradesPerCandidateOnKeyErrors) {
+  tdstore::Cluster::Options store_options;
+  store_options.num_data_servers = 2;
+  // Not a power of two: with 8 instances over 2 servers the host is the
+  // FNV hash's lowest bit, which is linear in the key bytes — sim:<q> and
+  // ic:<q> would land on opposite servers for EVERY q, making the layout
+  // below unsatisfiable. 7 instances mix all hash bits into the host.
+  store_options.num_instances = 7;
+  auto store = tdstore::Cluster::Create(store_options);
+  ASSERT_TRUE(store.ok());
+  tdstore::Cluster* cluster = store->get();
+  tdstore::Client seed(cluster);
+
+  AppOptions options;
+  options.app = "deg";
+  options.window_sessions = 0;
+  options.enable_query_batching = false;
+  AppContext app(cluster, options);
+
+  // Find a layout where one server's outage hits only candidate p2's
+  // counters: user history, sim:q, and everything p1 needs live elsewhere.
+  constexpr UserId kUser = 1;
+  const std::string hist_key = app.keys.UserHistory(kUser);
+  ItemId q = 0, p1 = 0, p2 = 0;
+  int target = -1;
+  for (int t = 0; t < cluster->num_data_servers() && p2 == 0; ++t) {
+    if (ServerOf(cluster, hist_key) == t) continue;
+    for (ItemId cq = 2; cq <= 80 && p2 == 0; ++cq) {
+      if (ServerOf(cluster, app.keys.SimilarItems(cq)) == t) continue;
+      if (ServerOf(cluster, app.keys.ItemCount(0, cq)) == t) continue;
+      for (ItemId c1 = cq + 1; c1 <= 90 && p2 == 0; ++c1) {
+        if (ServerOf(cluster, app.keys.ItemCount(0, c1)) == t) continue;
+        const ItemId lo1 = std::min(cq, c1), hi1 = std::max(cq, c1);
+        if (ServerOf(cluster, app.keys.PairCount(0, lo1, hi1)) == t) continue;
+        for (ItemId c2 = c1 + 1; c2 <= 100; ++c2) {
+          if (ServerOf(cluster, app.keys.ItemCount(0, c2)) != t) continue;
+          q = cq;
+          p1 = c1;
+          p2 = c2;
+          target = t;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_NE(p2, 0) << "no suitable key layout found";
+
+  const EventTime now = Seconds(100);
+  core::UserHistory history;
+  history.Restore(q, 3.0, now);
+  ASSERT_TRUE(seed.Put(hist_key, topo::EncodeUserHistory(history)).ok());
+  ASSERT_TRUE(seed.Put(app.keys.SimilarItems(q),
+                       topo::EncodeScoredList({{p1, 0.9}, {p2, 0.8}}))
+                  .ok());
+  ASSERT_TRUE(seed.PutDouble(app.keys.ItemCount(0, q), 5.0).ok());
+  ASSERT_TRUE(seed.PutDouble(app.keys.ItemCount(0, p1), 4.0).ok());
+  ASSERT_TRUE(seed.PutDouble(app.keys.ItemCount(0, p2), 4.0).ok());
+  ASSERT_TRUE(
+      seed.PutDouble(app.keys.PairCount(0, std::min(q, p1), std::max(q, p1)),
+                     2.0)
+          .ok());
+  ASSERT_TRUE(
+      seed.PutDouble(app.keys.PairCount(0, std::min(q, p2), std::max(q, p2)),
+                     2.0)
+          .ok());
+
+  AppOptions batched_options = options;
+  batched_options.enable_query_batching = true;
+  AppContext batched(cluster, batched_options);
+
+  // Healthy store: both paths agree and see both candidates.
+  StoreQuery unbatched_query(&app);
+  auto healthy = unbatched_query.RecommendCf(kUser, 10, now);
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_EQ(healthy->size(), 2u);
+  {
+    StoreQuery batched_query(&batched);
+    auto batched_healthy = batched_query.RecommendCf(kUser, 10, now);
+    ASSERT_TRUE(batched_healthy.ok());
+    ASSERT_EQ(batched_healthy->size(), 2u);
+    for (size_t i = 0; i < healthy->size(); ++i) {
+      EXPECT_EQ((*healthy)[i].item, (*batched_healthy)[i].item);
+      EXPECT_EQ((*healthy)[i].score, (*batched_healthy)[i].score);
+    }
+  }
+
+  // Down server: the unbatched path aborts the whole recommendation on p2's
+  // count read; the batched path drops only p2.
+  cluster->data_server(target)->SetDown(true);
+  auto aborted = unbatched_query.RecommendCf(kUser, 10, now);
+  EXPECT_FALSE(aborted.ok());
+
+  StoreQuery degraded_query(&batched);  // fresh cache: no healthy leftovers
+  auto degraded = degraded_query.RecommendCf(kUser, 10, now);
+  ASSERT_TRUE(degraded.ok());
+  ASSERT_EQ(degraded->size(), 1u);
+  EXPECT_EQ((*degraded)[0].item, p1);
+  EXPECT_EQ((*degraded)[0].score, (*healthy)[0].item == p1
+                                      ? (*healthy)[0].score
+                                      : (*healthy)[1].score);
+  cluster->data_server(target)->SetDown(false);
+}
+
+// --- parity: batched and unbatched engines agree bit-for-bit ---
+
+std::vector<UserAction> SeededStream(uint64_t seed, int n) {
+  Rng rng(seed);
+  const ActionType kTypes[] = {ActionType::kBrowse, ActionType::kClick,
+                               ActionType::kRead, ActionType::kPurchase,
+                               ActionType::kImpression};
+  std::vector<UserAction> actions;
+  actions.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    UserAction a;
+    a.user = static_cast<UserId>(1 + rng.Uniform(20));
+    a.item = static_cast<ItemId>(1 + rng.Uniform(15));
+    a.action = kTypes[rng.Uniform(5)];
+    a.timestamp = Seconds(i * 3);
+    if (rng.Bernoulli(0.7)) {
+      a.demographics.gender = rng.Bernoulli(0.5) ? Demographics::kMale
+                                                 : Demographics::kFemale;
+      a.demographics.age_band = static_cast<uint8_t>(rng.UniformInt(1, 4));
+    }
+    actions.push_back(a);
+  }
+  return actions;
+}
+
+engine::TencentRec::Options ParityOptions(const std::string& app,
+                                          bool batching) {
+  engine::TencentRec::Options options;
+  options.app.app = app;
+  options.app.parallelism = 2;
+  options.app.linked_time = Days(30);
+  options.app.algorithms.ctr = true;
+  options.app.algorithms.content_based = true;
+  options.app.session_length = Seconds(300);
+  options.app.window_sessions = 4;
+  options.app.combiner_interval = 16;
+  options.app.enable_query_batching = batching;
+  options.store.num_data_servers = 2;
+  options.store.num_instances = 8;
+  return options;
+}
+
+void ExpectSameRecommendations(const core::Recommendations& a,
+                               const core::Recommendations& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item);
+    EXPECT_EQ(a[i].score, b[i].score);  // bit-identical, not just close
+  }
+}
+
+TEST(QueryParityTest, BatchedAndUnbatchedQueriesAreBitIdentical) {
+  const auto actions = SeededStream(0x5eed, 600);
+  const EventTime now = actions.back().timestamp + Seconds(5);
+
+  // One engine, one store: the batched engine query and a hand-built
+  // unbatched StoreQuery read the SAME state, so any difference is the
+  // read path's fault, not topology-scheduling noise.
+  auto batched = engine::TencentRec::Create(ParityOptions("qp", true));
+  ASSERT_TRUE(batched.ok());
+  for (ItemId item = 1; item <= 15; ++item) {
+    core::TagVector tags = {
+        {static_cast<core::TagId>(1 + item % 4), 1.0},
+        {static_cast<core::TagId>(1 + (item * 7) % 4), 0.5}};
+    ASSERT_TRUE((*batched)->RegisterItem(item, tags, Seconds(0)).ok());
+  }
+  ASSERT_TRUE((*batched)->ProcessBatch(actions).ok());
+
+  AppContext unbatched_ctx((*batched)->store(),
+                           ParityOptions("qp", false).app);
+  StoreQuery uq(&unbatched_ctx);
+  auto& bq = (*batched)->query();
+  for (UserId user = 1; user <= 20; ++user) {
+    auto b_cf = bq.RecommendCf(user, 10, now);
+    auto u_cf = uq.RecommendCf(user, 10, now);
+    ASSERT_TRUE(b_cf.ok());
+    ASSERT_TRUE(u_cf.ok());
+    ExpectSameRecommendations(*b_cf, *u_cf);
+
+    auto b_cb = bq.RecommendCb(user, 10, now);
+    auto u_cb = uq.RecommendCb(user, 10, now);
+    ASSERT_TRUE(b_cb.ok());
+    ASSERT_TRUE(u_cb.ok());
+    ExpectSameRecommendations(*b_cb, *u_cb);
+
+    Demographics d;
+    d.gender = (user % 2 == 0) ? Demographics::kMale : Demographics::kFemale;
+    d.age_band = static_cast<uint8_t>(1 + user % 4);
+    auto b_full = bq.Recommend(user, d, 10, now);
+    auto u_full = uq.Recommend(user, d, 10, now);
+    ASSERT_TRUE(b_full.ok());
+    ASSERT_TRUE(u_full.ok());
+    ExpectSameRecommendations(*b_full, *u_full);
+  }
+  for (ItemId item = 1; item <= 15; ++item) {
+    auto b_ar = bq.RecommendAr(item, 10, now);
+    auto u_ar = uq.RecommendAr(item, 10, now);
+    ASSERT_TRUE(b_ar.ok());
+    ASSERT_TRUE(u_ar.ok());
+    ExpectSameRecommendations(*b_ar, *u_ar);
+
+    Demographics d;
+    d.gender = Demographics::kMale;
+    auto b_ctr = bq.PredictCtr(item, d, now);
+    auto u_ctr = uq.PredictCtr(item, d, now);
+    ASSERT_TRUE(b_ctr.ok());
+    ASSERT_TRUE(u_ctr.ok());
+    EXPECT_EQ(*b_ctr, *u_ctr);
+
+    for (ItemId other = item + 1; other <= 15; ++other) {
+      auto b_sim = bq.SimilarityFromCounts(item, other, now);
+      auto u_sim = uq.SimilarityFromCounts(item, other, now);
+      ASSERT_TRUE(b_sim.ok());
+      ASSERT_TRUE(u_sim.ok());
+      EXPECT_EQ(*b_sim, *u_sim);
+    }
+  }
+}
+
+// --- satellite 3 at the engine level: RegisterItem invalidates the cache ---
+
+TEST(EngineQueryCacheTest, RegisterItemInvalidatesCachedNotFound) {
+  auto engine = engine::TencentRec::Create(ParityOptions("inval", true));
+  ASSERT_TRUE(engine.ok());
+  auto cache = (*engine)->query_cache();
+  ASSERT_NE(cache, nullptr);
+
+  tdstore::Client client((*engine)->store());
+  const std::string key = (*engine)->app().keys.ItemTags(123);
+  auto fetch = [&client](const std::vector<std::string>& keys,
+                         std::vector<Result<std::string>>* out) {
+    return client.MultiGetBatch(keys, out);
+  };
+
+  // The item isn't registered yet: a query path caches the NotFound.
+  EXPECT_TRUE(cache->Get(key, fetch).status().IsNotFound());
+
+  // Registration writes it:123 out of band and must evict that negative
+  // entry; a TTL-fresh read straight after sees the tags.
+  ASSERT_TRUE((*engine)->RegisterItem(123, {{1, 1.0}}, Seconds(0)).ok());
+  auto v = cache->Get(key, fetch);
+  ASSERT_TRUE(v.ok());
+  auto tags = topo::DecodeTagVector(*v);
+  ASSERT_TRUE(tags.ok());
+  ASSERT_EQ(tags->size(), 1u);
+  EXPECT_EQ((*tags)[0].first, 1u);
+}
+
+}  // namespace
+}  // namespace tencentrec
