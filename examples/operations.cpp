@@ -170,6 +170,10 @@ int main() {
   mopts.trace_sample_every = 64;
   mopts.enable_admin_server = true;  // port 0 = ephemeral
   mopts.enable_watchdog = true;
+  // The freshness/SLO plane: per-stage watermark lag gauges, a 10-minute
+  // in-process metric history ring, and burn-rate objectives on /slo.
+  mopts.enable_timeseries = true;
+  mopts.enable_slo = true;
   auto mirrored = engine::TencentRec::Create(mopts);
   if (!mirrored.ok()) return 1;
   if (!(*mirrored)->ProcessBatch(actions).ok()) return 1;
@@ -185,13 +189,23 @@ int main() {
                 static_cast<long long>(r.item), r.score);
   }
 
-  // The embedded ops plane, exactly as an operator would curl it.
+  // The embedded ops plane, exactly as an operator would curl it. Force
+  // one sample so /slo and /timeseries answer deterministically instead
+  // of waiting out the 1 s background sampler period.
+  (*mirrored)->timeseries()->SampleNow();
   const int port = (*mirrored)->admin_server()->port();
   std::printf("\n-- admin server on 127.0.0.1:%d --\n", port);
   std::printf("$ curl :%d/healthz\n", port);
   PrintHead(HttpGet(port, "/healthz"), 8);
   std::printf("$ curl :%d/metrics   (head)\n", port);
   PrintHead(HttpGet(port, "/metrics"), 12);
+  std::printf("$ curl :%d/slo\n", port);
+  PrintHead(HttpGet(port, "/slo"), 8);
+  std::printf("$ curl ':%d/timeseries?metric=freshness.e2e.lag_us"
+              "&window=300'  (head)\n",
+              port);
+  PrintHead(
+      HttpGet(port, "/timeseries?metric=freshness.e2e.lag_us&window=300"), 8);
   std::printf("$ curl ':%d/traces'  (head)\n", port);
   // The grouped-trace body is one long JSON line; cap by characters.
   const std::string traces = HttpGet(port, "/traces");

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Bench regression gate: fresh results vs the committed baselines.
+
+Compares each BENCH_<name>.json in the results directory against the
+baseline committed at HEAD (``git show HEAD:bench/BENCH_<name>.json``) and
+fails when throughput regressed by more than the threshold.
+
+    scripts/check_bench.py [results-dir] [--threshold-pct 20] [--ref HEAD]
+
+Benches with no committed baseline (new benches) are reported and skipped.
+Exit status: 0 = no regression, 1 = at least one bench over threshold,
+2 = usage/environment error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+
+METRIC = "ops_per_sec"
+
+
+def repo_root():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip()
+    except (subprocess.CalledProcessError, OSError):
+        return None
+
+
+def baseline_for(root, ref, name):
+    """The committed BENCH_<name>.json at `ref`, or None if absent."""
+    show = subprocess.run(
+        ["git", "show", f"{ref}:bench/BENCH_{name}.json"],
+        capture_output=True, text=True, cwd=root,
+    )
+    if show.returncode != 0:
+        return None
+    try:
+        return json.loads(show.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results_dir", nargs="?", default=None,
+                        help="directory of fresh BENCH_*.json "
+                             "(default: <repo>/bench)")
+    parser.add_argument("--threshold-pct", type=float, default=20.0,
+                        help="max tolerated %s drop, percent" % METRIC)
+    parser.add_argument("--ref", default="HEAD",
+                        help="git ref holding the baselines")
+    args = parser.parse_args()
+
+    root = repo_root()
+    if root is None:
+        print("check_bench: not inside a git checkout", file=sys.stderr)
+        return 2
+    results_dir = args.results_dir or os.path.join(root, "bench")
+
+    paths = sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json")))
+    if not paths:
+        print(f"check_bench: no BENCH_*.json under {results_dir}",
+              file=sys.stderr)
+        return 2
+
+    failed = []
+    for path in paths:
+        with open(path) as f:
+            fresh = json.load(f)
+        name = fresh.get("name") or os.path.basename(path)[6:-5]
+        baseline = baseline_for(root, args.ref, name)
+        if baseline is None or METRIC not in baseline:
+            print(f"  {name:<18} no committed baseline at {args.ref} — skip")
+            continue
+        base, cur = baseline[METRIC], fresh.get(METRIC, 0.0)
+        if base <= 0:
+            print(f"  {name:<18} baseline {METRIC} <= 0 — skip")
+            continue
+        delta_pct = (cur / base - 1.0) * 100.0
+        verdict = "ok"
+        if delta_pct < -args.threshold_pct:
+            verdict = f"REGRESSION (>{args.threshold_pct:g}% drop)"
+            failed.append(name)
+        print(f"  {name:<18} {METRIC}: {base:>12.1f} -> {cur:>12.1f}  "
+              f"({delta_pct:+.1f}%)  {verdict}")
+
+    if failed:
+        print(f"check_bench: FAILED — {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("check_bench: all benches within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# The full CI gate, in the order a reviewer wants failures surfaced:
+#
+#   1. tier-1 verify: configure + build + the whole ctest suite, then the
+#      observability label on its own (the obs plane must pass standalone,
+#      not only interleaved with the suite);
+#   2. a ThreadSanitizer build running the `concurrent` label (sharded
+#      executor, striped histogram/tracer, batch clients, single-flight).
+#
+#   scripts/ci_verify.sh [build-dir] [tsan-build-dir]
+#
+# Env:
+#   TR_SKIP_TSAN=1   skip step 2 (e.g. on hosts without TSan runtime)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+tsan_dir="${2:-$repo_root/build-tsan}"
+
+echo "=== tier-1: build + full suite + obs label ==="
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j
+(cd "$build_dir" && ctest --output-on-failure -j "$(nproc)")
+(cd "$build_dir" && ctest -L obs --output-on-failure)
+
+if [[ "${TR_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "=== tsan: skipped (TR_SKIP_TSAN=1) ==="
+  exit 0
+fi
+
+echo "=== tsan: concurrent label under ThreadSanitizer ==="
+cmake -B "$tsan_dir" -S "$repo_root" -DTR_SANITIZE_THREAD=ON
+cmake --build "$tsan_dir" -j
+(cd "$tsan_dir" && ctest -L concurrent --output-on-failure)
+
+echo "ci_verify: all gates passed"

@@ -42,3 +42,33 @@ done
 
 echo "results:"
 ls -l "$out_dir"/BENCH_*.json
+
+# Append this run to the trajectory log: one JSONL line per invocation with
+# a run id, the git sha, and every collected bench's metrics — the long-term
+# record scripts/check_bench.py's point-in-time gate does not keep.
+trajectory="$out_dir/BENCH_trajectory.jsonl"
+python3 - "$out_dir" "$trajectory" "$repo_root" <<'PYEOF'
+import glob, json, os, subprocess, sys, time, uuid
+
+out_dir, trajectory, repo_root = sys.argv[1], sys.argv[2], sys.argv[3]
+try:
+    sha = subprocess.run(["git", "rev-parse", "HEAD"],
+                         capture_output=True, text=True, cwd=repo_root,
+                         check=True).stdout.strip()
+except (subprocess.CalledProcessError, OSError):
+    sha = "unknown"
+benches = {}
+for path in sorted(glob.glob(os.path.join(out_dir, "BENCH_*.json"))):
+    with open(path) as f:
+        record = json.load(f)
+    benches[record.pop("name", os.path.basename(path))] = record
+line = {
+    "run_id": uuid.uuid4().hex[:12],
+    "git_sha": sha,
+    "timestamp": int(time.time()),
+    "benches": benches,
+}
+with open(trajectory, "a") as f:
+    f.write(json.dumps(line, sort_keys=True) + "\n")
+print(f"trajectory -> {trajectory} (run {line['run_id']} @ {sha[:12]})")
+PYEOF

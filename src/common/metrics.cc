@@ -95,6 +95,10 @@ LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
     snap.max = std::max(snap.max, s.max.load(std::memory_order_relaxed));
   }
   snap.min = snap.count > 0 ? merged_min : 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    snap.exemplars[static_cast<size_t>(b)] =
+        exemplars_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+  }
   return snap;
 }
 
@@ -105,6 +109,7 @@ void LatencyHistogram::Reset() {
     s.min.store(UINT64_MAX, std::memory_order_relaxed);
     s.max.store(0, std::memory_order_relaxed);
   }
+  for (auto& e : exemplars_) e.store(0, std::memory_order_relaxed);
 }
 
 // --- MetricRegistry ----------------------------------------------------------

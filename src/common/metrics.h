@@ -111,6 +111,9 @@ class LatencyHistogram {
     uint64_t min = 0;
     uint64_t max = 0;
     std::array<uint64_t, kNumBuckets> buckets{};
+    /// Trace id of a recent traced sample that landed in each bucket
+    /// (0 = none). Lets exporters link a slow bucket to its /traces span.
+    std::array<uint64_t, kNumBuckets> exemplars{};
 
     double Mean() const {
       return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
@@ -134,6 +137,20 @@ class LatencyHistogram {
     s.sum.fetch_add(micros, std::memory_order_relaxed);
     AtomicMin(&s.min, micros);
     AtomicMax(&s.max, micros);
+  }
+
+  /// Record plus exemplar capture: remembers `trace_id` as the bucket's most
+  /// recent traced sample. Exemplar slots are a single (non-striped) array of
+  /// relaxed atomics — traced samples are sampled (1/N tuples), so contention
+  /// is negligible and the untraced path pays only one branch. Last-writer
+  /// wins; a torn read is impossible (single 64-bit atomic per bucket).
+  void RecordWithExemplar(uint64_t micros, uint64_t trace_id) {
+    if (!MetricsEnabled()) return;
+    Record(micros);
+    if (trace_id != 0) {
+      exemplars_[static_cast<size_t>(BucketOf(micros))].store(
+          trace_id, std::memory_order_relaxed);
+    }
   }
 
   Snapshot Snap() const;
@@ -162,6 +179,7 @@ class LatencyHistogram {
   }
 
   std::array<Stripe, metrics_internal::kStripes> stripes_;
+  std::array<std::atomic<uint64_t>, kNumBuckets> exemplars_{};
 };
 
 /// Named instrument directory. Get* registers on first use and returns a

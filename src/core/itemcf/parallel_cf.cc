@@ -65,6 +65,19 @@ ParallelItemCf::ParallelItemCf(Options options) : options_(std::move(options)) {
     user_shards_.push_back(
         std::make_unique<UserShard>(options_.queue_capacity));
   }
+  // Freshness slots are registered before the workers start so the stages
+  // exist (with no-data watermarks) from the first /vars publication. The
+  // obs plane is independent of the metrics kill switch.
+  const std::string freshness_scope =
+      options_.metrics_scope.empty() ? "parallel_cf" : options_.metrics_scope;
+  for (auto& shard : user_shards_) {
+    shard->freshness = obs::FreshnessTracker::Default().RegisterSlot(
+        freshness_scope + ".user-history");
+  }
+  for (auto& shard : pair_shards_) {
+    shard->freshness = obs::FreshnessTracker::Default().RegisterSlot(
+        freshness_scope + ".count+sim");
+  }
   // Start the downstream layer first so upstream emissions always find
   // live consumers (same discipline as tstorm::LocalCluster).
   for (auto& shard : pair_shards_) {
@@ -102,6 +115,7 @@ ParallelItemCf::ListStripe& ParallelItemCf::ListStripeOf(ItemId item) const {
 void ParallelItemCf::ProcessAction(const UserAction& action) {
   TR_CHECK(!shutdown_);
   if (action.timestamp > max_ts_) max_ts_ = action.timestamp;
+  if (action.ingest_micros > max_ingest_) max_ingest_ = action.ingest_micros;
   const size_t shard = UserShardOf(action.user);
   pending_[shard].push_back(action);
   if (pending_[shard].size() >= options_.batch_size) PushUserBatch(shard);
@@ -147,6 +161,7 @@ void ParallelItemCf::Drain() {
   for (auto& shard : user_shards_) {
     UserMsg msg;
     msg.flush = true;
+    msg.ingest_watermark = max_ingest_;
     shard->queue.Push(std::move(msg));
   }
   AwaitBarrier();
@@ -159,6 +174,7 @@ void ParallelItemCf::Drain() {
     PairMsg msg;
     msg.flush = true;
     msg.watermark = max_ts_;
+    msg.ingest_watermark = max_ingest_;
     shard->queue.Push(std::move(msg));
   }
   AwaitBarrier();
@@ -205,6 +221,8 @@ void ParallelItemCf::UserWorker(UserShard* shard) {
     const uint64_t t0 = NowMicros();
     if (msg->flush) {
       flush_all();
+      // Everything the driver had pushed before this token is processed.
+      shard->freshness.Advance(msg->ingest_watermark);
       shard->busy_micros += NowMicros() - t0;
       AckBarrier();
       continue;
@@ -214,9 +232,14 @@ void ParallelItemCf::UserWorker(UserShard* shard) {
                                    ? t0 - msg->enqueue_micros
                                    : 0);
     }
+    uint64_t batch_ingest = 0;
     for (const UserAction& action : msg->actions) {
       HandleAction(shard, action, &out);
+      if (action.ingest_micros > batch_ingest) {
+        batch_ingest = action.ingest_micros;
+      }
     }
+    shard->freshness.Advance(batch_ingest);
     shard->events += msg->actions.size();
     ++shard->batches;
     const uint64_t elapsed = NowMicros() - t0;
@@ -249,7 +272,7 @@ void ParallelItemCf::HandleAction(UserShard* shard, const UserAction& action,
     const size_t p = PairShardOf(PairKey(update.item, pair.other));
     auto& buf = (*out)[p];
     buf.push_back({update.item, pair.other, pair.co_rating_delta,
-                   action.timestamp, action.trace_id});
+                   action.timestamp, action.ingest_micros, action.trace_id});
     if (buf.size() >= options_.batch_size) {
       PairMsg msg;
       msg.deltas = std::move(buf);
@@ -268,6 +291,9 @@ void ParallelItemCf::PairWorker(PairShard* shard) {
     const uint64_t t0 = NowMicros();
     if (msg->flush) {
       shard->counts.AdvanceTo(msg->watermark);
+      // Phase-2 token: all phase-1 output reached this shard first (FIFO),
+      // so the drain's ingest high-water mark is fully processed here too.
+      shard->freshness.Advance(msg->ingest_watermark);
       shard->busy_micros += NowMicros() - t0;
       AckBarrier();
       continue;
@@ -277,7 +303,12 @@ void ParallelItemCf::PairWorker(PairShard* shard) {
                                    ? t0 - msg->enqueue_micros
                                    : 0);
     }
-    for (const PairDelta& delta : msg->deltas) HandlePairDelta(shard, delta);
+    uint64_t batch_ingest = 0;
+    for (const PairDelta& delta : msg->deltas) {
+      HandlePairDelta(shard, delta);
+      if (delta.ingest > batch_ingest) batch_ingest = delta.ingest;
+    }
+    shard->freshness.Advance(batch_ingest);
     shard->events += msg->deltas.size();
     ++shard->batches;
     const uint64_t elapsed = NowMicros() - t0;

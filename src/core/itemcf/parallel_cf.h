@@ -17,6 +17,7 @@
 #include "common/topk.h"
 #include "core/itemcf/item_cf.h"
 #include "core/itemcf/window_counts.h"
+#include "obs/freshness.h"
 
 namespace tencentrec::core {
 
@@ -140,6 +141,9 @@ class ParallelItemCf {
     ItemId j = 0;
     double co_delta = 0.0;
     EventTime ts = 0;
+    /// Ingest stamp of the source action (event-time watermark carrier;
+    /// 0 = unstamped).
+    uint64_t ingest = 0;
     /// Sampled-tracing id of the source action (0 = untraced).
     uint64_t trace_id = 0;
   };
@@ -149,12 +153,20 @@ class ParallelItemCf {
     /// MonoMicros at Push time (0 when instrumentation is off); the worker
     /// subtracts it from its dequeue time to get queue-wait.
     uint64_t enqueue_micros = 0;
+    /// On flush tokens: the driver's high-water ingest stamp. FIFO order
+    /// means everything at or below it has been handed to the worker, so
+    /// processing the token advances the stage's freshness watermark.
+    uint64_t ingest_watermark = 0;
   };
   struct PairMsg {
     std::vector<PairDelta> deltas;
     bool flush = false;
     EventTime watermark = 0;
     uint64_t enqueue_micros = 0;
+    /// See UserMsg::ingest_watermark — carried by the phase-2 flush token
+    /// so the pair stage's freshness catches up even when a drain interval
+    /// produced no pair deltas (e.g. all zero-delta actions).
+    uint64_t ingest_watermark = 0;
   };
 
   struct UserShard {
@@ -170,6 +182,8 @@ class ParallelItemCf {
     /// Liveness heartbeat, bumped (relaxed) per popped message; unlike the
     /// counters above it may be read while the worker runs.
     std::atomic<uint64_t> heartbeat{0};
+    /// Event-time watermark of this shard's stage (advanced per batch).
+    obs::FreshnessTracker::ScopedSlot freshness;
   };
 
   struct PairShard {
@@ -190,6 +204,7 @@ class ParallelItemCf {
     uint64_t batches = 0;
     uint64_t busy_micros = 0;
     std::atomic<uint64_t> heartbeat{0};
+    obs::FreshnessTracker::ScopedSlot freshness;
   };
 
   /// Shared itemCount stripe: written by layer 1, read by layers 2+3.
@@ -247,6 +262,9 @@ class ParallelItemCf {
   std::vector<std::vector<UserAction>> pending_;
   /// High-water event time of the stream (driver thread only).
   EventTime max_ts_ = 0;
+  /// High-water ingest stamp of the stream (driver thread only); carried on
+  /// drain flush tokens so both stages' freshness watermarks settle.
+  uint64_t max_ingest_ = 0;
 
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;

@@ -24,9 +24,9 @@ void Appendf(std::string* out, const char* fmt, ...) {
   *out += line;
 }
 
-/// Escapes a string for use as a Prometheus label value or JSON string
-/// (the intersection of both rules covers our metric names).
-std::string Escape(const std::string& s) {
+/// Escapes a Prometheus label value: backslash, double-quote and newline
+/// are the three characters the text exposition reserves.
+std::string PromEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
@@ -35,6 +35,30 @@ std::string Escape(const std::string& s) {
       out += c;
     } else if (c == '\n') {
       out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Escapes a JSON string: quotes, backslashes, and every control character
+/// (Prometheus rules stop at \n; JSON requires \u escapes below 0x20).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
     } else {
       out += c;
     }
@@ -206,7 +230,7 @@ std::string ExportPrometheusText(const MonitorSnapshot& snapshot) {
   out += "# TYPE tencentrec_counter counter\n";
   for (const auto& row : snapshot.counters) {
     Appendf(&out, "tencentrec_counter{name=\"%s\"} %llu\n",
-            Escape(row.name).c_str(),
+            PromEscape(row.name).c_str(),
             static_cast<unsigned long long>(row.value));
   }
 
@@ -214,7 +238,7 @@ std::string ExportPrometheusText(const MonitorSnapshot& snapshot) {
   out += "# TYPE tencentrec_gauge gauge\n";
   for (const auto& row : snapshot.gauges) {
     Appendf(&out, "tencentrec_gauge{name=\"%s\"} %lld\n",
-            Escape(row.name).c_str(), static_cast<long long>(row.value));
+            PromEscape(row.name).c_str(), static_cast<long long>(row.value));
   }
   Appendf(&out, "tencentrec_gauge{name=\"engine.ingestion_lag\"} %lld\n",
           static_cast<long long>(snapshot.ingestion_lag));
@@ -236,7 +260,7 @@ std::string ExportPrometheusText(const MonitorSnapshot& snapshot) {
   for (const auto& row : snapshot.topology) {
     Appendf(&out,
             "tencentrec_component_executed_total{component=\"%s\"} %llu\n",
-            Escape(row.component).c_str(),
+            PromEscape(row.component).c_str(),
             static_cast<unsigned long long>(row.executed));
   }
 
@@ -244,18 +268,28 @@ std::string ExportPrometheusText(const MonitorSnapshot& snapshot) {
          "microseconds.\n";
   out += "# TYPE tencentrec_latency_us histogram\n";
   for (const auto& row : snapshot.latencies) {
-    const std::string label = Escape(row.name);
+    const std::string label = PromEscape(row.name);
     uint64_t cumulative = 0;
     for (int b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
       const uint64_t n = row.hist.buckets[static_cast<size_t>(b)];
       if (n == 0) continue;  // sparse: only emit buckets that move the CDF
       cumulative += n;
       Appendf(&out,
-              "tencentrec_latency_us_bucket{name=\"%s\",le=\"%llu\"} %llu\n",
+              "tencentrec_latency_us_bucket{name=\"%s\",le=\"%llu\"} %llu",
               label.c_str(),
               static_cast<unsigned long long>(
                   LatencyHistogram::BucketUpperBound(b)),
               static_cast<unsigned long long>(cumulative));
+      // OpenMetrics exemplar: the trace id of a recent sample in this
+      // bucket, rendered exactly as /traces renders ids so the two join.
+      const uint64_t exemplar = row.hist.exemplars[static_cast<size_t>(b)];
+      if (exemplar != 0) {
+        Appendf(&out, " # {trace_id=\"%016llx\"} %llu",
+                static_cast<unsigned long long>(exemplar),
+                static_cast<unsigned long long>(
+                    LatencyHistogram::BucketUpperBound(b)));
+      }
+      out += "\n";
     }
     Appendf(&out,
             "tencentrec_latency_us_bucket{name=\"%s\",le=\"+Inf\"} %llu\n",
@@ -265,12 +299,13 @@ std::string ExportPrometheusText(const MonitorSnapshot& snapshot) {
     Appendf(&out, "tencentrec_latency_us_count{name=\"%s\"} %llu\n",
             label.c_str(), static_cast<unsigned long long>(row.hist.count));
   }
+  out += "# EOF\n";
   return out;
 }
 
 std::string ExportJson(const MonitorSnapshot& snapshot) {
   std::string out = "{";
-  Appendf(&out, "\"app\":\"%s\",", Escape(snapshot.app).c_str());
+  Appendf(&out, "\"app\":\"%s\",", JsonEscape(snapshot.app).c_str());
   Appendf(&out, "\"wall_micros\":%llu,",
           static_cast<unsigned long long>(snapshot.wall_micros));
   Appendf(&out, "\"ingestion_lag\":%lld,",
@@ -282,7 +317,7 @@ std::string ExportJson(const MonitorSnapshot& snapshot) {
     Appendf(&out,
             "%s{\"component\":\"%s\",\"executed\":%llu,\"emitted\":%llu,"
             "\"restarts\":%llu,\"busy_micros\":%llu}",
-            i == 0 ? "" : ",", Escape(row.component).c_str(),
+            i == 0 ? "" : ",", JsonEscape(row.component).c_str(),
             static_cast<unsigned long long>(row.executed),
             static_cast<unsigned long long>(row.emitted),
             static_cast<unsigned long long>(row.restarts),
@@ -294,7 +329,7 @@ std::string ExportJson(const MonitorSnapshot& snapshot) {
     Appendf(&out,
             "%s{\"stage\":\"%s\",\"workers\":%d,\"events\":%llu,"
             "\"batches\":%llu,\"busy_micros\":%llu}",
-            i == 0 ? "" : ",", Escape(row.stage).c_str(), row.workers,
+            i == 0 ? "" : ",", JsonEscape(row.stage).c_str(), row.workers,
             static_cast<unsigned long long>(row.events),
             static_cast<unsigned long long>(row.batches),
             static_cast<unsigned long long>(row.busy_micros));
@@ -312,13 +347,13 @@ std::string ExportJson(const MonitorSnapshot& snapshot) {
   out += "],\"counters\":{";
   for (size_t i = 0; i < snapshot.counters.size(); ++i) {
     Appendf(&out, "%s\"%s\":%llu", i == 0 ? "" : ",",
-            Escape(snapshot.counters[i].name).c_str(),
+            JsonEscape(snapshot.counters[i].name).c_str(),
             static_cast<unsigned long long>(snapshot.counters[i].value));
   }
   out += "},\"gauges\":{";
   for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
     Appendf(&out, "%s\"%s\":%lld", i == 0 ? "" : ",",
-            Escape(snapshot.gauges[i].name).c_str(),
+            JsonEscape(snapshot.gauges[i].name).c_str(),
             static_cast<long long>(snapshot.gauges[i].value));
   }
   out += "},\"latencies\":{";
@@ -327,7 +362,7 @@ std::string ExportJson(const MonitorSnapshot& snapshot) {
     Appendf(&out,
             "%s\"%s\":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,"
             "\"max\":%llu,\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f}",
-            first ? "" : ",", Escape(row.name).c_str(),
+            first ? "" : ",", JsonEscape(row.name).c_str(),
             static_cast<unsigned long long>(row.hist.count),
             static_cast<unsigned long long>(row.hist.sum),
             static_cast<unsigned long long>(
@@ -472,6 +507,7 @@ void StallWatchdog::Sweep() {
   // sweep atomic with respect to Register/Unregister.
   std::lock_guard<std::mutex> lock(mu_);
   ++sweeps_;
+  int64_t stalled_now = 0;
   for (auto& watch : watches_) {
     Watch* w = &watch;
     const Sample sample{w->source.progress(), w->source.backlog()};
@@ -502,6 +538,7 @@ void StallWatchdog::Sweep() {
     // dead).
     if (!w->stalled && sample.backlog > 0) {
       w->stalled = true;
+      stalls_counter_->Add(1);
       char reason[128];
       std::snprintf(reason, sizeof(reason),
                     "no progress for one watchdog period with backlog=%llu",
@@ -533,6 +570,10 @@ void StallWatchdog::Sweep() {
       }
     }
   }
+  for (const auto& w : watches_) {
+    if (w.stalled) ++stalled_now;
+  }
+  stalled_gauge_->Set(stalled_now);
 }
 
 std::vector<std::string> StallWatchdog::StalledComponents() const {

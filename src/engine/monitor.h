@@ -91,9 +91,13 @@ Result<MonitorSnapshot> CollectMonitorSnapshot(TencentRec* engine);
 /// "== latency (us) ==" section over every registry histogram).
 std::string FormatMonitorSnapshot(const MonitorSnapshot& snapshot);
 
-/// Prometheus text exposition (v0.0.4): counters, gauges, and cumulative
-/// `le`-bucketed histograms, all keyed by a `name` label so the dotted
-/// registry names survive unmangled.
+/// OpenMetrics-flavoured text exposition: counters, gauges, and cumulative
+/// `le`-bucketed histograms keyed by a `name` label so the dotted registry
+/// names survive unmangled, histogram buckets annotated with
+/// `# {trace_id="..."}` exemplars (ids rendered exactly as /traces renders
+/// them), terminated with `# EOF`. Serve it with the OpenMetrics
+/// Content-Type (see engine wiring); classic Prometheus scrapers that
+/// negotiate text/plain still parse everything but the exemplars.
 std::string ExportPrometheusText(const MonitorSnapshot& snapshot);
 
 /// Machine-readable JSON document of the full snapshot.
@@ -159,7 +163,11 @@ class StallWatchdog {
     std::function<uint64_t()> backlog;
   };
 
-  explicit StallWatchdog(Options options) : options_(options) {}
+  explicit StallWatchdog(Options options)
+      : options_(options),
+        stalls_counter_(MetricRegistry::Default().GetCounter("watchdog.stalls")),
+        stalled_gauge_(
+            MetricRegistry::Default().GetGauge("watchdog.stalled_components")) {}
   ~StallWatchdog();
 
   StallWatchdog(const StallWatchdog&) = delete;
@@ -194,6 +202,11 @@ class StallWatchdog {
   void Loop();
 
   Options options_;
+  /// watchdog.stalls (cumulative detection edges) and
+  /// watchdog.stalled_components (currently stalled) — the instruments the
+  /// default "stall-free" SLO reads off the time-series ring.
+  Counter* stalls_counter_;
+  Gauge* stalled_gauge_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<Watch> watches_;

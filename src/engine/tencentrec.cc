@@ -1,12 +1,14 @@
 #include "engine/tencentrec.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <thread>
 
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "engine/monitor.h"
+#include "obs/freshness.h"
 #include "tdstore/batch_writer.h"
 #include "topo/action_codec.h"
 #include "topo/blob_codec.h"
@@ -22,6 +24,9 @@ TencentRec::TencentRec(Options options) : options_(std::move(options)) {}
 TencentRec::~TencentRec() {
   if (watchdog_ != nullptr) watchdog_->Stop();
   if (admin_ != nullptr) admin_->Stop();
+  // Stop the sampler before slo_ dies: its post-sample hook evaluates the
+  // SLO registry from the sampler thread.
+  if (timeseries_ != nullptr) timeseries_->Stop();
 }
 
 Result<std::unique_ptr<TencentRec>> TencentRec::Create(Options options) {
@@ -92,6 +97,63 @@ Status TencentRec::Init() {
     watchdog_->Start();
   }
 
+  if (options_.enable_timeseries || options_.enable_slo) {
+    obs::TimeSeriesStore::Options topts;
+    topts.sample_period_ms = options_.timeseries_sample_period_ms;
+    topts.capacity = options_.timeseries_capacity;
+    timeseries_ = std::make_unique<obs::TimeSeriesStore>(
+        &MetricRegistry::Default(), topts);
+    // Freshness lags are derived gauges: publish them at the sample instant
+    // so every ring slot (and thus every SLO window) carries them.
+    timeseries_->SetPreSampleHook([](uint64_t now) {
+      obs::FreshnessTracker::Default().PublishGauges(&MetricRegistry::Default(),
+                                                     now);
+    });
+  }
+  if (options_.enable_slo) {
+    slo_ = std::make_unique<obs::SloRegistry>(timeseries_.get(), &health_);
+    const uint64_t sw = options_.slo_short_window_micros;
+    const uint64_t lw = options_.slo_long_window_micros;
+    // Default objectives (DESIGN.md §12): latency, freshness, store error
+    // budget, stall-freedom. Names key the health components ("slo.<name>").
+    slo_->AddObjective({/*name=*/"e2s-p99",
+                        obs::SloRegistry::Kind::kMaxValue,
+                        /*metric=*/"topo." + options_.app.app +
+                            ".*.event_to_store_us.p99",
+                        /*denominator=*/"",
+                        static_cast<double>(options_.slo_e2s_p99_micros), sw,
+                        lw,
+                        /*burn_factor=*/1.0, /*affects_readiness=*/false,
+                        "interval p99 of event-to-store latency, worst bolt"});
+    slo_->AddObjective({/*name=*/"freshness",
+                        obs::SloRegistry::Kind::kMaxValue,
+                        /*metric=*/"freshness.e2e.lag_us",
+                        /*denominator=*/"",
+                        static_cast<double>(options_.slo_freshness_lag_micros),
+                        sw, lw,
+                        /*burn_factor=*/1.0, /*affects_readiness=*/true,
+                        "end-to-end watermark freshness lag"});
+    slo_->AddObjective({/*name=*/"store-errors",
+                        obs::SloRegistry::Kind::kMaxRatio,
+                        /*metric=*/"tdstore.client.errors",
+                        /*denominator=*/"tdstore.client.ops",
+                        options_.slo_store_error_ratio, sw, lw,
+                        /*burn_factor=*/1.0, /*affects_readiness=*/true,
+                        "TDStore client op error budget"});
+    slo_->AddObjective({/*name=*/"stall-free",
+                        obs::SloRegistry::Kind::kMaxValue,
+                        /*metric=*/"watchdog.stalled_components",
+                        /*denominator=*/"",
+                        /*threshold=*/0.5, sw, lw,
+                        /*burn_factor=*/1.0, /*affects_readiness=*/true,
+                        "no pipeline component stalled"});
+    // Every fresh sample is judged immediately (sampler thread); tests call
+    // SampleNow+EvaluateNow themselves for determinism.
+    timeseries_->SetPostSampleHook(
+        [this](uint64_t now) { slo_->EvaluateNow(now); });
+  }
+  if (timeseries_ != nullptr) timeseries_->Start();
+
   if (options_.enable_admin_server) {
     obs::AdminServer::Options aopts;
     aopts.bind_address = options_.admin_bind_address;
@@ -103,18 +165,28 @@ Status TencentRec::Init() {
     // previous run's topology rows, which is the intended semantics.
     admin_->Route("/metrics", [this](const obs::AdminServer::Request&) {
       obs::AdminServer::Response resp;
+      obs::FreshnessTracker::Default().PublishGauges(&MetricRegistry::Default(),
+                                                     MonoMicros());
       auto snap = CollectMonitorSnapshot(this);
       if (!snap.ok()) {
         resp.status = 503;
         resp.body = snap.status().ToString() + "\n";
         return resp;
       }
-      resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      // The exposition carries exemplars and the # EOF trailer, so negotiate
+      // OpenMetrics; classic Prometheus parsers accept the payload minus the
+      // exemplar annotations.
+      resp.content_type =
+          "application/openmetrics-text; version=1.0.0; charset=utf-8";
       resp.body = ExportPrometheusText(*snap);
       return resp;
     });
     admin_->Route("/vars", [this](const obs::AdminServer::Request&) {
       obs::AdminServer::Response resp;
+      // Freshness lags are computed at collection time so /vars always
+      // carries current watermark gauges, sampler or not.
+      obs::FreshnessTracker::Default().PublishGauges(&MetricRegistry::Default(),
+                                                     MonoMicros());
       auto snap = CollectMonitorSnapshot(this);
       if (!snap.ok()) {
         resp.status = 503;
@@ -138,6 +210,58 @@ Status TencentRec::Init() {
       resp.status = ready ? 200 : 503;
       resp.content_type = "application/json";
       resp.body = ready ? "{\"ready\":true}" : "{\"ready\":false}";
+      return resp;
+    });
+    admin_->Route("/timeseries", [this](const obs::AdminServer::Request& req) {
+      obs::AdminServer::Response resp;
+      resp.content_type = "application/json";
+      if (timeseries_ == nullptr) {
+        resp.status = 404;
+        resp.body = "{\"error\":\"timeseries disabled\"}";
+        return resp;
+      }
+      // ?metric=<series>&window=<seconds>; no metric lists series names.
+      std::string metric;
+      uint64_t window_micros = 0;
+      size_t pos = req.query.find("metric=");
+      if (pos != std::string::npos) {
+        const size_t start = pos + 7;
+        const size_t end = req.query.find('&', start);
+        metric = req.query.substr(start, end == std::string::npos
+                                             ? std::string::npos
+                                             : end - start);
+      }
+      pos = req.query.find("window=");
+      if (pos != std::string::npos) {
+        window_micros = static_cast<uint64_t>(
+                            std::strtoull(req.query.c_str() + pos + 7,
+                                          nullptr, 10)) *
+                        kMicrosPerSecond;
+      }
+      if (metric.empty()) {
+        std::string body = "{\"series\":[";
+        bool first = true;
+        for (const auto& name : timeseries_->SeriesNames()) {
+          if (!first) body += ',';
+          first = false;
+          body += '"' + name + '"';
+        }
+        body += "]}";
+        resp.body = std::move(body);
+        return resp;
+      }
+      resp.body = timeseries_->QueryJson(metric, window_micros);
+      return resp;
+    });
+    admin_->Route("/slo", [this](const obs::AdminServer::Request&) {
+      obs::AdminServer::Response resp;
+      resp.content_type = "application/json";
+      if (slo_ == nullptr) {
+        resp.status = 404;
+        resp.body = "{\"error\":\"slo disabled\"}";
+        return resp;
+      }
+      resp.body = slo_->Json();
       return resp;
     });
     admin_->Route("/traces", [](const obs::AdminServer::Request& req) {

@@ -8,6 +8,8 @@
 #include "core/itemcf/parallel_cf.h"
 #include "obs/admin_server.h"
 #include "obs/health.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "tdaccess/cluster.h"
 #include "tdaccess/producer.h"
 #include "tdstore/cluster.h"
@@ -79,6 +81,28 @@ class TencentRec {
     /// any topology run) — flips /healthz to degraded on a wedged stage.
     bool enable_watchdog = false;
     uint64_t watchdog_period_ms = 250;
+    /// In-process metric history: a background sampler snapshots the
+    /// registry into a fixed ring every sample period, served via
+    /// /timeseries?metric=...&window=.... The freshness gauges are
+    /// published as the sampler's pre-sample hook, so every sample carries
+    /// watermark lags computed at the sample instant.
+    bool enable_timeseries = false;
+    uint64_t timeseries_sample_period_ms = 1000;
+    size_t timeseries_capacity = 600;
+    /// Burn-rate SLO evaluation over the time-series ring (implies
+    /// enable_timeseries); default objectives cover event-to-store p99,
+    /// end-to-end freshness lag, store error rate, and stall-freedom.
+    /// Breaches file into HealthRegistry (/healthz, and /readyz for
+    /// readiness-gating objectives) and are served via /slo.
+    bool enable_slo = false;
+    /// Default-objective thresholds (see DESIGN.md §12).
+    uint64_t slo_e2s_p99_micros = 2ull * 1000 * 1000;
+    uint64_t slo_freshness_lag_micros = 5ull * 1000 * 1000;
+    double slo_store_error_ratio = 0.001;
+    /// Burn-rate windows for the default objectives; tests shrink these so
+    /// one SampleNow/EvaluateNow pair flips a breach deterministically.
+    uint64_t slo_short_window_micros = 60ull * 1000 * 1000;
+    uint64_t slo_long_window_micros = 300ull * 1000 * 1000;
   };
 
   static Result<std::unique_ptr<TencentRec>> Create(Options options);
@@ -134,6 +158,10 @@ class TencentRec {
   obs::HealthRegistry& health() { return health_; }
   /// The stall watchdog (nullptr unless enable_watchdog).
   StallWatchdog* watchdog() { return watchdog_.get(); }
+  /// Metric history ring (nullptr unless enable_timeseries/enable_slo).
+  obs::TimeSeriesStore* timeseries() { return timeseries_.get(); }
+  /// Burn-rate SLO engine (nullptr unless enable_slo).
+  obs::SloRegistry* slo() { return slo_.get(); }
 
  private:
   explicit TencentRec(Options options);
@@ -158,6 +186,10 @@ class TencentRec {
   int64_t batches_run_ = 0;
 
   obs::HealthRegistry health_;
+  std::unique_ptr<obs::TimeSeriesStore> timeseries_;
+  /// Declared after timeseries_ (reads its ring) and health_ (files
+  /// breaches); destroyed before both.
+  std::unique_ptr<obs::SloRegistry> slo_;
   std::unique_ptr<obs::AdminServer> admin_;
   /// Declared after the things its sources sample (parallel_cf_); destroyed
   /// first by the explicit destructor, which stops it before anything it

@@ -1,11 +1,15 @@
 #include "obs/admin_server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/logging.h"
@@ -43,6 +47,15 @@ bool WriteAll(int fd, const char* data, size_t len) {
   return true;
 }
 
+void SetIoTimeouts(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
 }  // namespace
 
 AdminServer::~AdminServer() { Stop(); }
@@ -60,9 +73,21 @@ void AdminServer::Route(const std::string& path, Handler handler) {
 Status AdminServer::Start() {
   if (listen_fd_ >= 0) return Status::FailedPrecondition("already started");
 
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::Internal(std::string("pipe: ") + std::strerror(errno));
+  }
+  // Non-blocking read end: the accept loop drains wake bytes opportunistically
+  // and must never park on the pipe itself.
+  ::fcntl(wake_pipe_[0], F_SETFL,
+          ::fcntl(wake_pipe_[0], F_GETFL, 0) | O_NONBLOCK);
+
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+    Status s = Status::Internal(std::string("socket: ") + std::strerror(errno));
+    ::close(wake_pipe_[0]);
+    ::close(wake_pipe_[1]);
+    wake_pipe_[0] = wake_pipe_[1] = -1;
+    return s;
   }
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -70,60 +95,110 @@ Status AdminServer::Start() {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  Status err = Status::OK();
   if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
       1) {
-    ::close(fd);
-    return Status::InvalidArgument("bad bind address: " +
-                                   options_.bind_address);
+    err = Status::InvalidArgument("bad bind address: " + options_.bind_address);
+  } else if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+             0) {
+    err = Status::Internal(std::string("bind: ") + std::strerror(errno));
+  } else if (::listen(fd, options_.backlog) != 0) {
+    err = Status::Internal(std::string("listen: ") + std::strerror(errno));
+  } else {
+    socklen_t addr_len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+      err = Status::Internal(std::string("getsockname: ") +
+                             std::strerror(errno));
+    }
   }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status s =
-        Status::Internal(std::string("bind: ") + std::strerror(errno));
+  if (!err.ok()) {
     ::close(fd);
-    return s;
-  }
-  if (::listen(fd, options_.backlog) != 0) {
-    Status s =
-        Status::Internal(std::string("listen: ") + std::strerror(errno));
-    ::close(fd);
-    return s;
-  }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
-    Status s = Status::Internal(std::string("getsockname: ") +
-                                std::strerror(errno));
-    ::close(fd);
-    return s;
+    ::close(wake_pipe_[0]);
+    ::close(wake_pipe_[1]);
+    wake_pipe_[0] = wake_pipe_[1] = -1;
+    return err;
   }
   port_ = ntohs(addr.sin_port);
   listen_fd_ = fd;
   stopping_.store(false);
+  serve_done_.store(false);
   thread_ = std::thread([this] { Serve(); });
   TR_LOG(kInfo, "admin server listening on %s:%d",
          options_.bind_address.c_str(), port_);
   return Status::OK();
 }
 
+void AdminServer::RequestStop() {
+  // Async-signal-safe: one lock-free atomic store plus one write(2) into
+  // the self-pipe to wake poll(). Safe to call from a SIGTERM handler.
+  stopping_.store(true, std::memory_order_relaxed);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'q';
+    ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+    (void)ignored;
+  }
+}
+
 void AdminServer::Stop() {
   if (listen_fd_ < 0) return;
-  stopping_.store(true);
-  // shutdown() unblocks the accept(); close() alone can leave it parked.
-  ::shutdown(listen_fd_, SHUT_RDWR);
+  RequestStop();
+
+  // Drain: give the in-flight handler (if any) the deadline to finish, then
+  // force the connection shut so a wedged peer can't hold shutdown hostage.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.drain_deadline_ms);
+  while (!serve_done_.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (!serve_done_.load(std::memory_order_acquire)) {
+    const int fd = active_fd_.load(std::memory_order_acquire);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+
   if (thread_.joinable()) thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
 }
 
 void AdminServer::Serve() {
-  while (!stopping_.load()) {
+  pollfd fds[2];
+  fds[0].fd = listen_fd_;
+  fds[0].events = POLLIN;
+  fds[1].fd = wake_pipe_[0];
+  fds[1].events = POLLIN;
+
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    fds[0].revents = 0;
+    fds[1].revents = 0;
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    if ((fds[1].revents & POLLIN) != 0) {
+      char drain[16];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+      continue;  // woken without stop: re-check and re-poll
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listener shut down
     }
+    SetIoTimeouts(fd, options_.io_timeout_ms);
+    active_fd_.store(fd, std::memory_order_release);
     HandleConnection(fd);
+    active_fd_.store(-1, std::memory_order_release);
     ::close(fd);
   }
+  serve_done_.store(true, std::memory_order_release);
 }
 
 void AdminServer::HandleConnection(int fd) {
@@ -136,7 +211,7 @@ void AdminServer::HandleConnection(int fd) {
     ssize_t n = ::read(fd, buf, sizeof(buf));
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return;  // peer went away mid-request
+      return;  // peer went away mid-request (or SO_RCVTIMEO fired)
     }
     head.append(buf, static_cast<size_t>(n));
     if (head.size() > 16 * 1024) break;

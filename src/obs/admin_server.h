@@ -13,8 +13,8 @@
 
 namespace tencentrec::obs {
 
-/// Minimal embedded HTTP/1.1 ops endpoint — no dependencies, one blocking
-/// accept thread, one request per connection (Connection: close). It is an
+/// Minimal embedded HTTP/1.1 ops endpoint — no dependencies, one accept
+/// thread, one request per connection (Connection: close). It is an
 /// operator plane, not a serving tier: /metrics, /healthz and friends are
 /// hit by humans with curl and by scrapers at seconds-scale intervals, so
 /// a single-threaded accept loop is the right amount of machinery.
@@ -23,6 +23,13 @@ namespace tencentrec::obs {
 /// routes of its own, keeping this layer ignorant of the engine above it.
 /// Handlers run on the accept thread and must be thread-safe with respect
 /// to the state they read.
+///
+/// Shutdown is graceful and SIGTERM-friendly: RequestStop() is
+/// async-signal-safe (one atomic store + one pipe write), the accept loop
+/// wakes via the self-pipe, stops accepting, and finishes the request it
+/// is serving; Stop() then drains with a deadline, force-closing the
+/// in-flight connection only if the drain window expires. Per-connection
+/// socket timeouts bound how long one dead client can hold the loop.
 class AdminServer {
  public:
   struct Options {
@@ -32,6 +39,11 @@ class AdminServer {
     /// 0 = ephemeral; read the chosen port back via port().
     int port = 0;
     int backlog = 16;
+    /// Per-connection read/write timeout (SO_RCVTIMEO/SO_SNDTIMEO).
+    int io_timeout_ms = 5000;
+    /// How long Stop() waits for the in-flight request before forcing the
+    /// connection shut.
+    int drain_deadline_ms = 2000;
   };
 
   struct Request {
@@ -61,7 +73,15 @@ class AdminServer {
   /// Binds, listens and starts the accept thread.
   Status Start();
 
-  /// Unblocks the accept loop and joins the thread. Idempotent.
+  /// Asks the accept loop to exit without blocking: stops accepting new
+  /// connections but lets the in-flight handler finish. Async-signal-safe —
+  /// wire it to SIGTERM so soak runs exit cleanly. Follow with Stop() (or
+  /// destruction) to join.
+  void RequestStop();
+
+  /// RequestStop() + drain: waits up to drain_deadline_ms for the in-flight
+  /// request, force-shuts the connection past the deadline, joins the
+  /// accept thread and closes the listener. Idempotent.
   void Stop();
 
   /// The bound port (resolves port 0); valid after a successful Start().
@@ -79,8 +99,11 @@ class AdminServer {
   std::vector<std::pair<std::string, Handler>> routes_;
   int listen_fd_ = -1;
   int port_ = 0;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe: [0] polled, [1] written
   std::thread thread_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> serve_done_{false};
+  std::atomic<int> active_fd_{-1};  ///< connection currently being served
   std::atomic<uint64_t> requests_served_{0};
 };
 

@@ -1,0 +1,127 @@
+#include "obs/freshness.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace tencentrec::obs {
+
+FreshnessTracker& FreshnessTracker::Default() {
+  static FreshnessTracker* tracker = new FreshnessTracker();
+  return *tracker;
+}
+
+FreshnessTracker::ScopedSlot FreshnessTracker::RegisterSlot(
+    const std::string& stage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stage* target = nullptr;
+  for (Stage& s : stages_) {
+    if (s.name == stage) {
+      target = &s;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    stages_.emplace_back();
+    target = &stages_.back();
+    target->name = stage;
+  }
+  target->slots.push_back(std::make_unique<Slot>());
+  return ScopedSlot(this, target->slots.back().get());
+}
+
+void FreshnessTracker::Retire(Slot* slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Stage& s : stages_) {
+    for (auto it = s.slots.begin(); it != s.slots.end(); ++it) {
+      if (it->get() == slot) {
+        // A cleanly retired instance has processed everything it will ever
+        // see: fold its high-water mark into the stage so a drained batch
+        // run keeps its freshness after topology teardown.
+        s.retired_watermark = std::max(s.retired_watermark, slot->watermark());
+        s.slots.erase(it);
+        return;
+      }
+    }
+  }
+}
+
+uint64_t FreshnessTracker::WatermarkOf(const Stage& stage, int* live_slots) {
+  uint64_t live_min = UINT64_MAX;
+  int live = 0;
+  for (const auto& slot : stage.slots) {
+    const uint64_t w = slot->watermark();
+    if (w == 0) continue;  // idle-source rule: no data yet, don't pin at 0
+    live_min = std::min(live_min, w);
+    ++live;
+  }
+  if (live_slots != nullptr) *live_slots = live;
+  const uint64_t live_watermark = live > 0 ? live_min : 0;
+  return std::max(stage.retired_watermark, live_watermark);
+}
+
+uint64_t FreshnessTracker::StageWatermark(const std::string& stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Stage& s : stages_) {
+    if (s.name == stage) return WatermarkOf(s, nullptr);
+  }
+  return 0;
+}
+
+std::vector<FreshnessTracker::StageLag> FreshnessTracker::Lags(
+    uint64_t now_micros) const {
+  std::vector<StageLag> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(stages_.size());
+    for (const Stage& s : stages_) {
+      StageLag lag;
+      lag.stage = s.name;
+      lag.watermark_micros = WatermarkOf(s, &lag.live_slots);
+      if (lag.watermark_micros > 0 && now_micros > lag.watermark_micros) {
+        lag.lag_micros = now_micros - lag.watermark_micros;
+      }
+      out.push_back(std::move(lag));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StageLag& a, const StageLag& b) { return a.stage < b.stage; });
+  return out;
+}
+
+uint64_t FreshnessTracker::EndToEndLag(uint64_t now_micros) const {
+  uint64_t min_watermark = UINT64_MAX;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stages_.empty()) return 0;
+    for (const Stage& s : stages_) {
+      const uint64_t w = WatermarkOf(s, nullptr);
+      if (w == 0) return 0;  // some stage never saw data: not "late"
+      min_watermark = std::min(min_watermark, w);
+    }
+  }
+  return now_micros > min_watermark ? now_micros - min_watermark : 0;
+}
+
+void FreshnessTracker::PublishGauges(MetricRegistry* registry,
+                                     uint64_t now_micros) const {
+  if (registry == nullptr) return;
+  const std::vector<StageLag> lags = Lags(now_micros);
+  for (const StageLag& lag : lags) {
+    registry->GetGauge("freshness." + lag.stage + ".lag_us")
+        ->Set(static_cast<int64_t>(lag.lag_micros));
+    registry->GetGauge("freshness." + lag.stage + ".watermark_us")
+        ->Set(static_cast<int64_t>(lag.watermark_micros));
+  }
+  if (!lags.empty()) {
+    registry->GetGauge("freshness.e2e.lag_us")
+        ->Set(static_cast<int64_t>(EndToEndLag(now_micros)));
+  }
+}
+
+void FreshnessTracker::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stages_.clear();
+}
+
+}  // namespace tencentrec::obs

@@ -38,16 +38,18 @@ void AppendJsonString(std::string* out, const std::string& s) {
 }  // namespace
 
 void HealthRegistry::Set(const std::string& component, bool healthy,
-                         const std::string& reason) {
+                         const std::string& reason, bool affects_readiness) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& e : entries_) {
     if (e.component == component) {
       e.healthy = healthy;
       e.reason = healthy ? "" : reason;
+      e.affects_readiness = affects_readiness;
       return;
     }
   }
-  entries_.push_back({component, healthy, healthy ? "" : reason});
+  entries_.push_back(
+      {component, healthy, healthy ? "" : reason, affects_readiness});
 }
 
 void HealthRegistry::Clear(const std::string& component) {
@@ -71,7 +73,11 @@ void HealthRegistry::SetReady(bool ready) {
 
 bool HealthRegistry::Ready() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return ready_;
+  if (!ready_) return false;
+  for (const auto& e : entries_) {
+    if (e.affects_readiness && !e.healthy) return false;
+  }
+  return true;
 }
 
 std::vector<HealthRegistry::Entry> HealthRegistry::Entries() const {
@@ -82,11 +88,15 @@ std::vector<HealthRegistry::Entry> HealthRegistry::Entries() const {
 std::string HealthRegistry::Json() const {
   std::lock_guard<std::mutex> lock(mu_);
   bool healthy = true;
-  for (const auto& e : entries_) healthy = healthy && e.healthy;
+  bool ready = ready_;
+  for (const auto& e : entries_) {
+    healthy = healthy && e.healthy;
+    if (e.affects_readiness && !e.healthy) ready = false;
+  }
   std::string out = "{\"status\":";
   out += healthy ? "\"ok\"" : "\"degraded\"";
   out += ",\"ready\":";
-  out += ready_ ? "true" : "false";
+  out += ready ? "true" : "false";
   out += ",\"components\":[";
   for (size_t i = 0; i < entries_.size(); ++i) {
     if (i != 0) out += ',';
@@ -98,6 +108,7 @@ std::string HealthRegistry::Json() const {
       out += ",\"reason\":";
       AppendJsonString(&out, entries_[i].reason);
     }
+    if (entries_[i].affects_readiness) out += ",\"gates_readiness\":true";
     out += '}';
   }
   out += "]}";

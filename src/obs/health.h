@@ -12,20 +12,25 @@ namespace tencentrec::obs {
 /// Liveness (`Healthy()`) is the AND over per-component verdicts: anything
 /// that can detect its own distress — the stall watchdog, a consumer that
 /// lost its subscription — files Set(component, false, reason), and clears
-/// it when the condition recovers. Readiness (`Ready()`) is a single switch
-/// the engine flips once wiring is complete, so load balancers can
-/// distinguish "still booting" from "booted but degraded".
+/// it when the condition recovers. Readiness (`Ready()`) is the engine's
+/// boot-complete switch ANDed with every entry filed with
+/// `affects_readiness`: SLO breaches register that way, so a breached
+/// serving objective pulls the instance out of rotation (/readyz → 503)
+/// while liveness (/healthz restart signal) reflects only `healthy`.
 class HealthRegistry {
  public:
   struct Entry {
     std::string component;
     bool healthy = true;
     std::string reason;  ///< non-empty only when unhealthy
+    bool affects_readiness = false;  ///< unhealthy also fails Ready()
   };
 
   /// Files or updates a component's verdict. Unknown components are added.
+  /// `affects_readiness` marks the entry as readiness-gating (sticky per
+  /// call — pass it on every Set for that component).
   void Set(const std::string& component, bool healthy,
-           const std::string& reason = "");
+           const std::string& reason = "", bool affects_readiness = false);
 
   /// Removes a component's entry entirely (component shut down cleanly).
   void Clear(const std::string& component);
@@ -35,6 +40,7 @@ class HealthRegistry {
   bool Healthy() const;
 
   void SetReady(bool ready);
+  /// ready switch AND every affects_readiness entry healthy.
   bool Ready() const;
 
   std::vector<Entry> Entries() const;

@@ -1,0 +1,214 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/metrics.h"
+#include "obs/health.h"
+#include "obs/timeseries.h"
+
+namespace tencentrec::obs {
+
+namespace {
+
+bool WildcardMatch(const std::string& pattern, const std::string& name) {
+  const size_t star = pattern.find('*');
+  if (star == std::string::npos) return pattern == name;
+  const std::string prefix = pattern.substr(0, star);
+  const std::string suffix = pattern.substr(star + 1);
+  if (name.size() < prefix.size() + suffix.size()) return false;
+  return name.compare(0, prefix.size(), prefix) == 0 &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out->push_back(c);
+  }
+}
+
+}  // namespace
+
+SloRegistry::SloRegistry(const TimeSeriesStore* store, HealthRegistry* health)
+    : store_(store), health_(health) {}
+
+void SloRegistry::AddObjective(Objective objective) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status status;
+  status.objective = std::move(objective);
+  statuses_.push_back(std::move(status));
+}
+
+std::vector<std::string> SloRegistry::MatchSeries(
+    const std::string& pattern) const {
+  if (pattern.find('*') == std::string::npos) return {pattern};
+  std::vector<std::string> out;
+  for (const std::string& name : store_->SeriesNames()) {
+    if (WildcardMatch(pattern, name)) out.push_back(name);
+  }
+  return out;
+}
+
+bool SloRegistry::WindowedMax(const std::string& metric,
+                              uint64_t window_micros, double* out) const {
+  bool any = false;
+  double best = 0.0;
+  for (const std::string& name : MatchSeries(metric)) {
+    for (const TimeSeriesStore::Point& p : store_->Series(name, window_micros)) {
+      if (!any || p.value > best) best = p.value;
+      any = true;
+    }
+  }
+  if (any) *out = best;
+  return any;
+}
+
+bool SloRegistry::WindowedDelta(const std::string& metric,
+                                uint64_t window_micros, double* out) const {
+  // Cumulative counter series: in-window delta = last - first. Wildcards
+  // sum across matching series (total errors across components).
+  bool any = false;
+  double total = 0.0;
+  for (const std::string& name : MatchSeries(metric)) {
+    const std::vector<TimeSeriesStore::Point> points =
+        store_->Series(name, window_micros);
+    if (points.size() < 2) continue;
+    total += points.back().value - points.front().value;
+    any = true;
+  }
+  if (any) *out = total;
+  return any;
+}
+
+SloRegistry::Eval SloRegistry::Evaluate(const Objective& o,
+                                        uint64_t now_micros) const {
+  (void)now_micros;  // windows are anchored at the newest retained sample
+  Eval eval;
+  if (o.kind == Kind::kMaxValue) {
+    double short_v = 0.0;
+    double long_v = 0.0;
+    const bool short_ok = WindowedMax(o.metric, o.short_window_micros, &short_v);
+    const bool long_ok = WindowedMax(o.metric, o.long_window_micros, &long_v);
+    eval.has_data = short_ok || long_ok;
+    eval.short_value = short_v;
+    eval.long_value = long_v;
+    eval.breached = short_ok && long_ok && short_v > o.threshold &&
+                    long_v > o.threshold;
+    return eval;
+  }
+  // kMaxRatio: bad fraction over each window from cumulative counters.
+  const double limit = o.threshold * o.burn_factor;
+  double short_frac = 0.0;
+  double long_frac = 0.0;
+  bool short_ok = false;
+  bool long_ok = false;
+  double num = 0.0;
+  double den = 0.0;
+  if (WindowedDelta(o.metric, o.short_window_micros, &num) &&
+      WindowedDelta(o.denominator, o.short_window_micros, &den) && den > 0) {
+    short_frac = num / den;
+    short_ok = true;
+  }
+  if (WindowedDelta(o.metric, o.long_window_micros, &num) &&
+      WindowedDelta(o.denominator, o.long_window_micros, &den) && den > 0) {
+    long_frac = num / den;
+    long_ok = true;
+  }
+  eval.has_data = short_ok || long_ok;
+  eval.short_value = short_frac;
+  eval.long_value = long_frac;
+  eval.breached =
+      short_ok && long_ok && short_frac > limit && long_frac > limit;
+  return eval;
+}
+
+void SloRegistry::EvaluateNow(uint64_t now_micros) {
+  if (store_ == nullptr) return;
+  const uint64_t now = now_micros != 0 ? now_micros : MonoMicros();
+  std::vector<Status> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Status& status : statuses_) {
+      const Eval eval = Evaluate(status.objective, now);
+      status.breached = eval.breached;
+      status.has_data = eval.has_data;
+      status.short_value = eval.short_value;
+      status.long_value = eval.long_value;
+      status.last_eval_micros = now;
+    }
+    snapshot = statuses_;
+  }
+  if (health_ == nullptr) return;
+  for (const Status& status : snapshot) {
+    const Objective& o = status.objective;
+    std::string reason;
+    if (status.breached) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "slo breach: %s short=%.3g long=%.3g threshold=%.3g",
+                    o.metric.c_str(), status.short_value, status.long_value,
+                    o.threshold);
+      reason = buf;
+    }
+    health_->Set("slo." + o.name, !status.breached, reason,
+                 o.affects_readiness);
+  }
+}
+
+std::vector<SloRegistry::Status> SloRegistry::Statuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return statuses_;
+}
+
+std::string SloRegistry::Json() const {
+  const std::vector<Status> statuses = Statuses();
+  std::string out = "{\"objectives\":[";
+  char buf[128];
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    const Status& s = statuses[i];
+    const Objective& o = s.objective;
+    if (i != 0) out += ',';
+    out += "{\"name\":\"";
+    AppendEscaped(&out, o.name);
+    out += "\",\"kind\":\"";
+    out += o.kind == Kind::kMaxValue ? "max_value" : "max_ratio";
+    out += "\",\"metric\":\"";
+    AppendEscaped(&out, o.metric);
+    out += '"';
+    if (!o.denominator.empty()) {
+      out += ",\"denominator\":\"";
+      AppendEscaped(&out, o.denominator);
+      out += '"';
+    }
+    if (!o.description.empty()) {
+      out += ",\"description\":\"";
+      AppendEscaped(&out, o.description);
+      out += '"';
+    }
+    std::snprintf(buf, sizeof(buf),
+                  ",\"threshold\":%.6g,\"burn_factor\":%.3g", o.threshold,
+                  o.burn_factor);
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\"short_window_us\":%llu,\"long_window_us\":%llu",
+        static_cast<unsigned long long>(o.short_window_micros),
+        static_cast<unsigned long long>(o.long_window_micros));
+    out += buf;
+    out += ",\"affects_readiness\":";
+    out += o.affects_readiness ? "true" : "false";
+    out += ",\"breached\":";
+    out += s.breached ? "true" : "false";
+    out += ",\"has_data\":";
+    out += s.has_data ? "true" : "false";
+    std::snprintf(buf, sizeof(buf),
+                  ",\"short_value\":%.6g,\"long_value\":%.6g}", s.short_value,
+                  s.long_value);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace tencentrec::obs

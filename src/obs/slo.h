@@ -1,0 +1,107 @@
+#ifndef TENCENTREC_OBS_SLO_H_
+#define TENCENTREC_OBS_SLO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tencentrec::obs {
+
+class HealthRegistry;
+class TimeSeriesStore;
+
+/// Declarative service-level objectives evaluated over the TimeSeriesStore
+/// ring with Google-SRE-style multi-window burn rates, feeding breach state
+/// into HealthRegistry (and, via affects_readiness, /readyz) and the /slo
+/// admin endpoint.
+///
+/// Two objective kinds:
+///
+///   kMaxValue  — "this series must stay below `threshold`": the windowed
+///                value is the MAX of the series' points inside the window
+///                (worst observed interval p99, worst freshness lag, ...).
+///                Breached when the max exceeds threshold in BOTH the short
+///                and the long window — the short window makes recovery
+///                fast, the long window suppresses single-interval blips.
+///
+///   kMaxRatio  — "bad events / total events must stay below `threshold`"
+///                over cumulative counter series: windowed fraction is
+///                (num_last - num_first) / (den_last - den_first). Breached
+///                when the fraction exceeds threshold × burn_factor in both
+///                windows; burn_factor > 1 is the classic fast-burn page
+///                ("consuming budget 14× faster than sustainable").
+///
+/// The metric name may contain a single `*` wildcard (e.g.
+/// `topo.app.*.event_to_store_us.p99`); matching series are aggregated with
+/// max — an SLO over "every component's p99" is as slow as its slowest
+/// component. A window with no data evaluates to "not breached" (absence of
+/// traffic is not an SLO violation; freshness objectives catch silence).
+class SloRegistry {
+ public:
+  enum class Kind { kMaxValue, kMaxRatio };
+
+  struct Objective {
+    std::string name;          ///< e.g. "e2s-p99", "freshness", "store-errors"
+    Kind kind = Kind::kMaxValue;
+    std::string metric;        ///< series name, one optional '*' wildcard
+    std::string denominator;   ///< kMaxRatio only: total-events series
+    double threshold = 0.0;    ///< max value (us) or max bad fraction
+    uint64_t short_window_micros = 60ull * 1000 * 1000;
+    uint64_t long_window_micros = 300ull * 1000 * 1000;
+    double burn_factor = 1.0;  ///< kMaxRatio threshold multiplier
+    bool affects_readiness = false;  ///< breach drops /readyz
+    std::string description;
+  };
+
+  struct Status {
+    Objective objective;
+    bool breached = false;
+    bool has_data = false;
+    double short_value = 0.0;  ///< windowed value/fraction, short window
+    double long_value = 0.0;
+    uint64_t last_eval_micros = 0;
+  };
+
+  SloRegistry(const TimeSeriesStore* store, HealthRegistry* health);
+
+  void AddObjective(Objective objective);
+
+  /// Evaluates every objective against the ring at `now_micros`
+  /// (0 = MonoMicros()) and files breach states into HealthRegistry as
+  /// component `slo.<name>`. Call after each TimeSeriesStore sample — the
+  /// engine chains it off the sampler via the store's post-sample path or
+  /// its own periodic caller; tests call it directly for determinism.
+  void EvaluateNow(uint64_t now_micros = 0);
+
+  std::vector<Status> Statuses() const;
+
+  /// {"objectives":[{name,kind,metric,threshold,breached,...}]}
+  std::string Json() const;
+
+ private:
+  struct Eval {
+    bool breached = false;
+    bool has_data = false;
+    double short_value = 0.0;
+    double long_value = 0.0;
+  };
+
+  Eval Evaluate(const Objective& o, uint64_t now_micros) const;
+  /// Windowed value of (possibly wildcarded) `metric`; false if no data.
+  bool WindowedMax(const std::string& metric, uint64_t window_micros,
+                   double* out) const;
+  bool WindowedDelta(const std::string& metric, uint64_t window_micros,
+                     double* out) const;
+  std::vector<std::string> MatchSeries(const std::string& pattern) const;
+
+  const TimeSeriesStore* const store_;
+  HealthRegistry* const health_;
+
+  mutable std::mutex mu_;
+  std::vector<Status> statuses_;
+};
+
+}  // namespace tencentrec::obs
+
+#endif  // TENCENTREC_OBS_SLO_H_

@@ -1,0 +1,230 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace tencentrec::obs {
+
+namespace {
+
+/// Per-interval view of a histogram: cumulative `cur` minus cumulative
+/// `prev`. Interval min/max are reconstructed from the delta buckets so
+/// Percentile's clamp reflects the interval, not process lifetime.
+LatencyHistogram::Snapshot DeltaSnapshot(
+    const LatencyHistogram::Snapshot& cur,
+    const LatencyHistogram::Snapshot& prev) {
+  LatencyHistogram::Snapshot d;
+  d.count = cur.count - prev.count;
+  d.sum = cur.sum - prev.sum;
+  int first = -1;
+  int last = -1;
+  for (int b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+    const uint64_t n = cur.buckets[static_cast<size_t>(b)] -
+                       prev.buckets[static_cast<size_t>(b)];
+    d.buckets[static_cast<size_t>(b)] = n;
+    if (n > 0) {
+      if (first < 0) first = b;
+      last = b;
+    }
+  }
+  if (first >= 0) {
+    d.min = LatencyHistogram::BucketLowerBound(first);
+    d.max = LatencyHistogram::BucketUpperBound(last);
+  }
+  return d;
+}
+
+}  // namespace
+
+TimeSeriesStore::TimeSeriesStore(MetricRegistry* registry, Options options)
+    : registry_(registry), options_(options) {
+  ring_.resize(std::max<size_t>(options_.capacity, 2));
+}
+
+TimeSeriesStore::~TimeSeriesStore() { Stop(); }
+
+void TimeSeriesStore::SetPreSampleHook(
+    std::function<void(uint64_t now_micros)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pre_sample_hook_ = std::move(hook);
+}
+
+void TimeSeriesStore::SetPostSampleHook(
+    std::function<void(uint64_t now_micros)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  post_sample_hook_ = std::move(hook);
+}
+
+void TimeSeriesStore::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  sampler_ = std::thread([this] { RunSampler(); });
+}
+
+void TimeSeriesStore::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  sampler_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void TimeSeriesStore::RunSampler() {
+  const auto period = std::chrono::milliseconds(options_.sample_period_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, period, [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    auto pre = pre_sample_hook_;
+    auto post = post_sample_hook_;
+    lock.unlock();
+    const uint64_t now = MonoMicros();
+    if (pre) pre(now);
+    lock.lock();
+    CaptureLocked(now);
+    if (post) {
+      lock.unlock();
+      post(now);
+      lock.lock();
+    }
+  }
+}
+
+void TimeSeriesStore::SampleNow(uint64_t now_micros) {
+  const uint64_t now = now_micros != 0 ? now_micros : MonoMicros();
+  std::function<void(uint64_t)> pre;
+  std::function<void(uint64_t)> post;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pre = pre_sample_hook_;
+    post = post_sample_hook_;
+  }
+  if (pre) pre(now);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CaptureLocked(now);
+  }
+  if (post) post(now);
+}
+
+uint32_t TimeSeriesStore::InternLocked(const std::string& name) {
+  auto it = series_ids_.find(name);
+  if (it != series_ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(series_names_.size());
+  series_ids_.emplace(name, id);
+  series_names_.push_back(name);
+  return id;
+}
+
+void TimeSeriesStore::CaptureLocked(uint64_t now_micros) {
+  if (registry_ == nullptr) return;
+  Slot& slot = ring_[next_slot_];
+  slot.t_micros = now_micros;
+  slot.values.clear();
+
+  for (const auto& [name, value] : registry_->Counters()) {
+    slot.values.emplace_back(InternLocked(name), static_cast<double>(value));
+  }
+  for (const auto& [name, value] : registry_->Gauges()) {
+    slot.values.emplace_back(InternLocked(name), static_cast<double>(value));
+  }
+  for (const auto& [name, snap] : registry_->Histograms()) {
+    slot.values.emplace_back(InternLocked(name + ".count"),
+                             static_cast<double>(snap.count));
+    auto prev_it = prev_hist_.find(name);
+    if (prev_it != prev_hist_.end() && snap.count > prev_it->second.count) {
+      const LatencyHistogram::Snapshot d = DeltaSnapshot(snap, prev_it->second);
+      slot.values.emplace_back(InternLocked(name + ".p50"), d.Percentile(0.50));
+      slot.values.emplace_back(InternLocked(name + ".p95"), d.Percentile(0.95));
+      slot.values.emplace_back(InternLocked(name + ".p99"), d.Percentile(0.99));
+      slot.values.emplace_back(InternLocked(name + ".max"),
+                               static_cast<double>(d.max));
+    } else if (prev_it == prev_hist_.end() && snap.count > 0) {
+      // First sight of a histogram that already has data: its whole history
+      // is this "interval".
+      slot.values.emplace_back(InternLocked(name + ".p50"),
+                               snap.Percentile(0.50));
+      slot.values.emplace_back(InternLocked(name + ".p95"),
+                               snap.Percentile(0.95));
+      slot.values.emplace_back(InternLocked(name + ".p99"),
+                               snap.Percentile(0.99));
+      slot.values.emplace_back(InternLocked(name + ".max"),
+                               static_cast<double>(snap.max));
+    }
+    prev_hist_[name] = snap;
+  }
+
+  next_slot_ = (next_slot_ + 1) % ring_.size();
+  filled_ = std::min(filled_ + 1, ring_.size());
+}
+
+std::vector<TimeSeriesStore::Point> TimeSeriesStore::Series(
+    const std::string& series, uint64_t window_micros) const {
+  std::vector<Point> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_ids_.find(series);
+  if (it == series_ids_.end() || filled_ == 0) return out;
+  const uint32_t id = it->second;
+  // Oldest retained slot first.
+  const size_t start = filled_ < ring_.size()
+                           ? 0
+                           : next_slot_;  // next_slot_ is oldest when full
+  const uint64_t newest =
+      ring_[(next_slot_ + ring_.size() - 1) % ring_.size()].t_micros;
+  const uint64_t cutoff =
+      (window_micros > 0 && newest > window_micros) ? newest - window_micros
+                                                    : 0;
+  for (size_t i = 0; i < filled_; ++i) {
+    const Slot& slot = ring_[(start + i) % ring_.size()];
+    if (slot.t_micros < cutoff) continue;
+    for (const auto& [sid, v] : slot.values) {
+      if (sid == id) {
+        out.push_back({slot.t_micros, v});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> TimeSeriesStore::SeriesNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names = series_names_;
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string TimeSeriesStore::QueryJson(const std::string& series,
+                                       uint64_t window_micros) const {
+  const std::vector<Point> points = Series(series, window_micros);
+  std::string out = "{\"series\":\"";
+  for (char c : series) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  out += "\",\"window_us\":" + std::to_string(window_micros) + ",\"points\":[";
+  char buf[64];
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i != 0) out += ',';
+    std::snprintf(buf, sizeof(buf), "{\"t\":%llu,\"v\":%.6g}",
+                  static_cast<unsigned long long>(points[i].t_micros),
+                  points[i].value);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+size_t TimeSeriesStore::sample_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return filled_;
+}
+
+}  // namespace tencentrec::obs

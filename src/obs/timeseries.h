@@ -1,0 +1,128 @@
+#ifndef TENCENTREC_OBS_TIMESERIES_H_
+#define TENCENTREC_OBS_TIMESERIES_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace tencentrec::obs {
+
+/// In-process metric history: a fixed-capacity ring of periodic
+/// MetricRegistry snapshots, sampled by a background thread and queryable
+/// as JSON through the admin plane's `/timeseries` endpoint.
+///
+/// Each sample derives one scalar per series from the registry:
+///   - counter `name`          → cumulative value (window deltas are computed
+///                               at query/SLO-eval time as last - first, so
+///                               ring eviction never loses in-window counts)
+///   - gauge `name`            → instantaneous value
+///   - histogram `name`        → per-interval `name.p50/.p95/.p99/.max` from
+///                               the delta vs the previous cumulative bucket
+///                               snapshot (an interval with no observations
+///                               contributes no points), plus cumulative
+///                               `name.count`
+///
+/// Series names are interned once; each ring slot stores (series id, value)
+/// pairs, so memory is capacity × live-series × 12 bytes plus one retained
+/// histogram snapshot per histogram for delta computation. The default ring
+/// (600 slots at 1 s) keeps 10 minutes of history — enough to cover the
+/// longest SLO burn-rate window with slack (see DESIGN.md §12 on sizing).
+///
+/// SampleNow() is public so tests and the SLO engine can sample
+/// deterministically without depending on the background thread's timing.
+class TimeSeriesStore {
+ public:
+  struct Options {
+    uint64_t sample_period_ms = 1000;
+    size_t capacity = 600;  ///< ring slots
+  };
+
+  struct Point {
+    uint64_t t_micros = 0;  ///< sample instant (MonoMicros axis)
+    double value = 0.0;
+  };
+
+  TimeSeriesStore(MetricRegistry* registry, Options options);
+  explicit TimeSeriesStore(MetricRegistry* registry)
+      : TimeSeriesStore(registry, Options()) {}
+  ~TimeSeriesStore();
+
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  /// Hook run immediately before each sample (background or SampleNow) so
+  /// derived gauges — freshness lags, queue depths — are computed at the
+  /// sample instant. Set before Start().
+  void SetPreSampleHook(std::function<void(uint64_t now_micros)> hook);
+
+  /// Hook run after each sample lands in the ring (outside the lock) — the
+  /// engine chains SloRegistry::EvaluateNow here so every fresh sample is
+  /// immediately judged. Set before Start().
+  void SetPostSampleHook(std::function<void(uint64_t now_micros)> hook);
+
+  /// Starts the background sampler thread (idempotent).
+  void Start();
+  /// Stops and joins the sampler (idempotent; safe without Start).
+  void Stop();
+
+  /// Takes one sample synchronously at `now_micros` (0 = MonoMicros()).
+  void SampleNow(uint64_t now_micros = 0);
+
+  /// Points of `series` within the trailing `window_micros` (0 = everything
+  /// retained), oldest first.
+  std::vector<Point> Series(const std::string& series,
+                            uint64_t window_micros) const;
+
+  /// All interned series names, sorted.
+  std::vector<std::string> SeriesNames() const;
+
+  /// {"series":"...","window_us":N,"points":[{"t":...,"v":...},...]}
+  /// Unknown series yields an empty points array, not an error.
+  std::string QueryJson(const std::string& series,
+                        uint64_t window_micros) const;
+
+  size_t sample_count() const;
+  const Options& options() const { return options_; }
+
+ private:
+  struct Slot {
+    uint64_t t_micros = 0;
+    std::vector<std::pair<uint32_t, double>> values;  ///< (series id, value)
+  };
+
+  void RunSampler();
+  uint32_t InternLocked(const std::string& name);
+  void CaptureLocked(uint64_t now_micros);
+
+  MetricRegistry* const registry_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread sampler_;
+
+  std::function<void(uint64_t)> pre_sample_hook_;
+  std::function<void(uint64_t)> post_sample_hook_;
+
+  std::map<std::string, uint32_t> series_ids_;
+  std::vector<std::string> series_names_;  ///< id → name
+  std::vector<Slot> ring_;
+  size_t next_slot_ = 0;
+  size_t filled_ = 0;
+  /// Previous cumulative histogram snapshots for per-interval deltas.
+  std::map<std::string, LatencyHistogram::Snapshot> prev_hist_;
+};
+
+}  // namespace tencentrec::obs
+
+#endif  // TENCENTREC_OBS_TIMESERIES_H_

@@ -62,6 +62,7 @@ Status Client::Put(std::string_view key, std::string_view value) {
   auto r = WithHost(key, [&](DataServer* host, int instance) -> StatusResult {
     return host->Put(instance, key, value);
   });
+  CountOp(r.status());
   return r.status();
 }
 
@@ -69,10 +70,12 @@ Result<std::string> Client::Get(std::string_view key) {
   ScopedLatencyTimer timer(read_us_);
   ScopedSpan span(CurrentTraceId(), "tdstore.read");
   if (point_ops_ != nullptr) point_ops_->Add();
-  return WithHost(key,
-                  [&](DataServer* host, int instance) -> Result<std::string> {
-                    return host->Get(instance, key);
-                  });
+  auto r = WithHost(key,
+                    [&](DataServer* host, int instance) -> Result<std::string> {
+                      return host->Get(instance, key);
+                    });
+  CountOp(r.status());
+  return r;
 }
 
 Status Client::Delete(std::string_view key) {
@@ -82,6 +85,7 @@ Status Client::Delete(std::string_view key) {
   auto r = WithHost(key, [&](DataServer* host, int instance) -> StatusResult {
     return host->Delete(instance, key);
   });
+  CountOp(r.status());
   return r.status();
 }
 
@@ -89,18 +93,23 @@ Result<double> Client::IncrDouble(std::string_view key, double delta) {
   ScopedLatencyTimer timer(write_us_);
   ScopedSpan span(CurrentTraceId(), "tdstore.write");
   if (point_ops_ != nullptr) point_ops_->Add();
-  return WithHost(key, [&](DataServer* host, int instance) -> Result<double> {
+  auto r = WithHost(key, [&](DataServer* host, int instance) -> Result<double> {
     return host->IncrDouble(instance, key, delta);
   });
+  CountOp(r.status());
+  return r;
 }
 
 Result<int64_t> Client::IncrInt64(std::string_view key, int64_t delta) {
   ScopedLatencyTimer timer(write_us_);
   ScopedSpan span(CurrentTraceId(), "tdstore.write");
   if (point_ops_ != nullptr) point_ops_->Add();
-  return WithHost(key, [&](DataServer* host, int instance) -> Result<int64_t> {
-    return host->IncrInt64(instance, key, delta);
-  });
+  auto r =
+      WithHost(key, [&](DataServer* host, int instance) -> Result<int64_t> {
+        return host->IncrInt64(instance, key, delta);
+      });
+  CountOp(r.status());
+  return r;
 }
 
 Result<double> Client::GetDouble(std::string_view key, double fallback) {
@@ -188,6 +197,9 @@ Status Client::GroupedDispatch(size_t n, KeyOf key_of, MakeItem make_item,
     std::sort(failed.begin(), failed.end());
     pending = std::move(failed);
   }
+  // Final per-key verdicts feed the error-rate instruments once, after
+  // retries have had their say.
+  for (const OutT& o : *out) CountOp(StatusOf(o));
   return Status::OK();
 }
 

@@ -36,6 +36,8 @@ class Client {
       batch_ops_ = reg.GetCounter("tdstore.client.batch_ops");
       batch_keys_ = reg.GetCounter("tdstore.client.batch_keys");
       host_batches_ = reg.GetCounter("tdstore.client.host_batches");
+      ops_ = reg.GetCounter("tdstore.client.ops");
+      errors_ = reg.GetCounter("tdstore.client.errors");
     }
   }
 
@@ -119,10 +121,21 @@ class Client {
   LatencyHistogram* write_us_ = nullptr;
   LatencyHistogram* batch_read_us_ = nullptr;
   LatencyHistogram* batch_write_us_ = nullptr;
+  /// Counts one key-level operation outcome into ops_/errors_ — the
+  /// numerator/denominator pair behind the store-error-rate SLO. NotFound
+  /// is a valid answer, not an error.
+  void CountOp(const Status& s) {
+    if (ops_ == nullptr) return;
+    ops_->Add();
+    if (!s.ok() && !s.IsNotFound() && errors_ != nullptr) errors_->Add();
+  }
+
   Counter* point_ops_ = nullptr;
   Counter* batch_ops_ = nullptr;    ///< logical Multi* calls
   Counter* batch_keys_ = nullptr;   ///< items carried by those calls
   Counter* host_batches_ = nullptr; ///< per-host server calls dispatched
+  Counter* ops_ = nullptr;          ///< key-level operations completed
+  Counter* errors_ = nullptr;       ///< of those, non-NotFound failures
 };
 
 }  // namespace tencentrec::tdstore

@@ -65,6 +65,8 @@ void StoreBolt::Prepare(const tstorm::TaskContext& ctx) {
              : nullptr;
   span_name_ = ctx.component_name;
   flush_span_name_ = ctx.component_name + ".flush";
+  freshness_ = obs::FreshnessTracker::Default().RegisterSlot(
+      ctx.component_name.empty() ? "bolt" : ctx.component_name);
 }
 
 Status StoreBolt::FlushCombinerBatched(Combiner* combiner) {
@@ -123,6 +125,8 @@ void PretreatmentBolt::Execute(const tstorm::Tuple& input,
   }
   ScopedSpan span(action->trace_id, span_name_);
   out.Emit(ActionToTuple(*action));
+  // Pass-through stage: forwarding IS full processing here.
+  AdvanceFreshness(action->ingest_micros);
 }
 
 // --- UserHistoryBolt --------------------------------------------------------
@@ -181,7 +185,7 @@ void UserHistoryBolt::Execute(const tstorm::Tuple& input,
     TR_LOG(kError, "user history write failed: %s", put.ToString().c_str());
     return;
   }
-  RecordEventToStore(action->ingest_micros);
+  RecordEventToStore(action->ingest_micros, action->trace_id);
 
   if (update.rating_delta > 0.0) {
     out.EmitTo(0, tstorm::Tuple::Of({update.item, update.rating_delta,
@@ -216,6 +220,7 @@ void ItemCountBolt::Execute(const tstorm::Tuple& input,
         (oldest_pending_ingest_ == 0 || ingest < oldest_pending_ingest_)) {
       oldest_pending_ingest_ = ingest;
     }
+    pending_max_ingest_ = std::max(pending_max_ingest_, ingest);
     if (oldest_pending_trace_ == 0) oldest_pending_trace_ = trace;
   } else {
     auto r = cache_->AddDouble(key, delta);
@@ -224,14 +229,15 @@ void ItemCountBolt::Execute(const tstorm::Tuple& input,
              r.status().ToString().c_str());
       return;
     }
-    RecordEventToStore(ingest);
+    RecordEventToStore(ingest, trace);
   }
   (void)out;
 }
 
 void ItemCountBolt::Tick(tstorm::OutputCollector& out) {
   (void)out;
-  ScopedSpan span(oldest_pending_trace_, flush_span_name_);
+  const uint64_t flush_trace = oldest_pending_trace_;
+  ScopedSpan span(flush_trace, flush_span_name_);
   oldest_pending_trace_ = 0;
   Status s = writer_ != nullptr
                  ? FlushCombinerBatched(&combiner_)
@@ -242,8 +248,10 @@ void ItemCountBolt::Tick(tstorm::OutputCollector& out) {
     TR_LOG(kError, "itemCount flush failed: %s", s.ToString().c_str());
     return;
   }
-  RecordEventToStore(oldest_pending_ingest_);
+  RecordEventToStore(oldest_pending_ingest_, flush_trace);
+  AdvanceFreshness(pending_max_ingest_);
   oldest_pending_ingest_ = 0;
+  pending_max_ingest_ = 0;
 }
 
 // --- CfPairBolt -------------------------------------------------------------
@@ -273,6 +281,8 @@ void CfPairBolt::Execute(const tstorm::Tuple& input,
     auto flag = cache_->Get(keys().Pruned(lo, hi));
     if (flag.ok()) {
       ++pruned_skips_;
+      // Skipping a pruned pair completes the tuple.
+      AdvanceFreshness(static_cast<uint64_t>(ingest));
       return;
     }
     if (!flag.status().IsNotFound()) {
@@ -291,7 +301,8 @@ void CfPairBolt::Execute(const tstorm::Tuple& input,
     return;
   }
   ++pair_updates_;
-  RecordEventToStore(static_cast<uint64_t>(ingest));
+  RecordEventToStore(static_cast<uint64_t>(ingest),
+                     static_cast<uint64_t>(trace));
 
   // Read the windowed sums and combine into the new similarity (Eq. 5/10).
   // itemCounts are maintained by ItemCountBolt; the statistics/computation
@@ -383,14 +394,21 @@ void SimilarListBolt::Execute(const tstorm::Tuple& input,
     changed = UpsertScored(&list, other, sim,
                            static_cast<size_t>(options().top_k));
   }
-  if (!changed) return;
+  if (!changed) {
+    // No-op upsert: the tuple is fully handled, just nothing to write.
+    if (!is_prune) AdvanceFreshness(static_cast<uint64_t>(input.GetInt(3)));
+    return;
+  }
 
   Status s = cache_->Put(key, EncodeScoredList(list));
   if (!s.ok()) {
     TR_LOG(kError, "similar list write failed: %s", s.ToString().c_str());
     return;
   }
-  if (!is_prune) RecordEventToStore(static_cast<uint64_t>(input.GetInt(3)));
+  if (!is_prune) {
+    RecordEventToStore(static_cast<uint64_t>(input.GetInt(3)),
+                       static_cast<uint64_t>(input.GetInt(4)));
+  }
   // Publish the admission threshold for the pruning stage: the K-th best
   // score once the list is full, else 0 (everything admissible).
   const double threshold =
@@ -428,19 +446,22 @@ void GroupCountBolt::Execute(const tstorm::Tuple& input,
         (oldest_pending_ingest_ == 0 || stamp < oldest_pending_ingest_)) {
       oldest_pending_ingest_ = stamp;
     }
+    pending_max_ingest_ = std::max(pending_max_ingest_, stamp);
     if (oldest_pending_trace_ == 0) {
       oldest_pending_trace_ = static_cast<uint64_t>(trace);
     }
   } else {
     auto r = cache_->AddDouble(key, delta);
     if (!r.ok()) return;
-    RecordEventToStore(static_cast<uint64_t>(ingest));
+    RecordEventToStore(static_cast<uint64_t>(ingest),
+                       static_cast<uint64_t>(trace));
     out.Emit(tstorm::Tuple::Of({group, item, ts, ingest, trace}));
   }
 }
 
 void GroupCountBolt::Tick(tstorm::OutputCollector& out) {
-  ScopedSpan span(oldest_pending_trace_, flush_span_name_);
+  const uint64_t flush_trace = oldest_pending_trace_;
+  ScopedSpan span(flush_trace, flush_span_name_);
   oldest_pending_trace_ = 0;
   Status s = writer_ != nullptr
                  ? FlushCombinerBatched(&combiner_)
@@ -451,12 +472,17 @@ void GroupCountBolt::Tick(tstorm::OutputCollector& out) {
     TR_LOG(kError, "group count flush failed: %s", s.ToString().c_str());
     return;
   }
-  RecordEventToStore(oldest_pending_ingest_);
+  RecordEventToStore(oldest_pending_ingest_, flush_trace);
+  AdvanceFreshness(pending_max_ingest_);
+  // Forward the flushed batch's watermark downstream: everything buffered up
+  // to pending_max_ingest_ is now landed, so the hot-list stage may advance
+  // that far once it re-derives the touched groups.
+  const auto flush_ingest = static_cast<int64_t>(pending_max_ingest_);
   oldest_pending_ingest_ = 0;
+  pending_max_ingest_ = 0;
   for (const auto& [group, item] : touched_) {
-    out.Emit(tstorm::Tuple::Of({group, item, latest_ts_,
-                                static_cast<int64_t>(0),
-                                static_cast<int64_t>(0)}));
+    out.Emit(tstorm::Tuple::Of({group, item, latest_ts_, flush_ingest,
+                                static_cast<int64_t>(flush_trace)}));
   }
   touched_.clear();
 }
@@ -501,7 +527,8 @@ void HotListBolt::Execute(const tstorm::Tuple& input,
     TR_LOG(kError, "hot list write failed: %s", s.ToString().c_str());
     return;
   }
-  RecordEventToStore(static_cast<uint64_t>(input.GetInt(3)));
+  RecordEventToStore(static_cast<uint64_t>(input.GetInt(3)),
+                     static_cast<uint64_t>(input.GetInt(4)));
 }
 
 // --- CtrStatsBolt -----------------------------------------------------------
@@ -537,15 +564,17 @@ void CtrStatsBolt::Execute(const tstorm::Tuple& input,
         (oldest_pending_ingest_ == 0 || stamp < oldest_pending_ingest_)) {
       oldest_pending_ingest_ = stamp;
     }
+    pending_max_ingest_ = std::max(pending_max_ingest_, stamp);
     if (oldest_pending_trace_ == 0) oldest_pending_trace_ = action->trace_id;
   } else {
-    RecordEventToStore(action->ingest_micros);
+    RecordEventToStore(action->ingest_micros, action->trace_id);
   }
 }
 
 void CtrStatsBolt::Tick(tstorm::OutputCollector& out) {
   (void)out;
-  ScopedSpan span(oldest_pending_trace_, flush_span_name_);
+  const uint64_t flush_trace = oldest_pending_trace_;
+  ScopedSpan span(flush_trace, flush_span_name_);
   oldest_pending_trace_ = 0;
   Status s = writer_ != nullptr
                  ? FlushCombinerBatched(&combiner_)
@@ -556,8 +585,10 @@ void CtrStatsBolt::Tick(tstorm::OutputCollector& out) {
     TR_LOG(kError, "ctr flush failed: %s", s.ToString().c_str());
     return;
   }
-  RecordEventToStore(oldest_pending_ingest_);
+  RecordEventToStore(oldest_pending_ingest_, flush_trace);
+  AdvanceFreshness(pending_max_ingest_);
   oldest_pending_ingest_ = 0;
+  pending_max_ingest_ = 0;
 }
 
 // --- CbProfileBolt ----------------------------------------------------------
@@ -622,7 +653,7 @@ void CbProfileBolt::Execute(const tstorm::Tuple& input,
     TR_LOG(kError, "profile write failed: %s", s.ToString().c_str());
     return;
   }
-  RecordEventToStore(action->ingest_micros);
+  RecordEventToStore(action->ingest_micros, action->trace_id);
 }
 
 // --- ResultStorageBolt ------------------------------------------------------
@@ -643,25 +674,37 @@ void ResultStorageBolt::Execute(const tstorm::Tuple& input,
     t.ingest_micros = action->ingest_micros;
   }
   if (t.trace_id == 0) t.trace_id = action->trace_id;
+  pending_max_ingest_ = std::max(pending_max_ingest_, action->ingest_micros);
 }
 
 void ResultStorageBolt::Tick(tstorm::OutputCollector& out) {
   (void)out;
   if (pending_.empty()) return;
   StoreQuery query(app_);
+  size_t failures = 0;
   for (const auto& [user, touched] : pending_) {
     ScopedSpan span(touched.trace_id, flush_span_name_);
     auto recs = query.Recommend(user, touched.demographics,
                                 static_cast<size_t>(options().top_k),
                                 touched.ts);
-    if (!recs.ok()) continue;
+    if (!recs.ok()) {
+      ++failures;
+      continue;
+    }
     Status s = client_->Put(keys().Results(user), EncodeScoredList(*recs));
-    if (!s.ok()) continue;
+    if (!s.ok()) {
+      ++failures;
+      continue;
+    }
     ++results_written_;
     // Event -> final recommendation blob: the paper's headline freshness
     // number, measured from the oldest action folded into this refresh.
-    RecordEventToStore(touched.ingest_micros);
+    RecordEventToStore(touched.ingest_micros, touched.trace_id);
   }
+  // Every pending action has been served only if no refresh failed; a
+  // partial tick keeps the watermark where the per-user records put it.
+  if (failures == 0) AdvanceFreshness(pending_max_ingest_);
+  pending_max_ingest_ = 0;
   pending_.clear();
 }
 

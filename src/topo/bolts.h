@@ -8,6 +8,7 @@
 
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "obs/freshness.h"
 #include "tdstore/batch_writer.h"
 #include "tdstore/client.h"
 #include "topo/action_codec.h"
@@ -55,14 +56,31 @@ class StoreBolt : public tstorm::IBolt {
       EventTime now, bool use_cache);
 
   /// Records `now - ingest_micros` against this component's event-to-store
-  /// histogram ("topo.<app>.<component>.event_to_store_us"). Call right
-  /// after the derived state lands in TDStore. No-op for unstamped tuples
-  /// (ingest == 0) or when metrics were disabled at Prepare time, so the
-  /// hot path pays nothing but this branch.
-  void RecordEventToStore(uint64_t ingest_micros) {
+  /// histogram ("topo.<app>.<component>.event_to_store_us") and advances
+  /// this instance's freshness watermark. Call right after the derived
+  /// state lands in TDStore. A traced tuple's id is captured as the
+  /// bucket's exemplar, linking /metrics to /traces. No-op for unstamped
+  /// tuples (ingest == 0); with metrics disabled at Prepare time only the
+  /// watermark advances (freshness is an obs-plane invariant, not a
+  /// measurement).
+  void RecordEventToStore(uint64_t ingest_micros, uint64_t trace_id = 0) {
+    freshness_.Advance(ingest_micros);
     if (e2s_ == nullptr || ingest_micros == 0) return;
     const uint64_t now = MonoMicros();
-    e2s_->Record(now > ingest_micros ? now - ingest_micros : 0);
+    const uint64_t latency = now > ingest_micros ? now - ingest_micros : 0;
+    if (trace_id != 0) {
+      e2s_->RecordWithExemplar(latency, trace_id);
+    } else {
+      e2s_->Record(latency);
+    }
+  }
+
+  /// Watermark-only advance, for completion paths with no store write (a
+  /// pass-through emit, a no-change upsert) and for combiner flushes, which
+  /// land everything buffered up to the *max* pending stamp while the
+  /// latency histogram gets the honest *oldest* stamp.
+  void AdvanceFreshness(uint64_t ingest_micros) {
+    freshness_.Advance(ingest_micros);
   }
 
   const AppContext* app_;
@@ -71,6 +89,8 @@ class StoreBolt : public tstorm::IBolt {
   std::unique_ptr<StoreCache> cache_;
   std::unique_ptr<tdstore::BatchWriter> writer_;
   LatencyHistogram* e2s_ = nullptr;
+  /// This instance's event-time watermark register (stage = component name).
+  obs::FreshnessTracker::ScopedSlot freshness_;
   /// Span names for this component's hops, resolved once in Prepare so the
   /// per-tuple ScopedSpan constructors never allocate. Stable for the task's
   /// lifetime, as ScopedSpan requires.
@@ -140,6 +160,9 @@ class ItemCountBolt : public StoreBolt {
   /// Oldest ingest stamp buffered in the combiner; its delta is recorded
   /// once per flush, when those counts actually reach the store.
   uint64_t oldest_pending_ingest_ = 0;
+  /// Newest buffered stamp: the watermark this instance reaches once the
+  /// flush lands (latency reports the oldest, the watermark the newest).
+  uint64_t pending_max_ingest_ = 0;
   /// First sampled trace id buffered since the last flush (arrival order =
   /// oldest); the flush span is attributed to it.
   uint64_t oldest_pending_trace_ = 0;
@@ -224,6 +247,7 @@ class GroupCountBolt : public StoreBolt {
   std::set<std::pair<int64_t, int64_t>> touched_;  ///< (group, item)
   EventTime latest_ts_ = 0;
   uint64_t oldest_pending_ingest_ = 0;
+  uint64_t pending_max_ingest_ = 0;
   uint64_t oldest_pending_trace_ = 0;
 };
 
@@ -255,6 +279,7 @@ class CtrStatsBolt : public StoreBolt {
  private:
   Combiner combiner_;
   uint64_t oldest_pending_ingest_ = 0;
+  uint64_t pending_max_ingest_ = 0;
   uint64_t oldest_pending_trace_ = 0;
 };
 
@@ -300,6 +325,9 @@ class ResultStorageBolt : public StoreBolt {
     uint64_t trace_id = 0;
   };
   std::unordered_map<int64_t, TouchedUser> pending_;
+  /// Newest ingest stamp across all pending users; the instance watermark
+  /// once a fully successful Tick has refreshed every touched user.
+  uint64_t pending_max_ingest_ = 0;
   int64_t results_written_ = 0;
 };
 

@@ -5,6 +5,8 @@
 namespace tencentrec::topo {
 
 void TdAccessActionSpout::Open(const tstorm::TaskContext& ctx) {
+  freshness_ = obs::FreshnessTracker::Default().RegisterSlot(
+      ctx.component_name.empty() ? "spout" : ctx.component_name);
   consumer_ = std::make_unique<tdaccess::Consumer>(
       cluster_, topic_, group_,
       ctx.component_name + "#" + std::to_string(ctx.instance));
@@ -40,6 +42,7 @@ bool TdAccessActionSpout::NextBatch(tstorm::OutputCollector& out) {
     if (action->trace_id == 0) action->trace_id = MaybeStartTrace();
     ScopedSpan span(action->trace_id, "spout");
     out.Emit(ActionToTuple(*action));
+    freshness_.Advance(action->ingest_micros);
   }
   return true;
 }

@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "obs/freshness.h"
 #include "tdaccess/consumer.h"
 #include "topo/action_codec.h"
 
@@ -28,6 +29,8 @@ class VectorActionSpout : public tstorm::ISpout {
   void Open(const tstorm::TaskContext& ctx) override {
     next_ = static_cast<size_t>(ctx.instance);
     stride_ = static_cast<size_t>(ctx.parallelism);
+    freshness_ = obs::FreshnessTracker::Default().RegisterSlot(
+        ctx.component_name.empty() ? "spout" : ctx.component_name);
   }
 
   bool NextBatch(tstorm::OutputCollector& out) override {
@@ -43,6 +46,9 @@ class VectorActionSpout : public tstorm::ISpout {
       if (action.trace_id == 0) action.trace_id = MaybeStartTrace();
       ScopedSpan span(action.trace_id, "spout");
       out.Emit(ActionToTuple(action));
+      // Emitted watermark: everything this instance will ever emit at or
+      // below this stamp is now in flight.
+      freshness_.Advance(action.ingest_micros);
       next_ += stride_;
       ++emitted;
     }
@@ -54,6 +60,7 @@ class VectorActionSpout : public tstorm::ISpout {
   const size_t batch_size_;
   size_t next_ = 0;
   size_t stride_ = 1;
+  obs::FreshnessTracker::ScopedSlot freshness_;
 };
 
 /// Consumes action payloads from a TDAccess topic until caught up, then
@@ -85,6 +92,7 @@ class TdAccessActionSpout : public tstorm::ISpout {
   const size_t poll_batch_;
   std::unique_ptr<tdaccess::Consumer> consumer_;
   int64_t decode_errors_ = 0;
+  obs::FreshnessTracker::ScopedSlot freshness_;
 };
 
 }  // namespace tencentrec::topo

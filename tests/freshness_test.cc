@@ -1,0 +1,351 @@
+// The freshness/SLO plane in isolation: event-time watermarks under
+// out-of-order stamps, the time-series ring's delta semantics, and
+// burn-rate SLO evaluation feeding readiness.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "obs/freshness.h"
+#include "obs/health.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+
+namespace tencentrec {
+namespace {
+
+using obs::FreshnessTracker;
+using obs::HealthRegistry;
+using obs::SloRegistry;
+using obs::TimeSeriesStore;
+
+// --- FreshnessTracker -------------------------------------------------------
+
+TEST(FreshnessTrackerTest, OutOfOrderStampsNeverRegressTheWatermark) {
+  FreshnessTracker tracker;
+  auto slot = tracker.RegisterSlot("bolt");
+  slot.Advance(1000);
+  slot.Advance(400);  // late data
+  slot.Advance(0);    // unstamped tuple
+  EXPECT_EQ(tracker.StageWatermark("bolt"), 1000u);
+  slot.Advance(2500);
+  slot.Advance(2499);
+  EXPECT_EQ(tracker.StageWatermark("bolt"), 2500u);
+}
+
+TEST(FreshnessTrackerTest, StageWatermarkIsMinOverSlotsThatSawData) {
+  FreshnessTracker tracker;
+  auto a = tracker.RegisterSlot("bolt");
+  auto b = tracker.RegisterSlot("bolt");
+  auto idle = tracker.RegisterSlot("bolt");  // never advances
+  a.Advance(900);
+  b.Advance(600);
+  // min over live slots with data; the idle slot must not pin at 0.
+  EXPECT_EQ(tracker.StageWatermark("bolt"), 600u);
+
+  const auto lags = tracker.Lags(/*now=*/1000);
+  ASSERT_EQ(lags.size(), 1u);
+  EXPECT_EQ(lags[0].stage, "bolt");
+  EXPECT_EQ(lags[0].watermark_micros, 600u);
+  EXPECT_EQ(lags[0].lag_micros, 400u);  // hand-computed: 1000 - 600
+  EXPECT_EQ(lags[0].live_slots, 2);
+}
+
+TEST(FreshnessTrackerTest, HandComputedLagsOnASeededMultiStageRun) {
+  FreshnessTracker tracker;
+  auto spout = tracker.RegisterSlot("spout");
+  auto bolt1 = tracker.RegisterSlot("count");
+  auto bolt2 = tracker.RegisterSlot("count");
+  auto sink = tracker.RegisterSlot("store");
+
+  // A seeded run: the spout emitted through t=5000, the two count
+  // instances processed through 4000 and 3000, the sink through 2000 —
+  // stamps arriving out of order at every stage.
+  for (uint64_t t : {1000u, 3000u, 2000u, 5000u, 4000u}) spout.Advance(t);
+  for (uint64_t t : {4000u, 1000u}) bolt1.Advance(t);
+  for (uint64_t t : {2000u, 3000u, 2500u}) bolt2.Advance(t);
+  sink.Advance(2000);
+
+  const auto lags = tracker.Lags(/*now=*/6000);
+  ASSERT_EQ(lags.size(), 3u);  // sorted by stage name
+  EXPECT_EQ(lags[0].stage, "count");
+  EXPECT_EQ(lags[0].watermark_micros, 3000u);  // min(4000, 3000)
+  EXPECT_EQ(lags[0].lag_micros, 3000u);
+  EXPECT_EQ(lags[1].stage, "spout");
+  EXPECT_EQ(lags[1].watermark_micros, 5000u);
+  EXPECT_EQ(lags[1].lag_micros, 1000u);
+  EXPECT_EQ(lags[2].stage, "store");
+  EXPECT_EQ(lags[2].watermark_micros, 2000u);
+  EXPECT_EQ(lags[2].lag_micros, 4000u);
+
+  // End-to-end: the pipeline has durably processed everything <= 2000.
+  EXPECT_EQ(tracker.EndToEndLag(6000), 4000u);
+}
+
+TEST(FreshnessTrackerTest, EndToEndLagIsZeroUntilEveryStageSawData) {
+  FreshnessTracker tracker;
+  auto a = tracker.RegisterSlot("spout");
+  auto b = tracker.RegisterSlot("store");
+  a.Advance(5000);
+  EXPECT_EQ(tracker.EndToEndLag(9000), 0u);  // store never saw data
+  b.Advance(1000);
+  EXPECT_EQ(tracker.EndToEndLag(9000), 8000u);
+}
+
+TEST(FreshnessTrackerTest, CleanRetirementFoldsIntoTheStageWatermark) {
+  FreshnessTracker tracker;
+  {
+    auto slot = tracker.RegisterSlot("bolt");
+    slot.Advance(7000);
+  }  // retires: a drained run processed everything it emitted
+  EXPECT_EQ(tracker.StageWatermark("bolt"), 7000u);
+  // A new instance that lags does not drag the stage below the retired
+  // mark (max(retired, live-min) semantics).
+  auto young = tracker.RegisterSlot("bolt");
+  young.Advance(6000);
+  EXPECT_EQ(tracker.StageWatermark("bolt"), 7000u);
+  young.Advance(8000);
+  EXPECT_EQ(tracker.StageWatermark("bolt"), 8000u);
+}
+
+TEST(FreshnessTrackerTest, PublishGaugesWritesLagAndWatermarkSeries) {
+  SetMetricsEnabled(true);
+  FreshnessTracker tracker;
+  auto slot = tracker.RegisterSlot("stage-x");
+  slot.Advance(1500);
+  MetricRegistry registry;
+  tracker.PublishGauges(&registry, /*now=*/2000);
+  bool saw_lag = false;
+  bool saw_watermark = false;
+  bool saw_e2e = false;
+  for (const auto& [name, value] : registry.Gauges()) {
+    if (name == "freshness.stage-x.lag_us") {
+      saw_lag = true;
+      EXPECT_EQ(value, 500);
+    } else if (name == "freshness.stage-x.watermark_us") {
+      saw_watermark = true;
+      EXPECT_EQ(value, 1500);
+    } else if (name == "freshness.e2e.lag_us") {
+      saw_e2e = true;
+      EXPECT_EQ(value, 500);
+    }
+  }
+  EXPECT_TRUE(saw_lag);
+  EXPECT_TRUE(saw_watermark);
+  EXPECT_TRUE(saw_e2e);
+}
+
+// --- TimeSeriesStore --------------------------------------------------------
+
+TEST(TimeSeriesStoreTest, CountersStayCumulativeAndGaugesInstantaneous) {
+  SetMetricsEnabled(true);
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("ops");
+  Gauge* g = registry.GetGauge("depth");
+  TimeSeriesStore::Options opts;
+  opts.capacity = 8;
+  TimeSeriesStore store(&registry, opts);
+
+  c->Add(10);
+  g->Set(3);
+  store.SampleNow(1000);
+  c->Add(5);
+  g->Set(7);
+  store.SampleNow(2000);
+
+  const auto ops = store.Series("ops", 0);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].value, 10.0);
+  EXPECT_EQ(ops[1].value, 15.0);  // cumulative, not per-interval
+  const auto depth = store.Series("depth", 0);
+  ASSERT_EQ(depth.size(), 2u);
+  EXPECT_EQ(depth[0].value, 3.0);
+  EXPECT_EQ(depth[1].value, 7.0);
+  EXPECT_EQ(store.sample_count(), 2u);
+}
+
+TEST(TimeSeriesStoreTest, HistogramPercentilesArePerInterval) {
+  SetMetricsEnabled(true);
+  MetricRegistry registry;
+  LatencyHistogram* h = registry.GetHistogram("lat");
+  TimeSeriesStore store(&registry, TimeSeriesStore::Options{});
+
+  for (int i = 0; i < 100; ++i) h->Record(100);  // slow interval
+  store.SampleNow(1000);
+  for (int i = 0; i < 100; ++i) h->Record(5);  // fast interval
+  store.SampleNow(2000);
+
+  const auto p99 = store.Series("lat.p99", 0);
+  ASSERT_EQ(p99.size(), 2u);
+  // First sample sees the whole history (all 100us); the second interval
+  // holds only the fast records, so its p99 must NOT be dragged up by the
+  // first interval's slow ones.
+  EXPECT_GE(p99[0].value, 100.0);
+  EXPECT_LT(p99[1].value, 100.0);
+  const auto count = store.Series("lat.count", 0);
+  ASSERT_EQ(count.size(), 2u);
+  EXPECT_EQ(count[1].value, 200.0);  // cumulative
+
+  // An idle interval contributes a count point but no percentile point.
+  store.SampleNow(3000);
+  EXPECT_EQ(store.Series("lat.p99", 0).size(), 2u);
+  EXPECT_EQ(store.Series("lat.count", 0).size(), 3u);
+}
+
+TEST(TimeSeriesStoreTest, RingEvictsOldestAndWindowsAnchorAtNewest) {
+  SetMetricsEnabled(true);
+  MetricRegistry registry;
+  Gauge* g = registry.GetGauge("v");
+  TimeSeriesStore::Options opts;
+  opts.capacity = 4;
+  TimeSeriesStore store(&registry, opts);
+  for (int i = 1; i <= 6; ++i) {
+    g->Set(i);
+    store.SampleNow(static_cast<uint64_t>(i) * 1000);
+  }
+  const auto all = store.Series("v", 0);
+  ASSERT_EQ(all.size(), 4u);  // 2 oldest evicted
+  EXPECT_EQ(all.front().value, 3.0);
+  EXPECT_EQ(all.back().value, 6.0);
+  // Window of 1000us anchored at newest (t=6000): keeps t in [5000, 6000].
+  const auto windowed = store.Series("v", 1000);
+  ASSERT_EQ(windowed.size(), 2u);
+  EXPECT_EQ(windowed.front().value, 5.0);
+}
+
+TEST(TimeSeriesStoreTest, QueryJsonShapes) {
+  SetMetricsEnabled(true);
+  MetricRegistry registry;
+  registry.GetGauge("g")->Set(42);
+  TimeSeriesStore store(&registry, TimeSeriesStore::Options{});
+  store.SampleNow(5000);
+  const std::string json = store.QueryJson("g", 0);
+  EXPECT_NE(json.find("\"series\":\"g\""), std::string::npos);
+  EXPECT_NE(json.find("{\"t\":5000,\"v\":42}"), std::string::npos);
+  // Unknown series: empty points, not an error.
+  EXPECT_NE(store.QueryJson("nope", 0).find("\"points\":[]"),
+            std::string::npos);
+}
+
+// --- SloRegistry ------------------------------------------------------------
+
+TEST(SloRegistryTest, MaxValueBreachNeedsBothWindowsAndFeedsReadiness) {
+  SetMetricsEnabled(true);
+  MetricRegistry registry;
+  Gauge* lag = registry.GetGauge("freshness.e2e.lag_us");
+  TimeSeriesStore::Options topts;
+  topts.capacity = 64;
+  TimeSeriesStore store(&registry, topts);
+  HealthRegistry health;
+  health.SetReady(true);
+  SloRegistry slo(&store, &health);
+  SloRegistry::Objective o;
+  o.name = "freshness";
+  o.kind = SloRegistry::Kind::kMaxValue;
+  o.metric = "freshness.e2e.lag_us";
+  o.threshold = 5000.0;
+  o.short_window_micros = 10 * 1000;
+  o.long_window_micros = 50 * 1000;
+  o.affects_readiness = true;
+  slo.AddObjective(o);
+
+  // Healthy sample: under threshold -> not breached, ready.
+  lag->Set(1000);
+  store.SampleNow(1000);
+  slo.EvaluateNow(1000);
+  ASSERT_EQ(slo.Statuses().size(), 1u);
+  EXPECT_FALSE(slo.Statuses()[0].breached);
+  EXPECT_TRUE(slo.Statuses()[0].has_data);
+  EXPECT_TRUE(health.Ready());
+
+  // Breach sample: over threshold in both windows within one evaluation.
+  lag->Set(9000);
+  store.SampleNow(2000);
+  slo.EvaluateNow(2000);
+  EXPECT_TRUE(slo.Statuses()[0].breached);
+  EXPECT_FALSE(health.Ready());    // affects_readiness gates /readyz
+  EXPECT_FALSE(health.Healthy());  // and degrades /healthz
+  EXPECT_NE(health.Json().find("slo.freshness"), std::string::npos);
+
+  // Recovery: once the bad sample ages out of both windows (windows anchor
+  // at the newest sample), the objective clears and readiness returns.
+  lag->Set(100);
+  store.SampleNow(2000 + 60 * 1000);
+  slo.EvaluateNow(2000 + 60 * 1000);
+  EXPECT_FALSE(slo.Statuses()[0].breached);
+  EXPECT_TRUE(health.Ready());
+}
+
+TEST(SloRegistryTest, MaxRatioComputesWindowDeltasOverCumulativeCounters) {
+  SetMetricsEnabled(true);
+  MetricRegistry registry;
+  Counter* errors = registry.GetCounter("store.errors");
+  Counter* ops = registry.GetCounter("store.ops");
+  TimeSeriesStore store(&registry, TimeSeriesStore::Options{});
+  HealthRegistry health;
+  SloRegistry slo(&store, &health);
+  SloRegistry::Objective o;
+  o.name = "errors";
+  o.kind = SloRegistry::Kind::kMaxRatio;
+  o.metric = "store.errors";
+  o.denominator = "store.ops";
+  o.threshold = 0.001;  // 0.1% budget
+  o.short_window_micros = 10 * 1000;
+  o.long_window_micros = 10 * 1000;
+  slo.AddObjective(o);
+
+  // 1000 ops, 0 errors.
+  ops->Add(1000);
+  store.SampleNow(1000);
+  store.SampleNow(2000);
+  slo.EvaluateNow(2000);
+  EXPECT_FALSE(slo.Statuses()[0].breached);
+
+  // 50 errors in 100 more ops: windowed fraction 50/100 >> 0.1%.
+  errors->Add(50);
+  ops->Add(100);
+  store.SampleNow(3000);
+  slo.EvaluateNow(3000);
+  EXPECT_TRUE(slo.Statuses()[0].breached);
+  EXPECT_GT(slo.Statuses()[0].short_value, 0.1);
+}
+
+TEST(SloRegistryTest, WildcardAggregatesWithMaxAndNoDataIsNotBreached) {
+  SetMetricsEnabled(true);
+  MetricRegistry registry;
+  TimeSeriesStore store(&registry, TimeSeriesStore::Options{});
+  HealthRegistry health;
+  SloRegistry slo(&store, &health);
+  SloRegistry::Objective o;
+  o.name = "p99";
+  o.kind = SloRegistry::Kind::kMaxValue;
+  o.metric = "topo.app.*.p99";
+  o.threshold = 100.0;
+  o.short_window_micros = 10 * 1000;
+  o.long_window_micros = 10 * 1000;
+  slo.AddObjective(o);
+
+  // Empty ring: no data, explicitly not breached.
+  slo.EvaluateNow(500);
+  EXPECT_FALSE(slo.Statuses()[0].breached);
+  EXPECT_FALSE(slo.Statuses()[0].has_data);
+
+  registry.GetGauge("topo.app.fast.p99")->Set(10);
+  registry.GetGauge("topo.app.slow.p99")->Set(900);
+  registry.GetGauge("unrelated.p99")->Set(99999);
+  store.SampleNow(1000);
+  slo.EvaluateNow(1000);
+  // As slow as the slowest matching component, ignoring non-matches.
+  EXPECT_TRUE(slo.Statuses()[0].breached);
+  EXPECT_EQ(slo.Statuses()[0].short_value, 900.0);
+
+  const std::string json = slo.Json();
+  EXPECT_NE(json.find("\"name\":\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"breached\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"max_value\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tencentrec

@@ -108,22 +108,38 @@ TEST(MonitorFormatTest, JsonExportShape) {
   EXPECT_EQ(brackets, 0);
 }
 
-/// Minimal Prometheus text-exposition validator: every non-comment line is
-/// `metric_name{labels} value`, histogram bucket series are cumulative and
-/// non-decreasing, and every histogram's +Inf bucket equals its _count.
+/// Minimal OpenMetrics text-exposition validator: every non-comment line is
+/// `metric_name{labels} value` (bucket lines may carry a
+/// `# {trace_id="..."} ts` exemplar annotation), histogram bucket series are
+/// cumulative and non-decreasing, every histogram's +Inf bucket equals its
+/// _count, and the document ends with `# EOF`.
 void ValidatePrometheusText(const std::string& text) {
   std::map<std::string, uint64_t> last_bucket;   // series -> last cumulative
   std::map<std::string, uint64_t> inf_bucket;    // series -> +Inf value
   std::map<std::string, uint64_t> count_series;  // series -> _count value
   std::istringstream in(text);
   std::string line;
+  bool saw_eof = false;
   while (std::getline(in, line)) {
     ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    EXPECT_FALSE(saw_eof) << "content after # EOF: " << line;
     if (line[0] == '#') {
+      if (line == "# EOF") {
+        saw_eof = true;
+        continue;
+      }
       EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
                   line.rfind("# TYPE ", 0) == 0)
           << line;
       continue;
+    }
+    // Exemplar annotations ride after the value; strip (and sanity-check)
+    // them before the series/value split.
+    const size_t exemplar = line.find(" # ");
+    if (exemplar != std::string::npos) {
+      EXPECT_NE(line.find("{trace_id=\"", exemplar), std::string::npos)
+          << line;
+      line = line.substr(0, exemplar);
     }
     const size_t space = line.rfind(' ');
     ASSERT_NE(space, std::string::npos) << line;
@@ -170,6 +186,7 @@ void ValidatePrometheusText(const std::string& text) {
       EXPECT_GE(n, it->second) << key;
     }
   }
+  EXPECT_TRUE(saw_eof) << "missing # EOF trailer";
   // Every histogram emitted a _count matching its +Inf bucket.
   for (const auto& [key, n] : inf_bucket) {
     // key is "tencentrec_latency_us_bucket{name=\"...\"" minus le; the

@@ -10,8 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,6 +23,7 @@
 #include "engine/monitor.h"
 #include "engine/tencentrec.h"
 #include "obs/admin_server.h"
+#include "obs/freshness.h"
 #include "obs/health.h"
 
 namespace tencentrec {
@@ -365,6 +368,226 @@ TEST(EngineOpsTest, StalledComponentDegradesHealthz) {
   EXPECT_NE(resp.find("HTTP/1.1 503"), std::string::npos);
   EXPECT_NE(resp.find("\"status\":\"degraded\""), std::string::npos);
   EXPECT_NE(resp.find("synthetic-wedge"), std::string::npos);
+}
+
+// --- graceful shutdown ------------------------------------------------------
+
+TEST(AdminServerTest, StopIsPromptWithoutTraffic) {
+  AdminServer server(AdminServer::Options{});
+  server.Route("/ping", [](const AdminServer::Request&) {
+    AdminServer::Response resp;
+    resp.body = "pong";
+    return resp;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+  EXPECT_NE(HttpGet(port, "/ping").find("pong"), std::string::npos);
+  // No in-flight request: the self-pipe must unblock the accept loop well
+  // inside the drain deadline (this used to require a dummy connect).
+  const auto t0 = std::chrono::steady_clock::now();
+  server.Stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            1000);
+  // Stopped: new connections are refused.
+  EXPECT_EQ(HttpGet(port, "/ping"), "");
+}
+
+TEST(AdminServerTest, RequestStopFromAnotherThreadUnblocksServe) {
+  AdminServer server(AdminServer::Options{});
+  ASSERT_TRUE(server.Start().ok());
+  // The async-signal-safe half on its own (as a SIGTERM handler would call
+  // it), then the joining half.
+  std::thread signaler([&server] { server.RequestStop(); });
+  signaler.join();
+  server.Stop();
+  EXPECT_EQ(HttpGet(server.port(), "/"), "");
+}
+
+// --- watchdog instruments ---------------------------------------------------
+
+/// The watchdog's recovery path, observed through its registry instruments:
+/// `watchdog.stalls` counts detection edges (not sweeps), and
+/// `watchdog.stalled_components` tracks the current stall count.
+TEST(StallWatchdogTest, RecoveryPathDrivesStallCounterAndGauge) {
+  SetMetricsEnabled(true);
+  auto counter_value = [] {
+    for (const auto& [name, v] : MetricRegistry::Default().Counters()) {
+      if (name == "watchdog.stalls") return v;
+    }
+    return uint64_t{0};
+  };
+  auto gauge_value = [] {
+    for (const auto& [name, v] : MetricRegistry::Default().Gauges()) {
+      if (name == "watchdog.stalled_components") return v;
+    }
+    return int64_t{0};
+  };
+  const uint64_t base = counter_value();
+
+  HealthRegistry health;
+  StallWatchdog::Options opts;
+  opts.health = &health;
+  StallWatchdog dog(opts);
+  std::atomic<uint64_t> progress{1};
+  std::atomic<uint64_t> backlog{2};
+  dog.Register({"edge",
+                [&] { return progress.load(); },
+                [&] { return backlog.load(); }});
+  dog.CheckNow();  // seed
+  dog.CheckNow();  // detect: one edge
+  EXPECT_EQ(counter_value(), base + 1);
+  EXPECT_EQ(gauge_value(), 1);
+  dog.CheckNow();  // still stalled: no new edge
+  EXPECT_EQ(counter_value(), base + 1);
+
+  progress = 2;  // recovery
+  dog.CheckNow();
+  EXPECT_TRUE(health.Healthy());
+  EXPECT_EQ(gauge_value(), 0);
+  EXPECT_EQ(counter_value(), base + 1);
+
+  dog.CheckNow();  // re-stall: a second edge
+  EXPECT_EQ(counter_value(), base + 2);
+  EXPECT_EQ(gauge_value(), 1);
+}
+
+// --- freshness / timeseries / SLO acceptance --------------------------------
+
+/// Acceptance: a seeded run leaves per-stage watermarks behind; the derived
+/// end-to-end lag matches the hand-recomputed min-over-stages value, the
+/// freshness gauges ride /vars, and /timeseries serves the sampled series.
+TEST(EngineOpsTest, FreshnessGaugesAndTimeseriesServed) {
+  SetMetricsEnabled(true);
+  MetricRegistry::Default().Reset();
+  obs::FreshnessTracker::Default().Clear();
+  auto options = OpsEngineOptions();
+  options.enable_admin_server = true;
+  options.enable_timeseries = true;
+  options.timeseries_sample_period_ms = 3600 * 1000;  // manual sampling only
+  auto engine = engine::TencentRec::Create(options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const int port = (*engine)->admin_server()->port();
+  ASSERT_NE((*engine)->timeseries(), nullptr);
+
+  ASSERT_TRUE((*engine)->ProcessBatch(MakeActions(256)).ok());
+
+  // Every topology stage retired with data: per-stage watermarks are
+  // nonzero, and e2e lag recomputes as now - min(stage watermark).
+  const uint64_t now = MonoMicros();
+  const auto lags = obs::FreshnessTracker::Default().Lags(now);
+  ASSERT_GE(lags.size(), 3u);
+  uint64_t min_watermark = UINT64_MAX;
+  bool saw_spout = false;
+  for (const auto& lag : lags) {
+    EXPECT_GT(lag.watermark_micros, 0u) << lag.stage;
+    min_watermark = std::min(min_watermark, lag.watermark_micros);
+    saw_spout |= lag.stage == "spout";
+  }
+  EXPECT_TRUE(saw_spout);
+  EXPECT_EQ(obs::FreshnessTracker::Default().EndToEndLag(now),
+            now - min_watermark);
+
+  // /vars carries the freshness gauges.
+  const std::string vars = HttpGet(port, "/vars");
+  EXPECT_NE(vars.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(vars.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(vars.find("freshness.e2e.lag_us"), std::string::npos);
+  EXPECT_NE(vars.find("freshness.spout.lag_us"), std::string::npos);
+
+  // One manual sample; the ring then serves both the listing and queries.
+  (*engine)->timeseries()->SampleNow();
+  const std::string listing = HttpGet(port, "/timeseries");
+  EXPECT_NE(listing.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(listing.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(listing.find("freshness.e2e.lag_us"), std::string::npos);
+  const std::string series =
+      HttpGet(port, "/timeseries?metric=freshness.e2e.lag_us&window=600");
+  EXPECT_NE(series.find("\"series\":\"freshness.e2e.lag_us\""),
+            std::string::npos);
+  EXPECT_NE(series.find("{\"t\":"), std::string::npos);  // >= 1 point
+}
+
+/// Acceptance: an induced stall flips the stall-free SLO to breached within
+/// one evaluation (sample -> burn-rate eval -> health), and /readyz
+/// reflects the breach.
+TEST(EngineOpsTest, InducedStallBreachesSloAndDropsReadyz) {
+  SetMetricsEnabled(true);
+  MetricRegistry::Default().Reset();
+  obs::FreshnessTracker::Default().Clear();
+  auto options = OpsEngineOptions();
+  options.enable_admin_server = true;
+  options.enable_watchdog = true;
+  options.enable_slo = true;
+  options.timeseries_sample_period_ms = 3600 * 1000;  // manual sampling only
+  // Only the stall objective is under test here.
+  options.slo_freshness_lag_micros = 3600ull * 1000 * 1000;
+  auto engine = engine::TencentRec::Create(options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const int port = (*engine)->admin_server()->port();
+  ASSERT_NE((*engine)->slo(), nullptr);
+
+  // Healthy baseline: sample + eval (the post-sample hook) leaves every
+  // objective unbreached and the engine ready.
+  (*engine)->timeseries()->SampleNow();
+  EXPECT_NE(HttpGet(port, "/readyz").find("HTTP/1.1 200"),
+            std::string::npos);
+  const std::string before = HttpGet(port, "/slo");
+  EXPECT_NE(before.find("\"name\":\"stall-free\""), std::string::npos);
+  EXPECT_EQ(before.find("\"breached\":true"), std::string::npos);
+
+  // Wedge a synthetic component, let the watchdog see it, and take ONE
+  // sample: the post-sample evaluation must breach immediately.
+  (*engine)->watchdog()->Register({"synthetic-wedge",
+                                   [] { return uint64_t{3}; },
+                                   [] { return uint64_t{9}; }});
+  (*engine)->watchdog()->CheckNow();  // seed
+  (*engine)->watchdog()->CheckNow();  // detect -> stalled gauge = 1
+  (*engine)->timeseries()->SampleNow();
+
+  const std::string after = HttpGet(port, "/slo");
+  EXPECT_NE(after.find("\"breached\":true"), std::string::npos);
+  const std::string ready = HttpGet(port, "/readyz");
+  EXPECT_NE(ready.find("HTTP/1.1 503"), std::string::npos);
+  EXPECT_NE(ready.find("\"ready\":false"), std::string::npos);
+  // /healthz names the breached objective.
+  EXPECT_NE(HttpGet(port, "/healthz").find("slo.stall-free"),
+            std::string::npos);
+}
+
+/// Acceptance: at least one /metrics histogram bucket carries an exemplar
+/// trace id that resolves to a span group on /traces.
+TEST(EngineOpsTest, ExemplarTraceIdsResolveAgainstTraces) {
+  SetMetricsEnabled(true);
+  MetricRegistry::Default().Reset();
+  Tracer::Default().Clear();
+  obs::FreshnessTracker::Default().Clear();
+  auto options = OpsEngineOptions();
+  options.enable_admin_server = true;
+  options.trace_sample_every = 16;
+  auto engine = engine::TencentRec::Create(options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const int port = (*engine)->admin_server()->port();
+
+  ASSERT_TRUE((*engine)->ProcessBatch(MakeActions(512)).ok());
+
+  const std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(metrics.find("application/openmetrics-text"), std::string::npos);
+  EXPECT_NE(metrics.find("# EOF"), std::string::npos);
+  const size_t at = metrics.find("# {trace_id=\"");
+  ASSERT_NE(at, std::string::npos) << metrics.substr(0, 1500);
+  const std::string trace_id = metrics.substr(at + 13, 16);
+  ASSERT_EQ(trace_id.size(), 16u);
+
+  // The id resolves on the trace plane (ids render identically: 16 hex).
+  const std::string traces = HttpGet(port, "/traces");
+  EXPECT_NE(traces.find(trace_id), std::string::npos) << trace_id;
+
+  SetTraceSampleEvery(0);
+  Tracer::Default().Clear();
 }
 
 /// The watchdog also covers the ParallelItemCf mirror stages.
