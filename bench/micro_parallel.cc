@@ -9,16 +9,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <csignal>
+#include <ctime>
+
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <thread>
 
 #include "bench/bench_util.h"
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/stage.h"
 #include "core/itemcf/item_cf.h"
 #include "core/itemcf/parallel_cf.h"
 #include "obs/freshness.h"
+#include "obs/profiler.h"
 #include "obs/timeseries.h"
 
 namespace {
@@ -122,45 +128,109 @@ void EmitJsonBaseline() {
   const auto summary =
       bench::Summarize(rep_ms, static_cast<double>(stream.size()));
 
-  // Sampler+exemplar overhead: the same rep with the observability plane
-  // live — background sampler at 100 ms (10x the production default rate)
-  // with freshness gauges recomputed each sample. Paired with a fresh plain
-  // rep and reduced to the median per-pair ratio so machine noise hits both
-  // sides of each pair; the budget is 3% (DESIGN.md §12).
-  double obs_overhead_pct = 0.0;
-  double obs_ops_per_sec = 0.0;
-  {
-    obs::TimeSeriesStore::Options ts_options;
-    ts_options.sample_period_ms = 100;
-    ts_options.capacity = 4096;
-    obs::TimeSeriesStore ts(&MetricRegistry::Default(), ts_options);
-    ts.SetPreSampleHook([](uint64_t now) {
-      obs::FreshnessTracker::Default().PublishGauges(
-          &MetricRegistry::Default(), now);
-    });
-    std::vector<double> ratios;
-    std::vector<double> obs_rep_ms;
-    for (int r = 0; r < kReps; ++r) {
-      const double plain = one_rep();
-      ts.Start();
-      const double obs = one_rep();
-      ts.Stop();
-      obs_rep_ms.push_back(obs);
-      if (plain > 0) ratios.push_back(obs / plain);
-    }
-    obs_ops_per_sec =
-        bench::Summarize(obs_rep_ms, static_cast<double>(stream.size()))
-            .ops_per_sec;
-    obs_overhead_pct = (bench::SamplePercentile(ratios, 50) - 1.0) * 100.0;
-  }
+  // The rep for the overhead pairings below: the SERIAL reference on the
+  // same stream, on the bench main thread registered as a stage. Two
+  // reasons it is not the tracked 4+4 config:
+  //   * a multi-threaded rep's process CPU varies +-8% run to run on a
+  //     contended box (the futex sleep/wake count under backpressure is
+  //     scheduling-dependent) — noise far past the budget being measured,
+  //     while the serial rep's CPU is deterministic to well under 1%;
+  //   * registering this thread puts the profiler's CPU-time timer on the
+  //     thread doing the work, so the pairing measures real signal
+  //     delivery + handler cost, not an idle armed timer.
+  // The per-sample/per-signal instrumentation cost is the same either way.
+  auto one_rep_serial = [&stream] {
+    const auto t0 = std::chrono::steady_clock::now();
+    PracticalItemCf cf(AlgoOptions());
+    for (const auto& a : stream) cf.ProcessAction(a);
+    benchmark::DoNotOptimize(cf.stats().pair_updates);
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
 
-  char extra[256];
+  // Overhead accounting for the always-on planes (the *_overhead_pct
+  // fields scripts/check_bench.py gates against the 3% budget of
+  // DESIGN.md §12/§13). Paired plain-vs-instrumented reps were tried and
+  // rejected: on a shared single-core box, co-tenant interference inflates
+  // the process CPU time of IDENTICAL single-threaded reps by up to 30%
+  // in bursts that outlast any affordable pairing schedule, so a paired
+  // difference cannot resolve a sub-percent cost — it flaps double digits
+  // in both directions. Instead each plane's cost is timed at its source,
+  // min-over-blocks (for a fixed instruction sequence interference only
+  // ever ADDS CPU time, so the minimum converges on the uninterfered
+  // cost), and expressed as the fraction of one core the plane consumes
+  // in steady state — which is the quantity the budget bounds.
+  RegisterStageThread("bench-main");
+  auto cpu_ms_now = [] {
+    timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) * 1e3 +
+           static_cast<double>(ts.tv_nsec) / 1e6;
+  };
+  // Re-timing a block of N identical operations, keeping the cheapest
+  // per-op cost seen.
+  auto min_block_ms = [&cpu_ms_now](int blocks, int per_block,
+                                    const std::function<void()>& op) {
+    double best = 0.0;
+    for (int b = 0; b < blocks; ++b) {
+      const double c0 = cpu_ms_now();
+      for (int i = 0; i < per_block; ++i) op();
+      const double one = (cpu_ms_now() - c0) / per_block;
+      if (b == 0 || one < best) best = one;
+    }
+    return best;
+  };
+
+  // Observability sampler: CPU per registry walk (SampleNow with the
+  // freshness hook installed, registry populated by the executors above)
+  // over the production sampling period.
+  obs::TimeSeriesStore::Options ts_options;
+  ts_options.capacity = 4096;
+  obs::TimeSeriesStore ts(&MetricRegistry::Default(), ts_options);
+  ts.SetPreSampleHook([](uint64_t now) {
+    obs::FreshnessTracker::Default().PublishGauges(&MetricRegistry::Default(),
+                                                   now);
+  });
+  const double walk_ms = min_block_ms(8, 25, [&ts] { ts.SampleNow(); });
+  const double obs_overhead_pct =
+      walk_ms / static_cast<double>(ts_options.sample_period_ms) * 100.0;
+
+  // Profiler: CPU per sample — kernel signal delivery + handler stack
+  // capture + ring write, driven through the real installed handler with
+  // raise(SIGPROF) on this registered thread — times hz samples per
+  // CPU-second at the production default rate. (The ring intentionally
+  // overwrites when full, so hammering it keeps the steady-state cost.)
+  obs::Profiler::Instance().Start(obs::Profiler::Options());
+  const double sample_ms = min_block_ms(8, 200, [] { raise(SIGPROF); });
+  const double profiler_overhead_pct =
+      sample_ms * static_cast<double>(obs::Profiler::Options().hz) / 10.0;
+
+  // End-to-end serial throughput with each plane left on — informational
+  // fields showing the planes don't gross-out the pipeline (wall clock, so
+  // noisy; the gated numbers are the analytic ones above).
+  auto plane_ops = [&](const std::function<void()>& stop) {
+    std::vector<double> wall_ms;
+    for (int r = 0; r < 5; ++r) wall_ms.push_back(one_rep_serial());
+    stop();
+    return bench::Summarize(wall_ms, static_cast<double>(stream.size()))
+        .ops_per_sec;
+  };
+  const double profiler_ops_per_sec =
+      plane_ops([] { obs::Profiler::Instance().Stop(); });
+  ts.Start();
+  const double obs_ops_per_sec = plane_ops([&ts] { ts.Stop(); });
+
+  char extra[384];
   std::snprintf(extra, sizeof(extra),
                 "\"shards\": 4, \"actions\": %zu, \"reps\": %d, "
                 "\"cores\": %u,\n  "
-                "\"obs_ops_per_sec\": %.1f, \"obs_overhead_pct\": %.2f",
+                "\"obs_ops_per_sec\": %.1f, \"obs_overhead_pct\": %.4f,\n  "
+                "\"profiler_ops_per_sec\": %.1f, "
+                "\"profiler_overhead_pct\": %.4f",
                 stream.size(), kReps, std::thread::hardware_concurrency(),
-                obs_ops_per_sec, obs_overhead_pct);
+                obs_ops_per_sec, obs_overhead_pct, profiler_ops_per_sec,
+                profiler_overhead_pct);
   bench::WriteBenchJson("micro_parallel", summary, extra);
 }
 

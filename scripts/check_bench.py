@@ -5,11 +5,21 @@ Compares each BENCH_<name>.json in the results directory against the
 baseline committed at HEAD (``git show HEAD:bench/BENCH_<name>.json``) and
 fails when throughput regressed by more than the threshold.
 
-    scripts/check_bench.py [results-dir] [--threshold-pct 20] [--ref HEAD]
+Fresh results are also checked against the observability overhead budget:
+every ``*_overhead_pct`` field (the paired plain-vs-instrumented ratios the
+micro benches emit, e.g. ``obs_overhead_pct`` and ``profiler_overhead_pct``)
+must stay at or below the absolute budget — 3% by default, per the
+DESIGN.md §12/§13 contract that the metrics/tracing/profiling planes are
+cheap enough to leave on. This is an absolute gate on the fresh run, not a
+baseline comparison: the budget IS the contract.
 
-Benches with no committed baseline (new benches) are reported and skipped.
-Exit status: 0 = no regression, 1 = at least one bench over threshold,
-2 = usage/environment error.
+    scripts/check_bench.py [results-dir] [--threshold-pct 20]
+                           [--overhead-budget-pct 3] [--ref HEAD]
+
+Benches with no committed baseline (new benches) are reported and skipped
+for the throughput comparison; the overhead budget still applies to them.
+Exit status: 0 = no regression, 1 = at least one bench over threshold or
+over the overhead budget, 2 = usage/environment error.
 """
 
 import argparse
@@ -54,6 +64,8 @@ def main():
                              "(default: <repo>/bench)")
     parser.add_argument("--threshold-pct", type=float, default=20.0,
                         help="max tolerated %s drop, percent" % METRIC)
+    parser.add_argument("--overhead-budget-pct", type=float, default=3.0,
+                        help="absolute budget for *_overhead_pct fields")
     parser.add_argument("--ref", default="HEAD",
                         help="git ref holding the baselines")
     args = parser.parse_args()
@@ -75,6 +87,24 @@ def main():
         with open(path) as f:
             fresh = json.load(f)
         name = fresh.get("name") or os.path.basename(path)[6:-5]
+
+        # Absolute overhead budget on the fresh run (negative values are
+        # pairing noise in the instrumented rep's favour — fine).
+        for field, value in sorted(fresh.items()):
+            if not field.endswith("_overhead_pct"):
+                continue
+            try:
+                overhead = float(value)
+            except (TypeError, ValueError):
+                continue
+            if overhead > args.overhead_budget_pct:
+                failed.append(f"{name}:{field}")
+                print(f"  {name:<18} {field}: {overhead:+.2f}%  "
+                      f"OVER BUDGET (> {args.overhead_budget_pct:g}%)")
+            else:
+                print(f"  {name:<18} {field}: {overhead:+.2f}%  "
+                      f"within {args.overhead_budget_pct:g}% budget")
+
         baseline = baseline_for(root, args.ref, name)
         if baseline is None or METRIC not in baseline:
             print(f"  {name:<18} no committed baseline at {args.ref} — skip")

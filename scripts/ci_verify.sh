@@ -4,13 +4,16 @@
 #   1. tier-1 verify: configure + build + the whole ctest suite, then the
 #      observability label on its own (the obs plane must pass standalone,
 #      not only interleaved with the suite);
-#   2. a ThreadSanitizer build running the `concurrent` label (sharded
+#   2. the profiling-plane smoke: boot a live engine, pull a 2 s CPU
+#      profile over /profile/cpu, and assert the folded output is real
+#      (>= 100 deduped stacks, >= 90% of samples stage-attributed);
+#   3. a ThreadSanitizer build running the `concurrent` label (sharded
 #      executor, striped histogram/tracer, batch clients, single-flight).
 #
 #   scripts/ci_verify.sh [build-dir] [tsan-build-dir]
 #
 # Env:
-#   TR_SKIP_TSAN=1   skip step 2 (e.g. on hosts without TSan runtime)
+#   TR_SKIP_TSAN=1   skip step 3 (e.g. on hosts without TSan runtime)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -22,6 +25,9 @@ cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j
 (cd "$build_dir" && ctest --output-on-failure -j "$(nproc)")
 (cd "$build_dir" && ctest -L obs --output-on-failure)
+
+echo "=== profiler smoke: live engine, 2 s folded profile ==="
+"$build_dir/tools/profile_smoke"
 
 if [[ "${TR_SKIP_TSAN:-0}" == "1" ]]; then
   echo "=== tsan: skipped (TR_SKIP_TSAN=1) ==="

@@ -1,0 +1,126 @@
+#include "common/profiled_mutex.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace tencentrec {
+namespace {
+
+std::atomic<bool> g_contention_enabled{true};
+
+struct SiteDirectory {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ContentionSite>> sites;  // stable pointers
+};
+
+SiteDirectory& Sites() {
+  static SiteDirectory* d = new SiteDirectory();
+  return *d;
+}
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, static_cast<size_t>(n) < sizeof(buf) ? n : sizeof(buf) - 1);
+}
+
+}  // namespace
+
+bool ContentionProfilingEnabled() {
+  return g_contention_enabled.load(std::memory_order_relaxed);
+}
+
+void SetContentionProfilingEnabled(bool enabled) {
+  g_contention_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+ContentionSite::ContentionSite(std::string name)
+    : name_(std::move(name)),
+      wait_hist_(MetricRegistry::Default().GetHistogram("contention." + name_ +
+                                                        ".wait_us")) {}
+
+void ContentionSite::RecordWait(uint64_t wait_us, uint16_t holder_stage) {
+  acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  contended_.fetch_add(1, std::memory_order_relaxed);
+  wait_us_total_.fetch_add(wait_us, std::memory_order_relaxed);
+  uint64_t cur = wait_us_max_.load(std::memory_order_relaxed);
+  while (wait_us > cur && !wait_us_max_.compare_exchange_weak(
+                              cur, wait_us, std::memory_order_relaxed)) {
+  }
+  if (holder_stage < kMaxStages) {
+    wait_by_holder_[holder_stage].fetch_add(wait_us,
+                                            std::memory_order_relaxed);
+  }
+  wait_hist_->Record(wait_us);
+}
+
+ContentionSite* RegisterContentionSite(std::string_view name) {
+  SiteDirectory& dir = Sites();
+  std::lock_guard<std::mutex> lock(dir.mu);
+  for (const auto& site : dir.sites) {
+    if (site->name() == name) return site.get();
+  }
+  dir.sites.push_back(std::make_unique<ContentionSite>(std::string(name)));
+  return dir.sites.back().get();
+}
+
+std::string ContentionReportJson() {
+  // Snapshot the site pointer list under the directory lock, then read the
+  // (atomic) stats lock-free; sites are never destroyed.
+  std::vector<ContentionSite*> sites;
+  {
+    SiteDirectory& dir = Sites();
+    std::lock_guard<std::mutex> lock(dir.mu);
+    sites.reserve(dir.sites.size());
+    for (const auto& s : dir.sites) sites.push_back(s.get());
+  }
+
+  std::string out = "[";
+  bool first_site = true;
+  for (ContentionSite* s : sites) {
+    if (!first_site) out += ",";
+    first_site = false;
+    const auto snap = s->wait_hist()->Snap();
+    Appendf(&out,
+            "{\"site\":\"%s\",\"acquisitions\":%llu,\"contended\":%llu,"
+            "\"wait_us_total\":%llu,\"wait_us_max\":%llu,"
+            "\"wait_us_p50\":%.1f,\"wait_us_p99\":%.1f,\"by_holder_stage\":{",
+            s->name().c_str(),
+            static_cast<unsigned long long>(s->acquisitions()),
+            static_cast<unsigned long long>(s->contended()),
+            static_cast<unsigned long long>(s->wait_us_total()),
+            static_cast<unsigned long long>(s->wait_us_max()),
+            snap.Percentile(0.50), snap.Percentile(0.99));
+    bool first_stage = true;
+    for (uint16_t stage = 0; stage < kMaxStages; ++stage) {
+      const uint64_t us = s->wait_us_by_holder(stage);
+      if (us == 0) continue;
+      if (!first_stage) out += ",";
+      first_stage = false;
+      Appendf(&out, "\"%.*s\":%llu",
+              static_cast<int>(StageName(stage).size()),
+              StageName(stage).data(), static_cast<unsigned long long>(us));
+    }
+    out += "}}";
+  }
+  out += "]";
+  return out;
+}
+
+void ProfiledMutex::LockContended() {
+  // Blame whoever holds the lock at the moment we decide to block; by the
+  // time we acquire, the holder has changed at least once.
+  const uint16_t holder = holder_stage_.load(std::memory_order_relaxed);
+  const uint64_t t0 = MonoMicros();
+  mu_.lock();
+  const uint64_t wait = MonoMicros() - t0;
+  holder_stage_.store(CurrentStage(), std::memory_order_relaxed);
+  site_->RecordWait(wait, holder);
+}
+
+}  // namespace tencentrec

@@ -1,0 +1,185 @@
+#include "common/stage.h"
+
+#include <pthread.h>
+#include <unistd.h>
+
+#include <sys/syscall.h>
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+namespace tencentrec {
+namespace {
+
+// Interned stage names. Slot 0 is the reserved "unregistered" stage.
+// Names are write-once; readers that only need the id go through
+// g_stage_count without the lock.
+struct StageTable {
+  std::mutex mu;
+  std::string names[kMaxStages];
+  std::atomic<uint16_t> count{1};  // slot 0 pre-claimed below
+};
+
+StageTable& Stages() {
+  static StageTable* t = [] {
+    auto* table = new StageTable();
+    table->names[0] = "unregistered";
+    return table;
+  }();
+  return *t;
+}
+
+// Fixed thread slot table. A slot is live while `live` is true; the
+// registry lock serializes claim/release against VisitStageThreads and
+// the lifecycle hooks, so the profiler never races a thread's exit when
+// tearing down its timer.
+struct ThreadSlot {
+  bool live = false;
+  StageThreadInfo info;
+};
+
+struct ThreadTable {
+  std::mutex mu;
+  ThreadSlot slots[kMaxStageThreads];
+  std::function<void(const StageThreadInfo&)> on_register;
+  std::function<void(const StageThreadInfo&)> on_unregister;
+};
+
+ThreadTable& Threads() {
+  static ThreadTable* t = new ThreadTable();
+  return *t;
+}
+
+// The calling thread's stage id. Plain (non-atomic) thread_local: only
+// this thread writes it, and a SIGPROF delivered to this thread is
+// serialized with its own stores — reading it from the handler is safe.
+thread_local uint16_t tls_stage = 0;
+thread_local int tls_slot = -1;
+
+pid_t GetTid() { return static_cast<pid_t>(::syscall(SYS_gettid)); }
+
+// Releases the calling thread's slot when the thread exits, firing the
+// unregister hook first so the profiler can delete its timer while the
+// thread (and its CPU clock) still exists.
+struct SlotReleaser {
+  ~SlotReleaser() {
+    if (tls_slot < 0) return;
+    ThreadTable& tt = Threads();
+    std::lock_guard<std::mutex> lock(tt.mu);
+    ThreadSlot& slot = tt.slots[tls_slot];
+    if (tt.on_unregister) tt.on_unregister(slot.info);
+    slot.live = false;
+    tls_slot = -1;
+    tls_stage = 0;
+  }
+};
+thread_local SlotReleaser tls_releaser;
+
+}  // namespace
+
+uint16_t InternStage(std::string_view name) {
+  StageTable& st = Stages();
+  std::lock_guard<std::mutex> lock(st.mu);
+  uint16_t n = st.count.load(std::memory_order_relaxed);
+  for (uint16_t i = 0; i < n; ++i) {
+    if (st.names[i] == name) return i;
+  }
+  if (n >= kMaxStages) return 0;
+  st.names[n] = std::string(name);
+  st.count.store(static_cast<uint16_t>(n + 1), std::memory_order_release);
+  return n;
+}
+
+std::string_view StageName(uint16_t stage_id) {
+  StageTable& st = Stages();
+  if (stage_id >= st.count.load(std::memory_order_acquire)) {
+    return "unregistered";
+  }
+  // Names are write-once under the lock before count is bumped with
+  // release order, so this read is safe without the lock.
+  return st.names[stage_id];
+}
+
+uint16_t RegisterStageThread(std::string_view stage) {
+  const uint16_t id = InternStage(stage);
+
+  // Kernel thread names cap at 15 chars + NUL; truncate rather than fail.
+  char os_name[16];
+  const size_t n = stage.size() < 15 ? stage.size() : 15;
+  std::memcpy(os_name, stage.data(), n);
+  os_name[n] = '\0';
+  pthread_setname_np(pthread_self(), os_name);
+
+  ThreadTable& tt = Threads();
+  std::lock_guard<std::mutex> lock(tt.mu);
+
+  if (tls_slot >= 0) {
+    // Re-staging an already registered thread: update in place. Fire the
+    // hooks as unregister+register so the profiler re-keys its timer
+    // bookkeeping to the new stage.
+    ThreadSlot& slot = tt.slots[tls_slot];
+    if (tt.on_unregister) tt.on_unregister(slot.info);
+    slot.info.stage = id;
+    tls_stage = id;
+    if (tt.on_register) tt.on_register(slot.info);
+    return id;
+  }
+
+  int free_slot = -1;
+  for (int i = 0; i < kMaxStageThreads; ++i) {
+    if (!tt.slots[i].live) {
+      free_slot = i;
+      break;
+    }
+  }
+  if (free_slot < 0) {
+    // Table full: the thread still gets a stage id for CurrentStage()
+    // (and its samples attribute correctly); it just can't be visited,
+    // so the profiler won't attach a timer to it.
+    tls_stage = id;
+    return id;
+  }
+
+  ThreadSlot& slot = tt.slots[free_slot];
+  slot.live = true;
+  slot.info.slot = static_cast<uint16_t>(free_slot);
+  slot.info.stage = id;
+  slot.info.tid = GetTid();
+  slot.info.handle = pthread_self();
+  tls_slot = free_slot;
+  tls_stage = id;
+  // Touch the releaser so its destructor is registered for this thread.
+  (void)tls_releaser;
+  if (tt.on_register) tt.on_register(slot.info);
+  return id;
+}
+
+uint16_t CurrentStage() { return tls_stage; }
+
+int CurrentStageSlot() { return tls_slot; }
+
+void VisitStageThreads(const std::function<void(const StageThreadInfo&)>& fn) {
+  ThreadTable& tt = Threads();
+  std::lock_guard<std::mutex> lock(tt.mu);
+  for (const ThreadSlot& slot : tt.slots) {
+    if (slot.live) fn(slot.info);
+  }
+}
+
+void SetStageThreadHooks(std::function<void(const StageThreadInfo&)> on_register,
+                         std::function<void(const StageThreadInfo&)> on_unregister) {
+  ThreadTable& tt = Threads();
+  std::lock_guard<std::mutex> lock(tt.mu);
+  tt.on_register = std::move(on_register);
+  tt.on_unregister = std::move(on_unregister);
+}
+
+std::vector<std::string> StageNames() {
+  StageTable& st = Stages();
+  std::lock_guard<std::mutex> lock(st.mu);
+  const uint16_t n = st.count.load(std::memory_order_relaxed);
+  return std::vector<std::string>(st.names, st.names + n);
+}
+
+}  // namespace tencentrec

@@ -17,6 +17,11 @@ uint64_t NowMicros() { return MonoMicros(); }
 
 }  // namespace
 
+std::string ParallelItemCf::StageNameFor(const char* stage) const {
+  const std::string& scope = options_.metrics_scope;
+  return (scope.empty() ? std::string("parallel_cf") : scope) + "." + stage;
+}
+
 ParallelItemCf::ParallelItemCf(Options options) : options_(std::move(options)) {
   options_.user_shards = std::max(1, options_.user_shards);
   options_.pair_shards = std::max(1, options_.pair_shards);
@@ -181,7 +186,7 @@ void ParallelItemCf::Drain() {
 
   // Shared itemCounts advance the same way.
   for (auto& stripe : item_stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    std::lock_guard<ProfiledMutex> lock(stripe->mu);
     stripe->counts.AdvanceTo(max_ts_);
   }
 }
@@ -203,6 +208,7 @@ void ParallelItemCf::Shutdown() {
 // --- layer 1: user-history workers -------------------------------------------
 
 void ParallelItemCf::UserWorker(UserShard* shard) {
+  RegisterStageThread(StageNameFor("user-history"));
   // Per-destination-shard output buffers, flushed when full and on drain.
   std::vector<std::vector<PairDelta>> out(pair_shards_.size());
   auto flush_all = [&] {
@@ -262,7 +268,7 @@ void ParallelItemCf::HandleAction(UserShard* shard, const UserAction& action,
 
   if (update.rating_delta > 0.0) {
     CountStripe& stripe = ItemStripe(update.item);
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    std::lock_guard<ProfiledMutex> lock(stripe.mu);
     stripe.counts.AddItem(update.item, update.rating_delta, action.timestamp);
   }
   // (Zero-delta actions advance windows lazily — the Drain watermark
@@ -286,6 +292,7 @@ void ParallelItemCf::HandleAction(UserShard* shard, const UserAction& action,
 // --- layers 2+3: count + similarity workers ----------------------------------
 
 void ParallelItemCf::PairWorker(PairShard* shard) {
+  RegisterStageThread(StageNameFor("count+sim"));
   while (auto msg = shard->queue.Pop()) {
     shard->heartbeat.fetch_add(1, std::memory_order_relaxed);
     const uint64_t t0 = NowMicros();
@@ -337,12 +344,12 @@ void ParallelItemCf::HandlePairDelta(PairShard* shard,
   const size_t k = static_cast<size_t>(options_.cf.top_k);
   {
     ListStripe& stripe = ListStripeOf(delta.i);
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    std::lock_guard<ProfiledMutex> lock(stripe.mu);
     stripe.lists.try_emplace(delta.i, k).first->second.Update(delta.j, sim);
   }
   {
     ListStripe& stripe = ListStripeOf(delta.j);
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    std::lock_guard<ProfiledMutex> lock(stripe.mu);
     stripe.lists.try_emplace(delta.j, k).first->second.Update(delta.i, sim);
   }
 
@@ -362,13 +369,13 @@ void ParallelItemCf::HandlePairDelta(PairShard* shard,
     // list's threshold conservatively reopens to 0 — see TopK::Threshold.
     {
       ListStripe& stripe = ListStripeOf(delta.i);
-      std::lock_guard<std::mutex> lock(stripe.mu);
+      std::lock_guard<ProfiledMutex> lock(stripe.mu);
       auto it = stripe.lists.find(delta.i);
       if (it != stripe.lists.end()) it->second.Erase(delta.j);
     }
     {
       ListStripe& stripe = ListStripeOf(delta.j);
-      std::lock_guard<std::mutex> lock(stripe.mu);
+      std::lock_guard<ProfiledMutex> lock(stripe.mu);
       auto it = stripe.lists.find(delta.j);
       if (it != stripe.lists.end()) it->second.Erase(delta.i);
     }
@@ -377,7 +384,7 @@ void ParallelItemCf::HandlePairDelta(PairShard* shard,
 
 double ParallelItemCf::ItemCountOf(ItemId item) const {
   CountStripe& stripe = ItemStripe(item);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  std::lock_guard<ProfiledMutex> lock(stripe.mu);
   return stripe.counts.ItemCount(item);
 }
 
@@ -402,7 +409,7 @@ double ParallelItemCf::EffectiveFromCounts(ItemId a, ItemId b,
 
 double ParallelItemCf::ListThresholdOf(ItemId item) const {
   ListStripe& stripe = ListStripeOf(item);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  std::lock_guard<ProfiledMutex> lock(stripe.mu);
   auto it = stripe.lists.find(item);
   return it == stripe.lists.end() ? 0.0 : it->second.Threshold();
 }
@@ -423,7 +430,7 @@ double ParallelItemCf::EffectiveSimilarity(ItemId a, ItemId b) const {
 
 const TopK<ItemId>* ParallelItemCf::SimilarItems(ItemId item) const {
   ListStripe& stripe = ListStripeOf(item);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  std::lock_guard<ProfiledMutex> lock(stripe.mu);
   auto it = stripe.lists.find(item);
   return it == stripe.lists.end() ? nullptr : &it->second;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/profiled_mutex.h"
 #include "common/queue.h"
 #include "common/topk.h"
 #include "core/itemcf/item_cf.h"
@@ -211,16 +212,23 @@ class ParallelItemCf {
   struct alignas(64) CountStripe {
     CountStripe(EventTime session_length, int window_sessions)
         : counts(session_length, window_sessions) {}
-    mutable std::mutex mu;
+    /// Profiled (DESIGN.md §13): cross-stage lock — written by layer 1,
+    /// read by layers 2+3 — so wait time here is attributed per holder
+    /// stage at /profile/contention.
+    mutable ProfiledMutex mu{"parallel_cf.count_stripe"};
     WindowedCounts counts;
   };
 
   /// Shared per-item top-K list stripe: a pair update touches the lists of
   /// both its items, which generally live on different pair shards.
   struct alignas(64) ListStripe {
-    mutable std::mutex mu;
+    mutable ProfiledMutex mu{"parallel_cf.list_stripe"};
     std::unordered_map<ItemId, TopK<ItemId>> lists;
   };
+
+  /// "<metrics_scope or parallel_cf>.<stage>" — the registered stage name
+  /// for a worker thread (profiler attribution + pthread name).
+  std::string StageNameFor(const char* stage) const;
 
   size_t UserShardOf(UserId user) const;
   size_t PairShardOf(const PairKey& key) const;

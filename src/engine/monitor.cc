@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "common/stage.h"
 #include "common/trace.h"
 
 namespace tencentrec::engine {
@@ -484,6 +485,7 @@ void StallWatchdog::Stop() {
 }
 
 void StallWatchdog::Loop() {
+  RegisterStageThread("obs.watchdog");
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_requested_) {
     cv_.wait_for(lock, std::chrono::milliseconds(options_.period_ms),

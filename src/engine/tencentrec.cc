@@ -6,9 +6,11 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/profiled_mutex.h"
 #include "common/trace.h"
 #include "engine/monitor.h"
 #include "obs/freshness.h"
+#include "obs/profiler.h"
 #include "tdstore/batch_writer.h"
 #include "topo/action_codec.h"
 #include "topo/blob_codec.h"
@@ -22,6 +24,9 @@ TencentRec::TencentRec(Options options) : options_(std::move(options)) {}
 // Out of line: ~StallWatchdog needs the complete type from engine/monitor.h,
 // which this header cannot include (monitor.h includes tencentrec.h).
 TencentRec::~TencentRec() {
+  // Only stop the profiler if this engine's Init started it — a sibling
+  // engine (or a test harness) that owns the profiler keeps it.
+  if (profiler_started_) obs::Profiler::Instance().Stop();
   if (watchdog_ != nullptr) watchdog_->Stop();
   if (admin_ != nullptr) admin_->Stop();
   // Stop the sampler before slo_ dies: its post-sample hook evaluates the
@@ -103,11 +108,13 @@ Status TencentRec::Init() {
     topts.capacity = options_.timeseries_capacity;
     timeseries_ = std::make_unique<obs::TimeSeriesStore>(
         &MetricRegistry::Default(), topts);
-    // Freshness lags are derived gauges: publish them at the sample instant
-    // so every ring slot (and thus every SLO window) carries them.
+    // Freshness lags and CPU shares are derived gauges: publish them at the
+    // sample instant so every ring slot (and thus every SLO window) carries
+    // them. The profiler publish is a no-op while no samples accrue.
     timeseries_->SetPreSampleHook([](uint64_t now) {
       obs::FreshnessTracker::Default().PublishGauges(&MetricRegistry::Default(),
                                                      now);
+      obs::Profiler::Instance().PublishGauges();
     });
   }
   if (options_.enable_slo) {
@@ -153,6 +160,14 @@ Status TencentRec::Init() {
         [this](uint64_t now) { slo_->EvaluateNow(now); });
   }
   if (timeseries_ != nullptr) timeseries_->Start();
+
+  if (options_.enable_profiler) {
+    obs::Profiler::Options popts;
+    popts.hz = options_.profiler_hz;
+    // May refuse (kill switch off, or another engine already profiling);
+    // the /profile routes report the live state either way.
+    profiler_started_ = obs::Profiler::Instance().Start(popts);
+  }
 
   if (options_.enable_admin_server) {
     obs::AdminServer::Options aopts;
@@ -274,6 +289,70 @@ Status TencentRec::Init() {
                       : ExportTracesJson(spans);
       return resp;
     });
+    // Profiling plane (DESIGN.md §13). /profile/cpu BLOCKS the accept
+    // thread for the window (the plane is single-request by design), so
+    // the other endpoints are unavailable while a profile is being taken;
+    // seconds is clamped to 30.
+    admin_->Route("/profile/cpu", [](const obs::AdminServer::Request& req) {
+      obs::AdminServer::Response resp;
+      obs::Profiler& prof = obs::Profiler::Instance();
+      if (!prof.running()) {
+        resp.status = 503;
+        resp.content_type = "application/json";
+        resp.body = "{\"error\":\"profiler not running\"}";
+        return resp;
+      }
+      double seconds = 2.0;
+      size_t pos = req.query.find("seconds=");
+      if (pos != std::string::npos) {
+        seconds = std::strtod(req.query.c_str() + pos + 8, nullptr);
+      }
+      if (!(seconds > 0.0)) seconds = 2.0;
+      if (seconds > 30.0) seconds = 30.0;
+      const bool json = req.query.find("format=json") != std::string::npos;
+      const auto agg = prof.CollectWindow(seconds);
+      if (json) {
+        resp.content_type = "application/json";
+        resp.body = obs::Profiler::Json(agg);
+      } else {
+        // Collapsed stacks: pipe straight into flamegraph.pl.
+        resp.content_type = "text/plain";
+        resp.body = obs::Profiler::Folded(agg);
+      }
+      return resp;
+    });
+    admin_->Route("/profile/contention",
+                  [](const obs::AdminServer::Request&) {
+                    obs::AdminServer::Response resp;
+                    resp.content_type = "application/json";
+                    resp.body = ContentionReportJson();
+                    return resp;
+                  });
+    // Kill switch: GET reports state; ?set=0 stops and disables,
+    // ?set=1 re-enables and restarts at the engine's configured rate.
+    admin_->Route("/profile/enabled",
+                  [this](const obs::AdminServer::Request& req) {
+                    obs::AdminServer::Response resp;
+                    resp.content_type = "application/json";
+                    obs::Profiler& prof = obs::Profiler::Instance();
+                    if (req.query.find("set=0") != std::string::npos) {
+                      prof.SetEnabled(false);
+                    } else if (req.query.find("set=1") !=
+                               std::string::npos) {
+                      prof.SetEnabled(true);
+                      obs::Profiler::Options popts;
+                      popts.hz = options_.profiler_hz;
+                      profiler_started_ = prof.Start(popts);
+                    }
+                    char buf[96];
+                    std::snprintf(buf, sizeof(buf),
+                                  "{\"enabled\":%s,\"running\":%s,\"hz\":%d}",
+                                  prof.Enabled() ? "true" : "false",
+                                  prof.running() ? "true" : "false",
+                                  prof.hz());
+                    resp.body = buf;
+                    return resp;
+                  });
     TR_RETURN_IF_ERROR(admin_->Start());
   }
 

@@ -103,6 +103,14 @@ class TencentRec {
     /// one SampleNow/EvaluateNow pair flips a breach deterministically.
     uint64_t slo_short_window_micros = 60ull * 1000 * 1000;
     uint64_t slo_long_window_micros = 300ull * 1000 * 1000;
+    /// Continuous CPU profiling plane (DESIGN.md §13): per-thread SIGPROF
+    /// sampling of every registered stage thread, served at
+    /// /profile/cpu?seconds=N&format=folded|json, /profile/contention and
+    /// the /profile/enabled kill switch (routes exist whenever the admin
+    /// server does). Off by default: the profiler owns the process-wide
+    /// SIGPROF disposition, which embedding applications may want.
+    bool enable_profiler = false;
+    int profiler_hz = 97;
   };
 
   static Result<std::unique_ptr<TencentRec>> Create(Options options);
@@ -191,6 +199,9 @@ class TencentRec {
   /// breaches); destroyed before both.
   std::unique_ptr<obs::SloRegistry> slo_;
   std::unique_ptr<obs::AdminServer> admin_;
+  /// True when this engine's Init() started the process-wide profiler (so
+  /// only this engine's destructor stops it).
+  bool profiler_started_ = false;
   /// Declared after the things its sources sample (parallel_cf_); destroyed
   /// first by the explicit destructor, which stops it before anything it
   /// watches goes away.

@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/stage.h"
 
 namespace tencentrec::obs {
 
@@ -165,6 +166,7 @@ void AdminServer::Stop() {
 }
 
 void AdminServer::Serve() {
+  RegisterStageThread("obs.admin");
   pollfd fds[2];
   fds[0].fd = listen_fd_;
   fds[0].events = POLLIN;

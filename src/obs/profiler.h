@@ -1,0 +1,122 @@
+#ifndef TENCENTREC_OBS_PROFILER_H_
+#define TENCENTREC_OBS_PROFILER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stage.h"
+
+namespace tencentrec {
+namespace obs {
+
+/// In-process continuous CPU profiler (DESIGN.md §13) — the on-CPU half of
+/// the profiling plane. One SIGPROF interval timer per registered stage
+/// thread, armed against that thread's CPU-time clock, so a thread is only
+/// sampled in proportion to the cycles it actually burns (blocked threads
+/// cost nothing — their story is told by ProfiledMutex instead).
+///
+/// The signal handler is strictly async-signal-safe: it walks the frame
+///-pointer chain out of the interrupted ucontext (bounds-checked against
+/// the thread's stack, captured at timer attach), attributes the sample to
+/// the thread's registered stage, and appends raw pcs into a lock-free
+/// per-thread ring of relaxed atomics. No allocation, no locks, no lazy
+/// TLS init, no clock reads. errno is preserved.
+///
+/// Everything expensive — draining rings, stack dedup, dladdr +
+/// __cxa_demangle symbolization, folded/JSON formatting — happens lazily
+/// on the collector (admin) thread, never in the signal path.
+class Profiler {
+ public:
+  static constexpr int kMaxFrames = 32;
+
+  struct Options {
+    /// Per-thread sampling frequency. A prime default avoids lockstep with
+    /// millisecond-periodic work (timers, pollers) that would bias samples.
+    int hz = 97;
+  };
+
+  /// Process-wide instance; installs the stage lifecycle hooks on first use.
+  static Profiler& Instance();
+
+  /// Kill switch (the `profile.enabled` control): while false, Start()
+  /// refuses and windowed collection reports the profiler as disabled.
+  /// Flipping it false while running stops the profiler.
+  void SetEnabled(bool enabled);
+  bool Enabled() const;
+
+  /// Installs the SIGPROF handler (once, never uninstalled — stop/start
+  /// is gated by an atomic the handler checks, so a late in-flight signal
+  /// can never hit SIG_DFL and kill the process) and attaches a CPU-time
+  /// timer to every currently registered stage thread. Threads that
+  /// register later get timers via the stage lifecycle hook. Returns false
+  /// if disabled or already running.
+  bool Start(const Options& opts);
+  bool Start() { return Start(Options()); }
+
+  /// Disarms and deletes all per-thread timers and clears the running flag.
+  void Stop();
+
+  bool running() const;
+  int hz() const;
+
+  /// One deduplicated call stack: `pcs` are raw return addresses,
+  /// innermost first, attributed to `stage`; `count` samples landed here.
+  struct StackSample {
+    uint16_t stage = 0;
+    std::vector<uintptr_t> pcs;
+    uint64_t count = 0;
+  };
+
+  /// Drained + aggregated view of a collection window.
+  struct Aggregate {
+    uint64_t total = 0;        ///< samples drained into this aggregate
+    uint64_t dropped = 0;      ///< lost to ring overwrite before drain
+    std::array<uint64_t, kMaxStages> stage_samples{};  ///< per-stage counts
+    std::vector<StackSample> stacks;  ///< deduped by (stage, pc sequence)
+  };
+
+  /// Discards pending samples, observes for `seconds` of wall time
+  /// (draining rings periodically so they cannot overflow mid-window),
+  /// then returns the aggregated window. Blocks the calling thread —
+  /// served from the admin accept thread, which is single-request by
+  /// design (documented endpoint semantics). Returns an empty aggregate
+  /// if the profiler is not running.
+  Aggregate CollectWindow(double seconds);
+
+  /// Collapsed-stack ("folded") output: one line per deduped stack,
+  /// root-first, `stage;outer;...;inner count\n` — pipe straight into
+  /// flamegraph.pl. Symbolization is cached across calls.
+  static std::string Folded(const Aggregate& agg);
+
+  /// JSON rollup: window totals plus per-stage sample counts and shares.
+  static std::string Json(const Aggregate& agg);
+
+  /// Symbolizes a return address: dladdr on pc-1 (so the lookup lands
+  /// inside the calling instruction's function), __cxa_demangle, cached.
+  /// Unknown addresses render as hex.
+  static std::string SymbolizePc(uintptr_t pc);
+
+  /// Publishes `profile.cpu_share.<stage>` gauges (basis points of samples
+  /// since the previous publish) into MetricRegistry::Default(). Wired as
+  /// a TimeSeriesStore pre-sample hook by the engine, so CPU share is
+  /// queryable via /timeseries like any other series.
+  void PublishGauges();
+
+  /// Lifetime handler-side sample counts (survive ring overflow; the
+  /// attribution acceptance test reads these).
+  uint64_t total_samples() const;
+  uint64_t stage_samples(uint16_t stage) const;
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+ private:
+  Profiler();
+};
+
+}  // namespace obs
+}  // namespace tencentrec
+
+#endif  // TENCENTREC_OBS_PROFILER_H_

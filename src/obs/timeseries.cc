@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/stage.h"
+
 namespace tencentrec::obs {
 
 namespace {
@@ -77,6 +79,7 @@ void TimeSeriesStore::Stop() {
 }
 
 void TimeSeriesStore::RunSampler() {
+  RegisterStageThread("obs.ts-sampler");
   const auto period = std::chrono::milliseconds(options_.sample_period_ms);
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_requested_) {

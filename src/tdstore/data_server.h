@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/profiled_mutex.h"
 #include "common/status.h"
 #include "tdstore/engine.h"
 
@@ -175,7 +176,11 @@ class DataServer {
     bool is_host = false;
     DataServer* slave = nullptr;
     std::deque<ReplicationRecord> pending;
-    mutable std::mutex mu;  ///< serializes read-modify-write (Incr) and queue
+    /// Serializes read-modify-write (Incr) and the replication queue.
+    /// Profiled (DESIGN.md §13): each Multi* batch holds it for the whole
+    /// run, so this is where write-side lock time concentrates — the
+    /// BatchWriter itself is single-owner and lock-free by contract.
+    mutable ProfiledMutex mu{"tdstore.instance"};
   };
 
   Instance* FindInstance(int instance_id) const;

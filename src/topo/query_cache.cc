@@ -70,7 +70,7 @@ Status QueryCache::GetBatch(const std::vector<std::string>& keys,
   std::unordered_map<std::string, size_t> wait_at;
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<ProfiledMutex> lock(mu_);
     const uint64_t now = Now();
     for (size_t i = 0; i < keys.size(); ++i) {
       const std::string& key = keys[i];
@@ -140,7 +140,7 @@ Status QueryCache::GetBatch(const std::vector<std::string>& keys,
       fetch_status = Status::Internal("query cache: short fetch result");
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<ProfiledMutex> lock(mu_);
       const uint64_t now = Now();
       for (size_t j = 0; j < owned.size(); ++j) {
         const Wait& w = waits[owned[j]];
@@ -176,7 +176,7 @@ Result<std::string> QueryCache::Get(const std::string& key,
 }
 
 void QueryCache::Invalidate(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<ProfiledMutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
   EraseLocked(it);
@@ -185,18 +185,18 @@ void QueryCache::Invalidate(const std::string& key) {
 }
 
 void QueryCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<ProfiledMutex> lock(mu_);
   lru_.clear();
   entries_.clear();
 }
 
 QueryCache::Stats QueryCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<ProfiledMutex> lock(mu_);
   return stats_;
 }
 
 size_t QueryCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<ProfiledMutex> lock(mu_);
   return entries_.size();
 }
 

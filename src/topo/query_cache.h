@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/profiled_mutex.h"
 #include "common/status.h"
 
 namespace tencentrec::topo {
@@ -136,7 +137,10 @@ class QueryCache {
 
   const Options options_;
 
-  mutable std::mutex mu_;
+  /// Profiled (DESIGN.md §13): every batched read from every querent
+  /// funnels through this lock, making it the canonical read-side
+  /// contention point at /profile/contention.
+  mutable ProfiledMutex mu_{"topo.query_cache"};
   /// LRU list, most-recent first; entries point into it.
   std::list<std::string> lru_;
   std::unordered_map<std::string, Entry> entries_;

@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/stage.h"
 
 namespace tencentrec::tstorm {
 
@@ -289,6 +290,7 @@ void LocalCluster::RunSpoutTask(Task* task) {
   ctx.instance = task->instance;
   ctx.parallelism =
       spec_.components[static_cast<size_t>(task->component_id)].parallelism;
+  RegisterStageThread("spout." + ctx.component_name);
 
   Collector collector(this, task);
   task->spout->Open(ctx);
@@ -310,6 +312,7 @@ void LocalCluster::RunBoltTask(Task* task) {
   ctx.component_id = task->component_id;
   ctx.instance = task->instance;
   ctx.parallelism = comp.parallelism;
+  RegisterStageThread("bolt." + ctx.component_name);
 
   Collector collector(this, task);
   task->bolt->Prepare(ctx);

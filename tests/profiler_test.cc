@@ -1,0 +1,338 @@
+// Tests for the continuous profiling plane (DESIGN.md §13): the stage
+// registry, folded-stack export, dladdr symbolization, per-stage sample
+// attribution on a seeded ParallelItemCf run, start/stop/start signal
+// safety (this file is part of the TSan `concurrent` workload), and
+// ProfiledMutex wait accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/profiled_mutex.h"
+#include "common/stage.h"
+#include "core/itemcf/parallel_cf.h"
+#include "obs/profiler.h"
+
+namespace tencentrec {
+namespace {
+
+using obs::Profiler;
+
+// A frame the symbolization test can look up: extern + noinline so the
+// symbol survives optimization and (thanks to CMAKE_ENABLE_EXPORTS) lands
+// in the dynamic symbol table dladdr searches.
+extern "C" __attribute__((noinline)) int TrProfilerTestAnchor(int x) {
+  // Volatile sink defeats whole-function folding.
+  volatile int v = x * 2 + 1;
+  return v;
+}
+
+core::UserAction MakeAction(core::UserId user, core::ItemId item,
+                            EventTime ts) {
+  core::UserAction a;
+  a.user = user;
+  a.item = item;
+  a.action = core::ActionType::kClick;
+  a.timestamp = ts;
+  return a;
+}
+
+// Burns CPU through the seeded ParallelItemCf pipeline until the profiler
+// has accumulated `min_samples` beyond `baseline` (or a generous timeout).
+void DriveUntilSampled(core::ParallelItemCf* cf, uint64_t baseline,
+                       uint64_t min_samples) {
+  EventTime ts = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (Profiler::Instance().total_samples() - baseline < min_samples &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (int u = 0; u < 64; ++u) {
+      for (int i = 0; i < 8; ++i) {
+        cf->ProcessAction(
+            MakeAction(static_cast<core::UserId>(u % 17),
+                       static_cast<core::ItemId>(1 + (u + i) % 23), ++ts));
+      }
+    }
+    cf->Drain();
+  }
+}
+
+TEST(StageRegistryTest, InternIsIdempotentAndNamed) {
+  const uint16_t a = InternStage("stage-test.alpha");
+  const uint16_t b = InternStage("stage-test.alpha");
+  const uint16_t c = InternStage("stage-test.beta");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, 0);
+  EXPECT_EQ(StageName(a), "stage-test.alpha");
+  EXPECT_EQ(StageName(0), "unregistered");
+  EXPECT_EQ(StageName(9999), "unregistered");
+}
+
+TEST(StageRegistryTest, RegisterThreadPublishesStageAndSlot) {
+  uint16_t seen_stage = 0;
+  int seen_slot = -1;
+  bool visited = false;
+  std::thread worker([&] {
+    const uint16_t id = RegisterStageThread("stage-test.worker");
+    seen_stage = CurrentStage();
+    seen_slot = CurrentStageSlot();
+    EXPECT_EQ(id, seen_stage);
+    VisitStageThreads([&](const StageThreadInfo& info) {
+      if (info.stage == id) visited = true;
+    });
+  });
+  worker.join();
+  EXPECT_EQ(StageName(seen_stage), "stage-test.worker");
+  EXPECT_GE(seen_slot, 0);
+  EXPECT_TRUE(visited);
+  // The slot was released on thread exit: nobody carries the stage now.
+  bool still_there = false;
+  VisitStageThreads([&](const StageThreadInfo& info) {
+    if (info.stage == seen_stage) still_there = true;
+  });
+  EXPECT_FALSE(still_there);
+}
+
+TEST(ProfilerTest, FoldedStackRoundTrip) {
+  // Hand-built aggregate: the folded exporter must emit root-first
+  // semicolon-joined frames with the stage as the synthetic root and the
+  // count last — the exact shape flamegraph.pl consumes.
+  Profiler::Aggregate agg;
+  Profiler::StackSample s;
+  s.stage = InternStage("folded-test.stage");
+  // Innermost-first, as the handler captures: anchor called from main.
+  s.pcs = {reinterpret_cast<uintptr_t>(&TrProfilerTestAnchor) + 4};
+  s.count = 42;
+  agg.total = 42;
+  agg.stacks.push_back(s);
+
+  const std::string folded = Profiler::Folded(agg);
+  ASSERT_FALSE(folded.empty());
+
+  // One line, "<root>;<frame> <count>\n".
+  std::istringstream lines(folded);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const size_t space = line.rfind(' ');
+  ASSERT_NE(space, std::string::npos);
+  EXPECT_EQ(line.substr(space + 1), "42");
+  const std::string frames = line.substr(0, space);
+  ASSERT_EQ(frames.rfind("folded-test.stage;", 0), 0u);
+  EXPECT_NE(frames.find("TrProfilerTestAnchor"), std::string::npos);
+  // Nothing else follows.
+  EXPECT_FALSE(std::getline(lines, line));
+}
+
+TEST(ProfilerTest, SymbolizesKnownLocalFrame) {
+  // +4: past the function's first byte, the way a sampled pc or return
+  // address lands mid-function; SymbolizePc backs up one byte itself.
+  const std::string sym = Profiler::SymbolizePc(
+      reinterpret_cast<uintptr_t>(&TrProfilerTestAnchor) + 4);
+  EXPECT_NE(sym.find("TrProfilerTestAnchor"), std::string::npos) << sym;
+  // Unknown addresses render as hex rather than failing.
+  const std::string unknown = Profiler::SymbolizePc(0x1234);
+  EXPECT_EQ(unknown.rfind("0x", 0), 0u) << unknown;
+}
+
+TEST(ProfilerTest, AttributesSamplesToRegisteredStages) {
+  RegisterStageThread("profiler-test.driver");
+  core::ParallelItemCf::Options opts;
+  opts.user_shards = 2;
+  opts.pair_shards = 2;
+  opts.metrics_scope = "proftest";
+  core::ParallelItemCf cf(opts);
+
+  Profiler& prof = Profiler::Instance();
+  Profiler::Options popts;
+  popts.hz = 997;  // dense sampling keeps this test fast on one core
+  ASSERT_TRUE(prof.Enabled());
+  ASSERT_TRUE(prof.Start(popts));
+
+  const uint64_t base_total = prof.total_samples();
+  const uint64_t base_unattributed = prof.stage_samples(0);
+  DriveUntilSampled(&cf, base_total, 200);
+  prof.Stop();
+
+  const uint64_t total = prof.total_samples() - base_total;
+  const uint64_t unattributed = prof.stage_samples(0) - base_unattributed;
+  ASSERT_GE(total, 200u) << "profiler produced too few samples";
+  // ISSUE 8 acceptance: >=90% of samples attributed to registered stages.
+  // Timers only ever attach to registered threads, so in practice this is
+  // ~100%; the bound guards the attribution plumbing end to end.
+  EXPECT_LE(unattributed * 10, total)
+      << "unattributed " << unattributed << " of " << total;
+
+  // The pipeline stages must show up by their registered names.
+  const uint16_t user_stage = InternStage("proftest.user-history");
+  const uint16_t pair_stage = InternStage("proftest.count+sim");
+  EXPECT_GT(prof.stage_samples(user_stage) + prof.stage_samples(pair_stage),
+            0u);
+
+  cf.Shutdown();
+}
+
+TEST(ProfilerTest, CollectWindowProducesFoldedStacks) {
+  RegisterStageThread("profiler-test.driver");
+  core::ParallelItemCf::Options opts;
+  opts.user_shards = 2;
+  opts.pair_shards = 2;
+  opts.metrics_scope = "profwin";
+  core::ParallelItemCf cf(opts);
+
+  Profiler& prof = Profiler::Instance();
+  Profiler::Options popts;
+  popts.hz = 997;
+  ASSERT_TRUE(prof.Start(popts));
+
+  // Keep the pipeline busy in the background while a window is collected.
+  std::atomic<bool> stop{false};
+  std::thread load([&] {
+    RegisterStageThread("profiler-test.load");
+    EventTime ts = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int u = 0; u < 64; ++u) {
+        cf.ProcessAction(MakeAction(static_cast<core::UserId>(u % 13),
+                                    static_cast<core::ItemId>(1 + u % 31),
+                                    ++ts));
+      }
+      cf.Drain();
+    }
+  });
+
+  const Profiler::Aggregate agg = prof.CollectWindow(1.0);
+  stop.store(true, std::memory_order_relaxed);
+  load.join();
+  prof.Stop();
+  cf.Shutdown();
+
+  ASSERT_GT(agg.total, 0u);
+  ASSERT_FALSE(agg.stacks.empty());
+  const std::string folded = Profiler::Folded(agg);
+  // Every line carries >=1 frame and a positive trailing count.
+  std::istringstream lines(folded);
+  std::string line;
+  size_t n_lines = 0;
+  uint64_t count_sum = 0;
+  while (std::getline(lines, line)) {
+    ++n_lines;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    count_sum += std::stoull(line.substr(space + 1));
+    EXPECT_FALSE(line.substr(0, space).empty());
+  }
+  EXPECT_EQ(n_lines, agg.stacks.size());
+  EXPECT_EQ(count_sum, agg.total);
+  // JSON rollup agrees on the total.
+  const std::string json = Profiler::Json(agg);
+  EXPECT_NE(json.find("\"total_samples\":"), std::string::npos);
+  EXPECT_NE(json.find("\"stages\":["), std::string::npos);
+}
+
+TEST(ProfilerTest, StartStopStartIsSignalSafe) {
+  // Exercises the stop/start races TSan + the late-signal hazard: timers
+  // deleted while signals may be in flight, handler gated by the running
+  // flag, new timers re-armed on live threads. Runs under the `concurrent`
+  // label, so the TSan build checks the handler/collector rings too.
+  RegisterStageThread("profiler-test.driver");
+  core::ParallelItemCf::Options opts;
+  opts.user_shards = 2;
+  opts.pair_shards = 2;
+  opts.metrics_scope = "profcycle";
+  core::ParallelItemCf cf(opts);
+
+  Profiler& prof = Profiler::Instance();
+  Profiler::Options popts;
+  popts.hz = 997;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ASSERT_TRUE(prof.Start(popts));
+    EXPECT_TRUE(prof.running());
+    EXPECT_FALSE(prof.Start(popts));  // double-start refused
+    const uint64_t base = prof.total_samples();
+    DriveUntilSampled(&cf, base, 20);
+    prof.Stop();
+    EXPECT_FALSE(prof.running());
+    // A few more actions after stop: late signals must be inert.
+    EventTime ts = 1000000 + cycle;
+    for (int u = 0; u < 32; ++u) {
+      cf.ProcessAction(MakeAction(static_cast<core::UserId>(u),
+                                  static_cast<core::ItemId>(1 + u), ++ts));
+    }
+    cf.Drain();
+  }
+  cf.Shutdown();
+
+  // Kill switch: disabled profiler refuses to start.
+  prof.SetEnabled(false);
+  EXPECT_FALSE(prof.Start(popts));
+  prof.SetEnabled(true);
+}
+
+TEST(ProfiledMutexTest, CountsUncontendedAcquisitions) {
+  SetContentionProfilingEnabled(true);
+  ProfiledMutex mu("mutex-test.uncontended");
+  ContentionSite* site = RegisterContentionSite("mutex-test.uncontended");
+  const uint64_t base = site->acquisitions();
+  for (int i = 0; i < 10; ++i) {
+    std::lock_guard<ProfiledMutex> lock(mu);
+  }
+  EXPECT_EQ(site->acquisitions() - base, 10u);
+  EXPECT_EQ(site->contended(), 0u);
+  EXPECT_EQ(site->wait_us_total(), 0u);
+}
+
+TEST(ProfiledMutexTest, RecordsWaitAndHolderStage) {
+  SetContentionProfilingEnabled(true);
+  ProfiledMutex mu("mutex-test.contended");
+  ContentionSite* site = RegisterContentionSite("mutex-test.contended");
+
+  std::atomic<bool> held{false};
+  std::thread holder([&] {
+    RegisterStageThread("mutex-test.holder");
+    std::lock_guard<ProfiledMutex> lock(mu);
+    held.store(true, std::memory_order_release);
+    // Hold long enough that the waiter measurably blocks.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  });
+  while (!held.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  {
+    // Contended acquisition on this thread; blame goes to the holder stage.
+    std::lock_guard<ProfiledMutex> lock(mu);
+  }
+  holder.join();
+
+  const uint16_t holder_stage = InternStage("mutex-test.holder");
+  EXPECT_GE(site->contended(), 1u);
+  EXPECT_GT(site->wait_us_total(), 0u);
+  EXPECT_GT(site->wait_us_max(), 0u);
+  EXPECT_GT(site->wait_us_by_holder(holder_stage), 0u);
+  ASSERT_NE(site->wait_hist(), nullptr);
+  EXPECT_GE(site->wait_hist()->Snap().count, 1u);
+
+  // The JSON rollup names the site and the blamed stage.
+  const std::string json = ContentionReportJson();
+  EXPECT_NE(json.find("\"mutex-test.contended\""), std::string::npos);
+  EXPECT_NE(json.find("mutex-test.holder"), std::string::npos);
+}
+
+TEST(ProfiledMutexTest, DisabledModeSkipsAccounting) {
+  SetContentionProfilingEnabled(false);
+  ProfiledMutex mu("mutex-test.disabled");
+  ContentionSite* site = RegisterContentionSite("mutex-test.disabled");
+  {
+    std::lock_guard<ProfiledMutex> lock(mu);
+  }
+  EXPECT_EQ(site->acquisitions(), 0u);
+  SetContentionProfilingEnabled(true);
+}
+
+}  // namespace
+}  // namespace tencentrec

@@ -1,0 +1,168 @@
+// CI smoke for the continuous profiling plane (DESIGN.md §13): boot a full
+// engine with the admin server and profiler enabled, keep the topology busy
+// from a load thread, pull a 2-second CPU profile over the ops HTTP plane,
+// and assert the folded output is real — non-empty, well-formed lines, at
+// least `TR_SMOKE_MIN_STACKS` deduplicated stacks, and >= 90% of samples
+// attributed to registered stage roots (the ISSUE 8 acceptance bar).
+//
+//   ./profile_smoke            # exit 0 = pass, 1 = fail
+//
+// Env:
+//   TR_SMOKE_MIN_STACKS=n   minimum deduped stacks (default 100)
+//   TR_SMOKE_SECONDS=s      profile window (default 2)
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/tencentrec.h"
+
+using namespace tencentrec;
+using namespace tencentrec::core;
+
+namespace {
+
+/// One raw GET against the embedded admin server; returns the body only.
+std::string HttpGetBody(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)!::write(fd, req.data(), req.size());
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) out.append(buf, n);
+  ::close(fd);
+  const size_t split = out.find("\r\n\r\n");
+  return split == std::string::npos ? "" : out.substr(split + 4);
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const int parsed = std::atoi(v);
+  return parsed > 0 ? parsed : fallback;
+}
+
+std::vector<UserAction> MakeBatch(Rng* rng, ZipfSampler* zipf, EventTime* t) {
+  const ActionType kTypes[] = {ActionType::kBrowse, ActionType::kClick,
+                               ActionType::kRead, ActionType::kPurchase};
+  std::vector<UserAction> actions;
+  actions.reserve(2000);
+  for (int i = 0; i < 2000; ++i) {
+    UserAction a;
+    a.user = static_cast<UserId>(1 + rng->Uniform(200));
+    a.item = static_cast<ItemId>(1 + zipf->Sample(*rng));
+    a.action = kTypes[rng->Uniform(4)];
+    a.timestamp = (*t += Seconds(1));
+    actions.push_back(a);
+  }
+  return actions;
+}
+
+}  // namespace
+
+int main() {
+  const int min_stacks = EnvInt("TR_SMOKE_MIN_STACKS", 100);
+  const int seconds = EnvInt("TR_SMOKE_SECONDS", 2);
+
+  engine::TencentRec::Options options;
+  options.app.app = "smoke";
+  options.app.parallelism = 2;
+  options.app.linked_time = Hours(4);
+  options.store.num_data_servers = 2;
+  options.store.num_instances = 8;
+  options.enable_admin_server = true;
+  options.enable_profiler = true;
+  options.profiler_hz = 997;  // dense sampling: a 2 s window must be enough
+  auto engine = engine::TencentRec::Create(options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "profile_smoke: engine: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  const int port = (*engine)->admin_server()->port();
+
+  // Keep every pipeline stage hot while the window is being collected.
+  std::atomic<bool> stop{false};
+  std::thread load([&] {
+    Rng rng(4242);
+    ZipfSampler zipf(300, 0.9);
+    EventTime t = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!(*engine)->ProcessBatch(MakeBatch(&rng, &zipf, &t)).ok()) return;
+    }
+  });
+
+  const std::string folded = HttpGetBody(
+      port, "/profile/cpu?seconds=" + std::to_string(seconds) +
+                "&format=folded");
+  stop.store(true, std::memory_order_relaxed);
+  load.join();
+
+  if (folded.empty()) {
+    std::fprintf(stderr, "profile_smoke: empty folded profile\n");
+    return 1;
+  }
+
+  // Validate shape and attribution: every line is "frames count", the root
+  // frame is the stage name, and unattributed samples stay under 10%.
+  std::istringstream lines(folded);
+  std::string line;
+  long long stacks = 0, total = 0, unattributed = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) {
+      std::fprintf(stderr, "profile_smoke: malformed line: %s\n",
+                   line.c_str());
+      return 1;
+    }
+    const long long count = std::atoll(line.c_str() + space + 1);
+    if (count <= 0) {
+      std::fprintf(stderr, "profile_smoke: bad count in: %s\n", line.c_str());
+      return 1;
+    }
+    ++stacks;
+    total += count;
+    if (line.rfind("unregistered;", 0) == 0 ||
+        line.substr(0, space) == "unregistered") {
+      unattributed += count;
+    }
+  }
+  std::printf("profile_smoke: %lld stacks, %lld samples, %lld unattributed\n",
+              stacks, total, unattributed);
+  if (stacks < min_stacks) {
+    std::fprintf(stderr, "profile_smoke: only %lld stacks (< %d)\n", stacks,
+                 min_stacks);
+    return 1;
+  }
+  if (unattributed * 10 > total) {
+    std::fprintf(stderr,
+                 "profile_smoke: %lld of %lld samples unattributed (>10%%)\n",
+                 unattributed, total);
+    return 1;
+  }
+  std::printf("profile_smoke: pass\n");
+  return 0;
+}
