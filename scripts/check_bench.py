@@ -7,11 +7,13 @@ fails when throughput regressed by more than the threshold.
 
 Fresh results are also checked against the observability overhead budget:
 every ``*_overhead_pct`` field (the paired plain-vs-instrumented ratios the
-micro benches emit, e.g. ``obs_overhead_pct`` and ``profiler_overhead_pct``)
-must stay at or below the absolute budget — 3% by default, per the
-DESIGN.md §12/§13 contract that the metrics/tracing/profiling planes are
-cheap enough to leave on. This is an absolute gate on the fresh run, not a
-baseline comparison: the budget IS the contract.
+micro benches emit, e.g. ``obs_overhead_pct``, ``profiler_overhead_pct``,
+and micro_recover's ``wal_overhead_pct`` — the WAL's share of per-action
+pipeline CPU) must stay at or below the absolute budget — 3% by default,
+per the DESIGN.md §12/§13/§14 contract that the metrics/tracing/profiling
+planes and the durability WAL are cheap enough to leave on. This is an
+absolute gate on the fresh run, not a baseline comparison: the budget IS
+the contract.
 
     scripts/check_bench.py [results-dir] [--threshold-pct 20]
                            [--overhead-budget-pct 3] [--ref HEAD]

@@ -7,7 +7,10 @@
 #   2. the profiling-plane smoke: boot a live engine, pull a 2 s CPU
 #      profile over /profile/cpu, and assert the folded output is real
 #      (>= 100 deduped stacks, >= 90% of samples stage-attributed);
-#   3. a ThreadSanitizer build running the `concurrent` label (sharded
+#   3. the `durable` label on its own (torn-tail recovery sweeps, snapshot
+#      round-trips, and the kill-mid-stream SIGKILL recovery test must pass
+#      standalone, not only interleaved with the suite);
+#   4. a ThreadSanitizer build running the `concurrent` label (sharded
 #      executor, striped histogram/tracer, batch clients, single-flight).
 #
 #   scripts/ci_verify.sh [build-dir] [tsan-build-dir]
@@ -28,6 +31,9 @@ cmake --build "$build_dir" -j
 
 echo "=== profiler smoke: live engine, 2 s folded profile ==="
 "$build_dir/tools/profile_smoke"
+
+echo "=== durable: WAL/snapshot recovery incl. kill-mid-stream ==="
+(cd "$build_dir" && ctest -L durable --output-on-failure)
 
 if [[ "${TR_SKIP_TSAN:-0}" == "1" ]]; then
   echo "=== tsan: skipped (TR_SKIP_TSAN=1) ==="

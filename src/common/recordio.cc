@@ -1,0 +1,121 @@
+#include "common/recordio.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace tencentrec {
+
+void PutFixed32LE(std::string* buf, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  b[2] = static_cast<char>((v >> 16) & 0xff);
+  b[3] = static_cast<char>((v >> 24) & 0xff);
+  buf->append(b, 4);
+}
+
+void PutFixed64LE(std::string* buf, uint64_t v) {
+  PutFixed32LE(buf, static_cast<uint32_t>(v & 0xffffffffu));
+  PutFixed32LE(buf, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetFixed32LE(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+uint64_t GetFixed64LE(const char* p) {
+  return static_cast<uint64_t>(GetFixed32LE(p)) |
+         (static_cast<uint64_t>(GetFixed32LE(p + 4)) << 32);
+}
+
+Status SyncFile(std::FILE* f, SyncPolicy policy, const std::string& path) {
+  if (policy == SyncPolicy::kNone) return Status::OK();
+  if (std::fflush(f) != 0) return Status::IOError("fflush failed on " + path);
+  if (policy == SyncPolicy::kFsyncEveryAppend ||
+      policy == SyncPolicy::kGroupCommit) {
+    if (::fsync(::fileno(f)) != 0) {
+      return Status::IOError("fsync failed on " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteLogHeader(std::FILE* f, uint32_t magic, uint32_t version,
+                      const std::string& path) {
+  std::string header;
+  PutFixed32LE(&header, magic);
+  PutFixed32LE(&header, version);
+  if (std::fwrite(header.data(), 1, header.size(), f) != header.size()) {
+    return Status::IOError("header write failed on " + path);
+  }
+  return Status::OK();
+}
+
+Status ReadLogHeader(std::FILE* f, uint32_t magic, uint32_t version,
+                     const std::string& path) {
+  char buf[kLogHeaderSize];
+  if (std::fread(buf, 1, sizeof(buf), f) != sizeof(buf)) {
+    return Status::NotFound("short header in " + path);
+  }
+  const uint32_t got_magic = GetFixed32LE(buf);
+  const uint32_t got_version = GetFixed32LE(buf + 4);
+  if (got_magic != magic) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (got_version != version) {
+    return Status::Corruption("unsupported version " +
+                              std::to_string(got_version) + " in " + path);
+  }
+  return Status::OK();
+}
+
+Result<size_t> AppendFrame(std::FILE* f, std::string_view payload,
+                           const std::string& path) {
+  // Stack header + direct payload write: no heap frame, no payload copy.
+  // stdio buffers both writes, so this has the same (lack of) atomicity as
+  // a single fwrite — short-write rollback stays the caller's job.
+  char header[kFrameOverhead];
+  const uint32_t crc = Crc32(payload);
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+    header[4 + i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+  if (std::fwrite(header, 1, sizeof(header), f) != sizeof(header) ||
+      (!payload.empty() &&
+       std::fwrite(payload.data(), 1, payload.size(), f) != payload.size())) {
+    return Status::IOError("append failed on " + path);
+  }
+  return kFrameOverhead + payload.size();
+}
+
+Result<std::string> ReadFrame(std::FILE* f, size_t max_payload,
+                              const std::string& path) {
+  char header[kFrameOverhead];
+  const size_t n = std::fread(header, 1, sizeof(header), f);
+  if (n == 0 && std::feof(f)) return Status::NotFound("end of log");
+  if (n != sizeof(header)) {
+    return Status::Corruption("torn frame header in " + path);
+  }
+  const uint32_t crc = GetFixed32LE(header);
+  const uint32_t len = GetFixed32LE(header + 4);
+  if (len > max_payload) {
+    return Status::Corruption("insane frame length in " + path);
+  }
+  std::string payload(len, '\0');
+  if (std::fread(payload.data(), 1, payload.size(), f) != payload.size()) {
+    return Status::Corruption("torn frame body in " + path);
+  }
+  if (Crc32(payload) != crc) {
+    return Status::Corruption("frame crc mismatch in " + path);
+  }
+  return payload;
+}
+
+}  // namespace tencentrec

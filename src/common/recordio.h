@@ -1,0 +1,85 @@
+#ifndef TENCENTREC_COMMON_RECORDIO_H_
+#define TENCENTREC_COMMON_RECORDIO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tencentrec {
+
+/// Shared on-disk framing for the append-only logs (tdaccess::SegmentLog,
+/// tdstore::Wal) and the engine snapshot files.
+///
+/// All integers are explicit little-endian: the files must mean the same
+/// bytes on every host, so a log written on one machine replays on another
+/// instead of silently mis-parsing (native-endian memcpy framing was a
+/// portability bug this module retired).
+///
+/// Every file starts with an 8-byte header `[u32 magic][u32 version]` so a
+/// future format change is detected up front (Corruption) rather than
+/// mis-framed record by record. Records are crc-framed:
+///
+///   [u32 crc][u32 payload_len][payload]       (crc covers payload only)
+///
+/// Readers stop at the first clean EOF, torn record, or crc mismatch — the
+/// valid prefix is the log's content and the caller truncates the rest.
+
+/// Appends `v` to `buf` as 4 little-endian bytes.
+void PutFixed32LE(std::string* buf, uint32_t v);
+/// Appends `v` to `buf` as 8 little-endian bytes.
+void PutFixed64LE(std::string* buf, uint64_t v);
+uint32_t GetFixed32LE(const char* p);
+uint64_t GetFixed64LE(const char* p);
+
+/// When to push an appended record toward the platter. The broker-style logs
+/// default to flush-per-append (survive process death); the TDStore WAL uses
+/// the fsync variants (survive power loss) with group commit amortizing the
+/// fsync over an interval.
+enum class SyncPolicy {
+  kNone,              ///< stdio buffering only; Close() flushes
+  kFlushEveryAppend,  ///< fflush per append: survives process crash
+  kFsyncEveryAppend,  ///< fflush+fsync per append: survives power loss
+  kGroupCommit,       ///< fflush+fsync at most once per configured interval
+};
+
+/// fflush (and for kFsyncEveryAppend/kGroupCommit, fsync) `f` as `policy`
+/// demands after one append. kGroupCommit callers decide the cadence
+/// themselves and pass kFsyncEveryAppend when the interval elapses.
+Status SyncFile(std::FILE* f, SyncPolicy policy, const std::string& path);
+
+/// `[u32 magic][u32 version]`, little-endian.
+inline constexpr size_t kLogHeaderSize = 8;
+
+/// Writes the file header at the current position (callers open fresh files
+/// and write it at offset 0).
+Status WriteLogHeader(std::FILE* f, uint32_t magic, uint32_t version,
+                      const std::string& path);
+
+/// Reads and verifies the header at the current position. A short read
+/// (file smaller than the header — a create torn mid-write) returns
+/// NotFound so the caller can re-initialize; a magic or version mismatch is
+/// Corruption, because guessing at an unknown format loses data silently.
+Status ReadLogHeader(std::FILE* f, uint32_t magic, uint32_t version,
+                     const std::string& path);
+
+/// Appends one crc-framed record; on success returns the bytes written
+/// (kFrameOverhead + payload size). On a short write the file position is
+/// unspecified — the caller owns truncating back to the last good offset.
+inline constexpr size_t kFrameOverhead = 8;
+Result<size_t> AppendFrame(std::FILE* f, std::string_view payload,
+                           const std::string& path);
+
+/// Reads the next crc-framed record at the current position.
+///   ok(payload)  — a whole, checksummed record;
+///   NotFound     — clean EOF (position exactly at end, no partial bytes);
+///   Corruption   — torn header/body or crc mismatch (end of valid prefix).
+/// `max_payload` bounds insane length fields from garbage bytes.
+Result<std::string> ReadFrame(std::FILE* f, size_t max_payload,
+                              const std::string& path);
+
+}  // namespace tencentrec
+
+#endif  // TENCENTREC_COMMON_RECORDIO_H_

@@ -45,6 +45,7 @@ Status TencentRec::Init() {
   auto store = tdstore::Cluster::Create(options_.store);
   if (!store.ok()) return store.status();
   store_ = std::move(store).value();
+  barrier_seq_ = store_->recovered_barrier_id();
 
   access_ = std::make_unique<tdaccess::Cluster>(options_.access);
   TR_RETURN_IF_ERROR(
@@ -509,6 +510,12 @@ Status TencentRec::ProcessBatch(
       if (!ckpt.ok()) return ckpt;
     }
   }
+  if (run.ok()) {
+    // Everything this batch wrote — topology bolts and the mirror
+    // checkpoint's BatchWriter flush — is now in the store, so the whole
+    // batch commits as one barrier across every server's WAL.
+    TR_RETURN_IF_ERROR(CommitStoreBarrier());
+  }
   // Batch boundary: the topology just rewrote counters/lists the query tier
   // may have cached, so drop every entry. The TTL alone would converge too,
   // but tests (and operators) expect a finished batch to be visible on the
@@ -516,6 +523,18 @@ Status TencentRec::ProcessBatch(
   if (query_cache_ != nullptr) query_cache_->Clear();
   return run;
 }
+
+Status TencentRec::CommitStoreBarrier() {
+  if (!store_->durable()) return Status::OK();
+  TR_RETURN_IF_ERROR(store_->CommitBarrier(++barrier_seq_));
+  if (options_.checkpoint_interval_batches > 0 &&
+      batches_run_ % options_.checkpoint_interval_batches == 0) {
+    TR_RETURN_IF_ERROR(store_->Checkpoint(barrier_seq_));
+  }
+  return Status::OK();
+}
+
+Status TencentRec::Checkpoint() { return store_->Checkpoint(barrier_seq_); }
 
 Status TencentRec::CheckpointMirror() {
   tdstore::BatchWriter::Options wopts;
@@ -565,6 +584,7 @@ Status TencentRec::ProcessFromAccess() {
                                                            group);
       },
       {}, options_.spout_parallelism);
+  if (run.ok()) TR_RETURN_IF_ERROR(CommitStoreBarrier());
   if (query_cache_ != nullptr) query_cache_->Clear();  // batch boundary
   return run;
 }

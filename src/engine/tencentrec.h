@@ -67,6 +67,12 @@ class TencentRec {
     /// costs a handful of grouped per-host calls instead of one put per
     /// item. Requires mirror_parallel_cf.
     bool mirror_checkpoint = false;
+    /// With store durability on (store.durability.enabled): checkpoint the
+    /// TDStore cluster every N batches — snapshot all instances, truncate
+    /// the WALs behind them — so recovery replays a bounded log. 0 never
+    /// auto-checkpoints; call Checkpoint() explicitly. Independent of the
+    /// per-batch commit barrier, which is always appended when durable.
+    int64_t checkpoint_interval_batches = 0;
     /// Sampled per-tuple tracing: trace 1 in N actions end to end
     /// (spout -> bolts -> store). 0 leaves the process-wide sampling rate
     /// untouched (tracing stays off unless something else enabled it).
@@ -137,6 +143,14 @@ class TencentRec {
   /// Runs one topology consuming the TDAccess topic until caught up.
   Status ProcessFromAccess();
 
+  /// Checkpoints the TDStore cluster now (no-op when durability is off):
+  /// snapshots every instance and resets the WALs behind the snapshots.
+  Status Checkpoint();
+
+  /// The barrier id of the last committed batch (resumes from the store's
+  /// recovered barrier after a restart; 0 = nothing committed).
+  uint64_t last_barrier() const { return barrier_seq_; }
+
   /// --- queries (recommender engine) ---
   topo::StoreQuery& query() { return *query_; }
 
@@ -180,6 +194,11 @@ class TencentRec {
   /// Exports the drained mirror's state into TDStore through a BatchWriter
   /// (mirror_checkpoint).
   Status CheckpointMirror();
+  /// Post-batch durability hook: appends the next commit barrier to every
+  /// store WAL (after the mirror checkpoint's BatchWriter flush, so the
+  /// barrier covers a consistent post-flush state) and auto-checkpoints on
+  /// the configured interval. No-op when durability is off.
+  Status CommitStoreBarrier();
 
   Options options_;
   std::unique_ptr<tdstore::Cluster> store_;
@@ -192,6 +211,9 @@ class TencentRec {
   std::unique_ptr<core::ParallelItemCf> parallel_cf_;
   std::vector<tstorm::ComponentMetrics> last_metrics_;
   int64_t batches_run_ = 0;
+  /// Monotone commit-barrier sequence; seeded from the store's recovered
+  /// barrier so numbering continues across restarts.
+  uint64_t barrier_seq_ = 0;
 
   obs::HealthRegistry health_;
   std::unique_ptr<obs::TimeSeriesStore> timeseries_;

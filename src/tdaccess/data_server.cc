@@ -19,7 +19,10 @@ Status DataServer::CreatePartition(const std::string& topic, int partition) {
     path = data_dir_ + "/" + topic + "." + std::to_string(partition) + ".s" +
            std::to_string(server_id_) + ".log";
   }
-  TR_RETURN_IF_ERROR(log->Open(path));
+  // Flush-per-append: a record the broker acknowledged must survive broker
+  // process death (fsync-grade durability is the TDStore WAL's job; the
+  // stream tier's contract is replayability across restarts, §3.2).
+  TR_RETURN_IF_ERROR(log->Open(path, SyncPolicy::kFlushEveryAppend));
   logs_[key] = std::move(log);
   return Status::OK();
 }

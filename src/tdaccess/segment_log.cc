@@ -1,104 +1,130 @@
 #include "tdaccess/segment_log.h"
 
-#include <cstring>
+#include <unistd.h>
 
-#include "common/crc32.h"
+#include <cstring>
 
 namespace tencentrec::tdaccess {
 
 namespace {
 
-// On-disk record: [u32 crc][u32 key_len][u32 payload_len][i64 ts][key][payload]
-// crc covers everything after the crc field.
-constexpr size_t kHeaderSize = 4 + 4 + 4 + 8;
+// File header identifying a TDAccess segment log ("TDAL", version 1).
+constexpr uint32_t kMagic = 0x4c414454;
+constexpr uint32_t kVersion = 1;
 
-void PutU32(std::string* buf, uint32_t v) {
-  char b[4];
-  std::memcpy(b, &v, 4);
-  buf->append(b, 4);
-}
-
-void PutI64(std::string* buf, int64_t v) {
-  char b[8];
-  std::memcpy(b, &v, 8);
-  buf->append(b, 8);
-}
-
-uint32_t GetU32(const char* p) {
-  uint32_t v;
-  std::memcpy(&v, p, 4);
-  return v;
-}
-
-int64_t GetI64(const char* p) {
-  int64_t v;
-  std::memcpy(&v, p, 8);
-  return v;
-}
+// Frame payload: [u32 key_len][u32 payload_len][i64 ts][key][payload],
+// little-endian (common/recordio frames it with [crc][len]).
+constexpr size_t kBodyHeaderSize = 4 + 4 + 8;
+constexpr size_t kMaxKeyLen = 1u << 24;
+constexpr size_t kMaxPayloadLen = 1u << 28;
 
 std::string EncodeRecord(const Message& msg) {
   std::string body;
-  PutU32(&body, static_cast<uint32_t>(msg.key.size()));
-  PutU32(&body, static_cast<uint32_t>(msg.payload.size()));
-  PutI64(&body, msg.timestamp);
+  body.reserve(kBodyHeaderSize + msg.key.size() + msg.payload.size());
+  PutFixed32LE(&body, static_cast<uint32_t>(msg.key.size()));
+  PutFixed32LE(&body, static_cast<uint32_t>(msg.payload.size()));
+  PutFixed64LE(&body, static_cast<uint64_t>(msg.timestamp));
   body += msg.key;
   body += msg.payload;
-  std::string out;
-  PutU32(&out, Crc32(body));
-  out += body;
-  return out;
+  return body;
+}
+
+Result<Message> DecodeRecord(const std::string& body) {
+  if (body.size() < kBodyHeaderSize) {
+    return Status::Corruption("segment record too short");
+  }
+  const uint32_t key_len = GetFixed32LE(body.data());
+  const uint32_t payload_len = GetFixed32LE(body.data() + 4);
+  if (key_len > kMaxKeyLen || payload_len > kMaxPayloadLen ||
+      body.size() != kBodyHeaderSize + key_len + payload_len) {
+    return Status::Corruption("segment record length mismatch");
+  }
+  Message msg;
+  msg.timestamp = static_cast<EventTime>(GetFixed64LE(body.data() + 8));
+  msg.key = body.substr(kBodyHeaderSize, key_len);
+  msg.payload = body.substr(kBodyHeaderSize + key_len);
+  return msg;
 }
 
 }  // namespace
 
 SegmentLog::~SegmentLog() { Close(); }
 
-Status SegmentLog::Open(const std::string& path) {
+Status SegmentLog::Open(const std::string& path, SyncPolicy sync) {
   std::lock_guard<std::mutex> lock(mu_);
   if (open_) return Status::FailedPrecondition("log already open");
   open_ = true;
   path_ = path;
+  // Group-commit cadence belongs to the WAL layer; the broker log has no
+  // interval clock, so the nearest meaningful policy applies.
+  sync_ = sync == SyncPolicy::kGroupCommit ? SyncPolicy::kFlushEveryAppend
+                                           : sync;
   records_.clear();
+  tail_bytes_ = 0;
   if (path_.empty()) return Status::OK();  // memory-only
 
   // Recover any existing records first.
   std::FILE* existing = std::fopen(path_.c_str(), "rb");
   long valid_bytes = 0;
+  bool has_header = false;
   if (existing != nullptr) {
-    std::string header(kHeaderSize, '\0');
-    while (true) {
-      size_t n = std::fread(header.data(), 1, kHeaderSize, existing);
-      if (n != kHeaderSize) break;  // clean end or torn header
-      uint32_t crc = GetU32(header.data());
-      uint32_t key_len = GetU32(header.data() + 4);
-      uint32_t payload_len = GetU32(header.data() + 8);
-      int64_t ts = GetI64(header.data() + 12);
-      if (key_len > (1u << 24) || payload_len > (1u << 28)) break;  // insane
-      std::string data(static_cast<size_t>(key_len) + payload_len, '\0');
-      if (std::fread(data.data(), 1, data.size(), existing) != data.size()) {
-        break;  // torn record body
-      }
-      std::string body = header.substr(4);
-      body += data;
-      if (Crc32(body) != crc) break;  // corrupted tail
-      Message msg;
-      msg.key = data.substr(0, key_len);
-      msg.payload = data.substr(key_len);
-      msg.timestamp = ts;
-      records_.push_back(std::move(msg));
-      valid_bytes += static_cast<long>(kHeaderSize + data.size());
+    Status header = ReadLogHeader(existing, kMagic, kVersion, path_);
+    if (header.IsCorruption()) {
+      std::fclose(existing);
+      open_ = false;
+      return header;  // unknown format: refuse rather than clobber
     }
+    if (header.ok()) {
+      has_header = true;
+      valid_bytes = static_cast<long>(kLogHeaderSize);
+      while (true) {
+        auto frame = ReadFrame(existing, kBodyHeaderSize + kMaxKeyLen +
+                                             kMaxPayloadLen,
+                               path_);
+        if (!frame.ok()) break;  // clean EOF or torn/corrupt tail
+        auto msg = DecodeRecord(*frame);
+        if (!msg.ok()) break;  // framed garbage: end of valid prefix
+        records_.push_back(std::move(msg).value());
+        valid_bytes += static_cast<long>(kFrameOverhead + frame->size());
+      }
+    }
+    // A header-less stub (file shorter than the header) is a torn create:
+    // valid_bytes stays 0 and the reopen below rewrites it from scratch.
     std::fclose(existing);
   }
 
-  // Reopen for appending, truncating any torn tail.
+  // Reopen for appending. The torn tail is truncated OFF THE DISK, not just
+  // seeked past: a seek alone leaves the stale bytes in place, where a
+  // crash before the next append overwrites them lets them survive open
+  // cycles and — after a short append lands in front of them — potentially
+  // mis-frame as a valid-looking record.
   file_ = std::fopen(path_.c_str(), existing != nullptr ? "rb+" : "wb+");
-  if (file_ == nullptr) return Status::IOError("cannot open " + path_);
-  if (std::fseek(file_, valid_bytes, SEEK_SET) != 0) {
+  if (file_ == nullptr) {
+    open_ = false;
+    return Status::IOError("cannot open " + path_);
+  }
+  if (::ftruncate(::fileno(file_), valid_bytes) != 0) {
     std::fclose(file_);
     file_ = nullptr;
+    open_ = false;
+    return Status::IOError("cannot truncate " + path_);
+  }
+  if (!has_header) {
+    if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+        !WriteLogHeader(file_, kMagic, kVersion, path_).ok()) {
+      std::fclose(file_);
+      file_ = nullptr;
+      open_ = false;
+      return Status::IOError("cannot write header of " + path_);
+    }
+    valid_bytes = static_cast<long>(kLogHeaderSize);
+  } else if (std::fseek(file_, valid_bytes, SEEK_SET) != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    open_ = false;
     return Status::IOError("cannot seek " + path_);
   }
+  tail_bytes_ = valid_bytes;
   return Status::OK();
 }
 
@@ -106,10 +132,17 @@ Result<Offset> SegmentLog::Append(const Message& msg) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!path_.empty()) {
     if (file_ == nullptr) return Status::FailedPrecondition("log not open");
-    std::string record = EncodeRecord(msg);
-    if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
-      return Status::IOError("append failed on " + path_);
+    auto written = AppendFrame(file_, EncodeRecord(msg), path_);
+    if (!written.ok()) {
+      // Roll the torn record back off the disk so the file ends at the last
+      // good boundary; leaving it mid-file would poison the next recovery.
+      (void)std::fflush(file_);
+      (void)::ftruncate(::fileno(file_), tail_bytes_);
+      (void)std::fseek(file_, tail_bytes_, SEEK_SET);
+      return written.status();
     }
+    tail_bytes_ += static_cast<long>(*written);
+    TR_RETURN_IF_ERROR(SyncFile(file_, sync_, path_));
   }
   records_.push_back(msg);
   return static_cast<Offset>(records_.size()) - 1;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/recordio.h"
 #include "common/status.h"
 #include "tdaccess/message.h"
 
@@ -18,7 +19,13 @@ namespace tencentrec::tdaccess {
 /// §3.2), relying on sequential I/O for speed. This log appends
 /// length-prefixed CRC-checked records to a file and keeps an in-memory
 /// offset index for random reads; Open() on an existing file replays it and
-/// truncates a torn tail.
+/// truncates a torn tail — physically (ftruncate), so stale torn bytes can
+/// never survive an open/close cycle and later mis-frame as a record.
+///
+/// On-disk format (common/recordio): an 8-byte `[magic][version]` file
+/// header, then per record a crc frame whose payload is
+/// `[u32 key_len][u32 payload_len][i64 ts][key][payload]`, all integers
+/// explicit little-endian so logs are portable across hosts.
 ///
 /// With an empty path the log is memory-only (used by unit tests and
 /// benchmarks that don't exercise durability).
@@ -31,9 +38,16 @@ class SegmentLog {
   SegmentLog& operator=(const SegmentLog&) = delete;
 
   /// Opens (creating or recovering) the log. `path` empty = memory-only.
-  Status Open(const std::string& path);
+  /// `sync` decides what each Append pays for durability; the tdaccess
+  /// broker opens its partition logs with kFlushEveryAppend so an appended
+  /// record survives process death, not just Close(). kGroupCommit is
+  /// treated as kFlushEveryAppend here (the WAL owns group-commit cadence).
+  Status Open(const std::string& path,
+              SyncPolicy sync = SyncPolicy::kNone);
 
-  /// Appends and returns the record's offset.
+  /// Appends and returns the record's offset. A short write truncates the
+  /// file back to the last good record boundary before reporting the error,
+  /// so a failed append never leaves a torn record mid-file.
   Result<Offset> Append(const Message& msg);
 
   /// Reads up to `max_records` starting at `from` (inclusive). Returns fewer
@@ -46,12 +60,14 @@ class SegmentLog {
   Status Close();
 
  private:
-  Status Recover();
-
   mutable std::mutex mu_;
   bool open_ = false;
   std::string path_;
+  SyncPolicy sync_ = SyncPolicy::kNone;
   std::FILE* file_ = nullptr;
+  /// Byte offset of the end of the last durable record (== file size after
+  /// Open/Append); short appends truncate back to it.
+  long tail_bytes_ = 0;
   // In-memory copy of all records. The file is the durable story; this is
   // the "cache in disk ... sequential operations" trade made readable: reads
   // never touch the file after recovery.

@@ -1,5 +1,8 @@
 #include "tdstore/batch_writer.h"
 
+#include <memory>
+
+#include "common/trace.h"
 #include "tdstore/codec.h"
 
 namespace tencentrec::tdstore {
@@ -31,6 +34,7 @@ void BatchWriter::Put(std::string_view key, std::string_view value,
     // op's outcome (the overwrite made its effect unobservable anyway).
     StagedOp& op = ops_[idx_it->second];
     op.value = std::string(value);
+    if (op.trace_id == 0) op.trace_id = CurrentTraceId();
     if (cb != nullptr) {
       if (op.put_cb != nullptr) {
         PutCallback prev = std::move(op.put_cb);
@@ -51,6 +55,7 @@ void BatchWriter::Put(std::string_view key, std::string_view value,
   op.key = k;
   op.value = std::string(value);
   op.put_cb = std::move(cb);
+  op.trace_id = CurrentTraceId();
   put_index_[k] = ops_.size();
   staged_kind_[std::move(k)] = Kind::kPut;
   ops_.push_back(std::move(op));
@@ -71,6 +76,7 @@ void BatchWriter::IncrDouble(std::string_view key, double delta,
   op.key = std::string(key);
   op.ddelta = delta;
   op.incr_double_cb = std::move(cb);
+  op.trace_id = CurrentTraceId();
   staged_kind_[op.key] = Kind::kIncrDouble;
   ops_.push_back(std::move(op));
   MaybeAutoFlush();
@@ -85,9 +91,20 @@ void BatchWriter::IncrInt64(std::string_view key, int64_t delta,
   op.key = std::string(key);
   op.idelta = delta;
   op.incr_int64_cb = std::move(cb);
+  op.trace_id = CurrentTraceId();
   staged_kind_[op.key] = Kind::kIncrInt64;
   ops_.push_back(std::move(op));
   MaybeAutoFlush();
+}
+
+const std::string* BatchWriter::StagedPut(const std::string& key) const {
+  auto it = put_index_.find(key);
+  if (it == put_index_.end()) return nullptr;
+  return &ops_[it->second].value;
+}
+
+bool BatchWriter::HasStaged(const std::string& key) const {
+  return staged_kind_.find(key) != staged_kind_.end();
 }
 
 void BatchWriter::MaybeAutoFlush() {
@@ -144,10 +161,27 @@ Status BatchWriter::Flush() {
     if (first_error.ok()) first_error = s;
     if (last_error_.ok()) last_error_ = s;
   };
+  // Staging detached these writes from the Executes that issued them;
+  // re-attach each sampled op by spanning this flush's store call under its
+  // staged trace id, so a sampled trace still reaches tdstore.write.
+  auto sampled_spans = [&ops](const std::vector<size_t>& src) {
+    std::vector<std::unique_ptr<ScopedSpan>> spans;
+    for (size_t i : src) {
+      if (ops[i].trace_id != 0) {
+        spans.push_back(
+            std::make_unique<ScopedSpan>(ops[i].trace_id, "tdstore.write"));
+      }
+    }
+    return spans;
+  };
 
   if (!puts.empty()) {
     std::vector<Status> statuses;
-    Status overall = client_->MultiPut(puts, &statuses);
+    Status overall;
+    {
+      auto spans = sampled_spans(put_src);
+      overall = client_->MultiPut(puts, &statuses);
+    }
     for (size_t i = 0; i < put_src.size(); ++i) {
       const Status& s = overall.ok() ? statuses[i] : overall;
       note(s);
@@ -156,7 +190,11 @@ Status BatchWriter::Flush() {
   }
   if (!dadds.empty()) {
     std::vector<Result<double>> results;
-    Status overall = client_->MultiIncrDouble(dadds, &results);
+    Status overall;
+    {
+      auto spans = sampled_spans(dadd_src);
+      overall = client_->MultiIncrDouble(dadds, &results);
+    }
     for (size_t i = 0; i < dadd_src.size(); ++i) {
       Result<double> r = overall.ok() ? std::move(results[i])
                                       : Result<double>(overall);
@@ -168,7 +206,11 @@ Status BatchWriter::Flush() {
   }
   if (!iadds.empty()) {
     std::vector<Result<int64_t>> results;
-    Status overall = client_->MultiIncrInt64(iadds, &results);
+    Status overall;
+    {
+      auto spans = sampled_spans(iadd_src);
+      overall = client_->MultiIncrInt64(iadds, &results);
+    }
     for (size_t i = 0; i < iadd_src.size(); ++i) {
       Result<int64_t> r = overall.ok() ? std::move(results[i])
                                        : Result<int64_t>(overall);

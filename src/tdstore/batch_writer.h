@@ -66,6 +66,14 @@ class BatchWriter {
   /// Ops currently staged.
   size_t pending() const { return ops_.size(); }
 
+  /// Value of the live staged put for `key`, or nullptr when none is
+  /// staged. Lets a write-behind cache serve read-your-writes even after
+  /// its copy of the key was evicted. The pointer is valid only until the
+  /// next staging call or Flush().
+  const std::string* StagedPut(const std::string& key) const;
+  /// True when ANY op (put or incr) is staged for `key`.
+  bool HasStaged(const std::string& key) const;
+
   /// First error seen by any flush since the last ClearError() — lets a
   /// caller that relies on callbacks alone detect that something went wrong
   /// without tracking every op.
@@ -83,6 +91,10 @@ class BatchWriter {
     std::string value;  ///< kPut payload
     double ddelta = 0.0;
     int64_t idelta = 0;
+    /// Trace active when the op was staged (0 = unsampled). Flush re-opens
+    /// a tdstore.write span under it so a sampled trace still reaches the
+    /// store write even though the write ships later in a batch.
+    uint64_t trace_id = 0;
     PutCallback put_cb;
     IncrDoubleCallback incr_double_cb;
     IncrInt64Callback incr_int64_cb;

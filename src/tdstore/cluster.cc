@@ -1,5 +1,8 @@
 #include "tdstore/cluster.h"
 
+#include <algorithm>
+#include <filesystem>
+
 namespace tencentrec::tdstore {
 
 Cluster::Cluster(const Options& options) : options_(options) {}
@@ -66,6 +69,43 @@ Status Cluster::Init() {
     }
     table.placements.push_back(p);
   }
+
+  if (options_.durability.enabled) {
+    if (options_.durability.dir.empty()) {
+      return Status::InvalidArgument("durability.dir is required");
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(options_.durability.dir, ec);
+    if (ec) {
+      return Status::IOError("cannot create durability dir " +
+                             options_.durability.dir + ": " + ec.message());
+    }
+    for (auto& server : servers_) {
+      TR_RETURN_IF_ERROR(server->EnableDurability(options_.durability.dir,
+                                                  options_.durability.wal));
+    }
+    // The commit point is the newest barrier EVERY server holds durably. A
+    // barrier only one server fsynced before the crash is not a consistent
+    // cut — some other server's ops for that batch may be lost — so
+    // recovery stops at the minimum and truncates everything after it.
+    uint64_t commit = servers_[0]->WalLastBarrier();
+    for (auto& server : servers_) {
+      commit = std::min(commit, server->WalLastBarrier());
+    }
+    for (auto& server : servers_) {
+      TR_RETURN_IF_ERROR(server->RecoverDurable(commit));
+    }
+    recovered_barrier_ = commit;
+    // Slave copies are not separately checkpointed; re-seed them from the
+    // recovered hosts (a no-op scan on a cold start).
+    for (const auto& p : table.placements) {
+      if (p.slave_server < 0) continue;
+      DataServer* host = servers_[static_cast<size_t>(p.host_server)].get();
+      DataServer* slave = servers_[static_cast<size_t>(p.slave_server)].get();
+      TR_RETURN_IF_ERROR(host->CopyInstanceTo(p.instance_id, slave));
+    }
+  }
+
   return configs_[0]->Install(std::move(table));
 }
 
@@ -163,6 +203,24 @@ Status Cluster::FlushReplication() {
   for (auto& server : servers_) {
     if (server->IsDown()) continue;
     TR_RETURN_IF_ERROR(server->FlushReplication());
+  }
+  return Status::OK();
+}
+
+Status Cluster::CommitBarrier(uint64_t barrier_id) {
+  if (!options_.durability.enabled) return Status::OK();
+  for (auto& server : servers_) {
+    if (server->IsDown()) continue;
+    TR_RETURN_IF_ERROR(server->AppendBarrier(barrier_id));
+  }
+  return Status::OK();
+}
+
+Status Cluster::Checkpoint(uint64_t barrier_id) {
+  if (!options_.durability.enabled) return Status::OK();
+  for (auto& server : servers_) {
+    if (server->IsDown()) continue;
+    TR_RETURN_IF_ERROR(server->Checkpoint(barrier_id));
   }
   return Status::OK();
 }

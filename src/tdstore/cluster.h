@@ -25,6 +25,18 @@ class Cluster {
     /// failover tests). Asynchronous matches the paper's "slave updates when
     /// idle"; drain with FlushReplication().
     bool sync_replication = true;
+    /// Durable-state plane (DESIGN.md §14): per-server WALs and
+    /// per-instance snapshot checkpoints under `dir`. Create() then boots by
+    /// recovery — snapshot restore plus WAL replay up to the newest barrier
+    /// every server holds — instead of starting empty. Recovery assumes the
+    /// boot-time placement; combining durable recovery with runtime
+    /// failover (FailDataServer) is out of scope.
+    struct Durability {
+      bool enabled = false;
+      std::string dir;  ///< required when enabled
+      Wal::Options wal;
+    };
+    Durability durability;
   };
 
   static Result<std::unique_ptr<Cluster>> Create(const Options& options);
@@ -49,12 +61,32 @@ class Cluster {
   /// Drains async replication queues on all servers.
   Status FlushReplication();
 
+  /// --- durable state (no-ops returning OK when durability is off) ---
+
+  /// Appends barrier `barrier_id` (fsynced) to every live server's WAL,
+  /// committing everything logged so far as a consistent recovery point.
+  /// The processing tier calls this after each batch's store flush.
+  Status CommitBarrier(uint64_t barrier_id);
+
+  /// Checkpoints every server: snapshot all hosted instances and reset the
+  /// WALs behind the snapshots. `barrier_id` is the last committed barrier
+  /// (0 = none yet); it is re-seeded into the fresh WALs so recovery after
+  /// a post-checkpoint crash still reports it. After this, recovery starts
+  /// from the snapshots.
+  Status Checkpoint(uint64_t barrier_id);
+
+  /// The barrier id boot recovery replayed to (0 = cold start or
+  /// durability off). The processing tier resumes barrier numbering here.
+  uint64_t recovered_barrier_id() const { return recovered_barrier_; }
+  bool durable() const { return options_.durability.enabled; }
+
  private:
   explicit Cluster(const Options& options);
   Status Init();
 
   Options options_;
   int num_instances_ = 0;
+  uint64_t recovered_barrier_ = 0;
   std::vector<std::unique_ptr<DataServer>> servers_;
   std::unique_ptr<ConfigServer> configs_[2];
   int active_config_ = 0;

@@ -1,5 +1,8 @@
 #include "tdstore/data_server.h"
 
+#include <algorithm>
+
+#include "common/metrics.h"
 #include "tdstore/codec.h"
 
 namespace tencentrec::tdstore {
@@ -100,6 +103,10 @@ Status DataServer::Put(int instance_id, std::string_view key,
   }
   std::lock_guard lock(inst->mu);
   if (!inst->is_host) return Status::Unavailable("not the host replica");
+  if (wal_ != nullptr) {
+    const WalOpView op{false, key, value};
+    TR_RETURN_IF_ERROR(WalAppendLocked(instance_id, &op, 1));
+  }
   TR_RETURN_IF_ERROR(inst->engine->Put(key, value));
   ReplicationRecord rec;
   rec.ops.push_back({std::string(key), std::string(value), false});
@@ -133,6 +140,10 @@ Status DataServer::Delete(int instance_id, std::string_view key) {
   }
   std::lock_guard lock(inst->mu);
   if (!inst->is_host) return Status::Unavailable("not the host replica");
+  if (wal_ != nullptr) {
+    const WalOpView op{true, key, {}};
+    TR_RETURN_IF_ERROR(WalAppendLocked(instance_id, &op, 1));
+  }
   TR_RETURN_IF_ERROR(inst->engine->Delete(key));
   ReplicationRecord rec;
   rec.ops.push_back({std::string(key), std::string(), true});
@@ -195,6 +206,12 @@ Result<double> DataServer::IncrDouble(int instance_id, std::string_view key,
   Result<double> next = IncrDoubleLocked(inst->engine.get(), key, delta,
                                          &encoded);
   if (!next.ok()) return next;
+  if (wal_ != nullptr) {
+    // Logged as the encoded post-increment value (same shape replication
+    // ships), so replay is an idempotent overwrite, never a re-add.
+    const WalOpView op{false, key, encoded};
+    TR_RETURN_IF_ERROR(WalAppendLocked(instance_id, &op, 1));
+  }
   ReplicationRecord rec;
   rec.ops.push_back({std::string(key), std::move(encoded), false});
   ReplicateLocked(inst, instance_id, std::move(rec));
@@ -216,6 +233,10 @@ Result<int64_t> DataServer::IncrInt64(int instance_id, std::string_view key,
   Result<int64_t> next = IncrInt64Locked(inst->engine.get(), key, delta,
                                          &encoded);
   if (!next.ok()) return next;
+  if (wal_ != nullptr) {
+    const WalOpView op{false, key, encoded};
+    TR_RETURN_IF_ERROR(WalAppendLocked(instance_id, &op, 1));
+  }
   ReplicationRecord rec;
   rec.ops.push_back({std::string(key), std::move(encoded), false});
   ReplicateLocked(inst, instance_id, std::move(rec));
@@ -284,6 +305,8 @@ Status DataServer::MultiPut(const std::vector<BatchPut>& items,
       continue;
     }
     ReplicationRecord rec;
+    std::vector<WalOpView> wal_ops;
+    if (wal_ != nullptr) wal_ops.reserve(j - i);
     for (size_t k = i; k < j; ++k) {
       writes_.fetch_add(1, std::memory_order_relaxed);
       Status s = inst->engine->Put(items[k].key, items[k].value);
@@ -291,7 +314,14 @@ Status DataServer::MultiPut(const std::vector<BatchPut>& items,
       if (s.ok() && inst->slave != nullptr) {
         rec.ops.push_back({items[k].key, items[k].value, false});
       }
+      if (s.ok() && wal_ != nullptr) {
+        wal_ops.push_back({false, items[k].key, items[k].value});
+      }
     }
+    // The whole run is one atomic WAL record: recovery replays all of it or
+    // (past the commit barrier) none of it.
+    TR_RETURN_IF_ERROR(WalAppendLocked(items[i].instance_id, wal_ops.data(),
+                                       wal_ops.size()));
     ReplicateLocked(inst, items[i].instance_id, std::move(rec));
     i = j;
   }
@@ -325,6 +355,13 @@ Status DataServer::MultiIncrDouble(const std::vector<BatchIncrDouble>& items,
       continue;
     }
     ReplicationRecord rec;
+    std::vector<WalOpView> wal_ops;
+    // Reserved upfront so views into wal_vals stay stable across push_back.
+    std::vector<std::string> wal_vals;
+    if (wal_ != nullptr) {
+      wal_ops.reserve(j - i);
+      wal_vals.reserve(j - i);
+    }
     std::string encoded;
     for (size_t k = i; k < j; ++k) {
       writes_.fetch_add(1, std::memory_order_relaxed);
@@ -333,8 +370,14 @@ Status DataServer::MultiIncrDouble(const std::vector<BatchIncrDouble>& items,
       if (r.ok() && inst->slave != nullptr) {
         rec.ops.push_back({items[k].key, encoded, false});
       }
+      if (r.ok() && wal_ != nullptr) {
+        wal_vals.push_back(encoded);
+        wal_ops.push_back({false, items[k].key, wal_vals.back()});
+      }
       (*out)[k] = std::move(r);
     }
+    TR_RETURN_IF_ERROR(WalAppendLocked(items[i].instance_id, wal_ops.data(),
+                                       wal_ops.size()));
     ReplicateLocked(inst, items[i].instance_id, std::move(rec));
     i = j;
   }
@@ -368,6 +411,13 @@ Status DataServer::MultiIncrInt64(const std::vector<BatchIncrInt64>& items,
       continue;
     }
     ReplicationRecord rec;
+    std::vector<WalOpView> wal_ops;
+    // Reserved upfront so views into wal_vals stay stable across push_back.
+    std::vector<std::string> wal_vals;
+    if (wal_ != nullptr) {
+      wal_ops.reserve(j - i);
+      wal_vals.reserve(j - i);
+    }
     std::string encoded;
     for (size_t k = i; k < j; ++k) {
       writes_.fetch_add(1, std::memory_order_relaxed);
@@ -376,8 +426,14 @@ Status DataServer::MultiIncrInt64(const std::vector<BatchIncrInt64>& items,
       if (r.ok() && inst->slave != nullptr) {
         rec.ops.push_back({items[k].key, encoded, false});
       }
+      if (r.ok() && wal_ != nullptr) {
+        wal_vals.push_back(encoded);
+        wal_ops.push_back({false, items[k].key, wal_vals.back()});
+      }
       (*out)[k] = std::move(r);
     }
+    TR_RETURN_IF_ERROR(WalAppendLocked(items[i].instance_id, wal_ops.data(),
+                                       wal_ops.size()));
     ReplicateLocked(inst, items[i].instance_id, std::move(rec));
     i = j;
   }
@@ -502,6 +558,131 @@ size_t DataServer::TotalKeys() const {
   size_t n = 0;
   for (const auto& [id, inst] : instances_) n += inst->engine->Count();
   return n;
+}
+
+Status DataServer::WalAppendLocked(int instance_id, const WalOpView* ops,
+                                   size_t count) {
+  if (wal_ == nullptr || count == 0) return Status::OK();
+  return wal_->AppendOps(instance_id, ops, count);
+}
+
+std::string DataServer::SnapshotPath(int instance_id) const {
+  return durable_dir_ + "/server" + std::to_string(server_id_) + ".i" +
+         std::to_string(instance_id) + ".snap";
+}
+
+Status DataServer::EnableDurability(const std::string& dir,
+                                    const Wal::Options& options) {
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("durability already enabled");
+  }
+  if (dir.empty()) return Status::InvalidArgument("durability needs a dir");
+  auto wal = std::make_unique<Wal>();
+  TR_RETURN_IF_ERROR(wal->Open(
+      dir + "/server" + std::to_string(server_id_) + ".wal", options));
+  durable_dir_ = dir;
+  wal_ = std::move(wal);
+  return Status::OK();
+}
+
+uint64_t DataServer::WalLastBarrier() const {
+  return wal_ != nullptr ? wal_->recovered_last_barrier() : 0;
+}
+
+Status DataServer::RecoverDurable(uint64_t commit_barrier) {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("durability not enabled");
+  }
+  const uint64_t t0 = MonoMicros();
+  std::vector<std::pair<int, Instance*>> snapshot;
+  {
+    std::lock_guard lock(map_mu_);
+    for (auto& [id, inst] : instances_) snapshot.emplace_back(id, inst.get());
+  }
+  for (auto& [id, inst] : snapshot) {
+    std::lock_guard lock(inst->mu);
+    Status s = inst->engine->RestoreFrom(SnapshotPath(id));
+    if (s.IsNotFound()) continue;  // never checkpointed (or slave role)
+    TR_RETURN_IF_ERROR(s);
+  }
+  // Drop everything past the cluster-wide commit point, then redo the
+  // surviving suffix. Replay writes straight into the engines: these are
+  // absolute values whose replication happens when the cluster re-seeds
+  // slaves from the recovered hosts.
+  TR_RETURN_IF_ERROR(wal_->TruncateToBarrier(commit_barrier));
+  uint64_t replayed = 0;
+  for (const WalRecord& rec : wal_->recovered()) {
+    if (rec.kind != WalRecord::Kind::kOps) continue;
+    Instance* inst = FindInstance(rec.instance_id);
+    if (inst == nullptr) {
+      return Status::Internal("wal names unknown instance " +
+                              std::to_string(rec.instance_id));
+    }
+    std::lock_guard lock(inst->mu);
+    for (const WalOp& op : rec.ops) {
+      if (op.is_delete) {
+        TR_RETURN_IF_ERROR(inst->engine->Delete(op.key));
+      } else {
+        TR_RETURN_IF_ERROR(inst->engine->Put(op.key, op.value));
+      }
+    }
+    ++replayed;
+  }
+  wal_->DropRecovered();
+  auto& reg = MetricRegistry::Default();
+  reg.GetCounter("store.recovery.replayed_records")->Add(replayed);
+  reg.GetCounter("store.recovery.duration_us")->Add(MonoMicros() - t0);
+  reg.GetCounter("store.recovery.count")->Add();
+  reg.GetGauge("store.recovery.last_barrier")
+      ->Set(static_cast<int64_t>(commit_barrier));
+  return Status::OK();
+}
+
+Status DataServer::AppendBarrier(uint64_t barrier_id) {
+  if (down_.load()) return Status::Unavailable("data server down");
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("durability not enabled");
+  }
+  WalRecord rec;
+  rec.kind = WalRecord::Kind::kBarrier;
+  rec.barrier_id = barrier_id;
+  return wal_->Append(rec);
+}
+
+Status DataServer::Checkpoint(uint64_t barrier_id) {
+  if (down_.load()) return Status::Unavailable("data server down");
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("durability not enabled");
+  }
+  const uint64_t t0 = MonoMicros();
+  std::vector<std::pair<int, Instance*>> snapshot;
+  {
+    std::lock_guard lock(map_mu_);
+    for (auto& [id, inst] : instances_) snapshot.emplace_back(id, inst.get());
+  }
+  // All instance locks at once (instances_ is id-ordered, so every
+  // checkpointer acquires in the same order): the snapshots and the WAL
+  // reset see one cut, with no append landing between them.
+  std::vector<std::unique_lock<ProfiledMutex>> locks;
+  locks.reserve(snapshot.size());
+  for (auto& [id, inst] : snapshot) locks.emplace_back(inst->mu);
+  for (auto& [id, inst] : snapshot) {
+    if (!inst->is_host) continue;
+    TR_RETURN_IF_ERROR(inst->engine->SnapshotTo(SnapshotPath(id)));
+  }
+  TR_RETURN_IF_ERROR(wal_->Reset());
+  if (barrier_id != 0) {
+    // Re-seed the committed barrier so recovery after a post-checkpoint
+    // crash still reports it (the snapshots contain its state).
+    WalRecord rec;
+    rec.kind = WalRecord::Kind::kBarrier;
+    rec.barrier_id = barrier_id;
+    TR_RETURN_IF_ERROR(wal_->Append(rec));
+  }
+  auto& reg = MetricRegistry::Default();
+  reg.GetCounter("store.checkpoint.count")->Add();
+  reg.GetCounter("store.checkpoint.duration_us")->Add(MonoMicros() - t0);
+  return Status::OK();
 }
 
 }  // namespace tencentrec::tdstore

@@ -12,6 +12,7 @@
 #include "common/profiled_mutex.h"
 #include "common/status.h"
 #include "tdstore/engine.h"
+#include "tdstore/wal.h"
 
 namespace tencentrec::tdstore {
 
@@ -149,6 +150,46 @@ class DataServer {
   /// re-seed a replacement slave after failover/recovery).
   Status CopyInstanceTo(int instance_id, DataServer* target) const;
 
+  /// --- durable state (DESIGN.md §14) ---
+
+  /// Opens this server's WAL at `dir`/server<id>.wal and arms WAL logging:
+  /// from here on every host-side mutating op is appended (a Multi* run as
+  /// one atomic record) in the same critical section that applies it. Call
+  /// before any traffic; existing records wait in the WAL for
+  /// RecoverDurable().
+  Status EnableDurability(const std::string& dir, const Wal::Options& options);
+  bool durability_enabled() const { return wal_ != nullptr; }
+
+  /// Highest barrier id the WAL recovered at EnableDurability (0 = none).
+  /// The cluster takes the minimum across servers as the commit point.
+  uint64_t WalLastBarrier() const;
+
+  /// Restores every local instance from its snapshot file (absent file =
+  /// no checkpoint yet = start empty), truncates the WAL to `commit_barrier`
+  /// (physically dropping the uncommitted suffix), and replays the surviving
+  /// ops straight into the engines — bypassing replication; the cluster
+  /// re-seeds slaves afterwards. Bumps store.recovery.{replayed_records,
+  /// duration_us} and the store.recovery.last_barrier gauge.
+  Status RecoverDurable(uint64_t commit_barrier);
+
+  /// Appends a barrier record (always fsynced): everything before it is a
+  /// consistent batch boundary recovery may stop at.
+  Status AppendBarrier(uint64_t barrier_id);
+
+  /// Snapshots every hosted (host-role) instance under ALL instance locks —
+  /// one consistent cut across instances — then resets the WAL, whose
+  /// records the snapshots now subsume. Slave-role copies are not
+  /// checkpointed; their host's snapshot+WAL is the durable story.
+  /// `barrier_id` (the last committed barrier, 0 = none yet) is re-seeded
+  /// into the fresh WAL so a crash before the NEXT barrier still recovers
+  /// to this one — without it, recovery would see an empty log, report
+  /// barrier 0, and a resuming driver would replay batches the snapshots
+  /// already contain.
+  Status Checkpoint(uint64_t barrier_id);
+
+  /// The WAL (nullptr until EnableDurability); tests poke at sync counters.
+  Wal* wal() { return wal_.get(); }
+
   /// Failure injection: while down, all calls return Unavailable.
   void SetDown(bool down) { down_.store(down); }
   bool IsDown() const { return down_.load(); }
@@ -187,6 +228,10 @@ class DataServer {
   /// Ships or queues one record for `inst`'s slave. Caller holds inst->mu.
   void ReplicateLocked(Instance* inst, int instance_id,
                        ReplicationRecord&& rec);
+  /// Appends one op record for `instance_id` (no-op with no WAL or no ops).
+  /// Caller holds the instance lock, so the log order matches apply order.
+  Status WalAppendLocked(int instance_id, const WalOpView* ops, size_t count);
+  std::string SnapshotPath(int instance_id) const;
 
   const int server_id_;
   const bool sync_replication_;
@@ -196,6 +241,9 @@ class DataServer {
   mutable std::atomic<int64_t> invocations_{0};
   mutable std::mutex map_mu_;
   std::map<int, std::unique_ptr<Instance>> instances_;
+  /// Set once by EnableDurability before traffic; read lock-free after.
+  std::string durable_dir_;
+  std::unique_ptr<Wal> wal_;
 };
 
 }  // namespace tencentrec::tdstore

@@ -1,6 +1,7 @@
 #ifndef TENCENTREC_TDSTORE_ENGINE_H_
 #define TENCENTREC_TDSTORE_ENGINE_H_
 
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
@@ -57,7 +58,56 @@ class Engine {
 
   /// Durability/compaction hook; no-op where meaningless.
   virtual Status Flush() = 0;
+
+  /// Writes a point-in-time snapshot of every live key to `path`: an 8-byte
+  /// `[magic][version]` header, crc-framed kv records, and a footer record
+  /// carrying the count — the commit marker, so a snapshot torn mid-write is
+  /// Corruption on read, never a silently shorter state. Written to a temp
+  /// file, fsynced, then renamed, so a crash during snapshotting can never
+  /// clobber the previous good snapshot at `path`. Callers serialize
+  /// mutations around the call (the checkpoint path holds the instance
+  /// lock); a concurrent writer would tear the cut.
+  virtual Status SnapshotTo(const std::string& path) const;
+
+  /// Loads a snapshot written by SnapshotTo. The default applies records
+  /// with MultiPut over whatever is present (recovery restores into freshly
+  /// created engines); engines with a cheap clear (MDB) override to start
+  /// from empty. A missing, torn, or footer-less file is an error.
+  virtual Status RestoreFrom(const std::string& path);
 };
+
+/// Streaming writer for the engine snapshot format (shared by the default
+/// Engine::SnapshotTo, engine overrides, and the recovery bench). Records go
+/// to `path` + ".tmp"; Finish() writes the footer, fsyncs, and renames over
+/// `path`. Dropping the writer without Finish() deletes the temp file.
+class SnapshotWriter {
+ public:
+  static Result<std::unique_ptr<SnapshotWriter>> Create(
+      const std::string& path);
+  ~SnapshotWriter();
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  Status Add(std::string_view key, std::string_view value);
+  Status Finish();
+
+ private:
+  SnapshotWriter(std::string path, std::string tmp, std::FILE* file)
+      : path_(std::move(path)), tmp_(std::move(tmp)), file_(file) {}
+
+  std::string path_;
+  std::string tmp_;
+  std::FILE* file_ = nullptr;
+  uint64_t count_ = 0;
+};
+
+/// Reads a snapshot file, calling `apply` for each kv record in write order.
+/// Fails with Corruption on a torn frame, a bad crc, a missing footer, or a
+/// footer count that disagrees with the records actually present.
+Status ReadSnapshot(
+    const std::string& path,
+    const std::function<Status(std::string key, std::string value)>& apply);
 
 enum class EngineType {
   kMdb,  ///< memory database: hash table

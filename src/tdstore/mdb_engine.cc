@@ -50,4 +50,18 @@ size_t MdbEngine::Count() const {
   return map_.size();
 }
 
+Status MdbEngine::RestoreFrom(const std::string& path) {
+  std::unique_lock lock(mu_);
+  std::unordered_map<std::string, std::string> loaded;
+  Status s = ReadSnapshot(path, [&](std::string key, std::string value) {
+    loaded[std::move(key)] = std::move(value);
+    return Status::OK();
+  });
+  TR_RETURN_IF_ERROR(s);
+  // Swap in only after the whole file validated, so a corrupt snapshot
+  // leaves the engine untouched.
+  map_ = std::move(loaded);
+  return Status::OK();
+}
+
 }  // namespace tencentrec::tdstore

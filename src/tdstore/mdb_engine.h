@@ -29,6 +29,9 @@ class MdbEngine : public Engine {
       const override;
   size_t Count() const override;
   Status Flush() override { return Status::OK(); }
+  /// Clears the table and bulk-loads under a single writer lock, so a
+  /// restore replaces state instead of merging over stale leftovers.
+  Status RestoreFrom(const std::string& path) override;
 
  private:
   mutable std::shared_mutex mu_;

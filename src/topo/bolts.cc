@@ -56,6 +56,10 @@ void StoreBolt::Prepare(const tstorm::TaskContext& ctx) {
   } else {
     writer_.reset();
   }
+  // Write-behind: with batching on, every cache write stages on the writer
+  // instead of issuing a point store op per key (no-op set when batching is
+  // off). Cleanup() ships whatever the auto-flush thresholds left staged.
+  cache_->set_writer(writer_.get());
   // Resolve the event-to-store histogram once; a null pointer makes every
   // RecordEventToStore a branch-and-return with no clock read.
   e2s_ = MetricsEnabled()
@@ -67,6 +71,15 @@ void StoreBolt::Prepare(const tstorm::TaskContext& ctx) {
   flush_span_name_ = ctx.component_name + ".flush";
   freshness_ = obs::FreshnessTracker::Default().RegisterSlot(
       ctx.component_name.empty() ? "bolt" : ctx.component_name);
+}
+
+void StoreBolt::Cleanup() {
+  if (writer_ == nullptr) return;
+  Status s = writer_->Flush();
+  if (!s.ok()) {
+    TR_LOG(kError, "write-behind flush at cleanup failed: %s",
+           s.ToString().c_str());
+  }
 }
 
 Status StoreBolt::FlushCombinerBatched(Combiner* combiner) {

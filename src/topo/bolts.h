@@ -28,6 +28,12 @@ class StoreBolt : public tstorm::IBolt {
 
   void Prepare(const tstorm::TaskContext& ctx) override;
 
+  /// Ships any write-behind ops still staged on the batch writer. tstorm
+  /// runs Cleanup after the last Execute/Tick and before Run() returns, so
+  /// every batch's writes reach the store before the engine commits the
+  /// batch barrier (or a query reads the batch's results).
+  void Cleanup() override;
+
   const StoreCache::Stats& cache_stats() const { return cache_->stats(); }
 
   /// Write-behind batch writer, or nullptr when store batching is off.

@@ -26,10 +26,21 @@ void StoreCache::InsertOrUpdate(const std::string& key, std::string value,
   entries_[key] = Entry{std::move(value), negative, lru_.begin()};
 }
 
+Result<std::string> StoreCache::StoreRead(const std::string& key) {
+  if (writer_ != nullptr) {
+    // A staged put that has not shipped yet is the key's newest value (the
+    // cached copy may have been evicted since staging); a staged incr means
+    // the store is behind by the delta, so ship the batch before reading.
+    if (const std::string* staged = writer_->StagedPut(key)) return *staged;
+    if (writer_->HasStaged(key)) TR_RETURN_IF_ERROR(writer_->Flush());
+  }
+  return client_->Get(key);
+}
+
 Result<std::string> StoreCache::Get(const std::string& key) {
   if (!Active()) {
     ++stats_.misses;
-    return client_->Get(key);
+    return StoreRead(key);
   }
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -43,7 +54,7 @@ Result<std::string> StoreCache::Get(const std::string& key) {
     return it->second.value;
   }
   ++stats_.misses;
-  auto value = client_->Get(key);
+  auto value = StoreRead(key);
   if (!value.ok()) {
     if (value.status().IsNotFound()) {
       InsertOrUpdate(key, "", /*negative=*/true);
@@ -56,6 +67,16 @@ Result<std::string> StoreCache::Get(const std::string& key) {
 
 Status StoreCache::Put(const std::string& key, std::string value) {
   ++stats_.writes;
+  if (writer_ != nullptr) {
+    // Write-behind: cache first, stage second. A flush-time failure
+    // invalidates the entry that got ahead of the store and surfaces
+    // through the writer's flush status / last_error().
+    if (Active()) InsertOrUpdate(key, value);
+    writer_->Put(key, value, [this, key](const Status& s) {
+      if (!s.ok()) Invalidate(key);
+    });
+    return Status::OK();
+  }
   TR_RETURN_IF_ERROR(client_->Put(key, value));
   if (Active()) InsertOrUpdate(key, std::move(value));
   return Status::OK();
@@ -65,6 +86,11 @@ Result<double> StoreCache::AddDouble(const std::string& key, double delta) {
   if (!Active()) {
     ++stats_.misses;
     ++stats_.writes;
+    if (writer_ != nullptr && writer_->HasStaged(key)) {
+      // The staged op must land before a point incr, or its later flush
+      // would clobber the increment.
+      TR_RETURN_IF_ERROR(writer_->Flush());
+    }
     return client_->IncrDouble(key, delta);
   }
   double current = 0.0;
@@ -82,7 +108,7 @@ Result<double> StoreCache::AddDouble(const std::string& key, double delta) {
     }
   } else {
     ++stats_.misses;
-    auto value = client_->Get(key);
+    auto value = StoreRead(key);
     if (value.ok()) {
       auto decoded = tdstore::DecodeDouble(*value);
       if (!decoded.ok()) return decoded.status();

@@ -24,6 +24,16 @@ namespace tencentrec::topo {
 /// LRU-bounded; a bolt restart naturally drops the cache and re-reads from
 /// TDStore (the recovery story of §3.3).
 ///
+/// With set_writer() the cache goes WRITE-BEHIND: Put/AddDouble update the
+/// cache immediately (single-writer-per-key makes it the authoritative
+/// copy) and stage the store op on a BatchWriter instead of issuing a point
+/// call per key — so a batch of hot-key updates ships as a handful of
+/// Multi* runs (and one WAL record per run) rather than thousands of
+/// single-op writes. Reads consult the writer's staged puts on a cache
+/// miss, so read-your-writes survives eviction; a staged-op error fires the
+/// op's callback at flush time and invalidates the cache entry that got
+/// ahead of the store.
+///
 /// Absence is cached too: a Get that comes back NotFound leaves a negative
 /// entry, so repeated probes of a dead key (deregistered item, fresh user)
 /// stop hitting the store. The single-writer-per-key grouping keeps this
@@ -46,6 +56,12 @@ class StoreCache {
   /// disabled rather than evicting on every insert.
   StoreCache(tdstore::Client* client, size_t capacity, bool enabled = true)
       : client_(client), capacity_(capacity), enabled_(enabled) {}
+
+  /// Arms write-behind mode (see class comment). The writer must be flushed
+  /// at every point the store is required to be current — batch end, before
+  /// a barrier commit — and this cache must outlive those flushes (the
+  /// staged callbacks capture it). nullptr restores write-through point ops.
+  void set_writer(tdstore::BatchWriter* writer) { writer_ = writer; }
 
   /// Cache hit, else TDStore read. A NotFound result is cached as a
   /// negative entry; this worker's own writes overwrite it immediately, so
@@ -94,8 +110,13 @@ class StoreCache {
   void Touch(Entry& entry);
   void InsertOrUpdate(const std::string& key, std::string value,
                       bool negative = false);
+  /// Store read that sees through write-behind: serves the writer's staged
+  /// put if one exists, flushes first when a staged incr makes the store
+  /// value stale, else reads the store.
+  Result<std::string> StoreRead(const std::string& key);
 
   tdstore::Client* client_;
+  tdstore::BatchWriter* writer_ = nullptr;
   const size_t capacity_;
   const bool enabled_;
   /// LRU list, most-recent first; map values point into it.

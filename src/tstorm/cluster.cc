@@ -326,7 +326,12 @@ void LocalCluster::RunBoltTask(Task* task) {
       // combiner had buffered; this engine is acker-less, so the supervisor
       // drains instead), then lose the bolt object and recover the way
       // Storm does — a fresh instance re-Prepared against durable state.
+      // Tick + Cleanup mirrors the end-of-task sequence below: Tick drains
+      // combiners, Cleanup ships write-behind ops still staged on the batch
+      // writer — both must reach the store before the replacement instance
+      // re-reads it.
       task->bolt->Tick(collector);
+      task->bolt->Cleanup();
       task->bolt.reset();
       task->bolt = comp.bolt_factory();
       task->bolt->Prepare(ctx);
