@@ -22,7 +22,8 @@ fi
 mkdir -p "$out_dir"
 
 # Benches that emit BENCH_<name>.json (see bench/bench_util.h).
-json_benches=(micro_parallel micro_metrics micro_store micro_query micro_recover)
+json_benches=(micro_itemcf micro_parallel micro_metrics micro_store micro_query
+              micro_recover)
 if [[ -n "${TR_BENCH_ONLY:-}" ]]; then
   read -r -a json_benches <<<"$TR_BENCH_ONLY"
 fi
@@ -35,8 +36,10 @@ for name in "${json_benches[@]}"; do
   fi
   echo "== $name =="
   # google-benchmark-based binaries get a trimmed repetition count; the
-  # JSON emitter inside each binary uses its own fixed rep policy.
-  TR_BENCH_OUT="$out_dir" "$bin" --benchmark_min_time=0.1s || exit 1
+  # JSON emitter inside each binary uses its own fixed rep policy. (Plain
+  # "0.1", not "0.1s" — the pinned benchmark library predates the
+  # suffixed-duration flag syntax and rejects it.)
+  TR_BENCH_OUT="$out_dir" "$bin" --benchmark_min_time=0.1 || exit 1
   echo
 done
 
