@@ -10,18 +10,23 @@
 #   3. the `durable` label on its own (torn-tail recovery sweeps, snapshot
 #      round-trips, and the kill-mid-stream SIGKILL recovery test must pass
 #      standalone, not only interleaved with the suite);
-#   4. a ThreadSanitizer build running the `concurrent` label (sharded
+#   4. an AddressSanitizer+UBSan build running the `itemcf` label (the
+#      raw-memory flat tables, arena scratch, and SoA TopK of DESIGN.md
+#      §15, in both flat and legacy kernel modes);
+#   5. a ThreadSanitizer build running the `concurrent` label (sharded
 #      executor, striped histogram/tracer, batch clients, single-flight).
 #
-#   scripts/ci_verify.sh [build-dir] [tsan-build-dir]
+#   scripts/ci_verify.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 #
 # Env:
-#   TR_SKIP_TSAN=1   skip step 3 (e.g. on hosts without TSan runtime)
+#   TR_SKIP_ASAN=1   skip step 4 (e.g. on hosts without ASan runtime)
+#   TR_SKIP_TSAN=1   skip step 5 (e.g. on hosts without TSan runtime)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 tsan_dir="${2:-$repo_root/build-tsan}"
+asan_dir="${3:-$repo_root/build-asan}"
 
 echo "=== tier-1: build + full suite + obs label ==="
 cmake -B "$build_dir" -S "$repo_root"
@@ -34,6 +39,15 @@ echo "=== profiler smoke: live engine, 2 s folded profile ==="
 
 echo "=== durable: WAL/snapshot recovery incl. kill-mid-stream ==="
 (cd "$build_dir" && ctest -L durable --output-on-failure)
+
+if [[ "${TR_SKIP_ASAN:-0}" == "1" ]]; then
+  echo "=== asan: skipped (TR_SKIP_ASAN=1) ==="
+else
+  echo "=== asan: itemcf label under AddressSanitizer+UBSan ==="
+  cmake -B "$asan_dir" -S "$repo_root" -DTR_SANITIZE_ADDRESS=ON
+  cmake --build "$asan_dir" -j
+  (cd "$asan_dir" && ctest -L itemcf --output-on-failure)
+fi
 
 if [[ "${TR_SKIP_TSAN:-0}" == "1" ]]; then
   echo "=== tsan: skipped (TR_SKIP_TSAN=1) ==="

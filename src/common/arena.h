@@ -1,0 +1,133 @@
+#ifndef TENCENTREC_COMMON_ARENA_H_
+#define TENCENTREC_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tencentrec {
+
+/// Bump allocator for per-batch/per-query scratch: allocation is a pointer
+/// increment, deallocation is Reset() (rewind everything at a batch
+/// boundary). Blocks are retained across Reset, so a warmed-up arena makes
+/// the loops it backs allocation-free in steady state — the contract the
+/// CF hot paths rely on (DESIGN.md §15).
+///
+/// Not thread-safe; each worker/query thread owns its arena.
+class Arena {
+ public:
+  explicit Arena(size_t min_block_bytes = 64 * 1024)
+      : min_block_bytes_(min_block_bytes < 1024 ? 1024 : min_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// `bytes` of storage aligned to `align` (a power of two), valid until
+  /// the next Reset().
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    TR_CHECK(align != 0 && (align & (align - 1)) == 0);
+    if (bytes == 0) bytes = 1;
+    while (block_ < blocks_.size()) {
+      Block& b = blocks_[block_];
+      const size_t aligned = (offset_ + align - 1) & ~(align - 1);
+      if (aligned + bytes <= b.size) {
+        offset_ = aligned + bytes;
+        return b.data.get() + aligned;
+      }
+      ++block_;
+      offset_ = 0;
+    }
+    // No block fits: append one sized for the request (oversized requests
+    // get a dedicated block; Reset keeps it for reuse).
+    Block b;
+    b.size = bytes > min_block_bytes_ ? bytes : min_block_bytes_;
+    b.data = std::make_unique<unsigned char[]>(b.size);
+    blocks_.push_back(std::move(b));
+    block_ = blocks_.size() - 1;
+    offset_ = bytes;
+    return blocks_.back().data.get();
+  }
+
+  /// Rewinds to empty, keeping every block for reuse.
+  void Reset() {
+    block_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total bytes of backing storage currently held.
+  size_t BytesReserved() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<unsigned char[]> data;
+    size_t size = 0;
+  };
+
+  const size_t min_block_bytes_;
+  std::vector<Block> blocks_;
+  size_t block_ = 0;   ///< block currently being bumped
+  size_t offset_ = 0;  ///< fill offset within that block
+};
+
+/// Growable array of trivially-copyable elements backed by an Arena: the
+/// per-batch scratch vector of the hot loops. Growth allocates a doubled
+/// region from the arena and memcpys (the abandoned region is reclaimed at
+/// the owner's next Reset). No destructor bookkeeping — elements must be
+/// trivially destructible.
+template <typename T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(std::is_trivially_destructible_v<T>);
+
+ public:
+  explicit ArenaVector(Arena* arena, size_t initial_capacity = 8)
+      : arena_(arena), capacity_(initial_capacity < 4 ? 4 : initial_capacity) {
+    data_ = static_cast<T*>(
+        arena_->Allocate(capacity_ * sizeof(T), alignof(T)));
+  }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) Grow();
+    data_[size_++] = v;
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() { size_ = 0; }
+
+ private:
+  void Grow() {
+    const size_t new_capacity = capacity_ * 2;
+    T* grown = static_cast<T*>(
+        arena_->Allocate(new_capacity * sizeof(T), alignof(T)));
+    std::memcpy(grown, data_, size_ * sizeof(T));
+    data_ = grown;
+    capacity_ = new_capacity;
+  }
+
+  Arena* arena_;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_;
+};
+
+}  // namespace tencentrec
+
+#endif  // TENCENTREC_COMMON_ARENA_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/arena.h"
+#include "common/flat_map.h"
+
 namespace tencentrec::core {
 
 void BasicItemCf::SetRating(UserId user, ItemId item, double rating) {
@@ -20,37 +23,52 @@ void BasicItemCf::ComputeSimilarities() {
   similarities_.clear();
   neighbors_.clear();
 
-  // Accumulate numerators over co-rating users and per-item norms.
-  std::unordered_map<PairKey, double, PairKeyHash> numerators;
-  std::unordered_map<ItemId, double> norms;  // Σr² (cosine) or Σr (Eq. 4)
+  // Accumulate numerators over co-rating users and per-item norms in flat
+  // open-addressing tables keyed by the packed pair/item (DESIGN.md §15) —
+  // the O(users · items-per-user²) inner loop probes contiguous arrays
+  // instead of chasing unordered_map nodes. Per-user scratch lives in an
+  // arena reset per user, so the loop allocates only on table growth.
+  FlatMap64<double> numerators;
+  FlatMap64<double> norms;  // Σr² (cosine) or Σr (Eq. 4)
+  Arena arena;
 
+  struct Rated {
+    ItemId item;
+    double rating;
+  };
   for (const auto& [user, items] : ratings_) {
-    std::vector<std::pair<ItemId, double>> rated(items.begin(), items.end());
-    for (const auto& [item, r] : rated) {
-      norms[item] += measure_ == SimilarityMeasure::kCosine ? r * r : r;
+    arena.Reset();
+    ArenaVector<Rated> rated(&arena, items.size());
+    for (const auto& [item, r] : items) rated.push_back({item, r});
+    for (const Rated& row : rated) {
+      norms[PackItem(row.item)] +=
+          measure_ == SimilarityMeasure::kCosine ? row.rating * row.rating
+                                                 : row.rating;
     }
     for (size_t a = 0; a < rated.size(); ++a) {
       for (size_t b = a + 1; b < rated.size(); ++b) {
         const double contrib =
             measure_ == SimilarityMeasure::kCosine
-                ? rated[a].second * rated[b].second
-                : std::min(rated[a].second, rated[b].second);
-        numerators[PairKey(rated[a].first, rated[b].first)] += contrib;
+                ? rated[a].rating * rated[b].rating
+                : std::min(rated[a].rating, rated[b].rating);
+        numerators[PackPair(rated[a].item, rated[b].item)] += contrib;
       }
     }
   }
 
-  for (const auto& [pair, num] : numerators) {
-    const double na = norms[pair.lo];
-    const double nb = norms[pair.hi];
-    if (na <= 0.0 || nb <= 0.0) continue;
-    double sim = num / (std::sqrt(na) * std::sqrt(nb));
+  numerators.ForEach([&](uint64_t packed, double num) {
+    const PairKey pair{static_cast<ItemId>(packed >> 32),
+                       static_cast<ItemId>(packed & 0xffffffffull)};
+    const double* na = norms.Find(PackItem(pair.lo));
+    const double* nb = norms.Find(PackItem(pair.hi));
+    if (na == nullptr || *na <= 0.0 || nb == nullptr || *nb <= 0.0) return;
+    double sim = num / (std::sqrt(*na) * std::sqrt(*nb));
     if (support_shrinkage_ > 0.0) sim *= num / (num + support_shrinkage_);
-    if (sim <= 0.0) continue;
+    if (sim <= 0.0) return;
     similarities_[pair] = sim;
     neighbors_[pair.lo].emplace_back(pair.hi, sim);
     neighbors_[pair.hi].emplace_back(pair.lo, sim);
-  }
+  });
   for (auto& [item, list] : neighbors_) {
     std::sort(list.begin(), list.end(), [](const auto& x, const auto& y) {
       if (x.second != y.second) return x.second > y.second;

@@ -9,42 +9,117 @@ namespace tencentrec::core {
 
 PracticalItemCf::PracticalItemCf(Options options)
     : options_(std::move(options)),
-      counts_(options_.session_length, options_.window_sessions) {
+      counts_(options_.session_length, options_.window_sessions,
+              options_.use_flat_kernels) {
   if (options_.hoeffding_delta <= 0.0 || options_.hoeffding_delta >= 1.0) {
     options_.hoeffding_delta = 0.05;
   }
   hoeffding_ln_inv_delta_ = std::log(1.0 / options_.hoeffding_delta);
 }
 
-void PracticalItemCf::ProcessAction(const UserAction& action) {
-  ++stats_.actions;
-  UserHistory& history = histories_[action.user];
-  if (options_.history_ttl > 0) {
-    history.EvictOlderThan(action.timestamp - options_.history_ttl);
+UserHistory& PracticalItemCf::HistoryFor(UserId user) {
+  if (options_.use_flat_kernels) {
+    uint32_t& idx = history_index_[PackUser(user)];
+    if (idx == 0) {
+      // Slot ids are 1-based so the flat table's zero-initialized value
+      // means "absent"; the deque gives rows stable addresses across
+      // inserts, so returned references stay valid.
+      history_store_.emplace_back();
+      idx = static_cast<uint32_t>(history_store_.size());
+    }
+    return history_store_[idx - 1];
   }
-  RatingUpdate update =
-      history.Apply(action, options_.weights, options_.linked_time);
+  return histories_map_[user];
+}
 
-  if (update.rating_delta > 0.0) {
-    counts_.AddItem(update.item, update.rating_delta, action.timestamp);
-  } else {
-    counts_.AdvanceTo(action.timestamp);
+const UserHistory* PracticalItemCf::FindHistory(UserId user) const {
+  if (options_.use_flat_kernels) {
+    const uint32_t* idx = history_index_.Find(PackUser(user));
+    return idx == nullptr ? nullptr : &history_store_[*idx - 1];
   }
-  for (const auto& pair : update.pairs) {
-    UpdatePair(update.item, pair.other, pair.co_rating_delta,
-               action.timestamp);
+  auto it = histories_map_.find(user);
+  return it == histories_map_.end() ? nullptr : &it->second;
+}
+
+TopK<ItemId>& PracticalItemCf::ListFor(ItemId item) {
+  if (options_.use_flat_kernels) {
+    uint32_t& idx = similar_index_[PackItem(item)];
+    if (idx == 0) {
+      similar_store_.emplace_back(static_cast<size_t>(options_.top_k));
+      idx = static_cast<uint32_t>(similar_store_.size());
+    }
+    return similar_store_[idx - 1];
+  }
+  return similar_map_.try_emplace(item, static_cast<size_t>(options_.top_k))
+      .first->second;
+}
+
+const TopK<ItemId>* PracticalItemCf::FindList(ItemId item) const {
+  if (options_.use_flat_kernels) {
+    const uint32_t* idx = similar_index_.Find(PackItem(item));
+    return idx == nullptr ? nullptr : &similar_store_[*idx - 1];
+  }
+  auto it = similar_map_.find(item);
+  return it == similar_map_.end() ? nullptr : &it->second;
+}
+
+bool PracticalItemCf::IsPrunedKey(const PairKey& key) const {
+  return options_.use_flat_kernels ? pruned_flat_.Contains(PackPair(key))
+                                   : pruned_set_.count(key) > 0;
+}
+
+void PracticalItemCf::MarkPruned(const PairKey& key) {
+  if (options_.use_flat_kernels) {
+    pruned_flat_.Insert(PackPair(key));
+  } else {
+    pruned_set_.insert(key);
   }
 }
 
+uint32_t PracticalItemCf::BumpObservations(const PairKey& key) {
+  return options_.use_flat_kernels ? ++observations_flat_[PackPair(key)]
+                                   : ++observations_map_[key];
+}
+
+void PracticalItemCf::ProcessAction(const UserAction& action) {
+  ++stats_.actions;
+  UserHistory& history = HistoryFor(action.user);
+  if (options_.history_ttl > 0) {
+    history.EvictOlderThan(action.timestamp - options_.history_ttl);
+  }
+  // Callback form: rating delta lands in counts before any pair delta, and
+  // pair updates run as they are emitted — no per-action pair vector.
+  history.Apply(
+      action, options_.weights, options_.linked_time,
+      [this, &action](ItemId item, double rating_delta, double /*new_rating*/) {
+        if (rating_delta > 0.0) {
+          counts_.AddItem(item, rating_delta, action.timestamp);
+        } else {
+          counts_.AdvanceTo(action.timestamp);
+        }
+      },
+      [this, &action](ItemId other, double co_delta) {
+        UpdatePair(action.item, other, co_delta, action.timestamp);
+      });
+}
+
 double PracticalItemCf::ThresholdOf(ItemId item) const {
-  auto it = similar_.find(item);
-  return it == similar_.end() ? 0.0 : it->second.Threshold();
+  const TopK<ItemId>* list = FindList(item);
+  return list == nullptr ? 0.0 : list->Threshold();
 }
 
 void PracticalItemCf::UpdatePair(ItemId i, ItemId j, double co_delta,
                                  EventTime ts) {
   const PairKey key(i, j);
-  if (options_.enable_pruning && pruned_.count(key) > 0) {
+  if (options_.use_flat_kernels) {
+    // Start the random-access misses this update will take further down —
+    // the similar-list index probes and (under pruning) the observations
+    // upsert, the largest table — so they overlap the pair-count work.
+    similar_index_.Prefetch(PackItem(i));
+    similar_index_.Prefetch(PackItem(j));
+    if (options_.enable_pruning) observations_flat_.Prefetch(PackPair(key));
+  }
+  if (options_.enable_pruning && IsPrunedKey(key)) {
     // Algorithm 1 line 4: pruned pairs skip the whole update — this is the
     // computation the pruning exists to save.
     ++stats_.pair_updates_pruned;
@@ -54,17 +129,16 @@ void PracticalItemCf::UpdatePair(ItemId i, ItemId j, double co_delta,
   counts_.AddPair(i, j, co_delta, ts);
   ++stats_.pair_updates;
 
-  const double sim = EffectiveSimilarity(i, j);
+  const double pc = counts_.PairCount(i, j);
+  const double sim = EffectiveFromCounts(i, j, pc);
 
   // Maintain both items' similar-items lists.
-  similar_.try_emplace(i, static_cast<size_t>(options_.top_k))
-      .first->second.Update(j, sim);
-  similar_.try_emplace(j, static_cast<size_t>(options_.top_k))
-      .first->second.Update(i, sim);
+  ListFor(i).Update(j, sim);
+  ListFor(j).Update(i, sim);
 
   if (!options_.enable_pruning) return;
 
-  const uint32_t n = ++pair_observations_[key];
+  const uint32_t n = BumpObservations(key);
   // Pruning is bidirectional: use the min threshold of the two lists
   // (Algorithm 1 line 12). Either list not yet full -> threshold 0 ->
   // nothing can be pruned (everything is still admissible).
@@ -74,7 +148,7 @@ void PracticalItemCf::UpdatePair(ItemId i, ItemId j, double co_delta,
   const double epsilon =
       std::sqrt(hoeffding_ln_inv_delta_ / (2.0 * static_cast<double>(n)));
   if (epsilon < t - sim) {
-    pruned_.insert(key);
+    MarkPruned(key);
     ++stats_.pairs_pruned;
     // The pair can no longer enter either list; drop any stale entry. If
     // the erase shrinks a full list below K, TopK::Threshold() falls back
@@ -84,53 +158,66 @@ void PracticalItemCf::UpdatePair(ItemId i, ItemId j, double co_delta,
     // single-threaded pipeline the entry is usually absent already (its
     // own update just refreshed the score, making it the threshold), but
     // the sharded executor's racy similarity reads make the erase real.
-    auto it_i = similar_.find(i);
-    if (it_i != similar_.end()) it_i->second.Erase(j);
-    auto it_j = similar_.find(j);
-    if (it_j != similar_.end()) it_j->second.Erase(i);
+    if (TopK<ItemId>* li = const_cast<TopK<ItemId>*>(FindList(i))) {
+      li->Erase(j);
+    }
+    if (TopK<ItemId>* lj = const_cast<TopK<ItemId>*>(FindList(j))) {
+      lj->Erase(i);
+    }
   }
 }
 
 double PracticalItemCf::EffectiveSimilarity(ItemId a, ItemId b) const {
-  double sim = counts_.Similarity(a, b);
+  return EffectiveFromCounts(a, b, counts_.PairCount(a, b));
+}
+
+double PracticalItemCf::EffectiveFromCounts(ItemId a, ItemId b,
+                                            double pair_count) const {
+  if (pair_count <= 0.0) return 0.0;
+  const double ca = counts_.ItemCount(a);
+  const double cb = counts_.ItemCount(b);
+  if (ca <= 0.0 || cb <= 0.0) return 0.0;
+  // Same ops as WindowedCounts::Similarity (Eq. 5) so results stay
+  // bit-identical with code that calls it directly. Single sqrt of the
+  // product — one fewer root on the per-update path; every Eq. 5 site
+  // uses this exact form so cross-path comparisons stay exact.
+  double sim = pair_count / std::sqrt(ca * cb);
   if (sim > 0.0 && options_.support_shrinkage > 0.0) {
-    const double pc = counts_.PairCount(a, b);
-    sim *= pc / (pc + options_.support_shrinkage);
+    sim *= pair_count / (pair_count + options_.support_shrinkage);
   }
   return sim;
 }
 
 const TopK<ItemId>* PracticalItemCf::SimilarItems(ItemId item) const {
-  auto it = similar_.find(item);
-  return it == similar_.end() ? nullptr : &it->second;
+  return FindList(item);
 }
 
 std::vector<ItemId> PracticalItemCf::RecentItemsOf(UserId user) const {
-  auto it = histories_.find(user);
-  if (it == histories_.end()) return {};
+  const UserHistory* history = FindHistory(user);
+  if (history == nullptr) return {};
   const size_t k = options_.recent_k > 0
                        ? static_cast<size_t>(options_.recent_k)
-                       : it->second.size();
-  return it->second.RecentItems(k);
+                       : history->size();
+  return history->RecentItems(k);
 }
 
 double PracticalItemCf::UserRating(UserId user, ItemId item) const {
-  auto it = histories_.find(user);
-  return it == histories_.end() ? 0.0 : it->second.RatingOf(item);
+  const UserHistory* history = FindHistory(user);
+  return history == nullptr ? 0.0 : history->RatingOf(item);
 }
 
 Recommendations PracticalItemCf::RecommendForUser(UserId user,
                                                   size_t n) const {
-  auto hit = histories_.find(user);
-  if (hit == histories_.end()) return {};
+  const UserHistory* history = FindHistory(user);
+  if (history == nullptr) return {};
   return PredictFromRecent(
-      hit->second, RecentItemsOf(user),
+      *history, RecentItemsOf(user),
       [this](ItemId q) { return SimilarItems(q); },
       [this](ItemId p, ItemId q) { return EffectiveSimilarity(p, q); }, n);
 }
 
 bool PracticalItemCf::IsPruned(ItemId a, ItemId b) const {
-  return pruned_.count(PairKey(a, b)) > 0;
+  return IsPrunedKey(PairKey(a, b));
 }
 
 }  // namespace tencentrec::core

@@ -1,10 +1,12 @@
 #ifndef TENCENTREC_CORE_ITEMCF_ITEM_CF_H_
 #define TENCENTREC_CORE_ITEMCF_ITEM_CF_H_
 
+#include <deque>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/topk.h"
 #include "core/itemcf/window_counts.h"
 #include "core/rating.h"
@@ -57,6 +59,14 @@ class PracticalItemCf {
 
     /// Drop user-history entries idle longer than this (0 = keep forever).
     EventTime history_ttl = 0;
+
+    /// Selects the state kernel (DESIGN.md §15): flat open-addressing
+    /// tables over packed uint64 keys (default — the hot path), or the
+    /// original std::unordered_map/set tables. The two are bit-identical
+    /// in every output (asserted by tests/flat_kernel_test.cc); the legacy
+    /// kernel exists for that parity suite and as an escape hatch for id
+    /// spaces outside [0, 2^32) which the packed pair key cannot hold.
+    bool use_flat_kernels = true;
   };
 
   /// Counters for the ablation benches: how much work pruning saved etc.
@@ -105,18 +115,41 @@ class PracticalItemCf {
   void UpdatePair(ItemId i, ItemId j, double co_delta, EventTime ts);
   /// Admission threshold t of `item`'s similar-items list.
   double ThresholdOf(ItemId item) const;
+  /// EffectiveSimilarity with the (already read) windowed pair count —
+  /// saves the redundant PairCount probes of the old per-update flow.
+  double EffectiveFromCounts(ItemId a, ItemId b, double pair_count) const;
+
+  /// Kernel-dispatching state accessors (flat vs legacy per
+  /// options_.use_flat_kernels).
+  UserHistory& HistoryFor(UserId user);
+  const UserHistory* FindHistory(UserId user) const;
+  TopK<ItemId>& ListFor(ItemId item);
+  const TopK<ItemId>* FindList(ItemId item) const;
+  bool IsPrunedKey(const PairKey& key) const;
+  void MarkPruned(const PairKey& key);
+  uint32_t BumpObservations(const PairKey& key);
 
   Options options_;
   double hoeffding_ln_inv_delta_ = 0.0;
 
-  std::unordered_map<UserId, UserHistory> histories_;
   WindowedCounts counts_;
-  std::unordered_map<ItemId, TopK<ItemId>> similar_;
 
+  /// Flat kernel state: open-addressing indices into stable-address deques
+  /// for the heavy values, flat tables for the scalar counters.
+  FlatMap64<uint32_t> history_index_;
+  std::deque<UserHistory> history_store_;
+  FlatMap64<uint32_t> similar_index_;
+  std::deque<TopK<ItemId>> similar_store_;
+  FlatMap64<uint32_t> observations_flat_;
+  FlatSet64 pruned_flat_;
+
+  /// Legacy kernel state (use_flat_kernels = false).
+  std::unordered_map<UserId, UserHistory> histories_map_;
+  std::unordered_map<ItemId, TopK<ItemId>> similar_map_;
   /// n_ij of Algorithm 1: observations of each pair's similarity.
-  std::unordered_map<PairKey, uint32_t, PairKeyHash> pair_observations_;
+  std::unordered_map<PairKey, uint32_t, PairKeyHash> observations_map_;
   /// L_i of Algorithm 1, stored canonically per pair.
-  std::unordered_set<PairKey, PairKeyHash> pruned_;
+  std::unordered_set<PairKey, PairKeyHash> pruned_set_;
 
   Stats stats_;
 };

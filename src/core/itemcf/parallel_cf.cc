@@ -15,6 +15,16 @@ namespace {
 
 uint64_t NowMicros() { return MonoMicros(); }
 
+// `hash & mask` when the bucket count is a power of two (mask != 0, the
+// default configs), `hash % n` otherwise. Same bucket for the same hash
+// either way — only the instruction differs.
+inline size_t Route(uint64_t hash, size_t mask, size_t n) {
+  return mask != 0 ? (static_cast<size_t>(hash) & mask)
+                   : (static_cast<size_t>(hash) % n);
+}
+
+inline size_t MaskFor(size_t n) { return (n & (n - 1)) == 0 ? n - 1 : 0; }
+
 }  // namespace
 
 std::string ParallelItemCf::StageNameFor(const char* stage) const {
@@ -34,6 +44,10 @@ ParallelItemCf::ParallelItemCf(Options options) : options_(std::move(options)) {
     options_.cf.hoeffding_delta = 0.05;
   }
   hoeffding_ln_inv_delta_ = std::log(1.0 / options_.cf.hoeffding_delta);
+  user_shard_mask_ = MaskFor(static_cast<size_t>(options_.user_shards));
+  pair_shard_mask_ = MaskFor(static_cast<size_t>(options_.pair_shards));
+  count_stripe_mask_ = MaskFor(static_cast<size_t>(options_.count_stripes));
+  list_stripe_mask_ = MaskFor(static_cast<size_t>(options_.list_stripes));
 
   if (MetricsEnabled() && !options_.metrics_scope.empty()) {
     auto& reg = MetricRegistry::Default();
@@ -50,7 +64,8 @@ ParallelItemCf::ParallelItemCf(Options options) : options_(std::move(options)) {
   // stream jumps across sessions (see WindowedCounts::SetDeferredEviction).
   for (int s = 0; s < options_.count_stripes; ++s) {
     auto stripe = std::make_unique<CountStripe>(options_.cf.session_length,
-                                                options_.cf.window_sessions);
+                                                options_.cf.window_sessions,
+                                                options_.cf.use_flat_kernels);
     stripe->counts.SetDeferredEviction(true);
     item_stripes_.push_back(std::move(stripe));
   }
@@ -62,7 +77,8 @@ ParallelItemCf::ParallelItemCf(Options options) : options_(std::move(options)) {
   for (int s = 0; s < options_.pair_shards; ++s) {
     auto shard = std::make_unique<PairShard>(options_.queue_capacity,
                                              options_.cf.session_length,
-                                             options_.cf.window_sessions);
+                                             options_.cf.window_sessions,
+                                             options_.cf.use_flat_kernels);
     shard->counts.SetDeferredEviction(true);
     pair_shards_.push_back(std::move(shard));
   }
@@ -98,21 +114,22 @@ ParallelItemCf::ParallelItemCf(Options options) : options_(std::move(options)) {
 ParallelItemCf::~ParallelItemCf() { Shutdown(); }
 
 size_t ParallelItemCf::UserShardOf(UserId user) const {
-  return HashInt(static_cast<uint64_t>(user)) % user_shards_.size();
+  return Route(HashInt(static_cast<uint64_t>(user)), user_shard_mask_,
+               user_shards_.size());
 }
 
 size_t ParallelItemCf::PairShardOf(const PairKey& key) const {
-  return PairKeyHash()(key) % pair_shards_.size();
+  return Route(PairKeyHash()(key), pair_shard_mask_, pair_shards_.size());
 }
 
 ParallelItemCf::CountStripe& ParallelItemCf::ItemStripe(ItemId item) const {
-  return *item_stripes_[HashInt(static_cast<uint64_t>(item)) %
-                        item_stripes_.size()];
+  return *item_stripes_[Route(HashInt(static_cast<uint64_t>(item)),
+                              count_stripe_mask_, item_stripes_.size())];
 }
 
 ParallelItemCf::ListStripe& ParallelItemCf::ListStripeOf(ItemId item) const {
-  return *list_stripes_[HashInt(static_cast<uint64_t>(item)) %
-                        list_stripes_.size()];
+  return *list_stripes_[Route(HashInt(static_cast<uint64_t>(item)),
+                              list_stripe_mask_, list_stripes_.size())];
 }
 
 // --- ingestion (driver thread) ----------------------------------------------
@@ -205,6 +222,65 @@ void ParallelItemCf::Shutdown() {
   }
 }
 
+// --- kernel-dispatching state accessors ---------------------------------------
+
+UserHistory& ParallelItemCf::HistoryFor(UserShard* shard, UserId user) {
+  if (options_.cf.use_flat_kernels) {
+    uint32_t& idx = shard->history_index[PackUser(user)];
+    if (idx == 0) {
+      // 1-based slot ids so the flat table's zero value means "absent"; the
+      // deque keeps rows at stable addresses across inserts.
+      shard->history_store.emplace_back();
+      idx = static_cast<uint32_t>(shard->history_store.size());
+    }
+    return shard->history_store[idx - 1];
+  }
+  return shard->histories_map[user];
+}
+
+const UserHistory* ParallelItemCf::FindHistory(const UserShard& shard,
+                                               UserId user) const {
+  if (options_.cf.use_flat_kernels) {
+    const uint32_t* idx = shard.history_index.Find(PackUser(user));
+    return idx == nullptr ? nullptr : &shard.history_store[*idx - 1];
+  }
+  auto it = shard.histories_map.find(user);
+  return it == shard.histories_map.end() ? nullptr : &it->second;
+}
+
+TopK<ItemId>& ParallelItemCf::GetListLocked(ListStripe& stripe, ItemId item) {
+  const size_t k = static_cast<size_t>(options_.cf.top_k);
+  if (options_.cf.use_flat_kernels) {
+    uint32_t& idx = stripe.index[PackItem(item)];
+    if (idx == 0) {
+      stripe.store.emplace_back(k);
+      idx = static_cast<uint32_t>(stripe.store.size());
+    }
+    return stripe.store[idx - 1];
+  }
+  return stripe.lists_map.try_emplace(item, k).first->second;
+}
+
+TopK<ItemId>* ParallelItemCf::FindListLocked(const ListStripe& stripe,
+                                             ItemId item) const {
+  if (options_.cf.use_flat_kernels) {
+    const uint32_t* idx = stripe.index.Find(PackItem(item));
+    return idx == nullptr
+               ? nullptr
+               : const_cast<TopK<ItemId>*>(&stripe.store[*idx - 1]);
+  }
+  auto it = stripe.lists_map.find(item);
+  return it == stripe.lists_map.end()
+             ? nullptr
+             : const_cast<TopK<ItemId>*>(&it->second);
+}
+
+bool ParallelItemCf::IsPrunedIn(const PairShard& shard,
+                                const PairKey& key) const {
+  return options_.cf.use_flat_kernels ? shard.pruned_flat.Contains(PackPair(key))
+                                      : shard.pruned_set.count(key) > 0;
+}
+
 // --- layer 1: user-history workers -------------------------------------------
 
 void ParallelItemCf::UserWorker(UserShard* shard) {
@@ -259,40 +335,47 @@ void ParallelItemCf::HandleAction(UserShard* shard, const UserAction& action,
                                   std::vector<std::vector<PairDelta>>* out) {
   ++shard->actions;
   ScopedSpan span(action.trace_id, "parallel_cf.user-history");
-  UserHistory& history = shard->histories[action.user];
+  UserHistory& history = HistoryFor(shard, action.user);
   if (options_.cf.history_ttl > 0) {
     history.EvictOlderThan(action.timestamp - options_.cf.history_ttl);
   }
-  RatingUpdate update = history.Apply(action, options_.cf.weights,
-                                      options_.cf.linked_time);
-
-  if (update.rating_delta > 0.0) {
-    CountStripe& stripe = ItemStripe(update.item);
-    std::lock_guard<ProfiledMutex> lock(stripe.mu);
-    stripe.counts.AddItem(update.item, update.rating_delta, action.timestamp);
-  }
-  // (Zero-delta actions advance windows lazily — the Drain watermark
-  // settles all windows, unlike the reference's eager AdvanceTo.)
-
-  for (const auto& pair : update.pairs) {
-    const size_t p = PairShardOf(PairKey(update.item, pair.other));
-    auto& buf = (*out)[p];
-    buf.push_back({update.item, pair.other, pair.co_rating_delta,
-                   action.timestamp, action.ingest_micros, action.trace_id});
-    if (buf.size() >= options_.batch_size) {
-      PairMsg msg;
-      msg.deltas = std::move(buf);
-      buf.clear();
-      if (pair_queue_wait_ != nullptr) msg.enqueue_micros = NowMicros();
-      pair_shards_[p]->queue.Push(std::move(msg));
-    }
-  }
+  // Callback form of Apply: no per-action pair vector. The rating callback
+  // fires before any pair callback, preserving the publish order the
+  // consistency model needs — the item-count delta is visible in its stripe
+  // before any co-rating delta that depends on it is even buffered.
+  history.Apply(
+      action, options_.cf.weights, options_.cf.linked_time,
+      [this, &action](ItemId item, double rating_delta, double /*new_rating*/) {
+        if (rating_delta > 0.0) {
+          CountStripe& stripe = ItemStripe(item);
+          std::lock_guard<ProfiledMutex> lock(stripe.mu);
+          stripe.counts.AddItem(item, rating_delta, action.timestamp);
+        }
+        // (Zero-delta actions advance windows lazily — the Drain watermark
+        // settles all windows, unlike the reference's eager AdvanceTo.)
+      },
+      [this, &action, out](ItemId other, double co_delta) {
+        const size_t p = PairShardOf(PairKey(action.item, other));
+        auto& buf = (*out)[p];
+        buf.push_back({action.item, other, co_delta, action.timestamp,
+                       action.ingest_micros, action.trace_id});
+        if (buf.size() >= options_.batch_size) {
+          PairMsg msg;
+          msg.deltas = std::move(buf);
+          buf.clear();
+          if (pair_queue_wait_ != nullptr) msg.enqueue_micros = NowMicros();
+          pair_shards_[p]->queue.Push(std::move(msg));
+        }
+      });
 }
 
 // --- layers 2+3: count + similarity workers ----------------------------------
 
 void ParallelItemCf::PairWorker(PairShard* shard) {
   RegisterStageThread(StageNameFor("count+sim"));
+  // Per-batch itemCount memo (see HandlePairDelta); lives across batches so
+  // its capacity stabilizes, but its *entries* are cleared per batch.
+  FlatMap64<double> item_counts;
   while (auto msg = shard->queue.Pop()) {
     shard->heartbeat.fetch_add(1, std::memory_order_relaxed);
     const uint64_t t0 = NowMicros();
@@ -311,9 +394,15 @@ void ParallelItemCf::PairWorker(PairShard* shard) {
                                    : 0);
     }
     uint64_t batch_ingest = 0;
-    for (const PairDelta& delta : msg->deltas) {
-      HandlePairDelta(shard, delta);
-      if (delta.ingest > batch_ingest) batch_ingest = delta.ingest;
+    item_counts.Clear();
+    const std::vector<PairDelta>& deltas = msg->deltas;
+    for (size_t d = 0; d < deltas.size(); ++d) {
+      // Overlap the next delta's pair-table misses with this delta's work.
+      if (d + 1 < deltas.size()) {
+        shard->counts.PrefetchPair(deltas[d + 1].i, deltas[d + 1].j);
+      }
+      HandlePairDelta(shard, deltas[d], &item_counts);
+      if (deltas[d].ingest > batch_ingest) batch_ingest = deltas[d].ingest;
     }
     shard->freshness.Advance(batch_ingest);
     shard->events += msg->deltas.size();
@@ -324,11 +413,11 @@ void ParallelItemCf::PairWorker(PairShard* shard) {
   }
 }
 
-void ParallelItemCf::HandlePairDelta(PairShard* shard,
-                                     const PairDelta& delta) {
+void ParallelItemCf::HandlePairDelta(PairShard* shard, const PairDelta& delta,
+                                     FlatMap64<double>* item_counts) {
   ScopedSpan span(delta.trace_id, "parallel_cf.count+sim");
   const PairKey key(delta.i, delta.j);
-  if (options_.cf.enable_pruning && shard->pruned.count(key) > 0) {
+  if (options_.cf.enable_pruning && IsPrunedIn(*shard, key)) {
     ++shard->pair_updates_pruned;
     return;
   }
@@ -337,32 +426,39 @@ void ParallelItemCf::HandlePairDelta(PairShard* shard,
   ++shard->pair_updates;
 
   const double pc = shard->counts.PairCount(delta.i, delta.j);
-  const double sim = EffectiveFromCounts(delta.i, delta.j, pc);
+  const double sim =
+      EffectiveFrom(CachedItemCountOf(item_counts, delta.i),
+                    CachedItemCountOf(item_counts, delta.j), pc);
 
   // Maintain both items' similar-items lists (striped shared state; one
   // stripe lock at a time, so no ordering discipline is needed).
-  const size_t k = static_cast<size_t>(options_.cf.top_k);
   {
     ListStripe& stripe = ListStripeOf(delta.i);
     std::lock_guard<ProfiledMutex> lock(stripe.mu);
-    stripe.lists.try_emplace(delta.i, k).first->second.Update(delta.j, sim);
+    GetListLocked(stripe, delta.i).Update(delta.j, sim);
   }
   {
     ListStripe& stripe = ListStripeOf(delta.j);
     std::lock_guard<ProfiledMutex> lock(stripe.mu);
-    stripe.lists.try_emplace(delta.j, k).first->second.Update(delta.i, sim);
+    GetListLocked(stripe, delta.j).Update(delta.i, sim);
   }
 
   if (!options_.cf.enable_pruning) return;
 
-  const uint32_t n = ++shard->observations[key];
+  const uint32_t n = options_.cf.use_flat_kernels
+                         ? ++shard->observations_flat[PackPair(key)]
+                         : ++shard->observations_map[key];
   const double t =
       std::min(ListThresholdOf(delta.i), ListThresholdOf(delta.j));
   if (t <= 0.0) return;
   const double epsilon =
       std::sqrt(hoeffding_ln_inv_delta_ / (2.0 * static_cast<double>(n)));
   if (epsilon < t - sim) {
-    shard->pruned.insert(key);
+    if (options_.cf.use_flat_kernels) {
+      shard->pruned_flat.Insert(PackPair(key));
+    } else {
+      shard->pruned_set.insert(key);
+    }
     ++shard->pairs_pruned;
     // Under concurrency the stale-entry erase is live (a racing update may
     // have admitted the pair with a higher snapshot score); the shrunk
@@ -370,14 +466,16 @@ void ParallelItemCf::HandlePairDelta(PairShard* shard,
     {
       ListStripe& stripe = ListStripeOf(delta.i);
       std::lock_guard<ProfiledMutex> lock(stripe.mu);
-      auto it = stripe.lists.find(delta.i);
-      if (it != stripe.lists.end()) it->second.Erase(delta.j);
+      if (TopK<ItemId>* list = FindListLocked(stripe, delta.i)) {
+        list->Erase(delta.j);
+      }
     }
     {
       ListStripe& stripe = ListStripeOf(delta.j);
       std::lock_guard<ProfiledMutex> lock(stripe.mu);
-      auto it = stripe.lists.find(delta.j);
-      if (it != stripe.lists.end()) it->second.Erase(delta.i);
+      if (TopK<ItemId>* list = FindListLocked(stripe, delta.j)) {
+        list->Erase(delta.i);
+      }
     }
   }
 }
@@ -388,6 +486,26 @@ double ParallelItemCf::ItemCountOf(ItemId item) const {
   return stripe.counts.ItemCount(item);
 }
 
+double ParallelItemCf::CachedItemCountOf(FlatMap64<double>* cache,
+                                         ItemId item) const {
+  const uint64_t key = PackItem(item);
+  if (const double* v = cache->Find(key)) return *v;
+  const double c = ItemCountOf(item);
+  (*cache)[key] = c;
+  return c;
+}
+
+double ParallelItemCf::EffectiveFrom(double count_a, double count_b,
+                                     double pair_count) const {
+  // Eq. 5/10 + shrinkage, mirroring WindowedCounts::Similarity.
+  if (count_a <= 0.0 || count_b <= 0.0 || pair_count <= 0.0) return 0.0;
+  double sim = pair_count / std::sqrt(count_a * count_b);
+  if (options_.cf.support_shrinkage > 0.0) {
+    sim *= pair_count / (pair_count + options_.cf.support_shrinkage);
+  }
+  return sim;
+}
+
 double ParallelItemCf::SimilarityFromCounts(ItemId a, ItemId b,
                                             double pair_count) const {
   // Eq. 5/10, mirroring WindowedCounts::Similarity.
@@ -395,7 +513,7 @@ double ParallelItemCf::SimilarityFromCounts(ItemId a, ItemId b,
   const double cb = ItemCountOf(b);
   if (ca <= 0.0 || cb <= 0.0) return 0.0;
   if (pair_count <= 0.0) return 0.0;
-  return pair_count / (std::sqrt(ca) * std::sqrt(cb));
+  return pair_count / std::sqrt(ca * cb);
 }
 
 double ParallelItemCf::EffectiveFromCounts(ItemId a, ItemId b,
@@ -410,8 +528,8 @@ double ParallelItemCf::EffectiveFromCounts(ItemId a, ItemId b,
 double ParallelItemCf::ListThresholdOf(ItemId item) const {
   ListStripe& stripe = ListStripeOf(item);
   std::lock_guard<ProfiledMutex> lock(stripe.mu);
-  auto it = stripe.lists.find(item);
-  return it == stripe.lists.end() ? 0.0 : it->second.Threshold();
+  const TopK<ItemId>* list = FindListLocked(stripe, item);
+  return list == nullptr ? 0.0 : list->Threshold();
 }
 
 // --- queries (quiescent pipeline) --------------------------------------------
@@ -431,40 +549,38 @@ double ParallelItemCf::EffectiveSimilarity(ItemId a, ItemId b) const {
 const TopK<ItemId>* ParallelItemCf::SimilarItems(ItemId item) const {
   ListStripe& stripe = ListStripeOf(item);
   std::lock_guard<ProfiledMutex> lock(stripe.mu);
-  auto it = stripe.lists.find(item);
-  return it == stripe.lists.end() ? nullptr : &it->second;
+  return FindListLocked(stripe, item);
 }
 
 std::vector<ItemId> ParallelItemCf::RecentItemsOf(UserId user) const {
-  const auto& histories = user_shards_[UserShardOf(user)]->histories;
-  auto it = histories.find(user);
-  if (it == histories.end()) return {};
+  const UserShard& shard = *user_shards_[UserShardOf(user)];
+  const UserHistory* history = FindHistory(shard, user);
+  if (history == nullptr) return {};
   const size_t k = options_.cf.recent_k > 0
                        ? static_cast<size_t>(options_.cf.recent_k)
-                       : it->second.size();
-  return it->second.RecentItems(k);
+                       : history->size();
+  return history->RecentItems(k);
 }
 
 double ParallelItemCf::UserRating(UserId user, ItemId item) const {
-  const auto& histories = user_shards_[UserShardOf(user)]->histories;
-  auto it = histories.find(user);
-  return it == histories.end() ? 0.0 : it->second.RatingOf(item);
+  const UserHistory* history =
+      FindHistory(*user_shards_[UserShardOf(user)], user);
+  return history == nullptr ? 0.0 : history->RatingOf(item);
 }
 
 Recommendations ParallelItemCf::RecommendForUser(UserId user,
                                                  size_t n) const {
-  const auto& histories = user_shards_[UserShardOf(user)]->histories;
-  auto hit = histories.find(user);
-  if (hit == histories.end()) return {};
+  const UserHistory* history =
+      FindHistory(*user_shards_[UserShardOf(user)], user);
+  if (history == nullptr) return {};
   return PredictFromRecent(
-      hit->second, RecentItemsOf(user),
+      *history, RecentItemsOf(user),
       [this](ItemId q) { return SimilarItems(q); },
       [this](ItemId p, ItemId q) { return EffectiveSimilarity(p, q); }, n);
 }
 
 bool ParallelItemCf::IsPruned(ItemId a, ItemId b) const {
-  const PairKey key(a, b);
-  return pair_shards_[PairShardOf(key)]->pruned.count(key) > 0;
+  return IsPrunedIn(*pair_shards_[PairShardOf(PairKey(a, b))], PairKey(a, b));
 }
 
 void ParallelItemCf::VisitItemCounts(
@@ -479,7 +595,13 @@ void ParallelItemCf::VisitSimilarLists(
     const std::function<void(ItemId, const TopK<ItemId>&)>& visitor) const {
   for (const auto& stripe : list_stripes_) {
     std::lock_guard lock(stripe->mu);
-    for (const auto& [item, list] : stripe->lists) visitor(item, list);
+    if (options_.cf.use_flat_kernels) {
+      stripe->index.ForEach([&](uint64_t packed, uint32_t slot) {
+        visitor(static_cast<ItemId>(packed), stripe->store[slot - 1]);
+      });
+    } else {
+      for (const auto& [item, list] : stripe->lists_map) visitor(item, list);
+    }
   }
 }
 

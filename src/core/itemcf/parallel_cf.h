@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -12,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/metrics.h"
 #include "common/profiled_mutex.h"
 #include "common/queue.h"
@@ -174,8 +176,13 @@ class ParallelItemCf {
     explicit UserShard(size_t queue_capacity) : queue(queue_capacity) {}
     BoundedQueue<UserMsg> queue;
     std::thread thread;
-    /// Owned exclusively by this shard's worker thread.
-    std::unordered_map<UserId, UserHistory> histories;
+    /// Owned exclusively by this shard's worker thread. Flat kernel: an
+    /// open-addressing index of packed user ids into 1-based slots of a
+    /// stable-address deque. Legacy kernel: the original node map. Exactly
+    /// one is populated, per Options::cf.use_flat_kernels.
+    FlatMap64<uint32_t> history_index;
+    std::deque<UserHistory> history_store;
+    std::unordered_map<UserId, UserHistory> histories_map;
     int64_t actions = 0;
     uint64_t events = 0;
     uint64_t batches = 0;
@@ -189,15 +196,19 @@ class ParallelItemCf {
 
   struct PairShard {
     PairShard(size_t queue_capacity, EventTime session_length,
-              int window_sessions)
-        : queue(queue_capacity), counts(session_length, window_sessions) {}
+              int window_sessions, bool use_flat)
+        : queue(queue_capacity),
+          counts(session_length, window_sessions, use_flat) {}
     BoundedQueue<PairMsg> queue;
     std::thread thread;
     /// Owned exclusively by this shard's worker thread (pairCount side
-    /// only; itemCounts live in the shared stripes).
+    /// only; itemCounts live in the shared stripes). The flat/legacy pairs
+    /// below follow Options::cf.use_flat_kernels, like UserShard's.
     WindowedCounts counts;
-    std::unordered_map<PairKey, uint32_t, PairKeyHash> observations;
-    std::unordered_set<PairKey, PairKeyHash> pruned;
+    FlatMap64<uint32_t> observations_flat;
+    FlatSet64 pruned_flat;
+    std::unordered_map<PairKey, uint32_t, PairKeyHash> observations_map;
+    std::unordered_set<PairKey, PairKeyHash> pruned_set;
     int64_t pair_updates = 0;
     int64_t pair_updates_pruned = 0;
     int64_t pairs_pruned = 0;
@@ -210,8 +221,8 @@ class ParallelItemCf {
 
   /// Shared itemCount stripe: written by layer 1, read by layers 2+3.
   struct alignas(64) CountStripe {
-    CountStripe(EventTime session_length, int window_sessions)
-        : counts(session_length, window_sessions) {}
+    CountStripe(EventTime session_length, int window_sessions, bool use_flat)
+        : counts(session_length, window_sessions, use_flat) {}
     /// Profiled (DESIGN.md §13): cross-stage lock — written by layer 1,
     /// read by layers 2+3 — so wait time here is attributed per holder
     /// stage at /profile/contention.
@@ -220,10 +231,14 @@ class ParallelItemCf {
   };
 
   /// Shared per-item top-K list stripe: a pair update touches the lists of
-  /// both its items, which generally live on different pair shards.
+  /// both its items, which generally live on different pair shards. Flat
+  /// kernel: packed-id index into 1-based slots of a stable-address deque
+  /// (SimilarItems hands out raw TopK pointers, so slots must never move).
   struct alignas(64) ListStripe {
     mutable ProfiledMutex mu{"parallel_cf.list_stripe"};
-    std::unordered_map<ItemId, TopK<ItemId>> lists;
+    FlatMap64<uint32_t> index;
+    std::deque<TopK<ItemId>> store;
+    std::unordered_map<ItemId, TopK<ItemId>> lists_map;
   };
 
   /// "<metrics_scope or parallel_cf>.<stage>" — the registered stage name
@@ -239,8 +254,31 @@ class ParallelItemCf {
   void PairWorker(PairShard* shard);
   void HandleAction(UserShard* shard, const UserAction& action,
                     std::vector<std::vector<PairDelta>>* out);
-  void HandlePairDelta(PairShard* shard, const PairDelta& delta);
+  /// `item_counts` is the worker's per-batch itemCount memo — cleared at
+  /// every batch boundary, so a similarity never reads counts staler than
+  /// the start of its own batch (within the racy-but-monotone snapshot
+  /// tolerance of the class comment, and never zero for a live pair: the
+  /// upstream AddItem happens-before the delta, so the first, uncached
+  /// read per batch already sees a positive count).
+  void HandlePairDelta(PairShard* shard, const PairDelta& delta,
+                       FlatMap64<double>* item_counts);
+
+  /// Kernel-dispatching state accessors (flat vs legacy per
+  /// options_.cf.use_flat_kernels). The *Locked list accessors require the
+  /// stripe's mutex to be held by the caller.
+  UserHistory& HistoryFor(UserShard* shard, UserId user);
+  const UserHistory* FindHistory(const UserShard& shard, UserId user) const;
+  TopK<ItemId>& GetListLocked(ListStripe& stripe, ItemId item);
+  TopK<ItemId>* FindListLocked(const ListStripe& stripe, ItemId item) const;
+  bool IsPrunedIn(const PairShard& shard, const PairKey& key) const;
+
   double ItemCountOf(ItemId item) const;
+  /// ItemCountOf through a per-batch memo (see PairWorker): one stripe
+  /// lock per distinct item per batch instead of two per delta.
+  double CachedItemCountOf(FlatMap64<double>* cache, ItemId item) const;
+  /// Eq. 5/10 + shrinkage from already-fetched windowed counts.
+  double EffectiveFrom(double count_a, double count_b,
+                       double pair_count) const;
   double SimilarityFromCounts(ItemId a, ItemId b, double pair_count) const;
   double EffectiveFromCounts(ItemId a, ItemId b, double pair_count) const;
   double ListThresholdOf(ItemId item) const;
@@ -252,6 +290,14 @@ class ParallelItemCf {
 
   Options options_;
   double hoeffding_ln_inv_delta_ = 0.0;
+
+  /// Routing masks for power-of-two shard/stripe counts (the defaults):
+  /// `hash & mask` instead of a hardware divide on every route. 0 = count
+  /// is not a power of two, fall back to modulo.
+  size_t user_shard_mask_ = 0;
+  size_t pair_shard_mask_ = 0;
+  size_t count_stripe_mask_ = 0;
+  size_t list_stripe_mask_ = 0;
 
   /// Registry histograms, resolved once in the constructor; all null when
   /// metrics are globally disabled or metrics_scope is empty, which reduces

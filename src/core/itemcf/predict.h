@@ -3,9 +3,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/flat_map.h"
 #include "common/topk.h"
 #include "core/rating.h"
 #include "core/scored.h"
@@ -21,6 +22,11 @@ namespace tencentrec::core {
 /// generation (nullptr when the item has no list yet);
 /// `effective_sim(ItemId, ItemId) -> double` supplies the current
 /// (shrinkage-adjusted) similarity used for scoring.
+///
+/// Scratch (candidate set, rating cache, scored buffer) lives in a
+/// thread-local arena reset per call: steady-state queries allocate only
+/// the returned Recommendations vector. Thread-local because the sharded
+/// executor serves this from concurrent query threads.
 template <typename SimilarItemsFn, typename EffectiveSimFn>
 Recommendations PredictFromRecent(const UserHistory& history,
                                   const std::vector<ItemId>& recent,
@@ -28,15 +34,28 @@ Recommendations PredictFromRecent(const UserHistory& history,
                                   EffectiveSimFn&& effective_sim, size_t n) {
   if (recent.empty()) return {};
 
+  struct Scratch {
+    Arena arena;
+    FlatSet64 seen;
+  };
+  thread_local Scratch scratch;
+  scratch.arena.Reset();
+  scratch.seen.Clear();
+
   // Candidates: similar items of the user's recent items, minus seen ones.
-  std::unordered_set<ItemId> candidates;
+  // The dedup set keys on the packed id; candidate order is insertion order,
+  // which the total-order sort below makes irrelevant to the output.
+  ArenaVector<ItemId> candidates(&scratch.arena, 64);
   for (ItemId q : recent) {
     const TopK<ItemId>* sims = similar_items(q);
     if (sims == nullptr) continue;
-    for (const auto& entry : sims->entries()) {
-      if (entry.score <= 0.0) continue;
-      if (history.RatingOf(entry.id) > 0.0) continue;  // already rated
-      candidates.insert(entry.id);
+    const size_t m = sims->size();
+    for (size_t r = 0; r < m; ++r) {
+      if (sims->score_at(r) <= 0.0) continue;
+      const ItemId id = sims->id_at(r);
+      if (!scratch.seen.Insert(PackItem(id))) continue;  // already a candidate
+      if (history.RatingOf(id) > 0.0) continue;  // already rated
+      candidates.push_back(id);
     }
   }
   if (candidates.empty()) return {};
@@ -45,11 +64,9 @@ Recommendations PredictFromRecent(const UserHistory& history,
   // ratings on recent items, weighted by current similarity. The recent
   // ratings are invariant across candidates — look each up once, not once
   // per (candidate, recent) pair.
-  std::vector<double> recent_ratings;
-  recent_ratings.reserve(recent.size());
+  ArenaVector<double> recent_ratings(&scratch.arena, recent.size());
   for (ItemId q : recent) recent_ratings.push_back(history.RatingOf(q));
-  Recommendations scored;
-  scored.reserve(candidates.size());
+  ArenaVector<ScoredItem> scored(&scratch.arena, candidates.size());
   for (ItemId p : candidates) {
     double num = 0.0;
     double den = 0.0;
@@ -70,8 +87,9 @@ Recommendations PredictFromRecent(const UserHistory& history,
               if (a.score != b.score) return a.score > b.score;
               return a.item < b.item;  // deterministic ties
             });
-  if (scored.size() > n) scored.resize(n);
-  return scored;
+  const size_t take = std::min(n, scored.size());
+  Recommendations out(scored.begin(), scored.begin() + take);
+  return out;
 }
 
 }  // namespace tencentrec::core

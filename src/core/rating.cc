@@ -1,6 +1,7 @@
 #include "core/rating.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace tencentrec::core {
 
@@ -30,50 +31,37 @@ RatingUpdate UserHistory::Apply(const UserAction& action,
                                 const ActionWeights& weights,
                                 EventTime linked_time) {
   RatingUpdate update;
-  update.item = action.item;
-
-  ItemState& state = items_[action.item];
-  const double old_rating = state.rating;
-  const double weight = weights.Weight(action.action);
-  const double new_rating = std::max(old_rating, weight);
-
-  update.rating_delta = new_rating - old_rating;
-  update.new_rating = new_rating;
-
-  // Pair deltas only when the rating actually moved: co-rating =
-  // min(r_u,p, r_u,q) is monotone in each argument, so an unchanged rating
-  // changes no co-rating.
-  if (update.rating_delta > 0.0) {
-    for (const auto& [other, other_state] : items_) {
-      if (other == action.item) continue;
-      if (other_state.rating <= 0.0) continue;
-      if (action.timestamp - other_state.last_action > linked_time) continue;
-      const double old_co = std::min(old_rating, other_state.rating);
-      const double new_co = std::min(new_rating, other_state.rating);
-      if (new_co != old_co) {
-        update.pairs.push_back({other, new_co - old_co});
-      }
-    }
-  }
-
-  state.rating = new_rating;
-  state.last_action = std::max(state.last_action, action.timestamp);
+  Apply(
+      action, weights, linked_time,
+      [&update](ItemId item, double rating_delta, double new_rating) {
+        update.item = item;
+        update.rating_delta = rating_delta;
+        update.new_rating = new_rating;
+      },
+      [&update](ItemId other, double co_rating_delta) {
+        update.pairs.push_back({other, co_rating_delta});
+      });
   return update;
 }
 
 double UserHistory::RatingOf(ItemId item) const {
-  auto it = items_.find(item);
-  return it == items_.end() ? 0.0 : it->second.rating;
+  const size_t pos = FindIndex(item);
+  return pos == items_.size() ? 0.0 : items_[pos].state.rating;
 }
 
 std::vector<ItemId> UserHistory::RecentItems(size_t k) const {
   std::vector<std::pair<EventTime, ItemId>> by_time;
   by_time.reserve(items_.size());
-  for (const auto& [item, state] : items_) {
-    if (state.rating > 0.0) by_time.emplace_back(state.last_action, item);
+  for (const Item& row : items_) {
+    if (row.state.rating > 0.0) {
+      by_time.emplace_back(row.state.last_action, row.item);
+    }
   }
   std::sort(by_time.begin(), by_time.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;  // deterministic ties
+            });
   std::vector<ItemId> out;
   out.reserve(std::min(k, by_time.size()));
   for (size_t i = 0; i < by_time.size() && i < k; ++i) {
@@ -83,13 +71,15 @@ std::vector<ItemId> UserHistory::RecentItems(size_t k) const {
 }
 
 void UserHistory::EvictOlderThan(EventTime cutoff) {
-  for (auto it = items_.begin(); it != items_.end();) {
-    if (it->second.last_action < cutoff) {
-      it = items_.erase(it);
-    } else {
-      ++it;
+  // Stable compaction: surviving rows keep their insertion order.
+  size_t keep = 0;
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].state.last_action >= cutoff) {
+      if (keep != i) items_[keep] = items_[i];
+      ++keep;
     }
   }
+  items_.resize(keep);
 }
 
 }  // namespace tencentrec::core

@@ -76,6 +76,7 @@ Status TencentRec::Init() {
     popts.cf.window_sessions = options_.app.window_sessions;
     popts.cf.enable_pruning = options_.app.enable_pruning;
     popts.cf.hoeffding_delta = options_.app.hoeffding_delta;
+    popts.cf.use_flat_kernels = options_.app.use_flat_kernels;
     popts.user_shards = options_.mirror_user_shards;
     popts.pair_shards = options_.mirror_pair_shards;
     popts.metrics_scope = "parallel_cf." + options_.app.app;
@@ -546,8 +547,10 @@ Status TencentRec::CheckpointMirror() {
   parallel_cf_->VisitSimilarLists(
       [&](core::ItemId item, const TopK<core::ItemId>& list) {
         core::Recommendations recs;
-        recs.reserve(list.entries().size());
-        for (const auto& e : list.entries()) recs.push_back({e.id, e.score});
+        recs.reserve(list.size());
+        for (size_t r = 0; r < list.size(); ++r) {
+          recs.push_back({list.id_at(r), list.score_at(r)});
+        }
         writer.Put(app_->keys.MirrorSimilar(item),
                    topo::EncodeScoredList(recs));
       });

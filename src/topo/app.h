@@ -41,6 +41,9 @@ struct AppOptions {
   int window_sessions = 0;  ///< 0 = cumulative counts
   bool enable_pruning = false;
   double hoeffding_delta = 0.05;
+  /// In-process CF state kernel (see PracticalItemCf::Options): flat
+  /// open-addressing tables (default) vs legacy std::unordered_map.
+  bool use_flat_kernels = true;
 
   // --- DB ---
   int hot_list_size = 50;

@@ -1,0 +1,417 @@
+// Flat-vs-legacy kernel parity (DESIGN.md §15). The rewrite swapped the CF
+// state containers (std::unordered_map/set -> open-addressing flat tables)
+// and the TopK maintenance kernel (sort-per-update -> single-pass sift);
+// neither may change any observable output. These tests drive both kernels
+// with identical traces and assert bit-identical results. Exactness is
+// legitimate: action weights are dyadic rationals (multiples of 0.5), so
+// every count is an exact float sum, identical in any accumulation order.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/flat_map.h"
+#include "common/random.h"
+#include "common/topk.h"
+#include "core/itemcf/item_cf.h"
+#include "core/itemcf/pair_key.h"
+#include "core/itemcf/parallel_cf.h"
+
+namespace tencentrec::core {
+namespace {
+
+// --- flat table units --------------------------------------------------------
+
+TEST(FlatMap64Test, UpsertFindGrow) {
+  FlatMap64<double> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(7), nullptr);
+
+  // Push through several doublings; every key must stay reachable.
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) map[static_cast<uint64_t>(i)] += i * 0.5;
+  EXPECT_EQ(map.size(), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double* v = map.Find(static_cast<uint64_t>(i));
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i * 0.5);
+  }
+  EXPECT_EQ(map.Find(static_cast<uint64_t>(n)), nullptr);
+
+  // operator[] on an existing key must not duplicate.
+  map[3] += 1.0;
+  EXPECT_EQ(map.size(), static_cast<size_t>(n));
+  EXPECT_EQ(*map.Find(3), 3 * 0.5 + 1.0);
+}
+
+TEST(FlatMap64Test, ClearKeepsCapacityAndReserve) {
+  FlatMap64<uint32_t> map;
+  map.Reserve(100);
+  const size_t cap = map.capacity();
+  EXPECT_GE(cap * 3, 100 * 4u);  // sized for 100 at 3/4 load
+  for (uint64_t k = 0; k < 100; ++k) map[k] = static_cast<uint32_t>(k);
+  EXPECT_EQ(map.capacity(), cap);  // no rehash churn after Reserve
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.capacity(), cap);
+  EXPECT_EQ(map.Find(5), nullptr);
+  map[5] = 9;
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap64Test, ForEachVisitsEveryEntryOnce) {
+  FlatMap64<double> map;
+  for (uint64_t k = 1; k <= 50; ++k) map[k * 977] = static_cast<double>(k);
+  double sum = 0.0;
+  size_t visits = 0;
+  map.ForEach([&](uint64_t, double v) {
+    sum += v;
+    ++visits;
+  });
+  EXPECT_EQ(visits, 50u);
+  EXPECT_EQ(sum, 50.0 * 51.0 / 2.0);
+}
+
+TEST(FlatSet64Test, InsertContainsClear) {
+  FlatSet64 set;
+  EXPECT_FALSE(set.Contains(1));
+  EXPECT_TRUE(set.Insert(1));
+  EXPECT_FALSE(set.Insert(1));  // duplicate
+  for (uint64_t k = 2; k < 500; ++k) EXPECT_TRUE(set.Insert(k * k));
+  EXPECT_EQ(set.size(), 499u);
+  for (uint64_t k = 2; k < 500; ++k) EXPECT_TRUE(set.Contains(k * k));
+  EXPECT_FALSE(set.Contains(3));
+  set.Clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.Contains(1));
+}
+
+TEST(PairKeyTest, PackIsCanonicalAndSentinelFree) {
+  // Packing is order-insensitive (canonical lo/hi) and lo < hi guarantees
+  // the packed key never equals the flat tables' ~0 sentinel.
+  EXPECT_EQ(PackPair(3, 9), PackPair(9, 3));
+  EXPECT_EQ(PackPair(3, 9), (uint64_t{3} << 32) | 9);
+  EXPECT_NE(PackPair(static_cast<ItemId>(0xfffffffe),
+                     static_cast<ItemId>(0xffffffff)),
+            FlatMap64<double>::kEmptyKey);
+}
+
+// --- arena units -------------------------------------------------------------
+
+TEST(ArenaTest, AlignmentAndReset) {
+  Arena arena(1024);
+  void* a = arena.Allocate(3, 1);
+  void* b = arena.Allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_NE(a, b);
+
+  // Oversized requests get a dedicated block.
+  void* big = arena.Allocate(1 << 16);
+  std::memset(big, 0xab, 1 << 16);
+
+  const size_t reserved = arena.BytesReserved();
+  arena.Reset();
+  // Reset rewinds but keeps blocks: same storage comes back.
+  void* a2 = arena.Allocate(3, 1);
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(arena.BytesReserved(), reserved);
+}
+
+TEST(ArenaTest, ArenaVectorGrowthPreservesContents) {
+  Arena arena;
+  ArenaVector<int> v(&arena, 2);
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[i], i);
+  // Zero initial capacity must still work (clamped internally).
+  ArenaVector<int> w(&arena, 0);
+  w.push_back(42);
+  EXPECT_EQ(w[0], 42);
+}
+
+// --- TopK determinism + kernel equivalence -----------------------------------
+
+TEST(TopKTest, TieOrderingDeterministicUnderShuffledInsertions) {
+  // Regression for the ordering bug this PR fixes: equal-score entries used
+  // to land in unspecified relative order (non-stable sort, strict `>`
+  // comparator), so eviction and serialized lists differed across runs.
+  // Now ties rank by ascending id, so any insertion order of the same
+  // (id, score) set yields identical entries().
+  // (Note what is NOT guaranteed: with a full table, a new tie is rejected
+  // — "ties never evict" — so which ids a too-small table retains honestly
+  // depends on arrival order. The determinism contract is about ordering
+  // and eviction among admitted entries, tested with a table that holds
+  // them all.)
+  std::vector<int64_t> ids = {5, 9, 1, 7, 3, 8, 2, 6, 4, 10};
+  std::vector<TopK<int64_t>::Entry> want;
+  std::vector<TopK<int64_t>::Entry> want_rescored;
+
+  Rng rng(123);
+  for (int round = 0; round < 20; ++round) {
+    // Fisher-Yates with the deterministic Rng — a fresh shuffle per round.
+    for (size_t i = ids.size() - 1; i > 0; --i) {
+      std::swap(ids[i], ids[rng.Uniform(i + 1)]);
+    }
+    TopK<int64_t> topk(ids.size());
+    for (int64_t id : ids) topk.Update(id, 0.5);  // all-ties insertion
+    const auto got = topk.entries();
+    ASSERT_EQ(got.size(), ids.size());
+    for (size_t r = 1; r < got.size(); ++r) {
+      EXPECT_LT(got[r - 1].id, got[r].id);  // ties ordered by id
+    }
+    // Re-score to two tie groups (still shuffled order): ranking must be
+    // (score desc, id asc) regardless of which update arrived when.
+    for (int64_t id : ids) topk.Update(id, id % 2 == 0 ? 0.75 : 0.25);
+    const auto rescored = topk.entries();
+    if (round == 0) {
+      want = got;
+      want_rescored = rescored;
+    } else {
+      EXPECT_EQ(got, want) << "round " << round;
+      EXPECT_EQ(rescored, want_rescored) << "round " << round;
+    }
+  }
+}
+
+TEST(TopKTest, MatchesLegacyOnRandomizedTraces) {
+  // The sift kernel must be bit-identical to the (tie-break-fixed)
+  // sort-per-update oracle on any trace: same entries, same thresholds,
+  // same return values, including Erase and overflow eviction.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    TopK<int64_t> fast(8);
+    LegacyTopK<int64_t> oracle(8);
+    for (int step = 0; step < 3000; ++step) {
+      const int64_t id = static_cast<int64_t>(1 + rng.Uniform(30));
+      if (rng.Bernoulli(0.1)) {
+        EXPECT_EQ(fast.Erase(id), oracle.Erase(id)) << "step " << step;
+      } else {
+        // Quantized scores force frequent exact ties.
+        const double score = static_cast<double>(rng.Uniform(12)) / 8.0;
+        EXPECT_EQ(fast.Update(id, score), oracle.Update(id, score))
+            << "step " << step;
+      }
+      ASSERT_EQ(fast.entries(), oracle.entries()) << "step " << step;
+      EXPECT_EQ(fast.Threshold(), oracle.Threshold()) << "step " << step;
+      EXPECT_EQ(fast.size(), oracle.size());
+    }
+  }
+}
+
+// --- container-level parity: PracticalItemCf flat vs legacy ------------------
+
+UserAction Act(UserId user, ItemId item, ActionType type, EventTime ts) {
+  UserAction a;
+  a.user = user;
+  a.item = item;
+  a.action = type;
+  a.timestamp = ts;
+  return a;
+}
+
+std::vector<UserAction> RandomActions(uint64_t seed, int num_actions,
+                                      int num_users, int num_items) {
+  Rng rng(seed);
+  const ActionType kTypes[] = {ActionType::kBrowse, ActionType::kClick,
+                               ActionType::kRead, ActionType::kShare,
+                               ActionType::kPurchase};
+  std::vector<UserAction> actions;
+  actions.reserve(static_cast<size_t>(num_actions));
+  for (int i = 0; i < num_actions; ++i) {
+    actions.push_back(
+        Act(static_cast<UserId>(1 + rng.Uniform(num_users)),
+            static_cast<ItemId>(1 + rng.Uniform(num_items)),
+            kTypes[rng.Uniform(5)], Seconds(i * 40)));
+  }
+  return actions;
+}
+
+/// Runs one trace through both kernels and asserts every observable output
+/// is bit-identical: counts, similarities, top-K entries (ids AND scores),
+/// admission thresholds, prune decisions, stats, and query results.
+void ExpectKernelParity(PracticalItemCf::Options options,
+                        const std::vector<UserAction>& actions, int num_users,
+                        int num_items) {
+  options.use_flat_kernels = true;
+  PracticalItemCf flat(options);
+  options.use_flat_kernels = false;
+  PracticalItemCf legacy(options);
+
+  for (const auto& action : actions) {
+    flat.ProcessAction(action);
+    legacy.ProcessAction(action);
+  }
+
+  EXPECT_EQ(flat.stats().actions, legacy.stats().actions);
+  EXPECT_EQ(flat.stats().pair_updates, legacy.stats().pair_updates);
+  EXPECT_EQ(flat.stats().pair_updates_pruned,
+            legacy.stats().pair_updates_pruned);
+  EXPECT_EQ(flat.stats().pairs_pruned, legacy.stats().pairs_pruned);
+  EXPECT_EQ(flat.counts().TrackedItems(), legacy.counts().TrackedItems());
+  EXPECT_EQ(flat.counts().TrackedPairs(), legacy.counts().TrackedPairs());
+
+  for (ItemId a = 1; a <= num_items; ++a) {
+    EXPECT_EQ(flat.counts().ItemCount(a), legacy.counts().ItemCount(a))
+        << "item " << a;
+    for (ItemId b = a + 1; b <= num_items; ++b) {
+      EXPECT_EQ(flat.counts().PairCount(a, b), legacy.counts().PairCount(a, b))
+          << "pair (" << a << ", " << b << ")";
+      EXPECT_EQ(flat.Similarity(a, b), legacy.Similarity(a, b))
+          << "pair (" << a << ", " << b << ")";
+      EXPECT_EQ(flat.EffectiveSimilarity(a, b), legacy.EffectiveSimilarity(a, b))
+          << "pair (" << a << ", " << b << ")";
+      EXPECT_EQ(flat.IsPruned(a, b), legacy.IsPruned(a, b))
+          << "pair (" << a << ", " << b << ")";
+    }
+    const TopK<ItemId>* fl = flat.SimilarItems(a);
+    const TopK<ItemId>* ll = legacy.SimilarItems(a);
+    ASSERT_EQ(fl == nullptr, ll == nullptr) << "item " << a;
+    if (fl != nullptr) {
+      EXPECT_EQ(fl->entries(), ll->entries()) << "item " << a;
+      EXPECT_EQ(fl->Threshold(), ll->Threshold()) << "item " << a;
+    }
+  }
+
+  for (UserId u = 1; u <= num_users; ++u) {
+    EXPECT_EQ(flat.RecentItemsOf(u), legacy.RecentItemsOf(u)) << "user " << u;
+    for (ItemId i = 1; i <= num_items; ++i) {
+      EXPECT_EQ(flat.UserRating(u, i), legacy.UserRating(u, i))
+          << "user " << u << " item " << i;
+    }
+    EXPECT_EQ(flat.RecommendForUser(u, 5), legacy.RecommendForUser(u, 5))
+        << "user " << u;
+  }
+}
+
+TEST(FlatKernelParityTest, SeededRandomTrace) {
+  PracticalItemCf::Options options;
+  options.linked_time = Hours(4);
+  options.top_k = 5;  // small lists so overflow eviction is exercised
+  ExpectKernelParity(options, RandomActions(17, 4000, 25, 40), 25, 40);
+}
+
+TEST(FlatKernelParityTest, WindowedTraceWithExpiry) {
+  PracticalItemCf::Options options;
+  options.linked_time = Hours(2);
+  options.session_length = Hours(1);
+  options.window_sessions = 3;
+  options.top_k = 4;
+  // 40 s spacing over 4000 actions spans ~44 sessions, so plenty expire.
+  ExpectKernelParity(options, RandomActions(23, 4000, 20, 24), 20, 24);
+}
+
+TEST(FlatKernelParityTest, AllTiesTrace) {
+  // Adversarial all-ties workload: one action type and symmetric structure
+  // give many exactly-equal similarities; list admission/eviction must make
+  // identical tie decisions in both kernels.
+  std::vector<UserAction> actions;
+  EventTime ts = 0;
+  for (UserId u = 1; u <= 16; ++u) {
+    for (ItemId i = 1; i <= 12; ++i) {
+      actions.push_back(Act(u, i, ActionType::kClick, ts));
+      ts += Seconds(10);
+    }
+  }
+  PracticalItemCf::Options options;
+  options.linked_time = Days(30);
+  options.top_k = 3;  // far smaller than the clique: constant tie-eviction
+  ExpectKernelParity(options, actions, 16, 12);
+}
+
+TEST(FlatKernelParityTest, PruneEraseReopenTrace) {
+  // Drives Algorithm 1 hard: tight lists + aggressive delta so pairs get
+  // pruned (erasing stale list entries and reopening thresholds), then keep
+  // arriving as skipped updates. Every prune decision, erase, and skip
+  // counter must match across kernels.
+  PracticalItemCf::Options options;
+  options.linked_time = Hours(6);
+  options.top_k = 3;
+  options.enable_pruning = true;
+  options.hoeffding_delta = 0.4;
+  const auto actions = RandomActions(31, 6000, 12, 30);
+  ExpectKernelParity(options, actions, 12, 30);
+
+  // The trace must actually prune, or the test proves nothing.
+  options.use_flat_kernels = true;
+  PracticalItemCf probe(options);
+  for (const auto& action : actions) probe.ProcessAction(action);
+  EXPECT_GT(probe.stats().pairs_pruned, 0);
+  EXPECT_GT(probe.stats().pair_updates_pruned, 0);
+}
+
+// --- sharded executor: legacy kernel parity (TSan workload) ------------------
+
+TEST(FlatKernelParityTest, ParallelLegacyKernelMatchesFlat) {
+  // The sharded executor in legacy-kernel mode must drain to the same state
+  // as flat-kernel mode. Parity configuration (no overflow, no pruning), so
+  // state is a pure commutative sum; dyadic action weights make those sums
+  // exact in any interleaving, hence exact equality across modes. Runs
+  // both multi-threaded pipelines -> part of the `concurrent` TSan label.
+  const int kUsers = 16, kItems = 20;
+  const auto actions = RandomActions(41, 1500, kUsers, kItems);
+
+  ParallelItemCf::Options options;
+  options.cf.linked_time = Days(30);
+  options.cf.window_sessions = 0;
+  options.cf.enable_pruning = false;
+  options.cf.top_k = kItems + 8;
+  options.user_shards = 4;
+  options.pair_shards = 4;
+  options.batch_size = 7;
+  options.queue_capacity = 4;
+  options.count_stripes = 8;
+  options.list_stripes = 8;
+
+  options.cf.use_flat_kernels = true;
+  ParallelItemCf flat(options);
+  options.cf.use_flat_kernels = false;
+  ParallelItemCf legacy(options);
+
+  flat.ProcessActions(actions);
+  legacy.ProcessActions(actions);
+  flat.Drain();
+  legacy.Drain();
+
+  EXPECT_EQ(flat.stats().actions, legacy.stats().actions);
+  EXPECT_EQ(flat.stats().pair_updates, legacy.stats().pair_updates);
+  for (ItemId a = 1; a <= kItems; ++a) {
+    for (ItemId b = a + 1; b <= kItems; ++b) {
+      EXPECT_EQ(flat.Similarity(a, b), legacy.Similarity(a, b))
+          << "pair (" << a << ", " << b << ")";
+      EXPECT_EQ(flat.EffectiveSimilarity(a, b),
+                legacy.EffectiveSimilarity(a, b))
+          << "pair (" << a << ", " << b << ")";
+    }
+  }
+  for (UserId u = 1; u <= kUsers; ++u) {
+    EXPECT_EQ(flat.RecentItemsOf(u), legacy.RecentItemsOf(u)) << "user " << u;
+    for (ItemId i = 1; i <= kItems; ++i) {
+      EXPECT_EQ(flat.UserRating(u, i), legacy.UserRating(u, i))
+          << "user " << u << " item " << i;
+    }
+    // Recommendations use racy-snapshot list membership only for candidate
+    // generation; in the no-overflow configuration membership is
+    // deterministic, and scores recompute from drained counts.
+    EXPECT_EQ(flat.RecommendForUser(u, 5), legacy.RecommendForUser(u, 5))
+        << "user " << u;
+  }
+
+  // Mirror-export walk sees the same (item, total) set in both modes.
+  FlatMap64<double> flat_totals, legacy_totals;
+  flat.VisitItemCounts(
+      [&](ItemId item, double total) { flat_totals[PackItem(item)] = total; });
+  legacy.VisitItemCounts([&](ItemId item, double total) {
+    legacy_totals[PackItem(item)] = total;
+  });
+  ASSERT_EQ(flat_totals.size(), legacy_totals.size());
+  flat_totals.ForEach([&](uint64_t key, double total) {
+    const double* other = legacy_totals.Find(key);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(total, *other);
+  });
+}
+
+}  // namespace
+}  // namespace tencentrec::core
